@@ -1,0 +1,188 @@
+//! The comparison algorithms of the paper's evaluation (Sec. V).
+//!
+//! * [`ta_without_security`] (`TAw/oS`) — distributes the `m` raw data rows
+//!   evenly over the `i*` cheapest devices with no blinding at all. Its
+//!   cost is the *insecurity floor*: the gap between it and MCSCEC is the
+//!   price of information-theoretic security.
+//! * [`max_node`] — the smallest feasible `r = ⌈m/(k−1)⌉`, which spreads
+//!   work over the **most** devices.
+//! * [`min_node`] — the largest feasible `r = m`, which concentrates work
+//!   on the **two** cheapest devices.
+//! * [`r_node`] — `r` drawn uniformly from the feasible range.
+//!
+//! All three secure baselines use the canonical load shape, so they satisfy
+//! the availability and security conditions; they simply pick `r`
+//! sub-optimally.
+
+use rand::Rng;
+
+use crate::cost::EdgeFleet;
+use crate::error::{Error, Result};
+use crate::istar::i_star;
+use crate::plan::AllocationPlan;
+
+/// `TAw/oS`: allocate the `m` raw rows evenly on the `i*` cheapest devices,
+/// ignoring security entirely (`r = 0`).
+///
+/// When `m < i*`, only `m` devices receive a (single) row. Leftover rows
+/// after integer division go to the cheapest devices.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyData`] when `m == 0`.
+pub fn ta_without_security(m: usize, fleet: &EdgeFleet) -> Result<AllocationPlan> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    let star = i_star(fleet).min(m);
+    let base = m / star;
+    let extra = m % star;
+    let loads: Vec<usize> = (0..star)
+        .map(|p| base + usize::from(p < extra))
+        .collect();
+    AllocationPlan::from_loads(m, 0, loads, fleet)
+}
+
+/// `MaxNode`: the smallest feasible `r = ⌈m/(k−1)⌉`, maximizing the number
+/// of participating devices.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyData`] when `m == 0`.
+pub fn max_node(m: usize, fleet: &EdgeFleet) -> Result<AllocationPlan> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    let r = m.div_ceil(fleet.len() - 1);
+    AllocationPlan::canonical(m, r, fleet)
+}
+
+/// `MinNode`: the largest feasible `r = m`, so exactly the two cheapest
+/// devices participate with `m` coded rows each.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyData`] when `m == 0`.
+pub fn min_node(m: usize, fleet: &EdgeFleet) -> Result<AllocationPlan> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    AllocationPlan::canonical(m, m, fleet)
+}
+
+/// `RNode`: `r` drawn uniformly at random from the feasible range
+/// `[⌈m/(k−1)⌉, m]`.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyData`] when `m == 0`.
+pub fn r_node<R: Rng + ?Sized>(m: usize, fleet: &EdgeFleet, rng: &mut R) -> Result<AllocationPlan> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    let min_r = m.div_ceil(fleet.len() - 1);
+    let r = rng.gen_range(min_r..=m);
+    AllocationPlan::canonical(m, r, fleet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ta::{ta1, ta2};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn fleet() -> EdgeFleet {
+        EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn tawos_balances_loads() {
+        let f = fleet(); // uniform-ish, i* = 5 here? verify via loads
+        let plan = ta_without_security(11, &f).unwrap();
+        assert_eq!(plan.total_rows(), 11);
+        assert_eq!(plan.random_rows(), 0);
+        assert!(!plan.satisfies_security_cap());
+        let max = *plan.loads().iter().max().unwrap();
+        let min = *plan.loads().iter().min().unwrap();
+        assert!(max - min <= 1, "loads not balanced: {:?}", plan.loads());
+        // Extra rows sit on the cheapest devices.
+        assert!(plan.loads().windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn tawos_fewer_rows_than_devices() {
+        let f = fleet();
+        let plan = ta_without_security(2, &f).unwrap();
+        assert_eq!(plan.loads(), &[1, 1]);
+    }
+
+    #[test]
+    fn max_node_uses_most_devices() {
+        let f = fleet();
+        let m = 12;
+        let plan = max_node(m, &f).unwrap();
+        // r = ceil(12/4) = 3, i = ceil(15/3) = 5 devices.
+        assert_eq!(plan.random_rows(), 3);
+        assert_eq!(plan.device_count(), 5);
+        assert!(plan.satisfies_security_cap());
+    }
+
+    #[test]
+    fn min_node_uses_two_devices() {
+        let f = fleet();
+        let plan = min_node(9, &f).unwrap();
+        assert_eq!(plan.device_count(), 2);
+        assert_eq!(plan.loads(), &[9, 9]);
+        assert!((plan.total_cost() - 9.0 * (1.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_node_is_feasible_and_random() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(99);
+        let m = 20;
+        let min_r = (m as usize).div_ceil(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let plan = r_node(m, &f, &mut rng).unwrap();
+            assert!(plan.random_rows() >= min_r && plan.random_rows() <= m);
+            assert!(plan.satisfies_security_cap());
+            seen.insert(plan.random_rows());
+        }
+        assert!(seen.len() > 3, "RNode never varied r");
+    }
+
+    #[test]
+    fn mcscec_never_loses_to_secure_baselines() {
+        let mut rng = StdRng::seed_from_u64(7);
+        use rand::Rng as _;
+        for _ in 0..30 {
+            let k = rng.gen_range(2..10);
+            let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(1.0..5.0)).collect();
+            let f = EdgeFleet::from_unit_costs(costs).unwrap();
+            let m = rng.gen_range(1..80);
+            let best = ta1(m, &f).unwrap().total_cost();
+            assert_eq!(best, ta2(m, &f).unwrap().total_cost());
+            for plan in [
+                max_node(m, &f).unwrap(),
+                min_node(m, &f).unwrap(),
+                r_node(m, &f, &mut rng).unwrap(),
+            ] {
+                assert!(plan.total_cost() >= best - 1e-9);
+            }
+            // TAw/oS handles fewer rows (no blinding), so it may be cheaper.
+            let floor = ta_without_security(m, &f).unwrap();
+            assert!(floor.total_cost() <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_data_rejected_by_all() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(ta_without_security(0, &f).is_err());
+        assert!(max_node(0, &f).is_err());
+        assert!(min_node(0, &f).is_err());
+        assert!(r_node(0, &f, &mut rng).is_err());
+    }
+}

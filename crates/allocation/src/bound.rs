@@ -1,0 +1,112 @@
+//! The cost lower bound of Theorem 1 and its achievability (Corollary 1).
+
+use crate::cost::EdgeFleet;
+use crate::error::{Error, Result};
+use crate::istar::i_star;
+
+/// The lower bound `c^L = m/(i*−1) · Σ_{j=1}^{i*} c_j` on the cost of any
+/// feasible MCSCEC solution (Theorem 1).
+///
+/// No secure allocation can cost less; [`crate::ta::ta1`] meets it exactly
+/// whenever `i* − 1` divides `m` (Corollary 1) and stays within a rounding
+/// sliver of it otherwise.
+///
+/// # Example
+///
+/// ```
+/// use scec_allocation::{bound, cost::EdgeFleet, ta};
+///
+/// let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0])?;
+/// let m = 10; // divisible by i* − 1 here, so the bound is met exactly
+/// let lb = bound::lower_bound(m, &fleet)?;
+/// let opt = ta::ta1(m, &fleet)?.total_cost();
+/// assert!(opt >= lb - 1e-12);
+/// if bound::is_achievable(m, &fleet)? {
+///     assert!((opt - lb).abs() < 1e-9);
+/// }
+/// # Ok::<(), scec_allocation::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyData`] when `m == 0`.
+pub fn lower_bound(m: usize, fleet: &EdgeFleet) -> Result<f64> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    let star = i_star(fleet);
+    Ok(m as f64 / (star as f64 - 1.0) * fleet.prefix_sum(star))
+}
+
+/// Whether the lower bound is *exactly* achievable: Corollary 1's
+/// divisibility condition `(i*−1) | m`.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyData`] when `m == 0`.
+pub fn is_achievable(m: usize, fleet: &EdgeFleet) -> Result<bool> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    let star = i_star(fleet);
+    Ok(m % (star - 1) == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AllocationPlan;
+
+    #[test]
+    fn uniform_fleet_bound() {
+        // k = 5 equal costs of 2: i* = 5, c^L = m/4 * 10.
+        let fleet = EdgeFleet::from_unit_costs(vec![2.0; 5]).unwrap();
+        let lb = lower_bound(8, &fleet).unwrap();
+        assert!((lb - 8.0 / 4.0 * 10.0).abs() < 1e-12);
+        assert!(is_achievable(8, &fleet).unwrap());
+        assert!(!is_achievable(9, &fleet).unwrap());
+    }
+
+    #[test]
+    fn bound_matches_achieving_plan() {
+        // Corollary 1: when (i*-1) | m, the canonical plan with
+        // r = m/(i*-1) costs exactly c^L.
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 2.5, 3.0, 100.0]).unwrap();
+        let star = i_star(&fleet);
+        assert!(star >= 2);
+        let m = 12 * (star - 1);
+        let r = m / (star - 1);
+        let plan = AllocationPlan::canonical(m, r, &fleet).unwrap();
+        let lb = lower_bound(m, &fleet).unwrap();
+        assert!(
+            (plan.total_cost() - lb).abs() < 1e-9,
+            "plan {} vs bound {}",
+            plan.total_cost(),
+            lb
+        );
+    }
+
+    #[test]
+    fn bound_is_below_every_feasible_plan() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.3, 2.2, 4.0, 9.0, 9.5]).unwrap();
+        let m = 50;
+        let lb = lower_bound(m, &fleet).unwrap();
+        let min_r = m.div_ceil(fleet.len() - 1);
+        for r in min_r..=m {
+            let plan = AllocationPlan::canonical(m, r, &fleet).unwrap();
+            assert!(
+                plan.total_cost() >= lb - 1e-9,
+                "r = {r}: {} < {}",
+                plan.total_cost(),
+                lb
+            );
+        }
+    }
+
+    #[test]
+    fn empty_data_is_rejected() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0]).unwrap();
+        assert!(matches!(lower_bound(0, &fleet), Err(Error::EmptyData)));
+        assert!(matches!(is_achievable(0, &fleet), Err(Error::EmptyData)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for task allocation.
+
+use std::fmt;
+
+/// A specialized result type for allocation operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by allocation algorithms and the cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The fleet has fewer than two edge devices; the paper's model
+    /// requires `k ≥ 2` (a single device can never be both available and
+    /// secure — it would have to hold a decodable copy of `A`).
+    TooFewDevices {
+        /// Number of devices supplied.
+        got: usize,
+    },
+    /// A unit cost was non-positive or non-finite. The optimality analysis
+    /// (Lemma 1 onward) requires `c_j > 0`.
+    InvalidUnitCost {
+        /// Zero-based index of the offending device in the input order.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A component price in a [`DeviceCost`](crate::cost::DeviceCost) was
+    /// negative or non-finite, or violated the model constraint
+    /// `c_a ≤ c_m`.
+    InvalidDeviceCost {
+        /// Description of the violated constraint.
+        reason: &'static str,
+    },
+    /// The data matrix must have at least one row (`m ≥ 1`).
+    EmptyData,
+    /// The requested `r` lies outside the feasible range
+    /// `⌈m/(k−1)⌉ ≤ r ≤ m` established by Theorem 2.
+    InfeasibleRandomRows {
+        /// The requested number of random rows.
+        r: usize,
+        /// The smallest feasible value.
+        min: usize,
+        /// The largest feasible value.
+        max: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooFewDevices { got } => {
+                write!(f, "need at least 2 edge devices, got {got}")
+            }
+            Error::InvalidUnitCost { index, value } => {
+                write!(f, "unit cost at index {index} must be positive and finite, got {value}")
+            }
+            Error::InvalidDeviceCost { reason } => {
+                write!(f, "invalid device cost parameters: {reason}")
+            }
+            Error::EmptyData => f.write_str("data matrix must have at least one row"),
+            Error::InfeasibleRandomRows { r, min, max } => {
+                write!(f, "r = {r} outside feasible range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::TooFewDevices { got: 1 }.to_string(),
+            "need at least 2 edge devices, got 1"
+        );
+        assert_eq!(
+            Error::InvalidUnitCost { index: 3, value: -1.0 }.to_string(),
+            "unit cost at index 3 must be positive and finite, got -1"
+        );
+        assert_eq!(
+            Error::EmptyData.to_string(),
+            "data matrix must have at least one row"
+        );
+        assert_eq!(
+            Error::InfeasibleRandomRows { r: 0, min: 1, max: 10 }.to_string(),
+            "r = 0 outside feasible range [1, 10]"
+        );
+        assert_eq!(
+            Error::InvalidDeviceCost { reason: "c_a > c_m" }.to_string(),
+            "invalid device cost parameters: c_a > c_m"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,123 @@
+//! The threshold index `i*` of Sec. III.
+//!
+//! `i*` is the largest `i ∈ {2, …, k}` with `Σ_{j=1}^{i−1} c_j ≥ (i−2)·c_i`.
+//! Lemma 3 shows the predicate holds for every `i ≤ i*` and fails for every
+//! `i > i*`, so the cost of the canonical plan is non-increasing in `r`
+//! down to `r ≈ m/(i*−1)` and non-decreasing past it — the structural fact
+//! both TA1 and the lower bound rest on.
+
+use crate::cost::EdgeFleet;
+
+/// Whether the defining predicate `Σ_{j=1}^{i−1} c_j ≥ (i−2)·c_i` holds for
+/// a given `i` (1-based, `2 ≤ i ≤ k`).
+///
+/// # Panics
+///
+/// Panics when `i < 2` or `i > fleet.len()`.
+pub fn predicate(fleet: &EdgeFleet, i: usize) -> bool {
+    assert!(i >= 2 && i <= fleet.len(), "i = {i} outside [2, k]");
+    fleet.prefix_sum(i - 1) >= (i as f64 - 2.0) * fleet.c(i)
+}
+
+/// Computes `i*` — the largest participating-device count for which adding
+/// the `i`-th cheapest device still pays for itself.
+///
+/// Always returns a value in `[2, k]`; the predicate is vacuously true at
+/// `i = 2` (`c_1 ≥ 0`). Runs in O(k) — this is the search loop of
+/// Algorithm 1, lines 1–11.
+///
+/// # Example
+///
+/// ```
+/// use scec_allocation::{cost::EdgeFleet, istar};
+///
+/// // A uniform fleet keeps every device worthwhile: i* = k.
+/// let uniform = EdgeFleet::from_unit_costs(vec![2.0; 6])?;
+/// assert_eq!(istar::i_star(&uniform), 6);
+/// // One absurdly expensive device gets cut off.
+/// let skewed = EdgeFleet::from_unit_costs(vec![1.0, 1.0, 100.0])?;
+/// assert_eq!(istar::i_star(&skewed), 2);
+/// # Ok::<(), scec_allocation::Error>(())
+/// ```
+pub fn i_star(fleet: &EdgeFleet) -> usize {
+    let k = fleet.len();
+    let mut best = 2;
+    // Lemma 3 guarantees the predicate is prefix-true/suffix-false, so the
+    // first failure ends the scan.
+    for i in 3..=k {
+        if predicate(fleet, i) {
+            best = i;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::EdgeFleet;
+
+    #[test]
+    fn uniform_costs_select_every_device() {
+        // With equal costs the predicate sum_{j<i} c = (i-1)c >= (i-2)c
+        // always holds, so i* = k.
+        let fleet = EdgeFleet::from_unit_costs(vec![2.0; 10]).unwrap();
+        assert_eq!(i_star(&fleet), 10);
+    }
+
+    #[test]
+    fn steep_costs_select_two_devices() {
+        // c = [1, 1, 100]: at i=3, c_1 + c_2 = 2 < 1 * 100.
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.0, 100.0]).unwrap();
+        assert_eq!(i_star(&fleet), 2);
+    }
+
+    #[test]
+    fn k_equals_two() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 7.0]).unwrap();
+        assert_eq!(i_star(&fleet), 2);
+    }
+
+    #[test]
+    fn moderate_growth_cuts_in_the_middle() {
+        // c = [1, 1, 1, 2, 10]:
+        // i=3: 1+1 = 2 >= 1*1 true; i=4: 3 >= 2*2 false.
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.0, 1.0, 2.0, 10.0]).unwrap();
+        assert_eq!(i_star(&fleet), 3);
+        assert!(predicate(&fleet, 2));
+        assert!(predicate(&fleet, 3));
+        assert!(!predicate(&fleet, 4));
+        assert!(!predicate(&fleet, 5));
+    }
+
+    #[test]
+    fn predicate_is_prefix_true_suffix_false() {
+        // Brute-force check of the Lemma 3 structure on assorted fleets.
+        let fleets = [
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.5, 0.6, 10.0, 11.0],
+            vec![1.0, 3.0, 3.1, 3.2, 50.0],
+        ];
+        for costs in fleets {
+            let fleet = EdgeFleet::from_unit_costs(costs.clone()).unwrap();
+            let star = i_star(&fleet);
+            for i in 2..=fleet.len() {
+                assert_eq!(
+                    predicate(&fleet, i),
+                    i <= star,
+                    "costs {costs:?}, i = {i}, i* = {star}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [2, k]")]
+    fn predicate_rejects_i_below_2() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0]).unwrap();
+        let _ = predicate(&fleet, 1);
+    }
+}

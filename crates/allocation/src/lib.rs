@@ -1,0 +1,57 @@
+//! Optimal task allocation for Minimum-Cost Secure Coded Edge Computing.
+//!
+//! This crate implements the optimization half of the MCSCEC paper
+//! (ICDCS 2019): given `k` edge devices with per-row unit costs
+//! `c_1 ≤ … ≤ c_k` and a data matrix with `m` rows, choose
+//!
+//! * `r` — the number of random blinding rows mixed into the data, and
+//! * `i` — the number of devices that participate,
+//!
+//! so that the total cost `c = Σ_j V(B_j)·c_j` is minimized subject to the
+//! availability and security conditions (which, by the paper's Lemma 1,
+//! cap every device's load at `r` rows).
+//!
+//! # What's here
+//!
+//! * [`cost`] — the resource model of Eq. (1): per-device storage /
+//!   computation / communication prices collapse into one *unit cost* per
+//!   coded row; [`EdgeFleet`] holds the sorted cost vector.
+//! * [`istar`] — the threshold index `i*` from Sec. III and the inequality
+//!   structure of Lemma 3 that makes the cost function unimodal in `r`.
+//! * [`ta`] — the two optimal task-allocation algorithms: [`ta1`](ta::ta1)
+//!   (O(k), closed-form via `i*`, Algorithm 1) and [`ta2`](ta::ta2)
+//!   (O(k+m), exhaustive over the feasible range of `r`, Algorithm 2).
+//!   Both provably return the same minimum cost (Theorems 4–5); the test
+//!   suite cross-validates them against brute force.
+//! * [`bound`] — the lower bound `c^L = m/(i*−1) · Σ_{j≤i*} c_j`
+//!   (Theorem 1) and its achievability condition (Corollary 1).
+//! * [`baselines`] — every comparator from the paper's Sec. V: `TAw/oS`,
+//!   `MaxNode`, `MinNode`, and `RNode`.
+//!
+//! # Example
+//!
+//! ```
+//! use scec_allocation::{cost::EdgeFleet, ta, bound};
+//!
+//! let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 4.0, 8.0])?;
+//! let m = 100;
+//! let plan = ta::ta1(m, &fleet)?;
+//! assert_eq!(plan.total_cost(), ta::ta2(m, &fleet)?.total_cost());
+//! assert!(plan.total_cost() >= bound::lower_bound(m, &fleet)? - 1e-9);
+//! # Ok::<(), scec_allocation::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod bound;
+pub mod cost;
+pub mod error;
+pub mod istar;
+pub mod plan;
+pub mod ta;
+
+pub use cost::{DeviceCost, EdgeFleet};
+pub use error::{Error, Result};
+pub use plan::AllocationPlan;

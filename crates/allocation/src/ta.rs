@@ -1,0 +1,251 @@
+//! The two optimal task-allocation algorithms (Sec. IV-A).
+//!
+//! Both determine the number of random rows `r` and the participating
+//! device count `i = ⌈(m+r)/r⌉`, then delegate the canonical load shape to
+//! [`AllocationPlan::canonical`]. [`ta1`] exploits the unimodality of the
+//! cost in `r` (Theorem 4) and runs in O(k); [`ta2`] exhaustively scans
+//! Theorem 2's feasible range `⌈m/(k−1)⌉ ≤ r ≤ m` in O(k + m). They always
+//! agree on the minimum cost.
+
+use crate::cost::EdgeFleet;
+use crate::error::{Error, Result};
+use crate::istar::i_star;
+use crate::plan::AllocationPlan;
+
+/// Task Allocation Algorithm 1 (Algorithm 1, O(k)).
+///
+/// Computes `i*`, then picks `r` nearest to the unconstrained optimum
+/// `m/(i*−1)`:
+///
+/// * if `(i*−1) | m`, the lower bound `c^L` is achieved exactly with
+///   `r = m/(i*−1)` (Corollary 1);
+/// * otherwise the optimum is one of `⌊m/(i*−1)⌋` and `⌈m/(i*−1)⌉`,
+///   clamped from below by the feasibility floor `⌈m/(k−1)⌉`.
+///
+/// # Example
+///
+/// ```
+/// use scec_allocation::{cost::EdgeFleet, ta};
+///
+/// let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.0, 1.0, 5.0])?;
+/// let plan = ta::ta1(9, &fleet)?;
+/// // Uniform cheap trio: i* = 3 would hold if the 4th device weren't
+/// // priced out; the optimizer spreads 9 data rows + r random rows
+/// // across the cheapest devices at minimum total cost.
+/// assert_eq!(plan.total_rows(), 9 + plan.random_rows());
+/// assert!(plan.satisfies_security_cap());
+/// # Ok::<(), scec_allocation::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// * [`Error::EmptyData`] when `m == 0`;
+/// * [`Error::TooFewDevices`] is impossible here because [`EdgeFleet`]
+///   already guarantees `k ≥ 2`.
+pub fn ta1(m: usize, fleet: &EdgeFleet) -> Result<AllocationPlan> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    let star = i_star(fleet);
+    let k = fleet.len();
+    let min_r = m.div_ceil(k - 1);
+    if m % (star - 1) == 0 {
+        // Corollary 1: the bound is met exactly.
+        return AllocationPlan::canonical(m, m / (star - 1), fleet);
+    }
+    let lo = m / (star - 1);
+    let hi = lo + 1;
+    if lo < min_r {
+        // The floor candidate is infeasible; Theorem 4 shows cost is
+        // non-decreasing for r >= ceil(m/(i*-1)), so the ceiling wins.
+        return AllocationPlan::canonical(m, hi.max(min_r), fleet);
+    }
+    let plan_lo = AllocationPlan::canonical(m, lo, fleet)?;
+    let plan_hi = AllocationPlan::canonical(m, hi, fleet)?;
+    if plan_lo.total_cost() <= plan_hi.total_cost() {
+        Ok(plan_lo)
+    } else {
+        Ok(plan_hi)
+    }
+}
+
+/// Task Allocation Algorithm 2 (Algorithm 2, O(k + m)).
+///
+/// Exhaustively evaluates the canonical cost
+/// `c(r) = r·Σ_{j<i} c_j + (m − (i−2)r)·c_i` for every feasible `r`
+/// (Theorem 2: `⌈m/(k−1)⌉ ≤ r ≤ m`) using the fleet's prefix sums, and
+/// returns the cheapest plan. On cost ties the smallest `r` (most devices)
+/// is kept, matching Algorithm 2's strict-improvement update.
+///
+/// # Example
+///
+/// ```
+/// use scec_allocation::{cost::EdgeFleet, ta};
+///
+/// let fleet = EdgeFleet::from_unit_costs(vec![2.0, 3.0, 4.0])?;
+/// // TA1 and TA2 always agree on the minimum cost (Theorems 4–5).
+/// assert_eq!(ta::ta1(20, &fleet)?.total_cost(), ta::ta2(20, &fleet)?.total_cost());
+/// # Ok::<(), scec_allocation::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyData`] when `m == 0`.
+pub fn ta2(m: usize, fleet: &EdgeFleet) -> Result<AllocationPlan> {
+    if m == 0 {
+        return Err(Error::EmptyData);
+    }
+    let k = fleet.len();
+    let min_r = m.div_ceil(k - 1);
+    let mut best_r = min_r;
+    let mut best_cost = canonical_cost(m, min_r, fleet);
+    for r in (min_r + 1)..=m {
+        let c = canonical_cost(m, r, fleet);
+        if c < best_cost {
+            best_cost = c;
+            best_r = r;
+        }
+    }
+    AllocationPlan::canonical(m, best_r, fleet)
+}
+
+/// The canonical-plan cost `c(r)` evaluated in O(1) from prefix sums —
+/// the inner expression of Algorithm 2, line 6.
+///
+/// # Panics
+///
+/// Panics (in debug builds) when `r` is infeasible; use
+/// [`AllocationPlan::canonical`] for validated construction.
+pub fn canonical_cost(m: usize, r: usize, fleet: &EdgeFleet) -> f64 {
+    let i = (m + r).div_ceil(r);
+    debug_assert!(i >= 2 && i <= fleet.len());
+    let last = (m + r) - (i - 1) * r;
+    r as f64 * fleet.prefix_sum(i - 1) + last as f64 * fleet.c(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::lower_bound;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Reference implementation: brute force over all feasible r using the
+    /// plan constructor only (no prefix-sum shortcut).
+    fn brute_force(m: usize, fleet: &EdgeFleet) -> AllocationPlan {
+        let min_r = m.div_ceil(fleet.len() - 1);
+        (min_r..=m)
+            .map(|r| AllocationPlan::canonical(m, r, fleet).unwrap())
+            .min_by(|a, b| a.total_cost().partial_cmp(&b.total_cost()).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn ta1_achieves_bound_when_divisible() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 6.0]).unwrap();
+        let star = i_star(&fleet);
+        let m = 10 * (star - 1);
+        let plan = ta1(m, &fleet).unwrap();
+        let lb = lower_bound(m, &fleet).unwrap();
+        assert!((plan.total_cost() - lb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ta1_equals_ta2_on_small_examples() {
+        let fleets = [
+            vec![1.0, 2.0],
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 5.0, 100.0],
+            vec![2.0, 2.1, 2.2, 2.3, 50.0],
+            vec![1.0, 1.0, 3.0, 3.0, 3.0, 3.0],
+        ];
+        for costs in fleets {
+            let fleet = EdgeFleet::from_unit_costs(costs.clone()).unwrap();
+            for m in [1usize, 2, 3, 7, 10, 23, 100] {
+                let p1 = ta1(m, &fleet).unwrap();
+                let p2 = ta2(m, &fleet).unwrap();
+                assert!(
+                    (p1.total_cost() - p2.total_cost()).abs() < 1e-9,
+                    "costs {costs:?}, m = {m}: TA1 {} vs TA2 {}",
+                    p1.total_cost(),
+                    p2.total_cost()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_match_brute_force_on_random_fleets() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..50 {
+            let k = rng.gen_range(2..12);
+            let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.5..10.0)).collect();
+            let fleet = EdgeFleet::from_unit_costs(costs.clone()).unwrap();
+            let m = rng.gen_range(1..60);
+            let want = brute_force(m, &fleet);
+            let p1 = ta1(m, &fleet).unwrap();
+            let p2 = ta2(m, &fleet).unwrap();
+            assert!(
+                (p1.total_cost() - want.total_cost()).abs() < 1e-9,
+                "TA1 suboptimal: costs {costs:?} m {m}: {} vs {}",
+                p1.total_cost(),
+                want.total_cost()
+            );
+            assert!(
+                (p2.total_cost() - want.total_cost()).abs() < 1e-9,
+                "TA2 suboptimal: costs {costs:?} m {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_respect_security_cap_and_row_conservation() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        for m in 1..40 {
+            for plan in [ta1(m, &fleet).unwrap(), ta2(m, &fleet).unwrap()] {
+                assert!(plan.satisfies_security_cap());
+                assert_eq!(plan.total_rows(), m + plan.random_rows());
+                assert!(plan.device_count() <= fleet.len());
+            }
+        }
+    }
+
+    #[test]
+    fn ta1_ceiling_path_when_floor_infeasible() {
+        // Uniform costs make i* = k; with m < k-1 the floor m/(k-1) = 0 is
+        // infeasible and TA1 must take the ceiling.
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0; 10]).unwrap();
+        let plan = ta1(5, &fleet).unwrap();
+        let p2 = ta2(5, &fleet).unwrap();
+        assert!((plan.total_cost() - p2.total_cost()).abs() < 1e-9);
+        assert!(plan.random_rows() >= 1);
+    }
+
+    #[test]
+    fn minimum_m() {
+        let fleet = EdgeFleet::from_unit_costs(vec![3.0, 4.0]).unwrap();
+        let plan = ta1(1, &fleet).unwrap();
+        // m = 1, k = 2: only r = 1 feasible; loads [1, 1].
+        assert_eq!(plan.loads(), &[1, 1]);
+        assert!((plan.total_cost() - 7.0).abs() < 1e-12);
+        assert_eq!(ta2(1, &fleet).unwrap().loads(), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0]).unwrap();
+        assert!(matches!(ta1(0, &fleet), Err(Error::EmptyData)));
+        assert!(matches!(ta2(0, &fleet), Err(Error::EmptyData)));
+    }
+
+    #[test]
+    fn canonical_cost_matches_plan_cost() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.5, 2.6, 9.0]).unwrap();
+        let m = 17;
+        let min_r = (m as usize).div_ceil(3);
+        for r in min_r..=m {
+            let via_fn = canonical_cost(m, r, &fleet);
+            let via_plan = AllocationPlan::canonical(m, r, &fleet).unwrap().total_cost();
+            assert!((via_fn - via_plan).abs() < 1e-9, "r = {r}");
+        }
+    }
+}

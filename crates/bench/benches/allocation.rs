@@ -1,0 +1,69 @@
+//! Ablation A2: task-allocation runtime.
+//!
+//! The paper claims TA1 is O(k) and TA2 is O(k + m), advising the cloud
+//! to pick by parameter regime. These benches measure both across the
+//! (k, m) grid so the claimed scaling is visible in the report, plus the
+//! `i*` search and lower-bound evaluation they build on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use scec_allocation::{bound, istar, ta, EdgeFleet};
+
+fn fleet(k: usize, seed: u64) -> EdgeFleet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    EdgeFleet::from_unit_costs((0..k).map(|_| rng.gen_range(1.0..5.0)).collect()).unwrap()
+}
+
+fn bench_ta1_vs_ta2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ta_runtime");
+    for &k in &[10usize, 100, 1000] {
+        for &m in &[100usize, 5_000, 100_000] {
+            let f = fleet(k, 1);
+            group.bench_with_input(
+                BenchmarkId::new("ta1", format!("k{k}_m{m}")),
+                &(m, &f),
+                |b, (m, f)| b.iter(|| ta::ta1(black_box(*m), f).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("ta2", format!("k{k}_m{m}")),
+                &(m, &f),
+                |b, (m, f)| b.iter(|| ta::ta2(black_box(*m), f).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_istar_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("istar_and_bound");
+    for &k in &[25usize, 1000, 100_000] {
+        let f = fleet(k, 2);
+        group.bench_with_input(BenchmarkId::new("i_star", k), &f, |b, f| {
+            b.iter(|| istar::i_star(black_box(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("lower_bound", k), &f, |b, f| {
+            b.iter(|| bound::lower_bound(black_box(5000), f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fleet_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_construction");
+    for &k in &[25usize, 1000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(1.0..5.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &costs, |b, costs| {
+            b.iter(|| EdgeFleet::from_unit_costs(black_box(costs.clone())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ta1_vs_ta2,
+    bench_istar_and_bound,
+    bench_fleet_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Ablations A1 and A4: coding-layer throughput.
+//!
+//! * A1 — the headline decoding claim: the structured code decodes with
+//!   `m` subtractions while a generic full-rank code needs Gaussian
+//!   elimination. `decode_fast` vs `decode_general` quantifies the gap.
+//! * A4 — field choice: GF(2⁶¹−1) (exact ITS) vs `f64` (numerical mode)
+//!   for encoding and the device-side matvec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use scec_coding::{decode, verify, CodeDesign, Encoder};
+use scec_linalg::{Fp61, Matrix, Scalar, Vector};
+
+fn setup<F: Scalar>(m: usize, r: usize, l: usize) -> (CodeDesign, Matrix<F>, Vector<F>, Vector<F>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let design = CodeDesign::new(m, r).unwrap();
+    let a = Matrix::<F>::random(m, l, &mut rng);
+    let x = Vector::<F>::random(l, &mut rng);
+    let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+    let partials: Vec<Vector<F>> = store
+        .shares()
+        .iter()
+        .map(|s| s.compute(&x).unwrap())
+        .collect();
+    (design, a, x, decode::stack_partials(&partials))
+}
+
+fn bench_decode_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_ablation");
+    group.sample_size(20);
+    for &m in &[50usize, 100, 200] {
+        let r = m / 4;
+        let (design, _a, _x, btx) = setup::<Fp61>(m, r, 32);
+        group.bench_with_input(BenchmarkId::new("fast_m_subtractions", m), &m, |b, _| {
+            b.iter(|| decode::decode_fast(black_box(&design), black_box(&btx)).unwrap())
+        });
+        let bmat = design.encoding_matrix::<Fp61>();
+        group.bench_with_input(BenchmarkId::new("general_gaussian", m), &m, |b, _| {
+            b.iter(|| decode::decode_general(black_box(&design), &bmat, black_box(&btx)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_field_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_ablation");
+    group.sample_size(20);
+    for &(m, l) in &[(100usize, 128usize), (500, 128), (100, 1024)] {
+        let r = m / 4;
+        let mut rng = StdRng::seed_from_u64(9);
+        let design = CodeDesign::new(m, r).unwrap();
+        let a_fp = Matrix::<Fp61>::random(m, l, &mut rng);
+        let a_f64 = Matrix::<f64>::random(m, l, &mut rng);
+        let enc = Encoder::new(design.clone());
+        group.bench_with_input(
+            BenchmarkId::new("encode_fp61", format!("m{m}_l{l}")),
+            &a_fp,
+            |b, a| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| enc.encode(black_box(a), &mut rng).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode_f64", format!("m{m}_l{l}")),
+            &a_f64,
+            |b, a| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| enc.encode(black_box(a), &mut rng).unwrap())
+            },
+        );
+        // Device-side matvec on the largest share.
+        let x_fp = Vector::<Fp61>::random(l, &mut rng);
+        let store = enc.encode(&a_fp, &mut rng).unwrap();
+        let share = store.share(2).unwrap().clone();
+        group.bench_with_input(
+            BenchmarkId::new("device_matvec_fp61", format!("m{m}_l{l}")),
+            &share,
+            |b, s| b.iter(|| s.compute(black_box(&x_fp)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify_and_densify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    for &m in &[20usize, 50] {
+        let design = CodeDesign::new(m, m / 4).unwrap();
+        let b_mat = design.encoding_matrix::<Fp61>();
+        group.bench_with_input(BenchmarkId::new("verify_structured", m), &m, |b, _| {
+            b.iter(|| verify::verify(black_box(&design), black_box(&b_mat)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("densify", m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| verify::densify::<Fp61, _>(black_box(&design), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_vs_dense_b(c: &mut Criterion) {
+    // Eq. (8)'s B has 2m + r non-zeros: multiplying through the sparse
+    // form is O(m) instead of O(m^2).
+    let mut group = c.benchmark_group("sparse_encoding_matrix");
+    group.sample_size(10);
+    for &m in &[200usize, 500] {
+        let r = m / 4;
+        let mut rng = StdRng::seed_from_u64(11);
+        let design = CodeDesign::new(m, r).unwrap();
+        let t = Matrix::<Fp61>::random(m + r, 8, &mut rng);
+        let dense = design.encoding_matrix::<Fp61>();
+        let sparse = design.encoding_matrix_sparse::<Fp61>();
+        group.bench_with_input(BenchmarkId::new("dense_matmul", m), &m, |b, _| {
+            b.iter(|| dense.matmul(black_box(&t)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_matmul", m), &m, |b, _| {
+            b.iter(|| sparse.matmul(black_box(&t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_ablation,
+    bench_encode_field_ablation,
+    bench_verify_and_densify,
+    bench_sparse_vs_dense_b
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! End-to-end pipeline benches: allocation → distribution → query →
+//! recovery, plus the event-simulated completion time (ablation A3) and a
+//! secure-vs-local comparison that grounds the paper's "coding beats
+//! homomorphic encryption" motivation (the secure query should cost a
+//! small constant factor over the plain local matvec, not the ~10³×
+//! reported for HE).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_coding::CodeDesign;
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix, Vector};
+use scec_sim::event::{DeviceProfile, NetworkModel, ProtocolSimulator};
+
+fn fleet(k: usize) -> EdgeFleet {
+    let mut rng = StdRng::seed_from_u64(5);
+    EdgeFleet::from_unit_costs((0..k).map(|_| rng.gen_range(1.0..5.0)).collect()).unwrap()
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    for &(m, l) in &[(100usize, 128usize), (500, 256)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("build_and_distribute", format!("m{m}_l{l}")),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    let sys = ScecSystem::build(
+                        a.clone(),
+                        fleet(25),
+                        AllocationStrategy::Mcscec,
+                        &mut rng,
+                    )
+                    .unwrap();
+                    sys.distribute(&mut rng).unwrap()
+                })
+            },
+        );
+        let sys =
+            ScecSystem::build(a.clone(), fleet(25), AllocationStrategy::Mcscec, &mut rng).unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("secure_query", format!("m{m}_l{l}")),
+            &deployment,
+            |b, d| b.iter(|| d.query(black_box(&x)).unwrap()),
+        );
+        // The plain local matvec, for the overhead-factor comparison.
+        group.bench_with_input(
+            BenchmarkId::new("local_matvec", format!("m{m}_l{l}")),
+            &a,
+            |b, a| b.iter(|| a.matvec(black_box(&x)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_completion_time_sim(c: &mut Criterion) {
+    // A3: the event simulator itself (per simulated query), across r.
+    let mut group = c.benchmark_group("completion_time");
+    let m = 5000;
+    for &r in &[250usize, 1000, 5000] {
+        let design = CodeDesign::new(m, r).unwrap();
+        let model = NetworkModel::homogeneous(
+            design.device_count(),
+            DeviceProfile::default_edge(),
+            1e-9,
+        )
+        .unwrap();
+        let sim = ProtocolSimulator::new(model);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &sim, |b, sim| {
+            b.iter(|| sim.simulate(black_box(&design), 256).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_completion_time_sim);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Benches for the post-paper extensions: straggler-tolerant decoding
+//! (A5), the price of collusion resistance (A6), and the threaded
+//! runtime's end-to-end query latency.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_coding::{CodeDesign, StragglerCode, TPrivateCode, TaggedResponse};
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix, Vector};
+use scec_runtime::LocalCluster;
+
+fn bench_straggler_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("straggler_decode");
+    group.sample_size(20);
+    for &m in &[50usize, 100] {
+        let r = m / 4;
+        let s = r;
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = CodeDesign::new(m, r).unwrap();
+        let code = StragglerCode::<Fp61>::new(base, s, &mut rng).unwrap();
+        let a = Matrix::<Fp61>::random(m, 16, &mut rng);
+        let x = Vector::<Fp61>::random(16, &mut rng);
+        let store = code.encode(&a, &mut rng).unwrap();
+        let responses: Vec<TaggedResponse<Fp61>> = store
+            .shares()
+            .iter()
+            .flat_map(|sh| sh.compute(&x).unwrap())
+            .collect();
+        // Fast path: all base rows present.
+        group.bench_with_input(BenchmarkId::new("all_rows_fast_path", m), &m, |b, _| {
+            b.iter(|| code.decode(black_box(&responses)).unwrap())
+        });
+        // General path: drop the first s responses (base rows missing).
+        let partial = &responses[s..];
+        group.bench_with_input(BenchmarkId::new("quorum_gaussian_path", m), &m, |b, _| {
+            b.iter(|| code.decode(black_box(partial)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_collusion_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collusion_ablation");
+    group.sample_size(20);
+    let m = 100;
+    let v = 10;
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::<Fp61>::random(m, 16, &mut rng);
+    let x = Vector::<Fp61>::random(16, &mut rng);
+    for &t in &[1usize, 2, 4] {
+        let code = TPrivateCode::<Fp61>::new(m, t, v, &mut rng).unwrap();
+        let store = code.encode(&a, &mut rng).unwrap();
+        let mut btx = Vec::new();
+        for share in store.shares() {
+            btx.extend(share.compute(&x).unwrap().into_vec());
+        }
+        let btx = Vector::from_vec(btx);
+        group.bench_with_input(BenchmarkId::new("t_private_decode", t), &t, |b, _| {
+            b.iter(|| code.decode(black_box(&btx)).unwrap())
+        });
+    }
+    // The t = 1 structured design's O(m) decoder, as the baseline.
+    let design = CodeDesign::new(m, v).unwrap();
+    let store = scec_coding::Encoder::new(design.clone())
+        .encode(&a, &mut rng)
+        .unwrap();
+    let partials: Vec<Vector<Fp61>> = store
+        .shares()
+        .iter()
+        .map(|s| s.compute(&x).unwrap())
+        .collect();
+    let btx = scec_coding::decode::stack_partials(&partials);
+    group.bench_function("structured_fast_decode_baseline", |b| {
+        b.iter(|| scec_coding::decode::decode_fast(black_box(&design), black_box(&btx)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_runtime_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_query");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    for &(m, l) in &[(50usize, 64usize), (200, 128)] {
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+        let system =
+            ScecSystem::build(a, fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+        let cluster = LocalCluster::launch(&system, &mut rng).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("threaded_query", format!("m{m}_l{l}")),
+            &cluster,
+            |b, cl| b.iter(|| cl.query(black_box(&x)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_straggler_decode,
+    bench_collusion_decode,
+    bench_runtime_query
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Wire-codec throughput: serialize/deserialize coded shares at the
+//! sizes a cloud would actually ship.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use scec_coding::{CodeDesign, DeviceShare, Encoder};
+use scec_linalg::{Fp61, Matrix};
+use scec_wire::{decode_framed, encode_framed, tag, WireEncode};
+
+fn bench_share_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    group.sample_size(20);
+    for &(m, l) in &[(100usize, 128usize), (500, 256)] {
+        let r = m / 4;
+        let mut rng = StdRng::seed_from_u64(5);
+        let design = CodeDesign::new(m, r).unwrap();
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let store = Encoder::new(design).encode(&a, &mut rng).unwrap();
+        let share = store.share(2).unwrap().clone();
+        let bytes = encode_framed(&share, tag::DEVICE_SHARE);
+        group.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_share", format!("m{m}_l{l}")),
+            &share,
+            |b, s| b.iter(|| encode_framed(black_box(s), tag::DEVICE_SHARE)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_share", format!("m{m}_l{l}")),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    decode_framed::<DeviceShare<Fp61>>(black_box(bytes), tag::DEVICE_SHARE)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_matrix_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_matrix");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    for &n in &[64usize, 256] {
+        let m = Matrix::<Fp61>::random(n, n, &mut rng);
+        let bytes = m.to_bytes();
+        group.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &m, |b, m| {
+            b.iter(|| m.to_bytes())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            use scec_wire::WireDecode;
+            b.iter(|| Matrix::<Fp61>::from_bytes(black_box(bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_share_codec, bench_matrix_codec);
+criterion_main!(benches);

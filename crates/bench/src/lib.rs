@@ -1,0 +1,5 @@
+//! Criterion benchmark crate for the SCEC workspace (see `benches/`).
+//!
+//! One bench target per paper figure plus the ablations indexed in
+//! `DESIGN.md`: allocation algorithm runtime (A2), coding/decoding
+//! throughput (A1, A4), and the end-to-end pipeline.

@@ -1,0 +1,705 @@
+//! The CLI's commands, as testable library functions.
+//!
+//! All payloads are GF(2⁶¹−1) (integers in CSV files); shares on disk use
+//! the framed `scec-wire` format. A deployment directory contains
+//! `design.bin` (the [`CodeDesign`]) plus one `device-<j>.share` per
+//! participating device.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use scec_allocation::{bound, EdgeFleet};
+use scec_coding::{decode, CodeDesign, DeviceShare, StragglerCode, StragglerShare, TPrivateCode};
+use scec_linalg::Vector;
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::Fp61;
+use scec_sim::adversary::PassiveAdversary;
+use scec_wire::{decode_framed, encode_framed, tag};
+
+use crate::csv;
+use crate::error::{Error, Result};
+
+/// `scec plan`: show the optimal allocation for `m` data rows over a
+/// fleet, next to the lower bound and baselines.
+///
+/// # Errors
+///
+/// Returns usage/domain errors for invalid fleets or `m = 0`.
+pub fn plan(m: usize, costs: &[f64]) -> Result<String> {
+    let fleet = EdgeFleet::from_unit_costs(costs.to_vec())?;
+    let plan = scec_allocation::ta::ta1(m, &fleet)?;
+    let lb = bound::lower_bound(m, &fleet)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "MCSCEC allocation for m = {m}, k = {}", fleet.len());
+    let _ = writeln!(out, "  random rows r   = {}", plan.random_rows());
+    let _ = writeln!(out, "  devices used i  = {}", plan.device_count());
+    let _ = writeln!(out, "  loads           = {:?}", plan.loads());
+    let _ = writeln!(out, "  total cost      = {:.4}", plan.total_cost());
+    let _ = writeln!(out, "  lower bound     = {:.4}", lb);
+    let _ = writeln!(
+        out,
+        "  gap to bound    = {:.4}%",
+        (plan.total_cost() / lb - 1.0) * 100.0
+    );
+    for (name, p) in [
+        ("MaxNode", scec_allocation::baselines::max_node(m, &fleet)?),
+        ("MinNode", scec_allocation::baselines::min_node(m, &fleet)?),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {name:<8} cost   = {:.4}  (+{:.2}%)",
+            p.total_cost(),
+            (p.total_cost() / plan.total_cost() - 1.0) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+/// `scec deploy`: encode a CSV data matrix and write per-device share
+/// files plus the design descriptor into `out_dir`. With
+/// `redundancy > 0`, deploys a straggler-tolerant code instead: extra
+/// random rows on standby devices, tagged shares on disk.
+///
+/// # Errors
+///
+/// Propagates CSV, I/O, and domain failures.
+pub fn deploy(
+    data_path: &Path,
+    costs: &[f64],
+    out_dir: &Path,
+    seed: u64,
+    redundancy: usize,
+) -> Result<String> {
+    let a = csv::read_matrix_fp61(data_path)?;
+    let fleet = EdgeFleet::from_unit_costs(costs.to_vec())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
+    std::fs::create_dir_all(out_dir)?;
+    let mut out = String::new();
+    let mut total_bytes = 0;
+    let (shares_written, total_rows, devices) = if redundancy > 0 {
+        let code = StragglerCode::<Fp61>::new(system.design().clone(), redundancy, &mut rng)?;
+        let store = code.encode(&a, &mut rng)?;
+        std::fs::write(
+            out_dir.join("straggler-design.bin"),
+            encode_framed(&code, tag::STRAGGLER_SHARE),
+        )?;
+        for share in store.shares() {
+            let bytes = encode_framed(share, tag::STRAGGLER_SHARE);
+            total_bytes += bytes.len();
+            std::fs::write(
+                out_dir.join(format!("device-{}.share", share.device())),
+                bytes,
+            )?;
+        }
+        let _ = writeln!(
+            out,
+            "straggler mode: s = {} redundant rows on {} standby devices; any {} of {} rows decode",
+            redundancy,
+            code.standby_devices(),
+            code.rows_needed(),
+            code.total_rows()
+        );
+        (store.shares().len(), code.total_rows(), code.device_count())
+    } else {
+        let deployment = system.distribute(&mut rng)?;
+        std::fs::write(
+            out_dir.join("design.bin"),
+            encode_framed(system.design(), tag::DEVICE_SHARE),
+        )?;
+        for device in deployment.devices() {
+            let bytes = encode_framed(device.share(), tag::DEVICE_SHARE);
+            total_bytes += bytes.len();
+            std::fs::write(
+                out_dir.join(format!("device-{}.share", device.device())),
+                bytes,
+            )?;
+        }
+        (
+            deployment.devices().len(),
+            system.design().total_rows(),
+            system.plan().device_count(),
+        )
+    };
+    let _ = writeln!(
+        out,
+        "deployed m = {} rows as {} coded rows over {} devices",
+        system.design().data_rows(),
+        total_rows,
+        devices
+    );
+    let _ = writeln!(
+        out,
+        "wrote {} share files ({} bytes) to {}",
+        shares_written,
+        total_bytes,
+        out_dir.display()
+    );
+    let _ = writeln!(out, "allocation cost = {:.4}", system.plan().total_cost());
+    Ok(out)
+}
+
+fn load_deployment(shares_dir: &Path) -> Result<(CodeDesign, Vec<DeviceShare<Fp61>>)> {
+    let design_bytes = std::fs::read(shares_dir.join("design.bin"))?;
+    let design: CodeDesign = decode_framed(&design_bytes, tag::DEVICE_SHARE)?;
+    let mut shares = Vec::with_capacity(design.device_count());
+    for j in 1..=design.device_count() {
+        let bytes = std::fs::read(shares_dir.join(format!("device-{j}.share")))?;
+        let share: DeviceShare<Fp61> = decode_framed(&bytes, tag::DEVICE_SHARE)?;
+        if share.device() != j {
+            return Err(Error::Domain(format!(
+                "share file device-{j}.share claims device {}",
+                share.device()
+            )));
+        }
+        if share.load() != design.device_load(j)? {
+            return Err(Error::Domain(format!(
+                "share file device-{j}.share has {} rows, design expects {}",
+                share.load(),
+                design.device_load(j)?
+            )));
+        }
+        shares.push(share);
+    }
+    Ok((design, shares))
+}
+
+/// `scec deploy-private`: deploy with a `t`-collusion-resistant code
+/// (dense blinding, load cap `v`) instead of the structured design.
+///
+/// # Errors
+///
+/// Propagates CSV, I/O, and domain failures.
+pub fn deploy_private(
+    data_path: &Path,
+    out_dir: &Path,
+    seed: u64,
+    threshold: usize,
+    load_cap: usize,
+) -> Result<String> {
+    let a = csv::read_matrix_fp61(data_path)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let code = TPrivateCode::<Fp61>::new(a.nrows(), threshold, load_cap, &mut rng)?;
+    let store = code.encode(&a, &mut rng)?;
+    std::fs::create_dir_all(out_dir)?;
+    std::fs::write(
+        out_dir.join("tprivate-design.bin"),
+        encode_framed(&code, tag::DEVICE_SHARE),
+    )?;
+    let mut total_bytes = 0;
+    for share in store.shares() {
+        // Reuse the plain share container: device index + first row +
+        // payload fully describe a t-private share.
+        let wire_share = DeviceShare::from_parts(
+            share.device(),
+            share.first_row(),
+            share.coded().clone(),
+        );
+        let bytes = encode_framed(&wire_share, tag::DEVICE_SHARE);
+        total_bytes += bytes.len();
+        std::fs::write(
+            out_dir.join(format!("device-{}.share", share.device())),
+            bytes,
+        )?;
+    }
+    Ok(format!(
+        "deployed {}x{} data {}-privately: {} devices (load cap {}), {} coded rows, {} bytes -> {}
+",
+        a.nrows(),
+        a.ncols(),
+        threshold,
+        code.device_count(),
+        load_cap,
+        code.total_rows(),
+        total_bytes,
+        out_dir.display()
+    ))
+}
+
+fn load_private_deployment(
+    shares_dir: &Path,
+) -> Result<(TPrivateCode<Fp61>, Vec<DeviceShare<Fp61>>)> {
+    let code_bytes = std::fs::read(shares_dir.join("tprivate-design.bin"))?;
+    let code: TPrivateCode<Fp61> = decode_framed(&code_bytes, tag::DEVICE_SHARE)?;
+    let mut shares = Vec::with_capacity(code.device_count());
+    for j in 1..=code.device_count() {
+        let bytes = std::fs::read(shares_dir.join(format!("device-{j}.share")))?;
+        let share: DeviceShare<Fp61> = decode_framed(&bytes, tag::DEVICE_SHARE)?;
+        let expected = code.device_rows(j)?;
+        if share.device() != j
+            || share.first_row() != expected.start
+            || share.load() != expected.len()
+        {
+            return Err(Error::Domain(format!(
+                "share file device-{j}.share does not match the t-private design"
+            )));
+        }
+        shares.push(share);
+    }
+    Ok((code, shares))
+}
+
+/// `scec query`: load a deployment directory, compute `y = A·x` securely
+/// (devices simulated locally from their share files), write `y` as CSV.
+/// Straggler deployments decode via the tagged quorum path.
+///
+/// # Errors
+///
+/// Propagates CSV, I/O, wire, and decode failures.
+pub fn query(shares_dir: &Path, input: &Path, output: &Path) -> Result<String> {
+    let x = csv::read_vector_fp61(input)?;
+    if shares_dir.join("tprivate-design.bin").exists() {
+        let (code, shares) = load_private_deployment(shares_dir)?;
+        let mut btx = Vec::new();
+        for share in &shares {
+            btx.extend(share.compute(&x)?.into_vec());
+        }
+        let y = code.decode(&Vector::from_vec(btx))?;
+        csv::write_vector_fp61(output, &y)?;
+        return Ok(format!(
+            "queried {} devices ({}-private mode), decoded {} values -> {}\n",
+            shares.len(),
+            code.threshold(),
+            y.len(),
+            output.display()
+        ));
+    }
+    if shares_dir.join("straggler-design.bin").exists() {
+        let (code, shares) = load_straggler_deployment(shares_dir)?;
+        let responses: Vec<_> = shares
+            .iter()
+            .map(|s| s.compute(&x))
+            .collect::<std::result::Result<Vec<_>, _>>()?
+            .into_iter()
+            .flatten()
+            .collect();
+        let y = code.decode(&responses)?;
+        csv::write_vector_fp61(output, &y)?;
+        return Ok(format!(
+            "queried {} devices (straggler mode), decoded {} values -> {}\n",
+            shares.len(),
+            y.len(),
+            output.display()
+        ));
+    }
+    let (design, shares) = load_deployment(shares_dir)?;
+    let partials: Vec<_> = shares
+        .iter()
+        .map(|s| s.compute(&x))
+        .collect::<std::result::Result<_, _>>()?;
+    let btx = decode::stack_partials(&partials);
+    let y = decode::decode_fast(&design, &btx)?;
+    csv::write_vector_fp61(output, &y)?;
+    Ok(format!(
+        "queried {} devices, decoded {} values with {} subtractions -> {}\n",
+        shares.len(),
+        y.len(),
+        design.data_rows(),
+        output.display()
+    ))
+}
+
+fn load_straggler_deployment(
+    shares_dir: &Path,
+) -> Result<(StragglerCode<Fp61>, Vec<StragglerShare<Fp61>>)> {
+    let code_bytes = std::fs::read(shares_dir.join("straggler-design.bin"))?;
+    let code: StragglerCode<Fp61> = decode_framed(&code_bytes, tag::STRAGGLER_SHARE)?;
+    let mut shares = Vec::with_capacity(code.device_count());
+    for j in 1..=code.device_count() {
+        let bytes = std::fs::read(shares_dir.join(format!("device-{j}.share")))?;
+        let share: StragglerShare<Fp61> = decode_framed(&bytes, tag::STRAGGLER_SHARE)?;
+        if share.device() != j || share.rows() != code.device_rows(j)?.as_slice() {
+            return Err(Error::Domain(format!(
+                "share file device-{j}.share does not match the straggler design"
+            )));
+        }
+        shares.push(share);
+    }
+    Ok((code, shares))
+}
+
+/// `scec audit`: attack every share file in a deployment directory with
+/// the passive adversary (and, with `coalitions > 1`, every coalition up
+/// to that size) and report the verdicts.
+///
+/// The structured design is expected to FAIL coalition audits — the
+/// paper's security model is explicitly non-colluding, and the audit
+/// makes that boundary visible to operators.
+///
+/// # Errors
+///
+/// Propagates I/O/wire failures; an insecure share is reported in the
+/// output text (and flagged via the bool), not as an `Err`.
+pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String, bool)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Straggler deployments: audit every device block (base + standby).
+    if shares_dir.join("straggler-design.bin").exists() {
+        let (code, shares) = load_straggler_deployment(shares_dir)?;
+        let adversary = PassiveAdversary::for_dimensions(
+            code.base().data_rows(),
+            code.base().random_rows(),
+        )
+        .with_candidates(4);
+        let mut out = String::new();
+        let mut all_secure = true;
+        for share in &shares {
+            let block = code.device_block(share.device())?;
+            let verdict = adversary
+                .attack_observation(share.device(), &block, share.coded(), &mut rng)
+                .map_err(|e| Error::Domain(e.to_string()))?;
+            let ok = verdict.is_information_theoretic_secure();
+            all_secure &= ok;
+            let _ = writeln!(
+                out,
+                "device {} (straggler mode): leaked = {} -> {}",
+                share.device(),
+                verdict.leaked_combinations,
+                if ok { "SECURE" } else { "LEAK" }
+            );
+        }
+        let _ = writeln!(out, "audit verdict: {}", if all_secure { "SECURE" } else { "LEAK" });
+        return Ok((out, all_secure));
+    }
+    // t-private deployments: audit singles and, if asked, coalitions.
+    if shares_dir.join("tprivate-design.bin").exists() {
+        let (code, shares) = load_private_deployment(shares_dir)?;
+        let adversary =
+            PassiveAdversary::for_dimensions(code.data_rows(), code.random_rows())
+                .with_candidates(4);
+        let blocks: Vec<_> = (1..=code.device_count())
+            .map(|j| code.device_block(j))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut out = String::new();
+        let mut all_secure = true;
+        for share in &shares {
+            let verdict = adversary
+                .attack_observation(
+                    share.device(),
+                    &blocks[share.device() - 1],
+                    share.coded(),
+                    &mut rng,
+                )
+                .map_err(|e| Error::Domain(e.to_string()))?;
+            let ok = verdict.is_information_theoretic_secure();
+            all_secure &= ok;
+            let _ = writeln!(
+                out,
+                "device {} ({}-private mode): leaked = {} -> {}",
+                share.device(),
+                code.threshold(),
+                verdict.leaked_combinations,
+                if ok { "SECURE" } else { "LEAK" }
+            );
+        }
+        if coalitions > 1 {
+            // Pairwise coalitions up to the requested size (capped at the
+            // code's threshold-relevant pairs for output brevity).
+            for j1 in 1..=code.device_count() {
+                for j2 in (j1 + 1)..=code.device_count() {
+                    let members = vec![
+                        (j1, &blocks[j1 - 1], shares[j1 - 1].coded()),
+                        (j2, &blocks[j2 - 1], shares[j2 - 1].coded()),
+                    ];
+                    let verdict = adversary
+                        .attack_coalition(&members, &mut rng)
+                        .map_err(|e| Error::Domain(e.to_string()))?;
+                    let ok = verdict.is_information_theoretic_secure();
+                    all_secure &= ok;
+                    let _ = writeln!(
+                        out,
+                        "coalition [{j1}, {j2}]: leaked = {} -> {}",
+                        verdict.leaked_combinations,
+                        if ok { "SECURE" } else { "LEAK" }
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "audit verdict: {}", if all_secure { "SECURE" } else { "LEAK" });
+        return Ok((out, all_secure));
+    }
+    let (design, shares) = load_deployment(shares_dir)?;
+    let adversary = PassiveAdversary::new(design.clone()).with_candidates(4);
+    let mut out = String::new();
+    let mut all_secure = true;
+    for share in &shares {
+        let verdict = adversary
+            .attack(share, &mut rng)
+            .map_err(|e| Error::Domain(e.to_string()))?;
+        let ok = verdict.is_information_theoretic_secure();
+        all_secure &= ok;
+        let _ = writeln!(
+            out,
+            "device {}: leaked = {}, consistent candidates = {}/{} -> {}",
+            verdict.device,
+            verdict.leaked_combinations,
+            verdict.candidates_consistent,
+            verdict.candidates_tested,
+            if ok { "SECURE" } else { "LEAK" }
+        );
+    }
+    if coalitions > 1 {
+        let b = design.encoding_matrix::<Fp61>();
+        let blocks: Vec<_> = (1..=design.device_count())
+            .map(|j| {
+                let range = design.device_row_range(j).expect("j in range");
+                b.row_block(range.start, range.end).expect("in range")
+            })
+            .collect();
+        let n = design.device_count();
+        // Enumerate all coalitions of size 2..=coalitions.
+        fn enumerate(
+            from: usize,
+            n: usize,
+            max: usize,
+            coalition: &mut Vec<usize>,
+            sink: &mut Vec<Vec<usize>>,
+        ) {
+            if coalition.len() >= 2 {
+                sink.push(coalition.clone());
+            }
+            if coalition.len() == max {
+                return;
+            }
+            for j in from..=n {
+                coalition.push(j);
+                enumerate(j + 1, n, max, coalition, sink);
+                coalition.pop();
+            }
+        }
+        let mut sink = Vec::new();
+        enumerate(1, n, coalitions, &mut Vec::new(), &mut sink);
+        for members in sink {
+            let parts: Vec<(usize, &scec_linalg::Matrix<Fp61>, &scec_linalg::Matrix<Fp61>)> =
+                members
+                    .iter()
+                    .map(|&j| (j, &blocks[j - 1], shares[j - 1].coded()))
+                    .collect();
+            let verdict = adversary
+                .attack_coalition(&parts, &mut rng)
+                .map_err(|e| Error::Domain(e.to_string()))?;
+            let ok = verdict.is_information_theoretic_secure();
+            all_secure &= ok;
+            let _ = writeln!(
+                out,
+                "coalition {:?}: leaked = {} -> {}",
+                members,
+                verdict.leaked_combinations,
+                if ok { "SECURE" } else { "LEAK" }
+            );
+        }
+    }
+    let _ = writeln!(out, "audit verdict: {}", if all_secure { "SECURE" } else { "LEAK" });
+    Ok((out, all_secure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scec_linalg::Matrix;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scec_cli_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn plan_reports_allocation() {
+        let out = plan(100, &[1.0, 1.5, 2.0, 4.0]).unwrap();
+        assert!(out.contains("random rows"));
+        assert!(out.contains("lower bound"));
+        assert!(plan(0, &[1.0, 2.0]).is_err());
+        assert!(plan(10, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn deploy_query_audit_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        // Write a small data matrix and query vector.
+        let data_path = dir.join("a.csv");
+        std::fs::write(&data_path, "1,2,3\n4,5,6\n7,8,9\n10,11,12\n").unwrap();
+        let shares_dir = dir.join("shares");
+        let out = deploy(&data_path, &[1.0, 1.5, 2.0], &shares_dir, 7, 0).unwrap();
+        assert!(out.contains("deployed m = 4 rows"));
+        assert!(shares_dir.join("design.bin").exists());
+        assert!(shares_dir.join("device-1.share").exists());
+
+        let x_path = dir.join("x.csv");
+        std::fs::write(&x_path, "1\n1\n1\n").unwrap();
+        let y_path = dir.join("y.csv");
+        let out = query(&shares_dir, &x_path, &y_path).unwrap();
+        assert!(out.contains("decoded 4 values"));
+        // y = A·[1,1,1] = row sums.
+        let y = csv::read_vector_fp61(&y_path).unwrap();
+        assert_eq!(
+            y.as_slice().iter().map(|v| v.residue()).collect::<Vec<_>>(),
+            vec![6, 15, 24, 33]
+        );
+
+        let (audit_out, secure) = audit(&shares_dir, 1, 1).unwrap();
+        assert!(secure, "{audit_out}");
+        assert!(audit_out.contains("audit verdict: SECURE"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_share_file_is_rejected() {
+        let dir = temp_dir("corrupt");
+        let data_path = dir.join("a.csv");
+        std::fs::write(&data_path, "1,2\n3,4\n").unwrap();
+        let shares_dir = dir.join("shares");
+        deploy(&data_path, &[1.0, 2.0, 3.0], &shares_dir, 3, 0).unwrap();
+        // Truncate one share file.
+        let victim = shares_dir.join("device-1.share");
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        let x_path = dir.join("x.csv");
+        std::fs::write(&x_path, "1\n1\n").unwrap();
+        assert!(query(&shares_dir, &x_path, &dir.join("y.csv")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn swapped_share_files_are_detected() {
+        let dir = temp_dir("swap");
+        let data_path = dir.join("a.csv");
+        std::fs::write(&data_path, "1,2\n3,4\n5,6\n").unwrap();
+        let shares_dir = dir.join("shares");
+        deploy(&data_path, &[1.0, 2.0, 3.0, 4.0], &shares_dir, 5, 0).unwrap();
+        // Swap device 1 and 2 share files: the loader must notice the
+        // claimed index mismatch.
+        let a = std::fs::read(shares_dir.join("device-1.share")).unwrap();
+        let b = std::fs::read(shares_dir.join("device-2.share")).unwrap();
+        std::fs::write(shares_dir.join("device-1.share"), &b).unwrap();
+        std::fs::write(shares_dir.join("device-2.share"), &a).unwrap();
+        let x_path = dir.join("x.csv");
+        std::fs::write(&x_path, "1\n1\n").unwrap();
+        let err = query(&shares_dir, &x_path, &dir.join("y.csv"));
+        assert!(err.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coalition_audit_exposes_the_non_collusion_boundary() {
+        // Single-device audit: SECURE. Pair audit: the structured design
+        // must be flagged (the paper's model assumes no collusion).
+        let dir = temp_dir("coalition");
+        let data_path = dir.join("a.csv");
+        std::fs::write(&data_path, "1,2
+3,4
+5,6
+7,8
+").unwrap();
+        let shares_dir = dir.join("shares");
+        deploy(&data_path, &[1.0, 1.5, 2.0], &shares_dir, 21, 0).unwrap();
+        let (_, single_secure) = audit(&shares_dir, 1, 1).unwrap();
+        assert!(single_secure);
+        let (report, pair_secure) = audit(&shares_dir, 1, 2).unwrap();
+        assert!(!pair_secure, "{report}");
+        assert!(report.contains("coalition"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn straggler_deploy_query_roundtrip() {
+        let dir = temp_dir("straggler");
+        let data_path = dir.join("a.csv");
+        std::fs::write(&data_path, "1,2
+3,4
+5,6
+7,8
+").unwrap();
+        let shares_dir = dir.join("shares");
+        let out = deploy(&data_path, &[1.0, 1.5, 2.0, 2.5], &shares_dir, 9, 2).unwrap();
+        assert!(out.contains("straggler mode"), "{out}");
+        assert!(shares_dir.join("straggler-design.bin").exists());
+        let x_path = dir.join("x.csv");
+        std::fs::write(&x_path, "1
+1
+").unwrap();
+        let y_path = dir.join("y.csv");
+        let out = query(&shares_dir, &x_path, &y_path).unwrap();
+        assert!(out.contains("straggler mode"), "{out}");
+        let y = csv::read_vector_fp61(&y_path).unwrap();
+        assert_eq!(
+            y.as_slice().iter().map(|v| v.residue()).collect::<Vec<_>>(),
+            vec![3, 7, 11, 15]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn straggler_and_private_audits_pass() {
+        let dir = temp_dir("audit_modes");
+        let data_path = dir.join("a.csv");
+        std::fs::write(&data_path, "1,2
+3,4
+5,6
+7,8
+").unwrap();
+
+        let sdir = dir.join("straggler");
+        deploy(&data_path, &[1.0, 1.5, 2.0, 2.5], &sdir, 9, 2).unwrap();
+        let (report, secure) = audit(&sdir, 1, 1).unwrap();
+        assert!(secure, "{report}");
+        assert!(report.contains("straggler mode"));
+
+        let pdir = dir.join("private");
+        deploy_private(&data_path, &pdir, 11, 2, 2).unwrap();
+        let (report, secure) = audit(&pdir, 1, 2).unwrap();
+        assert!(secure, "{report}");
+        assert!(report.contains("2-private mode"));
+        assert!(report.contains("coalition"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn private_deploy_query_roundtrip() {
+        let dir = temp_dir("tprivate");
+        let data_path = dir.join("a.csv");
+        std::fs::write(&data_path, "1,2
+3,4
+5,6
+7,8
+").unwrap();
+        let shares_dir = dir.join("shares");
+        let out = deploy_private(&data_path, &shares_dir, 17, 2, 2).unwrap();
+        assert!(out.contains("2-privately"), "{out}");
+        let x_path = dir.join("x.csv");
+        std::fs::write(&x_path, "1
+1
+").unwrap();
+        let y_path = dir.join("y.csv");
+        let out = query(&shares_dir, &x_path, &y_path).unwrap();
+        assert!(out.contains("2-private mode"), "{out}");
+        let y = csv::read_vector_fp61(&y_path).unwrap();
+        assert_eq!(
+            y.as_slice().iter().map(|v| v.residue()).collect::<Vec<_>>(),
+            vec![3, 7, 11, 15]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_matches_direct_computation() {
+        let dir = temp_dir("direct");
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        // Serialize A to CSV through the writer.
+        let data_path = dir.join("a.csv");
+        csv::write_matrix_fp61(&data_path, &a).unwrap();
+        let shares_dir = dir.join("shares");
+        deploy(&data_path, &[1.0, 1.2, 1.4, 1.6], &shares_dir, 13, 0).unwrap();
+        let x = scec_linalg::Vector::<Fp61>::random(4, &mut rng);
+        let x_path = dir.join("x.csv");
+        csv::write_vector_fp61(&x_path, &x).unwrap();
+        let y_path = dir.join("y.csv");
+        query(&shares_dir, &x_path, &y_path).unwrap();
+        let y = csv::read_vector_fp61(&y_path).unwrap();
+        assert_eq!(y, a.matvec(&x).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

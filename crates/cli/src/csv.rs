@@ -1,0 +1,237 @@
+//! Minimal CSV matrix I/O for the CLI.
+//!
+//! Values are plain decimal numbers separated by commas, one matrix row
+//! per line. Two payload interpretations are supported: `f64` (any float
+//! syntax Rust's parser accepts) and [`Fp61`] (non-negative integers
+//! below the field modulus).
+
+use std::path::Path;
+
+use scec_linalg::{Fp61, Matrix, Vector};
+
+use crate::error::{Error, Result};
+
+fn parse_rows<T>(
+    text: &str,
+    parse: impl Fn(&str, usize) -> Result<T>,
+) -> Result<Vec<Vec<T>>> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row = line
+            .split(',')
+            .map(|cell| parse(cell.trim(), idx + 1))
+            .collect::<Result<Vec<T>>>()?;
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(Error::Csv {
+            line: 0,
+            reason: "no data rows".into(),
+        });
+    }
+    let width = rows[0].len();
+    for (idx, row) in rows.iter().enumerate() {
+        if row.len() != width {
+            return Err(Error::Csv {
+                line: idx + 1,
+                reason: format!("expected {width} cells, found {}", row.len()),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+fn parse_f64(cell: &str, line: usize) -> Result<f64> {
+    cell.parse::<f64>().map_err(|e| Error::Csv {
+        line,
+        reason: format!("bad float {cell:?}: {e}"),
+    })
+}
+
+fn parse_fp61(cell: &str, line: usize) -> Result<Fp61> {
+    let raw: u64 = cell.parse().map_err(|e| Error::Csv {
+        line,
+        reason: format!("bad integer {cell:?}: {e}"),
+    })?;
+    if raw >= scec_linalg::fp::MODULUS {
+        return Err(Error::Csv {
+            line,
+            reason: format!("{raw} exceeds the GF(2^61-1) modulus"),
+        });
+    }
+    Ok(Fp61::new(raw))
+}
+
+/// Parses an `f64` matrix from CSV text.
+///
+/// # Errors
+///
+/// Returns [`Error::Csv`] for unparseable cells or ragged rows.
+pub fn matrix_f64_from_str(text: &str) -> Result<Matrix<f64>> {
+    let rows = parse_rows(text, parse_f64)?;
+    Matrix::from_rows(rows).map_err(|e| Error::Csv {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Parses a GF(2⁶¹−1) matrix from CSV text (non-negative integers).
+///
+/// # Errors
+///
+/// Returns [`Error::Csv`] for unparseable or out-of-range cells.
+pub fn matrix_fp61_from_str(text: &str) -> Result<Matrix<Fp61>> {
+    let rows = parse_rows(text, parse_fp61)?;
+    Matrix::from_rows(rows).map_err(|e| Error::Csv {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Reads a GF(2⁶¹−1) matrix from a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures.
+pub fn read_matrix_fp61(path: &Path) -> Result<Matrix<Fp61>> {
+    matrix_fp61_from_str(&std::fs::read_to_string(path)?)
+}
+
+/// Writes a GF(2⁶¹−1) matrix as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_matrix_fp61(path: &Path, m: &Matrix<Fp61>) -> Result<()> {
+    let mut out = String::new();
+    for row in m.rows_iter() {
+        let cells: Vec<String> = row.iter().map(|v| v.residue().to_string()).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Writes a GF(2⁶¹−1) vector as one-column CSV.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_vector_fp61(path: &Path, v: &Vector<Fp61>) -> Result<()> {
+    let mut out = String::new();
+    for x in v.as_slice() {
+        out.push_str(&x.residue().to_string());
+        out.push('\n');
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Reads a GF(2⁶¹−1) vector (single column, or a single row) from CSV.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures.
+pub fn read_vector_fp61(path: &Path) -> Result<Vector<Fp61>> {
+    let m = read_matrix_fp61(path)?;
+    if m.ncols() == 1 {
+        Ok(m.col(0))
+    } else if m.nrows() == 1 {
+        Ok(Vector::from_vec(m.row(0).to_vec()))
+    } else {
+        Err(Error::Csv {
+            line: 0,
+            reason: format!("expected a vector, found a {}x{} matrix", m.nrows(), m.ncols()),
+        })
+    }
+}
+
+/// Parses a comma-separated list of positive unit costs (for `--costs`).
+///
+/// # Errors
+///
+/// Returns [`Error::Usage`] for unparseable entries.
+pub fn parse_costs(spec: &str) -> Result<Vec<f64>> {
+    spec.split(',')
+        .map(|cell| {
+            cell.trim()
+                .parse::<f64>()
+                .map_err(|e| Error::Usage(format!("bad cost {cell:?}: {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_matrix_parses() {
+        let m = matrix_f64_from_str("1.5, 2\n3, -4.25\n").unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.at(1, 1), -4.25);
+    }
+
+    #[test]
+    fn fp61_matrix_parses_and_validates() {
+        let m = matrix_fp61_from_str("1,2\n3,4\n").unwrap();
+        assert_eq!(m.at(1, 0).residue(), 3);
+        assert!(matrix_fp61_from_str("1,notanumber\n").is_err());
+        assert!(matrix_fp61_from_str(&format!("{}\n", u64::MAX)).is_err());
+        assert!(matrix_fp61_from_str("-1\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let m = matrix_fp61_from_str("# header\n\n1,2\n# mid\n3,4\n").unwrap();
+        assert_eq!(m.shape(), (2, 2));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected_with_line_number() {
+        match matrix_fp61_from_str("1,2\n3\n") {
+            Err(Error::Csv { line: 2, .. }) => {}
+            other => panic!("expected line-2 CSV error, got {other:?}"),
+        }
+        assert!(matrix_fp61_from_str("").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("scec_cli_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csv");
+        let m = matrix_fp61_from_str("10,20,30\n40,50,60\n").unwrap();
+        write_matrix_fp61(&path, &m).unwrap();
+        assert_eq!(read_matrix_fp61(&path).unwrap(), m);
+        let vpath = dir.join("v.csv");
+        let v = Vector::from_vec(vec![Fp61::new(7), Fp61::new(8)]);
+        write_vector_fp61(&vpath, &v).unwrap();
+        assert_eq!(read_vector_fp61(&vpath).unwrap(), v);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vector_shapes() {
+        // Row-shaped vector is accepted too.
+        let dir = std::env::temp_dir().join("scec_cli_csv_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("row.csv");
+        std::fs::write(&path, "1,2,3\n").unwrap();
+        assert_eq!(read_vector_fp61(&path).unwrap().len(), 3);
+        std::fs::write(&path, "1,2\n3,4\n").unwrap();
+        assert!(read_vector_fp61(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_lists() {
+        assert_eq!(parse_costs("1.0, 2.5,3").unwrap(), vec![1.0, 2.5, 3.0]);
+        assert!(parse_costs("1.0,x").is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the CLI.
+
+use std::fmt;
+
+/// A specialized result type for CLI operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by CLI commands.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Bad command-line usage (unknown flag, missing value, bad number).
+    Usage(String),
+    /// A CSV cell could not be parsed, or rows were ragged.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// File-system failure.
+    Io(std::io::Error),
+    /// Wire decoding failed (corrupt or foreign share file).
+    Wire(scec_wire::Error),
+    /// A domain-layer failure (allocation, coding, framework).
+    Domain(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Usage(msg) => write!(f, "usage error: {msg}"),
+            Error::Csv { line, reason } => write!(f, "CSV error at line {line}: {reason}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Wire(e) => write!(f, "share file error: {e}"),
+            Error::Domain(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<scec_wire::Error> for Error {
+    fn from(e: scec_wire::Error) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl From<scec_core::Error> for Error {
+    fn from(e: scec_core::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
+impl From<scec_coding::Error> for Error {
+    fn from(e: scec_coding::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
+impl From<scec_allocation::Error> for Error {
+    fn from(e: scec_allocation::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::Usage("x".into()).to_string().contains("usage"));
+        assert!(Error::Csv { line: 3, reason: "bad".into() }
+            .to_string()
+            .contains("line 3"));
+        assert!(Error::from(scec_wire::Error::BadMagic)
+            .to_string()
+            .contains("share file"));
+        assert!(Error::from(scec_core::Error::EmptyData).to_string().len() > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The `scec` binary: argument parsing over [`scec_cli::commands`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scec_cli::commands;
+use scec_cli::csv::parse_costs;
+use scec_cli::Error;
+
+const USAGE: &str = "\
+scec — secure coded edge computing
+
+USAGE:
+  scec plan   --m <ROWS> --costs <C1,C2,...>
+  scec deploy --data <A.csv> --costs <C1,C2,...> --out <DIR> [--seed N] [--redundancy S]
+  scec deploy-private --data <A.csv> --out <DIR> --threshold T --load-cap V [--seed N]
+  scec query  --shares <DIR> --input <x.csv> --output <y.csv>
+  scec audit  --shares <DIR> [--seed N] [--coalitions T]
+
+Data matrices and vectors are CSV files of integers in GF(2^61 - 1).
+Share files use the framed scec-wire binary format.";
+
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, Error> {
+        let mut flags = std::collections::HashMap::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(Error::Usage(format!("unexpected argument {flag:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| Error::Usage(format!("--{name} needs a value")))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Result<&str, Error> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| Error::Usage(format!("missing required --{name}")))
+    }
+
+    fn get_usize(&self, name: &str) -> Result<usize, Error> {
+        self.get(name)?
+            .parse()
+            .map_err(|e| Error::Usage(format!("bad --{name}: {e}")))
+    }
+
+    fn seed(&self) -> Result<u64, Error> {
+        match self.flags.get("seed") {
+            None => Ok(2019),
+            Some(v) => v
+                .parse()
+                .map_err(|e| Error::Usage(format!("bad --seed: {e}"))),
+        }
+    }
+}
+
+fn run() -> Result<(), Error> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(Error::Usage("no command given".into()));
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "plan" => {
+            let m = args.get_usize("m")?;
+            let costs = parse_costs(args.get("costs")?)?;
+            print!("{}", commands::plan(m, &costs)?);
+        }
+        "deploy" => {
+            let data = PathBuf::from(args.get("data")?);
+            let costs = parse_costs(args.get("costs")?)?;
+            let out = PathBuf::from(args.get("out")?);
+            let redundancy = match args.flags.get("redundancy") {
+                None => 0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --redundancy: {e}")))?,
+            };
+            print!(
+                "{}",
+                commands::deploy(&data, &costs, &out, args.seed()?, redundancy)?
+            );
+        }
+        "deploy-private" => {
+            let data = PathBuf::from(args.get("data")?);
+            let out = PathBuf::from(args.get("out")?);
+            let threshold = args.get_usize("threshold")?;
+            let load_cap = args.get_usize("load-cap")?;
+            print!(
+                "{}",
+                commands::deploy_private(&data, &out, args.seed()?, threshold, load_cap)?
+            );
+        }
+        "query" => {
+            let shares = PathBuf::from(args.get("shares")?);
+            let input = PathBuf::from(args.get("input")?);
+            let output = PathBuf::from(args.get("output")?);
+            print!("{}", commands::query(&shares, &input, &output)?);
+        }
+        "audit" => {
+            let shares = PathBuf::from(args.get("shares")?);
+            let coalitions = match args.flags.get("coalitions") {
+                None => 1,
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --coalitions: {e}")))?,
+            };
+            let (report, secure) = commands::audit(&shares, args.seed()?, coalitions)?;
+            print!("{report}");
+            if !secure {
+                return Err(Error::Domain("audit found an insecure share".into()));
+            }
+        }
+        other => {
+            return Err(Error::Usage(format!("unknown command {other:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the coding layer.
+
+use std::fmt;
+
+/// A specialized result type for coding operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while designing, encoding, or decoding an LCEC.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The design parameters are inconsistent: `m ≥ 1`, `r ≥ 1`, and the
+    /// derived device count `i = ⌈(m+r)/r⌉ ≥ 2` are required.
+    InvalidDesign {
+        /// Data rows requested.
+        m: usize,
+        /// Random rows requested.
+        r: usize,
+        /// Explanation of the violated constraint.
+        reason: &'static str,
+    },
+    /// A device index was out of the design's `1..=i` range (the paper
+    /// numbers devices from 1).
+    UnknownDevice {
+        /// The offending device index.
+        device: usize,
+        /// The number of participating devices.
+        devices: usize,
+    },
+    /// A payload had an unexpected shape (data matrix, randomness block,
+    /// input vector, or stacked intermediate results).
+    PayloadShape {
+        /// What was being processed.
+        what: &'static str,
+        /// Expected dimension.
+        expected: (usize, usize),
+        /// Received dimension.
+        got: (usize, usize),
+    },
+    /// The underlying linear algebra failed (singular encoding matrix in
+    /// the general decoder, shape errors, …).
+    Linalg(scec_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDesign { m, r, reason } => {
+                write!(f, "invalid code design (m = {m}, r = {r}): {reason}")
+            }
+            Error::UnknownDevice { device, devices } => {
+                write!(f, "device {device} outside 1..={devices}")
+            }
+            Error::PayloadShape {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} has shape {}x{}, expected {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scec_linalg::Error> for Error {
+    fn from(e: scec_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::InvalidDesign {
+            m: 0,
+            r: 1,
+            reason: "m must be positive",
+        };
+        assert_eq!(e.to_string(), "invalid code design (m = 0, r = 1): m must be positive");
+        assert_eq!(
+            Error::UnknownDevice { device: 9, devices: 3 }.to_string(),
+            "device 9 outside 1..=3"
+        );
+        let e = Error::PayloadShape {
+            what: "data matrix",
+            expected: (4, 2),
+            got: (3, 2),
+        };
+        assert_eq!(e.to_string(), "data matrix has shape 3x2, expected 4x2");
+        let e = Error::from(scec_linalg::Error::Singular);
+        assert_eq!(e.to_string(), "linear algebra failure: matrix is singular");
+    }
+
+    #[test]
+    fn source_chains_to_linalg() {
+        use std::error::Error as _;
+        let e = Error::from(scec_linalg::Error::Singular);
+        assert!(e.source().is_some());
+        assert!(Error::InvalidDesign { m: 1, r: 1, reason: "x" }.source().is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! Verification of the availability and security conditions.
+//!
+//! These functions check, computationally, exactly what Theorem 3 proves
+//! symbolically:
+//!
+//! * **Availability** (Definition 1): `rank(B) = m + r`, so the user can
+//!   decode.
+//! * **Security** (Definition 2, span form): for every device `j`,
+//!   `dim(L(B_j) ∩ L(λ̄)) = 0` with `λ̄ = [E_m | O]` — no device can form
+//!   any non-zero linear combination of pure data rows.
+//!
+//! The verifier accepts *any* `(m+r) × (m+r)` coefficient matrix carved
+//! into the design's device partition, so it also validates the dense
+//! variants produced by [`densify`] and rejects broken codes in tests.
+
+use rand::Rng;
+
+use scec_linalg::{gauss, span, Matrix, Scalar};
+
+use crate::design::CodeDesign;
+use crate::error::{Error, Result};
+
+/// Outcome of verifying one coefficient matrix against a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Whether `rank(B) = m + r` (Definition 1).
+    pub available: bool,
+    /// Devices (1-based) whose blocks violate the security condition.
+    pub insecure_devices: Vec<usize>,
+}
+
+impl VerifyReport {
+    /// Whether both conditions hold.
+    pub fn is_valid(&self) -> bool {
+        self.available && self.insecure_devices.is_empty()
+    }
+}
+
+/// Checks availability: `rank(B) = m + r`.
+///
+/// # Errors
+///
+/// Returns [`Error::PayloadShape`] when `b` is not `(m+r) × (m+r)`.
+pub fn check_availability<F: Scalar>(design: &CodeDesign, b: &Matrix<F>) -> Result<bool> {
+    let n = design.total_rows();
+    if b.shape() != (n, n) {
+        return Err(Error::PayloadShape {
+            what: "encoding matrix",
+            expected: (n, n),
+            got: b.shape(),
+        });
+    }
+    Ok(b.rank() == n)
+}
+
+/// Checks the security condition for device `j` (1-based):
+/// `dim(L(B_j) ∩ L(λ̄)) = 0`.
+///
+/// # Errors
+///
+/// * [`Error::UnknownDevice`] when `j` is outside `1..=i`;
+/// * [`Error::PayloadShape`] when `b` has the wrong shape.
+pub fn check_device_security<F: Scalar>(
+    design: &CodeDesign,
+    b: &Matrix<F>,
+    j: usize,
+) -> Result<bool> {
+    let n = design.total_rows();
+    if b.shape() != (n, n) {
+        return Err(Error::PayloadShape {
+            what: "encoding matrix",
+            expected: (n, n),
+            got: b.shape(),
+        });
+    }
+    let range = design.device_row_range(j)?;
+    let block = b.row_block(range.start, range.end)?;
+    let lambda = span::data_span_basis::<F>(design.data_rows(), design.random_rows());
+    Ok(span::intersection_dim(&block, &lambda) == 0)
+}
+
+/// Verifies both conditions for every device and returns a report.
+///
+/// # Example
+///
+/// ```
+/// use scec_coding::{design::CodeDesign, verify};
+/// use scec_linalg::Fp61;
+///
+/// let design = CodeDesign::new(4, 2)?;
+/// let b = design.encoding_matrix::<Fp61>();
+/// assert!(verify::verify(&design, &b)?.is_valid()); // Theorem 3
+/// # Ok::<(), scec_coding::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::PayloadShape`] when `b` has the wrong shape.
+pub fn verify<F: Scalar>(design: &CodeDesign, b: &Matrix<F>) -> Result<VerifyReport> {
+    let available = check_availability(design, b)?;
+    let mut insecure_devices = Vec::new();
+    for j in 1..=design.device_count() {
+        if !check_device_security(design, b, j)? {
+            insecure_devices.push(j);
+        }
+    }
+    Ok(VerifyReport {
+        available,
+        insecure_devices,
+    })
+}
+
+/// Produces a *dense* secure variant of the design's encoding matrix:
+/// each device block `B_j` is left-multiplied by a random invertible
+/// matrix, which preserves both `rank(B)` and every `L(B_j)` — so the code
+/// stays available and secure — but destroys the 0/1 structure the fast
+/// decoder exploits. Used by the decoding ablation.
+pub fn densify<F: Scalar, R: Rng + ?Sized>(design: &CodeDesign, rng: &mut R) -> Matrix<F> {
+    let mut blocks: Option<Matrix<F>> = None;
+    for j in 1..=design.device_count() {
+        let block = design.device_block::<F>(j).expect("j in range");
+        let v = block.nrows();
+        // Rejection-sample an invertible mixer; over Fp61 or f64 a random
+        // matrix is invertible with overwhelming probability.
+        let mixer = loop {
+            let cand = Matrix::<F>::random(v, v, rng);
+            if gauss::rank(&cand) == v {
+                break cand;
+            }
+        };
+        let mixed = mixer.matmul(&block).expect("shapes agree");
+        blocks = Some(match blocks {
+            None => mixed,
+            Some(acc) => acc.vstack(&mixed).expect("uniform widths"),
+        });
+    }
+    blocks.expect("designs have at least two devices")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_linalg::Fp61;
+
+    #[test]
+    fn structured_design_passes_for_many_shapes() {
+        for (m, r) in [(1usize, 1usize), (3, 2), (5, 2), (7, 3), (6, 6), (10, 1), (8, 4)] {
+            let design = CodeDesign::new(m, r).unwrap();
+            let b = design.encoding_matrix::<Fp61>();
+            let report = verify(&design, &b).unwrap();
+            assert!(report.is_valid(), "m={m} r={r}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn structured_design_passes_over_f64() {
+        let design = CodeDesign::new(6, 3).unwrap();
+        let b = design.encoding_matrix::<f64>();
+        assert!(verify(&design, &b).unwrap().is_valid());
+    }
+
+    #[test]
+    fn identity_code_is_available_but_insecure() {
+        // B = E_{m+r} distributes raw data rows: full rank, zero security.
+        let design = CodeDesign::new(4, 2).unwrap();
+        let b = Matrix::<Fp61>::identity(6);
+        let report = verify(&design, &b).unwrap();
+        assert!(report.available);
+        // Devices 2 and 3 hold pure data rows (device 1's rows are the
+        // first r = 2 identity rows, which are data rows e_0, e_1 here).
+        assert!(!report.insecure_devices.is_empty());
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn rank_deficient_code_fails_availability() {
+        let design = CodeDesign::new(4, 2).unwrap();
+        let b = Matrix::<Fp61>::zeros(6, 6);
+        let report = verify(&design, &b).unwrap();
+        assert!(!report.available);
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn shared_randomness_across_a_device_is_detected() {
+        // Craft a block where device 2 holds A_0 + R_0 and A_1 + R_0: the
+        // difference is A_0 - A_1, a pure data combination.
+        let design = CodeDesign::new(4, 2).unwrap();
+        let mut b = design.encoding_matrix::<Fp61>();
+        // Device 2 rows are stacked rows 2..4 (coded rows for A_0, A_1).
+        // Row 3 normally mixes R_1 (column m+1 = 5); rewire it to R_0.
+        b.set(3, 5, Fp61::new(0)).unwrap();
+        b.set(3, 4, Fp61::new(1)).unwrap();
+        let report = verify(&design, &b).unwrap();
+        assert!(report.insecure_devices.contains(&2), "{report:?}");
+    }
+
+    #[test]
+    fn densified_code_remains_valid() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (m, r) in [(4usize, 2usize), (5, 2), (7, 3)] {
+            let design = CodeDesign::new(m, r).unwrap();
+            let dense = densify::<Fp61, _>(&design, &mut rng);
+            let report = verify(&design, &dense).unwrap();
+            assert!(report.is_valid(), "m={m} r={r}: {report:?}");
+            // And it really is dense: device 1's block now mixes columns.
+            let b0 = dense.row_block(0, r).unwrap();
+            let nonzero = b0.as_flat().iter().filter(|v| !v.is_zero()).count();
+            assert!(nonzero > r, "densify left device 1 sparse");
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let design = CodeDesign::new(4, 2).unwrap();
+        let wrong = Matrix::<Fp61>::identity(5);
+        assert!(matches!(
+            check_availability(&design, &wrong),
+            Err(Error::PayloadShape { .. })
+        ));
+        assert!(matches!(
+            check_device_security(&design, &wrong, 1),
+            Err(Error::PayloadShape { .. })
+        ));
+        assert!(matches!(verify(&design, &wrong), Err(Error::PayloadShape { .. })));
+        let b = design.encoding_matrix::<Fp61>();
+        assert!(matches!(
+            check_device_security(&design, &b, 99),
+            Err(Error::UnknownDevice { .. })
+        ));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let ok = VerifyReport {
+            available: true,
+            insecure_devices: vec![],
+        };
+        assert!(ok.is_valid());
+        let bad = VerifyReport {
+            available: true,
+            insecure_devices: vec![2],
+        };
+        assert!(!bad.is_valid());
+    }
+}

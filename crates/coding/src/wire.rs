@@ -1,0 +1,253 @@
+//! Wire-format implementations for coding-layer types.
+//!
+//! With these, a cloud can serialize each device's share and ship it over
+//! any byte transport; devices deserialize, verify shapes, and serve
+//! queries. See [`scec_wire`] for the codec itself.
+
+use scec_linalg::{Matrix, Scalar};
+use scec_wire::{Error as WireError, Reader, Result as WireResult, WireDecode, WireEncode};
+
+use crate::collusion::TPrivateCode;
+use crate::design::CodeDesign;
+use crate::encode::DeviceShare;
+use crate::straggler::{StragglerCode, StragglerShare, TaggedResponse};
+
+impl WireEncode for CodeDesign {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.data_rows().encode(out);
+        self.random_rows().encode(out);
+    }
+}
+
+impl WireDecode for CodeDesign {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let m = usize::decode(r)?;
+        let rr = usize::decode(r)?;
+        CodeDesign::new(m, rr).map_err(|_| WireError::Malformed("invalid code design parameters"))
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for DeviceShare<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.device().encode(out);
+        self.first_row().encode(out);
+        self.coded().encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for DeviceShare<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let device = usize::decode(r)?;
+        let first_row = usize::decode(r)?;
+        let coded = Matrix::<F>::decode(r)?;
+        if device == 0 {
+            return Err(WireError::Malformed("device index must be 1-based"));
+        }
+        Ok(DeviceShare::from_parts(device, first_row, coded))
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for StragglerCode<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.base().encode(out);
+        self.extension().encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for StragglerCode<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let base = CodeDesign::decode(r)?;
+        let extension = Matrix::<F>::decode(r)?;
+        StragglerCode::from_parts(base, extension)
+            .map_err(|_| WireError::Malformed("invalid straggler extension"))
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for StragglerShare<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.device().encode(out);
+        self.rows().to_vec().encode(out);
+        self.coded().encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for StragglerShare<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let device = usize::decode(r)?;
+        let rows = Vec::<usize>::decode(r)?;
+        let coded = Matrix::<F>::decode(r)?;
+        if device == 0 {
+            return Err(WireError::Malformed("device index must be 1-based"));
+        }
+        StragglerShare::from_parts(device, rows, coded)
+            .map_err(|_| WireError::Malformed("row tags do not match payload rows"))
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for TPrivateCode<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.data_rows().encode(out);
+        self.threshold().encode(out);
+        self.load_cap().encode(out);
+        self.data_coeffs().encode(out);
+        self.noise_mixer().encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for TPrivateCode<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let m = usize::decode(r)?;
+        let t = usize::decode(r)?;
+        let v = usize::decode(r)?;
+        let data_coeffs = Matrix::<F>::decode(r)?;
+        let noise_mixer = Matrix::<F>::decode(r)?;
+        TPrivateCode::from_parts(m, t, v, data_coeffs, noise_mixer)
+            .map_err(|_| WireError::Malformed("invalid t-private code parameters"))
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for TaggedResponse<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.row.encode(out);
+        self.value.encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for TaggedResponse<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(TaggedResponse {
+            row: usize::decode(r)?,
+            value: F::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_linalg::{Fp61, Vector};
+    use scec_wire::{decode_framed, encode_framed, tag};
+
+    #[test]
+    fn code_design_roundtrips() {
+        let d = CodeDesign::new(7, 3).unwrap();
+        let back = CodeDesign::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(d, back);
+        // Invalid parameters are rejected at decode time.
+        let mut bytes = Vec::new();
+        0usize.encode(&mut bytes);
+        1usize.encode(&mut bytes);
+        assert!(CodeDesign::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn device_share_ships_and_still_computes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let design = CodeDesign::new(5, 2).unwrap();
+        let a = Matrix::<Fp61>::random(5, 4, &mut rng);
+        let store = Encoder::new(design).encode(&a, &mut rng).unwrap();
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        for share in store.shares() {
+            let frame = encode_framed(share, tag::DEVICE_SHARE);
+            let back: DeviceShare<Fp61> = decode_framed(&frame, tag::DEVICE_SHARE).unwrap();
+            assert_eq!(&back, share);
+            assert_eq!(back.compute(&x).unwrap(), share.compute(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_device_index_is_rejected() {
+        let mut bytes = Vec::new();
+        0usize.encode(&mut bytes); // device 0: invalid
+        0usize.encode(&mut bytes);
+        Matrix::<Fp61>::identity(2).encode(&mut bytes);
+        assert!(DeviceShare::<Fp61>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn straggler_share_roundtrips() {
+        use crate::straggler::StragglerCode;
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = CodeDesign::new(5, 2).unwrap();
+        let code = StragglerCode::<Fp61>::new(base, 3, &mut rng).unwrap();
+        let a = Matrix::<Fp61>::random(5, 3, &mut rng);
+        let store = code.encode(&a, &mut rng).unwrap();
+        for share in store.shares() {
+            let frame = encode_framed(share, tag::STRAGGLER_SHARE);
+            let back: StragglerShare<Fp61> =
+                decode_framed(&frame, tag::STRAGGLER_SHARE).unwrap();
+            assert_eq!(&back, share);
+        }
+        // Mismatched tag counts are rejected.
+        let mut bytes = Vec::new();
+        1usize.encode(&mut bytes);
+        vec![0usize, 1, 2].encode(&mut bytes); // 3 tags
+        Matrix::<Fp61>::identity(2).encode(&mut bytes); // 2 rows
+        assert!(StragglerShare::<Fp61>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn t_private_code_roundtrips_and_revalidates() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let code = TPrivateCode::<Fp61>::new(5, 2, 2, &mut rng).unwrap();
+        let back = TPrivateCode::<Fp61>::from_bytes(&code.to_bytes()).unwrap();
+        assert_eq!(back.data_rows(), 5);
+        assert_eq!(back.threshold(), 2);
+        assert_eq!(back.data_coeffs(), code.data_coeffs());
+        assert_eq!(back.noise_mixer(), code.noise_mixer());
+        // The rebuilt code decodes identically.
+        let a = Matrix::<Fp61>::random(5, 3, &mut rng);
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        let store = code.encode(&a, &mut rng).unwrap();
+        let mut btx = Vec::new();
+        for share in store.shares() {
+            btx.extend(share.compute(&x).unwrap().into_vec());
+        }
+        let btx = Vector::from_vec(btx);
+        assert_eq!(back.decode(&btx).unwrap(), code.decode(&btx).unwrap());
+        // A singular mixer is rejected on decode.
+        let mut bytes = Vec::new();
+        5usize.encode(&mut bytes);
+        2usize.encode(&mut bytes);
+        2usize.encode(&mut bytes);
+        Matrix::<Fp61>::zeros(5, 4).encode(&mut bytes);
+        Matrix::<Fp61>::zeros(4, 4).encode(&mut bytes); // singular
+        assert!(TPrivateCode::<Fp61>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn straggler_code_roundtrips_and_revalidates() {
+        use crate::straggler::StragglerCode;
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = CodeDesign::new(6, 3).unwrap();
+        let code = StragglerCode::<Fp61>::new(base.clone(), 4, &mut rng).unwrap();
+        let back = StragglerCode::<Fp61>::from_bytes(&code.to_bytes()).unwrap();
+        assert_eq!(back.base(), code.base());
+        assert_eq!(back.extension(), code.extension());
+        // A zeroed extension row is a pure-zero block — allowed by the
+        // span check — but a DATA-aligned extension must be rejected.
+        let mut evil = Matrix::<Fp61>::zeros(2, base.total_rows());
+        evil.set(0, 0, Fp61::new(1)).unwrap(); // pure data row A_0
+        let mut bytes = Vec::new();
+        base.encode(&mut bytes);
+        evil.encode(&mut bytes);
+        assert!(StragglerCode::<Fp61>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn tagged_responses_roundtrip() {
+        let resp = TaggedResponse {
+            row: 9,
+            value: Fp61::new(12345),
+        };
+        let back = TaggedResponse::<Fp61>::from_bytes(&resp.to_bytes()).unwrap();
+        assert_eq!(back, resp);
+        let many = vec![resp; 4];
+        assert_eq!(
+            Vec::<TaggedResponse<Fp61>>::from_bytes(&many.to_bytes()).unwrap(),
+            many
+        );
+    }
+}

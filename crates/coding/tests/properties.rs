@@ -1,0 +1,146 @@
+//! Property-based tests for the LCEC coding design.
+//!
+//! For arbitrary valid `(m, r)` and random payloads these assert the
+//! paper's Theorem 3 (availability + security of the structured `B`), the
+//! correctness of the O(m) decoder, and its agreement with the generic
+//! Gaussian-elimination decoder.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use scec_coding::{decode, design::CodeDesign, encode::Encoder, verify};
+use scec_linalg::{Fp61, Matrix, Vector};
+
+/// Strategy over valid (m, r) pairs with bounded size.
+fn design_params() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..20).prop_flat_map(|m| (Just(m), 1usize..=m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn structured_b_is_always_available_and_secure((m, r) in design_params()) {
+        let design = CodeDesign::new(m, r).unwrap();
+        let b = design.encoding_matrix::<Fp61>();
+        let report = verify::verify(&design, &b).unwrap();
+        prop_assert!(report.is_valid(), "m={m} r={r}: {:?}", report);
+    }
+
+    #[test]
+    fn device_loads_match_lemma_2((m, r) in design_params()) {
+        let design = CodeDesign::new(m, r).unwrap();
+        let i = design.device_count();
+        prop_assert_eq!(i, (m + r).div_ceil(r));
+        for j in 1..i {
+            prop_assert_eq!(design.device_load(j).unwrap(), r);
+        }
+        let last = design.device_load(i).unwrap();
+        prop_assert!(last >= 1 && last <= r);
+        let total: usize = (1..=i).map(|j| design.device_load(j).unwrap()).sum();
+        prop_assert_eq!(total, m + r);
+    }
+
+    #[test]
+    fn encode_compute_decode_roundtrip_fp61(
+        (m, r) in design_params(),
+        l in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = CodeDesign::new(m, r).unwrap();
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+        let partials: Vec<Vector<Fp61>> = store
+            .shares()
+            .iter()
+            .map(|s| s.compute(&x).unwrap())
+            .collect();
+        let btx = decode::stack_partials(&partials);
+        let y = decode::decode_fast(&design, &btx).unwrap();
+        prop_assert_eq!(y, a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn fast_and_general_decoders_agree(
+        (m, r) in design_params(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = CodeDesign::new(m, r).unwrap();
+        let l = 3;
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+        let partials: Vec<Vector<Fp61>> = store
+            .shares()
+            .iter()
+            .map(|s| s.compute(&x).unwrap())
+            .collect();
+        let btx = decode::stack_partials(&partials);
+        let fast = decode::decode_fast(&design, &btx).unwrap();
+        let b = design.encoding_matrix::<Fp61>();
+        let general = decode::decode_general(&design, &b, &btx).unwrap();
+        prop_assert_eq!(fast, general);
+    }
+
+    #[test]
+    fn densified_codes_stay_valid_and_decodable(
+        m in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = 1 + m / 2;
+        let design = CodeDesign::new(m, r).unwrap();
+        let dense = verify::densify::<Fp61, _>(&design, &mut rng);
+        prop_assert!(verify::verify(&design, &dense).unwrap().is_valid());
+        // Decodable end to end via the general decoder.
+        let l = 2;
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let randomness = Matrix::<Fp61>::random(r, l, &mut rng);
+        let t = a.vstack(&randomness).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        let btx = dense.matmul(&t).unwrap().matvec(&x).unwrap();
+        let y = decode::decode_general(&design, &dense, &btx).unwrap();
+        prop_assert_eq!(y, a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn per_device_randomness_is_never_reused(
+        (m, r) in design_params(),
+    ) {
+        // The structural reason the design is secure: within one device,
+        // every coded row mixes a DISTINCT random row.
+        let design = CodeDesign::new(m, r).unwrap();
+        for j in 2..=design.device_count() {
+            let range = design.device_row_range(j).unwrap();
+            let mut used = std::collections::HashSet::new();
+            for row in range {
+                prop_assert!(
+                    used.insert(design.random_row_of(row)),
+                    "device {j} reuses a random row"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blinding_changes_every_coded_data_row(
+        (m, r) in design_params(),
+        l in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Over a 2^61 field, a coded row equals the raw data row only with
+        // probability 2^-61: check the blinding is actually applied.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = CodeDesign::new(m, r).unwrap();
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+        let stacked = store.stacked();
+        for p in 0..m {
+            let coded = stacked.row(r + p);
+            let raw = a.row(p);
+            prop_assert_ne!(coded, raw, "row {} left unblinded", p);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the end-to-end framework.
+
+use std::fmt;
+
+/// A specialized result type for framework operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the MCSCEC pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Task allocation failed (bad fleet, empty data, infeasible `r`).
+    Allocation(scec_allocation::Error),
+    /// Coding, encoding, or decoding failed.
+    Coding(scec_coding::Error),
+    /// The data matrix must be non-empty.
+    EmptyData,
+    /// A response set handed to the decoder does not cover every
+    /// participating device exactly once.
+    IncompleteResponses {
+        /// Devices expected.
+        expected: usize,
+        /// Responses supplied.
+        got: usize,
+    },
+    /// The strategy requires randomness but none was supplied.
+    MissingRng,
+    /// The input-privacy pad stock is exhausted; the cloud must provision
+    /// more pads (each query consumes exactly one).
+    OutOfPads,
+    /// A decoded result failed the Freivalds integrity check — at least
+    /// one device returned a wrong partial.
+    IntegrityViolation,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Allocation(e) => write!(f, "task allocation failed: {e}"),
+            Error::Coding(e) => write!(f, "coding failed: {e}"),
+            Error::EmptyData => f.write_str("data matrix must be non-empty"),
+            Error::IncompleteResponses { expected, got } => {
+                write!(f, "expected {expected} device responses, got {got}")
+            }
+            Error::MissingRng => f.write_str("strategy requires a random source"),
+            Error::OutOfPads => f.write_str("input-privacy pad stock exhausted"),
+            Error::IntegrityViolation => {
+                f.write_str("decoded result failed the integrity check")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Allocation(e) => Some(e),
+            Error::Coding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scec_allocation::Error> for Error {
+    fn from(e: scec_allocation::Error) -> Self {
+        Error::Allocation(e)
+    }
+}
+
+impl From<scec_coding::Error> for Error {
+    fn from(e: scec_coding::Error) -> Self {
+        Error::Coding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = Error::from(scec_allocation::Error::EmptyData);
+        assert!(e.to_string().starts_with("task allocation failed"));
+        assert!(e.source().is_some());
+        let e = Error::from(scec_coding::Error::UnknownDevice { device: 1, devices: 0 });
+        assert!(e.to_string().starts_with("coding failed"));
+        assert!(e.source().is_some());
+        assert_eq!(
+            Error::IncompleteResponses { expected: 3, got: 1 }.to_string(),
+            "expected 3 device responses, got 1"
+        );
+        assert!(Error::EmptyData.source().is_none());
+    }
+}

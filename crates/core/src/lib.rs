@@ -1,0 +1,58 @@
+//! Minimum-Cost Secure Coded Edge Computing (MCSCEC) — the end-to-end
+//! framework of the ICDCS 2019 paper.
+//!
+//! This crate glues the two lower layers together into the four-step
+//! pipeline of the paper's Sec. II-D:
+//!
+//! 1. **Task allocation** — pick `r` (random rows) and `i` (devices) with
+//!    [`scec_allocation::ta::ta1`]/[`ta2`](scec_allocation::ta::ta2) or a
+//!    baseline ([`AllocationStrategy`]).
+//! 2. **Coded data distribution** — blind the data matrix `A` with `r`
+//!    uniform random rows and ship each device its block `B_j T`
+//!    ([`ScecSystem::distribute`]).
+//! 3. **Coded edge computing** — every device computes `B_j T · x`
+//!    ([`Deployment::partials`]).
+//! 4. **Original result recovery** — the user decodes `y = Ax` with `m`
+//!    subtractions ([`Deployment::query`] / [`Deployment::recover`]).
+//!
+//! The [`metrics`] module accounts storage, computation, and communication
+//! exactly as the paper's Eq. (1) prices them, so experiments can compare
+//! *predicted* allocation cost against *measured* resource usage.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use scec_core::{AllocationStrategy, ScecSystem};
+//! use scec_allocation::EdgeFleet;
+//! use scec_linalg::{Fp61, Matrix, Vector};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! // A pre-trained model matrix A (m = 6 rows) and an edge fleet of 4 devices.
+//! let a = Matrix::<Fp61>::random(6, 8, &mut rng);
+//! let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.2, 2.0, 3.5])?;
+//!
+//! let system = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
+//! let deployment = system.distribute(&mut rng)?;
+//!
+//! let x = Vector::<Fp61>::random(8, &mut rng);
+//! let y = deployment.query(&x)?;          // secure distributed A·x
+//! assert_eq!(y, a.matvec(&x)?);           // exact recovery over GF(2^61−1)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod integrity;
+pub mod metrics;
+pub mod privacy;
+pub mod strategy;
+pub mod system;
+
+pub use error::{Error, Result};
+pub use integrity::{query_verified, IntegrityKey};
+pub use privacy::{PrivateQuerier, QueryPad, UnblindKey};
+pub use strategy::AllocationStrategy;
+pub use system::{Deployment, EdgeDeviceRuntime, ScecSystem};

@@ -1,0 +1,275 @@
+//! Input privacy: hiding the query vector `x` from the edge devices.
+//!
+//! The paper protects the data matrix `A` and notes (Sec. II-B) that
+//! "similar ideas can also be extended to protect both data matrix A and
+//! input vector x simultaneously, which will be investigated in our
+//! future work". This module implements the natural one-time-pad
+//! construction:
+//!
+//! * **offline**, the cloud — which holds `A` — prepares *query pads*
+//!   `(z, A·z)` for uniformly random `z`;
+//! * **online**, the user blinds each query as `x̃ = x + z`, runs the
+//!   ordinary secure pipeline to obtain `A·x̃`, and un-blinds with one
+//!   vector subtraction: `A·x = A·x̃ − A·z`.
+//!
+//! Over GF(2⁶¹−1) the device-visible `x̃` is uniform and independent of
+//! `x` — exact information-theoretic privacy for the input, on top of the
+//! existing protection of `A`. Each pad must be used **once**; the API
+//! consumes pads by value so reuse is a compile-time error, not a
+//! discipline.
+
+use rand::Rng;
+
+use scec_linalg::{Matrix, Scalar, Vector};
+
+use crate::error::{Error, Result};
+use crate::system::Deployment;
+
+/// One single-use blinding pad `(z, A·z)`, prepared by the cloud.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use scec_core::QueryPad;
+/// use scec_linalg::{Fp61, Matrix, Vector};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let a = Matrix::<Fp61>::random(4, 3, &mut rng);
+/// let pad = QueryPad::generate(&a, 1, &mut rng)?.pop().unwrap();
+/// let x = Vector::<Fp61>::random(3, &mut rng);
+/// let (blinded, key) = pad.blind(&x)?;
+/// assert_ne!(blinded, x);                   // devices see x + z only
+/// let blinded_result = a.matvec(&blinded).unwrap(); // = A·(x+z)
+/// let y = key.unblind(&blinded_result)?;
+/// assert_eq!(y, a.matvec(&x).unwrap());
+/// # Ok::<(), scec_core::Error>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct QueryPad<F> {
+    z: Vector<F>,
+    az: Vector<F>,
+}
+
+impl<F: Scalar> std::fmt::Debug for QueryPad<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the pad material itself.
+        f.debug_struct("QueryPad")
+            .field("width", &self.z.len())
+            .field("rows", &self.az.len())
+            .finish()
+    }
+}
+
+impl<F: Scalar> QueryPad<F> {
+    /// Cloud-side: generates `count` pads for the data matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyData`] when `a` is empty.
+    pub fn generate<R: Rng + ?Sized>(
+        a: &Matrix<F>,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Vec<QueryPad<F>>> {
+        if a.is_empty() {
+            return Err(Error::EmptyData);
+        }
+        (0..count)
+            .map(|_| {
+                let z = Vector::<F>::random(a.ncols(), rng);
+                let az = a.matvec(&z).map_err(scec_coding::Error::from)?;
+                Ok(QueryPad { z, az })
+            })
+            .collect()
+    }
+
+    /// The query width this pad blinds.
+    pub fn width(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Consumes the pad: returns the blinded query `x + z` and the
+    /// [`UnblindKey`] needed to recover the true result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] when `x` has the wrong length.
+    pub fn blind(self, x: &Vector<F>) -> Result<(Vector<F>, UnblindKey<F>)> {
+        if x.len() != self.z.len() {
+            return Err(Error::Coding(scec_coding::Error::PayloadShape {
+                what: "query vector vs pad",
+                expected: (self.z.len(), 1),
+                got: (x.len(), 1),
+            }));
+        }
+        let blinded = x.add(&self.z).map_err(scec_coding::Error::from)?;
+        Ok((blinded, UnblindKey { az: self.az }))
+    }
+}
+
+/// The correction `A·z` retained by the user after blinding.
+#[derive(Clone, PartialEq)]
+pub struct UnblindKey<F> {
+    az: Vector<F>,
+}
+
+impl<F: Scalar> std::fmt::Debug for UnblindKey<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnblindKey")
+            .field("rows", &self.az.len())
+            .finish()
+    }
+}
+
+impl<F: Scalar> UnblindKey<F> {
+    /// Recovers `A·x` from the blinded result `A·(x+z)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] when the result length disagrees.
+    pub fn unblind(self, blinded_result: &Vector<F>) -> Result<Vector<F>> {
+        if blinded_result.len() != self.az.len() {
+            return Err(Error::Coding(scec_coding::Error::PayloadShape {
+                what: "blinded result vs unblind key",
+                expected: (self.az.len(), 1),
+                got: (blinded_result.len(), 1),
+            }));
+        }
+        Ok(blinded_result.sub(&self.az).map_err(scec_coding::Error::from)?)
+    }
+}
+
+/// User-side query engine with a pad store: each query consumes one pad.
+#[derive(Clone)]
+pub struct PrivateQuerier<F> {
+    pads: Vec<QueryPad<F>>,
+}
+
+impl<F: Scalar> std::fmt::Debug for PrivateQuerier<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateQuerier")
+            .field("pads_remaining", &self.pads.len())
+            .finish()
+    }
+}
+
+impl<F: Scalar> PrivateQuerier<F> {
+    /// Wraps a stock of pads received from the cloud.
+    pub fn new(pads: Vec<QueryPad<F>>) -> Self {
+        PrivateQuerier { pads }
+    }
+
+    /// Pads left in stock.
+    pub fn pads_remaining(&self) -> usize {
+        self.pads.len()
+    }
+
+    /// Runs one input-private secure query against a deployment: blinds
+    /// `x`, queries, un-blinds. The devices observe only `x + z`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::OutOfPads`] when the pad stock is exhausted;
+    /// * [`Error::Coding`] on shape mismatches;
+    /// * propagates [`Deployment::query`] failures.
+    pub fn query(&mut self, deployment: &Deployment<F>, x: &Vector<F>) -> Result<Vector<F>> {
+        let pad = self.pads.pop().ok_or(Error::OutOfPads)?;
+        let (blinded, key) = pad.blind(x)?;
+        let blinded_result = deployment.query(&blinded)?;
+        key.unblind(&blinded_result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::AllocationStrategy;
+    use crate::system::ScecSystem;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_allocation::EdgeFleet;
+    use scec_linalg::Fp61;
+
+    fn setup(seed: u64) -> (Matrix<Fp61>, Deployment<Fp61>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0]).unwrap();
+        let sys =
+            ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        (a, deployment, rng)
+    }
+
+    #[test]
+    fn private_query_recovers_ax_exactly() {
+        let (a, deployment, mut rng) = setup(1);
+        let pads = QueryPad::generate(&a, 5, &mut rng).unwrap();
+        let mut querier = PrivateQuerier::new(pads);
+        for _ in 0..5 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            let y = querier.query(&deployment, &x).unwrap();
+            assert_eq!(y, a.matvec(&x).unwrap());
+        }
+        assert_eq!(querier.pads_remaining(), 0);
+    }
+
+    #[test]
+    fn pad_exhaustion_is_an_error() {
+        let (a, deployment, mut rng) = setup(2);
+        let pads = QueryPad::generate(&a, 1, &mut rng).unwrap();
+        let mut querier = PrivateQuerier::new(pads);
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        querier.query(&deployment, &x).unwrap();
+        assert!(matches!(
+            querier.query(&deployment, &x),
+            Err(Error::OutOfPads)
+        ));
+    }
+
+    #[test]
+    fn blinded_query_is_independent_of_x() {
+        // Device-visible x̃ = x + z: for two DIFFERENT x with the same pad,
+        // the blinded queries differ by exactly x1 − x2, and for one x the
+        // blinded query is uniform — spot-check it never equals x itself.
+        let (a, _deployment, mut rng) = setup(3);
+        for _ in 0..20 {
+            let pad = QueryPad::generate(&a, 1, &mut rng).unwrap().pop().unwrap();
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            let (blinded, _key) = pad.blind(&x).unwrap();
+            assert_ne!(blinded, x, "blinding left x exposed");
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let (a, _deployment, mut rng) = setup(4);
+        let pad = QueryPad::generate(&a, 1, &mut rng).unwrap().pop().unwrap();
+        assert_eq!(pad.width(), 4);
+        let wrong = Vector::<Fp61>::zeros(5);
+        assert!(matches!(pad.clone().blind(&wrong), Err(Error::Coding(_))));
+        let (_, key) = pad.blind(&Vector::<Fp61>::zeros(4)).unwrap();
+        let wrong_result = Vector::<Fp61>::zeros(9);
+        assert!(matches!(key.unblind(&wrong_result), Err(Error::Coding(_))));
+    }
+
+    #[test]
+    fn generate_rejects_empty_matrix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty = Matrix::<Fp61>::zeros(0, 4);
+        assert!(matches!(
+            QueryPad::generate(&empty, 1, &mut rng),
+            Err(Error::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn manual_blind_unblind_roundtrip() {
+        let (a, deployment, mut rng) = setup(6);
+        let pad = QueryPad::generate(&a, 1, &mut rng).unwrap().pop().unwrap();
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let (blinded, key) = pad.blind(&x).unwrap();
+        let blinded_result = deployment.query(&blinded).unwrap();
+        let y = key.unblind(&blinded_result).unwrap();
+        assert_eq!(y, a.matvec(&x).unwrap());
+    }
+}

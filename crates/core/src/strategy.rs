@@ -1,0 +1,114 @@
+//! Allocation strategy selection.
+
+use rand::Rng;
+
+use scec_allocation::{baselines, ta, AllocationPlan, EdgeFleet};
+
+use crate::error::Result;
+
+/// Which task-allocation algorithm drives the pipeline.
+///
+/// `Mcscec` (TA1) and `McscecExhaustive` (TA2) are the paper's optimal
+/// algorithms and always produce the same total cost; the remaining
+/// variants are the secure baselines of Sec. V. (The insecure `TAw/oS`
+/// baseline cannot drive this pipeline — with `r = 0` no secure code
+/// exists — and lives only in `scec_allocation::baselines`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AllocationStrategy {
+    /// TA1 (Algorithm 1): O(k) closed-form optimum via `i*`.
+    Mcscec,
+    /// TA2 (Algorithm 2): O(k + m) exhaustive optimum.
+    McscecExhaustive,
+    /// Smallest feasible `r` — as many devices as possible.
+    MaxNode,
+    /// Largest feasible `r = m` — exactly two devices.
+    MinNode,
+    /// Uniformly random feasible `r`.
+    RandomNode,
+}
+
+impl AllocationStrategy {
+    /// Runs the selected algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the allocation-layer validation errors (empty data,
+    /// too-few devices).
+    pub fn allocate<R: Rng + ?Sized>(
+        self,
+        m: usize,
+        fleet: &EdgeFleet,
+        rng: &mut R,
+    ) -> Result<AllocationPlan> {
+        let plan = match self {
+            AllocationStrategy::Mcscec => ta::ta1(m, fleet)?,
+            AllocationStrategy::McscecExhaustive => ta::ta2(m, fleet)?,
+            AllocationStrategy::MaxNode => baselines::max_node(m, fleet)?,
+            AllocationStrategy::MinNode => baselines::min_node(m, fleet)?,
+            AllocationStrategy::RandomNode => baselines::r_node(m, fleet, rng)?,
+        };
+        Ok(plan)
+    }
+
+    /// Human-readable name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationStrategy::Mcscec => "MCSCEC",
+            AllocationStrategy::McscecExhaustive => "MCSCEC(TA2)",
+            AllocationStrategy::MaxNode => "MaxNode",
+            AllocationStrategy::MinNode => "MinNode",
+            AllocationStrategy::RandomNode => "RNode",
+        }
+    }
+}
+
+impl std::fmt::Display for AllocationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn all_strategies_produce_feasible_plans() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = 10;
+        for s in [
+            AllocationStrategy::Mcscec,
+            AllocationStrategy::McscecExhaustive,
+            AllocationStrategy::MaxNode,
+            AllocationStrategy::MinNode,
+            AllocationStrategy::RandomNode,
+        ] {
+            let plan = s.allocate(m, &fleet, &mut rng).unwrap();
+            assert!(plan.satisfies_security_cap(), "{s}");
+            assert_eq!(plan.total_rows(), m + plan.random_rows(), "{s}");
+        }
+    }
+
+    #[test]
+    fn optimal_strategies_agree() {
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.7, 2.9, 3.0, 8.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p1 = AllocationStrategy::Mcscec.allocate(37, &fleet, &mut rng).unwrap();
+        let p2 = AllocationStrategy::McscecExhaustive
+            .allocate(37, &fleet, &mut rng)
+            .unwrap();
+        assert!((p1.total_cost() - p2.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(AllocationStrategy::Mcscec.to_string(), "MCSCEC");
+        assert_eq!(AllocationStrategy::MaxNode.name(), "MaxNode");
+        assert_eq!(AllocationStrategy::MinNode.name(), "MinNode");
+        assert_eq!(AllocationStrategy::RandomNode.name(), "RNode");
+        assert_eq!(AllocationStrategy::McscecExhaustive.name(), "MCSCEC(TA2)");
+    }
+}

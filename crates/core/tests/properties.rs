@@ -1,0 +1,128 @@
+//! Property-based tests for the end-to-end framework: recovery, batch
+//! agreement, metrics consistency, input privacy, and integrity across
+//! arbitrary shapes and strategies.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_core::{
+    integrity::IntegrityKey, AllocationStrategy, PrivateQuerier, QueryPad, ScecSystem,
+};
+use scec_linalg::{Fp61, Matrix, Vector};
+
+fn strategy_from(ix: usize) -> AllocationStrategy {
+    [
+        AllocationStrategy::Mcscec,
+        AllocationStrategy::McscecExhaustive,
+        AllocationStrategy::MaxNode,
+        AllocationStrategy::MinNode,
+        AllocationStrategy::RandomNode,
+    ][ix % 5]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn end_to_end_recovery_is_exact(
+        m in 1usize..15,
+        l in 1usize..8,
+        k in 2usize..8,
+        strat in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let costs: Vec<f64> = (0..k).map(|p| 1.0 + 0.4 * p as f64).collect();
+        let fleet = EdgeFleet::from_unit_costs(costs).unwrap();
+        let sys = ScecSystem::build(a.clone(), fleet, strategy_from(strat), &mut rng).unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        prop_assert_eq!(deployment.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn usage_is_conserved(
+        m in 1usize..15,
+        l in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 3.0]).unwrap();
+        let sys = ScecSystem::build(a, fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let usage = deployment.usage();
+        let total = usage.device_total();
+        let rows = sys.plan().total_rows();
+        prop_assert_eq!(total.values_transferred, rows);
+        prop_assert_eq!(total.multiplications, rows * l);
+        prop_assert_eq!(total.additions, rows * l.saturating_sub(1));
+        prop_assert_eq!(usage.decode_subtractions, m);
+    }
+
+    #[test]
+    fn private_queries_match_plain_queries(
+        m in 1usize..10,
+        l in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 2.5]).unwrap();
+        let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)
+            .unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let pads = QueryPad::generate(&a, 2, &mut rng).unwrap();
+        let mut querier = PrivateQuerier::new(pads);
+        for _ in 0..2 {
+            let x = Vector::<Fp61>::random(l, &mut rng);
+            let private = querier.query(&deployment, &x).unwrap();
+            let plain = deployment.query(&x).unwrap();
+            prop_assert_eq!(&private, &plain);
+            prop_assert_eq!(private, a.matvec(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn integrity_accepts_honest_rejects_corrupt(
+        m in 2usize..10,
+        l in 1usize..6,
+        flip in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let key = IntegrityKey::generate(&a, &mut rng).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        let y = a.matvec(&x).unwrap();
+        prop_assert!(key.verify(&x, &y).unwrap());
+        let mut bad = y.clone();
+        let idx = flip % m;
+        bad.as_mut_slice()[idx] = bad.at(idx) + Fp61::new(1);
+        prop_assert!(!key.verify(&x, &bad).unwrap());
+    }
+
+    #[test]
+    fn batch_matches_columns(
+        m in 1usize..10,
+        l in 1usize..6,
+        cols in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.1, 1.2]).unwrap();
+        let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)
+            .unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let xs = Matrix::<Fp61>::random(l, cols, &mut rng);
+        let batch = deployment.query_batch(&xs).unwrap();
+        prop_assert_eq!(&batch, &a.matmul(&xs).unwrap());
+        for c in 0..cols {
+            let single = deployment.query(&xs.col(c)).unwrap();
+            let batch_col = batch.col(c);
+            prop_assert_eq!(single.as_slice(), batch_col.as_slice());
+        }
+    }
+}

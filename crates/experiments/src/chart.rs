@@ -1,0 +1,123 @@
+//! ASCII line charts for terminal figure output.
+//!
+//! No plotting crate is in the offline dependency set, so the harness
+//! renders each sweep as a compact character-grid chart — enough to *see*
+//! the paper's qualitative shapes (who wins, where curves cross) straight
+//! from `cargo run -p scec-experiments -- all`.
+
+use crate::figures::Sweep;
+use crate::runner::AlgoCosts;
+
+/// Per-curve glyphs, aligned with [`AlgoCosts::labels`].
+const GLYPHS: [char; 6] = ['L', 'M', 'w', 'X', 'N', 'R'];
+
+/// Renders a sweep as an ASCII chart of `height` rows by one column per
+/// grid point (plus axes and a legend).
+///
+/// Later-drawn curves overwrite earlier glyphs in shared cells; MCSCEC is
+/// drawn last so the headline curve always stays visible.
+///
+/// # Panics
+///
+/// Panics when `height < 2` or the sweep is empty.
+pub fn render(sweep: &Sweep, height: usize, width: usize) -> String {
+    assert!(height >= 2, "chart height must be at least 2");
+    assert!(!sweep.points.is_empty(), "cannot chart an empty sweep");
+    let labels = AlgoCosts::labels();
+    let curves: Vec<Vec<f64>> = labels.iter().map(|l| sweep.curve(l)).collect();
+    let lo = curves
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = curves
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let cols = width.max(sweep.points.len());
+    let n = sweep.points.len();
+
+    let mut grid = vec![vec![' '; cols]; height];
+    // Draw order: everything else first, then LB, then MCSCEC on top.
+    let order = [2usize, 3, 4, 5, 0, 1];
+    for &c in &order {
+        for (t, &v) in curves[c].iter().enumerate() {
+            let col = if n == 1 { 0 } else { t * (cols - 1) / (n - 1) };
+            let frac = (v - lo) / span;
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = GLYPHS[c];
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — total cost vs {} (top {:.1}, bottom {:.1})\n",
+        sweep.id, sweep.param, hi, lo
+    ));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(cols));
+    out.push('\n');
+    out.push_str(&format!(
+        "   {} = {:?}\n",
+        sweep.param,
+        sweep.params()
+    ));
+    out.push_str("   legend: ");
+    for (glyph, label) in GLYPHS.iter().zip(labels) {
+        out.push_str(&format!("{glyph}={label} "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{fig2d, Defaults};
+    use crate::runner::MonteCarlo;
+
+    fn sweep() -> Sweep {
+        let mc = MonteCarlo::new(10, 5);
+        let d = Defaults {
+            m: 100,
+            k: 10,
+            ..Defaults::default()
+        };
+        fig2d(&mc, &d)
+    }
+
+    #[test]
+    fn chart_contains_all_glyphs_and_axes() {
+        let s = sweep();
+        let chart = render(&s, 12, 40);
+        for g in GLYPHS {
+            assert!(chart.contains(g), "glyph {g} missing:\n{chart}");
+        }
+        assert!(chart.contains("legend:"));
+        assert!(chart.contains("fig2d"));
+        assert!(chart.lines().count() >= 14);
+    }
+
+    #[test]
+    fn mcscec_is_drawn_on_top_of_lb() {
+        // MCSCEC ≈ LB everywhere, so their cells collide; M must win.
+        let s = sweep();
+        let chart = render(&s, 16, 40);
+        let m_count = chart.matches('M').count();
+        assert!(m_count >= s.points.len() / 2, "M drawn {m_count} times:\n{chart}");
+    }
+
+    #[test]
+    #[should_panic(expected = "height must be at least 2")]
+    fn tiny_height_panics() {
+        let s = sweep();
+        let _ = render(&s, 1, 10);
+    }
+}

@@ -1,0 +1,45 @@
+//! Experiment harness regenerating every figure of the MCSCEC paper.
+//!
+//! The paper's evaluation (Sec. V) is five Monte-Carlo sweeps — Fig. 2
+//! (a)–(e) — comparing six curves: the lower bound **LB** (Theorem 1),
+//! **MCSCEC** (TA1/TA2 + the secure code), the insecure floor **TAw/oS**,
+//! and the secure baselines **MaxNode**, **MinNode**, **RNode**. Each
+//! point averages 1000 random fleets.
+//!
+//! This crate reproduces all five figures bit-for-bit-reproducibly (seeded
+//! RNG, deterministic parallel sharding), checks the paper's headline
+//! claims (MCSCEC within 0.5% of LB; ≥ 26% savings over baselines; bounded
+//! security premium), and adds the ablations indexed in `DESIGN.md`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p scec-experiments --release -- all
+//! ```
+//!
+//! # Example: one sweep point
+//!
+//! ```
+//! use scec_experiments::runner::MonteCarlo;
+//! use scec_sim::CostDistribution;
+//!
+//! let mc = MonteCarlo::new(50, 7); // 50 instances, seed 7
+//! let point = mc.run_point(100, 10, CostDistribution::uniform(5.0));
+//! assert!(point.mcscec >= point.lower_bound);
+//! assert!(point.mcscec <= point.max_node + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod chart;
+pub mod claims;
+pub mod figures;
+pub mod runner;
+pub mod security;
+pub mod table;
+pub mod throughput;
+
+pub use runner::{AlgoCosts, MonteCarlo};
+pub use table::Table;

@@ -1,0 +1,187 @@
+//! CLI entry point: regenerate the paper's figures and claims.
+//!
+//! ```text
+//! cargo run -p scec-experiments --release -- all
+//! cargo run -p scec-experiments --release -- fig2a --instances 1000
+//! cargo run -p scec-experiments --release -- claims
+//! cargo run -p scec-experiments --release -- completion
+//! cargo run -p scec-experiments --release -- decode
+//! ```
+//!
+//! CSV output lands in `results/`; a markdown rendering is printed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scec_experiments::claims;
+use scec_experiments::figures::{self, Defaults, Sweep};
+use scec_experiments::runner::MonteCarlo;
+use scec_experiments::table::Table;
+
+struct Cli {
+    command: String,
+    instances: usize,
+    seed: u64,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut cli = Cli {
+        command,
+        instances: 1000,
+        seed: 2019, // ICDCS 2019
+        out_dir: PathBuf::from("results"),
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--instances" => {
+                cli.instances = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --instances: {e}"))?
+            }
+            "--seed" => cli.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--out" => cli.out_dir = PathBuf::from(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn emit(table: &Table, name: &str, out_dir: &PathBuf) {
+    let path = out_dir.join(format!("{name}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("## {name}  (written to {})\n", path.display()),
+        Err(e) => println!("## {name}  (CSV write failed: {e})\n"),
+    }
+    println!("{}", table.to_markdown());
+}
+
+fn emit_sweep(sweep: &Sweep, out_dir: &PathBuf) {
+    emit(&sweep.to_table(), sweep.id, out_dir);
+    println!("{}", scec_experiments::chart::render(sweep, 14, 56));
+    emit(
+        &claims::gaps_table(sweep),
+        &format!("{}_gaps", sweep.id),
+        out_dir,
+    );
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: scec-experiments [all|fig2a|fig2b|fig2c|fig2d|fig2e|claims|completion|decode|straggler|collusion|security|throughput] \
+                 [--instances N] [--seed S] [--out DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mc = MonteCarlo::new(cli.instances, cli.seed);
+    let d = Defaults::default();
+    println!(
+        "# MCSCEC experiments — {} instances per point, seed {}\n",
+        cli.instances, cli.seed
+    );
+
+    match cli.command.as_str() {
+        "fig2a" => emit_sweep(&figures::fig2a(&mc, &d), &cli.out_dir),
+        "fig2b" => emit_sweep(&figures::fig2b(&mc, &d), &cli.out_dir),
+        "fig2c" => emit_sweep(&figures::fig2c(&mc, &d), &cli.out_dir),
+        "fig2d" => emit_sweep(&figures::fig2d(&mc, &d), &cli.out_dir),
+        "fig2e" => emit_sweep(&figures::fig2e(&mc, &d), &cli.out_dir),
+        "completion" => emit(
+            &scec_experiments::ablation::completion_vs_r(5000, 25, 256, 10, cli.seed),
+            "completion_vs_r",
+            &cli.out_dir,
+        ),
+        "decode" => emit(
+            &scec_experiments::ablation::decode_complexity(&[100, 500, 1000, 5000, 10000]),
+            "decode_complexity",
+            &cli.out_dir,
+        ),
+        "straggler" => emit(
+            &scec_experiments::ablation::straggler_quorum(5000, 1250, 256, &[0, 625, 1250, 2500], cli.seed),
+            "straggler_quorum",
+            &cli.out_dir,
+        ),
+        "collusion" => emit(
+            &scec_experiments::ablation::collusion_cost(5000, 250, &[1, 2, 3, 4, 5, 8]),
+            "collusion_cost",
+            &cli.out_dir,
+        ),
+        "throughput" => emit(
+            &scec_experiments::throughput::throughput_table(
+                &[100, 500, 1000, 5000],
+                628, // the paper's HElib comparison uses 628-wide rows
+                cli.seed,
+            ),
+            "throughput",
+            &cli.out_dir,
+        ),
+        "security" => {
+            let campaign = scec_experiments::security::run_campaign(
+                50,
+                16,
+                10,
+                cli.instances.min(200),
+                cli.seed,
+            );
+            emit(&campaign.to_table(), "security_campaign", &cli.out_dir);
+            if !campaign.is_clean() {
+                eprintln!("SECURITY CAMPAIGN FAILED: {campaign:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "claims" | "all" => {
+            let sweeps = figures::all(&mc, &d);
+            for sweep in &sweeps {
+                emit_sweep(sweep, &cli.out_dir);
+            }
+            let v = claims::verdicts(&sweeps);
+            println!("## Headline claim T1 (MCSCEC within 0.5% of LB at large parameters)\n");
+            for (id, gap) in &v.lb_gap_at_largest {
+                println!("* {id}: gap at largest point = {:.4}%", gap * 100.0);
+            }
+            println!(
+                "\nT1 {}",
+                if v.t1_holds { "HOLDS" } else { "VIOLATED" }
+            );
+            if cli.command == "all" {
+                emit(
+                    &scec_experiments::ablation::completion_vs_r(5000, 25, 256, 10, cli.seed),
+                    "completion_vs_r",
+                    &cli.out_dir,
+                );
+                emit(
+                    &scec_experiments::ablation::decode_complexity(&[
+                        100, 500, 1000, 5000, 10000,
+                    ]),
+                    "decode_complexity",
+                    &cli.out_dir,
+                );
+                emit(
+                    &scec_experiments::ablation::straggler_quorum(
+                        5000, 1250, 256, &[0, 625, 1250, 2500], cli.seed,
+                    ),
+                    "straggler_quorum",
+                    &cli.out_dir,
+                );
+                emit(
+                    &scec_experiments::ablation::collusion_cost(5000, 250, &[1, 2, 3, 4, 5, 8]),
+                    "collusion_cost",
+                    &cli.out_dir,
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,175 @@
+//! Minimal table rendering: CSV and markdown, no external writer crates.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular results table.
+///
+/// # Example
+///
+/// ```
+/// use scec_experiments::Table;
+///
+/// let mut t = Table::new(vec!["m".into(), "cost".into()]);
+/// t.push_row(vec!["100".into(), "42.5".into()]).unwrap();
+/// assert!(t.to_csv().starts_with("m,cost\n"));
+/// assert!(t.to_markdown().contains("| m | cost |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the row width differs from the header
+    /// width.
+    pub fn push_row(&mut self, row: Vec<String>) -> Result<(), String> {
+        if row.len() != self.headers.len() {
+            return Err(format!(
+                "row has {} cells, table has {} columns",
+                row.len(),
+                self.headers.len()
+            ));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                    let escaped = cell.replace('"', "\"\"");
+                    let _ = write!(out, "\"{escaped}\"");
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with 4 significant decimal places for table cells.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]).unwrap();
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["x".into()]);
+        t.push_row(vec!["a,b".into()]).unwrap();
+        t.push_row(vec!["he said \"hi\"".into()]).unwrap();
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["m".into(), "cost".into()]);
+        t.push_row(vec!["10".into(), "3.5".into()]).unwrap();
+        let md = t.to_markdown();
+        assert!(md.starts_with("| m | cost |\n|---|---|\n"));
+        assert!(md.contains("| 10 | 3.5 |"));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        assert!(t.push_row(vec!["1".into()]).is_err());
+        assert!(t.rows().is_empty());
+        assert_eq!(t.headers().len(), 2);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("scec_table_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("t.csv");
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["1".into()]).unwrap();
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456789), "1.2346");
+        assert_eq!(fmt_f64(2.0), "2.0000");
+    }
+}

@@ -1,0 +1,153 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// A specialized result type for linear-algebra operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by linear-algebra operations.
+///
+/// Every fallible public function in this crate returns [`Result`] with this
+/// error type. The variants describe *why* an operation was rejected so that
+/// callers (the coding and allocation layers) can surface precise
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A row or column index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound the index was checked against.
+        bound: usize,
+        /// Which axis the index addressed.
+        axis: Axis,
+    },
+    /// A square, invertible matrix was required but the operand is singular
+    /// (or numerically rank-deficient for `f64`).
+    Singular,
+    /// An operation required a square matrix but got `rows != cols`.
+    NotSquare {
+        /// Number of rows of the operand.
+        rows: usize,
+        /// Number of columns of the operand.
+        cols: usize,
+    },
+    /// A matrix or vector with zero rows/columns was passed where a
+    /// non-empty operand is required.
+    Empty,
+    /// Division by zero (or inversion of the zero element) in field
+    /// arithmetic.
+    DivisionByZero,
+    /// The linear system has no solution (inconsistent right-hand side).
+    Inconsistent,
+}
+
+/// Matrix axis, used in [`Error::IndexOutOfBounds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The row axis.
+    Row,
+    /// The column axis.
+    Col,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Row => f.write_str("row"),
+            Axis::Col => f.write_str("column"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (size {bound})")
+            }
+            Error::Singular => f.write_str("matrix is singular"),
+            Error::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            Error::Empty => f.write_str("operand is empty"),
+            Error::DivisionByZero => f.write_str("division by zero in field arithmetic"),
+            Error::Inconsistent => f.write_str("linear system is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = Error::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = Error::IndexOutOfBounds {
+            index: 7,
+            bound: 3,
+            axis: Axis::Row,
+        };
+        assert_eq!(e.to_string(), "row index 7 out of bounds (size 3)");
+        let e = Error::IndexOutOfBounds {
+            index: 1,
+            bound: 0,
+            axis: Axis::Col,
+        };
+        assert_eq!(e.to_string(), "column index 1 out of bounds (size 0)");
+    }
+
+    #[test]
+    fn display_simple_variants() {
+        assert_eq!(Error::Singular.to_string(), "matrix is singular");
+        assert_eq!(
+            Error::NotSquare { rows: 2, cols: 3 }.to_string(),
+            "matrix is not square (2x3)"
+        );
+        assert_eq!(Error::Empty.to_string(), "operand is empty");
+        assert_eq!(
+            Error::DivisionByZero.to_string(),
+            "division by zero in field arithmetic"
+        );
+        assert_eq!(
+            Error::Inconsistent.to_string(),
+            "linear system is inconsistent"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

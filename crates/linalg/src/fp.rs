@@ -1,0 +1,402 @@
+//! The Mersenne prime field GF(2⁶¹ − 1).
+//!
+//! Random vectors drawn uniformly from a finite field are what make the
+//! paper's security guarantee *information-theoretic*: conditioned on the
+//! coded rows a single device observes, every data matrix remains equally
+//! likely (Definition 2, `H(A | B_j T) = H(A)`). 2⁶¹ − 1 is chosen because
+//! Mersenne reduction keeps multiplication branch-free and fast, while the
+//! field is comfortably larger than any payload precision we need.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::scalar::Scalar;
+
+/// The field modulus `p = 2^61 - 1` (a Mersenne prime).
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of GF(2⁶¹ − 1).
+///
+/// The canonical representative is always kept in `[0, p)`. Arithmetic
+/// operators (`+`, `-`, `*`, `/`) are implemented on values; `/` panics on
+/// division by zero, while the [`Scalar::inv`]/[`Scalar::div`] trait methods
+/// return `None` instead.
+///
+/// # Example
+///
+/// ```
+/// use scec_linalg::Fp61;
+///
+/// let a = Fp61::new(7);
+/// let b = Fp61::new(3);
+/// assert_eq!((a * b).residue(), 21);
+/// assert_eq!((a / b) * b, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Fp61(u64);
+
+impl Fp61 {
+    /// Creates a field element from any `u64`, reducing modulo `p`.
+    #[inline]
+    pub fn new(value: u64) -> Self {
+        Fp61(value % MODULUS)
+    }
+
+    /// Creates a field element from a signed integer, mapping negatives to
+    /// their additive-inverse representatives.
+    #[inline]
+    pub fn from_i64(value: i64) -> Self {
+        if value >= 0 {
+            Fp61::new(value as u64)
+        } else {
+            -Fp61::new(value.unsigned_abs())
+        }
+    }
+
+    /// The canonical representative in `[0, p)`.
+    #[inline]
+    pub fn residue(self) -> u64 {
+        self.0
+    }
+
+    /// Fast reduction of a 128-bit product into `[0, p)` using the Mersenne
+    /// structure of the modulus: `x mod (2^61 - 1)` folds the high bits onto
+    /// the low bits.
+    #[inline]
+    fn reduce128(x: u128) -> u64 {
+        let lo = (x as u64) & MODULUS;
+        let hi = (x >> 61) as u64;
+        let mut s = lo + hi;
+        if s >= MODULUS {
+            s -= MODULUS;
+        }
+        // One fold suffices for products of canonical representatives:
+        // (p-1)^2 < 2^122, so hi < 2^61 and lo + hi < 2^62 < 2p + p.
+        if s >= MODULUS {
+            s -= MODULUS;
+        }
+        s
+    }
+
+    /// Modular exponentiation by squaring.
+    #[inline]
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp61(1);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp61({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Fp61 {
+    fn from(value: u64) -> Self {
+        Fp61::new(value)
+    }
+}
+
+impl From<u32> for Fp61 {
+    fn from(value: u32) -> Self {
+        Fp61(value as u64)
+    }
+}
+
+impl From<i64> for Fp61 {
+    fn from(value: i64) -> Self {
+        Fp61::from_i64(value)
+    }
+}
+
+impl Add for Fp61 {
+    type Output = Fp61;
+
+    #[inline]
+    fn add(self, rhs: Fp61) -> Fp61 {
+        let mut s = self.0 + rhs.0;
+        if s >= MODULUS {
+            s -= MODULUS;
+        }
+        Fp61(s)
+    }
+}
+
+impl AddAssign for Fp61 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fp61) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fp61 {
+    type Output = Fp61;
+
+    #[inline]
+    fn sub(self, rhs: Fp61) -> Fp61 {
+        let s = if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + MODULUS - rhs.0
+        };
+        Fp61(s)
+    }
+}
+
+impl SubAssign for Fp61 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fp61) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Fp61 {
+    type Output = Fp61;
+
+    #[inline]
+    fn mul(self, rhs: Fp61) -> Fp61 {
+        Fp61(Fp61::reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl MulAssign for Fp61 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Fp61) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Fp61 {
+    type Output = Fp61;
+
+    #[inline]
+    fn neg(self) -> Fp61 {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp61(MODULUS - self.0)
+        }
+    }
+}
+
+impl Div for Fp61 {
+    type Output = Fp61;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero. Use [`Scalar::div`] for a fallible variant.
+    #[inline]
+    fn div(self, rhs: Fp61) -> Fp61 {
+        Scalar::div(self, rhs).expect("division by zero in GF(2^61-1)")
+    }
+}
+
+impl Sum for Fp61 {
+    fn sum<I: Iterator<Item = Fp61>>(iter: I) -> Fp61 {
+        iter.fold(Fp61(0), |a, b| a + b)
+    }
+}
+
+impl Product for Fp61 {
+    fn product<I: Iterator<Item = Fp61>>(iter: I) -> Fp61 {
+        iter.fold(Fp61(1), |a, b| a * b)
+    }
+}
+
+impl Scalar for Fp61 {
+    #[inline]
+    fn zero() -> Self {
+        Fp61(0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Fp61(1)
+    }
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+
+    #[inline]
+    fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: a^(p-2) = a^(-1) mod p.
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    fn pivot_weight(&self) -> f64 {
+        if self.0 == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Uniform over [0, p): rejection-free because gen_range is exact.
+        Fp61(rng.gen_range(0..MODULUS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn canonical_reduction() {
+        assert_eq!(Fp61::new(MODULUS).residue(), 0);
+        assert_eq!(Fp61::new(MODULUS + 5).residue(), 5);
+        assert_eq!(Fp61::new(u64::MAX).residue(), u64::MAX % MODULUS);
+    }
+
+    #[test]
+    fn from_i64_handles_negatives() {
+        assert_eq!(Fp61::from_i64(-1), -Fp61::new(1));
+        assert_eq!(Fp61::from_i64(-1).residue(), MODULUS - 1);
+        assert_eq!(Fp61::from_i64(42).residue(), 42);
+        assert_eq!(Fp61::from_i64(i64::MIN), -Fp61::new(1u64 << 63));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Fp61::new(MODULUS - 3);
+        let b = Fp61::new(10);
+        assert_eq!((a + b).residue(), 7);
+        assert_eq!(a + b - b, a);
+        assert_eq!((Fp61::new(3) - Fp61::new(5)).residue(), MODULUS - 2);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = <Fp61 as Scalar>::sample(&mut rng);
+            let b = <Fp61 as Scalar>::sample(&mut rng);
+            let want = ((a.residue() as u128 * b.residue() as u128) % MODULUS as u128) as u64;
+            assert_eq!((a * b).residue(), want);
+        }
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a = <Fp61 as Scalar>::sample(&mut rng);
+            assert_eq!((a + (-a)).residue(), 0);
+        }
+        assert_eq!((-Fp61::new(0)).residue(), 0);
+    }
+
+    #[test]
+    fn inverse_is_multiplicative_inverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let a = <Fp61 as Scalar>::sample(&mut rng);
+            if Scalar::is_zero(&a) {
+                continue;
+            }
+            let inv = Scalar::inv(a).unwrap();
+            assert_eq!(a * inv, Fp61::new(1));
+        }
+        assert_eq!(Scalar::inv(Fp61::new(0)), None);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(Fp61::new(2).pow(10).residue(), 1024);
+        assert_eq!(Fp61::new(5).pow(0).residue(), 1);
+        assert_eq!(Fp61::new(0).pow(0).residue(), 1); // convention: 0^0 = 1
+        // Fermat's little theorem: a^(p-1) = 1.
+        assert_eq!(Fp61::new(123456789).pow(MODULUS - 1).residue(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Fp61::new(1) / Fp61::new(0);
+    }
+
+    #[test]
+    fn div_operator_matches_inv() {
+        let a = Fp61::new(123);
+        let b = Fp61::new(456);
+        assert_eq!(a / b, a * Scalar::inv(b).unwrap());
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let xs = [Fp61::new(1), Fp61::new(2), Fp61::new(3)];
+        assert_eq!(xs.iter().copied().sum::<Fp61>().residue(), 6);
+        assert_eq!(xs.iter().copied().product::<Fp61>().residue(), 6);
+        let empty: [Fp61; 0] = [];
+        assert_eq!(empty.iter().copied().sum::<Fp61>().residue(), 0);
+        assert_eq!(empty.iter().copied().product::<Fp61>().residue(), 1);
+    }
+
+    #[test]
+    fn sample_is_uniform_ish() {
+        // Crude sanity: mean of residues near p/2 for a large sample.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| <Fp61 as Scalar>::sample(&mut rng).residue() as f64)
+            .sum::<f64>()
+            / n as f64;
+        let half = MODULUS as f64 / 2.0;
+        assert!((mean - half).abs() < half * 0.05, "mean {mean} vs {half}");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Fp61::new(42).to_string(), "42");
+        assert_eq!(format!("{:?}", Fp61::new(42)), "Fp61(42)");
+    }
+}

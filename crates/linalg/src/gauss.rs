@@ -1,0 +1,499 @@
+//! Gaussian elimination: rank, row-reduction, solving, and inversion.
+//!
+//! These routines implement the paper's `Rank(·)` operator and the generic
+//! decoding path ("if the encoding matrix **B** is full rank, the user
+//! device can obtain **Tx** by Gaussian elimination", Sec. II-A). All of
+//! them use partial pivoting via [`Scalar::pivot_weight`], which is exact
+//! for finite fields and numerically robust for `f64`.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// Result of an in-place forward elimination: the echelon form plus
+/// bookkeeping needed by [`rank`], [`solve`] and [`invert`].
+#[derive(Clone)]
+pub struct Echelon<F> {
+    /// The matrix in row echelon form.
+    pub matrix: Matrix<F>,
+    /// Column index of the pivot of each pivot row, in order.
+    pub pivot_cols: Vec<usize>,
+}
+
+impl<F: Scalar> Echelon<F> {
+    /// The rank = number of pivots.
+    pub fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+}
+
+impl<F: Scalar> std::fmt::Debug for Echelon<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Echelon")
+            .field("matrix", &self.matrix)
+            .field("pivot_cols", &self.pivot_cols)
+            .finish()
+    }
+}
+
+/// Forward-eliminates `m` into row echelon form with partial pivoting.
+///
+/// Returns the echelon form and pivot columns. Works for any shape,
+/// including empty matrices (rank 0).
+pub fn echelon<F: Scalar>(m: &Matrix<F>) -> Echelon<F> {
+    let mut a = m.clone();
+    let (rows, cols) = a.shape();
+    let mut pivot_cols = Vec::new();
+    let mut pr = 0; // next pivot row
+    for pc in 0..cols {
+        if pr >= rows {
+            break;
+        }
+        // Partial pivoting: pick the row with the largest pivot weight.
+        let mut best = pr;
+        let mut best_w = a.at(pr, pc).pivot_weight();
+        for r in (pr + 1)..rows {
+            let w = a.at(r, pc).pivot_weight();
+            if w > best_w {
+                best = r;
+                best_w = w;
+            }
+        }
+        if best_w == 0.0 {
+            continue; // no pivot in this column
+        }
+        a.swap_rows(pr, best);
+        let pivot = a.at(pr, pc);
+        let inv = pivot.inv().expect("non-zero pivot by construction");
+        for r in (pr + 1)..rows {
+            let v = a.at(r, pc);
+            if v.is_zero() {
+                continue;
+            }
+            a.row_axpy(r, pr, v.mul(inv));
+            // Force exact zero to keep f64 echelon clean.
+            a.set(r, pc, F::zero()).expect("index in range");
+        }
+        pivot_cols.push(pc);
+        pr += 1;
+    }
+    Echelon {
+        matrix: a,
+        pivot_cols,
+    }
+}
+
+/// The rank of `m` (the paper's `Rank(·)`).
+///
+/// An empty matrix has rank 0.
+pub fn rank<F: Scalar>(m: &Matrix<F>) -> usize {
+    if m.is_empty() {
+        return 0;
+    }
+    echelon(m).rank()
+}
+
+/// The reduced row echelon form of `m`.
+///
+/// Pivots are normalized to one and eliminated upward, so the non-zero rows
+/// form a canonical basis of the row space — used by the span calculus and
+/// by the adversary's inference procedure in `scec-sim`.
+pub fn rref<F: Scalar>(m: &Matrix<F>) -> Echelon<F> {
+    let Echelon {
+        mut matrix,
+        pivot_cols,
+    } = echelon(m);
+    for (pr, &pc) in pivot_cols.iter().enumerate().rev() {
+        let pivot = matrix.at(pr, pc);
+        let inv = pivot.inv().expect("pivot is non-zero");
+        matrix.scale_row(pr, inv);
+        matrix.set(pr, pc, F::one()).expect("index in range");
+        for r in 0..pr {
+            let v = matrix.at(r, pc);
+            if v.is_zero() {
+                continue;
+            }
+            matrix.row_axpy(r, pr, v);
+            matrix.set(r, pc, F::zero()).expect("index in range");
+        }
+    }
+    Echelon { matrix, pivot_cols }
+}
+
+/// Solves the square system `a · x = b` by Gaussian elimination.
+///
+/// This is the *generic* decoder of the paper's Sec. II-A: given the full
+/// `B T x` vector and a full-rank `B`, recover `T x`.
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] when `a` is not square;
+/// * [`Error::ShapeMismatch`] when `b.len() != a.nrows()`;
+/// * [`Error::Singular`] when `a` is (numerically) singular.
+pub fn solve<F: Scalar>(a: &Matrix<F>, b: &Vector<F>) -> Result<Vector<F>> {
+    let (rows, cols) = a.shape();
+    if rows != cols {
+        return Err(Error::NotSquare { rows, cols });
+    }
+    if b.len() != rows {
+        return Err(Error::ShapeMismatch {
+            op: "solve",
+            lhs: (rows, cols),
+            rhs: (b.len(), 1),
+        });
+    }
+    // Augment [a | b] and reduce.
+    let aug = a.hstack(&b.clone().into_column_matrix())?;
+    let red = rref(&aug);
+    let coeff_rank = red.pivot_cols.iter().filter(|&&c| c < cols).count();
+    if coeff_rank < rows {
+        // A pivot in the augmented column means no solution exists;
+        // otherwise the coefficient block is rank-deficient with infinitely
+        // many solutions. Both are decode failures for a square system.
+        if red.pivot_cols.iter().any(|&c| c == cols) {
+            return Err(Error::Inconsistent);
+        }
+        return Err(Error::Singular);
+    }
+    let mut x = vec![F::zero(); cols];
+    for (pr, &pc) in red.pivot_cols.iter().enumerate() {
+        if pc < cols {
+            x[pc] = red.matrix.at(pr, cols);
+        }
+    }
+    Ok(Vector::from_vec(x))
+}
+
+/// Solves the (possibly rectangular, possibly underdetermined) system
+/// `a · X = b` for a matrix of right-hand sides, returning **one**
+/// particular solution with free variables set to zero.
+///
+/// This is the workhorse of the simulated adversary's *simulatability*
+/// check: given what a device observed, exhibit randomness consistent with
+/// any alternative data matrix.
+///
+/// # Errors
+///
+/// * [`Error::ShapeMismatch`] when `b.nrows() != a.nrows()`;
+/// * [`Error::Inconsistent`] when no solution exists.
+pub fn solve_rectangular<F: Scalar>(a: &Matrix<F>, b: &Matrix<F>) -> Result<Matrix<F>> {
+    let (rows, cols) = a.shape();
+    if b.nrows() != rows {
+        return Err(Error::ShapeMismatch {
+            op: "solve_rectangular",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let aug = a.hstack(b)?;
+    let red = rref(&aug);
+    if red.pivot_cols.iter().any(|&c| c >= cols) {
+        return Err(Error::Inconsistent);
+    }
+    let mut x = Matrix::zeros(cols, b.ncols());
+    for (pr, &pc) in red.pivot_cols.iter().enumerate() {
+        for n in 0..b.ncols() {
+            x.set(pc, n, red.matrix.at(pr, cols + n))
+                .expect("index in range");
+        }
+    }
+    Ok(x)
+}
+
+/// Inverts a square matrix.
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] when `a` is not square;
+/// * [`Error::Singular`] when `a` is (numerically) singular.
+pub fn invert<F: Scalar>(a: &Matrix<F>) -> Result<Matrix<F>> {
+    let (rows, cols) = a.shape();
+    if rows != cols {
+        return Err(Error::NotSquare { rows, cols });
+    }
+    if rows == 0 {
+        return Err(Error::Empty);
+    }
+    let aug = a.hstack(&Matrix::identity(rows))?;
+    let red = rref(&aug);
+    // Full rank iff every pivot lands in the coefficient block's diagonal.
+    if red.rank() < rows || red.pivot_cols.iter().any(|&c| c >= cols) {
+        return Err(Error::Singular);
+    }
+    red.matrix.submatrix(0..rows, cols..2 * cols)
+}
+
+/// The determinant of a square matrix, via the echelon form.
+///
+/// # Errors
+///
+/// Returns [`Error::NotSquare`] when `a` is not square.
+pub fn determinant<F: Scalar>(a: &Matrix<F>) -> Result<F> {
+    let (rows, cols) = a.shape();
+    if rows != cols {
+        return Err(Error::NotSquare { rows, cols });
+    }
+    if rows == 0 {
+        return Ok(F::one());
+    }
+    // Track row swaps for the sign; redo elimination locally.
+    let mut m = a.clone();
+    let mut det = F::one();
+    let mut sign_flip = false;
+    for pc in 0..cols {
+        let mut best = pc;
+        let mut best_w = m.at(pc, pc).pivot_weight();
+        for r in (pc + 1)..rows {
+            let w = m.at(r, pc).pivot_weight();
+            if w > best_w {
+                best = r;
+                best_w = w;
+            }
+        }
+        if best_w == 0.0 {
+            return Ok(F::zero());
+        }
+        if best != pc {
+            m.swap_rows(pc, best);
+            sign_flip = !sign_flip;
+        }
+        let pivot = m.at(pc, pc);
+        det = det.mul(pivot);
+        let inv = pivot.inv().expect("non-zero pivot");
+        for r in (pc + 1)..rows {
+            let v = m.at(r, pc);
+            if v.is_zero() {
+                continue;
+            }
+            m.row_axpy(r, pc, v.mul(inv));
+        }
+    }
+    Ok(if sign_flip { det.neg() } else { det })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp61;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mat(rows: Vec<Vec<f64>>) -> Matrix<f64> {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn rank_of_identity_and_zero() {
+        assert_eq!(rank(&Matrix::<f64>::identity(4)), 4);
+        assert_eq!(rank(&Matrix::<f64>::zeros(3, 5)), 0);
+        assert_eq!(rank(&Matrix::<f64>::zeros(0, 5)), 0);
+    }
+
+    #[test]
+    fn rank_detects_dependence() {
+        let m = mat(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![1.0, 0.0, 1.0],
+        ]);
+        assert_eq!(rank(&m), 2);
+        let wide = mat(vec![vec![1.0, 2.0, 3.0]]);
+        assert_eq!(rank(&wide), 1);
+        let tall = mat(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        assert_eq!(rank(&tall), 1);
+    }
+
+    #[test]
+    fn rank_over_fp61() {
+        let one = Fp61::new(1);
+        let two = Fp61::new(2);
+        let m = Matrix::from_rows(vec![vec![one, two], vec![two, Fp61::new(4)]]).unwrap();
+        assert_eq!(rank(&m), 1);
+        assert_eq!(rank(&Matrix::<Fp61>::identity(3)), 3);
+    }
+
+    #[test]
+    fn rref_canonical_form() {
+        let m = mat(vec![vec![2.0, 4.0], vec![1.0, 3.0]]);
+        let r = rref(&m);
+        assert_eq!(r.rank(), 2);
+        assert_eq!(r.matrix, Matrix::identity(2));
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + 2y = 5, 3x + 4y = 11 => x = 1, y = 2
+        let a = mat(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Vector::from_vec(vec![5.0, 11.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x.at(0) - 1.0).abs() < 1e-9);
+        assert!((x.at(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_rejects_bad_inputs() {
+        let a = mat(vec![vec![1.0, 2.0]]);
+        assert!(matches!(
+            solve(&a, &Vector::from_vec(vec![1.0])),
+            Err(Error::NotSquare { .. })
+        ));
+        let sq = Matrix::<f64>::identity(2);
+        assert!(matches!(
+            solve(&sq, &Vector::from_vec(vec![1.0])),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        let singular = mat(vec![vec![1.0, 1.0], vec![1.0, 1.0]]);
+        // Consistent but underdetermined: singular.
+        assert!(matches!(
+            solve(&singular, &Vector::from_vec(vec![1.0, 1.0])),
+            Err(Error::Singular)
+        ));
+        // No solution at all: inconsistent.
+        assert!(matches!(
+            solve(&singular, &Vector::from_vec(vec![1.0, 2.0])),
+            Err(Error::Inconsistent)
+        ));
+    }
+
+    #[test]
+    fn solve_over_fp61() {
+        let a = Matrix::from_rows(vec![
+            vec![Fp61::new(1), Fp61::new(2)],
+            vec![Fp61::new(3), Fp61::new(5)],
+        ])
+        .unwrap();
+        let want = Vector::from_vec(vec![Fp61::new(7), Fp61::new(9)]);
+        let b = a.matvec(&want).unwrap();
+        let got = solve(&a, &b).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn invert_roundtrip_f64() {
+        let a = mat(vec![vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.at(i, j) - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_roundtrip_fp61() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = Matrix::<Fp61>::random(6, 6, &mut rng);
+        // Random matrices over a huge field are invertible w.p. ~1.
+        let inv = invert(&a).unwrap();
+        assert_eq!(a.matmul(&inv).unwrap(), Matrix::identity(6));
+        assert_eq!(inv.matmul(&a).unwrap(), Matrix::identity(6));
+    }
+
+    #[test]
+    fn invert_rejects_singular_and_nonsquare() {
+        assert!(matches!(
+            invert(&mat(vec![vec![1.0, 2.0]])),
+            Err(Error::NotSquare { .. })
+        ));
+        assert!(matches!(
+            invert(&mat(vec![vec![1.0, 2.0], vec![2.0, 4.0]])),
+            Err(Error::Singular)
+        ));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        assert_eq!(determinant(&Matrix::<f64>::identity(3)).unwrap(), 1.0);
+        let a = mat(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!((determinant(&a).unwrap() + 2.0).abs() < 1e-9);
+        let singular = mat(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(determinant(&singular).unwrap(), 0.0);
+        assert!(determinant(&mat(vec![vec![1.0, 2.0]])).is_err());
+    }
+
+    #[test]
+    fn determinant_tracks_row_swaps() {
+        // [[0, 1], [1, 0]] has determinant -1.
+        let a = mat(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((determinant(&a).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn echelon_pivot_columns_are_increasing() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = Matrix::<f64>::random(5, 8, &mut rng);
+        let e = echelon(&m);
+        for w in e.pivot_cols.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(e.rank(), 5);
+    }
+
+    #[test]
+    fn solve_rectangular_underdetermined() {
+        // 1 equation, 2 unknowns: x + y = 3 → particular solution (3, 0).
+        let a = mat(vec![vec![1.0, 1.0]]);
+        let b = mat(vec![vec![3.0]]);
+        let x = solve_rectangular(&a, &b).unwrap();
+        assert_eq!(x.shape(), (2, 1));
+        let back = a.matmul(&x).unwrap();
+        assert!((back.at(0, 0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rectangular_full_row_rank_fp() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // 3x5 full-row-rank system: always solvable for any RHS.
+        let a = Matrix::<Fp61>::random(3, 5, &mut rng);
+        assert_eq!(rank(&a), 3);
+        let b = Matrix::<Fp61>::random(3, 4, &mut rng);
+        let x = solve_rectangular(&a, &b).unwrap();
+        assert_eq!(a.matmul(&x).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_rectangular_detects_inconsistency() {
+        // x + y = 1 and x + y = 2 cannot both hold.
+        let a = mat(vec![vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let b = mat(vec![vec![1.0], vec![2.0]]);
+        assert!(matches!(
+            solve_rectangular(&a, &b),
+            Err(Error::Inconsistent)
+        ));
+        // Consistent duplicate rows are fine.
+        let b_ok = mat(vec![vec![1.0], vec![1.0]]);
+        let x = solve_rectangular(&a, &b_ok).unwrap();
+        assert!((a.matmul(&x).unwrap().at(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rectangular_shape_mismatch() {
+        let a = mat(vec![vec![1.0, 1.0]]);
+        let b = mat(vec![vec![1.0], vec![2.0]]);
+        assert!(matches!(
+            solve_rectangular(&a, &b),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_random_roundtrip_f64() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 10] {
+            let a = Matrix::<f64>::random(n, n, &mut rng);
+            let want = Vector::<f64>::random(n, &mut rng);
+            let b = a.matvec(&want).unwrap();
+            let got = solve(&a, &b).unwrap();
+            for i in 0..n {
+                assert!(
+                    (got.at(i) - want.at(i)).abs() < 1e-6,
+                    "n={n} i={i}: {} vs {}",
+                    got.at(i),
+                    want.at(i)
+                );
+            }
+        }
+    }
+}

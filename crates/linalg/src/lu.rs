@@ -1,0 +1,276 @@
+//! PLU factorization: factor a square matrix once, solve many times.
+//!
+//! The `t`-private decoder (and any deployment answering a stream of
+//! queries through the same code) repeatedly solves systems against the
+//! *same* coefficient matrix. Refactoring the Gaussian elimination into a
+//! reusable factorization turns each subsequent solve from O(n³) into
+//! O(n²).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// A PLU factorization `P·A = L·U` with partial pivoting.
+///
+/// `L` (unit lower triangular) and `U` (upper triangular) are packed into
+/// one matrix; `perm` records the row permutation.
+///
+/// # Example
+///
+/// ```
+/// use scec_linalg::{lu::Lu, Matrix, Vector};
+///
+/// let a = Matrix::from_rows(vec![vec![4.0, 3.0], vec![6.0, 3.0]])?;
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&Vector::from_vec(vec![10.0, 12.0]))?;
+/// // 4x + 3y = 10, 6x + 3y = 12 → x = 1, y = 2
+/// assert!((x.at(0) - 1.0).abs() < 1e-12);
+/// assert!((x.at(1) - 2.0).abs() < 1e-12);
+/// # Ok::<(), scec_linalg::Error>(())
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lu<F> {
+    packed: Matrix<F>,
+    perm: Vec<usize>,
+    swaps_odd: bool,
+}
+
+impl<F: Scalar> std::fmt::Debug for Lu<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lu")
+            .field("packed", &self.packed)
+            .field("perm", &self.perm)
+            .field("swaps_odd", &self.swaps_odd)
+            .finish()
+    }
+}
+
+impl<F: Scalar> Lu<F> {
+    /// Factors a square, invertible matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square;
+    /// * [`Error::Empty`] when `a` has no rows;
+    /// * [`Error::Singular`] when `a` is (numerically) rank deficient.
+    pub fn factor(a: &Matrix<F>) -> Result<Self> {
+        let (rows, cols) = a.shape();
+        if rows != cols {
+            return Err(Error::NotSquare { rows, cols });
+        }
+        if rows == 0 {
+            return Err(Error::Empty);
+        }
+        let n = rows;
+        let mut packed = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps_odd = false;
+        for k in 0..n {
+            // Partial pivoting within column k.
+            let mut best = k;
+            let mut best_w = packed.at(k, k).pivot_weight();
+            for r in (k + 1)..n {
+                let w = packed.at(r, k).pivot_weight();
+                if w > best_w {
+                    best = r;
+                    best_w = w;
+                }
+            }
+            if best_w == 0.0 {
+                return Err(Error::Singular);
+            }
+            if best != k {
+                packed.swap_rows(k, best);
+                perm.swap(k, best);
+                swaps_odd = !swaps_odd;
+            }
+            let pivot = packed.at(k, k);
+            let inv = pivot.inv().expect("non-zero pivot");
+            for r in (k + 1)..n {
+                let factor = packed.at(r, k).mul(inv);
+                packed.set(r, k, factor)?; // store L multiplier in place
+                if factor.is_zero() {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let v = packed.at(r, c).sub(factor.mul(packed.at(k, c)));
+                    packed.set(r, c, v)?;
+                }
+            }
+        }
+        Ok(Lu {
+            packed,
+            perm,
+            swaps_odd,
+        })
+    }
+
+    /// The system dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.packed.nrows()
+    }
+
+    /// Solves `A·x = b` using the stored factors (O(n²)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector<F>) -> Result<Vector<F>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution on P·b with unit-diagonal L.
+        let mut y = vec![F::zero(); n];
+        for i in 0..n {
+            let mut acc = b.at(self.perm[i]);
+            for k in 0..i {
+                acc = acc.sub(self.packed.at(i, k).mul(y[k]));
+            }
+            y[i] = acc;
+        }
+        // Backward substitution with U.
+        let mut x = vec![F::zero(); n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in (i + 1)..n {
+                acc = acc.sub(self.packed.at(i, k).mul(x[k]));
+            }
+            let diag = self.packed.at(i, i);
+            x[i] = acc.div(diag).ok_or(Error::Singular)?;
+        }
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `b.nrows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix<F>) -> Result<Matrix<F>> {
+        let n = self.dim();
+        if b.nrows() != n {
+            return Err(Error::ShapeMismatch {
+                op: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.ncols());
+        for c in 0..b.ncols() {
+            let col = self.solve(&b.col(c))?;
+            for (rix, &v) in col.as_slice().iter().enumerate() {
+                out.set(rix, c, v)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The determinant, from the product of `U`'s diagonal and the
+    /// permutation sign.
+    pub fn determinant(&self) -> F {
+        let mut det = F::one();
+        for i in 0..self.dim() {
+            det = det.mul(self.packed.at(i, i));
+        }
+        if self.swaps_odd {
+            det.neg()
+        } else {
+            det
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp61;
+    use crate::gauss;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn factor_solve_matches_gauss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 12] {
+            let a = Matrix::<Fp61>::random(n, n, &mut rng);
+            let lu = Lu::factor(&a).unwrap();
+            for _ in 0..3 {
+                let b = Vector::<Fp61>::random(n, &mut rng);
+                let via_lu = lu.solve(&b).unwrap();
+                let via_gauss = gauss::solve(&a, &b).unwrap();
+                assert_eq!(via_lu, via_gauss, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_accuracy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20;
+        let a = Matrix::<f64>::random(n, n, &mut rng);
+        let want = Vector::<f64>::random(n, &mut rng);
+        let b = a.matvec(&want).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let got = lu.solve(&b).unwrap();
+        for i in 0..n {
+            assert!((got.at(i) - want.at(i)).abs() < 1e-6, "i={i}");
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::<Fp61>::random(6, 6, &mut rng);
+        let b = Matrix::<Fp61>::random(6, 4, &mut rng);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        assert_eq!(a.matmul(&x).unwrap(), b);
+    }
+
+    #[test]
+    fn determinant_matches_gauss() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [2usize, 3, 6] {
+            let a = Matrix::<Fp61>::random(n, n, &mut rng);
+            let lu = Lu::factor(&a).unwrap();
+            assert_eq!(lu.determinant(), gauss::determinant(&a).unwrap(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            Lu::factor(&Matrix::<f64>::zeros(2, 3)),
+            Err(Error::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Lu::<f64>::factor(&Matrix::zeros(0, 0)),
+            Err(Error::Empty)
+        ));
+        let singular = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&singular), Err(Error::Singular)));
+        let a = Matrix::<f64>::identity(3);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(lu.solve(&Vector::zeros(2)).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+        assert_eq!(lu.dim(), 3);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // [[0, 1], [1, 0]] needs the row swap to factor at all.
+        let a = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&Vector::from_vec(vec![3.0, 7.0])).unwrap();
+        assert!((x.at(0) - 7.0).abs() < 1e-12);
+        assert!((x.at(1) - 3.0).abs() < 1e-12);
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+}

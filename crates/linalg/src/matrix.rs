@@ -1,0 +1,769 @@
+//! Dense row-major matrices over a generic [`Scalar`] field.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Axis, Error, Result};
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// A dense, row-major matrix over a field `F`.
+///
+/// `Matrix` is the workhorse of the SCEC workspace: the data matrix `A`, the
+/// encoding coefficient matrix `B`, its per-device blocks `B_j`, and the
+/// stacked matrix `T = [A; R]` are all `Matrix` values. The API favors
+/// explicit, fallible operations ([`Result`]) over panics; only the indexed
+/// accessors [`Matrix::get`]/[`Matrix::set`] have panicking `[( )]`-style
+/// siblings ([`Matrix::at`]).
+///
+/// # Example
+///
+/// ```
+/// use scec_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b)?, a);
+/// # Ok::<(), scec_linalg::Error>(())
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix<F> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Scalar> Matrix<F> {
+    /// Creates a matrix of the given shape with every entry zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix (the paper's `E_n`).
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = F::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `rows` is empty or the first row has no
+    /// columns, and [`Error::ShapeMismatch`] when rows have differing
+    /// lengths.
+    pub fn from_rows(rows: Vec<Vec<F>>) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(Error::Empty);
+        }
+        let cols = rows[0].len();
+        let nrows = rows.len();
+        let mut data = Vec::with_capacity(nrows * cols);
+        for (i, row) in rows.into_iter().enumerate() {
+            if row.len() != cols {
+                return Err(Error::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (i, cols),
+                    rhs: (i, row.len()),
+                });
+            }
+            data.extend(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<F>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::ShapeMismatch {
+                op: "from_flat",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix with entries drawn by [`Scalar::sample`].
+    ///
+    /// This is how the cloud generates the random blinding rows
+    /// `R_1, …, R_r`.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| F::sample(rng)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows (`V(·)` in the paper's notation).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix has zero rows or columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Checked element access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for indices outside the shape.
+    pub fn get(&self, row: usize, col: usize) -> Result<F> {
+        self.check_index(row, col)?;
+        Ok(self.data[row * self.cols + col])
+    }
+
+    /// Unchecked-feel element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds. Prefer [`Matrix::get`] in
+    /// fallible contexts.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> F {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.data[row * self.cols + col]
+    }
+
+    /// Checked element mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for indices outside the shape.
+    pub fn set(&mut self, row: usize, col: usize, value: F) -> Result<()> {
+        self.check_index(row, col)?;
+        self.data[row * self.cols + col] = value;
+        Ok(())
+    }
+
+    fn check_index(&self, row: usize, col: usize) -> Result<()> {
+        if row >= self.rows {
+            return Err(Error::IndexOutOfBounds {
+                index: row,
+                bound: self.rows,
+                axis: Axis::Row,
+            });
+        }
+        if col >= self.cols {
+            return Err(Error::IndexOutOfBounds {
+                index: col,
+                bound: self.cols,
+                axis: Axis::Col,
+            });
+        }
+        Ok(())
+    }
+
+    /// A borrowed view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.nrows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[F] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.nrows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [F] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[F]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Column `j` as an owned [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= self.ncols()`.
+    pub fn col(&self, j: usize) -> Vector<F> {
+        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        Vector::from_vec((0..self.rows).map(|i| self.data[i * self.cols + j]).collect())
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix<F> {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `self.ncols() != rhs.nrows()`.
+    pub fn matmul(&self, rhs: &Matrix<F>) -> Result<Matrix<F>> {
+        if self.cols != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams over rhs rows for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a.is_zero() {
+                    continue;
+                }
+                let rrow: &[F] = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow: &mut [F] = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o = o.add(a.mul(b));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `self.ncols() != x.len()`.
+    pub fn matvec(&self, x: &Vector<F>) -> Result<Vector<F>> {
+        if self.cols != x.len() {
+            return Err(Error::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = F::zero();
+            for (&a, &b) in row.iter().zip(x.as_slice()) {
+                acc = acc.add(a.mul(b));
+            }
+            out.push(acc);
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Entry-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &Matrix<F>) -> Result<Matrix<F>> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a.add(b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Entry-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Matrix<F>) -> Result<Matrix<F>> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::ShapeMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a.sub(b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: F) -> Matrix<F> {
+        let data = self.data.iter().map(|&a| a.mul(s)).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when row counts differ.
+    pub fn hstack(&self, rhs: &Matrix<F>) -> Result<Matrix<F>> {
+        if self.rows != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let cols = self.cols + rhs.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(rhs.row(i));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Vertical concatenation `[self; rhs]` (the paper's `[Bᵀ_1, …]ᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when column counts differ.
+    pub fn vstack(&self, rhs: &Matrix<F>) -> Result<Matrix<F>> {
+        if self.cols != rhs.cols {
+            return Err(Error::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + rhs.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Extracts the row range `[start, end)` as a new matrix — the paper's
+    /// `{·}ᵃ_b` block-selection operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] when `end > self.nrows()` or
+    /// `start > end`.
+    pub fn row_block(&self, start: usize, end: usize) -> Result<Matrix<F>> {
+        if end > self.rows || start > end {
+            return Err(Error::IndexOutOfBounds {
+                index: end.max(start),
+                bound: self.rows,
+                axis: Axis::Row,
+            });
+        }
+        Ok(Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        })
+    }
+
+    /// Extracts an arbitrary sub-matrix by row and column ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] when a range exceeds the shape.
+    pub fn submatrix(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Result<Matrix<F>> {
+        if rows.end > self.rows || rows.start > rows.end {
+            return Err(Error::IndexOutOfBounds {
+                index: rows.end.max(rows.start),
+                bound: self.rows,
+                axis: Axis::Row,
+            });
+        }
+        if cols.end > self.cols || cols.start > cols.end {
+            return Err(Error::IndexOutOfBounds {
+                index: cols.end.max(cols.start),
+                bound: self.cols,
+                axis: Axis::Col,
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols.len());
+        for i in rows.clone() {
+            data.extend_from_slice(&self.data[i * self.cols + cols.start..i * self.cols + cols.end]);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols: cols.len(),
+            data,
+        })
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// In-place `row[target] -= factor * row[source]` — the elementary row
+    /// operation used by Gaussian elimination.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of bounds or `target == source`.
+    pub fn row_axpy(&mut self, target: usize, source: usize, factor: F) {
+        assert!(target < self.rows && source < self.rows, "row index out of bounds");
+        assert_ne!(target, source, "row_axpy requires distinct rows");
+        let (t, s) = if target < source {
+            let (head, tail) = self.data.split_at_mut(source * self.cols);
+            (
+                &mut head[target * self.cols..(target + 1) * self.cols],
+                &tail[..self.cols],
+            )
+        } else {
+            let (head, tail) = self.data.split_at_mut(target * self.cols);
+            (
+                &mut tail[..self.cols],
+                &head[source * self.cols..(source + 1) * self.cols],
+            )
+        };
+        for (ti, &si) in t.iter_mut().zip(s) {
+            *ti = ti.sub(factor.mul(si));
+        }
+    }
+
+    /// Scales row `i` by `factor` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn scale_row(&mut self, i: usize, factor: F) {
+        for v in self.row_mut(i) {
+            *v = v.mul(factor);
+        }
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_flat(self) -> Vec<F> {
+        self.data
+    }
+
+    /// Borrow the flat row-major buffer.
+    pub fn as_flat(&self) -> &[F] {
+        &self.data
+    }
+
+    /// The rank, computed by Gaussian elimination with partial pivoting.
+    ///
+    /// This is the paper's `Rank(·)`; availability of an LCEC is
+    /// `rank(B) == m + r`.
+    pub fn rank(&self) -> usize {
+        crate::gauss::rank(self)
+    }
+}
+
+impl<F: Scalar> fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        // Clamp output so huge experiment matrices stay debuggable.
+        const MAX_SHOWN: usize = 8;
+        for i in 0..self.rows.min(MAX_SHOWN) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(MAX_SHOWN) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self.data[i * self.cols + j])?;
+            }
+            if self.cols > MAX_SHOWN {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > MAX_SHOWN {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp61;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn m2x2() -> Matrix<f64> {
+        Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = m2x2();
+        assert_eq!(m.shape(), (2, 2));
+        assert!(!m.is_empty());
+        assert!(m.is_square());
+        assert_eq!(m.at(1, 0), 3.0);
+        assert_eq!(m.get(1, 1).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_and_empty() {
+        assert_eq!(Matrix::<f64>::from_rows(vec![]), Err(Error::Empty));
+        assert_eq!(Matrix::<f64>::from_rows(vec![vec![]]), Err(Error::Empty));
+        assert!(matches!(
+            Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(Error::ShapeMismatch { op: "from_rows", .. })
+        ));
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn get_set_bounds() {
+        let mut m = m2x2();
+        assert!(matches!(
+            m.get(2, 0),
+            Err(Error::IndexOutOfBounds { axis: Axis::Row, .. })
+        ));
+        assert!(matches!(
+            m.get(0, 2),
+            Err(Error::IndexOutOfBounds { axis: Axis::Col, .. })
+        ));
+        m.set(0, 0, 9.0).unwrap();
+        assert_eq!(m.at(0, 0), 9.0);
+        assert!(m.set(5, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = Matrix::<f64>::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i.at(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+        let z = Matrix::<f64>::zeros(2, 3);
+        assert!(z.as_flat().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.at(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_and_known_product() {
+        let m = m2x2();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+        let p = m.matmul(&m).unwrap();
+        assert_eq!(
+            p,
+            Matrix::from_rows(vec![vec![7.0, 10.0], vec![15.0, 22.0]]).unwrap()
+        );
+        let bad = Matrix::<f64>::zeros(3, 3);
+        assert!(m.matmul(&bad).is_err());
+    }
+
+    #[test]
+    fn matvec_known_product() {
+        let m = m2x2();
+        let x = Vector::from_vec(vec![1.0, 1.0]);
+        assert_eq!(m.matvec(&x).unwrap().as_slice(), &[3.0, 7.0]);
+        let wrong = Vector::from_vec(vec![1.0]);
+        assert!(m.matvec(&wrong).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let m = m2x2();
+        let s = m.add(&m).unwrap();
+        assert_eq!(s, m.scale(2.0));
+        assert_eq!(s.sub(&m).unwrap(), m);
+        assert!(m.add(&Matrix::zeros(3, 2)).is_err());
+        assert!(m.sub(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let m = m2x2();
+        let h = m.hstack(&Matrix::identity(2)).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.at(0, 2), 1.0);
+        assert_eq!(h.at(0, 3), 0.0);
+        let v = m.vstack(&Matrix::identity(2)).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.at(2, 0), 1.0);
+        assert!(m.hstack(&Matrix::zeros(3, 1)).is_err());
+        assert!(m.vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn row_block_and_submatrix() {
+        let m = Matrix::from_rows(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let b = m.row_block(1, 3).unwrap();
+        assert_eq!(b.shape(), (2, 3));
+        assert_eq!(b.at(0, 0), 4.0);
+        assert!(m.row_block(2, 4).is_err());
+        // Empty block is allowed (used for unselected devices).
+        assert_eq!(m.row_block(1, 1).unwrap().nrows(), 0);
+
+        let s = m.submatrix(0..2, 1..3).unwrap();
+        assert_eq!(s, Matrix::from_rows(vec![vec![2.0, 3.0], vec![5.0, 6.0]]).unwrap());
+        assert!(m.submatrix(0..4, 0..1).is_err());
+        assert!(m.submatrix(0..1, 0..4).is_err());
+    }
+
+    #[test]
+    fn swap_rows_and_axpy() {
+        let mut m = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        m.swap_rows(0, 1);
+        assert_eq!(m.at(0, 0), 0.0);
+        assert_eq!(m.at(0, 1), 1.0);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.at(1, 0), 1.0);
+
+        let mut m = m2x2();
+        m.row_axpy(1, 0, 3.0); // row1 -= 3*row0 => [0, -2]
+        assert_eq!(m.row(1), &[0.0, -2.0]);
+        m.row_axpy(0, 1, -1.0); // row0 += row1 => [1, 0]
+        assert_eq!(m.row(0), &[1.0, 0.0]);
+        m.scale_row(1, -0.5);
+        assert_eq!(m.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn row_axpy_same_row_panics() {
+        let mut m = m2x2();
+        m.row_axpy(0, 0, 1.0);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let m = m2x2();
+        assert_eq!(m.col(0).as_slice(), &[1.0, 3.0]);
+        assert_eq!(m.col(1).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn rows_iter_yields_all_rows() {
+        let m = m2x2();
+        let rows: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn random_matrix_over_fp() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = Matrix::<Fp61>::random(4, 5, &mut rng);
+        assert_eq!(m.shape(), (4, 5));
+        // Overwhelmingly likely all distinct in a 2^61 field.
+        let mut seen = std::collections::HashSet::new();
+        for &v in m.as_flat() {
+            seen.insert(v.residue());
+        }
+        assert!(seen.len() > 15);
+    }
+
+    #[test]
+    fn debug_output_is_clamped() {
+        let m = Matrix::<f64>::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains('…'));
+    }
+}

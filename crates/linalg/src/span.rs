@@ -1,0 +1,199 @@
+//! Row-span calculus: dimensions of spans, sums, and intersections.
+//!
+//! The paper states its security condition in span form (Sec. II-B):
+//! an LCEC is information-theoretically secure iff for every device `j`,
+//! `dim(L(B_j) ∩ L(λ̄)) = 0`, where `λ̄ = [E_m | O_{m,r}]` spans all linear
+//! combinations of pure data rows. This module computes exactly those
+//! quantities using the dimension formula
+//! `dim(U ∩ V) = dim U + dim V − dim(U + V)`.
+
+use crate::gauss::{rank, rref};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Dimension of the row span of `m` (equals its rank).
+pub fn dim<F: Scalar>(m: &Matrix<F>) -> usize {
+    rank(m)
+}
+
+/// Dimension of the sum `L(a) + L(b)` of two row spans.
+///
+/// Both matrices must have the same number of columns; an empty operand
+/// (zero rows) contributes nothing.
+///
+/// # Panics
+///
+/// Panics when the column counts differ and both operands are non-empty.
+pub fn sum_dim<F: Scalar>(a: &Matrix<F>, b: &Matrix<F>) -> usize {
+    match (a.nrows() == 0, b.nrows() == 0) {
+        (true, true) => 0,
+        (true, false) => rank(b),
+        (false, true) => rank(a),
+        (false, false) => {
+            let stacked = a
+                .vstack(b)
+                .expect("sum_dim requires operands with equal column counts");
+            rank(&stacked)
+        }
+    }
+}
+
+/// Dimension of the intersection `L(a) ∩ L(b)` of two row spans.
+///
+/// This is the paper's security functional: a device block `B_j` is secure
+/// iff `intersection_dim(B_j, λ̄) == 0`.
+///
+/// # Panics
+///
+/// Panics when the column counts differ and both operands are non-empty.
+pub fn intersection_dim<F: Scalar>(a: &Matrix<F>, b: &Matrix<F>) -> usize {
+    if a.nrows() == 0 || b.nrows() == 0 {
+        return 0;
+    }
+    let da = rank(a);
+    let db = rank(b);
+    da + db - sum_dim(a, b)
+}
+
+/// The matrix `λ̄ = [E_m | O_{m,r}]` whose row span is every linear
+/// combination of pure data rows (Sec. II-B).
+pub fn data_span_basis<F: Scalar>(m: usize, r: usize) -> Matrix<F> {
+    Matrix::identity(m)
+        .hstack(&Matrix::zeros(m, r))
+        .expect("identity and zero blocks have matching row counts")
+}
+
+/// Whether the row span of `candidate` contains the vector `v` (given as a
+/// `1 × n` matrix row).
+///
+/// Used by the simulated adversary: a device that could reconstruct some
+/// pure-data combination would have that combination inside its span.
+pub fn contains<F: Scalar>(candidate: &Matrix<F>, v: &[F]) -> bool {
+    if candidate.nrows() == 0 {
+        return v.iter().all(Scalar::is_zero);
+    }
+    assert_eq!(
+        candidate.ncols(),
+        v.len(),
+        "vector length must match column count"
+    );
+    let row = Matrix::from_flat(1, v.len(), v.to_vec()).expect("shape matches");
+    let base = rank(candidate);
+    let joined = candidate.vstack(&row).expect("column counts match");
+    rank(&joined) == base
+}
+
+/// A canonical basis (RREF non-zero rows) of the row span of `m`.
+///
+/// Two matrices have equal row spans iff their canonical bases are equal,
+/// which gives tests a cheap span-equality oracle.
+pub fn canonical_basis<F: Scalar>(m: &Matrix<F>) -> Matrix<F> {
+    let red = rref(m);
+    let k = red.rank();
+    if k == 0 {
+        return Matrix::zeros(0, m.ncols());
+    }
+    red.matrix
+        .row_block(0, k)
+        .expect("rank is at most the row count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp61;
+
+    fn mat(rows: Vec<Vec<f64>>) -> Matrix<f64> {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn dims_of_simple_spans() {
+        let a = mat(vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        let b = mat(vec![vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        assert_eq!(dim(&a), 2);
+        assert_eq!(sum_dim(&a, &b), 3);
+        assert_eq!(intersection_dim(&a, &b), 1); // shared e2 axis
+    }
+
+    #[test]
+    fn disjoint_spans_have_zero_intersection() {
+        let a = mat(vec![vec![1.0, 0.0, 0.0, 0.0]]);
+        let b = mat(vec![vec![0.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 0.0]]);
+        assert_eq!(intersection_dim(&a, &b), 0);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let e = Matrix::<f64>::zeros(0, 3);
+        let a = mat(vec![vec![1.0, 2.0, 3.0]]);
+        assert_eq!(sum_dim(&e, &a), 1);
+        assert_eq!(sum_dim(&a, &e), 1);
+        assert_eq!(sum_dim(&e, &e), 0);
+        assert_eq!(intersection_dim(&e, &a), 0);
+        assert_eq!(intersection_dim(&a, &e), 0);
+    }
+
+    #[test]
+    fn paper_security_example() {
+        // B_j = [E_2 | E_2]: each coded row is data + random. Secure.
+        let b_j = Matrix::<f64>::identity(2)
+            .hstack(&Matrix::identity(2))
+            .unwrap();
+        let lambda = data_span_basis::<f64>(2, 2);
+        assert_eq!(intersection_dim(&b_j, &lambda), 0);
+
+        // An insecure block: a pure data row leaks.
+        let leaky = mat(vec![vec![1.0, 0.0, 0.0, 0.0]]);
+        assert_eq!(intersection_dim(&leaky, &lambda), 1);
+
+        // Two coded rows sharing ONE random vector: their difference is a
+        // pure-data combination A_1 - A_2, so the intersection is non-zero.
+        let shared_random = mat(vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 1.0, 1.0, 0.0]]);
+        assert_eq!(intersection_dim(&shared_random, &lambda), 1);
+    }
+
+    #[test]
+    fn security_example_over_fp61() {
+        let one = Fp61::new(1);
+        let zero = Fp61::new(0);
+        let b_j = Matrix::from_rows(vec![
+            vec![one, zero, one, zero],
+            vec![zero, one, zero, one],
+        ])
+        .unwrap();
+        let lambda = data_span_basis::<Fp61>(2, 2);
+        assert_eq!(intersection_dim(&b_j, &lambda), 0);
+    }
+
+    #[test]
+    fn contains_membership() {
+        let a = mat(vec![vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]);
+        assert!(contains(&a, &[1.0, 1.0, 2.0]));
+        assert!(!contains(&a, &[1.0, 0.0, 0.0]));
+        assert!(contains(&a, &[0.0, 0.0, 0.0])); // zero vector is in any span
+        let empty = Matrix::<f64>::zeros(0, 3);
+        assert!(contains(&empty, &[0.0, 0.0, 0.0]));
+        assert!(!contains(&empty, &[1.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn canonical_basis_equality_oracle() {
+        let a = mat(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let scaled = mat(vec![vec![2.0, 4.0], vec![3.0, 4.0]]);
+        assert_eq!(canonical_basis(&a), canonical_basis(&scaled));
+        let different = mat(vec![vec![1.0, 0.0]]);
+        assert_ne!(canonical_basis(&a), canonical_basis(&different));
+        let zero = Matrix::<f64>::zeros(2, 2);
+        assert_eq!(canonical_basis(&zero).nrows(), 0);
+    }
+
+    #[test]
+    fn data_span_basis_shape() {
+        let l = data_span_basis::<f64>(3, 2);
+        assert_eq!(l.shape(), (3, 5));
+        assert_eq!(l.at(0, 0), 1.0);
+        assert_eq!(l.at(2, 4), 0.0);
+        assert_eq!(dim(&l), 3);
+    }
+}

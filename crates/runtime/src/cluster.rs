@@ -1,0 +1,615 @@
+//! The base protocol cluster: one thread per device, all-responses
+//! decoding.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::Rng;
+
+use scec_coding::decode;
+use scec_core::ScecSystem;
+use scec_linalg::{Matrix, Scalar, Vector};
+
+use crate::error::{Error, Result};
+use crate::message::{FromDevice, ToDevice};
+
+/// Default per-query deadline.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How a spawned device actor (mis)behaves — fault injection for tests,
+/// demos, and integrity-check validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Follows the protocol after sleeping per query (a straggler).
+    Delayed(Duration),
+    /// Returns a *corrupted* partial: the first computed value is
+    /// perturbed. The decoded result will be wrong — detectably so under
+    /// [`scec_core::integrity`]'s Freivalds check.
+    Byzantine,
+}
+
+/// One device actor's thread body: owns its share, serves queries until
+/// shutdown.
+pub(crate) fn device_main<F: Scalar>(
+    device: usize,
+    inbox: Receiver<ToDevice<F>>,
+    outbox: Sender<FromDevice<F>>,
+    behavior: DeviceBehavior,
+) {
+    let mut share = None;
+    let mut tagged = None;
+    while let Ok(msg) = inbox.recv() {
+        match msg {
+            ToDevice::Install(s) => share = Some(*s),
+            ToDevice::InstallTagged(s) => tagged = Some(*s),
+            ToDevice::QueryBatch { request, xs } => {
+                if let DeviceBehavior::Delayed(d) = behavior {
+                    std::thread::sleep(d);
+                }
+                let response = if let Some(s) = &share {
+                    match s.coded().matmul(&xs) {
+                        Ok(mut values) => {
+                            if behavior == DeviceBehavior::Byzantine && !values.is_empty() {
+                                let v = values.at(0, 0).add(F::one());
+                                values.set(0, 0, v).expect("in range");
+                            }
+                            FromDevice::BatchPartial {
+                                request,
+                                device,
+                                values,
+                            }
+                        }
+                        Err(e) => FromDevice::Failure {
+                            request,
+                            device,
+                            reason: e.to_string(),
+                        },
+                    }
+                } else {
+                    FromDevice::Failure {
+                        request,
+                        device,
+                        reason: "no share installed (or tagged share on batch protocol)".into(),
+                    }
+                };
+                if outbox.send(response).is_err() {
+                    return;
+                }
+            }
+            ToDevice::Query { request, x } => {
+                if let DeviceBehavior::Delayed(d) = behavior {
+                    std::thread::sleep(d);
+                }
+                let corrupt = |mut values: scec_linalg::Vector<F>| {
+                    if behavior == DeviceBehavior::Byzantine {
+                        if let Some(first) = values.as_mut_slice().first_mut() {
+                            *first = first.add(F::one());
+                        }
+                    }
+                    values
+                };
+                let response = if let Some(s) = &tagged {
+                    match s.compute(&x) {
+                        Ok(mut responses) => {
+                            if behavior == DeviceBehavior::Byzantine {
+                                if let Some(first) = responses.first_mut() {
+                                    first.value = first.value.add(F::one());
+                                }
+                            }
+                            FromDevice::TaggedPartial {
+                                request,
+                                device,
+                                responses,
+                            }
+                        }
+                        Err(e) => FromDevice::Failure {
+                            request,
+                            device,
+                            reason: e.to_string(),
+                        },
+                    }
+                } else if let Some(s) = &share {
+                    match s.compute(&x) {
+                        Ok(values) => FromDevice::Partial {
+                            request,
+                            device,
+                            values: corrupt(values),
+                        },
+                        Err(e) => FromDevice::Failure {
+                            request,
+                            device,
+                            reason: e.to_string(),
+                        },
+                    }
+                } else {
+                    FromDevice::Failure {
+                        request,
+                        device,
+                        reason: "no share installed".into(),
+                    }
+                };
+                if outbox.send(response).is_err() {
+                    return; // cluster gone
+                }
+            }
+            ToDevice::Shutdown => return,
+        }
+    }
+}
+
+/// Handle to one spawned device actor.
+pub(crate) struct DeviceHandle<F> {
+    pub(crate) device: usize,
+    pub(crate) tx: Sender<ToDevice<F>>,
+    pub(crate) join: Option<JoinHandle<()>>,
+}
+
+impl<F> DeviceHandle<F> {
+    /// Requests termination; a send failure just means the thread is
+    /// already gone.
+    pub(crate) fn shutdown(&mut self) {
+        let _ = self.tx.send(ToDevice::Shutdown);
+    }
+}
+
+/// Latency statistics over the queries a cluster has served.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryStats {
+    /// Queries completed successfully.
+    pub count: usize,
+    /// Mean latency, seconds.
+    pub mean: f64,
+    /// Median latency, seconds.
+    pub p50: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99: f64,
+    /// Worst observed latency, seconds.
+    pub max: f64,
+}
+
+/// A running cluster executing the base SCEC protocol on real threads.
+///
+/// See the [crate-level example](crate).
+pub struct LocalCluster<F: Scalar> {
+    design: scec_coding::CodeDesign,
+    devices: Vec<DeviceHandle<F>>,
+    responses: Receiver<FromDevice<F>>,
+    next_request: AtomicU64,
+    timeout: Duration,
+    /// Out-of-order responses parked for other in-flight requests.
+    parked: std::sync::Mutex<HashMap<u64, Vec<FromDevice<F>>>>,
+    /// Completed-query latencies, seconds.
+    latencies: std::sync::Mutex<Vec<f64>>,
+}
+
+impl<F: Scalar> LocalCluster<F> {
+    /// Spawns one thread per participating device and installs the coded
+    /// shares produced by `system.distribute`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution failures.
+    pub fn launch<R: Rng + ?Sized>(system: &ScecSystem<F>, rng: &mut R) -> Result<Self> {
+        Self::launch_with_delays(system, rng, &[])
+    }
+
+    /// Like [`launch`](Self::launch), with an artificial service delay per
+    /// device (padded with zero) — used to emulate stragglers in tests
+    /// and demos.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution failures.
+    pub fn launch_with_delays<R: Rng + ?Sized>(
+        system: &ScecSystem<F>,
+        rng: &mut R,
+        delays: &[Duration],
+    ) -> Result<Self> {
+        let behaviors: Vec<DeviceBehavior> = delays
+            .iter()
+            .map(|&d| {
+                if d.is_zero() {
+                    DeviceBehavior::Honest
+                } else {
+                    DeviceBehavior::Delayed(d)
+                }
+            })
+            .collect();
+        Self::launch_with_behaviors(system, rng, &behaviors)
+    }
+
+    /// Like [`launch`](Self::launch), with an explicit behavior per
+    /// device (padded with [`DeviceBehavior::Honest`]) — the fault
+    /// injection hook for straggler and Byzantine scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution failures.
+    pub fn launch_with_behaviors<R: Rng + ?Sized>(
+        system: &ScecSystem<F>,
+        rng: &mut R,
+        behaviors: &[DeviceBehavior],
+    ) -> Result<Self> {
+        let deployment = system.distribute(rng)?;
+        let (resp_tx, resp_rx) = unbounded();
+        let mut devices = Vec::new();
+        for (idx, dev) in deployment.devices().iter().enumerate() {
+            let (tx, rx) = unbounded();
+            let outbox = resp_tx.clone();
+            let device = dev.device();
+            let behavior = behaviors.get(idx).copied().unwrap_or_default();
+            let join = std::thread::Builder::new()
+                .name(format!("scec-device-{device}"))
+                .spawn(move || device_main::<F>(device, rx, outbox, behavior))
+                .expect("spawn device thread");
+            tx.send(ToDevice::Install(Box::new(dev.share().clone())))
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(device),
+                })?;
+            devices.push(DeviceHandle {
+                device,
+                tx,
+                join: Some(join),
+            });
+        }
+        Ok(LocalCluster {
+            design: system.design().clone(),
+            devices,
+            responses: resp_rx,
+            next_request: AtomicU64::new(1),
+            timeout: DEFAULT_TIMEOUT,
+            parked: std::sync::Mutex::new(HashMap::new()),
+            latencies: std::sync::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Latency statistics over the queries served so far (vector queries
+    /// only; batches are excluded because their cost scales with width).
+    pub fn stats(&self) -> QueryStats {
+        let mut xs = self.latencies.lock().expect("latency lock").clone();
+        if xs.is_empty() {
+            return QueryStats::default();
+        }
+        xs.sort_by(f64::total_cmp);
+        let count = xs.len();
+        let pick = |q: f64| xs[((count as f64 - 1.0) * q).round() as usize];
+        QueryStats {
+            count,
+            mean: xs.iter().sum::<f64>() / count as f64,
+            p50: pick(0.50),
+            p99: pick(0.99),
+            max: *xs.last().expect("non-empty"),
+        }
+    }
+
+    /// Sets the per-query deadline (default 10 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Number of device threads.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Runs one full secure query: broadcast, await **all** partials,
+    /// decode with `m` subtractions.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ChannelClosed`] when a device thread died;
+    /// * [`Error::Timeout`] when responses do not arrive in time;
+    /// * [`Error::Coding`] when a device reported a failure (wrapped
+    ///   reason) or decoding failed.
+    pub fn query(&self, x: &Vector<F>) -> Result<Vector<F>> {
+        let started = std::time::Instant::now();
+        let result = self.query_inner(x);
+        if result.is_ok() {
+            self.latencies
+                .lock()
+                .expect("latency lock")
+                .push(started.elapsed().as_secs_f64());
+        }
+        result
+    }
+
+    fn query_inner(&self, x: &Vector<F>) -> Result<Vector<F>> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        for dev in &self.devices {
+            dev.tx
+                .send(ToDevice::Query {
+                    request,
+                    x: x.clone(),
+                })
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(dev.device),
+                })?;
+        }
+        let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
+        let deadline = std::time::Instant::now() + self.timeout;
+        // Concurrent queries share one response channel: whichever thread
+        // pops a response for a different request parks it. Poll with a
+        // bounded interval and re-check the parked stash every round, so a
+        // response parked by a sibling thread is picked up promptly.
+        const POLL: Duration = Duration::from_millis(5);
+        while partials.len() < self.devices.len() {
+            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
+                for resp in stash {
+                    Self::absorb(resp, &mut partials)?;
+                }
+                continue;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::Timeout {
+                    request,
+                    received: partials.len(),
+                    needed: self.devices.len(),
+                });
+            }
+            match self.responses.recv_timeout(remaining.min(POLL)) {
+                Ok(resp) if resp.request() == request => {
+                    Self::absorb(resp, &mut partials)?;
+                }
+                Ok(other) => {
+                    self.parked
+                        .lock()
+                        .expect("parked lock")
+                        .entry(other.request())
+                        .or_default()
+                        .push(other);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // Poll expired — loop to re-check the deadline and the
+                    // parked stash.
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(Error::ChannelClosed { device: None });
+                }
+            }
+        }
+        let ordered: Vec<Vector<F>> = (1..=self.devices.len())
+            .map(|j| partials.remove(&j).expect("all devices responded"))
+            .collect();
+        let btx = decode::stack_partials(&ordered);
+        Ok(decode::decode_fast(&self.design, &btx)?)
+    }
+
+    fn absorb(resp: FromDevice<F>, partials: &mut HashMap<usize, Vector<F>>) -> Result<()> {
+        match resp {
+            FromDevice::Partial {
+                device, values, ..
+            } => {
+                partials.insert(device, values);
+                Ok(())
+            }
+            FromDevice::Failure { device, reason, .. } => {
+                Err(Error::DeviceFailure { device, reason })
+            }
+            other => Err(Error::ProtocolViolation {
+                device: other.device(),
+                what: "non-vector partial on the base protocol",
+            }),
+        }
+    }
+
+    /// Batched secure query over the device threads: every device
+    /// computes `B_j T · X` for the whole column batch in one message
+    /// round, and the user decodes with `m · n` subtractions.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`LocalCluster::query`].
+    pub fn query_batch(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        for dev in &self.devices {
+            dev.tx
+                .send(ToDevice::QueryBatch {
+                    request,
+                    xs: xs.clone(),
+                })
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(dev.device),
+                })?;
+        }
+        let mut partials: HashMap<usize, Matrix<F>> = HashMap::new();
+        let deadline = std::time::Instant::now() + self.timeout;
+        const POLL: Duration = Duration::from_millis(5);
+        while partials.len() < self.devices.len() {
+            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
+                for resp in stash {
+                    Self::absorb_batch(resp, &mut partials)?;
+                }
+                continue;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::Timeout {
+                    request,
+                    received: partials.len(),
+                    needed: self.devices.len(),
+                });
+            }
+            match self.responses.recv_timeout(remaining.min(POLL)) {
+                Ok(resp) if resp.request() == request => {
+                    Self::absorb_batch(resp, &mut partials)?;
+                }
+                Ok(other) => {
+                    self.parked
+                        .lock()
+                        .expect("parked lock")
+                        .entry(other.request())
+                        .or_default()
+                        .push(other);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(Error::ChannelClosed { device: None });
+                }
+            }
+        }
+        let ordered: Vec<Matrix<F>> = (1..=self.devices.len())
+            .map(|j| partials.remove(&j).expect("all devices responded"))
+            .collect();
+        let btx = decode::stack_partial_matrices(&ordered)?;
+        Ok(decode::decode_fast_batch(&self.design, &btx)?)
+    }
+
+    fn absorb_batch(resp: FromDevice<F>, partials: &mut HashMap<usize, Matrix<F>>) -> Result<()> {
+        match resp {
+            FromDevice::BatchPartial {
+                device, values, ..
+            } => {
+                partials.insert(device, values);
+                Ok(())
+            }
+            FromDevice::Failure { device, reason, .. } => {
+                Err(Error::DeviceFailure { device, reason })
+            }
+            other => Err(Error::ProtocolViolation {
+                device: other.device(),
+                what: "non-batch partial on a batch request",
+            }),
+        }
+    }
+
+    /// Shuts down every device thread and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for dev in &mut self.devices {
+            dev.shutdown();
+        }
+        for dev in &mut self.devices {
+            if let Some(join) = dev.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl<F: Scalar> Drop for LocalCluster<F> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_allocation::EdgeFleet;
+    use scec_core::AllocationStrategy;
+    use scec_linalg::{Fp61, Matrix};
+
+    fn build(m: usize, l: usize, seed: u64) -> (Matrix<Fp61>, ScecSystem<Fp61>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+        let sys =
+            ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+        (a, sys, rng)
+    }
+
+    #[test]
+    fn threaded_query_recovers_exactly() {
+        let (a, sys, mut rng) = build(8, 4, 1);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        assert_eq!(cluster.device_count(), sys.plan().device_count());
+        for _ in 0..5 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_from_multiple_threads() {
+        let (a, sys, mut rng) = build(6, 3, 2);
+        let cluster = std::sync::Arc::new(LocalCluster::launch(&sys, &mut rng).unwrap());
+        let queries: Vec<Vector<Fp61>> = (0..8).map(|_| Vector::random(3, &mut rng)).collect();
+        let wants: Vec<Vector<Fp61>> = queries.iter().map(|x| a.matvec(x).unwrap()).collect();
+        let mut handles = Vec::new();
+        for (x, want) in queries.into_iter().zip(wants) {
+            let c = std::sync::Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                assert_eq!(c.query(&x).unwrap(), want);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn slow_devices_still_complete_within_timeout() {
+        let (a, sys, mut rng) = build(5, 3, 3);
+        let delays = vec![Duration::from_millis(30)];
+        let cluster = LocalCluster::launch_with_delays(&sys, &mut rng, &delays).unwrap();
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn timeout_fires_when_a_device_is_too_slow() {
+        let (_a, sys, mut rng) = build(5, 3, 4);
+        let delays = vec![Duration::from_millis(400)];
+        let mut cluster = LocalCluster::launch_with_delays(&sys, &mut rng, &delays).unwrap();
+        cluster.set_timeout(Duration::from_millis(50));
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert!(matches!(cluster.query(&x), Err(Error::Timeout { .. })));
+    }
+
+    #[test]
+    fn wrong_width_query_surfaces_device_failure() {
+        let (_a, sys, mut rng) = build(5, 3, 5);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let bad = Vector::<Fp61>::zeros(7);
+        assert!(matches!(cluster.query(&bad), Err(Error::DeviceFailure { .. })));
+    }
+
+    #[test]
+    fn latency_stats_accumulate() {
+        let (a, sys, mut rng) = build(5, 3, 8);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        assert_eq!(cluster.stats().count, 0);
+        for _ in 0..6 {
+            let x = Vector::<Fp61>::random(3, &mut rng);
+            assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.count, 6);
+        assert!(stats.mean > 0.0);
+        assert!(stats.p50 <= stats.p99);
+        assert!(stats.p99 <= stats.max);
+    }
+
+    #[test]
+    fn batched_threaded_query_matches_matmul() {
+        let (a, sys, mut rng) = build(6, 3, 7);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let xs = Matrix::<Fp61>::random(3, 5, &mut rng);
+        let got = cluster.query_batch(&xs).unwrap();
+        assert_eq!(got, a.matmul(&xs).unwrap());
+        // Interleave with single queries on the same cluster.
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_threads() {
+        let (_a, sys, mut rng) = build(4, 2, 6);
+        {
+            let _cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        } // drop here must not hang or leak threads
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type for the runtime layer.
+
+use std::fmt;
+
+/// A specialized result type for runtime operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the threaded protocol runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A device channel closed unexpectedly (thread panicked or the
+    /// cluster was already shut down).
+    ChannelClosed {
+        /// The device whose channel failed, if known.
+        device: Option<usize>,
+    },
+    /// Waiting for responses exceeded the configured deadline.
+    Timeout {
+        /// The request that timed out.
+        request: u64,
+        /// Responses received before the deadline.
+        received: usize,
+        /// Responses required.
+        needed: usize,
+    },
+    /// A device actor reported a failure serving a query.
+    DeviceFailure {
+        /// The failing device (1-based).
+        device: usize,
+        /// The device's reported reason.
+        reason: String,
+    },
+    /// A device answered with the wrong response kind for the protocol in
+    /// use (e.g. a tagged partial on the base cluster).
+    ProtocolViolation {
+        /// The offending device (1-based).
+        device: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The underlying framework failed (allocation, coding, decode).
+    Core(scec_core::Error),
+    /// The coding layer failed (straggler decode, shapes).
+    Coding(scec_coding::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ChannelClosed { device: Some(d) } => {
+                write!(f, "channel to device {d} closed unexpectedly")
+            }
+            Error::ChannelClosed { device: None } => {
+                f.write_str("a device channel closed unexpectedly")
+            }
+            Error::Timeout {
+                request,
+                received,
+                needed,
+            } => write!(
+                f,
+                "request {request} timed out with {received}/{needed} responses"
+            ),
+            Error::DeviceFailure { device, reason } => {
+                write!(f, "device {device} failed: {reason}")
+            }
+            Error::ProtocolViolation { device, what } => {
+                write!(f, "device {device} violated the protocol: {what}")
+            }
+            Error::Core(e) => write!(f, "framework failure: {e}"),
+            Error::Coding(e) => write!(f, "coding failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Coding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scec_core::Error> for Error {
+    fn from(e: scec_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<scec_coding::Error> for Error {
+    fn from(e: scec_coding::Error) -> Self {
+        Error::Coding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::ChannelClosed { device: Some(3) }.to_string(),
+            "channel to device 3 closed unexpectedly"
+        );
+        assert_eq!(
+            Error::ChannelClosed { device: None }.to_string(),
+            "a device channel closed unexpectedly"
+        );
+        assert_eq!(
+            Error::Timeout { request: 7, received: 2, needed: 5 }.to_string(),
+            "request 7 timed out with 2/5 responses"
+        );
+        assert!(Error::from(scec_core::Error::EmptyData)
+            .to_string()
+            .starts_with("framework failure"));
+        assert_eq!(
+            Error::DeviceFailure { device: 2, reason: "no share".into() }.to_string(),
+            "device 2 failed: no share"
+        );
+        assert_eq!(
+            Error::ProtocolViolation { device: 1, what: "tagged partial" }.to_string(),
+            "device 1 violated the protocol: tagged partial"
+        );
+    }
+
+    #[test]
+    fn sources() {
+        use std::error::Error as _;
+        assert!(Error::from(scec_core::Error::EmptyData).source().is_some());
+        assert!(Error::ChannelClosed { device: None }.source().is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! Threaded message-passing runtime for the SCEC protocol.
+//!
+//! The paper's math treats devices as functions; real edge deployments
+//! are processes exchanging messages. This crate runs the four-step
+//! protocol over **actual concurrency**: each edge device is an OS thread
+//! owning its coded share, connected to the user by crossbeam channels,
+//! speaking a typed [`message`] protocol. Two clusters are
+//! provided:
+//!
+//! * [`LocalCluster`] — the base protocol: install shares, fan a query
+//!   out, wait for *all* partials, decode with `m` subtractions. Supports
+//!   pipelined concurrent queries via request-id correlation.
+//! * [`StragglerCluster`] — the straggler-tolerant variant from
+//!   [`scec_coding::straggler`]: responses carry global row tags, the
+//!   user decodes as soon as **any** `m + r` rows arrive, and slow
+//!   devices (simulated with per-device artificial delays) are simply
+//!   left behind.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use scec_core::{AllocationStrategy, ScecSystem};
+//! use scec_allocation::EdgeFleet;
+//! use scec_linalg::{Fp61, Matrix, Vector};
+//! use scec_runtime::LocalCluster;
+//!
+//! let mut rng = StdRng::seed_from_u64(9);
+//! let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+//! let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0])?;
+//! let system = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
+//!
+//! let cluster = LocalCluster::launch(&system, &mut rng)?;
+//! let x = Vector::<Fp61>::random(4, &mut rng);
+//! let y = cluster.query(&x)?;          // devices run on real threads
+//! assert_eq!(y, a.matvec(&x)?);
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod error;
+pub mod message;
+pub mod straggler_cluster;
+pub mod tprivate_cluster;
+
+pub use cluster::{DeviceBehavior, LocalCluster, QueryStats};
+pub use error::{Error, Result};
+pub use straggler_cluster::StragglerCluster;
+pub use tprivate_cluster::TPrivateCluster;

@@ -1,0 +1,196 @@
+//! The typed wire protocol between the user and device actors.
+//!
+//! Messages are in-memory (crossbeam channels), but the shapes mirror
+//! what a networked deployment would serialize: the user never sends a
+//! device anything but its own share and blinded queries, and devices
+//! never return anything but computed values.
+
+use scec_coding::{DeviceShare, StragglerShare, TaggedResponse};
+use scec_linalg::{Matrix, Vector};
+
+/// Messages from the user/cloud to an edge device.
+#[derive(Clone)]
+pub enum ToDevice<F> {
+    /// Install (or replace) the device's coded share.
+    Install(Box<DeviceShare<F>>),
+    /// Install a straggler-tolerant tagged share.
+    InstallTagged(Box<StragglerShare<F>>),
+    /// Compute `B_j T · x` for the query with this correlation id.
+    Query {
+        /// Correlation id echoed in the response.
+        request: u64,
+        /// The input vector.
+        x: Vector<F>,
+    },
+    /// Compute `B_j T · X` for a whole batch of query columns.
+    QueryBatch {
+        /// Correlation id echoed in the response.
+        request: u64,
+        /// The `l × n` matrix of query columns.
+        xs: Matrix<F>,
+    },
+    /// Terminate the device thread.
+    Shutdown,
+}
+
+/// Messages from an edge device back to the user.
+#[derive(Clone)]
+pub enum FromDevice<F> {
+    /// A computed partial for a plain share.
+    Partial {
+        /// Correlation id of the query.
+        request: u64,
+        /// The responding device (1-based).
+        device: usize,
+        /// The values `B_j T · x`.
+        values: Vector<F>,
+    },
+    /// A computed batch partial (`B_j T · X`).
+    BatchPartial {
+        /// Correlation id of the query.
+        request: u64,
+        /// The responding device (1-based).
+        device: usize,
+        /// The partial matrix.
+        values: Matrix<F>,
+    },
+    /// A computed partial for a tagged (straggler) share.
+    TaggedPartial {
+        /// Correlation id of the query.
+        request: u64,
+        /// The responding device (1-based).
+        device: usize,
+        /// Row-tagged values.
+        responses: Vec<TaggedResponse<F>>,
+    },
+    /// The device could not serve a query (e.g. no share installed or a
+    /// shape mismatch); carries a printable reason.
+    Failure {
+        /// Correlation id of the query.
+        request: u64,
+        /// The responding device (1-based).
+        device: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl<F: scec_linalg::Scalar> std::fmt::Debug for ToDevice<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToDevice::Install(s) => f.debug_tuple("Install").field(s).finish(),
+            ToDevice::InstallTagged(s) => f.debug_tuple("InstallTagged").field(s).finish(),
+            ToDevice::Query { request, x } => f
+                .debug_struct("Query")
+                .field("request", request)
+                .field("x", x)
+                .finish(),
+            ToDevice::QueryBatch { request, xs } => f
+                .debug_struct("QueryBatch")
+                .field("request", request)
+                .field("xs", xs)
+                .finish(),
+            ToDevice::Shutdown => f.write_str("Shutdown"),
+        }
+    }
+}
+
+impl<F: scec_linalg::Scalar> std::fmt::Debug for FromDevice<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FromDevice::Partial {
+                request,
+                device,
+                values,
+            } => f
+                .debug_struct("Partial")
+                .field("request", request)
+                .field("device", device)
+                .field("values", values)
+                .finish(),
+            FromDevice::BatchPartial {
+                request,
+                device,
+                values,
+            } => f
+                .debug_struct("BatchPartial")
+                .field("request", request)
+                .field("device", device)
+                .field("values", values)
+                .finish(),
+            FromDevice::TaggedPartial {
+                request,
+                device,
+                responses,
+            } => f
+                .debug_struct("TaggedPartial")
+                .field("request", request)
+                .field("device", device)
+                .field("responses", &responses.len())
+                .finish(),
+            FromDevice::Failure {
+                request,
+                device,
+                reason,
+            } => f
+                .debug_struct("Failure")
+                .field("request", request)
+                .field("device", device)
+                .field("reason", reason)
+                .finish(),
+        }
+    }
+}
+
+impl<F> FromDevice<F> {
+    /// The correlation id this response answers.
+    pub fn request(&self) -> u64 {
+        match self {
+            FromDevice::Partial { request, .. }
+            | FromDevice::BatchPartial { request, .. }
+            | FromDevice::TaggedPartial { request, .. }
+            | FromDevice::Failure { request, .. } => *request,
+        }
+    }
+
+    /// The responding device.
+    pub fn device(&self) -> usize {
+        match self {
+            FromDevice::Partial { device, .. }
+            | FromDevice::BatchPartial { device, .. }
+            | FromDevice::TaggedPartial { device, .. }
+            | FromDevice::Failure { device, .. } => *device,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scec_linalg::Fp61;
+
+    #[test]
+    fn response_accessors() {
+        let p: FromDevice<Fp61> = FromDevice::Partial {
+            request: 7,
+            device: 2,
+            values: Vector::zeros(3),
+        };
+        assert_eq!(p.request(), 7);
+        assert_eq!(p.device(), 2);
+        let f: FromDevice<Fp61> = FromDevice::Failure {
+            request: 9,
+            device: 1,
+            reason: "no share".into(),
+        };
+        assert_eq!(f.request(), 9);
+        assert_eq!(f.device(), 1);
+        let t: FromDevice<Fp61> = FromDevice::TaggedPartial {
+            request: 4,
+            device: 3,
+            responses: vec![],
+        };
+        assert_eq!(t.request(), 4);
+        assert_eq!(t.device(), 3);
+    }
+}

@@ -1,0 +1,330 @@
+//! Straggler-tolerant cluster: decode from the first `m + r` tagged rows
+//! to arrive, leaving slow devices behind.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use rand::Rng;
+
+use scec_coding::{StragglerCode, TaggedResponse};
+use scec_linalg::{Matrix, Scalar, Vector};
+
+use crate::cluster::DeviceHandle;
+use crate::error::{Error, Result};
+use crate::message::{FromDevice, ToDevice};
+
+/// Default per-query deadline.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running straggler-tolerant cluster.
+///
+/// Unlike [`LocalCluster`](crate::LocalCluster), a query completes as
+/// soon as the collected tagged rows reach `m + r` — whichever devices
+/// answered first. Per-query statistics report how many devices were
+/// actually waited for.
+pub struct StragglerCluster<F: Scalar> {
+    code: StragglerCode<F>,
+    devices: Vec<DeviceHandle<F>>,
+    responses: Receiver<FromDevice<F>>,
+    next_request: AtomicU64,
+    timeout: Duration,
+    /// Responses popped by one query thread on behalf of another. Entries
+    /// for finished queries are cleared on completion; late responses to
+    /// already-answered queries are bounded by the device count and are
+    /// dropped at shutdown.
+    parked: Mutex<HashMap<u64, Vec<FromDevice<F>>>>,
+}
+
+/// A decoded result plus completion statistics.
+#[derive(Clone, PartialEq)]
+pub struct QuorumResult<F> {
+    /// The recovered `y = Ax`.
+    pub value: Vector<F>,
+    /// Devices whose responses were used (arrival order).
+    pub responders: Vec<usize>,
+    /// Devices still outstanding when decoding succeeded.
+    pub stragglers_left_behind: usize,
+}
+
+impl<F: Scalar> std::fmt::Debug for QuorumResult<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuorumResult")
+            .field("value", &self.value)
+            .field("responders", &self.responders)
+            .field("stragglers_left_behind", &self.stragglers_left_behind)
+            .finish()
+    }
+}
+
+impl<F: Scalar> StragglerCluster<F> {
+    /// Encodes `a` under `code`, spawns one thread per device (base +
+    /// standby), and installs the tagged shares.
+    ///
+    /// `delays` pads with zero and injects an artificial service delay per
+    /// device, letting tests and demos create real stragglers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn launch<R: Rng + ?Sized>(
+        code: StragglerCode<F>,
+        a: &Matrix<F>,
+        rng: &mut R,
+        delays: &[Duration],
+    ) -> Result<Self> {
+        let store = code.encode(a, rng)?;
+        let (resp_tx, resp_rx) = unbounded();
+        let mut devices = Vec::new();
+        for (idx, share) in store.shares().iter().enumerate() {
+            let (tx, rx) = unbounded();
+            let outbox = resp_tx.clone();
+            let device = share.device();
+            let delay = delays.get(idx).copied().unwrap_or(Duration::ZERO);
+            let behavior = if delay.is_zero() {
+                crate::cluster::DeviceBehavior::Honest
+            } else {
+                crate::cluster::DeviceBehavior::Delayed(delay)
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("scec-straggler-device-{device}"))
+                .spawn(move || crate::cluster::device_main::<F>(device, rx, outbox, behavior))
+                .expect("spawn device thread");
+            tx.send(ToDevice::InstallTagged(Box::new(share.clone())))
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(device),
+                })?;
+            devices.push(DeviceHandle {
+                device,
+                tx,
+                join: Some(join),
+            });
+        }
+        Ok(StragglerCluster {
+            code,
+            devices,
+            responses: resp_rx,
+            next_request: AtomicU64::new(1),
+            timeout: DEFAULT_TIMEOUT,
+            parked: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Sets the per-query deadline (default 10 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Number of device threads (base + standby).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The straggler code in force.
+    pub fn code(&self) -> &StragglerCode<F> {
+        &self.code
+    }
+
+    /// Runs one query, decoding from the first `m + r` rows to arrive.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ChannelClosed`] / [`Error::Timeout`] on transport
+    ///   problems;
+    /// * [`Error::DeviceFailure`] when a device reports an error;
+    /// * [`Error::Coding`] when decoding fails.
+    pub fn query(&self, x: &Vector<F>) -> Result<QuorumResult<F>> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        for dev in &self.devices {
+            dev.tx
+                .send(ToDevice::Query {
+                    request,
+                    x: x.clone(),
+                })
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(dev.device),
+                })?;
+        }
+        let needed = self.code.rows_needed();
+        let mut collected: Vec<TaggedResponse<F>> = Vec::new();
+        let mut responders = Vec::new();
+        let deadline = std::time::Instant::now() + self.timeout;
+        // See LocalCluster::query for the shared-channel polling scheme.
+        const POLL: Duration = Duration::from_millis(5);
+        let result = 'collect: loop {
+            if collected.len() >= needed {
+                break 'collect Ok(());
+            }
+            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
+                for resp in stash {
+                    if let Err(e) = Self::absorb(resp, &mut collected, &mut responders) {
+                        break 'collect Err(e);
+                    }
+                }
+                continue;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break 'collect Err(Error::Timeout {
+                    request,
+                    received: collected.len(),
+                    needed,
+                });
+            }
+            match self.responses.recv_timeout(remaining.min(POLL)) {
+                Ok(resp) if resp.request() == request => {
+                    if let Err(e) = Self::absorb(resp, &mut collected, &mut responders) {
+                        break 'collect Err(e);
+                    }
+                }
+                Ok(other) => {
+                    self.parked
+                        .lock()
+                        .expect("parked lock")
+                        .entry(other.request())
+                        .or_default()
+                        .push(other);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // Poll expired — re-check deadline and parked stash.
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    break 'collect Err(Error::ChannelClosed { device: None });
+                }
+            }
+        };
+        // Late responses to this (now finished) request will be re-parked
+        // by other threads; clear what exists now to bound the stash.
+        self.parked.lock().expect("parked lock").remove(&request);
+        result?;
+        let value = self.code.decode(&collected)?;
+        Ok(QuorumResult {
+            value,
+            stragglers_left_behind: self.devices.len() - responders.len(),
+            responders,
+        })
+    }
+
+    fn absorb(
+        resp: FromDevice<F>,
+        collected: &mut Vec<TaggedResponse<F>>,
+        responders: &mut Vec<usize>,
+    ) -> Result<()> {
+        match resp {
+            FromDevice::TaggedPartial {
+                device, responses, ..
+            } => {
+                collected.extend(responses);
+                responders.push(device);
+                Ok(())
+            }
+            FromDevice::Failure { device, reason, .. } => {
+                Err(Error::DeviceFailure { device, reason })
+            }
+            other => Err(Error::ProtocolViolation {
+                device: other.device(),
+                what: "untagged partial on the straggler protocol",
+            }),
+        }
+    }
+
+    /// Shuts down every device thread and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for dev in &mut self.devices {
+            dev.shutdown();
+        }
+        for dev in &mut self.devices {
+            if let Some(join) = dev.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl<F: Scalar> Drop for StragglerCluster<F> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_coding::CodeDesign;
+    use scec_linalg::Fp61;
+
+    fn build(
+        m: usize,
+        r: usize,
+        s: usize,
+        l: usize,
+        seed: u64,
+    ) -> (StragglerCode<Fp61>, Matrix<Fp61>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = CodeDesign::new(m, r).unwrap();
+        let code = StragglerCode::<Fp61>::new(base, s, &mut rng).unwrap();
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        (code, a, rng)
+    }
+
+    #[test]
+    fn quorum_query_recovers_exactly() {
+        let (code, a, mut rng) = build(6, 2, 3, 4, 1);
+        let cluster = StragglerCluster::launch(code, &a, &mut rng, &[]).unwrap();
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let result = cluster.query(&x).unwrap();
+        assert_eq!(result.value, a.matvec(&x).unwrap());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn slow_device_is_left_behind() {
+        // Base design (6, 3): 3 base devices + 1 standby (s = 3 <= r).
+        // Slowing down device 2 (3 rows <= redundancy 3): the query must
+        // finish WITHOUT it, well before its 2 s delay.
+        let (code, a, mut rng) = build(6, 3, 3, 3, 2);
+        assert_eq!(code.device_count(), 4);
+        let delays = vec![Duration::ZERO, Duration::from_millis(600)];
+        let cluster = StragglerCluster::launch(code, &a, &mut rng, &delays).unwrap();
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        let start = std::time::Instant::now();
+        let result = cluster.query(&x).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(result.value, a.matvec(&x).unwrap());
+        assert!(!result.responders.contains(&2), "{:?}", result.responders);
+        assert_eq!(result.stragglers_left_behind, 1);
+        assert!(elapsed < Duration::from_millis(400), "took {elapsed:?}");
+    }
+
+    #[test]
+    fn timeout_when_too_many_stragglers() {
+        // Slow down TWO devices (6 rows > redundancy 3): quorum is
+        // unreachable before the deadline.
+        let (code, a, mut rng) = build(6, 3, 3, 3, 3);
+        let delays = vec![Duration::from_millis(400), Duration::from_millis(400)];
+        let mut cluster = StragglerCluster::launch(code, &a, &mut rng, &delays).unwrap();
+        cluster.set_timeout(Duration::from_millis(100));
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert!(matches!(cluster.query(&x), Err(Error::Timeout { .. })));
+    }
+
+    #[test]
+    fn sequential_queries_reuse_threads() {
+        let (code, a, mut rng) = build(5, 2, 2, 3, 4);
+        let cluster = StragglerCluster::launch(code, &a, &mut rng, &[]).unwrap();
+        for _ in 0..5 {
+            let x = Vector::<Fp61>::random(3, &mut rng);
+            let r = cluster.query(&x).unwrap();
+            assert_eq!(r.value, a.matvec(&x).unwrap());
+        }
+        assert!(cluster.device_count() >= 4);
+        assert_eq!(cluster.code().redundancy(), 2);
+    }
+}

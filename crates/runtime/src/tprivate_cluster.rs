@@ -1,0 +1,280 @@
+//! Collusion-resistant cluster: the `t`-private code served by device
+//! actors.
+//!
+//! Device actors are code-agnostic — they multiply whatever share they
+//! hold by the query — so the `t`-private variant reuses the plain share
+//! container ([`DeviceShare`]) and differs only in the user-side decoder:
+//! an LU-amortized mixer solve plus `m` blinding corrections instead of
+//! `m` subtractions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use rand::Rng;
+
+use scec_coding::{DeviceShare, TPrivateCode};
+use scec_linalg::{Matrix, Scalar, Vector};
+
+use crate::cluster::{device_main, DeviceBehavior, DeviceHandle};
+use crate::error::{Error, Result};
+use crate::message::{FromDevice, ToDevice};
+
+/// Default per-query deadline.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running cluster executing the `t`-private protocol on real threads.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use scec_coding::TPrivateCode;
+/// use scec_linalg::{Fp61, Matrix, Vector};
+/// use scec_runtime::TPrivateCluster;
+///
+/// let mut rng = StdRng::seed_from_u64(6);
+/// let code = TPrivateCode::<Fp61>::new(6, 2, 2, &mut rng)?; // 2-private
+/// let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+/// let cluster = TPrivateCluster::launch(code, &a, &mut rng, &[])?;
+/// let x = Vector::<Fp61>::random(4, &mut rng);
+/// assert_eq!(cluster.query(&x)?, a.matvec(&x)?);
+/// cluster.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TPrivateCluster<F: Scalar> {
+    code: TPrivateCode<F>,
+    devices: Vec<DeviceHandle<F>>,
+    responses: Receiver<FromDevice<F>>,
+    next_request: AtomicU64,
+    timeout: Duration,
+    parked: Mutex<HashMap<u64, Vec<FromDevice<F>>>>,
+}
+
+impl<F: Scalar> TPrivateCluster<F> {
+    /// Encodes `a` under `code` and spawns one actor per device.
+    ///
+    /// `behaviors` pads with [`DeviceBehavior::Honest`] — fault injection
+    /// works exactly as on [`LocalCluster`](crate::LocalCluster).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn launch<R: Rng + ?Sized>(
+        code: TPrivateCode<F>,
+        a: &Matrix<F>,
+        rng: &mut R,
+        behaviors: &[DeviceBehavior],
+    ) -> Result<Self> {
+        let store = code.encode(a, rng)?;
+        let (resp_tx, resp_rx) = unbounded();
+        let mut devices = Vec::new();
+        for (idx, share) in store.shares().iter().enumerate() {
+            let (tx, rx) = unbounded();
+            let outbox = resp_tx.clone();
+            let device = share.device();
+            let behavior = behaviors.get(idx).copied().unwrap_or_default();
+            let join = std::thread::Builder::new()
+                .name(format!("scec-tprivate-device-{device}"))
+                .spawn(move || device_main::<F>(device, rx, outbox, behavior))
+                .expect("spawn device thread");
+            // Actors are code-agnostic: ship the payload in the plain
+            // share container.
+            let plain = DeviceShare::from_parts(
+                share.device(),
+                share.first_row(),
+                share.coded().clone(),
+            );
+            tx.send(ToDevice::Install(Box::new(plain)))
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(device),
+                })?;
+            devices.push(DeviceHandle {
+                device,
+                tx,
+                join: Some(join),
+            });
+        }
+        Ok(TPrivateCluster {
+            code,
+            devices,
+            responses: resp_rx,
+            next_request: AtomicU64::new(1),
+            timeout: DEFAULT_TIMEOUT,
+            parked: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Sets the per-query deadline (default 10 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Number of device threads.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The `t`-private code in force.
+    pub fn code(&self) -> &TPrivateCode<F> {
+        &self.code
+    }
+
+    /// Runs one secure query: broadcast, await all partials, decode with
+    /// the mixer solve.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`LocalCluster::query`](crate::LocalCluster::query).
+    pub fn query(&self, x: &Vector<F>) -> Result<Vector<F>> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        for dev in &self.devices {
+            dev.tx
+                .send(ToDevice::Query {
+                    request,
+                    x: x.clone(),
+                })
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(dev.device),
+                })?;
+        }
+        let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
+        let deadline = std::time::Instant::now() + self.timeout;
+        const POLL: Duration = Duration::from_millis(5);
+        while partials.len() < self.devices.len() {
+            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
+                for resp in stash {
+                    Self::absorb(resp, &mut partials)?;
+                }
+                continue;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::Timeout {
+                    request,
+                    received: partials.len(),
+                    needed: self.devices.len(),
+                });
+            }
+            match self.responses.recv_timeout(remaining.min(POLL)) {
+                Ok(resp) if resp.request() == request => {
+                    Self::absorb(resp, &mut partials)?;
+                }
+                Ok(other) => {
+                    self.parked
+                        .lock()
+                        .expect("parked lock")
+                        .entry(other.request())
+                        .or_default()
+                        .push(other);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(Error::ChannelClosed { device: None });
+                }
+            }
+        }
+        let mut btx = Vec::with_capacity(self.code.total_rows());
+        for j in 1..=self.devices.len() {
+            btx.extend(
+                partials
+                    .remove(&j)
+                    .expect("all devices responded")
+                    .into_vec(),
+            );
+        }
+        Ok(self.code.decode(&Vector::from_vec(btx))?)
+    }
+
+    fn absorb(resp: FromDevice<F>, partials: &mut HashMap<usize, Vector<F>>) -> Result<()> {
+        match resp {
+            FromDevice::Partial {
+                device, values, ..
+            } => {
+                partials.insert(device, values);
+                Ok(())
+            }
+            FromDevice::Failure { device, reason, .. } => {
+                Err(Error::DeviceFailure { device, reason })
+            }
+            other => Err(Error::ProtocolViolation {
+                device: other.device(),
+                what: "non-vector partial on the t-private protocol",
+            }),
+        }
+    }
+
+    /// Shuts down every device thread and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for dev in &mut self.devices {
+            dev.shutdown();
+        }
+        for dev in &mut self.devices {
+            if let Some(join) = dev.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl<F: Scalar> Drop for TPrivateCluster<F> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_linalg::Fp61;
+
+    fn build(seed: u64) -> (TPrivateCode<Fp61>, Matrix<Fp61>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = TPrivateCode::<Fp61>::new(6, 2, 2, &mut rng).unwrap();
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        (code, a, rng)
+    }
+
+    #[test]
+    fn threaded_t_private_query_is_exact() {
+        let (code, a, mut rng) = build(1);
+        let cluster = TPrivateCluster::launch(code, &a, &mut rng, &[]).unwrap();
+        assert_eq!(cluster.device_count(), cluster.code().device_count());
+        for _ in 0..4 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn byzantine_device_corrupts_detectably() {
+        use scec_core::IntegrityKey;
+        let (code, a, mut rng) = build(2);
+        let key = IntegrityKey::generate(&a, &mut rng).unwrap();
+        let behaviors = vec![DeviceBehavior::Byzantine];
+        let cluster = TPrivateCluster::launch(code, &a, &mut rng, &behaviors).unwrap();
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let y = cluster.query(&x).unwrap();
+        // Device 1 holds noise rows: corrupting them shifts the decoded
+        // result, and the Freivalds key catches it.
+        assert_ne!(y, a.matvec(&x).unwrap());
+        assert!(!key.verify(&x, &y).unwrap());
+    }
+
+    #[test]
+    fn delayed_device_still_completes() {
+        let (code, a, mut rng) = build(3);
+        let behaviors = vec![DeviceBehavior::Delayed(Duration::from_millis(20))];
+        let cluster = TPrivateCluster::launch(code, &a, &mut rng, &behaviors).unwrap();
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the threaded runtime: correctness under
+//! arbitrary payloads, device counts, and artificial delay patterns.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_coding::{CodeDesign, StragglerCode};
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix, Vector};
+use scec_runtime::{LocalCluster, StragglerCluster};
+
+proptest! {
+    // Threaded tests are comparatively expensive; keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn threaded_query_is_exact_for_arbitrary_payloads(
+        m in 1usize..12,
+        l in 1usize..8,
+        k in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let costs: Vec<f64> = (0..k).map(|p| 1.0 + p as f64 * 0.3).collect();
+        let fleet = EdgeFleet::from_unit_costs(costs).unwrap();
+        let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)
+            .unwrap();
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        prop_assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn jittered_delays_never_affect_correctness(
+        m in 2usize..10,
+        seed in any::<u64>(),
+        delays_ms in proptest::collection::vec(0u64..15, 0..6),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = 3;
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 2.5]).unwrap();
+        let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)
+            .unwrap();
+        let delays: Vec<Duration> =
+            delays_ms.iter().map(|&ms| Duration::from_millis(ms)).collect();
+        let cluster = LocalCluster::launch_with_delays(&sys, &mut rng, &delays).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        prop_assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn straggler_quorum_is_exact_under_random_delay_patterns(
+        m in 2usize..8,
+        seed in any::<u64>(),
+        slow_device in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = 1 + m / 2;
+        let r = r.min(m);
+        let base = CodeDesign::new(m, r).unwrap();
+        let code = StragglerCode::<Fp61>::new(base, r, &mut rng).unwrap();
+        let l = 3;
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let device_count = code.device_count();
+        let mut delays = vec![Duration::ZERO; device_count];
+        if slow_device < device_count {
+            delays[slow_device] = Duration::from_millis(50);
+        }
+        let cluster = StragglerCluster::launch(code, &a, &mut rng, &delays).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        let result = cluster.query(&x).unwrap();
+        prop_assert_eq!(result.value, a.matvec(&x).unwrap());
+    }
+}

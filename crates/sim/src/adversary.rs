@@ -1,0 +1,501 @@
+//! The paper's attack model: a passive, non-colluding eavesdropper on one
+//! edge device.
+//!
+//! The attacker knows the public code structure (the coefficient block
+//! `B_j` — coding coefficients are never secret in linear CDC) and
+//! observes everything stored on its device: the coded payload `B_j T`.
+//! It mounts two attacks:
+//!
+//! 1. **Span extraction** — look for a non-zero combination `u` with
+//!    `u·B_j ∈ L(λ̄)`: then `u · (B_j T) = u'·A` reveals a linear
+//!    combination of pure data rows. The number of independent such
+//!    combinations is `dim(L(B_j) ∩ L(λ̄))`.
+//! 2. **Distinguishing / simulatability** — propose alternative data
+//!    matrices `A'` and check whether the observation is consistent with
+//!    them (i.e. whether randomness `R'` exists with
+//!    `B_j·[A'; R'] = B_j T`). If *every* candidate is consistent, the
+//!    observation carries zero information about `A`:
+//!    `H(A | B_j T) = H(A)` — the paper's Definition 2.
+//!
+//! Over the finite field [`Fp61`](scec_linalg::Fp61) both attacks are
+//! exact; over `f64` they hold up to numerical tolerance.
+
+use rand::Rng;
+
+use scec_coding::{CodeDesign, DeviceShare};
+use scec_linalg::{gauss, span, Matrix, Scalar};
+
+use crate::error::{Error, Result};
+
+/// Outcome of attacking one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackVerdict {
+    /// The attacked device (1-based).
+    pub device: usize,
+    /// `dim(L(B_j) ∩ L(λ̄))`: independent pure-data combinations the
+    /// device can derive. Zero for a secure code.
+    pub leaked_combinations: usize,
+    /// Alternative data matrices tested in the distinguishing attack.
+    pub candidates_tested: usize,
+    /// How many of them were consistent with the observation. Equal to
+    /// `candidates_tested` for a secure code.
+    pub candidates_consistent: usize,
+}
+
+impl AttackVerdict {
+    /// Whether the device learned nothing: no leaked combinations and
+    /// every alternative data matrix was simulatable.
+    pub fn is_information_theoretic_secure(&self) -> bool {
+        self.leaked_combinations == 0 && self.candidates_consistent == self.candidates_tested
+    }
+}
+
+/// Outcome of attacking a coalition of devices jointly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalitionVerdict {
+    /// The coalition's device indices.
+    pub members: Vec<usize>,
+    /// Independent pure-data combinations the coalition derives.
+    pub leaked_combinations: usize,
+    /// Alternative data matrices tested.
+    pub candidates_tested: usize,
+    /// How many were consistent with the joint observation.
+    pub candidates_consistent: usize,
+}
+
+impl CoalitionVerdict {
+    /// Whether the coalition learned nothing.
+    pub fn is_information_theoretic_secure(&self) -> bool {
+        self.leaked_combinations == 0 && self.candidates_consistent == self.candidates_tested
+    }
+}
+
+/// A passive eavesdropper bound to a code design.
+///
+/// See the [crate-level example](crate) for auditing a full deployment.
+#[derive(Debug, Clone)]
+pub struct PassiveAdversary {
+    design: Option<CodeDesign>,
+    m: usize,
+    r: usize,
+    candidates: usize,
+}
+
+impl PassiveAdversary {
+    /// Creates an adversary that tests 4 alternative data matrices per
+    /// attack (adjust with [`with_candidates`](Self::with_candidates)).
+    pub fn new(design: CodeDesign) -> Self {
+        let (m, r) = (design.data_rows(), design.random_rows());
+        PassiveAdversary {
+            design: Some(design),
+            m,
+            r,
+            candidates: 4,
+        }
+    }
+
+    /// Creates an adversary for arbitrary `(m, r)` coding dimensions —
+    /// e.g. to attack a [`scec_coding::collusion::TPrivateCode`], whose
+    /// parameters need not form a structured [`CodeDesign`]. Only the
+    /// observation-based attacks ([`attack_observation`],
+    /// [`attack_coalition`]) are available.
+    ///
+    /// [`attack_observation`]: Self::attack_observation
+    /// [`attack_coalition`]: Self::attack_coalition
+    pub fn for_dimensions(m: usize, r: usize) -> Self {
+        PassiveAdversary {
+            design: None,
+            m,
+            r,
+            candidates: 4,
+        }
+    }
+
+    /// Sets the number of alternative data matrices tried by the
+    /// distinguishing attack.
+    pub fn with_candidates(mut self, candidates: usize) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Attacks a device share produced by the structured design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] when the share's device index is outside
+    /// the design, or propagates linear-algebra failures.
+    pub fn attack<F: Scalar, R: Rng + ?Sized>(
+        &self,
+        share: &DeviceShare<F>,
+        rng: &mut R,
+    ) -> Result<AttackVerdict> {
+        let design = self.design.as_ref().ok_or(Error::MissingDesign)?;
+        let block = design.device_block::<F>(share.device())?;
+        self.attack_observation(share.device(), &block, share.coded(), rng)
+    }
+
+    /// Attacks a raw observation under an explicit coefficient block —
+    /// also covers dense variants ([`scec_coding::verify::densify`]) and
+    /// deliberately broken codes in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when the block and observation
+    /// disagree on the row count, or propagates linear-algebra failures.
+    pub fn attack_observation<F: Scalar, R: Rng + ?Sized>(
+        &self,
+        device: usize,
+        block: &Matrix<F>,
+        observed: &Matrix<F>,
+        rng: &mut R,
+    ) -> Result<AttackVerdict> {
+        if block.nrows() != observed.nrows() {
+            return Err(Error::ShapeMismatch {
+                what: "coefficient block vs observation",
+                lhs: block.shape(),
+                rhs: observed.shape(),
+            });
+        }
+        let (m, r) = (self.m, self.r);
+        if block.ncols() != m + r {
+            return Err(Error::ShapeMismatch {
+                what: "coefficient block width vs design",
+                lhs: block.shape(),
+                rhs: (block.nrows(), m + r),
+            });
+        }
+
+        // Attack 1: span extraction.
+        let lambda = span::data_span_basis::<F>(m, r);
+        let leaked = span::intersection_dim(block, &lambda);
+
+        // Attack 2: distinguishing. B_j = [D | N]; the observation is
+        // W = D·A + N·R. A' is consistent iff N·R' = W − D·A' is solvable.
+        let rows = block.nrows();
+        let d_block = block.submatrix(0..rows, 0..m)?;
+        let n_block = block.submatrix(0..rows, m..m + r)?;
+        let mut consistent = 0;
+        for _ in 0..self.candidates {
+            let alt = Matrix::<F>::random(m, observed.ncols(), rng);
+            let rhs = observed.sub(&d_block.matmul(&alt)?)?;
+            if gauss::solve_rectangular(&n_block, &rhs).is_ok() {
+                consistent += 1;
+            }
+        }
+        Ok(AttackVerdict {
+            device,
+            leaked_combinations: leaked,
+            candidates_tested: self.candidates,
+            candidates_consistent: consistent,
+        })
+    }
+
+    /// Attacks the **combined** observation of a coalition of devices —
+    /// the cooperative-attack case the paper's conclusion leaves as future
+    /// work. Each element pairs a member's coefficient block with its
+    /// observed coded payload.
+    ///
+    /// The structured design of Eq. (8) resists only singleton coalitions;
+    /// [`scec_coding::collusion::TPrivateCode`] resists up to its
+    /// threshold `t`. This method measures either.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when any member's block and
+    /// observation disagree, or when the coalition is empty.
+    pub fn attack_coalition<F: Scalar, R: Rng + ?Sized>(
+        &self,
+        members: &[(usize, &Matrix<F>, &Matrix<F>)],
+        rng: &mut R,
+    ) -> Result<CoalitionVerdict> {
+        let Some(((_, first_block, first_obs), rest)) = members.split_first() else {
+            return Err(Error::ShapeMismatch {
+                what: "coalition",
+                lhs: (0, 0),
+                rhs: (1, 1),
+            });
+        };
+        let mut block = (*first_block).clone();
+        let mut observed = (*first_obs).clone();
+        for (_, b, o) in rest {
+            block = block.vstack(b)?;
+            observed = observed.vstack(o)?;
+        }
+        let verdict = self.attack_observation(0, &block, &observed, rng)?;
+        Ok(CoalitionVerdict {
+            members: members.iter().map(|(j, _, _)| *j).collect(),
+            leaked_combinations: verdict.leaked_combinations,
+            candidates_tested: verdict.candidates_tested,
+            candidates_consistent: verdict.candidates_consistent,
+        })
+    }
+
+    /// Whether the device could derive the specific pure-data combination
+    /// `u · A` (given `u` of length `m`): true iff `[u | 0_r] ∈ L(B_j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `device` is outside the design or `u` has
+    /// the wrong length.
+    pub fn can_derive<F: Scalar>(&self, device: usize, u: &[F]) -> Result<bool> {
+        let design = self.design.as_ref().ok_or(Error::MissingDesign)?;
+        let m = design.data_rows();
+        if u.len() != m {
+            return Err(Error::ShapeMismatch {
+                what: "combination vector",
+                lhs: (u.len(), 1),
+                rhs: (m, 1),
+            });
+        }
+        let block = design.device_block::<F>(device)?;
+        let mut padded = u.to_vec();
+        padded.extend(std::iter::repeat(F::zero()).take(design.random_rows()));
+        Ok(span::contains(&block, &padded))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_coding::{verify, Encoder};
+    use scec_linalg::Fp61;
+
+    fn encode_fp(
+        m: usize,
+        r: usize,
+        l: usize,
+        seed: u64,
+    ) -> (CodeDesign, Matrix<Fp61>, Vec<DeviceShare<Fp61>>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = CodeDesign::new(m, r).unwrap();
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+        let shares = store.into_shares();
+        (design, a, shares, rng)
+    }
+
+    #[test]
+    fn structured_design_resists_every_device() {
+        let (design, _a, shares, mut rng) = encode_fp(6, 3, 4, 1);
+        let adversary = PassiveAdversary::new(design);
+        for share in &shares {
+            let verdict = adversary.attack(share, &mut rng).unwrap();
+            assert!(
+                verdict.is_information_theoretic_secure(),
+                "device {}: {verdict:?}",
+                share.device()
+            );
+            assert_eq!(verdict.leaked_combinations, 0);
+            assert_eq!(verdict.candidates_consistent, verdict.candidates_tested);
+        }
+    }
+
+    #[test]
+    fn raw_data_rows_are_caught_by_both_attacks() {
+        // An identity "code" stores raw data rows: the adversary must both
+        // extract pure-data combinations AND distinguish candidates.
+        let (design, a, _shares, mut rng) = encode_fp(4, 2, 3, 2);
+        let raw_block = {
+            let mut b = Matrix::<Fp61>::zeros(2, 6);
+            b.set(0, 0, Fp61::new(1)).unwrap();
+            b.set(1, 1, Fp61::new(1)).unwrap();
+            b
+        };
+        let randomness = Matrix::<Fp61>::random(2, 3, &mut rng);
+        let t = a.vstack(&randomness).unwrap();
+        let observed = raw_block.matmul(&t).unwrap();
+        let adversary = PassiveAdversary::new(design).with_candidates(6);
+        let verdict = adversary
+            .attack_observation(2, &raw_block, &observed, &mut rng)
+            .unwrap();
+        assert_eq!(verdict.leaked_combinations, 2);
+        assert!(!verdict.is_information_theoretic_secure());
+        // A random A' disagrees with the raw rows w.p. 1 − 2⁻⁶¹.
+        assert_eq!(verdict.candidates_consistent, 0);
+    }
+
+    #[test]
+    fn shared_randomness_leaks_a_difference() {
+        // Device block [A_0 + R_0; A_1 + R_0]: the difference A_0 − A_1 is
+        // derivable — exactly one leaked combination.
+        let (design, a, _shares, mut rng) = encode_fp(4, 2, 3, 3);
+        let mut block = Matrix::<Fp61>::zeros(2, 6);
+        block.set(0, 0, Fp61::new(1)).unwrap(); // A_0
+        block.set(0, 4, Fp61::new(1)).unwrap(); // + R_0
+        block.set(1, 1, Fp61::new(1)).unwrap(); // A_1
+        block.set(1, 4, Fp61::new(1)).unwrap(); // + R_0 again
+        let randomness = Matrix::<Fp61>::random(2, 3, &mut rng);
+        let t = a.vstack(&randomness).unwrap();
+        let observed = block.matmul(&t).unwrap();
+        let adversary = PassiveAdversary::new(design);
+        let verdict = adversary
+            .attack_observation(2, &block, &observed, &mut rng)
+            .unwrap();
+        assert_eq!(verdict.leaked_combinations, 1);
+        assert!(!verdict.is_information_theoretic_secure());
+    }
+
+    #[test]
+    fn dense_variant_resists_attack() {
+        let (design, a, _shares, mut rng) = encode_fp(5, 2, 3, 4);
+        let dense = verify::densify::<Fp61, _>(&design, &mut rng);
+        let randomness = Matrix::<Fp61>::random(2, 3, &mut rng);
+        let t = a.vstack(&randomness).unwrap();
+        let adversary = PassiveAdversary::new(design.clone());
+        for j in 1..=design.device_count() {
+            let range = design.device_row_range(j).unwrap();
+            let block = dense.row_block(range.start, range.end).unwrap();
+            let observed = block.matmul(&t).unwrap();
+            let verdict = adversary
+                .attack_observation(j, &block, &observed, &mut rng)
+                .unwrap();
+            assert!(
+                verdict.is_information_theoretic_secure(),
+                "device {j}: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn can_derive_matches_span_membership() {
+        let (design, _a, _shares, _rng) = encode_fp(4, 2, 3, 5);
+        let adversary = PassiveAdversary::new(design.clone());
+        let mut e0 = vec![Fp61::new(0); 4];
+        e0[0] = Fp61::new(1);
+        for j in 1..=design.device_count() {
+            assert!(!adversary.can_derive(j, &e0).unwrap(), "device {j}");
+        }
+        let zero = vec![Fp61::new(0); 4];
+        assert!(adversary.can_derive(1, &zero).unwrap());
+        assert!(adversary.can_derive(1, &[Fp61::new(1); 3]).is_err());
+        assert!(adversary.can_derive(99, &e0).is_err());
+    }
+
+    #[test]
+    fn f64_mode_also_passes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let design = CodeDesign::new(5, 2).unwrap();
+        let a = Matrix::<f64>::random(5, 3, &mut rng);
+        let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+        let adversary = PassiveAdversary::new(design);
+        for share in store.shares() {
+            let verdict = adversary.attack(share, &mut rng).unwrap();
+            assert!(verdict.is_information_theoretic_secure(), "{verdict:?}");
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let (design, _a, shares, mut rng) = encode_fp(4, 2, 3, 7);
+        let adversary = PassiveAdversary::new(design);
+        let wrong_rows = Matrix::<Fp61>::zeros(5, 6);
+        assert!(matches!(
+            adversary.attack_observation(1, &wrong_rows, shares[0].coded(), &mut rng),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        let wrong_width = Matrix::<Fp61>::zeros(2, 5);
+        let obs = Matrix::<Fp61>::zeros(2, 3);
+        assert!(matches!(
+            adversary.attack_observation(1, &wrong_width, &obs, &mut rng),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn coalition_breaks_structured_design() {
+        // Devices 1 (pure randomness) and 2 (data + randomness) together
+        // cancel the blinding — the paper's non-collusion assumption is
+        // load-bearing, and the coalition attack must demonstrate it.
+        let (design, a, _shares, mut rng) = encode_fp(6, 2, 4, 8);
+        let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+        let b = design.encoding_matrix::<Fp61>();
+        let adversary = PassiveAdversary::new(design.clone());
+        let blocks: Vec<Matrix<Fp61>> = (1..=2)
+            .map(|j| {
+                let range = design.device_row_range(j).unwrap();
+                b.row_block(range.start, range.end).unwrap()
+            })
+            .collect();
+        let members: Vec<(usize, &Matrix<Fp61>, &Matrix<Fp61>)> = vec![
+            (1, &blocks[0], store.share(1).unwrap().coded()),
+            (2, &blocks[1], store.share(2).unwrap().coded()),
+        ];
+        let verdict = adversary.attack_coalition(&members, &mut rng).unwrap();
+        assert!(verdict.leaked_combinations >= 1, "{verdict:?}");
+        assert!(!verdict.is_information_theoretic_secure());
+        assert_eq!(verdict.members, vec![1, 2]);
+    }
+
+    #[test]
+    fn coalition_of_t_fails_against_t_private_code() {
+        use scec_coding::collusion::TPrivateCode;
+        let mut rng = StdRng::seed_from_u64(31);
+        let (m, t, v, l) = (6usize, 2usize, 2usize, 3usize);
+        let code = TPrivateCode::<Fp61>::new(m, t, v, &mut rng).unwrap();
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let store = code.encode(&a, &mut rng).unwrap();
+        let adversary = PassiveAdversary::for_dimensions(m, code.random_rows());
+        // Every pair of devices learns nothing.
+        let blocks: Vec<Matrix<Fp61>> = (1..=code.device_count())
+            .map(|j| code.device_block(j).unwrap())
+            .collect();
+        for j1 in 1..=code.device_count() {
+            for j2 in (j1 + 1)..=code.device_count() {
+                let members = vec![
+                    (j1, &blocks[j1 - 1], store.shares()[j1 - 1].coded()),
+                    (j2, &blocks[j2 - 1], store.shares()[j2 - 1].coded()),
+                ];
+                let verdict = adversary.attack_coalition(&members, &mut rng).unwrap();
+                assert!(
+                    verdict.is_information_theoretic_secure(),
+                    "coalition ({j1}, {j2}): {verdict:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_dimensions_adversary_rejects_design_methods() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let adversary = PassiveAdversary::for_dimensions(4, 2);
+        let (_design, _a, shares, _) = encode_fp(4, 2, 3, 33);
+        assert!(matches!(
+            adversary.attack(&shares[0], &mut rng),
+            Err(Error::MissingDesign)
+        ));
+        assert!(matches!(
+            adversary.can_derive(1, &[Fp61::new(0); 4]),
+            Err(Error::MissingDesign)
+        ));
+    }
+
+    #[test]
+    fn empty_coalition_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let adversary = PassiveAdversary::for_dimensions(4, 2);
+        let members: Vec<(usize, &Matrix<Fp61>, &Matrix<Fp61>)> = vec![];
+        assert!(adversary.attack_coalition(&members, &mut rng).is_err());
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let ok = AttackVerdict {
+            device: 1,
+            leaked_combinations: 0,
+            candidates_tested: 4,
+            candidates_consistent: 4,
+        };
+        assert!(ok.is_information_theoretic_secure());
+        let leaky = AttackVerdict {
+            leaked_combinations: 1,
+            ..ok.clone()
+        };
+        assert!(!leaky.is_information_theoretic_secure());
+        let distinguishable = AttackVerdict {
+            candidates_consistent: 3,
+            ..ok
+        };
+        assert!(!distinguishable.is_information_theoretic_secure());
+    }
+}

@@ -1,0 +1,140 @@
+//! Error type for the simulation layer.
+
+use std::fmt;
+
+/// A specialized result type for simulation operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the adversary and the event simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two simulation inputs disagreed on shape.
+    ShapeMismatch {
+        /// What was being matched.
+        what: &'static str,
+        /// Left shape.
+        lhs: (usize, usize),
+        /// Right shape.
+        rhs: (usize, usize),
+    },
+    /// A network model was built for a different device count than the
+    /// design it is asked to simulate.
+    DeviceCountMismatch {
+        /// Devices in the network model.
+        model: usize,
+        /// Devices in the code design.
+        design: usize,
+    },
+    /// A timing parameter was negative or non-finite.
+    InvalidTiming {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// No feasible allocation meets the requested completion-time
+    /// deadline.
+    DeadlineUnreachable {
+        /// The requested deadline, seconds.
+        deadline: f64,
+        /// The fastest achievable completion time, seconds.
+        fastest: f64,
+    },
+    /// The adversary was built with [`for_dimensions`] and asked for an
+    /// operation that needs the structured design (e.g. `attack`,
+    /// `can_derive`).
+    ///
+    /// [`for_dimensions`]: crate::adversary::PassiveAdversary::for_dimensions
+    MissingDesign,
+    /// An underlying coding-layer failure.
+    Coding(scec_coding::Error),
+    /// An underlying linear-algebra failure.
+    Linalg(scec_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { what, lhs, rhs } => write!(
+                f,
+                "{what}: {}x{} does not match {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::DeviceCountMismatch { model, design } => write!(
+                f,
+                "network model has {model} devices but the design needs {design}"
+            ),
+            Error::InvalidTiming { what, value } => {
+                write!(f, "{what} must be finite and non-negative, got {value}")
+            }
+            Error::DeadlineUnreachable { deadline, fastest } => write!(
+                f,
+                "no allocation meets the {deadline}s deadline (fastest achievable: {fastest}s)"
+            ),
+            Error::MissingDesign => {
+                f.write_str("adversary was built without a structured design")
+            }
+            Error::Coding(e) => write!(f, "coding failure: {e}"),
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Coding(e) => Some(e),
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scec_coding::Error> for Error {
+    fn from(e: scec_coding::Error) -> Self {
+        Error::Coding(e)
+    }
+}
+
+impl From<scec_linalg::Error> for Error {
+    fn from(e: scec_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::ShapeMismatch {
+            what: "blocks",
+            lhs: (1, 2),
+            rhs: (3, 4),
+        };
+        assert_eq!(e.to_string(), "blocks: 1x2 does not match 3x4");
+        assert_eq!(
+            Error::DeviceCountMismatch { model: 2, design: 3 }.to_string(),
+            "network model has 2 devices but the design needs 3"
+        );
+        assert_eq!(
+            Error::InvalidTiming { what: "latency", value: -1.0 }.to_string(),
+            "latency must be finite and non-negative, got -1"
+        );
+        assert!(Error::from(scec_coding::Error::UnknownDevice { device: 1, devices: 0 })
+            .to_string()
+            .starts_with("coding failure"));
+        assert!(Error::from(scec_linalg::Error::Singular)
+            .to_string()
+            .starts_with("linear algebra failure"));
+    }
+
+    #[test]
+    fn sources() {
+        use std::error::Error as _;
+        assert!(Error::from(scec_linalg::Error::Singular).source().is_some());
+        assert!(Error::InvalidTiming { what: "x", value: 0.0 }.source().is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Reproducible generation of experiment instances.
+//!
+//! Each Monte-Carlo point in the paper's Fig. 2 averages 1000 instances:
+//! a fleet of `k` devices with unit costs drawn from a
+//! [`CostDistribution`]. [`InstanceGenerator`] produces those fleets (and,
+//! for the end-to-end experiments, full data/query payloads) from a seeded
+//! RNG so every figure is exactly reproducible.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use scec_allocation::EdgeFleet;
+use scec_linalg::{Matrix, Scalar, Vector};
+
+use crate::dist::CostDistribution;
+
+/// Generates random experiment instances.
+///
+/// # Example
+///
+/// ```
+/// use scec_sim::{CostDistribution, InstanceGenerator};
+///
+/// let mut gen = InstanceGenerator::from_seed(42);
+/// let fleet = gen.fleet(25, CostDistribution::uniform(5.0));
+/// assert_eq!(fleet.len(), 25);
+/// // Costs are sorted ascending and strictly positive.
+/// assert!(fleet.sorted_costs().windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug)]
+pub struct InstanceGenerator {
+    rng: StdRng,
+}
+
+impl InstanceGenerator {
+    /// Creates a generator from a seed (deterministic across runs).
+    pub fn from_seed(seed: u64) -> Self {
+        InstanceGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a fleet of `k` devices with unit costs from `dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k < 2` (the system model requires at least two edge
+    /// devices) or when `dist` has degenerate parameters.
+    pub fn fleet(&mut self, k: usize, dist: CostDistribution) -> EdgeFleet {
+        assert!(k >= 2, "need at least two devices, got {k}");
+        let costs = dist.sample_many(k, &mut self.rng);
+        EdgeFleet::from_unit_costs(costs).expect("positive sampled costs form a valid fleet")
+    }
+
+    /// Draws a random data matrix.
+    pub fn data_matrix<F: Scalar>(&mut self, m: usize, l: usize) -> Matrix<F> {
+        Matrix::random(m, l, &mut self.rng)
+    }
+
+    /// Draws a random query vector.
+    pub fn query<F: Scalar>(&mut self, l: usize) -> Vector<F> {
+        Vector::random(l, &mut self.rng)
+    }
+
+    /// Access the underlying RNG (for passing into APIs that sample).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Forks an independent generator (seeded from this one) so parallel
+    /// workers get decorrelated streams.
+    pub fn fork(&mut self) -> InstanceGenerator {
+        InstanceGenerator::from_seed(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scec_linalg::Fp61;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = InstanceGenerator::from_seed(7);
+        let mut b = InstanceGenerator::from_seed(7);
+        let fa = a.fleet(10, CostDistribution::uniform(5.0));
+        let fb = b.fleet(10, CostDistribution::uniform(5.0));
+        assert_eq!(fa.sorted_costs(), fb.sorted_costs());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = InstanceGenerator::from_seed(1);
+        let mut b = InstanceGenerator::from_seed(2);
+        let fa = a.fleet(10, CostDistribution::uniform(5.0));
+        let fb = b.fleet(10, CostDistribution::uniform(5.0));
+        assert_ne!(fa.sorted_costs(), fb.sorted_costs());
+    }
+
+    #[test]
+    fn payload_generation() {
+        let mut g = InstanceGenerator::from_seed(3);
+        let m = g.data_matrix::<Fp61>(4, 6);
+        assert_eq!(m.shape(), (4, 6));
+        let q = g.query::<f64>(6);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn fork_is_decorrelated() {
+        let mut g = InstanceGenerator::from_seed(5);
+        let mut f1 = g.fork();
+        let mut f2 = g.fork();
+        let a = f1.fleet(5, CostDistribution::uniform(5.0));
+        let b = f2.fleet(5, CostDistribution::uniform(5.0));
+        assert_ne!(a.sorted_costs(), b.sorted_costs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two devices")]
+    fn tiny_fleet_panics() {
+        let mut g = InstanceGenerator::from_seed(1);
+        let _ = g.fleet(1, CostDistribution::uniform(5.0));
+    }
+
+    #[test]
+    fn normal_fleets_are_valid() {
+        let mut g = InstanceGenerator::from_seed(11);
+        for sigma in [0.01, 1.25, 2.5] {
+            let f = g.fleet(25, CostDistribution::normal(5.0, sigma));
+            assert!(f.sorted_costs().iter().all(|&c| c > 0.0));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Edge-network simulation substrate for the MCSCEC evaluation.
+//!
+//! The paper's entire evaluation (Sec. V) is Monte-Carlo simulation over
+//! synthetic edge fleets — there is no hardware testbed to reproduce.
+//! This crate supplies everything those experiments need, plus the pieces
+//! the paper's math abstracts away:
+//!
+//! * [`dist`] — the two unit-cost distributions of Sec. V, `U(1, c_max)`
+//!   and `N(µ, σ²)` (Box–Muller, truncated positive; `rand_distr` is not
+//!   in the allowed offline dependency set, so Normal sampling is
+//!   implemented here).
+//! * [`instance`] — reproducible generation of edge fleets and whole
+//!   experiment instances.
+//! * [`adversary`] — a **passive single-device attacker** (the paper's
+//!   attack model): it sees one device's coefficient block and coded
+//!   payload, and tries to (a) extract a pure-data linear combination via
+//!   span arithmetic and (b) distinguish candidate data matrices. For a
+//!   secure LCEC, (a) finds nothing and (b) is impossible — every
+//!   alternative data matrix is *simulatable* with consistent randomness,
+//!   which is exactly the meaning of `H(A | B_j T) = H(A)`.
+//! * [`event`] — a discrete-event simulator of the full four-step protocol
+//!   over a latency/bandwidth/compute-speed network model, used for the
+//!   completion-time ablation (Remark 1: the per-device cap `V(B_j) ≤ r`
+//!   bounds the end-to-end completion time).
+//!
+//! # Example: auditing a deployment against a passive attacker
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use scec_core::{AllocationStrategy, ScecSystem};
+//! use scec_allocation::EdgeFleet;
+//! use scec_linalg::{Fp61, Matrix};
+//! use scec_sim::adversary::PassiveAdversary;
+//!
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+//! let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0])?;
+//! let system = ScecSystem::build(a, fleet, AllocationStrategy::Mcscec, &mut rng)?;
+//! let deployment = system.distribute(&mut rng)?;
+//!
+//! for device in deployment.devices() {
+//!     let verdict = PassiveAdversary::new(system.design().clone())
+//!         .attack(device.share(), &mut rng)?;
+//!     assert!(verdict.is_information_theoretic_secure());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod dist;
+pub mod error;
+pub mod event;
+pub mod instance;
+pub mod planner;
+
+pub use dist::CostDistribution;
+pub use error::{Error, Result};
+pub use instance::InstanceGenerator;

@@ -1,0 +1,573 @@
+//! Versioned binary wire format for the SCEC protocol.
+//!
+//! The paper's cloud "computes and then distributes `B_j T`" to each edge
+//! device — which, in a real deployment, means bytes on a wire. The
+//! allowed offline dependency set contains no serde *format* crate, so
+//! this crate provides a small, explicit binary codec:
+//!
+//! * little-endian fixed-width integers, IEEE-754 bit patterns for `f64`,
+//!   canonical residues for the finite fields;
+//! * every collection is length-prefixed and bounds-checked on decode —
+//!   truncated or corrupt input yields a typed [`Error`], never a panic
+//!   or an over-allocation;
+//! * [`encode_framed`]/[`decode_framed`] wrap payloads with a magic
+//!   number, a format version, and a type tag so endpoints reject foreign
+//!   or stale bytes early.
+//!
+//! # Example
+//!
+//! ```
+//! use scec_linalg::{Fp61, Matrix};
+//! use scec_wire::{decode_framed, encode_framed, WireDecode, WireEncode};
+//!
+//! let m = Matrix::<Fp61>::identity(3);
+//! let bytes = encode_framed(&m, scec_wire::tag::MATRIX);
+//! let back: Matrix<Fp61> = decode_framed(&bytes, scec_wire::tag::MATRIX)?;
+//! assert_eq!(m, back);
+//! # Ok::<(), scec_wire::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use scec_linalg::{Fp61, FpGeneric, Matrix, Scalar, Vector};
+
+/// Magic bytes prefixing every framed message (`"SCEC"`).
+pub const MAGIC: [u8; 4] = *b"SCEC";
+
+/// Current wire-format version.
+pub const VERSION: u16 = 1;
+
+/// Type tags for framed messages.
+pub mod tag {
+    /// A [`Matrix`](scec_linalg::Matrix) payload.
+    pub const MATRIX: u16 = 1;
+    /// A [`Vector`](scec_linalg::Vector) payload.
+    pub const VECTOR: u16 = 2;
+    /// A coded device share (defined by `scec-coding`).
+    pub const DEVICE_SHARE: u16 = 3;
+    /// A tagged straggler share.
+    pub const STRAGGLER_SHARE: u16 = 4;
+    /// A query message.
+    pub const QUERY: u16 = 5;
+    /// A partial-result message.
+    pub const PARTIAL: u16 = 6;
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes needed beyond the buffer.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// The magic prefix did not match.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion {
+        /// Version found in the frame.
+        got: u16,
+    },
+    /// The frame's type tag did not match the expected one.
+    WrongTag {
+        /// Tag expected by the caller.
+        expected: u16,
+        /// Tag found in the frame.
+        got: u16,
+    },
+    /// A length prefix is implausibly large for the remaining buffer —
+    /// rejected before allocation.
+    LengthOverflow {
+        /// The claimed element count.
+        claimed: u64,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A field element was out of canonical range for its field.
+    InvalidFieldElement {
+        /// The raw value found.
+        raw: u64,
+    },
+    /// A structural invariant failed (e.g. matrix dims vs data length).
+    Malformed(&'static str),
+    /// Trailing bytes followed a complete value.
+    TrailingBytes {
+        /// Number of unread bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: need {needed} bytes, {remaining} remain")
+            }
+            Error::BadMagic => f.write_str("bad magic prefix"),
+            Error::UnsupportedVersion { got } => {
+                write!(f, "unsupported wire version {got} (supported: {VERSION})")
+            }
+            Error::WrongTag { expected, got } => {
+                write!(f, "wrong message tag: expected {expected}, got {got}")
+            }
+            Error::LengthOverflow { claimed, remaining } => {
+                write!(f, "length prefix {claimed} exceeds remaining {remaining} bytes")
+            }
+            Error::InvalidFieldElement { raw } => {
+                write!(f, "field element {raw} out of canonical range")
+            }
+            Error::Malformed(what) => write!(f, "malformed payload: {what}"),
+            Error::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A specialized result type for wire operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A bounds-checked cursor over an input buffer.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] on truncation.
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] on truncation.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length prefix and sanity-checks it against the remaining
+    /// buffer, assuming each element needs at least `min_bytes_per_elem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthOverflow`] for implausible lengths.
+    pub fn length(&mut self, min_bytes_per_elem: usize) -> Result<usize> {
+        let claimed = self.u64()?;
+        let bound = (self.remaining() / min_bytes_per_elem.max(1)) as u64;
+        if claimed > bound {
+            return Err(Error::LengthOverflow {
+                claimed,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(claimed as usize)
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TrailingBytes`] otherwise.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::TrailingBytes {
+                count: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Types that can serialize themselves onto the wire.
+pub trait WireEncode {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types that can deserialize themselves from the wire.
+pub trait WireDecode: Sized {
+    /// Reads one value from the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decoding [`Error`] on truncated, corrupt, or
+    /// out-of-range input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Convenience: decode a value that must consume the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors and rejects trailing bytes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl WireEncode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.u64()
+    }
+}
+
+impl WireEncode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl WireDecode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let v = r.u64()?;
+        usize::try_from(v).map_err(|_| Error::Malformed("usize overflow"))
+    }
+}
+
+impl WireEncode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl WireDecode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl WireEncode for Fp61 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.residue().encode(out);
+    }
+}
+
+impl WireDecode for Fp61 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let raw = r.u64()?;
+        if raw >= scec_linalg::fp::MODULUS {
+            return Err(Error::InvalidFieldElement { raw });
+        }
+        Ok(Fp61::new(raw))
+    }
+}
+
+impl<const P: u64> WireEncode for FpGeneric<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.residue().encode(out);
+    }
+}
+
+impl<const P: u64> WireDecode for FpGeneric<P> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let raw = r.u64()?;
+        if raw >= P {
+            return Err(Error::InvalidFieldElement { raw });
+        }
+        Ok(FpGeneric::new(raw))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        // Every supported element costs at least 1 byte on the wire.
+        let len = r.length(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for Vector<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for v in self.as_slice() {
+            v.encode(out);
+        }
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for Vector<F> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let len = r.length(8)?;
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(F::decode(r)?);
+        }
+        Ok(Vector::from_vec(data))
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for Matrix<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nrows().encode(out);
+        self.ncols().encode(out);
+        for v in self.as_flat() {
+            v.encode(out);
+        }
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for Matrix<F> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let rows = usize::decode(r)?;
+        let cols = usize::decode(r)?;
+        let total = rows
+            .checked_mul(cols)
+            .ok_or(Error::Malformed("matrix dimension overflow"))?;
+        if (total as u64) > (r.remaining() / 8) as u64 {
+            return Err(Error::LengthOverflow {
+                claimed: total as u64,
+                remaining: r.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(total);
+        for _ in 0..total {
+            data.push(F::decode(r)?);
+        }
+        Matrix::from_flat(rows, cols, data).map_err(|_| Error::Malformed("matrix shape"))
+    }
+}
+
+/// Encodes a value inside a `MAGIC | VERSION | tag | payload` frame.
+pub fn encode_framed<T: WireEncode>(value: &T, tag: u16) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a framed value, validating magic, version, and tag, and
+/// requiring the payload to consume the whole frame.
+///
+/// # Errors
+///
+/// Returns [`Error::BadMagic`], [`Error::UnsupportedVersion`],
+/// [`Error::WrongTag`], or any payload decode error.
+pub fn decode_framed<T: WireDecode>(bytes: &[u8], expected_tag: u16) -> Result<T> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(Error::UnsupportedVersion { got: version });
+    }
+    let tag = r.u16()?;
+    if tag != expected_tag {
+        return Err(Error::WrongTag {
+            expected: expected_tag,
+            got: tag,
+        });
+    }
+    let v = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn primitive_roundtrips() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+        for v in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+        let nan = f64::from_bytes(&f64::NAN.to_bytes()).unwrap();
+        assert!(nan.is_nan());
+        assert_eq!(usize::from_bytes(&42usize.to_bytes()).unwrap(), 42);
+    }
+
+    #[test]
+    fn field_elements_roundtrip_and_validate() {
+        let x = Fp61::new(123456789);
+        assert_eq!(Fp61::from_bytes(&x.to_bytes()).unwrap(), x);
+        // Out-of-range residue is rejected.
+        let bad = u64::MAX.to_bytes();
+        assert!(matches!(
+            Fp61::from_bytes(&bad),
+            Err(Error::InvalidFieldElement { .. })
+        ));
+        type F257 = FpGeneric<257>;
+        let y = F257::new(200);
+        assert_eq!(F257::from_bytes(&y.to_bytes()).unwrap(), y);
+        assert!(matches!(
+            F257::from_bytes(&300u64.to_bytes()),
+            Err(Error::InvalidFieldElement { raw: 300 })
+        ));
+    }
+
+    #[test]
+    fn matrix_and_vector_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::<Fp61>::random(4, 7, &mut rng);
+        assert_eq!(Matrix::<Fp61>::from_bytes(&m.to_bytes()).unwrap(), m);
+        let v = Vector::<f64>::random(9, &mut rng);
+        assert_eq!(Vector::<f64>::from_bytes(&v.to_bytes()).unwrap(), v);
+        let empty = Matrix::<Fp61>::zeros(0, 5);
+        assert_eq!(Matrix::<Fp61>::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Matrix::<Fp61>::random(3, 3, &mut rng);
+        let bytes = m.to_bytes();
+        for cut in [0, 1, 8, bytes.len() - 1] {
+            let err = Matrix::<Fp61>::from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        // Claim 2^60 elements with a 16-byte buffer.
+        let mut bytes = Vec::new();
+        (1u64 << 60).encode(&mut bytes);
+        bytes.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            Vector::<Fp61>::from_bytes(&bytes),
+            Err(Error::LengthOverflow { .. })
+        ));
+        // Same for matrices via dimension overflow.
+        let mut bytes = Vec::new();
+        usize::MAX.encode(&mut bytes);
+        usize::MAX.encode(&mut bytes);
+        assert!(Matrix::<Fp61>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u64.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u64::from_bytes(&bytes),
+            Err(Error::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn framing_validates_magic_version_tag() {
+        let m = Matrix::<Fp61>::identity(2);
+        let frame = encode_framed(&m, tag::MATRIX);
+        assert_eq!(
+            decode_framed::<Matrix<Fp61>>(&frame, tag::MATRIX).unwrap(),
+            m
+        );
+        // Wrong tag.
+        assert!(matches!(
+            decode_framed::<Matrix<Fp61>>(&frame, tag::VECTOR),
+            Err(Error::WrongTag { .. })
+        ));
+        // Corrupt magic.
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_framed::<Matrix<Fp61>>(&bad, tag::MATRIX),
+            Err(Error::BadMagic)
+        ));
+        // Future version.
+        let mut bad = frame.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            decode_framed::<Matrix<Fp61>>(&bad, tag::MATRIX),
+            Err(Error::UnsupportedVersion { got: 99 })
+        ));
+    }
+
+    #[test]
+    fn vec_of_values_roundtrips() {
+        let xs: Vec<u64> = vec![1, 2, 3, u64::MAX];
+        assert_eq!(Vec::<u64>::from_bytes(&xs.to_bytes()).unwrap(), xs);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(Vec::<u64>::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(Error::BadMagic.to_string().contains("magic"));
+        assert!(Error::UnexpectedEof { needed: 8, remaining: 2 }
+            .to_string()
+            .contains("need 8"));
+        assert!(Error::Malformed("x").to_string().contains("x"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the wire format: roundtrips for arbitrary
+//! values and — the important one — *no panic and no huge allocation on
+//! arbitrary hostile bytes*.
+
+use proptest::prelude::*;
+use scec_linalg::{Fp61, FpGeneric, Matrix, Vector};
+use scec_wire::{decode_framed, encode_framed, tag, WireDecode, WireEncode};
+
+proptest! {
+    #[test]
+    fn u64_f64_roundtrip(v in any::<u64>(), f in any::<f64>()) {
+        prop_assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+        let back = f64::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(back.to_bits(), f.to_bits());
+    }
+
+    #[test]
+    fn fp61_roundtrip(v in 0u64..scec_linalg::fp::MODULUS) {
+        let x = Fp61::new(v);
+        prop_assert_eq!(Fp61::from_bytes(&x.to_bytes()).unwrap(), x);
+    }
+
+    #[test]
+    fn fp257_roundtrip(v in 0u64..257) {
+        type F = FpGeneric<257>;
+        let x = F::new(v);
+        prop_assert_eq!(F::from_bytes(&x.to_bytes()).unwrap(), x);
+    }
+
+    #[test]
+    fn matrix_roundtrip(
+        rows in 0usize..6,
+        cols in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::<Fp61>::random(rows, cols, &mut rng);
+        prop_assert_eq!(Matrix::<Fp61>::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn vector_roundtrip(data in proptest::collection::vec(any::<f64>(), 0..20)) {
+        let v = Vector::from_vec(data);
+        let back = Vector::<f64>::from_bytes(&v.to_bytes()).unwrap();
+        prop_assert_eq!(back.len(), v.len());
+        for (a, b) in back.as_slice().iter().zip(v.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Whatever the bytes, decoding returns Ok or a typed error — no
+        // panic, no unbounded allocation (length prefixes are validated
+        // against the remaining buffer before reserving).
+        let _ = Matrix::<Fp61>::from_bytes(&bytes);
+        let _ = Vector::<Fp61>::from_bytes(&bytes);
+        let _ = Vec::<u64>::from_bytes(&bytes);
+        let _ = decode_framed::<Matrix<Fp61>>(&bytes, tag::MATRIX);
+    }
+
+    #[test]
+    fn bit_flips_are_rejected_or_yield_valid_values(
+        seed in any::<u64>(),
+        flip_byte in 0usize..64,
+        flip_bit in 0usize..8,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::<Fp61>::random(2, 3, &mut rng);
+        let mut frame = encode_framed(&m, tag::MATRIX);
+        let idx = flip_byte % frame.len();
+        frame[idx] ^= 1 << flip_bit;
+        // Either the corruption is caught (typed error) or it decoded to
+        // SOME valid matrix (e.g. a flipped low bit of a residue) — both
+        // are acceptable; what is not acceptable is a panic.
+        match decode_framed::<Matrix<Fp61>>(&frame, tag::MATRIX) {
+            Ok(decoded) => {
+                prop_assert_eq!(decoded.ncols(), 3);
+            }
+            Err(_) => {}
+        }
+    }
+}

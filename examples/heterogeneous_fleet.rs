@@ -1,0 +1,83 @@
+//! Building a fleet from raw device prices (Eq. 1) and watching the
+//! MaxNode/MinNode crossover as heterogeneity grows (the paper's
+//! Fig. 2(d) phenomenon), plus completion-time simulation.
+//!
+//! ```text
+//! cargo run -p scec-experiments --example heterogeneous_fleet --release
+//! ```
+
+use scec_allocation::{baselines, ta, DeviceCost, EdgeFleet};
+use scec_coding::CodeDesign;
+use scec_experiments::runner::MonteCarlo;
+use scec_sim::event::{DeviceProfile, NetworkModel, ProtocolSimulator};
+use scec_sim::CostDistribution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Part 1: unit costs from component prices. Three device classes —
+    // gateways (cheap storage, slow compute), micro-servers (balanced),
+    // and phones (fast enough, expensive backhaul).
+    let l = 256; // data row width
+    let mut devices = Vec::new();
+    for _ in 0..4 {
+        devices.push(DeviceCost::new(0.002, 0.0005, 0.003, 2.0)?); // gateway
+        devices.push(DeviceCost::new(0.004, 0.0002, 0.001, 1.0)?); // micro-server
+        devices.push(DeviceCost::new(0.003, 0.0004, 0.002, 4.0)?); // phone
+    }
+    let fleet = EdgeFleet::from_device_costs(&devices, l)?;
+    println!("fleet of {} devices; unit costs per coded row (Eq. 1):", fleet.len());
+    println!("  cheapest = {:.3}, costliest = {:.3}", fleet.c(1), fleet.c(fleet.len()));
+
+    let m = 300;
+    let plan = ta::ta1(m, &fleet)?;
+    println!(
+        "\nMCSCEC for m = {m}: r = {}, i = {} devices, cost = {:.2}",
+        plan.random_rows(),
+        plan.device_count(),
+        plan.total_cost()
+    );
+    for (name, p) in [
+        ("MaxNode", baselines::max_node(m, &fleet)?),
+        ("MinNode", baselines::min_node(m, &fleet)?),
+    ] {
+        println!(
+            "  {name:<8} r = {:>3}, i = {:>2}, cost = {:.2}  (+{:.1}%)",
+            p.random_rows(),
+            p.device_count(),
+            p.total_cost(),
+            (p.total_cost() / plan.total_cost() - 1.0) * 100.0
+        );
+    }
+
+    // Part 2: the Fig. 2(d) crossover — sweep fleet heterogeneity σ.
+    println!("\nheterogeneity sweep (N(5, σ²) unit costs, k = 25, m = 2000):");
+    println!("{:>6} {:>12} {:>12} {:>12}  winner", "σ", "MCSCEC", "MaxNode", "MinNode");
+    let mc = MonteCarlo::new(200, 11);
+    for sigma in [0.01, 0.5, 1.0, 1.5, 2.0, 2.5] {
+        let p = mc.run_point(2000, 25, CostDistribution::normal(5.0, sigma));
+        let winner = if p.max_node < p.min_node { "MaxNode" } else { "MinNode" };
+        println!(
+            "{sigma:>6} {:>12.1} {:>12.1} {:>12.1}  {winner}",
+            p.mcscec, p.max_node, p.min_node
+        );
+    }
+    println!("(MaxNode wins at low σ, MinNode at high σ — the paper's crossover)");
+
+    // Part 3: completion time for the chosen design over a jittered
+    // network (Remark 1: the load cap bounds completion time).
+    let design = CodeDesign::new(m, plan.random_rows())?;
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    let profiles: Vec<DeviceProfile> = (0..design.device_count())
+        .map(|_| DeviceProfile::default_edge().jittered(0.25, &mut rng))
+        .collect();
+    let model = NetworkModel::heterogeneous(profiles, 1e-9)?;
+    let report = ProtocolSimulator::new(model).simulate(&design, l)?;
+    println!(
+        "\nsimulated query completion: {:.3} ms (straggler: device {} at {:.3} ms)",
+        report.completion_time * 1e3,
+        report.straggler().map(|s| s.device).unwrap_or(0),
+        report.straggler().map(|s| s.result_arrived * 1e3).unwrap_or(0.0),
+    );
+
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Secure gradient descent — the workload the paper's attack model is
+//! written for: "in gradient-descent based algorithms, data matrix A is
+//! usually the personal data and input vector x in each iteration is only
+//! a temporary vector" (Sec. II-B).
+//!
+//! ```text
+//! cargo run -p scec-experiments --example secure_gradient_descent --release
+//! ```
+//!
+//! We fit ridge regression `min_w ||A·w − b||² + λ||w||²` by gradient
+//! descent, where the personal data matrix `A` (and `Aᵀ`) live ONLY as
+//! coded shares on edge devices. Each iteration needs `A·w` and `Aᵀ·u`,
+//! both computed securely; the gradient itself is assembled on the user
+//! device. No single edge device ever observes `A`, and the iterates `w`
+//! can additionally be hidden with query pads (shown for the first
+//! deployment).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_core::{AllocationStrategy, QueryPad, ScecSystem};
+use scec_linalg::{Matrix, Vector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(33);
+    let (n_samples, n_features) = (120usize, 12usize);
+
+    // Synthetic personal data with a planted model: b = A·w* + noise.
+    let a = Matrix::<f64>::random(n_samples, n_features, &mut rng);
+    let w_true = Vector::<f64>::random(n_features, &mut rng);
+    let noise: Vec<f64> = (0..n_samples).map(|_| rng.gen_range(-0.01..0.01)).collect();
+    let b = a.matvec(&w_true)?.add(&Vector::from_vec(noise))?;
+
+    // Two secure deployments: A (for A·w) and Aᵀ (for Aᵀ·u).
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.3, 1.6, 2.0, 2.5, 3.2])?;
+    let sys_a = ScecSystem::build(a.clone(), fleet.clone(), AllocationStrategy::Mcscec, &mut rng)?;
+    let sys_at = ScecSystem::build(a.transpose(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
+    let dep_a = sys_a.distribute(&mut rng)?;
+    let dep_at = sys_at.distribute(&mut rng)?;
+    println!(
+        "deployed A ({}x{}) over {} devices and Aᵀ over {} devices",
+        n_samples,
+        n_features,
+        sys_a.plan().device_count(),
+        sys_at.plan().device_count()
+    );
+
+    // Input-private first iteration: hide w as well, via a query pad.
+    let mut pads = QueryPad::generate(&a, 1, &mut rng)?;
+
+    // Gradient descent on f(w) = ||Aw - b||^2/n + lambda*||w||^2.
+    let (eta, lambda, iters) = (0.5 / n_samples as f64, 1e-3, 200usize);
+    let mut w = Vector::<f64>::zeros(n_features);
+    let mut last_loss = f64::INFINITY;
+    for it in 0..iters {
+        // Secure A·w (first iteration additionally hides w with a pad).
+        let aw = if let Some(pad) = pads.pop() {
+            let (blinded, key) = pad.blind(&w)?;
+            key.unblind(&dep_a.query(&blinded)?)?
+        } else {
+            dep_a.query(&w)?
+        };
+        let residual = aw.sub(&b)?;
+        // Secure Aᵀ·residual.
+        let grad_data = dep_at.query(&residual)?;
+        let grad = grad_data.scale(2.0).add(&w.scale(2.0 * lambda))?;
+        w = w.sub(&grad.scale(eta))?;
+
+        if it % 50 == 0 || it == iters - 1 {
+            let loss = residual.dot(&residual)? / n_samples as f64;
+            println!("iter {it:>3}: mse = {loss:.6}");
+            last_loss = loss;
+        }
+    }
+
+    // The securely-trained model matches the plant.
+    let err: f64 = (0..n_features)
+        .map(|i| (w.at(i) - w_true.at(i)).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    println!("\n||w - w*|| = {err:.4} (planted model recovered), final mse = {last_loss:.6}");
+    assert!(err < 0.15, "gradient descent failed to converge: {err}");
+
+    // Sanity: the secure iterates equal the plaintext computation.
+    let mut w_plain = Vector::<f64>::zeros(n_features);
+    for _ in 0..iters {
+        let residual = a.matvec(&w_plain)?.sub(&b)?;
+        let grad = a
+            .transpose()
+            .matvec(&residual)?
+            .scale(2.0)
+            .add(&w_plain.scale(2.0 * lambda))?;
+        w_plain = w_plain.sub(&grad.scale(eta))?;
+    }
+    let drift: f64 = (0..n_features)
+        .map(|i| (w.at(i) - w_plain.at(i)).abs())
+        .fold(0.0, f64::max);
+    println!("max |secure - plaintext| across coordinates = {drift:.2e}");
+    assert!(drift < 1e-6);
+    println!("secure and plaintext trajectories agree ✓");
+
+    Ok(())
+}

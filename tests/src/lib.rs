@@ -1,0 +1,4 @@
+//! Cross-crate integration test crate for the SCEC workspace.
+//!
+//! All content lives in `tests/` (integration tests); this library target
+//! exists only so the package participates in the workspace.

@@ -1,0 +1,182 @@
+//! End-to-end pipeline tests spanning every crate: allocation → coding →
+//! distribution → device compute → recovery, over both fields and every
+//! allocation strategy.
+
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix, Scalar, Vector};
+
+const STRATEGIES: [AllocationStrategy; 5] = [
+    AllocationStrategy::Mcscec,
+    AllocationStrategy::McscecExhaustive,
+    AllocationStrategy::MaxNode,
+    AllocationStrategy::MinNode,
+    AllocationStrategy::RandomNode,
+];
+
+fn fleet(k: usize, seed: u64) -> EdgeFleet {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    EdgeFleet::from_unit_costs((0..k).map(|_| rng.gen_range(1.0..5.0)).collect()).unwrap()
+}
+
+#[test]
+fn every_strategy_recovers_exactly_over_fp61() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for strategy in STRATEGIES {
+        for (m, l, k) in [(6usize, 4usize, 4usize), (13, 7, 6), (1, 1, 2), (20, 3, 12)] {
+            let a = Matrix::<Fp61>::random(m, l, &mut rng);
+            let sys = ScecSystem::build(a.clone(), fleet(k, 7), strategy, &mut rng).unwrap();
+            let deployment = sys.distribute(&mut rng).unwrap();
+            let x = Vector::<Fp61>::random(l, &mut rng);
+            assert_eq!(
+                deployment.query(&x).unwrap(),
+                a.matvec(&x).unwrap(),
+                "{strategy} m={m} l={l} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_strategy_recovers_accurately_over_f64() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for strategy in STRATEGIES {
+        let (m, l) = (10, 6);
+        let a = Matrix::<f64>::random(m, l, &mut rng);
+        let sys = ScecSystem::build(a.clone(), fleet(5, 8), strategy, &mut rng).unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let x = Vector::<f64>::random(l, &mut rng);
+        let y = deployment.query(&x).unwrap();
+        let want = a.matvec(&x).unwrap();
+        for p in 0..m {
+            assert!(
+                (y.at(p) - want.at(p)).abs() < 1e-8,
+                "{strategy} row {p}: {} vs {}",
+                y.at(p),
+                want.at(p)
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_design_deployment_agree_on_every_load() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for strategy in STRATEGIES {
+        let a = Matrix::<Fp61>::random(24, 5, &mut rng);
+        let sys = ScecSystem::build(a, fleet(8, 11), strategy, &mut rng).unwrap();
+        let plan = sys.plan();
+        let design = sys.design();
+        assert_eq!(plan.device_count(), design.device_count(), "{strategy}");
+        for (j, &load) in plan.loads().iter().enumerate() {
+            assert_eq!(load, design.device_load(j + 1).unwrap(), "{strategy} j={j}");
+        }
+        let deployment = sys.distribute(&mut rng).unwrap();
+        for (j, dev) in deployment.devices().iter().enumerate() {
+            assert_eq!(dev.share().load(), plan.loads()[j], "{strategy} j={j}");
+        }
+    }
+}
+
+#[test]
+fn reported_cost_matches_loads_times_unit_costs() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let f = fleet(7, 13);
+    for strategy in STRATEGIES {
+        let a = Matrix::<Fp61>::random(17, 4, &mut rng);
+        let sys = ScecSystem::build(a, f.clone(), strategy, &mut rng).unwrap();
+        let plan = sys.plan();
+        let manual: f64 = plan
+            .loads()
+            .iter()
+            .enumerate()
+            .map(|(p, &v)| v as f64 * f.c(p + 1))
+            .sum();
+        assert!(
+            (plan.total_cost() - manual).abs() < 1e-9,
+            "{strategy}: {} vs {manual}",
+            plan.total_cost()
+        );
+    }
+}
+
+#[test]
+fn measured_usage_is_priced_consistently_with_plan_objective() {
+    // The plan objective uses unit costs; the metrics module prices raw
+    // usage by component. With unit costs derived from the same component
+    // prices via Eq. (1), the two views must coincide (up to the fixed
+    // l·c_s term per participating device).
+    use scec_allocation::DeviceCost;
+    let mut rng = StdRng::seed_from_u64(5);
+    let l = 6usize;
+    let prices: Vec<DeviceCost> = (0..5)
+        .map(|i| {
+            DeviceCost::new(
+                0.01 * (i + 1) as f64,
+                0.001,
+                0.002,
+                0.4 + 0.1 * i as f64,
+            )
+            .unwrap()
+        })
+        .collect();
+    let f = EdgeFleet::from_device_costs(&prices, l).unwrap();
+    let a = Matrix::<Fp61>::random(12, l, &mut rng);
+    let sys = ScecSystem::build(a, f.clone(), AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let deployment = sys.distribute(&mut rng).unwrap();
+    let usage = deployment.usage();
+
+    let mut measured = 0.0;
+    for (pos, u) in usage.per_device.iter().enumerate() {
+        let device_id = f.device_id(pos);
+        measured += u.cost(&prices[device_id]);
+    }
+    let fixed: f64 = (0..usage.per_device.len())
+        .map(|pos| prices[f.device_id(pos)].fixed_cost(l))
+        .sum();
+    let predicted = sys.plan().total_cost() + fixed;
+    assert!(
+        (measured - predicted).abs() < 1e-9,
+        "measured {measured} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn repeated_queries_reuse_the_same_deployment() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let a = Matrix::<Fp61>::random(9, 4, &mut rng);
+    let sys = ScecSystem::build(a.clone(), fleet(4, 17), AllocationStrategy::Mcscec, &mut rng)
+        .unwrap();
+    let deployment = sys.distribute(&mut rng).unwrap();
+    for _ in 0..10 {
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        assert_eq!(deployment.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+}
+
+#[test]
+fn wide_and_tall_matrices() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Tall: m >> l. Wide: l >> m.
+    for (m, l) in [(50usize, 2usize), (2, 50), (1, 100), (64, 1)] {
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let sys = ScecSystem::build(a.clone(), fleet(6, 19), AllocationStrategy::Mcscec, &mut rng)
+            .unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        assert_eq!(deployment.query(&x).unwrap(), a.matvec(&x).unwrap(), "m={m} l={l}");
+    }
+}
+
+#[test]
+fn zero_query_vector_yields_zero_result() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = Matrix::<Fp61>::random(5, 3, &mut rng);
+    let sys =
+        ScecSystem::build(a, fleet(3, 23), AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let deployment = sys.distribute(&mut rng).unwrap();
+    let y = deployment.query(&Vector::<Fp61>::zeros(3)).unwrap();
+    assert!(y.as_slice().iter().all(Scalar::is_zero));
+}

@@ -1,0 +1,145 @@
+//! Downscaled versions of the paper's figures as integration tests: every
+//! qualitative shape the paper reports must hold even at reduced instance
+//! counts and sizes.
+
+use scec_experiments::claims;
+use scec_experiments::figures::{self, Defaults};
+use scec_experiments::runner::MonteCarlo;
+use scec_sim::CostDistribution;
+
+fn mc() -> MonteCarlo {
+    MonteCarlo::new(30, 2019)
+}
+
+fn small_defaults() -> Defaults {
+    Defaults {
+        m: 200,
+        k: 15,
+        ..Defaults::default()
+    }
+}
+
+#[test]
+fn fig2a_shape_mcscec_wins_and_tracks_lb() {
+    let sweep = figures::fig2a(&mc(), &small_defaults());
+    for (param, c) in &sweep.points {
+        assert!(c.lower_bound <= c.mcscec + 1e-9, "m={param}");
+        assert!(c.mcscec <= c.max_node + 1e-9, "m={param}");
+        assert!(c.mcscec <= c.min_node + 1e-9, "m={param}");
+        assert!(c.mcscec <= c.r_node + 1e-9, "m={param}");
+        assert!(c.ta_without_security <= c.mcscec + 1e-9, "m={param}");
+    }
+    // Total cost grows with m.
+    let curve = sweep.curve("MCSCEC");
+    assert!(curve.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn fig2b_more_devices_never_hurt_the_optimum() {
+    let sweep = figures::fig2b(&mc(), &small_defaults());
+    let curve = sweep.curve("MCSCEC");
+    // Adding devices weakly reduces the optimal cost (more choice).
+    for w in curve.windows(2) {
+        assert!(w[1] <= w[0] * 1.02, "{w:?}");
+    }
+    // MinNode picks the two cheapest of k samples, so its cost falls as k
+    // grows (better order statistics) — weakly, up to sampling noise.
+    let min_node = sweep.curve("MinNode");
+    for w in min_node.windows(2) {
+        assert!(w[1] <= w[0] * 1.05, "MinNode rose with k: {w:?}");
+    }
+}
+
+#[test]
+fn fig2c_costs_grow_with_cmax() {
+    let sweep = figures::fig2c(&mc(), &small_defaults());
+    for label in ["MCSCEC", "LB", "MaxNode", "MinNode"] {
+        let curve = sweep.curve(label);
+        assert!(
+            curve.windows(2).all(|w| w[0] < w[1]),
+            "{label} not increasing: {curve:?}"
+        );
+    }
+}
+
+#[test]
+fn fig2d_crossover_between_max_node_and_min_node() {
+    let sweep = figures::fig2d(&mc(), &small_defaults());
+    let max_node = sweep.curve("MaxNode");
+    let min_node = sweep.curve("MinNode");
+    let mcscec = sweep.curve("MCSCEC");
+    let n = sweep.points.len();
+    // Left end (sigma → 0): MaxNode is near-optimal, MinNode clearly worse.
+    assert!((max_node[0] - mcscec[0]) / mcscec[0] < 0.01);
+    assert!((min_node[0] - mcscec[0]) / mcscec[0] > 0.1);
+    // Right end (sigma large): MinNode beats MaxNode.
+    assert!(min_node[n - 1] < max_node[n - 1]);
+    // And the curves really cross somewhere.
+    let crossed = (0..n - 1).any(|t| {
+        (max_node[t] <= min_node[t]) != (max_node[t + 1] <= min_node[t + 1])
+    });
+    assert!(crossed, "MaxNode/MinNode never crossed: {max_node:?} vs {min_node:?}");
+}
+
+#[test]
+fn fig2e_growing_mu_acts_like_shrinking_sigma() {
+    // The paper: "when µ increases and σ is fixed, the relative difference
+    // of costs between devices becomes smaller, which has the same effect
+    // as σ decreasing" — i.e. spreading over many devices (MaxNode-like)
+    // becomes near-optimal, so MCSCEC's edge over MaxNode shrinks while
+    // its edge over MinNode widens.
+    let sweep = figures::fig2e(&mc(), &small_defaults());
+    let gaps = claims::gaps(&sweep);
+    let first = gaps.first().unwrap();
+    let last = gaps.last().unwrap();
+    assert!(
+        last.savings_vs_max_node < first.savings_vs_max_node,
+        "MaxNode gap should shrink with mu: {last:?} vs {first:?}"
+    );
+    assert!(
+        last.savings_vs_min_node > first.savings_vs_min_node,
+        "MinNode gap should widen with mu: {last:?} vs {first:?}"
+    );
+}
+
+#[test]
+fn headline_claim_t1_holds_downscaled() {
+    let sweeps = vec![
+        figures::fig2a(&mc(), &small_defaults()),
+        figures::fig2c(&mc(), &small_defaults()),
+    ];
+    let v = claims::verdicts(&sweeps);
+    assert!(v.t1_holds, "{:?}", v.lb_gap_at_largest);
+}
+
+#[test]
+fn uniform_sigma_zero_equivalence() {
+    // N(mu, sigma→0) fleets are uniform-cost fleets: MaxNode == MCSCEC
+    // exactly in the limit (every device equally cheap).
+    let mc = MonteCarlo::new(20, 7);
+    let p = mc.run_point(120, 10, CostDistribution::normal(5.0, 1e-6));
+    assert!((p.max_node - p.mcscec).abs() / p.mcscec < 1e-4);
+}
+
+#[test]
+fn figure_regeneration_is_deterministic() {
+    // Same seed + instance count must reproduce the exact CSV bytes —
+    // the property EXPERIMENTS.md relies on.
+    let mc = MonteCarlo::new(12, 2019);
+    let d = small_defaults();
+    let a = figures::fig2c(&mc, &d).to_table().to_csv();
+    let b = figures::fig2c(&mc, &d).to_table().to_csv();
+    assert_eq!(a, b);
+    let other_seed = MonteCarlo::new(12, 2020);
+    let c = figures::fig2c(&other_seed, &d).to_table().to_csv();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn claims_table_renders() {
+    let sweep = figures::fig2c(&mc(), &small_defaults());
+    let table = claims::gaps_table(&sweep);
+    let md = table.to_markdown();
+    assert!(md.contains("gap_to_LB_%"));
+    assert_eq!(table.rows().len(), sweep.points.len());
+}

@@ -1,0 +1,223 @@
+//! Integration tests for the post-paper extensions: straggler tolerance
+//! (footnote 1), collusion resistance (conclusion's future work), batch
+//! queries (Sec. II-A's matrix–matrix remark), and the threaded runtime.
+
+use std::time::Duration;
+
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_coding::{CodeDesign, StragglerCode, TPrivateCode, TaggedResponse};
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix, Vector};
+use scec_runtime::{LocalCluster, StragglerCluster};
+use scec_sim::adversary::PassiveAdversary;
+
+#[test]
+fn straggler_code_full_lifecycle_with_adversary_audit() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (m, r, s, l) = (10, 4, 6, 5);
+    let base = CodeDesign::new(m, r).unwrap();
+    let code = StragglerCode::<Fp61>::new(base, s, &mut rng).unwrap();
+    let a = Matrix::<Fp61>::random(m, l, &mut rng);
+    let store = code.encode(&a, &mut rng).unwrap();
+    let x = Vector::<Fp61>::random(l, &mut rng);
+
+    // Every device (base AND standby) must resist the passive adversary.
+    let adversary = PassiveAdversary::for_dimensions(m, r).with_candidates(3);
+    for share in store.shares() {
+        let j = share.device();
+        let block = code.device_block(j).unwrap();
+        let verdict = adversary
+            .attack_observation(j, &block, share.coded(), &mut rng)
+            .unwrap();
+        assert!(
+            verdict.is_information_theoretic_secure(),
+            "device {j}: {verdict:?}"
+        );
+    }
+
+    // Decode succeeds from any single-device loss within redundancy.
+    let want = a.matvec(&x).unwrap();
+    for dropped in 1..=code.device_count() {
+        let kept: Vec<TaggedResponse<Fp61>> = store
+            .shares()
+            .iter()
+            .filter(|sh| sh.device() != dropped)
+            .flat_map(|sh| sh.compute(&x).unwrap())
+            .collect();
+        if kept.len() < code.rows_needed() {
+            continue;
+        }
+        assert_eq!(code.decode(&kept).unwrap(), want, "dropping {dropped}");
+    }
+}
+
+#[test]
+fn t_private_code_against_simulated_coalitions() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (m, t, v, l) = (8, 2, 2, 4);
+    let code = TPrivateCode::<Fp61>::new(m, t, v, &mut rng).unwrap();
+    let a = Matrix::<Fp61>::random(m, l, &mut rng);
+    let store = code.encode(&a, &mut rng).unwrap();
+    let adversary = PassiveAdversary::for_dimensions(m, code.random_rows()).with_candidates(3);
+    let blocks: Vec<Matrix<Fp61>> = (1..=code.device_count())
+        .map(|j| code.device_block(j).unwrap())
+        .collect();
+    // All pairs resist.
+    for j1 in 1..=code.device_count() {
+        for j2 in (j1 + 1)..=code.device_count() {
+            let members = vec![
+                (j1, &blocks[j1 - 1], store.shares()[j1 - 1].coded()),
+                (j2, &blocks[j2 - 1], store.shares()[j2 - 1].coded()),
+            ];
+            let verdict = adversary.attack_coalition(&members, &mut rng).unwrap();
+            assert!(
+                verdict.is_information_theoretic_secure(),
+                "coalition ({j1},{j2}): {verdict:?}"
+            );
+        }
+    }
+    // And the code still computes correctly.
+    let x = Vector::<Fp61>::random(l, &mut rng);
+    let mut btx = Vec::new();
+    for share in store.shares() {
+        btx.extend(share.compute(&x).unwrap().into_vec());
+    }
+    assert_eq!(
+        code.decode(&Vector::from_vec(btx)).unwrap(),
+        a.matvec(&x).unwrap()
+    );
+}
+
+#[test]
+fn structured_design_collusion_weakness_is_demonstrable() {
+    // The precise boundary the paper draws: single devices learn nothing,
+    // but device 1 + any data device learns everything it holds.
+    let mut rng = StdRng::seed_from_u64(3);
+    let design = CodeDesign::new(8, 3).unwrap();
+    let a = Matrix::<Fp61>::random(8, 4, &mut rng);
+    let store = scec_coding::Encoder::new(design.clone())
+        .encode(&a, &mut rng)
+        .unwrap();
+    let b = design.encoding_matrix::<Fp61>();
+    let adversary = PassiveAdversary::new(design.clone());
+    let block_of = |j: usize| {
+        let range = design.device_row_range(j).unwrap();
+        b.row_block(range.start, range.end).unwrap()
+    };
+    let b1 = block_of(1);
+    let b2 = block_of(2);
+    let members = vec![
+        (1, &b1, store.share(1).unwrap().coded()),
+        (2, &b2, store.share(2).unwrap().coded()),
+    ];
+    let verdict = adversary.attack_coalition(&members, &mut rng).unwrap();
+    // Device 2 holds 3 coded rows; with device 1's randomness all 3 data
+    // rows fall out.
+    assert_eq!(verdict.leaked_combinations, 3);
+}
+
+#[test]
+fn batch_queries_through_the_full_stack() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = Matrix::<Fp61>::random(9, 6, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.2, 2.0, 2.4]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let deployment = sys.distribute(&mut rng).unwrap();
+    let xs = Matrix::<Fp61>::random(6, 10, &mut rng);
+    assert_eq!(deployment.query_batch(&xs).unwrap(), a.matmul(&xs).unwrap());
+}
+
+#[test]
+fn threaded_cluster_matches_in_process_deployment() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::<Fp61>::random(7, 4, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.4, 2.0]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let deployment = sys.distribute(&mut rng).unwrap();
+    let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+    for _ in 0..3 {
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let via_threads = cluster.query(&x).unwrap();
+        let via_deployment = deployment.query(&x).unwrap();
+        assert_eq!(via_threads, via_deployment);
+        assert_eq!(via_threads, a.matvec(&x).unwrap());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn straggler_cluster_sidesteps_slow_device_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let (m, r, s, l) = (8, 4, 4, 3);
+    let base = CodeDesign::new(m, r).unwrap();
+    let code = StragglerCode::<Fp61>::new(base, s, &mut rng).unwrap();
+    let a = Matrix::<Fp61>::random(m, l, &mut rng);
+    // Device 1 (the pure-randomness holder, 4 rows <= s) is slowed.
+    let delays = vec![Duration::from_millis(500)];
+    let cluster = StragglerCluster::launch(code, &a, &mut rng, &delays).unwrap();
+    let x = Vector::<Fp61>::random(l, &mut rng);
+    let started = std::time::Instant::now();
+    let result = cluster.query(&x).unwrap();
+    assert!(started.elapsed() < Duration::from_millis(300));
+    assert_eq!(result.value, a.matvec(&x).unwrap());
+    assert!(!result.responders.contains(&1));
+}
+
+#[test]
+fn byzantine_device_is_caught_by_integrity_check_over_threads() {
+    use scec_core::integrity::IntegrityKey;
+    use scec_runtime::DeviceBehavior;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.4, 1.8]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let key = IntegrityKey::generate(&a, &mut rng).unwrap();
+
+    // Honest cluster: results verify.
+    let honest = LocalCluster::launch(&sys, &mut rng).unwrap();
+    let x = Vector::<Fp61>::random(4, &mut rng);
+    let y = honest.query(&x).unwrap();
+    assert!(key.verify(&x, &y).unwrap());
+    honest.shutdown();
+
+    // One Byzantine device: the threaded query still decodes (the
+    // corruption is silent at the protocol level) but fails verification.
+    let behaviors = vec![DeviceBehavior::Honest, DeviceBehavior::Byzantine];
+    let byzantine = LocalCluster::launch_with_behaviors(&sys, &mut rng, &behaviors).unwrap();
+    let y_bad = byzantine.query(&x).unwrap();
+    assert_ne!(y_bad, a.matvec(&x).unwrap());
+    assert!(!key.verify(&x, &y_bad).unwrap());
+    byzantine.shutdown();
+}
+
+#[test]
+fn input_privacy_composes_with_the_pipeline() {
+    use scec_core::{PrivateQuerier, QueryPad};
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = Matrix::<Fp61>::random(5, 3, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let deployment = sys.distribute(&mut rng).unwrap();
+    let pads = QueryPad::generate(&a, 3, &mut rng).unwrap();
+    let mut querier = PrivateQuerier::new(pads);
+    for _ in 0..3 {
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(
+            querier.query(&deployment, &x).unwrap(),
+            a.matvec(&x).unwrap()
+        );
+    }
+    assert_eq!(querier.pads_remaining(), 0);
+}
+
+#[test]
+fn straggler_and_collusion_codes_compose_with_experiment_tables() {
+    // The ablation tables must be producible for extension parameters.
+    let t = scec_experiments::ablation::collusion_cost(50, 5, &[1, 2, 3]);
+    assert_eq!(t.rows().len(), 3);
+    let t = scec_experiments::ablation::straggler_quorum(30, 10, 8, &[10], 9);
+    assert_eq!(t.rows().len(), 1);
+}

@@ -1,0 +1,204 @@
+//! Computational checks of every theorem, lemma, and corollary in the
+//! paper, exercised through the public APIs of the workspace crates.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use scec_allocation::{baselines, bound, istar, ta, AllocationPlan, EdgeFleet};
+use scec_coding::{verify, CodeDesign};
+use scec_linalg::{span, Fp61};
+
+fn random_fleet(rng: &mut StdRng) -> EdgeFleet {
+    let k = rng.gen_range(2..15);
+    EdgeFleet::from_unit_costs((0..k).map(|_| rng.gen_range(0.5..8.0)).collect()).unwrap()
+}
+
+/// Lemma 1: in an optimal solution, every device's load is at most `r`.
+#[test]
+fn lemma_1_load_cap() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..100 {
+        let fleet = random_fleet(&mut rng);
+        let m = rng.gen_range(1..100);
+        let plan = ta::ta1(m, &fleet).unwrap();
+        let r = plan.random_rows();
+        assert!(plan.loads().iter().all(|&v| v <= r), "m={m}: {plan:?}");
+    }
+}
+
+/// Lemma 2: an optimal solution exists with the canonical load shape —
+/// `r` on the first `i−1` devices, the remainder on device `i`, zero
+/// beyond.
+#[test]
+fn lemma_2_canonical_shape() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..100 {
+        let fleet = random_fleet(&mut rng);
+        let m = rng.gen_range(1..100);
+        let plan = ta::ta2(m, &fleet).unwrap();
+        let r = plan.random_rows();
+        let i = plan.device_count();
+        assert_eq!(i, (m + r).div_ceil(r));
+        for j in 0..i - 1 {
+            assert_eq!(plan.loads()[j], r);
+        }
+        assert_eq!(plan.loads()[i - 1], m + r - (i - 1) * r);
+    }
+}
+
+/// Lemma 3: the `i*` predicate is prefix-true / suffix-false over
+/// `2..=k`.
+#[test]
+fn lemma_3_threshold_structure() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..100 {
+        let fleet = random_fleet(&mut rng);
+        let star = istar::i_star(&fleet);
+        for i in 2..=fleet.len() {
+            assert_eq!(istar::predicate(&fleet, i), i <= star);
+        }
+    }
+}
+
+/// Theorem 1: no feasible canonical plan beats the lower bound
+/// `c^L = m/(i*−1)·Σ_{j≤i*} c_j`.
+#[test]
+fn theorem_1_lower_bound() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..50 {
+        let fleet = random_fleet(&mut rng);
+        let m = rng.gen_range(1..60);
+        let lb = bound::lower_bound(m, &fleet).unwrap();
+        let min_r = m.div_ceil(fleet.len() - 1);
+        for r in min_r..=m {
+            let plan = AllocationPlan::canonical(m, r, &fleet).unwrap();
+            assert!(
+                plan.total_cost() >= lb - 1e-9 * (1.0 + lb),
+                "m={m} r={r}: {} < {lb}",
+                plan.total_cost()
+            );
+        }
+    }
+}
+
+/// Corollary 1: when `(i*−1) | m`, TA1 achieves the bound exactly.
+#[test]
+fn corollary_1_achievability() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let mut checked = 0;
+    for _ in 0..200 {
+        let fleet = random_fleet(&mut rng);
+        let star = istar::i_star(&fleet);
+        let m = (star - 1) * rng.gen_range(1..20);
+        if m == 0 {
+            continue;
+        }
+        let lb = bound::lower_bound(m, &fleet).unwrap();
+        let got = ta::ta1(m, &fleet).unwrap().total_cost();
+        assert!(
+            (got - lb).abs() < 1e-9 * (1.0 + lb),
+            "m={m} i*={star}: {got} vs {lb}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 100);
+}
+
+/// Theorem 2: the optimal `r` always lies in `[⌈m/(k−1)⌉, m]`.
+#[test]
+fn theorem_2_feasible_range() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..100 {
+        let fleet = random_fleet(&mut rng);
+        let m = rng.gen_range(1..100);
+        for plan in [ta::ta1(m, &fleet).unwrap(), ta::ta2(m, &fleet).unwrap()] {
+            let r = plan.random_rows();
+            assert!(r >= m.div_ceil(fleet.len() - 1) && r <= m, "m={m} r={r}");
+        }
+    }
+}
+
+/// Theorem 3: the structured encoding matrix satisfies availability and
+/// security for every feasible `(m, r)` — checked computationally over
+/// GF(2⁶¹−1).
+#[test]
+fn theorem_3_structured_code_validity() {
+    for m in 1..=16usize {
+        for r in 1..=m {
+            let design = CodeDesign::new(m, r).unwrap();
+            let b = design.encoding_matrix::<Fp61>();
+            let report = verify::verify(&design, &b).unwrap();
+            assert!(report.is_valid(), "m={m} r={r}: {report:?}");
+            // The explicit span form of Definition 2.
+            let lambda = span::data_span_basis::<Fp61>(m, r);
+            for j in 1..=design.device_count() {
+                let block = design.device_block::<Fp61>(j).unwrap();
+                assert_eq!(span::intersection_dim(&block, &lambda), 0, "m={m} r={r} j={j}");
+            }
+        }
+    }
+}
+
+/// Theorems 4 & 5: TA1 and TA2 are optimal — equal to brute force over
+/// the entire feasible range of `r`.
+#[test]
+fn theorems_4_5_optimality() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..60 {
+        let fleet = random_fleet(&mut rng);
+        let m: usize = rng.gen_range(1..80);
+        let min_r = m.div_ceil(fleet.len() - 1);
+        let brute = (min_r..=m)
+            .map(|r| AllocationPlan::canonical(m, r, &fleet).unwrap().total_cost())
+            .fold(f64::INFINITY, f64::min);
+        let t1 = ta::ta1(m, &fleet).unwrap().total_cost();
+        let t2 = ta::ta2(m, &fleet).unwrap().total_cost();
+        let tol = 1e-9 * (1.0 + brute);
+        assert!((t1 - brute).abs() < tol, "TA1 {t1} vs brute {brute}");
+        assert!((t2 - brute).abs() < tol, "TA2 {t2} vs brute {brute}");
+    }
+}
+
+/// Sec. IV-B decoding complexity: recovery uses exactly `m` subtractions.
+#[test]
+fn decoding_complexity_is_m_subtractions() {
+    for m in [1usize, 7, 100] {
+        let design = CodeDesign::new(m, (m / 3).max(1)).unwrap();
+        assert_eq!(scec_coding::decode::fast_decode_op_count(&design), m);
+    }
+}
+
+/// Eq. (4) in Theorem 1's proof: the canonical plan's `i = ⌈(m+r)/r⌉`
+/// forces `m/(i−1) ≤ r < m/(i−2)` (the latter when `i > 2`).
+#[test]
+fn eq_4_r_bracketing() {
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0; 20]).unwrap();
+    for m in [5usize, 12, 31] {
+        let min_r = m.div_ceil(19);
+        for r in min_r..=m {
+            let plan = AllocationPlan::canonical(m, r, &fleet).unwrap();
+            let i = plan.device_count();
+            assert!(r as f64 >= m as f64 / (i as f64 - 1.0) - 1e-12, "m={m} r={r} i={i}");
+            if i > 2 {
+                assert!((r as f64) < m as f64 / (i as f64 - 2.0), "m={m} r={r} i={i}");
+            }
+        }
+    }
+}
+
+/// Sec. V baseline identities: MinNode uses 2 devices with `r = m`;
+/// MaxNode uses the most devices allowed by Lemma 1.
+#[test]
+fn baseline_structure() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..50 {
+        let fleet = random_fleet(&mut rng);
+        let m = rng.gen_range(1..60);
+        let min_plan = baselines::min_node(m, &fleet).unwrap();
+        assert_eq!(min_plan.device_count(), 2);
+        assert_eq!(min_plan.random_rows(), m);
+        let max_plan = baselines::max_node(m, &fleet).unwrap();
+        // No feasible r supports more devices than MaxNode's choice.
+        let r = max_plan.random_rows();
+        assert_eq!(r, m.div_ceil(fleet.len() - 1));
+        assert!(max_plan.device_count() <= fleet.len());
+    }
+}

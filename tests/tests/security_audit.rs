@@ -1,0 +1,165 @@
+//! Security-focused integration tests: the simulated passive adversary
+//! against real deployments, and regression checks that broken codes are
+//! caught.
+
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_coding::{verify, CodeDesign, Encoder};
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix};
+use scec_sim::adversary::PassiveAdversary;
+
+#[test]
+fn deployments_resist_the_passive_adversary_for_every_strategy() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.2, 1.4, 2.0, 2.5, 4.0]).unwrap();
+    for strategy in [
+        AllocationStrategy::Mcscec,
+        AllocationStrategy::McscecExhaustive,
+        AllocationStrategy::MaxNode,
+        AllocationStrategy::MinNode,
+        AllocationStrategy::RandomNode,
+    ] {
+        let a = Matrix::<Fp61>::random(12, 5, &mut rng);
+        let sys = ScecSystem::build(a, fleet.clone(), strategy, &mut rng).unwrap();
+        let deployment = sys.distribute(&mut rng).unwrap();
+        let adversary = PassiveAdversary::new(sys.design().clone()).with_candidates(3);
+        for device in deployment.devices() {
+            let verdict = adversary.attack(device.share(), &mut rng).unwrap();
+            assert!(
+                verdict.is_information_theoretic_secure(),
+                "{strategy} device {}: {verdict:?}",
+                device.device()
+            );
+        }
+    }
+}
+
+#[test]
+fn no_device_can_derive_any_standard_basis_data_row() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let m = 8;
+    let design = CodeDesign::new(m, 3).unwrap();
+    let adversary = PassiveAdversary::new(design.clone());
+    for p in 0..m {
+        let mut e = vec![Fp61::new(0); m];
+        e[p] = Fp61::new(1);
+        for j in 1..=design.device_count() {
+            assert!(
+                !adversary.can_derive(j, &e).unwrap(),
+                "device {j} derives data row {p}"
+            );
+        }
+    }
+    let _ = rng;
+}
+
+#[test]
+fn no_device_can_derive_random_pairwise_differences() {
+    // Differences A_p − A_q are the classic leak of shared-randomness
+    // codes; the structured design must block all of them per device.
+    let m = 6;
+    let design = CodeDesign::new(m, 2).unwrap();
+    let adversary = PassiveAdversary::new(design.clone());
+    for p in 0..m {
+        for q in 0..m {
+            if p == q {
+                continue;
+            }
+            let mut u = vec![Fp61::new(0); m];
+            u[p] = Fp61::new(1);
+            u[q] = -Fp61::new(1);
+            for j in 1..=design.device_count() {
+                assert!(
+                    !adversary.can_derive(j, &u).unwrap(),
+                    "device {j} derives A_{p} - A_{q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn verifier_and_adversary_agree_on_broken_codes() {
+    // Sabotage the structured matrix so device 2 reuses one random row;
+    // both the static verifier and the dynamic adversary must flag it.
+    let mut rng = StdRng::seed_from_u64(3);
+    let design = CodeDesign::new(6, 2).unwrap();
+    let mut b = design.encoding_matrix::<Fp61>();
+    // Device 2 holds stacked rows 2..4 (coded rows for A_0, A_1). Rewire
+    // row 3 to reuse R_0 (column m+0 = 6) instead of R_1 (column 7).
+    b.set(3, 7, Fp61::new(0)).unwrap();
+    b.set(3, 6, Fp61::new(1)).unwrap();
+
+    let report = verify::verify(&design, &b).unwrap();
+    assert!(report.insecure_devices.contains(&2), "{report:?}");
+
+    let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+    let randomness = Matrix::<Fp61>::random(2, 4, &mut rng);
+    let t = a.vstack(&randomness).unwrap();
+    let range = design.device_row_range(2).unwrap();
+    let block = b.row_block(range.start, range.end).unwrap();
+    let observed = block.matmul(&t).unwrap();
+    let verdict = PassiveAdversary::new(design)
+        .attack_observation(2, &block, &observed, &mut rng)
+        .unwrap();
+    assert!(!verdict.is_information_theoretic_secure());
+    assert_eq!(verdict.leaked_combinations, 1);
+}
+
+#[test]
+fn device_one_sees_pure_noise() {
+    // Device 1 stores the raw random rows: its observation is independent
+    // of A by construction. The adversary's simulatability check must pass
+    // with every candidate.
+    let mut rng = StdRng::seed_from_u64(4);
+    let design = CodeDesign::new(5, 2).unwrap();
+    let a = Matrix::<Fp61>::random(5, 3, &mut rng);
+    let store = Encoder::new(design.clone()).encode(&a, &mut rng).unwrap();
+    let verdict = PassiveAdversary::new(design)
+        .with_candidates(10)
+        .attack(store.share(1).unwrap(), &mut rng)
+        .unwrap();
+    assert_eq!(verdict.candidates_consistent, 10);
+    assert_eq!(verdict.leaked_combinations, 0);
+}
+
+#[test]
+fn densified_deployment_is_still_secure() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let design = CodeDesign::new(8, 3).unwrap();
+    let dense = verify::densify::<Fp61, _>(&design, &mut rng);
+    assert!(verify::verify(&design, &dense).unwrap().is_valid());
+    let a = Matrix::<Fp61>::random(8, 4, &mut rng);
+    let randomness = Matrix::<Fp61>::random(3, 4, &mut rng);
+    let t = a.vstack(&randomness).unwrap();
+    let adversary = PassiveAdversary::new(design.clone());
+    for j in 1..=design.device_count() {
+        let range = design.device_row_range(j).unwrap();
+        let block = dense.row_block(range.start, range.end).unwrap();
+        let observed = block.matmul(&t).unwrap();
+        let verdict = adversary
+            .attack_observation(j, &block, &observed, &mut rng)
+            .unwrap();
+        assert!(verdict.is_information_theoretic_secure(), "device {j}");
+    }
+}
+
+#[test]
+fn security_holds_across_repeated_redistributions() {
+    // Fresh randomness every distribution: attacking any single round
+    // must fail. (Colluding across rounds with the SAME x is out of the
+    // paper's model — noted as future work there.)
+    let mut rng = StdRng::seed_from_u64(6);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 3.0]).unwrap();
+    let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+    let sys = ScecSystem::build(a, fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let adversary = PassiveAdversary::new(sys.design().clone());
+    for _ in 0..5 {
+        let deployment = sys.distribute(&mut rng).unwrap();
+        for device in deployment.devices() {
+            let verdict = adversary.attack(device.share(), &mut rng).unwrap();
+            assert!(verdict.is_information_theoretic_secure());
+        }
+    }
+}
