@@ -37,9 +37,7 @@ pub fn ta_without_security(m: usize, fleet: &EdgeFleet) -> Result<AllocationPlan
     let star = i_star(fleet).min(m);
     let base = m / star;
     let extra = m % star;
-    let loads: Vec<usize> = (0..star)
-        .map(|p| base + usize::from(p < extra))
-        .collect();
+    let loads: Vec<usize> = (0..star).map(|p| base + usize::from(p < extra)).collect();
     AllocationPlan::from_loads(m, 0, loads, fleet)
 }
 
@@ -140,8 +138,8 @@ mod tests {
     fn r_node_is_feasible_and_random() {
         let f = fleet();
         let mut rng = StdRng::seed_from_u64(99);
-        let m = 20;
-        let min_r = (m as usize).div_ceil(4);
+        let m = 20usize;
+        let min_r = m.div_ceil(4);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
             let plan = r_node(m, &f, &mut rng).unwrap();

@@ -49,7 +49,7 @@ pub fn is_achievable(m: usize, fleet: &EdgeFleet) -> Result<bool> {
         return Err(Error::EmptyData);
     }
     let star = i_star(fleet);
-    Ok(m % (star - 1) == 0)
+    Ok(m.is_multiple_of(star - 1))
 }
 
 #[cfg(test)]

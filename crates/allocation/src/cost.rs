@@ -188,7 +188,10 @@ impl EdgeFleet {
     /// Panics when `j == 0` or `j > self.len()`.
     #[inline]
     pub fn c(&self, j: usize) -> f64 {
-        assert!(j >= 1 && j <= self.sorted_costs.len(), "1-based index {j} out of range");
+        assert!(
+            j >= 1 && j <= self.sorted_costs.len(),
+            "1-based index {j} out of range"
+        );
         self.sorted_costs[j - 1]
     }
 

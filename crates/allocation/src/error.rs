@@ -52,7 +52,10 @@ impl fmt::Display for Error {
                 write!(f, "need at least 2 edge devices, got {got}")
             }
             Error::InvalidUnitCost { index, value } => {
-                write!(f, "unit cost at index {index} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "unit cost at index {index} must be positive and finite, got {value}"
+                )
             }
             Error::InvalidDeviceCost { reason } => {
                 write!(f, "invalid device cost parameters: {reason}")
@@ -78,7 +81,11 @@ mod tests {
             "need at least 2 edge devices, got 1"
         );
         assert_eq!(
-            Error::InvalidUnitCost { index: 3, value: -1.0 }.to_string(),
+            Error::InvalidUnitCost {
+                index: 3,
+                value: -1.0
+            }
+            .to_string(),
             "unit cost at index 3 must be positive and finite, got -1"
         );
         assert_eq!(
@@ -86,11 +93,19 @@ mod tests {
             "data matrix must have at least one row"
         );
         assert_eq!(
-            Error::InfeasibleRandomRows { r: 0, min: 1, max: 10 }.to_string(),
+            Error::InfeasibleRandomRows {
+                r: 0,
+                min: 1,
+                max: 10
+            }
+            .to_string(),
             "r = 0 outside feasible range [1, 10]"
         );
         assert_eq!(
-            Error::InvalidDeviceCost { reason: "c_a > c_m" }.to_string(),
+            Error::InvalidDeviceCost {
+                reason: "c_a > c_m"
+            }
+            .to_string(),
             "invalid device cost parameters: c_a > c_m"
         );
     }

@@ -225,7 +225,11 @@ mod tests {
         // min feasible r = ceil(10/4) = 3
         assert!(matches!(
             AllocationPlan::canonical(10, 2, &fleet),
-            Err(Error::InfeasibleRandomRows { min: 3, max: 10, .. })
+            Err(Error::InfeasibleRandomRows {
+                min: 3,
+                max: 10,
+                ..
+            })
         ));
         assert!(matches!(
             AllocationPlan::canonical(10, 11, &fleet),

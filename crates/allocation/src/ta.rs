@@ -49,7 +49,7 @@ pub fn ta1(m: usize, fleet: &EdgeFleet) -> Result<AllocationPlan> {
     let star = i_star(fleet);
     let k = fleet.len();
     let min_r = m.div_ceil(k - 1);
-    if m % (star - 1) == 0 {
+    if m.is_multiple_of(star - 1) {
         // Corollary 1: the bound is met exactly.
         return AllocationPlan::canonical(m, m / (star - 1), fleet);
     }
@@ -240,11 +240,13 @@ mod tests {
     #[test]
     fn canonical_cost_matches_plan_cost() {
         let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.5, 2.6, 9.0]).unwrap();
-        let m = 17;
-        let min_r = (m as usize).div_ceil(3);
+        let m = 17usize;
+        let min_r = m.div_ceil(3);
         for r in min_r..=m {
             let via_fn = canonical_cost(m, r, &fleet);
-            let via_plan = AllocationPlan::canonical(m, r, &fleet).unwrap().total_cost();
+            let via_plan = AllocationPlan::canonical(m, r, &fleet)
+                .unwrap()
+                .total_cost();
             assert!((via_fn - via_plan).abs() < 1e-9, "r = {r}");
         }
     }

@@ -66,12 +66,9 @@ fn bench_completion_time_sim(c: &mut Criterion) {
     let m = 5000;
     for &r in &[250usize, 1000, 5000] {
         let design = CodeDesign::new(m, r).unwrap();
-        let model = NetworkModel::homogeneous(
-            design.device_count(),
-            DeviceProfile::default_edge(),
-            1e-9,
-        )
-        .unwrap();
+        let model =
+            NetworkModel::homogeneous(design.device_count(), DeviceProfile::default_edge(), 1e-9)
+                .unwrap();
         let sim = ProtocolSimulator::new(model);
         group.bench_with_input(BenchmarkId::from_parameter(r), &sim, |b, sim| {
             b.iter(|| sim.simulate(black_box(&design), 256).unwrap())

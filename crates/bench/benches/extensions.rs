@@ -84,8 +84,7 @@ fn bench_runtime_query(c: &mut Criterion) {
     for &(m, l) in &[(50usize, 64usize), (200, 128)] {
         let a = Matrix::<Fp61>::random(m, l, &mut rng);
         let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
-        let system =
-            ScecSystem::build(a, fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+        let system = ScecSystem::build(a, fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
         let cluster = LocalCluster::launch(&system, &mut rng).unwrap();
         let x = Vector::<Fp61>::random(l, &mut rng);
         group.bench_with_input(

@@ -29,8 +29,7 @@ fn bench_share_codec(c: &mut Criterion) {
             &bytes,
             |b, bytes| {
                 b.iter(|| {
-                    decode_framed::<DeviceShare<Fp61>>(black_box(bytes), tag::DEVICE_SHARE)
-                        .unwrap()
+                    decode_framed::<DeviceShare<Fp61>>(black_box(bytes), tag::DEVICE_SHARE).unwrap()
                 })
             },
         );

@@ -7,15 +7,18 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 
 use rand::{rngs::StdRng, SeedableRng};
 
 use scec_allocation::{bound, EdgeFleet};
 use scec_coding::{decode, CodeDesign, DeviceShare, StragglerCode, StragglerShare, TPrivateCode};
-use scec_linalg::Vector;
 use scec_core::{AllocationStrategy, ScecSystem};
 use scec_linalg::Fp61;
-use scec_sim::adversary::PassiveAdversary;
+use scec_linalg::Vector;
+use scec_runtime::{DeviceBehavior, SupervisedCluster, SupervisorConfig};
+use scec_sim::adversary::{ChaosFault, ChaosPlan, PassiveAdversary};
+use scec_sim::CostDistribution;
 use scec_wire::{decode_framed, encode_framed, tag};
 
 use crate::csv;
@@ -192,11 +195,8 @@ pub fn deploy_private(
     for share in store.shares() {
         // Reuse the plain share container: device index + first row +
         // payload fully describe a t-private share.
-        let wire_share = DeviceShare::from_parts(
-            share.device(),
-            share.first_row(),
-            share.coded().clone(),
-        );
+        let wire_share =
+            DeviceShare::from_parts(share.device(), share.first_row(), share.coded().clone());
         let bytes = encode_framed(&wire_share, tag::DEVICE_SHARE);
         total_bytes += bytes.len();
         std::fs::write(
@@ -337,11 +337,9 @@ pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String,
     // Straggler deployments: audit every device block (base + standby).
     if shares_dir.join("straggler-design.bin").exists() {
         let (code, shares) = load_straggler_deployment(shares_dir)?;
-        let adversary = PassiveAdversary::for_dimensions(
-            code.base().data_rows(),
-            code.base().random_rows(),
-        )
-        .with_candidates(4);
+        let adversary =
+            PassiveAdversary::for_dimensions(code.base().data_rows(), code.base().random_rows())
+                .with_candidates(4);
         let mut out = String::new();
         let mut all_secure = true;
         for share in &shares {
@@ -359,15 +357,18 @@ pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String,
                 if ok { "SECURE" } else { "LEAK" }
             );
         }
-        let _ = writeln!(out, "audit verdict: {}", if all_secure { "SECURE" } else { "LEAK" });
+        let _ = writeln!(
+            out,
+            "audit verdict: {}",
+            if all_secure { "SECURE" } else { "LEAK" }
+        );
         return Ok((out, all_secure));
     }
     // t-private deployments: audit singles and, if asked, coalitions.
     if shares_dir.join("tprivate-design.bin").exists() {
         let (code, shares) = load_private_deployment(shares_dir)?;
-        let adversary =
-            PassiveAdversary::for_dimensions(code.data_rows(), code.random_rows())
-                .with_candidates(4);
+        let adversary = PassiveAdversary::for_dimensions(code.data_rows(), code.random_rows())
+            .with_candidates(4);
         let blocks: Vec<_> = (1..=code.device_count())
             .map(|j| code.device_block(j))
             .collect::<std::result::Result<_, _>>()?;
@@ -416,7 +417,11 @@ pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String,
                 }
             }
         }
-        let _ = writeln!(out, "audit verdict: {}", if all_secure { "SECURE" } else { "LEAK" });
+        let _ = writeln!(
+            out,
+            "audit verdict: {}",
+            if all_secure { "SECURE" } else { "LEAK" }
+        );
         return Ok((out, all_secure));
     }
     let (design, shares) = load_deployment(shares_dir)?;
@@ -471,11 +476,14 @@ pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String,
         let mut sink = Vec::new();
         enumerate(1, n, coalitions, &mut Vec::new(), &mut sink);
         for members in sink {
-            let parts: Vec<(usize, &scec_linalg::Matrix<Fp61>, &scec_linalg::Matrix<Fp61>)> =
-                members
-                    .iter()
-                    .map(|&j| (j, &blocks[j - 1], shares[j - 1].coded()))
-                    .collect();
+            let parts: Vec<(
+                usize,
+                &scec_linalg::Matrix<Fp61>,
+                &scec_linalg::Matrix<Fp61>,
+            )> = members
+                .iter()
+                .map(|&j| (j, &blocks[j - 1], shares[j - 1].coded()))
+                .collect();
             let verdict = adversary
                 .attack_coalition(&parts, &mut rng)
                 .map_err(|e| Error::Domain(e.to_string()))?;
@@ -490,8 +498,107 @@ pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String,
             );
         }
     }
-    let _ = writeln!(out, "audit verdict: {}", if all_secure { "SECURE" } else { "LEAK" });
+    let _ = writeln!(
+        out,
+        "audit verdict: {}",
+        if all_secure { "SECURE" } else { "LEAK" }
+    );
     Ok((out, all_secure))
+}
+
+/// `scec chaos`: run a fault-injection drill against a live
+/// [`SupervisedCluster`].
+///
+/// A [`ChaosPlan`] is generated from `seed` (faults on at most a
+/// minority of the `devices` devices, scaled by `intensity`), mapped
+/// onto runtime [`DeviceBehavior`]s, and a supervised cluster serves
+/// `queries` matrix–vector queries through the resulting crashes,
+/// drops, omissions, and Byzantine corruptions. Every answer is checked
+/// against the locally computed `Ax`; the report ends with the
+/// supervision events, per-device health, and aggregate statistics.
+///
+/// # Errors
+///
+/// Returns [`Error::Domain`] when the fleet cannot serve the workload
+/// (exhaustion, timeout past all retries) or any answer is wrong.
+pub fn chaos(devices: usize, queries: usize, intensity: f64, seed: u64) -> Result<String> {
+    let plan = ChaosPlan::generate(devices, intensity, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = CostDistribution::uniform(3.0).sample_many(devices, &mut rng);
+    let behaviors: Vec<DeviceBehavior> = plan
+        .faults
+        .iter()
+        .map(|fault| match *fault {
+            ChaosFault::None => DeviceBehavior::Honest,
+            ChaosFault::Slow { millis } => DeviceBehavior::Delayed(Duration::from_millis(millis)),
+            ChaosFault::Crash { after_queries } => DeviceBehavior::Crash { after_queries },
+            ChaosFault::Flaky { permille } => DeviceBehavior::FlakyDrop { permille },
+            ChaosFault::Omit => DeviceBehavior::Omit,
+            ChaosFault::Byzantine => DeviceBehavior::Byzantine,
+        })
+        .collect();
+    let a = scec_linalg::Matrix::<Fp61>::random(8, 5, &mut rng);
+    let config = SupervisorConfig::default()
+        .with_deadline(Duration::from_millis(750))
+        .with_backoff(Duration::from_millis(5), 0.5)
+        .with_thresholds(1, 2);
+    let cluster = SupervisedCluster::launch(&a, &costs, &behaviors, config, &mut rng)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos drill: {devices} devices, intensity {:.2}, seed {seed}",
+        plan.intensity
+    );
+    for (idx, fault) in plan.faults.iter().enumerate() {
+        if !fault.is_benign() {
+            let _ = writeln!(out, "  device {:>2}: {fault:?}", idx + 1);
+        }
+    }
+    if plan.fault_count() == 0 {
+        let _ = writeln!(out, "  (no faults injected)");
+    }
+    let mut wrong = 0usize;
+    for q in 1..=queries {
+        let x = Vector::<Fp61>::random(a.ncols(), &mut rng);
+        let expected = a.matvec(&x).map_err(|e| Error::Domain(e.to_string()))?;
+        let result = cluster.query(&x)?;
+        let ok = result.value == expected;
+        wrong += usize::from(!ok);
+        let _ = writeln!(
+            out,
+            "query {q:>2}: {}  attempts = {}, degraded = {}, responders = {:?}",
+            if ok { "ok " } else { "BAD" },
+            result.attempts,
+            result.degraded,
+            result.responders
+        );
+    }
+    let _ = writeln!(out, "events:");
+    for event in cluster.events() {
+        let _ = writeln!(out, "  {event:?}");
+    }
+    let _ = writeln!(out, "health:");
+    for h in cluster.health() {
+        let _ = writeln!(
+            out,
+            "  device {:>2}: {:?}, misses = {}, integrity failures = {}, enrolled = {}",
+            h.device, h.state, h.consecutive_misses, h.integrity_failures, h.enrolled
+        );
+    }
+    let stats = cluster.stats();
+    let _ = writeln!(
+        out,
+        "stats: queries = {}, retries = {}, degraded = {}, quarantined = {}, repairs = {}",
+        stats.count, stats.retries, stats.degraded, stats.quarantined, stats.repairs
+    );
+    cluster.shutdown();
+    if wrong > 0 {
+        return Err(Error::Domain(format!(
+            "chaos drill returned {wrong} wrong answers out of {queries}"
+        )));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -588,11 +695,15 @@ mod tests {
         // must be flagged (the paper's model assumes no collusion).
         let dir = temp_dir("coalition");
         let data_path = dir.join("a.csv");
-        std::fs::write(&data_path, "1,2
+        std::fs::write(
+            &data_path,
+            "1,2
 3,4
 5,6
 7,8
-").unwrap();
+",
+        )
+        .unwrap();
         let shares_dir = dir.join("shares");
         deploy(&data_path, &[1.0, 1.5, 2.0], &shares_dir, 21, 0).unwrap();
         let (_, single_secure) = audit(&shares_dir, 1, 1).unwrap();
@@ -607,19 +718,26 @@ mod tests {
     fn straggler_deploy_query_roundtrip() {
         let dir = temp_dir("straggler");
         let data_path = dir.join("a.csv");
-        std::fs::write(&data_path, "1,2
+        std::fs::write(
+            &data_path,
+            "1,2
 3,4
 5,6
 7,8
-").unwrap();
+",
+        )
+        .unwrap();
         let shares_dir = dir.join("shares");
         let out = deploy(&data_path, &[1.0, 1.5, 2.0, 2.5], &shares_dir, 9, 2).unwrap();
         assert!(out.contains("straggler mode"), "{out}");
         assert!(shares_dir.join("straggler-design.bin").exists());
         let x_path = dir.join("x.csv");
-        std::fs::write(&x_path, "1
+        std::fs::write(
+            &x_path, "1
 1
-").unwrap();
+",
+        )
+        .unwrap();
         let y_path = dir.join("y.csv");
         let out = query(&shares_dir, &x_path, &y_path).unwrap();
         assert!(out.contains("straggler mode"), "{out}");
@@ -635,11 +753,15 @@ mod tests {
     fn straggler_and_private_audits_pass() {
         let dir = temp_dir("audit_modes");
         let data_path = dir.join("a.csv");
-        std::fs::write(&data_path, "1,2
+        std::fs::write(
+            &data_path,
+            "1,2
 3,4
 5,6
 7,8
-").unwrap();
+",
+        )
+        .unwrap();
 
         let sdir = dir.join("straggler");
         deploy(&data_path, &[1.0, 1.5, 2.0, 2.5], &sdir, 9, 2).unwrap();
@@ -660,18 +782,25 @@ mod tests {
     fn private_deploy_query_roundtrip() {
         let dir = temp_dir("tprivate");
         let data_path = dir.join("a.csv");
-        std::fs::write(&data_path, "1,2
+        std::fs::write(
+            &data_path,
+            "1,2
 3,4
 5,6
 7,8
-").unwrap();
+",
+        )
+        .unwrap();
         let shares_dir = dir.join("shares");
         let out = deploy_private(&data_path, &shares_dir, 17, 2, 2).unwrap();
         assert!(out.contains("2-privately"), "{out}");
         let x_path = dir.join("x.csv");
-        std::fs::write(&x_path, "1
+        std::fs::write(
+            &x_path, "1
 1
-").unwrap();
+",
+        )
+        .unwrap();
         let y_path = dir.join("y.csv");
         let out = query(&shares_dir, &x_path, &y_path).unwrap();
         assert!(out.contains("2-private mode"), "{out}");
@@ -701,5 +830,24 @@ mod tests {
         let y = csv::read_vector_fp61(&y_path).unwrap();
         assert_eq!(y, a.matvec(&x).unwrap());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_drill_quiet_fleet_is_clean() {
+        let out = chaos(5, 3, 0.0, 17).unwrap();
+        assert!(out.contains("(no faults injected)"), "{out}");
+        assert!(out.contains("query  3: ok"), "{out}");
+        assert!(out.contains("repairs = 0"), "{out}");
+    }
+
+    #[test]
+    fn chaos_drill_survives_injected_faults() {
+        // Seeded run with faults: all answers must still verify (the
+        // command errors on any wrong answer) and the report must carry
+        // the fault roster and health table.
+        let out = chaos(7, 6, 0.6, 4).unwrap();
+        assert!(out.contains("device"), "{out}");
+        assert!(out.contains("health:"), "{out}");
+        assert!(!out.contains("BAD"), "{out}");
     }
 }

@@ -11,10 +11,7 @@ use scec_linalg::{Fp61, Matrix, Vector};
 
 use crate::error::{Error, Result};
 
-fn parse_rows<T>(
-    text: &str,
-    parse: impl Fn(&str, usize) -> Result<T>,
-) -> Result<Vec<Vec<T>>> {
+fn parse_rows<T>(text: &str, parse: impl Fn(&str, usize) -> Result<T>) -> Result<Vec<Vec<T>>> {
     let mut rows = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -146,7 +143,11 @@ pub fn read_vector_fp61(path: &Path) -> Result<Vector<Fp61>> {
     } else {
         Err(Error::Csv {
             line: 0,
-            reason: format!("expected a vector, found a {}x{} matrix", m.nrows(), m.ncols()),
+            reason: format!(
+                "expected a vector, found a {}x{} matrix",
+                m.nrows(),
+                m.ncols()
+            ),
         })
     }
 }

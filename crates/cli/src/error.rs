@@ -78,6 +78,12 @@ impl From<scec_allocation::Error> for Error {
     }
 }
 
+impl From<scec_runtime::Error> for Error {
+    fn from(e: scec_runtime::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,12 +91,17 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(Error::Usage("x".into()).to_string().contains("usage"));
-        assert!(Error::Csv { line: 3, reason: "bad".into() }
-            .to_string()
-            .contains("line 3"));
+        assert!(Error::Csv {
+            line: 3,
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
         assert!(Error::from(scec_wire::Error::BadMagic)
             .to_string()
             .contains("share file"));
-        assert!(Error::from(scec_core::Error::EmptyData).to_string().len() > 0);
+        assert!(!Error::from(scec_core::Error::EmptyData)
+            .to_string()
+            .is_empty());
     }
 }

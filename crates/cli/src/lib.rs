@@ -10,6 +10,7 @@
 //! scec deploy --data a.csv --costs 1.0,1.5,2.0,4.0 --out shares/
 //! scec query  --shares shares/ --input x.csv --output y.csv
 //! scec audit  --shares shares/
+//! scec chaos  --devices 6 --queries 8 --intensity 0.4
 //! ```
 
 #![forbid(unsafe_code)]

@@ -16,6 +16,7 @@ USAGE:
   scec deploy-private --data <A.csv> --out <DIR> --threshold T --load-cap V [--seed N]
   scec query  --shares <DIR> --input <x.csv> --output <y.csv>
   scec audit  --shares <DIR> [--seed N] [--coalitions T]
+  scec chaos  [--devices N] [--queries Q] [--intensity F] [--seed N]
 
 Data matrices and vectors are CSV files of integers in GF(2^61 - 1).
 Share files use the framed scec-wire binary format.";
@@ -119,6 +120,26 @@ fn run() -> Result<(), Error> {
             if !secure {
                 return Err(Error::Domain("audit found an insecure share".into()));
             }
+        }
+        "chaos" => {
+            let devices = match args.flags.get("devices") {
+                None => 6,
+                Some(_) => args.get_usize("devices")?,
+            };
+            let queries = match args.flags.get("queries") {
+                None => 8,
+                Some(_) => args.get_usize("queries")?,
+            };
+            let intensity = match args.flags.get("intensity") {
+                None => 0.4,
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --intensity: {e}")))?,
+            };
+            print!(
+                "{}",
+                commands::chaos(devices, queries, intensity, args.seed()?)?
+            );
         }
         other => {
             return Err(Error::Usage(format!("unknown command {other:?}")));

@@ -297,12 +297,7 @@ impl<F: Scalar> TPrivateCode<F> {
         self.check_coalitions(1, n, &mut coalition)
     }
 
-    fn check_coalitions(
-        &self,
-        from: usize,
-        n: usize,
-        coalition: &mut Vec<usize>,
-    ) -> Result<bool> {
+    fn check_coalitions(&self, from: usize, n: usize, coalition: &mut Vec<usize>) -> Result<bool> {
         if coalition.len() == self.t {
             return self.resists_coalition(coalition);
         }
@@ -493,7 +488,12 @@ mod tests {
         v: usize,
         l: usize,
         seed: u64,
-    ) -> (TPrivateCode<Fp61>, Matrix<Fp61>, Vector<Fp61>, TPrivateStore<Fp61>) {
+    ) -> (
+        TPrivateCode<Fp61>,
+        Matrix<Fp61>,
+        Vector<Fp61>,
+        TPrivateStore<Fp61>,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let code = TPrivateCode::<Fp61>::new(m, t, v, &mut rng).unwrap();
         let a = Matrix::<Fp61>::random(m, l, &mut rng);
@@ -504,7 +504,12 @@ mod tests {
 
     #[test]
     fn encode_compute_decode_roundtrip() {
-        for (m, t, v, l) in [(6usize, 2usize, 2usize, 3usize), (5, 3, 2, 4), (8, 1, 3, 2), (1, 2, 1, 5)] {
+        for (m, t, v, l) in [
+            (6usize, 2usize, 2usize, 3usize),
+            (5, 3, 2, 4),
+            (8, 1, 3, 2),
+            (1, 2, 1, 5),
+        ] {
             let (code, a, x, store) = setup(m, t, v, l, 1);
             let mut btx = Vec::new();
             for share in store.shares() {

@@ -165,7 +165,12 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
     use scec_linalg::Fp61;
 
-    fn pipeline_f64(m: usize, r: usize, l: usize, seed: u64) -> (CodeDesign, Matrix<f64>, Vector<f64>, Vector<f64>) {
+    fn pipeline_f64(
+        m: usize,
+        r: usize,
+        l: usize,
+        seed: u64,
+    ) -> (CodeDesign, Matrix<f64>, Vector<f64>, Vector<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let design = CodeDesign::new(m, r).unwrap();
         let a = Matrix::<f64>::random(m, l, &mut rng);
@@ -181,7 +186,13 @@ mod tests {
 
     #[test]
     fn fast_decode_recovers_ax_f64() {
-        for (m, r, l) in [(4usize, 2usize, 3usize), (5, 2, 3), (7, 3, 6), (1, 1, 2), (10, 10, 4)] {
+        for (m, r, l) in [
+            (4usize, 2usize, 3usize),
+            (5, 2, 3),
+            (7, 3, 6),
+            (1, 1, 2),
+            (10, 10, 4),
+        ] {
             let (design, a, x, btx) = pipeline_f64(m, r, l, 7);
             let y = decode_fast(&design, &btx).unwrap();
             let want = a.matvec(&x).unwrap();

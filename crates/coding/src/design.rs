@@ -170,7 +170,9 @@ impl CodeDesign {
         let mut block = Matrix::zeros(range.len(), n);
         for (out_row, row) in range.enumerate() {
             if row < self.r {
-                block.set(out_row, self.m + row, F::one()).expect("in range");
+                block
+                    .set(out_row, self.m + row, F::one())
+                    .expect("in range");
             } else {
                 let p = row - self.r;
                 block.set(out_row, p, F::one()).expect("in range");
@@ -299,7 +301,11 @@ mod tests {
         for (m, r) in [(3usize, 2usize), (7, 3), (4, 4), (10, 1)] {
             let d = CodeDesign::new(m, r).unwrap();
             let sparse = d.encoding_matrix_sparse::<Fp61>();
-            assert_eq!(sparse.to_dense(), d.encoding_matrix::<Fp61>(), "m={m} r={r}");
+            assert_eq!(
+                sparse.to_dense(),
+                d.encoding_matrix::<Fp61>(),
+                "m={m} r={r}"
+            );
             assert_eq!(sparse.nnz(), 2 * m + r);
         }
     }

@@ -211,10 +211,12 @@ impl<F: Scalar> EncodedStore<F> {
     ///
     /// Returns [`Error::UnknownDevice`] when `j` is outside `1..=i`.
     pub fn share(&self, j: usize) -> Result<&DeviceShare<F>> {
-        self.shares.get(j.wrapping_sub(1)).ok_or(Error::UnknownDevice {
-            device: j,
-            devices: self.shares.len(),
-        })
+        self.shares
+            .get(j.wrapping_sub(1))
+            .ok_or(Error::UnknownDevice {
+                device: j,
+                devices: self.shares.len(),
+            })
     }
 
     /// Consumes the store, returning the shares.
@@ -249,7 +251,13 @@ mod tests {
 
     #[test]
     fn fast_encoding_matches_dense_bt() {
-        for (m, r, l) in [(4usize, 2usize, 3usize), (5, 2, 4), (7, 3, 2), (3, 3, 5), (6, 1, 2)] {
+        for (m, r, l) in [
+            (4usize, 2usize, 3usize),
+            (5, 2, 4),
+            (7, 3, 2),
+            (3, 3, 5),
+            (6, 1, 2),
+        ] {
             let (design, a, randomness) = setup(m, r, l, 42);
             let store = Encoder::new(design.clone())
                 .encode_with_randomness(&a, &randomness)

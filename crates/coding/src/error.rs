@@ -91,9 +91,16 @@ mod tests {
             r: 1,
             reason: "m must be positive",
         };
-        assert_eq!(e.to_string(), "invalid code design (m = 0, r = 1): m must be positive");
         assert_eq!(
-            Error::UnknownDevice { device: 9, devices: 3 }.to_string(),
+            e.to_string(),
+            "invalid code design (m = 0, r = 1): m must be positive"
+        );
+        assert_eq!(
+            Error::UnknownDevice {
+                device: 9,
+                devices: 3
+            }
+            .to_string(),
             "device 9 outside 1..=3"
         );
         let e = Error::PayloadShape {
@@ -111,6 +118,12 @@ mod tests {
         use std::error::Error as _;
         let e = Error::from(scec_linalg::Error::Singular);
         assert!(e.source().is_some());
-        assert!(Error::InvalidDesign { m: 1, r: 1, reason: "x" }.source().is_none());
+        assert!(Error::InvalidDesign {
+            m: 1,
+            r: 1,
+            reason: "x"
+        }
+        .source()
+        .is_none());
     }
 }

@@ -63,8 +63,8 @@ pub mod straggler;
 pub mod verify;
 pub mod wire;
 
+pub use collusion::{TPrivateCode, TPrivateShare, TPrivateStore};
 pub use design::CodeDesign;
 pub use encode::{DeviceShare, EncodedStore, Encoder};
-pub use collusion::{TPrivateCode, TPrivateShare, TPrivateStore};
-pub use straggler::{StragglerCode, StragglerShare, StragglerStore, TaggedResponse};
 pub use error::{Error, Result};
+pub use straggler::{StragglerCode, StragglerShare, StragglerStore, TaggedResponse};

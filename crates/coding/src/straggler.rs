@@ -78,11 +78,7 @@ impl<F: Scalar> StragglerCode<F> {
     /// Returns [`Error::InvalidDesign`] when `redundancy == 0` (use the
     /// plain [`CodeDesign`] instead — the straggler machinery would only
     /// add overhead).
-    pub fn new<R: Rng + ?Sized>(
-        base: CodeDesign,
-        redundancy: usize,
-        rng: &mut R,
-    ) -> Result<Self> {
+    pub fn new<R: Rng + ?Sized>(base: CodeDesign, redundancy: usize, rng: &mut R) -> Result<Self> {
         if redundancy == 0 {
             return Err(Error::InvalidDesign {
                 m: base.data_rows(),
@@ -141,10 +137,7 @@ impl<F: Scalar> StragglerCode<F> {
             });
         }
         let code = StragglerCode { base, extension };
-        let lambda = span::data_span_basis::<F>(
-            code.base.data_rows(),
-            code.base.random_rows(),
-        );
+        let lambda = span::data_span_basis::<F>(code.base.data_rows(), code.base.random_rows());
         for j in code.base.device_count() + 1..=code.device_count() {
             let block = code.device_block(j)?;
             if span::intersection_dim(&block, &lambda) != 0 {
@@ -286,7 +279,11 @@ impl<F: Scalar> StragglerCode<F> {
                     .collect();
                 Matrix::from_rows(payload_rows)?
             };
-            shares.push(StragglerShare { device: j, rows, coded });
+            shares.push(StragglerShare {
+                device: j,
+                rows,
+                coded,
+            });
         }
         Ok(StragglerStore {
             code: self.clone(),
@@ -392,7 +389,11 @@ impl<F: Scalar> StragglerShare<F> {
                 got: (rows.len(), 1),
             });
         }
-        Ok(StragglerShare { device, rows, coded })
+        Ok(StragglerShare {
+            device,
+            rows,
+            coded,
+        })
     }
 
     /// The 1-based device index.
@@ -483,7 +484,13 @@ mod tests {
         s: usize,
         l: usize,
         seed: u64,
-    ) -> (StragglerCode<Fp61>, Matrix<Fp61>, Vector<Fp61>, StragglerStore<Fp61>, StdRng) {
+    ) -> (
+        StragglerCode<Fp61>,
+        Matrix<Fp61>,
+        Vector<Fp61>,
+        StragglerStore<Fp61>,
+        StdRng,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let base = CodeDesign::new(m, r).unwrap();
         let code = StragglerCode::<Fp61>::new(base, s, &mut rng).unwrap();
@@ -558,10 +565,7 @@ mod tests {
         let (code, _a, x, store, _) = setup(5, 2, 2, 3, 4);
         let responses = all_responses(&store, &x);
         let kept = &responses[..code.rows_needed() - 1];
-        assert!(matches!(
-            code.decode(kept),
-            Err(Error::PayloadShape { .. })
-        ));
+        assert!(matches!(code.decode(kept), Err(Error::PayloadShape { .. })));
     }
 
     #[test]

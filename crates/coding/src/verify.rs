@@ -145,7 +145,15 @@ mod tests {
 
     #[test]
     fn structured_design_passes_for_many_shapes() {
-        for (m, r) in [(1usize, 1usize), (3, 2), (5, 2), (7, 3), (6, 6), (10, 1), (8, 4)] {
+        for (m, r) in [
+            (1usize, 1usize),
+            (3, 2),
+            (5, 2),
+            (7, 3),
+            (6, 6),
+            (10, 1),
+            (8, 4),
+        ] {
             let design = CodeDesign::new(m, r).unwrap();
             let b = design.encoding_matrix::<Fp61>();
             let report = verify(&design, &b).unwrap();
@@ -223,7 +231,10 @@ mod tests {
             check_device_security(&design, &wrong, 1),
             Err(Error::PayloadShape { .. })
         ));
-        assert!(matches!(verify(&design, &wrong), Err(Error::PayloadShape { .. })));
+        assert!(matches!(
+            verify(&design, &wrong),
+            Err(Error::PayloadShape { .. })
+        ));
         let b = design.encoding_matrix::<Fp61>();
         assert!(matches!(
             check_device_security(&design, &b, 99),

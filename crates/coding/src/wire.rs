@@ -176,8 +176,7 @@ mod tests {
         let store = code.encode(&a, &mut rng).unwrap();
         for share in store.shares() {
             let frame = encode_framed(share, tag::STRAGGLER_SHARE);
-            let back: StragglerShare<Fp61> =
-                decode_framed(&frame, tag::STRAGGLER_SHARE).unwrap();
+            let back: StragglerShare<Fp61> = decode_framed(&frame, tag::STRAGGLER_SHARE).unwrap();
             assert_eq!(&back, share);
         }
         // Mismatched tag counts are rejected.

@@ -44,9 +44,7 @@ impl fmt::Display for Error {
             }
             Error::MissingRng => f.write_str("strategy requires a random source"),
             Error::OutOfPads => f.write_str("input-privacy pad stock exhausted"),
-            Error::IntegrityViolation => {
-                f.write_str("decoded result failed the integrity check")
-            }
+            Error::IntegrityViolation => f.write_str("decoded result failed the integrity check"),
         }
     }
 }
@@ -83,11 +81,18 @@ mod tests {
         let e = Error::from(scec_allocation::Error::EmptyData);
         assert!(e.to_string().starts_with("task allocation failed"));
         assert!(e.source().is_some());
-        let e = Error::from(scec_coding::Error::UnknownDevice { device: 1, devices: 0 });
+        let e = Error::from(scec_coding::Error::UnknownDevice {
+            device: 1,
+            devices: 0,
+        });
         assert!(e.to_string().starts_with("coding failed"));
         assert!(e.source().is_some());
         assert_eq!(
-            Error::IncompleteResponses { expected: 3, got: 1 }.to_string(),
+            Error::IncompleteResponses {
+                expected: 3,
+                got: 1
+            }
+            .to_string(),
             "expected 3 device responses, got 1"
         );
         assert!(Error::EmptyData.source().is_none());

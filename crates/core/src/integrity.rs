@@ -70,10 +70,7 @@ impl<F: Scalar> IntegrityKey<F> {
             return Err(Error::EmptyData);
         }
         let u = Vector::<F>::random(a.nrows(), rng);
-        let ut_a = a
-            .transpose()
-            .matvec(&u)
-            .map_err(scec_coding::Error::from)?;
+        let ut_a = a.transpose().matvec(&u).map_err(scec_coding::Error::from)?;
         Ok(IntegrityKey { u, ut_a })
     }
 
@@ -192,7 +189,7 @@ mod tests {
         let mut partials = deployment.partials(&x).unwrap();
         let victim = partials.len() - 1;
         let slice = partials[victim].as_mut_slice();
-        slice[0] = slice[0] + Fp61::new(42);
+        slice[0] += Fp61::new(42);
         let y = deployment.recover(&partials).unwrap();
         assert!(!key.verify(&x, &y).unwrap());
     }

@@ -136,7 +136,9 @@ impl<F: Scalar> UnblindKey<F> {
                 got: (blinded_result.len(), 1),
             }));
         }
-        Ok(blinded_result.sub(&self.az).map_err(scec_coding::Error::from)?)
+        Ok(blinded_result
+            .sub(&self.az)
+            .map_err(scec_coding::Error::from)?)
     }
 }
 

@@ -96,7 +96,9 @@ mod tests {
     fn optimal_strategies_agree() {
         let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.7, 2.9, 3.0, 8.0]).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let p1 = AllocationStrategy::Mcscec.allocate(37, &fleet, &mut rng).unwrap();
+        let p1 = AllocationStrategy::Mcscec
+            .allocate(37, &fleet, &mut rng)
+            .unwrap();
         let p2 = AllocationStrategy::McscecExhaustive
             .allocate(37, &fleet, &mut rng)
             .unwrap();

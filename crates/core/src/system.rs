@@ -251,7 +251,12 @@ impl<F: Scalar> Deployment<F> {
         let partials: Vec<Matrix<F>> = self
             .devices
             .iter()
-            .map(|d| Ok(d.share().coded().matmul(xs).map_err(scec_coding::Error::from)?))
+            .map(|d| {
+                Ok(d.share()
+                    .coded()
+                    .matmul(xs)
+                    .map_err(scec_coding::Error::from)?)
+            })
             .collect::<Result<_>>()?;
         let btx = decode::stack_partial_matrices(&partials)?;
         Ok(decode::decode_fast_batch(&self.design, &btx)?)
@@ -260,11 +265,7 @@ impl<F: Scalar> Deployment<F> {
     /// Measured per-query resource usage across the deployment.
     pub fn usage(&self) -> SystemUsage {
         SystemUsage {
-            per_device: self
-                .devices
-                .iter()
-                .map(|d| d.usage(self.width))
-                .collect(),
+            per_device: self.devices.iter().map(|d| d.usage(self.width)).collect(),
             decode_subtractions: decode::fast_decode_op_count(&self.design),
         }
     }
@@ -283,8 +284,8 @@ mod tests {
     fn build_fp(m: usize, l: usize, seed: u64) -> (Matrix<Fp61>, ScecSystem<Fp61>, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Matrix::<Fp61>::random(m, l, &mut rng);
-        let sys = ScecSystem::build(a.clone(), fleet(), AllocationStrategy::Mcscec, &mut rng)
-            .unwrap();
+        let sys =
+            ScecSystem::build(a.clone(), fleet(), AllocationStrategy::Mcscec, &mut rng).unwrap();
         (a, sys, rng)
     }
 

@@ -64,11 +64,7 @@ pub fn render(sweep: &Sweep, height: usize, width: usize) -> String {
     out.push_str("  +");
     out.push_str(&"-".repeat(cols));
     out.push('\n');
-    out.push_str(&format!(
-        "   {} = {:?}\n",
-        sweep.param,
-        sweep.params()
-    ));
+    out.push_str(&format!("   {} = {:?}\n", sweep.param, sweep.params()));
     out.push_str("   legend: ");
     for (glyph, label) in GLYPHS.iter().zip(labels) {
         out.push_str(&format!("{glyph}={label} "));
@@ -111,7 +107,10 @@ mod tests {
         let s = sweep();
         let chart = render(&s, 16, 40);
         let m_count = chart.matches('M').count();
-        assert!(m_count >= s.points.len() / 2, "M drawn {m_count} times:\n{chart}");
+        assert!(
+            m_count >= s.points.len() / 2,
+            "M drawn {m_count} times:\n{chart}"
+        );
     }
 
     #[test]

@@ -133,7 +133,12 @@ pub fn fig2c(mc: &MonteCarlo, d: &Defaults) -> Sweep {
         param: "c_max",
         points: grid
             .iter()
-            .map(|&c_max| (c_max, mc.run_point(d.m, d.k, CostDistribution::uniform(c_max))))
+            .map(|&c_max| {
+                (
+                    c_max,
+                    mc.run_point(d.m, d.k, CostDistribution::uniform(c_max)),
+                )
+            })
             .collect(),
     }
 }
@@ -177,7 +182,13 @@ pub fn fig2e(mc: &MonteCarlo, d: &Defaults) -> Sweep {
 
 /// Runs all five sweeps.
 pub fn all(mc: &MonteCarlo, d: &Defaults) -> Vec<Sweep> {
-    vec![fig2a(mc, d), fig2b(mc, d), fig2c(mc, d), fig2d(mc, d), fig2e(mc, d)]
+    vec![
+        fig2a(mc, d),
+        fig2b(mc, d),
+        fig2c(mc, d),
+        fig2d(mc, d),
+        fig2e(mc, d),
+    ]
 }
 
 #[cfg(test)]

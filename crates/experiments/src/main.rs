@@ -10,7 +10,7 @@
 //!
 //! CSV output lands in `results/`; a markdown rendering is printed.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use scec_experiments::claims;
@@ -50,7 +50,7 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn emit(table: &Table, name: &str, out_dir: &PathBuf) {
+fn emit(table: &Table, name: &str, out_dir: &Path) {
     let path = out_dir.join(format!("{name}.csv"));
     match table.write_csv(&path) {
         Ok(()) => println!("## {name}  (written to {})\n", path.display()),
@@ -59,7 +59,7 @@ fn emit(table: &Table, name: &str, out_dir: &PathBuf) {
     println!("{}", table.to_markdown());
 }
 
-fn emit_sweep(sweep: &Sweep, out_dir: &PathBuf) {
+fn emit_sweep(sweep: &Sweep, out_dir: &Path) {
     emit(&sweep.to_table(), sweep.id, out_dir);
     println!("{}", scec_experiments::chart::render(sweep, 14, 56));
     emit(
@@ -105,7 +105,13 @@ fn main() -> ExitCode {
             &cli.out_dir,
         ),
         "straggler" => emit(
-            &scec_experiments::ablation::straggler_quorum(5000, 1250, 256, &[0, 625, 1250, 2500], cli.seed),
+            &scec_experiments::ablation::straggler_quorum(
+                5000,
+                1250,
+                256,
+                &[0, 625, 1250, 2500],
+                cli.seed,
+            ),
             "straggler_quorum",
             &cli.out_dir,
         ),
@@ -147,10 +153,7 @@ fn main() -> ExitCode {
             for (id, gap) in &v.lb_gap_at_largest {
                 println!("* {id}: gap at largest point = {:.4}%", gap * 100.0);
             }
-            println!(
-                "\nT1 {}",
-                if v.t1_holds { "HOLDS" } else { "VIOLATED" }
-            );
+            println!("\nT1 {}", if v.t1_holds { "HOLDS" } else { "VIOLATED" });
             if cli.command == "all" {
                 emit(
                     &scec_experiments::ablation::completion_vs_r(5000, 25, 256, 10, cli.seed),
@@ -158,15 +161,17 @@ fn main() -> ExitCode {
                     &cli.out_dir,
                 );
                 emit(
-                    &scec_experiments::ablation::decode_complexity(&[
-                        100, 500, 1000, 5000, 10000,
-                    ]),
+                    &scec_experiments::ablation::decode_complexity(&[100, 500, 1000, 5000, 10000]),
                     "decode_complexity",
                     &cli.out_dir,
                 );
                 emit(
                     &scec_experiments::ablation::straggler_quorum(
-                        5000, 1250, 256, &[0, 625, 1250, 2500], cli.seed,
+                        5000,
+                        1250,
+                        256,
+                        &[0, 625, 1250, 2500],
+                        cli.seed,
                     ),
                     "straggler_quorum",
                     &cli.out_dir,

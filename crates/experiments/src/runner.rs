@@ -82,7 +82,9 @@ pub fn evaluate_instance<R: Rng + ?Sized>(m: usize, fleet: &EdgeFleet, rng: &mut
             .total_cost(),
         max_node: baselines::max_node(m, fleet).expect("m >= 1").total_cost(),
         min_node: baselines::min_node(m, fleet).expect("m >= 1").total_cost(),
-        r_node: baselines::r_node(m, fleet, rng).expect("m >= 1").total_cost(),
+        r_node: baselines::r_node(m, fleet, rng)
+            .expect("m >= 1")
+            .total_cost(),
     }
 }
 

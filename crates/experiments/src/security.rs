@@ -65,7 +65,11 @@ impl SecurityCampaign {
             self.distinguished.to_string(),
             format!("{}/{}", self.sabotage_detected, self.instances),
             format!("{}/{}", self.byzantine_detected, self.instances),
-            if self.is_clean() { "SECURE".into() } else { "LEAK".into() },
+            if self.is_clean() {
+                "SECURE".into()
+            } else {
+                "LEAK".into()
+            },
         ])
         .expect("fixed width");
         t
@@ -104,7 +108,7 @@ pub fn run_campaign(m: usize, l: usize, k: usize, instances: usize, seed: u64) -
             let x = gen.query::<Fp61>(l);
             let mut partials = deployment.partials(&x).expect("valid query");
             let slice = partials[0].as_mut_slice();
-            slice[0] = slice[0] + Fp61::new(1);
+            slice[0] += Fp61::new(1);
             let y = deployment.recover(&partials).expect("decodes");
             if !key.verify(&x, &y).expect("shapes agree") {
                 campaign.byzantine_detected += 1;
@@ -118,8 +122,7 @@ pub fn run_campaign(m: usize, l: usize, k: usize, instances: usize, seed: u64) -
                 .expect("attack runs");
             campaign.devices_attacked += 1;
             campaign.leaks += verdict.leaked_combinations;
-            campaign.distinguished +=
-                verdict.candidates_tested - verdict.candidates_consistent;
+            campaign.distinguished += verdict.candidates_tested - verdict.candidates_consistent;
         }
 
         // True-positive control: rewire one random-coefficient entry of a
@@ -131,7 +134,8 @@ pub fn run_campaign(m: usize, l: usize, k: usize, instances: usize, seed: u64) -
             // Coded row for A_1 normally mixes R_{1 mod r}; rewire to R_0.
             let row = design.random_rows() + 1;
             let original_random_col = mm + (1 % design.random_rows());
-            b.set(row, original_random_col, Fp61::new(0)).expect("in range");
+            b.set(row, original_random_col, Fp61::new(0))
+                .expect("in range");
             b.set(row, mm, Fp61::new(1)).expect("in range");
             // Re-encode honestly... the sabotage is in B, so compute the
             // observation directly.

@@ -354,7 +354,7 @@ mod tests {
         assert_eq!(Fp61::new(2).pow(10).residue(), 1024);
         assert_eq!(Fp61::new(5).pow(0).residue(), 1);
         assert_eq!(Fp61::new(0).pow(0).residue(), 1); // convention: 0^0 = 1
-        // Fermat's little theorem: a^(p-1) = 1.
+                                                      // Fermat's little theorem: a^(p-1) = 1.
         assert_eq!(Fp61::new(123456789).pow(MODULUS - 1).residue(), 1);
     }
 

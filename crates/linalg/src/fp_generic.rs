@@ -52,12 +52,12 @@ const fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -304,7 +304,10 @@ mod tests {
                 break;
             }
         }
-        assert!(singular_seen, "no singular matrix in 2000 draws — suspicious");
+        assert!(
+            singular_seen,
+            "no singular matrix in 2000 draws — suspicious"
+        );
     }
 
     #[test]

@@ -151,7 +151,7 @@ pub fn solve<F: Scalar>(a: &Matrix<F>, b: &Vector<F>) -> Result<Vector<F>> {
         // A pivot in the augmented column means no solution exists;
         // otherwise the coefficient block is rank-deficient with infinitely
         // many solutions. Both are decode failures for a square system.
-        if red.pivot_cols.iter().any(|&c| c == cols) {
+        if red.pivot_cols.contains(&cols) {
             return Err(Error::Inconsistent);
         }
         return Err(Error::Singular);

@@ -131,8 +131,8 @@ impl<F: Scalar> Lu<F> {
         let mut y = vec![F::zero(); n];
         for i in 0..n {
             let mut acc = b.at(self.perm[i]);
-            for k in 0..i {
-                acc = acc.sub(self.packed.at(i, k).mul(y[k]));
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                acc = acc.sub(self.packed.at(i, k).mul(yk));
             }
             y[i] = acc;
         }
@@ -140,8 +140,8 @@ impl<F: Scalar> Lu<F> {
         let mut x = vec![F::zero(); n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for k in (i + 1)..n {
-                acc = acc.sub(self.packed.at(i, k).mul(x[k]));
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc = acc.sub(self.packed.at(i, k).mul(xk));
             }
             let diag = self.packed.at(i, i);
             x[i] = acc.div(diag).ok_or(Error::Singular)?;

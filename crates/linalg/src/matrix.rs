@@ -229,8 +229,16 @@ impl<F: Scalar> Matrix<F> {
     ///
     /// Panics when `j >= self.ncols()`.
     pub fn col(&self, j: usize) -> Vector<F> {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
-        Vector::from_vec((0..self.rows).map(|i| self.data[i * self.cols + j]).collect())
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
+        Vector::from_vec(
+            (0..self.rows)
+                .map(|i| self.data[i * self.cols + j])
+                .collect(),
+        )
     }
 
     /// The transpose.
@@ -459,7 +467,9 @@ impl<F: Scalar> Matrix<F> {
         }
         let mut data = Vec::with_capacity(rows.len() * cols.len());
         for i in rows.clone() {
-            data.extend_from_slice(&self.data[i * self.cols + cols.start..i * self.cols + cols.end]);
+            data.extend_from_slice(
+                &self.data[i * self.cols + cols.start..i * self.cols + cols.end],
+            );
         }
         Ok(Matrix {
             rows: rows.len(),
@@ -490,7 +500,10 @@ impl<F: Scalar> Matrix<F> {
     ///
     /// Panics when either index is out of bounds or `target == source`.
     pub fn row_axpy(&mut self, target: usize, source: usize, factor: F) {
-        assert!(target < self.rows && source < self.rows, "row index out of bounds");
+        assert!(
+            target < self.rows && source < self.rows,
+            "row index out of bounds"
+        );
         assert_ne!(target, source, "row_axpy requires distinct rows");
         let (t, s) = if target < source {
             let (head, tail) = self.data.split_at_mut(source * self.cols);
@@ -591,7 +604,10 @@ mod tests {
         assert_eq!(Matrix::<f64>::from_rows(vec![vec![]]), Err(Error::Empty));
         assert!(matches!(
             Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
-            Err(Error::ShapeMismatch { op: "from_rows", .. })
+            Err(Error::ShapeMismatch {
+                op: "from_rows",
+                ..
+            })
         ));
     }
 
@@ -606,11 +622,17 @@ mod tests {
         let mut m = m2x2();
         assert!(matches!(
             m.get(2, 0),
-            Err(Error::IndexOutOfBounds { axis: Axis::Row, .. })
+            Err(Error::IndexOutOfBounds {
+                axis: Axis::Row,
+                ..
+            })
         ));
         assert!(matches!(
             m.get(0, 2),
-            Err(Error::IndexOutOfBounds { axis: Axis::Col, .. })
+            Err(Error::IndexOutOfBounds {
+                axis: Axis::Col,
+                ..
+            })
         ));
         m.set(0, 0, 9.0).unwrap();
         assert_eq!(m.at(0, 0), 9.0);
@@ -702,7 +724,10 @@ mod tests {
         assert_eq!(m.row_block(1, 1).unwrap().nrows(), 0);
 
         let s = m.submatrix(0..2, 1..3).unwrap();
-        assert_eq!(s, Matrix::from_rows(vec![vec![2.0, 3.0], vec![5.0, 6.0]]).unwrap());
+        assert_eq!(
+            s,
+            Matrix::from_rows(vec![vec![2.0, 3.0], vec![5.0, 6.0]]).unwrap()
+        );
         assert!(m.submatrix(0..4, 0..1).is_err());
         assert!(m.submatrix(0..1, 0..4).is_err());
     }

@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn f64_sample_is_finite_and_varied() {
         let mut rng = StdRng::seed_from_u64(7);
-        let xs: Vec<f64> = (0..100).map(|_| <f64 as Scalar>::sample(&mut rng)).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|_| <f64 as Scalar>::sample(&mut rng))
+            .collect();
         assert!(xs.iter().all(|x| x.is_finite()));
         // Standard-normal samples: mean near 0, not all equal.
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;

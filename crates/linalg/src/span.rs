@@ -157,11 +157,8 @@ mod tests {
     fn security_example_over_fp61() {
         let one = Fp61::new(1);
         let zero = Fp61::new(0);
-        let b_j = Matrix::from_rows(vec![
-            vec![one, zero, one, zero],
-            vec![zero, one, zero, one],
-        ])
-        .unwrap();
+        let b_j = Matrix::from_rows(vec![vec![one, zero, one, zero], vec![zero, one, zero, one]])
+            .unwrap();
         let lambda = data_span_basis::<Fp61>(2, 2);
         assert_eq!(intersection_dim(&b_j, &lambda), 0);
     }

@@ -238,12 +238,8 @@ mod tests {
 
     #[test]
     fn triplet_construction_and_dense_roundtrip() {
-        let s = CsrMatrix::from_triplets(
-            3,
-            4,
-            vec![(0, 1, 2.0), (2, 3, 5.0), (1, 0, -1.0)],
-        )
-        .unwrap();
+        let s =
+            CsrMatrix::from_triplets(3, 4, vec![(0, 1, 2.0), (2, 3, 5.0), (1, 0, -1.0)]).unwrap();
         assert_eq!(s.nnz(), 3);
         assert_eq!(s.nrows(), 3);
         assert_eq!(s.ncols(), 4);

@@ -7,17 +7,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use rand::Rng;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use scec_coding::decode;
 use scec_core::ScecSystem;
 use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::error::{Error, Result};
+use crate::mailbox::{lock, Mailbox};
 use crate::message::{FromDevice, ToDevice};
-
-/// Default per-query deadline.
-const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// How a spawned device actor (mis)behaves — fault injection for tests,
 /// demos, and integrity-check validation.
@@ -32,6 +30,59 @@ pub enum DeviceBehavior {
     /// perturbed. The decoded result will be wrong — detectably so under
     /// [`scec_core::integrity`]'s Freivalds check.
     Byzantine,
+    /// Serves `after_queries` queries faithfully, then the actor thread
+    /// exits without responding — a hard crash. Subsequent sends to the
+    /// device fail, which is how the supervisor detects the death.
+    Crash {
+        /// Queries served before the crash.
+        after_queries: u32,
+    },
+    /// Silently drops each query with probability `permille / 1000` (an
+    /// intermittent omission fault); prefer [`DeviceBehavior::flaky`].
+    FlakyDrop {
+        /// Drop probability in thousandths, clamped to `0..=1000`.
+        permille: u16,
+    },
+    /// Receives every query but never responds — a silent omission fault
+    /// (the device looks alive at the transport layer but contributes
+    /// nothing).
+    Omit,
+}
+
+impl DeviceBehavior {
+    /// An intermittent-omission behavior dropping each query with
+    /// probability `p` (clamped to `[0, 1]`).
+    pub fn flaky(p: f64) -> Self {
+        let permille = (p.clamp(0.0, 1.0) * 1000.0).round() as u16;
+        DeviceBehavior::FlakyDrop { permille }
+    }
+}
+
+/// What the fault gate decides for one incoming query.
+enum Gate {
+    /// Serve it normally.
+    Serve,
+    /// Swallow it silently (omission).
+    Drop,
+    /// Exit the actor thread (crash).
+    Crash,
+}
+
+/// Applies the crash/omission fault model to one received query.
+/// `served` counts queries *received* so far, including this one.
+fn fault_gate(behavior: DeviceBehavior, served: u64, fault_rng: &mut StdRng) -> Gate {
+    match behavior {
+        DeviceBehavior::Crash { after_queries } if served > u64::from(after_queries) => Gate::Crash,
+        DeviceBehavior::Omit => Gate::Drop,
+        DeviceBehavior::FlakyDrop { permille } => {
+            if fault_rng.gen_range(0u32..1000) < u32::from(permille.min(1000)) {
+                Gate::Drop
+            } else {
+                Gate::Serve
+            }
+        }
+        _ => Gate::Serve,
+    }
 }
 
 /// One device actor's thread body: owns its share, serves queries until
@@ -44,11 +95,21 @@ pub(crate) fn device_main<F: Scalar>(
 ) {
     let mut share = None;
     let mut tagged = None;
+    // Queries received so far (crash countdown) and a deterministic
+    // per-device stream for FlakyDrop draws.
+    let mut served: u64 = 0;
+    let mut fault_rng = StdRng::seed_from_u64(0xFA01_7000 ^ ((device as u64) << 32));
     while let Ok(msg) = inbox.recv() {
         match msg {
             ToDevice::Install(s) => share = Some(*s),
             ToDevice::InstallTagged(s) => tagged = Some(*s),
             ToDevice::QueryBatch { request, xs } => {
+                served += 1;
+                match fault_gate(behavior, served, &mut fault_rng) {
+                    Gate::Crash => return,
+                    Gate::Drop => continue,
+                    Gate::Serve => {}
+                }
                 if let DeviceBehavior::Delayed(d) = behavior {
                     std::thread::sleep(d);
                 }
@@ -83,6 +144,12 @@ pub(crate) fn device_main<F: Scalar>(
                 }
             }
             ToDevice::Query { request, x } => {
+                served += 1;
+                match fault_gate(behavior, served, &mut fault_rng) {
+                    Gate::Crash => return,
+                    Gate::Drop => continue,
+                    Gate::Serve => {}
+                }
                 if let DeviceBehavior::Delayed(d) = behavior {
                     std::thread::sleep(d);
                 }
@@ -158,7 +225,11 @@ impl<F> DeviceHandle<F> {
     }
 }
 
-/// Latency statistics over the queries a cluster has served.
+/// Latency and fault statistics over the queries a cluster has served.
+///
+/// The latency fields are filled by every cluster; the fault counters
+/// stay zero except under [`SupervisedCluster`](crate::SupervisedCluster),
+/// which tracks retries, degraded decodes, quarantines, and repairs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QueryStats {
     /// Queries completed successfully.
@@ -171,6 +242,15 @@ pub struct QueryStats {
     pub p99: f64,
     /// Worst observed latency, seconds.
     pub max: f64,
+    /// Query attempts re-sent after a failed or timed-out attempt.
+    pub retries: usize,
+    /// Queries decoded without hearing from every enrolled device.
+    pub degraded: usize,
+    /// Devices currently excluded as quarantined (integrity failures) or
+    /// dead (crashes / repeated omissions).
+    pub quarantined: usize,
+    /// Fleet repairs performed (re-allocation + share re-install).
+    pub repairs: usize,
 }
 
 /// A running cluster executing the base SCEC protocol on real threads.
@@ -179,11 +259,9 @@ pub struct QueryStats {
 pub struct LocalCluster<F: Scalar> {
     design: scec_coding::CodeDesign,
     devices: Vec<DeviceHandle<F>>,
-    responses: Receiver<FromDevice<F>>,
+    mailbox: Mailbox<F>,
     next_request: AtomicU64,
     timeout: Duration,
-    /// Out-of-order responses parked for other in-flight requests.
-    parked: std::sync::Mutex<HashMap<u64, Vec<FromDevice<F>>>>,
     /// Completed-query latencies, seconds.
     latencies: std::sync::Mutex<Vec<f64>>,
 }
@@ -261,10 +339,9 @@ impl<F: Scalar> LocalCluster<F> {
         Ok(LocalCluster {
             design: system.design().clone(),
             devices,
-            responses: resp_rx,
+            mailbox: Mailbox::new(resp_rx),
             next_request: AtomicU64::new(1),
-            timeout: DEFAULT_TIMEOUT,
-            parked: std::sync::Mutex::new(HashMap::new()),
+            timeout: crate::DEFAULT_DEADLINE,
             latencies: std::sync::Mutex::new(Vec::new()),
         })
     }
@@ -272,7 +349,7 @@ impl<F: Scalar> LocalCluster<F> {
     /// Latency statistics over the queries served so far (vector queries
     /// only; batches are excluded because their cost scales with width).
     pub fn stats(&self) -> QueryStats {
-        let mut xs = self.latencies.lock().expect("latency lock").clone();
+        let mut xs = lock(&self.latencies).clone();
         if xs.is_empty() {
             return QueryStats::default();
         }
@@ -285,12 +362,22 @@ impl<F: Scalar> LocalCluster<F> {
             p50: pick(0.50),
             p99: pick(0.99),
             max: *xs.last().expect("non-empty"),
+            ..QueryStats::default()
         }
     }
 
-    /// Sets the per-query deadline (default 10 s).
+    /// Sets the per-query deadline
+    /// (default [`DEFAULT_DEADLINE`](crate::DEFAULT_DEADLINE)).
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// Builder-style per-query deadline, usable at launch:
+    /// `LocalCluster::launch(&sys, rng)?.with_deadline(d)`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.timeout = deadline;
+        self
     }
 
     /// Number of device threads.
@@ -311,10 +398,7 @@ impl<F: Scalar> LocalCluster<F> {
         let started = std::time::Instant::now();
         let result = self.query_inner(x);
         if result.is_ok() {
-            self.latencies
-                .lock()
-                .expect("latency lock")
-                .push(started.elapsed().as_secs_f64());
+            lock(&self.latencies).push(started.elapsed().as_secs_f64());
         }
         result
     }
@@ -332,48 +416,11 @@ impl<F: Scalar> LocalCluster<F> {
                 })?;
         }
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
-        let deadline = std::time::Instant::now() + self.timeout;
-        // Concurrent queries share one response channel: whichever thread
-        // pops a response for a different request parks it. Poll with a
-        // bounded interval and re-check the parked stash every round, so a
-        // response parked by a sibling thread is picked up promptly.
-        const POLL: Duration = Duration::from_millis(5);
-        while partials.len() < self.devices.len() {
-            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
-                for resp in stash {
-                    Self::absorb(resp, &mut partials)?;
-                }
-                continue;
-            }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                return Err(Error::Timeout {
-                    request,
-                    received: partials.len(),
-                    needed: self.devices.len(),
-                });
-            }
-            match self.responses.recv_timeout(remaining.min(POLL)) {
-                Ok(resp) if resp.request() == request => {
-                    Self::absorb(resp, &mut partials)?;
-                }
-                Ok(other) => {
-                    self.parked
-                        .lock()
-                        .expect("parked lock")
-                        .entry(other.request())
-                        .or_default()
-                        .push(other);
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    // Poll expired — loop to re-check the deadline and the
-                    // parked stash.
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(Error::ChannelClosed { device: None });
-                }
-            }
-        }
+        self.mailbox
+            .collect(request, self.timeout, self.devices.len(), |resp| {
+                Self::absorb(resp, &mut partials)?;
+                Ok(partials.len())
+            })?;
         let ordered: Vec<Vector<F>> = (1..=self.devices.len())
             .map(|j| partials.remove(&j).expect("all devices responded"))
             .collect();
@@ -383,9 +430,7 @@ impl<F: Scalar> LocalCluster<F> {
 
     fn absorb(resp: FromDevice<F>, partials: &mut HashMap<usize, Vector<F>>) -> Result<()> {
         match resp {
-            FromDevice::Partial {
-                device, values, ..
-            } => {
+            FromDevice::Partial { device, values, .. } => {
                 partials.insert(device, values);
                 Ok(())
             }
@@ -419,41 +464,11 @@ impl<F: Scalar> LocalCluster<F> {
                 })?;
         }
         let mut partials: HashMap<usize, Matrix<F>> = HashMap::new();
-        let deadline = std::time::Instant::now() + self.timeout;
-        const POLL: Duration = Duration::from_millis(5);
-        while partials.len() < self.devices.len() {
-            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
-                for resp in stash {
-                    Self::absorb_batch(resp, &mut partials)?;
-                }
-                continue;
-            }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                return Err(Error::Timeout {
-                    request,
-                    received: partials.len(),
-                    needed: self.devices.len(),
-                });
-            }
-            match self.responses.recv_timeout(remaining.min(POLL)) {
-                Ok(resp) if resp.request() == request => {
-                    Self::absorb_batch(resp, &mut partials)?;
-                }
-                Ok(other) => {
-                    self.parked
-                        .lock()
-                        .expect("parked lock")
-                        .entry(other.request())
-                        .or_default()
-                        .push(other);
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(Error::ChannelClosed { device: None });
-                }
-            }
-        }
+        self.mailbox
+            .collect(request, self.timeout, self.devices.len(), |resp| {
+                Self::absorb_batch(resp, &mut partials)?;
+                Ok(partials.len())
+            })?;
         let ordered: Vec<Matrix<F>> = (1..=self.devices.len())
             .map(|j| partials.remove(&j).expect("all devices responded"))
             .collect();
@@ -463,9 +478,7 @@ impl<F: Scalar> LocalCluster<F> {
 
     fn absorb_batch(resp: FromDevice<F>, partials: &mut HashMap<usize, Matrix<F>>) -> Result<()> {
         match resp {
-            FromDevice::BatchPartial {
-                device, values, ..
-            } => {
+            FromDevice::BatchPartial { device, values, .. } => {
                 partials.insert(device, values);
                 Ok(())
             }
@@ -573,7 +586,10 @@ mod tests {
         let (_a, sys, mut rng) = build(5, 3, 5);
         let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
         let bad = Vector::<Fp61>::zeros(7);
-        assert!(matches!(cluster.query(&bad), Err(Error::DeviceFailure { .. })));
+        assert!(matches!(
+            cluster.query(&bad),
+            Err(Error::DeviceFailure { .. })
+        ));
     }
 
     #[test]

@@ -43,6 +43,21 @@ pub enum Error {
     Core(scec_core::Error),
     /// The coding layer failed (straggler decode, shapes).
     Coding(scec_coding::Error),
+    /// Too few live devices remain to host a repaired allocation (the
+    /// supervisor needs the base devices plus at least one standby).
+    FleetExhausted {
+        /// Devices still alive (not dead or quarantined).
+        alive: usize,
+        /// Devices the smallest feasible repaired topology requires.
+        needed: usize,
+    },
+    /// A supervisor configuration value is out of range.
+    InvalidConfig {
+        /// Which parameter, and what was wrong with it.
+        what: &'static str,
+    },
+    /// Allocation failed during launch or repair.
+    Allocation(scec_allocation::Error),
 }
 
 impl fmt::Display for Error {
@@ -70,6 +85,14 @@ impl fmt::Display for Error {
             }
             Error::Core(e) => write!(f, "framework failure: {e}"),
             Error::Coding(e) => write!(f, "coding failure: {e}"),
+            Error::FleetExhausted { alive, needed } => write!(
+                f,
+                "fleet exhausted: {alive} devices alive, repair needs {needed}"
+            ),
+            Error::InvalidConfig { what } => {
+                write!(f, "invalid supervisor configuration: {what}")
+            }
+            Error::Allocation(e) => write!(f, "allocation failure: {e}"),
         }
     }
 }
@@ -79,6 +102,7 @@ impl std::error::Error for Error {
         match self {
             Error::Core(e) => Some(e),
             Error::Coding(e) => Some(e),
+            Error::Allocation(e) => Some(e),
             _ => None,
         }
     }
@@ -93,6 +117,12 @@ impl From<scec_core::Error> for Error {
 impl From<scec_coding::Error> for Error {
     fn from(e: scec_coding::Error) -> Self {
         Error::Coding(e)
+    }
+}
+
+impl From<scec_allocation::Error> for Error {
+    fn from(e: scec_allocation::Error) -> Self {
+        Error::Allocation(e)
     }
 }
 
@@ -111,18 +141,31 @@ mod tests {
             "a device channel closed unexpectedly"
         );
         assert_eq!(
-            Error::Timeout { request: 7, received: 2, needed: 5 }.to_string(),
+            Error::Timeout {
+                request: 7,
+                received: 2,
+                needed: 5
+            }
+            .to_string(),
             "request 7 timed out with 2/5 responses"
         );
         assert!(Error::from(scec_core::Error::EmptyData)
             .to_string()
             .starts_with("framework failure"));
         assert_eq!(
-            Error::DeviceFailure { device: 2, reason: "no share".into() }.to_string(),
+            Error::DeviceFailure {
+                device: 2,
+                reason: "no share".into()
+            }
+            .to_string(),
             "device 2 failed: no share"
         );
         assert_eq!(
-            Error::ProtocolViolation { device: 1, what: "tagged partial" }.to_string(),
+            Error::ProtocolViolation {
+                device: 1,
+                what: "tagged partial"
+            }
+            .to_string(),
             "device 1 violated the protocol: tagged partial"
         );
     }

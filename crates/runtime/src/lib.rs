@@ -4,7 +4,7 @@
 //! are processes exchanging messages. This crate runs the four-step
 //! protocol over **actual concurrency**: each edge device is an OS thread
 //! owning its coded share, connected to the user by crossbeam channels,
-//! speaking a typed [`message`] protocol. Two clusters are
+//! speaking a typed [`message`] protocol. Four clusters are
 //! provided:
 //!
 //! * [`LocalCluster`] — the base protocol: install shares, fan a query
@@ -15,6 +15,37 @@
 //!   user decodes as soon as **any** `m + r` rows arrive, and slow
 //!   devices (simulated with per-device artificial delays) are simply
 //!   left behind.
+//! * [`TPrivateCluster`] — the collusion-resistant `t`-private variant.
+//! * [`SupervisedCluster`] — the fault-tolerant wrapper: per-device
+//!   health tracking, per-query retry with exponential backoff and
+//!   jitter, Freivalds-based Byzantine quarantine, and automatic repair
+//!   (re-allocation over the surviving fleet + share re-install) when a
+//!   device dies or is quarantined.
+//!
+//! # Supervisor state machine
+//!
+//! The supervisor tracks each physical device through the lifecycle
+//!
+//! ```text
+//!             consecutive misses        misses >= evict_after
+//!   Healthy ---------------------> Suspect ----------------> Dead
+//!      |  ^                           |                        |
+//!      |  '--- responds in time ------'                        |
+//!      |                                                       v
+//!      |  failed Freivalds partial                     [repair: re-run
+//!      '----------------------------> Quarantined ---> TA allocation on
+//!                                                      survivors, re-
+//!                                                      encode, reinstall]
+//! ```
+//!
+//! A device that misses a quorum accumulates consecutive misses and is
+//! *suspected* after `suspect_after` of them; at `evict_after` it is
+//! declared **dead**. A device whose tagged partial fails its per-device
+//! Freivalds check is **quarantined** immediately. Either way the next
+//! query first *repairs* the fleet: the TA-1 allocation is re-run over
+//! the surviving devices' unit costs, a fresh straggler code is built,
+//! and new coded shares are hot-installed on a fresh set of actors —
+//! subsequent queries run at full strength on the repaired topology.
 //!
 //! # Example
 //!
@@ -43,11 +74,23 @@
 
 pub mod cluster;
 pub mod error;
+mod mailbox;
 pub mod message;
 pub mod straggler_cluster;
+pub mod supervisor;
 pub mod tprivate_cluster;
+
+use std::time::Duration;
+
+/// Default per-query deadline shared by every cluster flavor; override
+/// per cluster with `with_deadline` at launch or `set_timeout` later.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
 
 pub use cluster::{DeviceBehavior, LocalCluster, QueryStats};
 pub use error::{Error, Result};
 pub use straggler_cluster::StragglerCluster;
+pub use supervisor::{
+    DeviceHealth, DeviceState, SupervisedCluster, SupervisedResult, SupervisorConfig,
+    SupervisorEvent,
+};
 pub use tprivate_cluster::TPrivateCluster;

@@ -1,0 +1,123 @@
+//! Shared response mailbox for all cluster flavors.
+//!
+//! Every cluster funnels device responses through one crossbeam channel.
+//! Concurrent queries therefore share the receiver: whichever query
+//! thread pops a response belonging to a *different* request parks it in
+//! a per-request stash, and every thread re-checks the stash each polling
+//! round so nothing is lost. This module owns that loop — previously
+//! copy-pasted across the base, straggler, and `t`-private clusters.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+
+use crate::error::{Error, Result};
+use crate::message::FromDevice;
+
+/// Bounded polling interval: how long a query thread blocks on the
+/// shared channel before re-checking the deadline and the parked stash.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// All runtime state behind mutexes (parked responses, latency samples,
+/// supervisor health) stays structurally valid even when a panicking
+/// thread abandons the lock mid-update, so poisoning is recoverable:
+/// losing one in-flight sample beats poisoning every later query.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The shared response channel plus the parked-response stash.
+pub(crate) struct Mailbox<F> {
+    responses: Receiver<FromDevice<F>>,
+    /// Responses popped by one query thread on behalf of another. Entries
+    /// for finished queries are cleared on completion; late responses to
+    /// already-answered queries are bounded by the device count and are
+    /// dropped at shutdown.
+    parked: Mutex<HashMap<u64, Vec<FromDevice<F>>>>,
+}
+
+impl<F> Mailbox<F> {
+    pub(crate) fn new(responses: Receiver<FromDevice<F>>) -> Self {
+        Mailbox {
+            responses,
+            parked: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Collects responses for `request` until `absorb` reports progress of
+    /// at least `needed`, the deadline passes, or `absorb` fails.
+    ///
+    /// `absorb` is called once per response addressed to `request` and
+    /// returns the updated progress count — number of devices heard for
+    /// all-response protocols, number of tagged rows for quorum
+    /// protocols. Responses for other requests are parked for their
+    /// owning threads; the stash is re-checked every polling round.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Timeout`] when `needed` is not reached in `timeout`;
+    /// * [`Error::ChannelClosed`] when every device sender is gone;
+    /// * whatever `absorb` returns, verbatim.
+    pub(crate) fn collect(
+        &self,
+        request: u64,
+        timeout: Duration,
+        needed: usize,
+        mut absorb: impl FnMut(FromDevice<F>) -> Result<usize>,
+    ) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut progress = 0;
+        while progress < needed {
+            if let Some(stash) = lock(&self.parked).remove(&request) {
+                for resp in stash {
+                    progress = absorb(resp)?;
+                }
+                continue;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::Timeout {
+                    request,
+                    received: progress,
+                    needed,
+                });
+            }
+            match self.responses.recv_timeout(remaining.min(POLL)) {
+                Ok(resp) if resp.request() == request => {
+                    progress = absorb(resp)?;
+                }
+                Ok(other) => {
+                    lock(&self.parked)
+                        .entry(other.request())
+                        .or_default()
+                        .push(other);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Poll expired — loop to re-check the deadline and the
+                    // parked stash.
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::ChannelClosed { device: None });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops parked responses for a finished request. Late responses to
+    /// this request may be re-parked by sibling threads afterwards; the
+    /// stash stays bounded by the device count per in-flight request.
+    pub(crate) fn clear(&self, request: u64) {
+        lock(&self.parked).remove(&request);
+    }
+
+    /// Drops every parked response — used when a repair replaces the
+    /// entire device fleet and old responses can no longer be attributed.
+    pub(crate) fn clear_all(&self) {
+        lock(&self.parked).clear();
+    }
+}

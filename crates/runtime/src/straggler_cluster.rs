@@ -1,12 +1,10 @@
 //! Straggler-tolerant cluster: decode from the first `m + r` tagged rows
 //! to arrive, leaving slow devices behind.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver};
+use crossbeam::channel::unbounded;
 use rand::Rng;
 
 use scec_coding::{StragglerCode, TaggedResponse};
@@ -14,10 +12,8 @@ use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::cluster::DeviceHandle;
 use crate::error::{Error, Result};
+use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
-
-/// Default per-query deadline.
-const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A running straggler-tolerant cluster.
 ///
@@ -28,14 +24,9 @@ const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct StragglerCluster<F: Scalar> {
     code: StragglerCode<F>,
     devices: Vec<DeviceHandle<F>>,
-    responses: Receiver<FromDevice<F>>,
+    mailbox: Mailbox<F>,
     next_request: AtomicU64,
     timeout: Duration,
-    /// Responses popped by one query thread on behalf of another. Entries
-    /// for finished queries are cleared on completion; late responses to
-    /// already-answered queries are bounded by the device count and are
-    /// dropped at shutdown.
-    parked: Mutex<HashMap<u64, Vec<FromDevice<F>>>>,
 }
 
 /// A decoded result plus completion statistics.
@@ -105,16 +96,23 @@ impl<F: Scalar> StragglerCluster<F> {
         Ok(StragglerCluster {
             code,
             devices,
-            responses: resp_rx,
+            mailbox: Mailbox::new(resp_rx),
             next_request: AtomicU64::new(1),
-            timeout: DEFAULT_TIMEOUT,
-            parked: Mutex::new(HashMap::new()),
+            timeout: crate::DEFAULT_DEADLINE,
         })
     }
 
-    /// Sets the per-query deadline (default 10 s).
+    /// Sets the per-query deadline
+    /// (default [`DEFAULT_DEADLINE`](crate::DEFAULT_DEADLINE)).
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// Builder-style per-query deadline, usable at launch.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.timeout = deadline;
+        self
     }
 
     /// Number of device threads (base + standby).
@@ -150,54 +148,13 @@ impl<F: Scalar> StragglerCluster<F> {
         let needed = self.code.rows_needed();
         let mut collected: Vec<TaggedResponse<F>> = Vec::new();
         let mut responders = Vec::new();
-        let deadline = std::time::Instant::now() + self.timeout;
-        // See LocalCluster::query for the shared-channel polling scheme.
-        const POLL: Duration = Duration::from_millis(5);
-        let result = 'collect: loop {
-            if collected.len() >= needed {
-                break 'collect Ok(());
-            }
-            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
-                for resp in stash {
-                    if let Err(e) = Self::absorb(resp, &mut collected, &mut responders) {
-                        break 'collect Err(e);
-                    }
-                }
-                continue;
-            }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                break 'collect Err(Error::Timeout {
-                    request,
-                    received: collected.len(),
-                    needed,
-                });
-            }
-            match self.responses.recv_timeout(remaining.min(POLL)) {
-                Ok(resp) if resp.request() == request => {
-                    if let Err(e) = Self::absorb(resp, &mut collected, &mut responders) {
-                        break 'collect Err(e);
-                    }
-                }
-                Ok(other) => {
-                    self.parked
-                        .lock()
-                        .expect("parked lock")
-                        .entry(other.request())
-                        .or_default()
-                        .push(other);
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    // Poll expired — re-check deadline and parked stash.
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    break 'collect Err(Error::ChannelClosed { device: None });
-                }
-            }
-        };
+        let result = self.mailbox.collect(request, self.timeout, needed, |resp| {
+            Self::absorb(resp, &mut collected, &mut responders)?;
+            Ok(collected.len())
+        });
         // Late responses to this (now finished) request will be re-parked
         // by other threads; clear what exists now to bound the stash.
-        self.parked.lock().expect("parked lock").remove(&request);
+        self.mailbox.clear(request);
         result?;
         let value = self.code.decode(&collected)?;
         Ok(QuorumResult {

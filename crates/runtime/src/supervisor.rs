@@ -1,0 +1,1163 @@
+//! Fault-tolerant supervised cluster: health tracking, retry with
+//! backoff, Byzantine quarantine, and allocation-driven repair.
+//!
+//! [`SupervisedCluster`] wraps the straggler-tolerant protocol with a
+//! supervision layer that keeps queries correct while devices crash,
+//! drop responses, or actively corrupt their partials:
+//!
+//! * **Health tracking** — every physical device carries a
+//!   [`DeviceState`], a consecutive-miss counter, and a response-latency
+//!   EWMA. Devices that miss quorums are *suspected*, then declared
+//!   *dead* after `evict_after` consecutive misses.
+//! * **Graceful degradation** — a query completes as soon as any
+//!   `m + r` *verified* tagged rows arrive, so omissions and crashes
+//!   degrade the quorum instead of failing the query.
+//! * **Retry with backoff** — an attempt that times out (or hits a dead
+//!   channel) is retried up to `max_retries` times with exponential
+//!   backoff and multiplicative jitter.
+//! * **Byzantine quarantine** — each device's coded payload `C_j` gets
+//!   its own Freivalds [`IntegrityKey`]; a tagged partial that fails
+//!   `u_j^T C_j x == u_j^T w_j` is rejected and its device quarantined,
+//!   which *localizes* the Byzantine device rather than merely detecting
+//!   that the decoded result is wrong.
+//! * **Repair** — once a device is dead or quarantined, the next query
+//!   first re-runs the TA-1 optimal allocation over the surviving
+//!   devices' unit costs, rebuilds the straggler code, re-encodes the
+//!   data, and hot-installs fresh shares on a new set of actors.
+//!
+//! The supervisor serializes queries (the topology can be swapped by a
+//! repair between any two queries); device actors still run fully
+//! concurrently within a query.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use scec_allocation::{ta, EdgeFleet};
+use scec_coding::{CodeDesign, StragglerCode, TaggedResponse};
+use scec_core::IntegrityKey;
+use scec_linalg::{Matrix, Scalar, Vector};
+
+use crate::cluster::{device_main, DeviceBehavior, DeviceHandle, QueryStats};
+use crate::error::{Error, Result};
+use crate::mailbox::{lock, Mailbox};
+use crate::message::{FromDevice, ToDevice};
+
+/// Tuning knobs for the supervision layer. Construct with
+/// [`SupervisorConfig::default`] and override builder-style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Per-attempt response deadline.
+    pub deadline: Duration,
+    /// Retries after a failed attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// First-retry backoff; doubles per subsequent retry.
+    pub backoff_base: Duration,
+    /// Multiplicative jitter fraction in `[0, 1]`: each backoff is scaled
+    /// by a uniform factor in `[1, 1 + jitter]`.
+    pub backoff_jitter: f64,
+    /// Consecutive misses before a healthy device is suspected.
+    pub suspect_after: u32,
+    /// Consecutive misses before a device is declared dead.
+    pub evict_after: u32,
+    /// Smoothing factor in `(0, 1]` for the per-device latency EWMA.
+    pub ewma_alpha: f64,
+    /// Standby devices to provision (each holds `r` extension rows), so
+    /// the quorum survives losing any `standbys` devices outright.
+    pub standbys: usize,
+    /// After quorum, how long to keep crediting responses from the
+    /// remaining devices before they are counted as misses. Keeps
+    /// slow-but-honest devices (whose rows simply were not needed) from
+    /// accruing misses and being evicted spuriously.
+    pub quorum_grace: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            deadline: crate::DEFAULT_DEADLINE,
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_jitter: 0.5,
+            suspect_after: 1,
+            evict_after: 3,
+            ewma_alpha: 0.3,
+            standbys: 1,
+            quorum_grace: Duration::from_millis(5),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Sets the per-attempt deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the retry budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the backoff base delay and jitter fraction.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration, jitter: f64) -> Self {
+        self.backoff_base = base;
+        self.backoff_jitter = jitter;
+        self
+    }
+
+    /// Sets the suspicion and eviction miss thresholds.
+    #[must_use]
+    pub fn with_thresholds(mut self, suspect_after: u32, evict_after: u32) -> Self {
+        self.suspect_after = suspect_after;
+        self.evict_after = evict_after;
+        self
+    }
+
+    /// Sets the latency EWMA smoothing factor.
+    #[must_use]
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// Sets the number of standby devices to provision.
+    #[must_use]
+    pub fn with_standbys(mut self, standbys: usize) -> Self {
+        self.standbys = standbys;
+        self
+    }
+
+    /// Sets the post-quorum grace window.
+    #[must_use]
+    pub fn with_quorum_grace(mut self, grace: Duration) -> Self {
+        self.quorum_grace = grace;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.deadline.is_zero() {
+            return Err(Error::InvalidConfig {
+                what: "deadline must be positive",
+            });
+        }
+        if !self.backoff_jitter.is_finite() || !(0.0..=1.0).contains(&self.backoff_jitter) {
+            return Err(Error::InvalidConfig {
+                what: "backoff jitter must be in [0, 1]",
+            });
+        }
+        if !self.ewma_alpha.is_finite() || self.ewma_alpha <= 0.0 || self.ewma_alpha > 1.0 {
+            return Err(Error::InvalidConfig {
+                what: "ewma alpha must be in (0, 1]",
+            });
+        }
+        if self.suspect_after == 0 || self.evict_after < self.suspect_after {
+            return Err(Error::InvalidConfig {
+                what: "thresholds must satisfy 1 <= suspect_after <= evict_after",
+            });
+        }
+        if self.standbys == 0 {
+            return Err(Error::InvalidConfig {
+                what: "at least one standby device is required",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Lifecycle state of one physical device under supervision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Responding normally.
+    Healthy,
+    /// Missed at least `suspect_after` consecutive quorums.
+    Suspect,
+    /// Failed a Freivalds integrity check — excluded as Byzantine.
+    Quarantined,
+    /// Crashed, or missed `evict_after` consecutive quorums.
+    Dead,
+}
+
+/// A point-in-time health snapshot for one physical device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceHealth {
+    /// Physical device id (1-based, in launch order of `unit_costs`).
+    pub device: usize,
+    /// The device's per-row unit cost.
+    pub unit_cost: f64,
+    /// Current lifecycle state.
+    pub state: DeviceState,
+    /// Quorums missed in a row (reset on every response).
+    pub consecutive_misses: u32,
+    /// Tagged partials that failed the Freivalds check.
+    pub integrity_failures: u32,
+    /// Exponentially-weighted response latency, seconds.
+    pub ewma_latency: Option<f64>,
+    /// Whether the device holds a share in the current topology.
+    pub enrolled: bool,
+}
+
+/// Observable supervision events, in occurrence order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupervisorEvent {
+    /// A device crossed the suspicion threshold.
+    Suspected {
+        /// Physical device id.
+        device: usize,
+        /// Its consecutive-miss count.
+        misses: u32,
+    },
+    /// A device failed an integrity check and was quarantined.
+    Quarantined {
+        /// Physical device id.
+        device: usize,
+    },
+    /// A device crashed or crossed the eviction threshold.
+    Died {
+        /// Physical device id.
+        device: usize,
+    },
+    /// A failed attempt is being retried after a backoff.
+    Retried {
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// The backoff slept before the next attempt.
+        backoff: Duration,
+    },
+    /// A query decoded without hearing from every enrolled device.
+    Degraded {
+        /// Enrolled devices that never answered (physical ids).
+        missing: Vec<usize>,
+        /// Devices whose partials were rejected (physical ids).
+        rejected: Vec<usize>,
+    },
+    /// The fleet was re-allocated and fresh shares were installed.
+    Repaired {
+        /// Devices enrolled in the new topology (physical ids, base
+        /// devices first, then standbys).
+        enrolled: Vec<usize>,
+        /// Random blinding rows `r` chosen by the new allocation.
+        random_rows: usize,
+        /// Straggler redundancy rows `s` provisioned.
+        redundancy: usize,
+    },
+}
+
+/// A decoded result plus supervision metadata.
+#[derive(Clone, PartialEq)]
+pub struct SupervisedResult<F> {
+    /// The recovered `y = Ax`.
+    pub value: Vector<F>,
+    /// Physical devices whose verified rows were used (arrival order).
+    pub responders: Vec<usize>,
+    /// Attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+    /// Whether the quorum was missing at least one enrolled device.
+    pub degraded: bool,
+}
+
+impl<F: Scalar> std::fmt::Debug for SupervisedResult<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedResult")
+            .field("value", &self.value)
+            .field("responders", &self.responders)
+            .field("attempts", &self.attempts)
+            .field("degraded", &self.degraded)
+            .finish()
+    }
+}
+
+/// Supervisor-internal record for one physical device.
+struct PhysicalDevice {
+    unit_cost: f64,
+    behavior: DeviceBehavior,
+    state: DeviceState,
+    consecutive_misses: u32,
+    integrity_failures: u32,
+    ewma_latency: Option<f64>,
+}
+
+/// Per-logical-device Freivalds check over its coded payload.
+struct DeviceCheck<F: Scalar> {
+    key: IntegrityKey<F>,
+    rows: Vec<usize>,
+}
+
+/// One installed generation of code + actors. Replaced wholesale by a
+/// repair.
+struct Topology<F: Scalar> {
+    code: StragglerCode<F>,
+    /// Actor handles; index `j - 1` is logical device `j` of `code`.
+    actors: Vec<DeviceHandle<F>>,
+    /// Logical device `j` -> physical device id (`physical[j - 1]`).
+    physical: Vec<usize>,
+    checks: Vec<DeviceCheck<F>>,
+}
+
+/// Counters backing the fault fields of [`QueryStats`].
+#[derive(Clone, Copy, Default)]
+struct Counters {
+    retries: usize,
+    degraded: usize,
+    repairs: usize,
+}
+
+enum AttemptError {
+    /// The topology lost a device; repair, then retry.
+    Repairable(Error),
+    /// The deadline passed without structural damage; retry as-is.
+    Timeout(Error),
+    /// Not retryable.
+    Fatal(Error),
+}
+
+struct AttemptOutcome<F> {
+    value: Vector<F>,
+    responders: Vec<usize>,
+    degraded: bool,
+}
+
+/// Accumulated responses for one attempt.
+struct AttemptState<F: Scalar> {
+    /// Verified tagged rows collected so far.
+    rows: Vec<TaggedResponse<F>>,
+    /// Logical devices that passed verification, with arrival latency.
+    responders: Vec<(usize, f64)>,
+    /// Logical devices whose partial was rejected.
+    rejected: Vec<usize>,
+}
+
+impl<F: Scalar> AttemptState<F> {
+    /// Distinct devices heard from (verified or rejected).
+    fn heard(&self) -> usize {
+        self.responders.len() + self.rejected.len()
+    }
+
+    /// Absorbs one response; returns `(verified rows, devices heard)`.
+    fn absorb(
+        &mut self,
+        topo: &Topology<F>,
+        x: &Vector<F>,
+        started: Instant,
+        resp: FromDevice<F>,
+    ) -> (usize, usize) {
+        match resp {
+            FromDevice::TaggedPartial {
+                device, responses, ..
+            } => {
+                if partial_verifies(topo, device, x, &responses) {
+                    self.rows.extend(responses);
+                    self.responders
+                        .push((device, started.elapsed().as_secs_f64()));
+                } else if !self.rejected.contains(&device) {
+                    self.rejected.push(device);
+                }
+            }
+            other => {
+                // Failures and protocol violations are tolerated
+                // per-device: record and keep collecting.
+                let device = other.device();
+                if !self.rejected.contains(&device) {
+                    self.rejected.push(device);
+                }
+            }
+        }
+        (self.rows.len(), self.heard())
+    }
+}
+
+/// Checks device `j`'s tagged partial against its Freivalds key: rows
+/// must match the installed share exactly and the projected values must
+/// satisfy `u^T C_j x == u^T w`.
+fn partial_verifies<F: Scalar>(
+    topo: &Topology<F>,
+    j: usize,
+    x: &Vector<F>,
+    responses: &[TaggedResponse<F>],
+) -> bool {
+    let Some(check) = topo.checks.get(j.wrapping_sub(1)) else {
+        return false;
+    };
+    if responses.len() != check.rows.len() {
+        return false;
+    }
+    let mut values = Vec::with_capacity(responses.len());
+    for (resp, &row) in responses.iter().zip(&check.rows) {
+        if resp.row != row {
+            return false;
+        }
+        values.push(resp.value);
+    }
+    matches!(check.key.verify(x, &Vector::from_vec(values)), Ok(true))
+}
+
+/// The fault-tolerant supervised cluster. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use scec_linalg::{Fp61, Matrix, Vector};
+/// use scec_runtime::{DeviceBehavior, SupervisedCluster, SupervisorConfig};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+/// let costs = [1.0, 1.5, 2.0, 2.5, 3.0];
+/// let behaviors = [DeviceBehavior::Honest; 5];
+/// let cluster = SupervisedCluster::launch(
+///     &a, &costs, &behaviors, SupervisorConfig::default(), &mut rng)?;
+/// let x = Vector::<Fp61>::random(4, &mut rng);
+/// assert_eq!(cluster.query(&x)?.value, a.matvec(&x)?);
+/// cluster.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SupervisedCluster<F: Scalar> {
+    data: Matrix<F>,
+    config: SupervisorConfig,
+    topo: Mutex<Topology<F>>,
+    mailbox: Mailbox<F>,
+    /// Kept alive so `Mailbox::collect` never sees a disconnect, and
+    /// cloned into every respawned actor.
+    resp_tx: Sender<FromDevice<F>>,
+    next_request: AtomicU64,
+    roster: Mutex<Vec<PhysicalDevice>>,
+    events: Mutex<Vec<SupervisorEvent>>,
+    latencies: Mutex<Vec<f64>>,
+    counters: Mutex<Counters>,
+    rng: Mutex<StdRng>,
+}
+
+impl<F: Scalar> SupervisedCluster<F> {
+    /// Allocates (TA-1), encodes, and launches a supervised fleet.
+    ///
+    /// `unit_costs[j]` is physical device `j + 1`'s per-row cost;
+    /// `behaviors` pads with [`DeviceBehavior::Honest`]. The allocation
+    /// reserves at least [`SupervisorConfig::standbys`] devices as
+    /// straggler standbys, so at least 3 devices are required.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidConfig`] for out-of-range config or costs;
+    /// * [`Error::FleetExhausted`] with fewer than 3 devices;
+    /// * allocation / coding failures, wrapped.
+    pub fn launch<R: Rng + ?Sized>(
+        data: &Matrix<F>,
+        unit_costs: &[f64],
+        behaviors: &[DeviceBehavior],
+        config: SupervisorConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        config.validate()?;
+        if unit_costs.iter().any(|c| !c.is_finite() || *c <= 0.0) {
+            return Err(Error::InvalidConfig {
+                what: "unit costs must be positive and finite",
+            });
+        }
+        let mut roster: Vec<PhysicalDevice> = unit_costs
+            .iter()
+            .enumerate()
+            .map(|(idx, &unit_cost)| PhysicalDevice {
+                unit_cost,
+                behavior: behaviors.get(idx).copied().unwrap_or_default(),
+                state: DeviceState::Healthy,
+                consecutive_misses: 0,
+                integrity_failures: 0,
+                ewma_latency: None,
+            })
+            .collect();
+        let (resp_tx, resp_rx) = unbounded();
+        let mut srng = StdRng::seed_from_u64(rng.next_u64());
+        let (topo, _) = Self::build_topology(data, &mut roster, &config, &resp_tx, &mut srng)?;
+        Ok(SupervisedCluster {
+            data: data.clone(),
+            config,
+            topo: Mutex::new(topo),
+            mailbox: Mailbox::new(resp_rx),
+            resp_tx,
+            next_request: AtomicU64::new(1),
+            roster: Mutex::new(roster),
+            events: Mutex::new(Vec::new()),
+            latencies: Mutex::new(Vec::new()),
+            counters: Mutex::new(Counters::default()),
+            rng: Mutex::new(srng),
+        })
+    }
+
+    /// Allocates over the alive devices, encodes, spawns actors, installs
+    /// shares, and generates per-device integrity keys. Returns the new
+    /// topology and the enrolled physical ids (base first, then standby).
+    fn build_topology(
+        data: &Matrix<F>,
+        roster: &mut [PhysicalDevice],
+        config: &SupervisorConfig,
+        resp_tx: &Sender<FromDevice<F>>,
+        rng: &mut StdRng,
+    ) -> Result<(Topology<F>, Vec<usize>)> {
+        let m = data.nrows();
+        // Alive devices, cheapest first (ties broken by id for
+        // determinism).
+        let mut alive: Vec<(usize, f64)> = roster
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d.state, DeviceState::Healthy | DeviceState::Suspect))
+            .map(|(idx, d)| (idx + 1, d.unit_cost))
+            .collect();
+        alive.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let n = alive.len();
+        if n < 3 {
+            return Err(Error::FleetExhausted {
+                alive: n,
+                needed: 3,
+            });
+        }
+        // TA-1 over the largest participant prefix that leaves at least
+        // one alive device free to serve as a straggler standby. The
+        // full-prefix optimum usually already does; if it enrolls every
+        // device, shrinking the prefix by one forces a reserve.
+        let mut chosen = None;
+        for participants in (2..=n).rev() {
+            let costs: Vec<f64> = alive[..participants].iter().map(|d| d.1).collect();
+            let fleet = EdgeFleet::from_unit_costs(costs)?;
+            let plan = ta::ta1(m, &fleet)?;
+            if n - plan.device_count() >= 1 {
+                chosen = Some((fleet, plan));
+                break;
+            }
+        }
+        let Some((fleet, plan)) = chosen else {
+            return Err(Error::FleetExhausted {
+                alive: n,
+                needed: n + 1,
+            });
+        };
+        let r = plan.random_rows();
+        let base = CodeDesign::new(m, r)?;
+        let i = base.device_count();
+        let standbys = config.standbys.min(n - i);
+        let code = StragglerCode::new(base, standbys * r, rng)?;
+        // Map logical devices to physical ids: base device j sits at
+        // sorted-fleet position j - 1; standbys are the cheapest alive
+        // devices not already enrolled.
+        let mut used = vec![false; n];
+        let mut enrolled = Vec::with_capacity(code.device_count());
+        for pos in 0..i {
+            let alive_idx = fleet.device_id(pos);
+            used[alive_idx] = true;
+            enrolled.push(alive[alive_idx].0);
+        }
+        for (alive_idx, &(phys, _)) in alive.iter().enumerate() {
+            if enrolled.len() == code.device_count() {
+                break;
+            }
+            if !used[alive_idx] {
+                used[alive_idx] = true;
+                enrolled.push(phys);
+            }
+        }
+        let store = code.encode(data, rng)?;
+        let mut actors = Vec::with_capacity(code.device_count());
+        let mut checks = Vec::with_capacity(code.device_count());
+        for (idx, share) in store.shares().iter().enumerate() {
+            let logical = share.device();
+            let phys = enrolled[idx];
+            let behavior = roster[phys - 1].behavior;
+            let (tx, rx) = unbounded();
+            let outbox = resp_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("scec-supervised-device-{phys}"))
+                .spawn(move || device_main::<F>(logical, rx, outbox, behavior))
+                .expect("spawn device thread");
+            tx.send(ToDevice::InstallTagged(Box::new(share.clone())))
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(logical),
+                })?;
+            checks.push(DeviceCheck {
+                key: IntegrityKey::generate(share.coded(), rng)?,
+                rows: share.rows().to_vec(),
+            });
+            actors.push(DeviceHandle {
+                device: logical,
+                tx,
+                join: Some(join),
+            });
+        }
+        for &phys in &enrolled {
+            roster[phys - 1].consecutive_misses = 0;
+        }
+        Ok((
+            Topology {
+                code,
+                actors,
+                physical: enrolled.clone(),
+                checks,
+            },
+            enrolled,
+        ))
+    }
+
+    /// Runs one supervised query: broadcast, collect *verified* rows
+    /// until quorum, decode — retrying with backoff and repairing the
+    /// fleet as needed.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Timeout`] when the retry budget is exhausted;
+    /// * [`Error::FleetExhausted`] when too few devices survive to
+    ///   repair;
+    /// * [`Error::Coding`] when decoding fails.
+    pub fn query(&self, x: &Vector<F>) -> Result<SupervisedResult<F>> {
+        let started = Instant::now();
+        let mut topo = lock(&self.topo);
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            if self.needs_repair(&topo) {
+                self.repair(&mut topo)?;
+            }
+            match self.attempt(&topo, x) {
+                Ok(outcome) => {
+                    lock(&self.latencies).push(started.elapsed().as_secs_f64());
+                    if outcome.degraded {
+                        lock(&self.counters).degraded += 1;
+                    }
+                    return Ok(SupervisedResult {
+                        value: outcome.value,
+                        responders: outcome.responders,
+                        attempts,
+                        degraded: outcome.degraded,
+                    });
+                }
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Repairable(e)) | Err(AttemptError::Timeout(e)) => {
+                    if attempts > self.config.max_retries {
+                        return Err(e);
+                    }
+                    let backoff = self.backoff(attempts);
+                    lock(&self.counters).retries += 1;
+                    lock(&self.events).push(SupervisorEvent::Retried {
+                        attempt: attempts,
+                        backoff,
+                    });
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    /// One broadcast/collect/decode round against the current topology.
+    fn attempt(
+        &self,
+        topo: &Topology<F>,
+        x: &Vector<F>,
+    ) -> std::result::Result<AttemptOutcome<F>, AttemptError> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let mut events = Vec::new();
+        // Broadcast. A failed send means the actor thread is gone — a
+        // crash detected at the transport layer.
+        let mut dead_send = None;
+        for (idx, dev) in topo.actors.iter().enumerate() {
+            if dev
+                .tx
+                .send(ToDevice::Query {
+                    request,
+                    x: x.clone(),
+                })
+                .is_err()
+            {
+                dead_send = Some(topo.physical[idx]);
+                let mut roster = lock(&self.roster);
+                let h = &mut roster[topo.physical[idx] - 1];
+                if h.state != DeviceState::Dead {
+                    h.state = DeviceState::Dead;
+                    events.push(SupervisorEvent::Died {
+                        device: topo.physical[idx],
+                    });
+                }
+            }
+        }
+        if let Some(phys) = dead_send {
+            self.mailbox.clear(request);
+            lock(&self.events).extend(events);
+            return Err(AttemptError::Repairable(Error::ChannelClosed {
+                device: Some(phys),
+            }));
+        }
+        // Collect until `m + r` *verified* rows; unverifiable partials
+        // are rejected without counting toward the quorum.
+        let needed = topo.code.rows_needed();
+        let mut state = AttemptState {
+            rows: Vec::new(),
+            responders: Vec::new(),
+            rejected: Vec::new(),
+        };
+        let collect = self
+            .mailbox
+            .collect(request, self.config.deadline, needed, |resp| {
+                Ok(state.absorb(topo, x, started, resp).0)
+            });
+        if collect.is_ok() && state.heard() < topo.actors.len() {
+            // Quorum is met; give the remaining enrolled devices a short
+            // grace window (their responses are usually already queued)
+            // so slow-but-honest devices are credited instead of
+            // accruing misses. Extra verified rows also join the decode.
+            let _ = self.mailbox.collect(
+                request,
+                self.config.quorum_grace,
+                topo.actors.len(),
+                |resp| Ok(state.absorb(topo, x, started, resp).1),
+            );
+        }
+        self.mailbox.clear(request);
+        let AttemptState {
+            rows,
+            responders,
+            rejected,
+        } = state;
+
+        // Health accounting for this attempt.
+        let mut newly_excluded = false;
+        let rejected_phys: Vec<usize> = rejected.iter().map(|&j| topo.physical[j - 1]).collect();
+        let mut missing_phys = Vec::new();
+        {
+            let mut roster = lock(&self.roster);
+            for &phys in &rejected_phys {
+                let h = &mut roster[phys - 1];
+                h.integrity_failures += 1;
+                if h.state != DeviceState::Quarantined {
+                    h.state = DeviceState::Quarantined;
+                    newly_excluded = true;
+                    events.push(SupervisorEvent::Quarantined { device: phys });
+                }
+            }
+            for &(j, secs) in &responders {
+                let h = &mut roster[topo.physical[j - 1] - 1];
+                h.consecutive_misses = 0;
+                if h.state == DeviceState::Suspect {
+                    h.state = DeviceState::Healthy;
+                }
+                h.ewma_latency = Some(match h.ewma_latency {
+                    Some(prev) => {
+                        (1.0 - self.config.ewma_alpha) * prev + self.config.ewma_alpha * secs
+                    }
+                    None => secs,
+                });
+            }
+            let heard: HashSet<usize> = responders
+                .iter()
+                .map(|&(j, _)| j)
+                .chain(rejected.iter().copied())
+                .collect();
+            for (idx, &phys) in topo.physical.iter().enumerate() {
+                if heard.contains(&(idx + 1)) {
+                    continue;
+                }
+                missing_phys.push(phys);
+                let h = &mut roster[phys - 1];
+                h.consecutive_misses += 1;
+                if h.state == DeviceState::Healthy
+                    && h.consecutive_misses >= self.config.suspect_after
+                {
+                    h.state = DeviceState::Suspect;
+                    events.push(SupervisorEvent::Suspected {
+                        device: phys,
+                        misses: h.consecutive_misses,
+                    });
+                }
+                if h.state == DeviceState::Suspect
+                    && h.consecutive_misses >= self.config.evict_after
+                {
+                    h.state = DeviceState::Dead;
+                    newly_excluded = true;
+                    events.push(SupervisorEvent::Died { device: phys });
+                }
+            }
+        }
+
+        match collect {
+            Ok(()) => {
+                let degraded = !missing_phys.is_empty() || !rejected_phys.is_empty();
+                if degraded {
+                    events.push(SupervisorEvent::Degraded {
+                        missing: missing_phys,
+                        rejected: rejected_phys,
+                    });
+                }
+                lock(&self.events).extend(events);
+                let value = topo
+                    .code
+                    .decode(&rows)
+                    .map_err(|e| AttemptError::Fatal(e.into()))?;
+                Ok(AttemptOutcome {
+                    value,
+                    responders: responders
+                        .iter()
+                        .map(|&(j, _)| topo.physical[j - 1])
+                        .collect(),
+                    degraded,
+                })
+            }
+            Err(e @ Error::Timeout { .. }) => {
+                lock(&self.events).extend(events);
+                if newly_excluded {
+                    Err(AttemptError::Repairable(e))
+                } else {
+                    Err(AttemptError::Timeout(e))
+                }
+            }
+            Err(e) => {
+                lock(&self.events).extend(events);
+                Err(AttemptError::Fatal(e))
+            }
+        }
+    }
+
+    /// True when an enrolled device has left the alive set, so the next
+    /// query must re-allocate first.
+    fn needs_repair(&self, topo: &Topology<F>) -> bool {
+        let roster = lock(&self.roster);
+        topo.physical.iter().any(|&phys| {
+            !matches!(
+                roster[phys - 1].state,
+                DeviceState::Healthy | DeviceState::Suspect
+            )
+        })
+    }
+
+    /// Tears down the current actors and rebuilds the topology over the
+    /// surviving fleet: TA-1 re-allocation, fresh straggler code,
+    /// re-encode, hot-install.
+    fn repair(&self, topo: &mut Topology<F>) -> Result<()> {
+        for dev in &mut topo.actors {
+            dev.shutdown();
+        }
+        for dev in &mut topo.actors {
+            if let Some(join) = dev.join.take() {
+                let _ = join.join();
+            }
+        }
+        // Old-generation responses can no longer be attributed.
+        self.mailbox.clear_all();
+        let (new_topo, enrolled) = {
+            let mut roster = lock(&self.roster);
+            let mut rng = lock(&self.rng);
+            Self::build_topology(
+                &self.data,
+                &mut roster,
+                &self.config,
+                &self.resp_tx,
+                &mut rng,
+            )?
+        };
+        let random_rows = new_topo.code.rows_needed() - self.data.nrows();
+        let redundancy = new_topo.code.redundancy();
+        *topo = new_topo;
+        lock(&self.counters).repairs += 1;
+        lock(&self.events).push(SupervisorEvent::Repaired {
+            enrolled,
+            random_rows,
+            redundancy,
+        });
+        Ok(())
+    }
+
+    /// Per-retry backoff: `base * 2^(attempt-1)`, scaled by a uniform
+    /// jitter factor in `[1, 1 + jitter]`.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let exp = self.config.backoff_base.as_secs_f64() * f64::from(1u32 << doublings);
+        let jitter = 1.0 + self.config.backoff_jitter * lock(&self.rng).gen_range(0.0..1.0);
+        Duration::from_secs_f64(exp * jitter)
+    }
+
+    /// Devices enrolled in the current topology (physical ids, base
+    /// devices first, then standbys).
+    pub fn enrolled_devices(&self) -> Vec<usize> {
+        lock(&self.topo).physical.clone()
+    }
+
+    /// Number of actors in the current topology (base + standby).
+    pub fn device_count(&self) -> usize {
+        lock(&self.topo).actors.len()
+    }
+
+    /// Health snapshot for every physical device.
+    pub fn health(&self) -> Vec<DeviceHealth> {
+        let topo = lock(&self.topo);
+        let roster = lock(&self.roster);
+        roster
+            .iter()
+            .enumerate()
+            .map(|(idx, d)| DeviceHealth {
+                device: idx + 1,
+                unit_cost: d.unit_cost,
+                state: d.state,
+                consecutive_misses: d.consecutive_misses,
+                integrity_failures: d.integrity_failures,
+                ewma_latency: d.ewma_latency,
+                enrolled: topo.physical.contains(&(idx + 1)),
+            })
+            .collect()
+    }
+
+    /// Supervision events so far, in occurrence order.
+    pub fn events(&self) -> Vec<SupervisorEvent> {
+        lock(&self.events).clone()
+    }
+
+    /// Latency statistics plus the fault counters (retries, degraded
+    /// quorums, quarantined/dead devices, repairs).
+    pub fn stats(&self) -> QueryStats {
+        let counters = *lock(&self.counters);
+        let quarantined = lock(&self.roster)
+            .iter()
+            .filter(|d| matches!(d.state, DeviceState::Quarantined | DeviceState::Dead))
+            .count();
+        let mut xs = lock(&self.latencies).clone();
+        let mut stats = QueryStats {
+            retries: counters.retries,
+            degraded: counters.degraded,
+            repairs: counters.repairs,
+            quarantined,
+            ..QueryStats::default()
+        };
+        if xs.is_empty() {
+            return stats;
+        }
+        xs.sort_by(f64::total_cmp);
+        let count = xs.len();
+        let pick = |q: f64| xs[((count as f64 - 1.0) * q).round() as usize];
+        stats.count = count;
+        stats.mean = xs.iter().sum::<f64>() / count as f64;
+        stats.p50 = pick(0.50);
+        stats.p99 = pick(0.99);
+        stats.max = *xs.last().expect("non-empty");
+        stats
+    }
+
+    /// Shuts down every device thread and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let topo = self.topo.get_mut().unwrap_or_else(|e| e.into_inner());
+        for dev in &mut topo.actors {
+            dev.shutdown();
+        }
+        for dev in &mut topo.actors {
+            if let Some(join) = dev.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl<F: Scalar> std::fmt::Debug for SupervisedCluster<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedCluster")
+            .field("data_rows", &self.data.nrows())
+            .field("config", &self.config)
+            .field("devices", &lock(&self.roster).len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: Scalar> Drop for SupervisedCluster<F> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scec_linalg::Fp61;
+
+    const COSTS: [f64; 5] = [1.0, 1.2, 1.5, 2.0, 3.0];
+
+    fn fast_config() -> SupervisorConfig {
+        SupervisorConfig::default()
+            .with_deadline(Duration::from_millis(500))
+            .with_backoff(Duration::from_millis(2), 0.5)
+    }
+
+    fn launch(
+        seed: u64,
+        behaviors: &[DeviceBehavior],
+        config: SupervisorConfig,
+    ) -> (Matrix<Fp61>, SupervisedCluster<Fp61>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        let cluster = SupervisedCluster::launch(&a, &COSTS, behaviors, config, &mut rng).unwrap();
+        (a, cluster, rng)
+    }
+
+    #[test]
+    fn healthy_fleet_serves_queries() {
+        let (a, cluster, mut rng) = launch(1, &[], fast_config());
+        for _ in 0..4 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            let result = cluster.query(&x).unwrap();
+            assert_eq!(result.value, a.matvec(&x).unwrap());
+            assert_eq!(result.attempts, 1);
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.repairs, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert!(cluster
+            .health()
+            .iter()
+            .all(|h| h.state != DeviceState::Dead));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_device_is_detected_and_repaired() {
+        // Physical device 1 (cheapest => base device) serves two queries
+        // and then crashes its actor thread.
+        let behaviors = [DeviceBehavior::Crash { after_queries: 2 }];
+        let (a, cluster, mut rng) = launch(2, &behaviors, fast_config());
+        for _ in 0..8 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            assert_eq!(cluster.query(&x).unwrap().value, a.matvec(&x).unwrap());
+        }
+        let health = cluster.health();
+        assert_eq!(health[0].state, DeviceState::Dead);
+        assert!(!health[0].enrolled);
+        let stats = cluster.stats();
+        assert_eq!(stats.count, 8);
+        assert!(stats.repairs >= 1, "expected a repair, {stats:?}");
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::Died { device: 1 })));
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::Repaired { .. })));
+        // The repaired topology no longer includes device 1.
+        assert!(!cluster.enrolled_devices().contains(&1));
+    }
+
+    #[test]
+    fn omitting_device_degrades_then_is_evicted() {
+        let behaviors = [DeviceBehavior::Omit];
+        let config = fast_config().with_thresholds(1, 2);
+        let (a, cluster, mut rng) = launch(3, &behaviors, config);
+        // Query 1: device 1 omits, quorum degrades, miss #1 => Suspect.
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let result = cluster.query(&x).unwrap();
+        assert_eq!(result.value, a.matvec(&x).unwrap());
+        assert!(result.degraded);
+        assert!(!result.responders.contains(&1));
+        assert_eq!(cluster.health()[0].state, DeviceState::Suspect);
+        // Query 2: miss #2 => Dead.
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap().value, a.matvec(&x).unwrap());
+        assert_eq!(cluster.health()[0].state, DeviceState::Dead);
+        // Query 3 repairs first, then completes at full strength.
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let result = cluster.query(&x).unwrap();
+        assert_eq!(result.value, a.matvec(&x).unwrap());
+        assert!(!result.degraded);
+        assert_eq!(cluster.stats().repairs, 1);
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::Suspected { device: 1, .. })));
+    }
+
+    #[test]
+    fn byzantine_device_is_quarantined_and_result_stays_correct() {
+        let behaviors = [DeviceBehavior::Byzantine];
+        let (a, cluster, mut rng) = launch(4, &behaviors, fast_config());
+        // The corrupted partial is rejected by the per-device Freivalds
+        // check, so the decoded value is correct even on the first query.
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let result = cluster.query(&x).unwrap();
+        assert_eq!(result.value, a.matvec(&x).unwrap());
+        assert!(result.degraded);
+        let health = cluster.health();
+        assert_eq!(health[0].state, DeviceState::Quarantined);
+        assert!(health[0].integrity_failures >= 1);
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::Quarantined { device: 1 })));
+        // Next query repairs around the quarantined device.
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let result = cluster.query(&x).unwrap();
+        assert_eq!(result.value, a.matvec(&x).unwrap());
+        assert!(!result.degraded);
+        assert!(!cluster.enrolled_devices().contains(&1));
+        assert_eq!(cluster.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn flaky_device_never_corrupts_results() {
+        let behaviors = [DeviceBehavior::flaky(0.6)];
+        let (a, cluster, mut rng) = launch(5, &behaviors, fast_config().with_thresholds(2, 200));
+        for _ in 0..10 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            assert_eq!(cluster.query(&x).unwrap().value, a.matvec(&x).unwrap());
+        }
+        assert_eq!(cluster.stats().count, 10);
+    }
+
+    #[test]
+    fn fleet_exhaustion_is_reported() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Matrix::<Fp61>::random(4, 3, &mut rng);
+        let err =
+            SupervisedCluster::launch(&a, &[1.0, 2.0], &[], SupervisorConfig::default(), &mut rng)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::FleetExhausted {
+                alive: 2,
+                needed: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::<Fp61>::random(4, 3, &mut rng);
+        for bad in [
+            SupervisorConfig::default().with_deadline(Duration::ZERO),
+            SupervisorConfig::default().with_backoff(Duration::from_millis(1), 2.0),
+            SupervisorConfig::default().with_ewma_alpha(0.0),
+            SupervisorConfig::default().with_thresholds(3, 2),
+            SupervisorConfig::default().with_standbys(0),
+        ] {
+            let err =
+                SupervisedCluster::launch(&a, &[1.0, 2.0, 3.0], &[], bad, &mut rng).unwrap_err();
+            assert!(matches!(err, Error::InvalidConfig { .. }), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn ewma_latency_is_tracked_for_responders() {
+        let (a, cluster, mut rng) = launch(8, &[], fast_config());
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        cluster.query(&x).unwrap();
+        assert_eq!(cluster.query(&x).unwrap().value, a.matvec(&x).unwrap());
+        let health = cluster.health();
+        assert!(health
+            .iter()
+            .filter(|h| h.enrolled)
+            .all(|h| h.ewma_latency.is_some()));
+    }
+}

@@ -9,10 +9,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver};
+use crossbeam::channel::unbounded;
 use rand::Rng;
 
 use scec_coding::{DeviceShare, TPrivateCode};
@@ -20,10 +19,8 @@ use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::cluster::{device_main, DeviceBehavior, DeviceHandle};
 use crate::error::{Error, Result};
+use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
-
-/// Default per-query deadline.
-const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A running cluster executing the `t`-private protocol on real threads.
 ///
@@ -47,10 +44,9 @@ const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct TPrivateCluster<F: Scalar> {
     code: TPrivateCode<F>,
     devices: Vec<DeviceHandle<F>>,
-    responses: Receiver<FromDevice<F>>,
+    mailbox: Mailbox<F>,
     next_request: AtomicU64,
     timeout: Duration,
-    parked: Mutex<HashMap<u64, Vec<FromDevice<F>>>>,
 }
 
 impl<F: Scalar> TPrivateCluster<F> {
@@ -82,11 +78,8 @@ impl<F: Scalar> TPrivateCluster<F> {
                 .expect("spawn device thread");
             // Actors are code-agnostic: ship the payload in the plain
             // share container.
-            let plain = DeviceShare::from_parts(
-                share.device(),
-                share.first_row(),
-                share.coded().clone(),
-            );
+            let plain =
+                DeviceShare::from_parts(share.device(), share.first_row(), share.coded().clone());
             tx.send(ToDevice::Install(Box::new(plain)))
                 .map_err(|_| Error::ChannelClosed {
                     device: Some(device),
@@ -100,16 +93,23 @@ impl<F: Scalar> TPrivateCluster<F> {
         Ok(TPrivateCluster {
             code,
             devices,
-            responses: resp_rx,
+            mailbox: Mailbox::new(resp_rx),
             next_request: AtomicU64::new(1),
-            timeout: DEFAULT_TIMEOUT,
-            parked: Mutex::new(HashMap::new()),
+            timeout: crate::DEFAULT_DEADLINE,
         })
     }
 
-    /// Sets the per-query deadline (default 10 s).
+    /// Sets the per-query deadline
+    /// (default [`DEFAULT_DEADLINE`](crate::DEFAULT_DEADLINE)).
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// Builder-style per-query deadline, usable at launch.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.timeout = deadline;
+        self
     }
 
     /// Number of device threads.
@@ -141,41 +141,11 @@ impl<F: Scalar> TPrivateCluster<F> {
                 })?;
         }
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
-        let deadline = std::time::Instant::now() + self.timeout;
-        const POLL: Duration = Duration::from_millis(5);
-        while partials.len() < self.devices.len() {
-            if let Some(stash) = self.parked.lock().expect("parked lock").remove(&request) {
-                for resp in stash {
-                    Self::absorb(resp, &mut partials)?;
-                }
-                continue;
-            }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                return Err(Error::Timeout {
-                    request,
-                    received: partials.len(),
-                    needed: self.devices.len(),
-                });
-            }
-            match self.responses.recv_timeout(remaining.min(POLL)) {
-                Ok(resp) if resp.request() == request => {
-                    Self::absorb(resp, &mut partials)?;
-                }
-                Ok(other) => {
-                    self.parked
-                        .lock()
-                        .expect("parked lock")
-                        .entry(other.request())
-                        .or_default()
-                        .push(other);
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(Error::ChannelClosed { device: None });
-                }
-            }
-        }
+        self.mailbox
+            .collect(request, self.timeout, self.devices.len(), |resp| {
+                Self::absorb(resp, &mut partials)?;
+                Ok(partials.len())
+            })?;
         let mut btx = Vec::with_capacity(self.code.total_rows());
         for j in 1..=self.devices.len() {
             btx.extend(
@@ -190,9 +160,7 @@ impl<F: Scalar> TPrivateCluster<F> {
 
     fn absorb(resp: FromDevice<F>, partials: &mut HashMap<usize, Vector<F>>) -> Result<()> {
         match resp {
-            FromDevice::Partial {
-                device, values, ..
-            } => {
+            FromDevice::Partial { device, values, .. } => {
                 partials.insert(device, values);
                 Ok(())
             }

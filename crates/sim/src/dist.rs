@@ -45,7 +45,10 @@ pub enum CostDistribution {
 impl CostDistribution {
     /// The paper's uniform family with `min = 1`.
     pub fn uniform(c_max: f64) -> Self {
-        CostDistribution::Uniform { min: 1.0, max: c_max }
+        CostDistribution::Uniform {
+            min: 1.0,
+            max: c_max,
+        }
     }
 
     /// The paper's normal family.
@@ -157,7 +160,10 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(CostDistribution::uniform(5.0).to_string(), "U(1, 5)");
-        assert_eq!(CostDistribution::normal(5.0, 1.25).to_string(), "N(5, 1.25^2)");
+        assert_eq!(
+            CostDistribution::normal(5.0, 1.25).to_string(),
+            "N(5, 1.25^2)"
+        );
     }
 
     #[test]

@@ -72,9 +72,7 @@ impl fmt::Display for Error {
                 f,
                 "no allocation meets the {deadline}s deadline (fastest achievable: {fastest}s)"
             ),
-            Error::MissingDesign => {
-                f.write_str("adversary was built without a structured design")
-            }
+            Error::MissingDesign => f.write_str("adversary was built without a structured design"),
             Error::Coding(e) => write!(f, "coding failure: {e}"),
             Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
@@ -116,16 +114,27 @@ mod tests {
         };
         assert_eq!(e.to_string(), "blocks: 1x2 does not match 3x4");
         assert_eq!(
-            Error::DeviceCountMismatch { model: 2, design: 3 }.to_string(),
+            Error::DeviceCountMismatch {
+                model: 2,
+                design: 3
+            }
+            .to_string(),
             "network model has 2 devices but the design needs 3"
         );
         assert_eq!(
-            Error::InvalidTiming { what: "latency", value: -1.0 }.to_string(),
+            Error::InvalidTiming {
+                what: "latency",
+                value: -1.0
+            }
+            .to_string(),
             "latency must be finite and non-negative, got -1"
         );
-        assert!(Error::from(scec_coding::Error::UnknownDevice { device: 1, devices: 0 })
-            .to_string()
-            .starts_with("coding failure"));
+        assert!(Error::from(scec_coding::Error::UnknownDevice {
+            device: 1,
+            devices: 0
+        })
+        .to_string()
+        .starts_with("coding failure"));
         assert!(Error::from(scec_linalg::Error::Singular)
             .to_string()
             .starts_with("linear algebra failure"));
@@ -135,6 +144,11 @@ mod tests {
     fn sources() {
         use std::error::Error as _;
         assert!(Error::from(scec_linalg::Error::Singular).source().is_some());
-        assert!(Error::InvalidTiming { what: "x", value: 0.0 }.source().is_none());
+        assert!(Error::InvalidTiming {
+            what: "x",
+            value: 0.0
+        }
+        .source()
+        .is_none());
     }
 }

@@ -462,7 +462,10 @@ mod tests {
         let model = NetworkModel::homogeneous(2, flat_profile(), 0.0).unwrap();
         assert!(matches!(
             ProtocolSimulator::new(model).simulate(&design, 3),
-            Err(Error::DeviceCountMismatch { model: 2, design: 3 })
+            Err(Error::DeviceCountMismatch {
+                model: 2,
+                design: 3
+            })
         ));
     }
 
@@ -472,11 +475,17 @@ mod tests {
         p.latency = -1.0;
         assert!(matches!(
             NetworkModel::homogeneous(2, p, 0.0),
-            Err(Error::InvalidTiming { what: "latency", .. })
+            Err(Error::InvalidTiming {
+                what: "latency",
+                ..
+            })
         ));
         assert!(matches!(
             NetworkModel::homogeneous(2, flat_profile(), f64::NAN),
-            Err(Error::InvalidTiming { what: "user_per_op_time", .. })
+            Err(Error::InvalidTiming {
+                what: "user_per_op_time",
+                ..
+            })
         ));
     }
 

@@ -17,7 +17,10 @@
 //!   span arithmetic and (b) distinguish candidate data matrices. For a
 //!   secure LCEC, (a) finds nothing and (b) is impossible — every
 //!   alternative data matrix is *simulatable* with consistent randomness,
-//!   which is exactly the meaning of `H(A | B_j T) = H(A)`.
+//!   which is exactly the meaning of `H(A | B_j T) = H(A)`. The module
+//!   also hosts [`ChaosPlan`]: reproducible seeded fault-injection
+//!   scenarios (crashes, drops, omission, Byzantine corruption) for
+//!   exercising the runtime's supervised cluster.
 //! * [`event`] — a discrete-event simulator of the full four-step protocol
 //!   over a latency/bandwidth/compute-speed network model, used for the
 //!   completion-time ablation (Remark 1: the per-device cap `V(B_j) ≤ r`
@@ -56,6 +59,7 @@ pub mod event;
 pub mod instance;
 pub mod planner;
 
+pub use adversary::{ChaosFault, ChaosPlan};
 pub use dist::CostDistribution;
 pub use error::{Error, Result};
 pub use instance::InstanceGenerator;

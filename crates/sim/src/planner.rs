@@ -111,16 +111,13 @@ impl<'a> DeadlinePlanner<'a> {
     /// Propagates simulation-model failures (cannot occur for feasible
     /// `r` once the planner is constructed).
     pub fn completion_for(&self, m: usize, width: usize, r: usize) -> Result<f64> {
-        let design =
-            CodeDesign::new(m, r).map_err(|_| Error::DeviceCountMismatch {
-                model: self.profiles.len(),
-                design: 0,
-            })?;
+        let design = CodeDesign::new(m, r).map_err(|_| Error::DeviceCountMismatch {
+            model: self.profiles.len(),
+            design: 0,
+        })?;
         let i = design.device_count();
-        let model = NetworkModel::heterogeneous(
-            self.profiles[..i].to_vec(),
-            self.user_per_op_time,
-        )?;
+        let model =
+            NetworkModel::heterogeneous(self.profiles[..i].to_vec(), self.user_per_op_time)?;
         let report = ProtocolSimulator::new(model).simulate(&design, width)?;
         Ok(report.completion_time)
     }
@@ -147,8 +144,7 @@ impl<'a> DeadlinePlanner<'a> {
             if completion > deadline {
                 continue;
             }
-            let plan = AllocationPlan::canonical(m, r, self.fleet)
-                .expect("r in feasible range");
+            let plan = AllocationPlan::canonical(m, r, self.fleet).expect("r in feasible range");
             let candidate = DeadlinePlan {
                 r,
                 devices: plan.device_count(),
@@ -164,10 +160,7 @@ impl<'a> DeadlinePlanner<'a> {
                 best = Some(candidate);
             }
         }
-        best.ok_or(Error::DeadlineUnreachable {
-            deadline,
-            fastest,
-        })
+        best.ok_or(Error::DeadlineUnreachable { deadline, fastest })
     }
 }
 

@@ -107,7 +107,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of input: need {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: need {needed} bytes, {remaining} remain"
+                )
             }
             Error::BadMagic => f.write_str("bad magic prefix"),
             Error::UnsupportedVersion { got } => {
@@ -117,7 +120,10 @@ impl fmt::Display for Error {
                 write!(f, "wrong message tag: expected {expected}, got {got}")
             }
             Error::LengthOverflow { claimed, remaining } => {
-                write!(f, "length prefix {claimed} exceeds remaining {remaining} bytes")
+                write!(
+                    f,
+                    "length prefix {claimed} exceeds remaining {remaining} bytes"
+                )
             }
             Error::InvalidFieldElement { raw } => {
                 write!(f, "field element {raw} out of canonical range")
@@ -484,7 +490,10 @@ mod tests {
         let v = Vector::<f64>::random(9, &mut rng);
         assert_eq!(Vector::<f64>::from_bytes(&v.to_bytes()).unwrap(), v);
         let empty = Matrix::<Fp61>::zeros(0, 5);
-        assert_eq!(Matrix::<Fp61>::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        assert_eq!(
+            Matrix::<Fp61>::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
     }
 
     #[test]
@@ -565,9 +574,12 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(Error::BadMagic.to_string().contains("magic"));
-        assert!(Error::UnexpectedEof { needed: 8, remaining: 2 }
-            .to_string()
-            .contains("need 8"));
+        assert!(Error::UnexpectedEof {
+            needed: 8,
+            remaining: 2
+        }
+        .to_string()
+        .contains("need 8"));
         assert!(Error::Malformed("x").to_string().contains("x"));
     }
 }

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.set(3, 7, Fp61::new(0))?; // drop R_1 from coded row A_1…
     b.set(3, 6, Fp61::new(1))?; // …and mix R_0 in again
     let static_report = verify::verify(&design_bad, &b)?;
-    println!("  static verifier flags devices {:?}", static_report.insecure_devices);
+    println!(
+        "  static verifier flags devices {:?}",
+        static_report.insecure_devices
+    );
     assert!(!static_report.is_valid());
 
     let data = Matrix::<Fp61>::random(6, 4, &mut rng);
@@ -69,11 +72,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let range = design_bad.device_row_range(2)?;
     let block = b.row_block(range.start, range.end)?;
     let observed = block.matmul(&t)?;
-    let verdict = PassiveAdversary::new(design_bad).attack_observation(2, &block, &observed, &mut rng)?;
+    let verdict =
+        PassiveAdversary::new(design_bad).attack_observation(2, &block, &observed, &mut rng)?;
     println!(
         "  dynamic attack on device 2: leaked combinations = {} → {}",
         verdict.leaked_combinations,
-        if verdict.is_information_theoretic_secure() { "secure" } else { "LEAK DETECTED" }
+        if verdict.is_information_theoretic_secure() {
+            "secure"
+        } else {
+            "LEAK DETECTED"
+        }
     );
     assert_eq!(verdict.leaked_combinations, 1);
 

@@ -30,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (m, width) = (2000, 256);
     let unconstrained = ta::ta1(m, &fleet)?;
-    let unconstrained_time =
-        planner.completion_for(m, width, unconstrained.random_rows())?;
+    let unconstrained_time = planner.completion_for(m, width, unconstrained.random_rows())?;
     println!(
         "unconstrained MCSCEC: r = {}, {} devices, cost {:.1}, completion {:.1} ms",
         unconstrained.random_rows(),
@@ -40,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         unconstrained_time * 1e3
     );
 
-    println!("\n{:>12} {:>6} {:>8} {:>10} {:>14} {:>9}", "deadline_ms", "r", "devices", "cost", "completion_ms", "premium");
+    println!(
+        "\n{:>12} {:>6} {:>8} {:>10} {:>14} {:>9}",
+        "deadline_ms", "r", "devices", "cost", "completion_ms", "premium"
+    );
     for factor in [2.0, 1.0, 0.8, 0.6, 0.5, 0.4] {
         let deadline = unconstrained_time * factor;
         match planner.plan(m, width, deadline) {

@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let costs: Vec<f64> = (0..12).map(|_| rng.gen_range(1.0..4.0)).collect();
     let fleet = EdgeFleet::from_unit_costs(costs)?;
 
-    let system = ScecSystem::build(w.clone(), fleet.clone(), AllocationStrategy::Mcscec, &mut rng)?;
+    let system = ScecSystem::build(
+        w.clone(),
+        fleet.clone(),
+        AllocationStrategy::Mcscec,
+        &mut rng,
+    )?;
     let deployment = system.distribute(&mut rng)?;
     println!(
         "deployed {}x{} model over {} devices (r = {} blinding rows)",
@@ -72,10 +77,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = [
         ("lower bound (Thm 1)", bound::lower_bound(m, &fleet)?),
         ("MCSCEC (TA1)", ta::ta1(m, &fleet)?.total_cost()),
-        ("TAw/oS (insecure!)", baselines::ta_without_security(m, &fleet)?.total_cost()),
+        (
+            "TAw/oS (insecure!)",
+            baselines::ta_without_security(m, &fleet)?.total_cost(),
+        ),
         ("MaxNode", baselines::max_node(m, &fleet)?.total_cost()),
         ("MinNode", baselines::min_node(m, &fleet)?.total_cost()),
-        ("RNode", baselines::r_node(m, &fleet, &mut rng)?.total_cost()),
+        (
+            "RNode",
+            baselines::r_node(m, &fleet, &mut rng)?.total_cost(),
+        ),
     ];
     for (name, cost) in rows {
         println!("  {name:<22} {cost:>10.3}");
@@ -88,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  multiplications    = {}", usage.multiplications);
     println!("  additions          = {}", usage.additions);
     println!("  values transferred = {}", usage.values_transferred);
-    println!("  user-side decode   = {} subtractions", deployment.usage().decode_subtractions);
+    println!(
+        "  user-side decode   = {} subtractions",
+        deployment.usage().decode_subtractions
+    );
 
     Ok(())
 }

@@ -24,8 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         devices.push(DeviceCost::new(0.003, 0.0004, 0.002, 4.0)?); // phone
     }
     let fleet = EdgeFleet::from_device_costs(&devices, l)?;
-    println!("fleet of {} devices; unit costs per coded row (Eq. 1):", fleet.len());
-    println!("  cheapest = {:.3}, costliest = {:.3}", fleet.c(1), fleet.c(fleet.len()));
+    println!(
+        "fleet of {} devices; unit costs per coded row (Eq. 1):",
+        fleet.len()
+    );
+    println!(
+        "  cheapest = {:.3}, costliest = {:.3}",
+        fleet.c(1),
+        fleet.c(fleet.len())
+    );
 
     let m = 300;
     let plan = ta::ta1(m, &fleet)?;
@@ -50,11 +57,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Part 2: the Fig. 2(d) crossover — sweep fleet heterogeneity σ.
     println!("\nheterogeneity sweep (N(5, σ²) unit costs, k = 25, m = 2000):");
-    println!("{:>6} {:>12} {:>12} {:>12}  winner", "σ", "MCSCEC", "MaxNode", "MinNode");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}  winner",
+        "σ", "MCSCEC", "MaxNode", "MinNode"
+    );
     let mc = MonteCarlo::new(200, 11);
     for sigma in [0.01, 0.5, 1.0, 1.5, 2.0, 2.5] {
         let p = mc.run_point(2000, 25, CostDistribution::normal(5.0, sigma));
-        let winner = if p.max_node < p.min_node { "MaxNode" } else { "MinNode" };
+        let winner = if p.max_node < p.min_node {
+            "MaxNode"
+        } else {
+            "MinNode"
+        };
         println!(
             "{sigma:>6} {:>12.1} {:>12.1} {:>12.1}  {winner}",
             p.mcscec, p.max_node, p.min_node
@@ -76,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsimulated query completion: {:.3} ms (straggler: device {} at {:.3} ms)",
         report.completion_time * 1e3,
         report.straggler().map(|s| s.device).unwrap_or(0),
-        report.straggler().map(|s| s.result_arrived * 1e3).unwrap_or(0.0),
+        report
+            .straggler()
+            .map(|s| s.result_arrived * 1e3)
+            .unwrap_or(0.0),
     );
 
     Ok(())

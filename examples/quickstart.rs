@@ -21,19 +21,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    edge fleet with heterogeneous per-row unit costs.
     let (m, l) = (100, 64);
     let a = Matrix::<Fp61>::random(m, l, &mut rng);
-    let fleet = EdgeFleet::from_unit_costs(vec![
-        1.0, 1.1, 1.3, 1.8, 2.0, 2.4, 3.0, 3.3, 4.1, 5.0,
-    ])?;
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.1, 1.3, 1.8, 2.0, 2.4, 3.0, 3.3, 4.1, 5.0])?;
 
     // 2. Optimal task allocation + secure code design (TA1, Sec. IV).
-    let system = ScecSystem::build(a.clone(), fleet.clone(), AllocationStrategy::Mcscec, &mut rng)?;
+    let system = ScecSystem::build(
+        a.clone(),
+        fleet.clone(),
+        AllocationStrategy::Mcscec,
+        &mut rng,
+    )?;
     let plan = system.plan();
-    println!("MCSCEC allocation for m = {m} data rows over k = {} devices:", fleet.len());
+    println!(
+        "MCSCEC allocation for m = {m} data rows over k = {} devices:",
+        fleet.len()
+    );
     println!("  random rows r      = {}", plan.random_rows());
     println!("  devices used i     = {}", plan.device_count());
     println!("  per-device loads   = {:?}", plan.loads());
     println!("  total cost         = {:.3}", plan.total_cost());
-    println!("  lower bound (Thm 1)= {:.3}", bound::lower_bound(m, &fleet)?);
+    println!(
+        "  lower bound (Thm 1)= {:.3}",
+        bound::lower_bound(m, &fleet)?
+    );
 
     // 3. The cloud blinds A with r uniform random rows and ships each
     //    device its coded block B_j·T. No device holds decodable data.

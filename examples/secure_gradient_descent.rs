@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Two secure deployments: A (for A·w) and Aᵀ (for Aᵀ·u).
     let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.3, 1.6, 2.0, 2.5, 3.2])?;
-    let sys_a = ScecSystem::build(a.clone(), fleet.clone(), AllocationStrategy::Mcscec, &mut rng)?;
+    let sys_a = ScecSystem::build(
+        a.clone(),
+        fleet.clone(),
+        AllocationStrategy::Mcscec,
+        &mut rng,
+    )?;
     let sys_at = ScecSystem::build(a.transpose(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
     let dep_a = sys_a.distribute(&mut rng)?;
     let dep_at = sys_at.distribute(&mut rng)?;

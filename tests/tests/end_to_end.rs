@@ -113,13 +113,7 @@ fn measured_usage_is_priced_consistently_with_plan_objective() {
     let l = 6usize;
     let prices: Vec<DeviceCost> = (0..5)
         .map(|i| {
-            DeviceCost::new(
-                0.01 * (i + 1) as f64,
-                0.001,
-                0.002,
-                0.4 + 0.1 * i as f64,
-            )
-            .unwrap()
+            DeviceCost::new(0.01 * (i + 1) as f64, 0.001, 0.002, 0.4 + 0.1 * i as f64).unwrap()
         })
         .collect();
     let f = EdgeFleet::from_device_costs(&prices, l).unwrap();
@@ -147,8 +141,13 @@ fn measured_usage_is_priced_consistently_with_plan_objective() {
 fn repeated_queries_reuse_the_same_deployment() {
     let mut rng = StdRng::seed_from_u64(6);
     let a = Matrix::<Fp61>::random(9, 4, &mut rng);
-    let sys = ScecSystem::build(a.clone(), fleet(4, 17), AllocationStrategy::Mcscec, &mut rng)
-        .unwrap();
+    let sys = ScecSystem::build(
+        a.clone(),
+        fleet(4, 17),
+        AllocationStrategy::Mcscec,
+        &mut rng,
+    )
+    .unwrap();
     let deployment = sys.distribute(&mut rng).unwrap();
     for _ in 0..10 {
         let x = Vector::<Fp61>::random(4, &mut rng);
@@ -162,11 +161,20 @@ fn wide_and_tall_matrices() {
     // Tall: m >> l. Wide: l >> m.
     for (m, l) in [(50usize, 2usize), (2, 50), (1, 100), (64, 1)] {
         let a = Matrix::<Fp61>::random(m, l, &mut rng);
-        let sys = ScecSystem::build(a.clone(), fleet(6, 19), AllocationStrategy::Mcscec, &mut rng)
-            .unwrap();
+        let sys = ScecSystem::build(
+            a.clone(),
+            fleet(6, 19),
+            AllocationStrategy::Mcscec,
+            &mut rng,
+        )
+        .unwrap();
         let deployment = sys.distribute(&mut rng).unwrap();
         let x = Vector::<Fp61>::random(l, &mut rng);
-        assert_eq!(deployment.query(&x).unwrap(), a.matvec(&x).unwrap(), "m={m} l={l}");
+        assert_eq!(
+            deployment.query(&x).unwrap(),
+            a.matvec(&x).unwrap(),
+            "m={m} l={l}"
+        );
     }
 }
 
@@ -174,8 +182,7 @@ fn wide_and_tall_matrices() {
 fn zero_query_vector_yields_zero_result() {
     let mut rng = StdRng::seed_from_u64(8);
     let a = Matrix::<Fp61>::random(5, 3, &mut rng);
-    let sys =
-        ScecSystem::build(a, fleet(3, 23), AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let sys = ScecSystem::build(a, fleet(3, 23), AllocationStrategy::Mcscec, &mut rng).unwrap();
     let deployment = sys.distribute(&mut rng).unwrap();
     let y = deployment.query(&Vector::<Fp61>::zeros(3)).unwrap();
     assert!(y.as_slice().iter().all(Scalar::is_zero));

@@ -75,10 +75,12 @@ fn fig2d_crossover_between_max_node_and_min_node() {
     // Right end (sigma large): MinNode beats MaxNode.
     assert!(min_node[n - 1] < max_node[n - 1]);
     // And the curves really cross somewhere.
-    let crossed = (0..n - 1).any(|t| {
-        (max_node[t] <= min_node[t]) != (max_node[t + 1] <= min_node[t + 1])
-    });
-    assert!(crossed, "MaxNode/MinNode never crossed: {max_node:?} vs {min_node:?}");
+    let crossed =
+        (0..n - 1).any(|t| (max_node[t] <= min_node[t]) != (max_node[t + 1] <= min_node[t + 1]));
+    assert!(
+        crossed,
+        "MaxNode/MinNode never crossed: {max_node:?} vs {min_node:?}"
+    );
 }
 
 #[test]

@@ -131,7 +131,11 @@ fn theorem_3_structured_code_validity() {
             let lambda = span::data_span_basis::<Fp61>(m, r);
             for j in 1..=design.device_count() {
                 let block = design.device_block::<Fp61>(j).unwrap();
-                assert_eq!(span::intersection_dim(&block, &lambda), 0, "m={m} r={r} j={j}");
+                assert_eq!(
+                    span::intersection_dim(&block, &lambda),
+                    0,
+                    "m={m} r={r} j={j}"
+                );
             }
         }
     }
@@ -147,7 +151,11 @@ fn theorems_4_5_optimality() {
         let m: usize = rng.gen_range(1..80);
         let min_r = m.div_ceil(fleet.len() - 1);
         let brute = (min_r..=m)
-            .map(|r| AllocationPlan::canonical(m, r, &fleet).unwrap().total_cost())
+            .map(|r| {
+                AllocationPlan::canonical(m, r, &fleet)
+                    .unwrap()
+                    .total_cost()
+            })
             .fold(f64::INFINITY, f64::min);
         let t1 = ta::ta1(m, &fleet).unwrap().total_cost();
         let t2 = ta::ta2(m, &fleet).unwrap().total_cost();
@@ -176,9 +184,15 @@ fn eq_4_r_bracketing() {
         for r in min_r..=m {
             let plan = AllocationPlan::canonical(m, r, &fleet).unwrap();
             let i = plan.device_count();
-            assert!(r as f64 >= m as f64 / (i as f64 - 1.0) - 1e-12, "m={m} r={r} i={i}");
+            assert!(
+                r as f64 >= m as f64 / (i as f64 - 1.0) - 1e-12,
+                "m={m} r={r} i={i}"
+            );
             if i > 2 {
-                assert!((r as f64) < m as f64 / (i as f64 - 2.0), "m={m} r={r} i={i}");
+                assert!(
+                    (r as f64) < m as f64 / (i as f64 - 2.0),
+                    "m={m} r={r} i={i}"
+                );
             }
         }
     }

@@ -37,7 +37,7 @@ fn deployments_resist_the_passive_adversary_for_every_strategy() {
 
 #[test]
 fn no_device_can_derive_any_standard_basis_data_row() {
-    let mut rng = StdRng::seed_from_u64(2);
+    let rng = StdRng::seed_from_u64(2);
     let m = 8;
     let design = CodeDesign::new(m, 3).unwrap();
     let adversary = PassiveAdversary::new(design.clone());
