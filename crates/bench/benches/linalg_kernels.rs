@@ -1,0 +1,97 @@
+//! Kernel ablation: naive vs lazy-reduction vs lazy + parallel.
+//!
+//! Isolates the two wins layered into `scec-linalg`:
+//!
+//! * **lazy reduction** — `kernels::matmul_naive` reduces after every
+//!   product; `matmul_serial` batches up to `LAZY_BLOCK` = 63 products
+//!   per reduction of the u128 accumulator (GF(2⁶¹−1) headroom);
+//! * **row banding** — `matmul` additionally spreads row bands over
+//!   threads (a no-op under `--no-default-features`).
+//!
+//! The same split is repeated for matvec and the Gauss forward
+//! elimination that dominates `rank`/`invert`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+use scec_linalg::{gauss, kernels, Fp61, Matrix, Vector};
+
+fn bench_matmul_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp61_matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = Matrix::<Fp61>::random(n, n, &mut rng);
+        let b = Matrix::<Fp61>::random(n, n, &mut rng);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| kernels::matmul_naive(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_serial", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul_serial(black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_parallel", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp61_matvec");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = Matrix::<Fp61>::random(n, n, &mut rng);
+        let x = Vector::<Fp61>::random(n, &mut rng);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| kernels::matvec_naive(black_box(&a), black_box(&x)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fused", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matvec(black_box(&x)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp61_transpose");
+    group.sample_size(20);
+    for &n in &[512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(35);
+        let a = Matrix::<Fp61>::random(n, n, &mut rng);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("strided", n), &n, |bch, _| {
+            bch.iter(|| kernels::transpose_naive(black_box(&a)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).transpose())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gauss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp61_gauss");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let mut rng = StdRng::seed_from_u64(37);
+        let a = Matrix::<Fp61>::random(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("invert", n), &n, |bch, _| {
+            bch.iter(|| gauss::invert(black_box(&a)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rank", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).rank())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_ablation,
+    bench_matvec_ablation,
+    bench_transpose,
+    bench_gauss
+);
+criterion_main!(benches);

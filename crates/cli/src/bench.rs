@@ -1,0 +1,350 @@
+//! `scec bench`: the benchmark-trajectory harness.
+//!
+//! Runs a fixed suite of kernel and end-to-end cases and writes the
+//! medians to `BENCH_<n>.json`, where `n` increments across runs so a
+//! repo accumulates a *trajectory* of snapshots rather than overwriting
+//! the previous numbers. The JSON is hand-rolled (no serde_json
+//! dependency) against a stable schema (`scec-bench-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "scec-bench-v1",
+//!   "index": 2,
+//!   "machine": { "cpu": "...", "cores": 8, ... },
+//!   "cases": [ { "name": "fp61_matmul_lazy", "size": 256,
+//!                "ops": 16777216, "median_ns": 1234, "ns_per_op": 0.07 } ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use scec_coding::{decode, CodeDesign, Encoder};
+use scec_linalg::{gauss, kernels, Fp61, Matrix, Vector};
+
+use crate::error::{Error, Result};
+
+/// Options for [`run`], mirroring the `scec bench` flags.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Directory that receives `BENCH_<n>.json`.
+    pub out_dir: PathBuf,
+    /// Timed repetitions per case (the median is reported).
+    pub iters: usize,
+    /// Explicit snapshot index; `None` means one past the largest
+    /// existing `BENCH_<n>.json` in `out_dir`.
+    pub index: Option<usize>,
+    /// Shrink every case (~secs → ~ms); used by tests and smoke runs.
+    pub quick: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            out_dir: PathBuf::from("."),
+            iters: 7,
+            index: None,
+            quick: false,
+        }
+    }
+}
+
+struct CaseResult {
+    name: &'static str,
+    size: usize,
+    ops: usize,
+    median_ns: u128,
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    // One untimed warmup so allocation and cache effects settle.
+    f();
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run_suite(iters: usize, quick: bool) -> Vec<CaseResult> {
+    let mut rng = StdRng::seed_from_u64(0x5CEC);
+    let n = if quick { 48 } else { 256 };
+    let nv = if quick { 128 } else { 1024 };
+    let ng = if quick { 24 } else { 128 };
+    let (m, r, l) = if quick { (32, 4, 64) } else { (256, 16, 1024) };
+
+    let a = Matrix::<Fp61>::random(n, n, &mut rng);
+    let b = Matrix::<Fp61>::random(n, n, &mut rng);
+    let af = Matrix::<f64>::random(n, n, &mut rng);
+    let bf = Matrix::<f64>::random(n, n, &mut rng);
+    let big = Matrix::<Fp61>::random(nv, nv, &mut rng);
+    let x = Vector::<Fp61>::random(nv, &mut rng);
+    let sq = Matrix::<Fp61>::random(ng, ng, &mut rng);
+    let data = Matrix::<Fp61>::random(m, l, &mut rng);
+    let randomness = Matrix::<Fp61>::random(r, l, &mut rng);
+    let query = Vector::<Fp61>::random(l, &mut rng);
+    let design = CodeDesign::new(m, r).expect("valid design");
+    let encoder = Encoder::new(design.clone());
+
+    let mut results = Vec::new();
+    let mut case = |name, size, ops, f: &mut dyn FnMut()| {
+        results.push(CaseResult {
+            name,
+            size,
+            ops,
+            median_ns: median_ns(iters, f),
+        });
+    };
+
+    case("fp61_matmul_naive", n, n * n * n, &mut || {
+        std::hint::black_box(kernels::matmul_naive(&a, &b).unwrap());
+    });
+    case("fp61_matmul_lazy", n, n * n * n, &mut || {
+        std::hint::black_box(a.matmul_serial(&b).unwrap());
+    });
+    case("fp61_matmul_parallel", n, n * n * n, &mut || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    case("f64_matmul", n, n * n * n, &mut || {
+        std::hint::black_box(af.matmul(&bf).unwrap());
+    });
+    case("fp61_matvec", nv, nv * nv, &mut || {
+        std::hint::black_box(big.matvec(&x).unwrap());
+    });
+    case("fp61_transpose", nv, nv * nv, &mut || {
+        std::hint::black_box(big.transpose());
+    });
+    case("fp61_gauss_invert", ng, ng * ng * ng, &mut || {
+        std::hint::black_box(gauss::invert(&sq).unwrap());
+    });
+    // End-to-end: encode the data matrix, run every device's matvec, and
+    // decode — the full secure-query round trip of the paper's pipeline.
+    let e2e_ops = (m + r) * l * 2 + m;
+    case("scec_encode_query_decode", m, e2e_ops, &mut || {
+        let store = encoder
+            .encode_with_randomness(&data, &randomness)
+            .expect("encode");
+        let partials: Vec<Vector<Fp61>> = store
+            .shares()
+            .iter()
+            .map(|s| s.compute(&query).expect("device compute"))
+            .collect();
+        let y = decode::decode_fast(&design, &decode::stack_partials(&partials)).expect("decode");
+        std::hint::black_box(y);
+    });
+    results
+}
+
+/// Picks the next snapshot index: one past the largest `BENCH_<n>.json`
+/// already present (0 for a fresh directory).
+fn next_index(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let n = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+            n.parse::<usize>().ok()
+        })
+        .max()
+        .map_or(0, |n| n + 1)
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => r#"\""#.chars().collect::<Vec<_>>(),
+            '\\' => r"\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render_json(opts: &BenchOptions, index: usize, cases: &[CaseResult]) -> String {
+    let captured_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"scec-bench-v1\",");
+    let _ = writeln!(j, "  \"index\": {index},");
+    let _ = writeln!(j, "  \"captured_at_unix\": {captured_at},");
+    let _ = writeln!(j, "  \"iters\": {},", opts.iters);
+    let _ = writeln!(j, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(j, "  \"machine\": {{");
+    let _ = writeln!(j, "    \"cpu\": \"{}\",", json_escape(&cpu_model()));
+    let _ = writeln!(j, "    \"cores\": {},", kernels::max_threads());
+    let _ = writeln!(j, "    \"os\": \"{}\",", json_escape(std::env::consts::OS));
+    let _ = writeln!(
+        j,
+        "    \"arch\": \"{}\",",
+        json_escape(std::env::consts::ARCH)
+    );
+    let _ = writeln!(
+        j,
+        "    \"parallel_feature\": {}",
+        cfg!(feature = "parallel")
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let ns_per_op = c.median_ns as f64 / c.ops.max(1) as f64;
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{}\", \"size\": {}, \"ops\": {}, \
+             \"median_ns\": {}, \"ns_per_op\": {:.4} }}{}",
+            c.name,
+            c.size,
+            c.ops,
+            c.median_ns,
+            ns_per_op,
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// `scec bench`: run the suite and write `BENCH_<n>.json`.
+///
+/// Returns the human-readable summary (one line per case plus the output
+/// path), like the other command functions.
+///
+/// # Errors
+///
+/// Returns [`Error::Usage`] for `--iters 0` and propagates I/O failures.
+pub fn run(opts: &BenchOptions) -> Result<String> {
+    if opts.iters == 0 {
+        return Err(Error::Usage("--iters must be at least 1".into()));
+    }
+    let cases = run_suite(opts.iters, opts.quick);
+    let index = opts.index.unwrap_or_else(|| next_index(&opts.out_dir));
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let path = opts.out_dir.join(format!("BENCH_{index}.json"));
+    std::fs::write(&path, render_json(opts, index, &cases))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench snapshot {index} ({} iters{}, {} threads max)",
+        opts.iters,
+        if opts.quick { ", quick" } else { "" },
+        kernels::max_threads()
+    );
+    for c in &cases {
+        let _ = writeln!(
+            out,
+            "  {:<26} n={:<5} median = {:>12} ns  ({:.4} ns/op)",
+            c.name,
+            c.size,
+            c.median_ns,
+            c.median_ns as f64 / c.ops.max(1) as f64
+        );
+    }
+    let _ = writeln!(out, "wrote {}", path.display());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scec-bench-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quick_suite_writes_parseable_snapshot() {
+        let dir = tmp_dir("quick");
+        let opts = BenchOptions {
+            out_dir: dir.clone(),
+            iters: 1,
+            index: None,
+            quick: true,
+        };
+        let summary = run(&opts).unwrap();
+        assert!(summary.contains("fp61_matmul_lazy"));
+        let json = std::fs::read_to_string(dir.join("BENCH_0.json")).unwrap();
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"scec-bench-v1\""));
+        assert!(json.contains("\"fp61_matmul_naive\""));
+        assert!(json.contains("\"scec_encode_query_decode\""));
+        assert!(json.contains("\"parallel_feature\""));
+        // Balanced braces and brackets — cheap well-formedness check in
+        // lieu of a JSON parser dependency.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        // No trailing comma before a closing bracket.
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_auto_increments_and_can_be_pinned() {
+        let dir = tmp_dir("index");
+        assert_eq!(next_index(&dir), 0);
+        std::fs::write(dir.join("BENCH_4.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_2.json"), "{}").unwrap();
+        std::fs::write(dir.join("not-a-bench.json"), "{}").unwrap();
+        assert_eq!(next_index(&dir), 5);
+        let opts = BenchOptions {
+            out_dir: dir.clone(),
+            iters: 1,
+            index: Some(9),
+            quick: true,
+        };
+        run(&opts).unwrap();
+        assert!(dir.join("BENCH_9.json").exists());
+        assert_eq!(next_index(&dir), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_iters_is_a_usage_error() {
+        let opts = BenchOptions {
+            iters: 0,
+            ..BenchOptions::default()
+        };
+        assert!(matches!(run(&opts), Err(Error::Usage(_))));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -17,6 +17,7 @@ USAGE:
   scec query  --shares <DIR> --input <x.csv> --output <y.csv>
   scec audit  --shares <DIR> [--seed N] [--coalitions T]
   scec chaos  [--devices N] [--queries Q] [--intensity F] [--seed N]
+  scec bench  [--out DIR] [--iters N] [--index N] [--quick true]
 
 Data matrices and vectors are CSV files of integers in GF(2^61 - 1).
 Share files use the framed scec-wire binary format.";
@@ -140,6 +141,24 @@ fn run() -> Result<(), Error> {
                 "{}",
                 commands::chaos(devices, queries, intensity, args.seed()?)?
             );
+        }
+        "bench" => {
+            let mut opts = scec_cli::bench::BenchOptions::default();
+            if let Some(dir) = args.flags.get("out") {
+                opts.out_dir = PathBuf::from(dir);
+            }
+            if args.flags.contains_key("iters") {
+                opts.iters = args.get_usize("iters")?;
+            }
+            if args.flags.contains_key("index") {
+                opts.index = Some(args.get_usize("index")?);
+            }
+            if let Some(v) = args.flags.get("quick") {
+                opts.quick = v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --quick: {e}")))?;
+            }
+            print!("{}", scec_cli::bench::run(&opts)?);
         }
         other => {
             return Err(Error::Usage(format!("unknown command {other:?}")));

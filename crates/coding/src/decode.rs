@@ -107,17 +107,26 @@ pub fn decode_general<F: Scalar>(
 ///
 /// Returns [`Error::PayloadShape`] when partial widths disagree.
 pub fn stack_partial_matrices<F: Scalar>(partials: &[Matrix<F>]) -> Result<Matrix<F>> {
-    let mut it = partials.iter();
-    let first = it.next().ok_or(Error::PayloadShape {
+    let first = partials.first().ok_or(Error::PayloadShape {
         what: "partial result set",
         expected: (1, 1),
         got: (0, 0),
     })?;
-    let mut acc = first.clone();
-    for p in it {
-        acc = acc.vstack(p)?;
+    let cols = first.ncols();
+    let total_rows: usize = partials.iter().map(Matrix::nrows).sum();
+    // Single allocation instead of a fresh copy per vstack.
+    let mut flat = Vec::with_capacity(total_rows * cols);
+    for p in partials {
+        if p.ncols() != cols {
+            return Err(Error::PayloadShape {
+                what: "partial result set",
+                expected: (p.nrows(), cols),
+                got: p.shape(),
+            });
+        }
+        flat.extend_from_slice(p.as_flat());
     }
-    Ok(acc)
+    Ok(Matrix::from_flat(total_rows, cols, flat)?)
 }
 
 /// Batched decoding: recovers `Y = A·X` (one column per query) from
@@ -140,15 +149,15 @@ pub fn decode_fast_batch<F: Scalar>(design: &CodeDesign, btx: &Matrix<F>) -> Res
         });
     }
     let n = btx.ncols();
-    let mut y = Matrix::zeros(m, n);
+    // Build the flat output buffer row by row: one slice-wise subtraction
+    // per output row, no per-element bounds checks.
+    let mut flat = Vec::with_capacity(m * n);
     for p in 0..m {
         let data_row = btx.row(r + p);
         let noise_row = btx.row(p % r);
-        for c in 0..n {
-            y.set(p, c, data_row[c].sub(noise_row[c]))?;
-        }
+        flat.extend(data_row.iter().zip(noise_row).map(|(&d, &z)| d.sub(z)));
     }
-    Ok(y)
+    Ok(Matrix::from_flat(m, n, flat)?)
 }
 
 /// The number of scalar subtractions [`decode_fast`] performs — exposed so

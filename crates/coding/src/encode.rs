@@ -12,7 +12,7 @@
 
 use rand::Rng;
 
-use scec_linalg::{Matrix, Scalar, Vector};
+use scec_linalg::{kernels, Matrix, Scalar, Vector};
 
 use crate::design::CodeDesign;
 use crate::error::{Error, Result};
@@ -78,30 +78,34 @@ impl Encoder {
                 got: randomness.shape(),
             });
         }
-        let mut shares = Vec::with_capacity(self.design.device_count());
-        for j in 1..=self.design.device_count() {
+        // Fan the per-device share construction out across threads: each
+        // device's block is independent, so the store assembles in device
+        // order regardless of which thread built which share.
+        let ncols = a.ncols();
+        let threads = kernels::threads_for(self.design.total_rows() * ncols);
+        let shares = kernels::par_map_collect(self.design.device_count(), threads, |idx| {
+            let j = idx + 1;
             let range = self.design.device_row_range(j).expect("j in range");
-            let mut rows = Vec::with_capacity(range.len());
+            let mut flat = Vec::with_capacity(range.len() * ncols);
             for row in range.clone() {
                 if row < r {
-                    rows.push(randomness.row(row).to_vec());
+                    flat.extend_from_slice(randomness.row(row));
                 } else {
                     let p = row - r;
-                    let coded: Vec<F> = a
-                        .row(p)
-                        .iter()
-                        .zip(randomness.row(p % r))
-                        .map(|(&d, &n)| d.add(n))
-                        .collect();
-                    rows.push(coded);
+                    flat.extend(
+                        a.row(p)
+                            .iter()
+                            .zip(randomness.row(p % r))
+                            .map(|(&d, &n)| d.add(n)),
+                    );
                 }
             }
-            shares.push(DeviceShare {
+            DeviceShare {
                 device: j,
                 first_row: range.start,
-                coded: Matrix::from_rows(rows).expect("rows are uniform width"),
-            });
-        }
+                coded: Matrix::from_flat(range.len(), ncols, flat).expect("rows are uniform width"),
+            }
+        });
         Ok(EncodedStore {
             design: self.design.clone(),
             shares,

@@ -70,7 +70,8 @@ impl<F: Scalar> IntegrityKey<F> {
             return Err(Error::EmptyData);
         }
         let u = Vector::<F>::random(a.nrows(), rng);
-        let ut_a = a.transpose().matvec(&u).map_err(scec_coding::Error::from)?;
+        // uᵀA via the fused transposed kernel — no materialized transpose.
+        let ut_a = a.tr_matvec(&u).map_err(scec_coding::Error::from)?;
         Ok(IntegrityKey { u, ut_a })
     }
 

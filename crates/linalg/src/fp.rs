@@ -19,6 +19,22 @@ use crate::scalar::Scalar;
 /// The field modulus `p = 2^61 - 1` (a Mersenne prime).
 pub const MODULUS: u64 = (1u64 << 61) - 1;
 
+/// Maximum number of unreduced products the lazy kernels accumulate in a
+/// `u128` between reductions.
+///
+/// Each product of canonical representatives is at most `(p−1)² < 2^122`,
+/// and the folded carry from the previous block is `< 2^61`, so a block of
+/// `63` products stays below `63·2^122 + 2^61 < 2^128` — no overflow. This
+/// is the headroom the Mersenne prime buys: one `reduce128` per 63 terms
+/// instead of one per multiply.
+pub const LAZY_BLOCK: usize = 63;
+
+/// `2^122 − 1 = p·(p+2)` — a multiple of `p` that dominates every product
+/// of canonical representatives (`(p−1)² = 2^122 − 2^63 + 4`). Adding
+/// `FOLD_ZERO − a·b` is how the fused kernels subtract a product without
+/// first reducing it.
+const FOLD_ZERO: u128 = (1u128 << 122) - 1;
+
 /// An element of GF(2⁶¹ − 1).
 ///
 /// The canonical representative is always kept in `[0, p)`. Arithmetic
@@ -64,9 +80,14 @@ impl Fp61 {
         self.0
     }
 
-    /// Fast reduction of a 128-bit product into `[0, p)` using the Mersenne
+    /// Fast reduction of a 128-bit value into `[0, p)` using the Mersenne
     /// structure of the modulus: `x mod (2^61 - 1)` folds the high bits onto
     /// the low bits.
+    ///
+    /// Valid for `x < 2^122 + 2^61` — which covers both a product of
+    /// canonical representatives (`(p−1)² < 2^122`) and the fused-kernel
+    /// sums `t + prod` and `t + (FOLD_ZERO − prod)`. For arbitrary `u128`
+    /// values (the lazy dot accumulator) use [`Fp61::reduce_wide`].
     #[inline]
     fn reduce128(x: u128) -> u64 {
         let lo = (x as u64) & MODULUS;
@@ -75,8 +96,27 @@ impl Fp61 {
         if s >= MODULUS {
             s -= MODULUS;
         }
-        // One fold suffices for products of canonical representatives:
-        // (p-1)^2 < 2^122, so hi < 2^61 and lo + hi < 2^62 < 2p + p.
+        // Two conditional subtractions suffice: for x < 2^122 + 2^61 the
+        // fold gives hi ≤ 2^61 and lo < 2^61, so lo + hi < 2^62 < 3p.
+        if s >= MODULUS {
+            s -= MODULUS;
+        }
+        s
+    }
+
+    /// Full-range reduction of any `u128` into `[0, p)` via two folds.
+    ///
+    /// The lazy dot kernel accumulates up to [`LAZY_BLOCK`] unreduced
+    /// products (`< 2^128`), so its accumulator exceeds the domain of
+    /// [`Fp61::reduce128`]; this variant folds twice.
+    #[inline]
+    fn reduce_wide(x: u128) -> u64 {
+        // First fold: x = hi·2^61 + lo with hi < 2^67 ⇒ hi + lo < 2^68.
+        let folded = (x >> 61) + (x & MODULUS as u128);
+        // Second fold now fits comfortably in u64 arithmetic.
+        let lo = (folded as u64) & MODULUS;
+        let hi = (folded >> 61) as u64; // < 2^7
+        let mut s = lo + hi;
         if s >= MODULUS {
             s -= MODULUS;
         }
@@ -283,6 +323,63 @@ impl Scalar for Fp61 {
         // Uniform over [0, p): rejection-free because gen_range is exact.
         Fp61(rng.gen_range(0..MODULUS))
     }
+
+    // Lazy-reduction kernel overrides. See the `kernels` module docs for
+    // the headroom argument; the block length is [`LAZY_BLOCK`].
+
+    fn dot_slices(a: &[Self], b: &[Self]) -> Self {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc: u128 = 0;
+        for (ca, cb) in a.chunks(LAZY_BLOCK).zip(b.chunks(LAZY_BLOCK)) {
+            // Entering each block acc < 2^61 (folded carry), and 63
+            // products of at most (p−1)² keep the sum below 2^128 no
+            // matter how they are split across the four lanes below.
+            //
+            // Four independent accumulators break the loop-carried
+            // add-with-carry chain: a single u128 accumulator serializes
+            // at ~2 cycles per product, while independent lanes let the
+            // multiplies pipeline.
+            let (mut e0, mut e1, mut e2, mut e3) = (0u128, 0u128, 0u128, 0u128);
+            let mut qa = ca.chunks_exact(4);
+            let mut qb = cb.chunks_exact(4);
+            for (pa, pb) in (&mut qa).zip(&mut qb) {
+                e0 += pa[0].0 as u128 * pb[0].0 as u128;
+                e1 += pa[1].0 as u128 * pb[1].0 as u128;
+                e2 += pa[2].0 as u128 * pb[2].0 as u128;
+                e3 += pa[3].0 as u128 * pb[3].0 as u128;
+            }
+            for (&x, &y) in qa.remainder().iter().zip(qb.remainder()) {
+                e0 += x.0 as u128 * y.0 as u128;
+            }
+            acc = Fp61::reduce_wide(acc + (e0 + e1) + (e2 + e3)) as u128;
+        }
+        Fp61(acc as u64)
+    }
+
+    fn fused_muladd(acc: &mut [Self], factor: Self, rhs: &[Self]) {
+        debug_assert_eq!(acc.len(), rhs.len());
+        let f = factor.0 as u128;
+        for (o, &r) in acc.iter_mut().zip(rhs) {
+            // o + f·r ≤ (p−1) + (p−1)² < 2^122: one reduce128, no
+            // intermediate canonicalization of the product.
+            o.0 = Fp61::reduce128(o.0 as u128 + f * r.0 as u128);
+        }
+    }
+
+    fn fused_submul(target: &mut [Self], factor: Self, source: &[Self]) {
+        debug_assert_eq!(target.len(), source.len());
+        let f = factor.0 as u128;
+        for (t, &s) in target.iter_mut().zip(source) {
+            // t − f·s ≡ t + (FOLD_ZERO − f·s) (mod p); the sum stays below
+            // 2^122 + 2^61, inside reduce128's domain.
+            t.0 = Fp61::reduce128(t.0 as u128 + (FOLD_ZERO - f * s.0 as u128));
+        }
+    }
+
+    #[inline]
+    fn prefers_dot_matmul() -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -398,5 +495,105 @@ mod tests {
     fn display_and_debug() {
         assert_eq!(Fp61::new(42).to_string(), "42");
         assert_eq!(format!("{:?}", Fp61::new(42)), "Fp61(42)");
+    }
+
+    /// Naive one-reduction-per-multiply dot used as the reference for the
+    /// lazy kernel.
+    fn dot_reference(a: &[Fp61], b: &[Fp61]) -> Fp61 {
+        a.iter()
+            .zip(b)
+            .fold(Fp61::new(0), |acc, (&x, &y)| acc + x * y)
+    }
+
+    #[test]
+    fn lazy_dot_matches_reference_at_block_boundaries() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [
+            0,
+            1,
+            LAZY_BLOCK - 1,
+            LAZY_BLOCK,
+            LAZY_BLOCK + 1,
+            2 * LAZY_BLOCK,
+            2 * LAZY_BLOCK + 1,
+            1000,
+        ] {
+            let a: Vec<Fp61> = (0..n).map(|_| <Fp61 as Scalar>::sample(&mut rng)).collect();
+            let b: Vec<Fp61> = (0..n).map(|_| <Fp61 as Scalar>::sample(&mut rng)).collect();
+            assert_eq!(
+                <Fp61 as Scalar>::dot_slices(&a, &b),
+                dot_reference(&a, &b),
+                "length {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_dot_survives_maximum_unreduced_accumulation() {
+        // The overflow boundary: LAZY_BLOCK all-max products is the largest
+        // sum the kernel ever holds unreduced. Check it, its neighbors, and
+        // a multi-block all-max run against u128 reference arithmetic.
+        let max = Fp61::new(MODULUS - 1);
+        for n in [LAZY_BLOCK, LAZY_BLOCK + 1, 4 * LAZY_BLOCK + 7] {
+            let a = vec![max; n];
+            let want = {
+                let sq = ((MODULUS - 1) as u128 * (MODULUS - 1) as u128) % MODULUS as u128;
+                Fp61::new(((sq * n as u128) % MODULUS as u128) as u64)
+            };
+            assert_eq!(<Fp61 as Scalar>::dot_slices(&a, &a), want, "length {n}");
+            assert_eq!(dot_reference(&a, &a), want, "reference length {n}");
+        }
+    }
+
+    #[test]
+    fn fused_muladd_and_submul_match_scalar_ops() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let max = Fp61::new(MODULUS - 1);
+        for factor in [
+            Fp61::new(0),
+            Fp61::new(1),
+            max,
+            <Fp61 as Scalar>::sample(&mut rng),
+        ] {
+            let target: Vec<Fp61> = (0..100)
+                .map(|i| {
+                    if i == 0 {
+                        max
+                    } else {
+                        <Fp61 as Scalar>::sample(&mut rng)
+                    }
+                })
+                .collect();
+            let source: Vec<Fp61> = (0..100)
+                .map(|i| {
+                    if i == 0 {
+                        max
+                    } else {
+                        <Fp61 as Scalar>::sample(&mut rng)
+                    }
+                })
+                .collect();
+
+            let mut add_got = target.clone();
+            <Fp61 as Scalar>::fused_muladd(&mut add_got, factor, &source);
+            let mut sub_got = target.clone();
+            <Fp61 as Scalar>::fused_submul(&mut sub_got, factor, &source);
+            for i in 0..target.len() {
+                assert_eq!(add_got[i], target[i] + factor * source[i]);
+                assert_eq!(sub_got[i], target[i] - factor * source[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_wide_handles_full_u128_range() {
+        assert_eq!(Fp61::reduce_wide(0), 0);
+        assert_eq!(Fp61::reduce_wide(MODULUS as u128), 0);
+        assert_eq!(
+            Fp61::reduce_wide(u128::MAX),
+            (u128::MAX % MODULUS as u128) as u64
+        );
+        let x = 63u128 * ((MODULUS - 1) as u128 * (MODULUS - 1) as u128) + (MODULUS - 1) as u128;
+        assert_eq!(Fp61::reduce_wide(x), (x % MODULUS as u128) as u64);
     }
 }

@@ -66,15 +66,9 @@ pub fn echelon<F: Scalar>(m: &Matrix<F>) -> Echelon<F> {
         a.swap_rows(pr, best);
         let pivot = a.at(pr, pc);
         let inv = pivot.inv().expect("non-zero pivot by construction");
-        for r in (pr + 1)..rows {
-            let v = a.at(r, pc);
-            if v.is_zero() {
-                continue;
-            }
-            a.row_axpy(r, pr, v.mul(inv));
-            // Force exact zero to keep f64 echelon clean.
-            a.set(r, pc, F::zero()).expect("index in range");
-        }
+        // Fused, row-banded elimination of the trailing block (writes
+        // exact zeros in the pivot column to keep f64 echelon clean).
+        a.eliminate_below(pr, pc, inv);
         pivot_cols.push(pc);
         pr += 1;
     }
@@ -261,13 +255,7 @@ pub fn determinant<F: Scalar>(a: &Matrix<F>) -> Result<F> {
         let pivot = m.at(pc, pc);
         det = det.mul(pivot);
         let inv = pivot.inv().expect("non-zero pivot");
-        for r in (pc + 1)..rows {
-            let v = m.at(r, pc);
-            if v.is_zero() {
-                continue;
-            }
-            m.row_axpy(r, pc, v.mul(inv));
-        }
+        m.eliminate_below(pc, pc, inv);
     }
     Ok(if sign_flip { det.neg() } else { det })
 }

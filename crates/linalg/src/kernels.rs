@@ -1,0 +1,338 @@
+//! Performance kernels: lazy-reduction arithmetic, cache blocking, and
+//! row-band parallelism for the coded-computation hot paths.
+//!
+//! # Lazy reduction over GF(2⁶¹ − 1)
+//!
+//! A naive dot product over [`Fp61`](crate::Fp61) pays one Mersenne
+//! reduction *per multiply*. The lazy kernels exploit the headroom a
+//! 61-bit modulus leaves in 128-bit arithmetic: every product of canonical
+//! representatives is at most `(p−1)² < 2^122`, so a `u128` accumulator
+//! can absorb [`LAZY_BLOCK`](crate::fp::LAZY_BLOCK)` = 63` products plus a
+//! folded carry (`< 2^61`) before it can overflow:
+//!
+//! ```text
+//! 63·(p−1)² + (p−1)  <  63·2^122 + 2^61  =  2^128 − 2^122 + 2^61  <  2^128
+//! ```
+//!
+//! That turns one reduction per multiply into one per 63 multiplies. The
+//! dispatch point is the [`Scalar`] trait itself — [`Scalar::dot_slices`],
+//! [`Scalar::fused_muladd`] and [`Scalar::fused_submul`] have naive
+//! default bodies and `Fp61` overrides them — so generic code (`f64`,
+//! [`FpGeneric`](crate::FpGeneric)) is untouched while `Fp61` gets the
+//! fast path everywhere.
+//!
+//! # Parallelism
+//!
+//! The `parallel` cargo feature (on by default) lets the large kernels
+//! fan work out across contiguous row bands with `std::thread::scope`.
+//! (A `rayon` pool would be the conventional choice; this workspace
+//! builds in offline environments where no external crates beyond the
+//! seed set are available, so the band scheduler is hand-rolled on the
+//! standard library — same shape, zero dependencies.) Work smaller than
+//! [`PAR_THRESHOLD`] scalar multiply-adds always runs serially, and the
+//! band count is capped by `std::thread::available_parallelism`, so the
+//! kernels degrade gracefully to the serial path on a single core or with
+//! `--no-default-features`.
+//!
+//! Banding never changes results: each output row is computed by exactly
+//! the same instruction sequence as in the serial path, so `f64` results
+//! are bitwise identical and finite-field results are exact either way.
+//!
+//! # Reference kernels
+//!
+//! [`matmul_naive`], [`matvec_naive`], [`dot_naive`] and
+//! [`transpose_naive`] preserve the pre-kernel implementations. They are
+//! the ground truth for the agreement tests and the baseline for the
+//! `linalg_kernels` bench and `scec bench` trajectory.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// Minimum number of scalar multiply-adds before a kernel considers
+/// splitting work across threads. Below this, thread spawn/join overhead
+/// dwarfs the arithmetic.
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Upper bound on worker threads: `available_parallelism`, or 1 when the
+/// `parallel` feature is disabled.
+pub fn max_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Number of threads a kernel performing `work` scalar multiply-adds
+/// should use: 1 below [`PAR_THRESHOLD`], otherwise enough bands to give
+/// each thread at least one threshold's worth of work, capped by
+/// [`max_threads`].
+pub fn threads_for(work: usize) -> usize {
+    if work < PAR_THRESHOLD {
+        return 1;
+    }
+    max_threads().min(work / PAR_THRESHOLD).max(1)
+}
+
+/// Splits `0..n` into `threads` contiguous bands of near-equal size.
+/// Returns `(start, end)` pairs; empty bands are skipped.
+fn bands(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        if len > 0 {
+            out.push((start, start + len));
+            start += len;
+        }
+    }
+    out
+}
+
+/// Maps `f` over `0..n`, collecting results in order, fanning bands out
+/// across up to `threads` scoped threads.
+///
+/// With `threads <= 1` (or a single band) this is a plain serial loop —
+/// the degradation path for one core or `--no-default-features`.
+pub fn par_map_collect<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let bands = bands(n, threads);
+    if bands.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(bands.len());
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = bands
+                .iter()
+                .map(|&(s, e)| scope.spawn(move || (s..e).map(f).collect::<Vec<T>>()))
+                .collect();
+            for h in handles {
+                chunks.push(h.join().expect("kernel worker panicked"));
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Runs `f(first_row, band)` over disjoint row bands of a row-major
+/// buffer, in parallel across up to `threads` scoped threads.
+///
+/// `data.len()` must be a multiple of `cols`; each band is a contiguous
+/// run of whole rows, so workers never alias.
+pub fn for_row_bands<F, W>(data: &mut [F], cols: usize, threads: usize, f: W)
+where
+    F: Send,
+    W: Fn(usize, &mut [F]) + Sync,
+{
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    debug_assert_eq!(data.len() % cols, 0);
+    let rows = data.len() / cols;
+    let bands = bands(rows, threads);
+    if bands.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut handles = Vec::with_capacity(bands.len());
+            for &(s, e) in &bands {
+                let (band, tail) = rest.split_at_mut((e - s) * cols);
+                rest = tail;
+                let f = &f;
+                handles.push(scope.spawn(move || f(s, band)));
+            }
+            for h in handles {
+                h.join().expect("kernel worker panicked");
+            }
+        });
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        f(0, data);
+    }
+}
+
+/// Edge length of the square tiles used by the blocked transpose: 32×32
+/// `u64`-sized entries is two 4 KiB pages — well inside L1 for both the
+/// read and the write tile.
+pub(crate) const TRANSPOSE_TILE: usize = 32;
+
+/// Reference matrix product: the pre-kernel i-k-j triple loop with one
+/// reduction per multiply. Kept as the agreement-test oracle and the
+/// bench baseline.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `a.ncols() != b.nrows()`.
+pub fn matmul_naive<F: Scalar>(a: &Matrix<F>, b: &Matrix<F>) -> Result<Matrix<F>> {
+    if a.ncols() != b.nrows() {
+        return Err(Error::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (rows, inner, cols) = (a.nrows(), a.ncols(), b.ncols());
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for k in 0..inner {
+            let f = a.at(i, k);
+            if f.is_zero() {
+                continue;
+            }
+            let rrow = b.row(k);
+            let orow: &mut [F] = out.row_mut(i);
+            for (o, &v) in orow.iter_mut().zip(rrow) {
+                *o = o.add(f.mul(v));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reference matrix–vector product (per-element `add(mul(..))`).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `a.ncols() != x.len()`.
+pub fn matvec_naive<F: Scalar>(a: &Matrix<F>, x: &Vector<F>) -> Result<Vector<F>> {
+    if a.ncols() != x.len() {
+        return Err(Error::ShapeMismatch {
+            op: "matvec",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut out = Vec::with_capacity(a.nrows());
+    for i in 0..a.nrows() {
+        out.push(dot_naive(a.row(i), x.as_slice()));
+    }
+    Ok(Vector::from_vec(out))
+}
+
+/// Reference inner product (per-element `add(mul(..))`).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn dot_naive<F: Scalar>(a: &[F], b: &[F]) -> F {
+    assert_eq!(a.len(), b.len(), "dot_naive length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(F::zero(), |acc, (&x, &y)| acc.add(x.mul(y)))
+}
+
+/// Reference strided transpose (the pre-kernel column-walking loop).
+pub fn transpose_naive<F: Scalar>(m: &Matrix<F>) -> Matrix<F> {
+    let (rows, cols) = m.shape();
+    let mut t = Matrix::zeros(cols, rows);
+    for i in 0..rows {
+        for j in 0..cols {
+            let v = m.at(i, j);
+            *t.entry_mut(j, i) = v;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp61;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bands_cover_range_without_overlap() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let bs = bands(n, threads);
+                let mut next = 0;
+                for (s, e) in bs {
+                    assert_eq!(s, next);
+                    assert!(e > s);
+                    next = e;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_for_respects_threshold_and_cap() {
+        assert_eq!(threads_for(0), 1);
+        assert_eq!(threads_for(PAR_THRESHOLD - 1), 1);
+        assert!(threads_for(PAR_THRESHOLD) >= 1);
+        assert!(threads_for(usize::MAX / 2) <= max_threads());
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        for threads in [1usize, 2, 5] {
+            let got = par_map_collect(100, threads, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(par_map_collect(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn for_row_bands_touches_every_row_once() {
+        for threads in [1usize, 2, 3, 7] {
+            let mut data = vec![0usize; 9 * 4];
+            let counter = AtomicUsize::new(0);
+            for_row_bands(&mut data, 4, threads, |first_row, band| {
+                counter.fetch_add(band.len() / 4, Ordering::SeqCst);
+                for (r, row) in band.chunks_mut(4).enumerate() {
+                    for v in row.iter_mut() {
+                        *v = first_row + r + 1;
+                    }
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 9);
+            for r in 0..9 {
+                assert!(data[r * 4..(r + 1) * 4].iter().all(|&v| v == r + 1));
+            }
+        }
+        // Degenerate shapes are no-ops.
+        for_row_bands(&mut [] as &mut [usize], 4, 2, |_, _| panic!("no rows"));
+        for_row_bands(&mut [1usize], 0, 2, |_, _| panic!("no cols"));
+    }
+
+    #[test]
+    fn naive_kernels_agree_with_routed_paths() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = Matrix::<Fp61>::random(17, 23, &mut rng);
+        let b = Matrix::<Fp61>::random(23, 11, &mut rng);
+        let x = Vector::<Fp61>::random(23, &mut rng);
+        assert_eq!(matmul_naive(&a, &b).unwrap(), a.matmul(&b).unwrap());
+        assert_eq!(matvec_naive(&a, &x).unwrap(), a.matvec(&x).unwrap());
+        assert_eq!(transpose_naive(&a), a.transpose());
+        assert!(matmul_naive(&a, &a).is_err());
+        assert!(matvec_naive(&b, &x).is_err());
+    }
+}

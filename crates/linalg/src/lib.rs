@@ -38,6 +38,7 @@ pub mod error;
 pub mod fp;
 pub mod fp_generic;
 pub mod gauss;
+pub mod kernels;
 pub mod lu;
 pub mod matrix;
 pub mod scalar;

@@ -89,16 +89,17 @@ impl<F: Scalar> Lu<F> {
             }
             let pivot = packed.at(k, k);
             let inv = pivot.inv().expect("non-zero pivot");
+            // Copy the pivot row's trailing block once so the update can
+            // run on the fused slice kernel (disjoint borrows).
+            let pivot_tail: Vec<F> = packed.row(k)[k + 1..].to_vec();
             for r in (k + 1)..n {
                 let factor = packed.at(r, k).mul(inv);
                 packed.set(r, k, factor)?; // store L multiplier in place
                 if factor.is_zero() {
                     continue;
                 }
-                for c in (k + 1)..n {
-                    let v = packed.at(r, c).sub(factor.mul(packed.at(k, c)));
-                    packed.set(r, c, v)?;
-                }
+                let row = packed.row_mut(r);
+                F::fused_submul(&mut row[k + 1..], factor, &pivot_tail);
             }
         }
         Ok(Lu {

@@ -6,6 +6,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Axis, Error, Result};
+use crate::kernels;
 use crate::scalar::Scalar;
 use crate::vector::Vector;
 
@@ -241,12 +242,25 @@ impl<F: Scalar> Matrix<F> {
         )
     }
 
-    /// The transpose.
+    /// The transpose, computed tile-by-tile.
+    ///
+    /// A naive transpose walks one side with stride `cols`, missing cache
+    /// on every element once the matrix outgrows L1. Processing square
+    /// [`kernels::TRANSPOSE_TILE`]-sized tiles keeps both the read and the
+    /// write window resident regardless of the matrix shape.
     pub fn transpose(&self) -> Matrix<F> {
-        let mut t = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+        const TILE: usize = kernels::TRANSPOSE_TILE;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut t = Matrix::zeros(cols, rows);
+        for bi in (0..rows).step_by(TILE) {
+            let bi_end = (bi + TILE).min(rows);
+            for bj in (0..cols).step_by(TILE) {
+                let bj_end = (bj + TILE).min(cols);
+                for i in bi..bi_end {
+                    for j in bj..bj_end {
+                        t.data[j * rows + i] = self.data[i * cols + j];
+                    }
+                }
             }
         }
         t
@@ -254,10 +268,35 @@ impl<F: Scalar> Matrix<F> {
 
     /// Matrix product `self · rhs`.
     ///
+    /// Routed through the fused kernels: over `Fp61` the inner dimension
+    /// is folded with lazy reduction ([`Scalar::dot_slices`]), and large
+    /// products are row-banded across threads (see [`kernels`]). Results
+    /// are identical to the naive reference — exactly over finite fields,
+    /// bitwise over `f64`.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] when `self.ncols() != rhs.nrows()`.
     pub fn matmul(&self, rhs: &Matrix<F>) -> Result<Matrix<F>> {
+        self.matmul_with_threads(
+            rhs,
+            kernels::threads_for(self.rows * self.cols * rhs.cols.max(1)),
+        )
+    }
+
+    /// [`Matrix::matmul`] pinned to the single-threaded kernel path.
+    ///
+    /// Used by benches to separate the lazy-reduction win from the
+    /// parallel win; results are identical to [`Matrix::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `self.ncols() != rhs.nrows()`.
+    pub fn matmul_serial(&self, rhs: &Matrix<F>) -> Result<Matrix<F>> {
+        self.matmul_with_threads(rhs, 1)
+    }
+
+    fn matmul_with_threads(&self, rhs: &Matrix<F>, threads: usize) -> Result<Matrix<F>> {
         if self.cols != rhs.rows {
             return Err(Error::ShapeMismatch {
                 op: "matmul",
@@ -265,25 +304,47 @@ impl<F: Scalar> Matrix<F> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams over rhs rows for cache friendliness.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a.is_zero() {
-                    continue;
+        let (rows, inner, cols) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![F::zero(); rows * cols];
+        if F::prefers_dot_matmul() && inner > 0 {
+            // Dot formulation: transpose rhs once (blocked, O(inner·cols))
+            // so every output entry is a contiguous dot, letting
+            // dot_slices amortize reductions across the inner dimension.
+            let rt = rhs.transpose();
+            kernels::for_row_bands(&mut out, cols.max(1), threads, |first_row, band| {
+                for (local, orow) in band.chunks_mut(cols.max(1)).enumerate() {
+                    let arow = self.row(first_row + local);
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = F::dot_slices(arow, rt.row(j));
+                    }
                 }
-                let rrow: &[F] = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow: &mut [F] = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o = o.add(a.mul(b));
+            });
+        } else {
+            // i-k-j loop order: streams over rhs rows for cache
+            // friendliness and skips zero coefficients (the structured 0/1
+            // encoding matrices are mostly zeros).
+            kernels::for_row_bands(&mut out, cols.max(1), threads, |first_row, band| {
+                for (local, orow) in band.chunks_mut(cols.max(1)).enumerate() {
+                    let i = first_row + local;
+                    for k in 0..inner {
+                        let a = self.data[i * inner + k];
+                        if a.is_zero() {
+                            continue;
+                        }
+                        F::fused_muladd(orow, a, rhs.row(k));
+                    }
                 }
-            }
+            });
         }
-        Ok(out)
+        Ok(Matrix {
+            rows,
+            cols,
+            data: out,
+        })
     }
 
-    /// Matrix–vector product `self · x`.
+    /// Matrix–vector product `self · x`, one fused dot per row,
+    /// row-banded across threads when large.
     ///
     /// # Errors
     ///
@@ -296,16 +357,36 @@ impl<F: Scalar> Matrix<F> {
                 rhs: (x.len(), 1),
             });
         }
-        let mut out = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let mut acc = F::zero();
-            for (&a, &b) in row.iter().zip(x.as_slice()) {
-                acc = acc.add(a.mul(b));
-            }
-            out.push(acc);
-        }
+        let threads = kernels::threads_for(self.rows * self.cols);
+        let xs = x.as_slice();
+        let out = kernels::par_map_collect(self.rows, threads, |i| F::dot_slices(self.row(i), xs));
         Ok(Vector::from_vec(out))
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · u` without materializing
+    /// the transpose: accumulates `u[i] · row_i` with the fused kernel.
+    ///
+    /// This is the Freivalds-key precomputation (`uᵀA`) in `scec-core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `self.nrows() != u.len()`.
+    pub fn tr_matvec(&self, u: &Vector<F>) -> Result<Vector<F>> {
+        if self.rows != u.len() {
+            return Err(Error::ShapeMismatch {
+                op: "tr_matvec",
+                lhs: self.shape(),
+                rhs: (u.len(), 1),
+            });
+        }
+        let mut acc = vec![F::zero(); self.cols];
+        for (i, &ui) in u.as_slice().iter().enumerate() {
+            if ui.is_zero() {
+                continue;
+            }
+            F::fused_muladd(&mut acc, ui, self.row(i));
+        }
+        Ok(Vector::from_vec(acc))
     }
 
     /// Entry-wise sum `self + rhs`.
@@ -518,9 +599,46 @@ impl<F: Scalar> Matrix<F> {
                 &head[source * self.cols..(source + 1) * self.cols],
             )
         };
-        for (ti, &si) in t.iter_mut().zip(s) {
-            *ti = ti.sub(factor.mul(si));
-        }
+        F::fused_submul(t, factor, s);
+    }
+
+    /// Eliminates column `pc` from every row below `pr`: for each row
+    /// `r > pr` with a non-zero entry `v` at column `pc`, applies
+    /// `row[r] -= (v · inv) · row[pr]` and writes an exact zero at
+    /// `(r, pc)`. `inv` must be the inverse of the pivot `(pr, pc)`.
+    ///
+    /// This is the forward-elimination inner loop of [`crate::gauss`],
+    /// fused ([`Scalar::fused_submul`]) and row-banded across threads when
+    /// the trailing block is large.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pr >= self.nrows()` or `pc >= self.ncols()`.
+    pub fn eliminate_below(&mut self, pr: usize, pc: usize, inv: F) {
+        assert!(pr < self.rows && pc < self.cols, "pivot out of bounds");
+        let cols = self.cols;
+        let (head, tail) = self.data.split_at_mut((pr + 1) * cols);
+        let pivot_row: &[F] = &head[pr * cols..(pr + 1) * cols];
+        let below_rows = tail.len() / cols;
+        let threads = kernels::threads_for(below_rows * cols);
+        kernels::for_row_bands(tail, cols, threads, |_, band| {
+            for row in band.chunks_mut(cols) {
+                let v = row[pc];
+                if v.is_zero() {
+                    continue;
+                }
+                F::fused_submul(row, v.mul(inv), pivot_row);
+                // Force exact zero to keep f64 echelon clean.
+                row[pc] = F::zero();
+            }
+        });
+    }
+
+    /// Mutable access to one entry (crate-internal; bounds unchecked
+    /// beyond debug assertions in callers).
+    #[inline]
+    pub(crate) fn entry_mut(&mut self, row: usize, col: usize) -> &mut F {
+        &mut self.data[row * self.cols + col]
     }
 
     /// Scales row `i` by `factor` in place.
@@ -782,6 +900,71 @@ mod tests {
             seen.insert(v.residue());
         }
         assert!(seen.len() > 15);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_past_tile_size() {
+        // 45x70 straddles tile boundaries (TRANSPOSE_TILE = 32) with
+        // ragged edge tiles in both dimensions.
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = Matrix::<Fp61>::random(45, 70, &mut rng);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (70, 45));
+        for i in 0..45 {
+            for j in 0..70 {
+                assert_eq!(t.at(j, i), m.at(i, j));
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_serial_and_parallel_agree() {
+        let mut rng = StdRng::seed_from_u64(22);
+        // Big enough to clear PAR_THRESHOLD so matmul takes the banded path.
+        let a = Matrix::<Fp61>::random(40, 64, &mut rng);
+        let b = Matrix::<Fp61>::random(64, 33, &mut rng);
+        assert_eq!(a.matmul(&b).unwrap(), a.matmul_serial(&b).unwrap());
+
+        let af = Matrix::<f64>::random(40, 64, &mut rng);
+        let bf = Matrix::<f64>::random(64, 33, &mut rng);
+        // f64 must agree bitwise: per-row op order is identical.
+        assert_eq!(af.matmul(&bf).unwrap(), af.matmul_serial(&bf).unwrap());
+    }
+
+    #[test]
+    fn tr_matvec_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::<Fp61>::random(37, 19, &mut rng);
+        let u = Vector::<Fp61>::random(37, &mut rng);
+        let direct = a.tr_matvec(&u).unwrap();
+        let via_transpose = a.transpose().matvec(&u).unwrap();
+        assert_eq!(direct, via_transpose);
+        assert!(a.tr_matvec(&Vector::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn eliminate_below_matches_row_axpy_loop() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let src = Matrix::<Fp61>::random(12, 9, &mut rng);
+        let inv = src.at(2, 3).inv().unwrap();
+
+        let mut fused = src.clone();
+        fused.eliminate_below(2, 3, inv);
+
+        let mut reference = src.clone();
+        for r in 3..12 {
+            let factor = reference.at(r, 3).mul(inv);
+            if !factor.is_zero() {
+                reference.row_axpy(r, 2, factor);
+            }
+            reference.set(r, 3, Fp61::zero()).unwrap();
+        }
+        assert_eq!(fused, reference);
+        // Rows at or above the pivot are untouched.
+        for r in 0..3 {
+            assert_eq!(fused.row(r), src.row(r));
+        }
     }
 
     #[test]

@@ -77,6 +77,63 @@ pub trait Scalar: Copy + Clone + Debug + PartialEq + Send + Sync + 'static {
     fn div(self, rhs: Self) -> Option<Self> {
         rhs.inv().map(|i| self.mul(i))
     }
+
+    // ------------------------------------------------------------------
+    // Fused slice kernels.
+    //
+    // Stable Rust has no impl specialization, so the kernel dispatch point
+    // is the trait itself: the default bodies below are the naive
+    // reference (one reduction per multiply), and fields whose structure
+    // admits something faster override them. `Fp61` overrides all three
+    // with lazy-reduction code (see `kernels` module docs for the
+    // invariant). Every hot path in this crate — `matmul`, `matvec`,
+    // Gaussian elimination, `Vector::dot` — is written against these
+    // hooks, so a new field gets correct (if unspectacular) behavior for
+    // free and can opt into a fast path without touching the callers.
+    // ------------------------------------------------------------------
+
+    /// Inner product of two equal-length slices.
+    ///
+    /// The default accumulates `add(mul(..))` element by element; exact
+    /// fields with reduction headroom should override with a fused kernel.
+    fn dot_slices(a: &[Self], b: &[Self]) -> Self {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .fold(Self::zero(), |acc, (&x, &y)| acc.add(x.mul(y)))
+    }
+
+    /// Fused multiply-add over slices: `acc[i] += factor · rhs[i]`.
+    ///
+    /// This is the inner update of the i-k-j `matmul` loop and of
+    /// transposed mat-vec accumulation.
+    fn fused_muladd(acc: &mut [Self], factor: Self, rhs: &[Self]) {
+        debug_assert_eq!(acc.len(), rhs.len());
+        for (o, &r) in acc.iter_mut().zip(rhs) {
+            *o = o.add(factor.mul(r));
+        }
+    }
+
+    /// Fused multiply-subtract over slices: `target[i] -= factor · source[i]`.
+    ///
+    /// This is the elementary row operation of Gaussian elimination
+    /// ([`Matrix::row_axpy`](crate::Matrix::row_axpy) routes here).
+    fn fused_submul(target: &mut [Self], factor: Self, source: &[Self]) {
+        debug_assert_eq!(target.len(), source.len());
+        for (t, &s) in target.iter_mut().zip(source) {
+            *t = t.sub(factor.mul(s));
+        }
+    }
+
+    /// Whether `matmul` should use the transpose-then-dot formulation.
+    ///
+    /// Fields whose [`dot_slices`](Scalar::dot_slices) amortizes reductions
+    /// across the inner dimension (e.g. `Fp61`) answer `true`; for plain
+    /// floating point the streaming i-k-j loop is faster, so the default
+    /// is `false`.
+    fn prefers_dot_matmul() -> bool {
+        false
+    }
 }
 
 /// Tolerance under which an `f64` is considered zero by the elimination

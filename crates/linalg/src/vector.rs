@@ -163,11 +163,8 @@ impl<F: Scalar> Vector<F> {
                 rhs: (rhs.len(), 1),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .fold(F::zero(), |acc, (&a, &b)| acc.add(a.mul(b))))
+        // Fused kernel: lazy reduction over Fp61, naive fold elsewhere.
+        Ok(F::dot_slices(&self.data, &rhs.data))
     }
 
     /// Concatenates two vectors (used to stack per-device intermediate

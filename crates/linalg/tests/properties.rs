@@ -207,6 +207,105 @@ proptest! {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Kernel routing: the lazy-reduction / banded paths must agree with
+    // the naive references — exactly over Fp61, bitwise over f64 — on
+    // every shape, including empty, 1×n, n×1, and inner dimensions that
+    // straddle the LAZY_BLOCK = 63 reduction boundary.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn kernel_matmul_matches_naive_fp61(
+        seed in any::<u64>(),
+        rows in 0usize..12,
+        inner in 0usize..70,
+        cols in 0usize..12,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use scec_linalg::kernels;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(rows, inner, &mut rng);
+        let b = Matrix::<Fp61>::random(inner, cols, &mut rng);
+        let naive = kernels::matmul_naive(&a, &b).unwrap();
+        prop_assert_eq!(&a.matmul(&b).unwrap(), &naive);
+        prop_assert_eq!(&a.matmul_serial(&b).unwrap(), &naive);
+    }
+
+    #[test]
+    fn kernel_matmul_matches_naive_f64_bitwise(
+        seed in any::<u64>(),
+        rows in 0usize..10,
+        inner in 0usize..40,
+        cols in 0usize..10,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use scec_linalg::kernels;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<f64>::random(rows, inner, &mut rng);
+        let b = Matrix::<f64>::random(inner, cols, &mut rng);
+        let naive = kernels::matmul_naive(&a, &b).unwrap();
+        // PartialEq on f64 entries: bitwise-equal results (no NaNs here).
+        prop_assert_eq!(&a.matmul(&b).unwrap(), &naive);
+        prop_assert_eq!(&a.matmul_serial(&b).unwrap(), &naive);
+    }
+
+    #[test]
+    fn kernel_matvec_and_dot_match_naive(
+        seed in any::<u64>(),
+        rows in 0usize..16,
+        cols in 0usize..200,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use scec_linalg::kernels;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(rows, cols, &mut rng);
+        let x = Vector::<Fp61>::random(cols, &mut rng);
+        prop_assert_eq!(
+            a.matvec(&x).unwrap(),
+            kernels::matvec_naive(&a, &x).unwrap()
+        );
+        let y = Vector::<Fp61>::random(cols, &mut rng);
+        prop_assert_eq!(
+            x.dot(&y).unwrap(),
+            kernels::dot_naive(x.as_slice(), y.as_slice())
+        );
+        let xf = Vector::<f64>::random(cols, &mut rng);
+        let yf = Vector::<f64>::random(cols, &mut rng);
+        prop_assert_eq!(
+            xf.dot(&yf).unwrap(),
+            kernels::dot_naive(xf.as_slice(), yf.as_slice())
+        );
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive(
+        seed in any::<u64>(),
+        rows in 1usize..70,
+        cols in 1usize..70,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use scec_linalg::kernels;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::<Fp61>::random(rows, cols, &mut rng);
+        prop_assert_eq!(m.transpose(), kernels::transpose_naive(&m));
+    }
+
+    #[test]
+    fn tr_matvec_matches_transpose_then_matvec(
+        seed in any::<u64>(),
+        rows in 1usize..20,
+        cols in 1usize..20,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(rows, cols, &mut rng);
+        let u = Vector::<Fp61>::random(rows, &mut rng);
+        prop_assert_eq!(
+            a.tr_matvec(&u).unwrap(),
+            a.transpose().matvec(&u).unwrap()
+        );
+    }
+
     #[test]
     fn f64_solve_roundtrip_is_accurate(seed in any::<u64>()) {
         use rand::{rngs::StdRng, SeedableRng};

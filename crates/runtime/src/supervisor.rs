@@ -287,6 +287,10 @@ struct PhysicalDevice {
 }
 
 /// Per-logical-device Freivalds check over its coded payload.
+///
+/// Key generation (`uᵀ·B_jT` via `Matrix::tr_matvec`) and the per-query
+/// verification dots both ride the fused lazy-reduction kernels in
+/// `scec-linalg`, so the check costs two amortized inner products.
 struct DeviceCheck<F: Scalar> {
     key: IntegrityKey<F>,
     rows: Vec<usize>,
