@@ -71,6 +71,28 @@ fn bench_transpose(c: &mut Criterion) {
     group.finish();
 }
 
+/// Block-size sweep for the tiled transpose: measures
+/// `kernels::transpose_blocked` across candidate tiles so
+/// `kernels::TRANSPOSE_TILE` can be pinned to the empirical winner (the
+/// `tile_0` row is the unblocked column-walk baseline).
+fn bench_transpose_tile_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp61_transpose_tile_sweep");
+    group.sample_size(20);
+    for &n in &[512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(36);
+        let a = Matrix::<Fp61>::random(n, n, &mut rng);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        for &tile in &[0usize, 8, 16, 32, 64, 128] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("tile_{tile}"), n),
+                &tile,
+                |bch, &tile| bch.iter(|| kernels::transpose_blocked(black_box(&a), tile)),
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_gauss(c: &mut Criterion) {
     let mut group = c.benchmark_group("fp61_gauss");
     group.sample_size(10);
@@ -92,6 +114,7 @@ criterion_group!(
     bench_matmul_ablation,
     bench_matvec_ablation,
     bench_transpose,
+    bench_transpose_tile_sweep,
     bench_gauss
 );
 criterion_main!(benches);

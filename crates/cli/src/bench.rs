@@ -22,8 +22,11 @@ use std::time::Instant;
 
 use rand::{rngs::StdRng, SeedableRng};
 
-use scec_coding::{decode, CodeDesign, Encoder};
+use scec_allocation::EdgeFleet;
+use scec_coding::{decode, CodeDesign, DecodePlan, Encoder};
+use scec_core::{AllocationStrategy, ScecSystem};
 use scec_linalg::{gauss, kernels, Fp61, Matrix, Vector};
+use scec_runtime::{LocalCluster, QueryPipeline};
 
 use crate::error::{Error, Result};
 
@@ -139,6 +142,55 @@ fn run_suite(iters: usize, quick: bool) -> Vec<CaseResult> {
         let y = decode::decode_fast(&design, &decode::stack_partials(&partials)).expect("decode");
         std::hint::black_box(y);
     });
+
+    // Query throughput over a live threaded cluster: the same query
+    // stream served sequentially vs pipelined at window depths 4 and 16.
+    // Per-query work is kept small so the per-round-trip synchronization
+    // (channel wakeups, decode stalls) is what is being measured — the
+    // overhead pipelining exists to hide. `ops` is the query count, so
+    // ns_per_op reads as ns per query and the speedup is the ratio of
+    // the sequential to the pipelined ns_per_op.
+    let (tm, tl, tq) = if quick { (16, 32, 8) } else { (48, 96, 32) };
+    {
+        let ta = Matrix::<Fp61>::random(tm, tl, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.3, 1.6, 2.0, 2.5]).expect("valid costs");
+        let sys = ScecSystem::build(ta, fleet, AllocationStrategy::Mcscec, &mut rng)
+            .expect("system build");
+        let cluster = LocalCluster::launch(&sys, &mut rng).expect("cluster launch");
+        let queries: Vec<Vector<Fp61>> = (0..tq).map(|_| Vector::random(tl, &mut rng)).collect();
+        case("cluster_query_sequential", tm, tq, &mut || {
+            for q in &queries {
+                std::hint::black_box(cluster.query(q).expect("query"));
+            }
+        });
+        case("cluster_query_pipelined_w4", tm, tq, &mut || {
+            std::hint::black_box(QueryPipeline::run(&cluster, 4, &queries).expect("pipeline"));
+        });
+        case("cluster_query_pipelined_w16", tm, tq, &mut || {
+            std::hint::black_box(QueryPipeline::run(&cluster, 16, &queries).expect("pipeline"));
+        });
+        cluster.shutdown();
+    }
+
+    // General (Gaussian) decode with and without the cached DecodePlan:
+    // per-query elimination re-solves `B z = BTx` from scratch; the plan
+    // factorizes `B` once and replays O(n²) triangular solves.
+    let (dm, dr) = if quick { (28, 4) } else { (112, 16) };
+    {
+        let ddesign = CodeDesign::new(dm, dr).expect("valid design");
+        let dn = ddesign.total_rows();
+        let db = ddesign.encoding_matrix::<Fp61>();
+        let dbtx = Vector::<Fp61>::random(dn, &mut rng);
+        let mut plan = DecodePlan::structured(&ddesign).expect("plan");
+        case("fp61_decode_general_gauss", dn, dn * dn * dn, &mut || {
+            std::hint::black_box(
+                decode::decode_general(&ddesign, &db, &dbtx).expect("general decode"),
+            );
+        });
+        case("fp61_decode_general_planned", dn, dn * dn * dn, &mut || {
+            std::hint::black_box(plan.decode(&dbtx).expect("planned decode"));
+        });
+    }
     results
 }
 
@@ -297,6 +349,11 @@ mod tests {
         assert!(json.contains("\"schema\": \"scec-bench-v1\""));
         assert!(json.contains("\"fp61_matmul_naive\""));
         assert!(json.contains("\"scec_encode_query_decode\""));
+        assert!(json.contains("\"cluster_query_sequential\""));
+        assert!(json.contains("\"cluster_query_pipelined_w4\""));
+        assert!(json.contains("\"cluster_query_pipelined_w16\""));
+        assert!(json.contains("\"fp61_decode_general_gauss\""));
+        assert!(json.contains("\"fp61_decode_general_planned\""));
         assert!(json.contains("\"parallel_feature\""));
         // Balanced braces and brackets — cheap well-formedness check in
         // lieu of a JSON parser dependency.

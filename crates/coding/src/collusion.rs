@@ -388,9 +388,12 @@ impl<F: Scalar> TPrivateCode<F> {
         let w_noise = btx.slice(0, r)?;
         let rx = self.mixer_lu.solve(&w_noise)?;
         let vals = btx.as_slice();
+        let rx_vals = rx.as_slice();
         let mut y = Vec::with_capacity(self.m);
         for p in 0..self.m {
-            let correction = Vector::from_vec(self.data_coeffs.row(p).to_vec()).dot(&rx)?;
+            // Fused dot over the coefficient row: no per-row allocation,
+            // lazy reduction over Fp61.
+            let correction = F::dot_slices(self.data_coeffs.row(p), rx_vals);
             y.push(vals[r + p].sub(correction));
         }
         Ok(Vector::from_vec(y))

@@ -59,6 +59,7 @@ pub mod decode;
 pub mod design;
 pub mod encode;
 pub mod error;
+pub mod plan;
 pub mod straggler;
 pub mod verify;
 pub mod wire;
@@ -67,4 +68,5 @@ pub use collusion::{TPrivateCode, TPrivateShare, TPrivateStore};
 pub use design::CodeDesign;
 pub use encode::{DeviceShare, EncodedStore, Encoder};
 pub use error::{Error, Result};
+pub use plan::DecodePlan;
 pub use straggler::{StragglerCode, StragglerShare, StragglerStore, TaggedResponse};

@@ -1,0 +1,261 @@
+//! Cached decode plans: factorize the decode operator once, solve per
+//! query in O(n²).
+//!
+//! [`decode_general`](crate::decode::decode_general) re-runs a full
+//! Gaussian elimination of the encoding matrix `B` for **every** query,
+//! even though `B` is fixed for the lifetime of a [`CodeDesign`]. For the
+//! paper's workload — a sustained stream of queries `x` against one coded
+//! store — that is O(n³) of redundant elimination per query.
+//!
+//! A [`DecodePlan`] pays the elimination once: it PLU-factorizes `B`
+//! through the reusable [`scec_linalg::gauss::factorize`] API at
+//! construction, then answers each query with two O(n²) triangular solves
+//! into buffers owned by the plan, so the steady state performs **zero
+//! allocations per decode** (the returned vector is the only allocation,
+//! and [`DecodePlan::decode_into`] eliminates even that).
+//!
+//! Plans are snapshots of a coding configuration. Whenever the encoding
+//! matrix changes — repair, re-allocation, a new design — the plan is
+//! stale and must be rebuilt; see the "Query pipelining & decode plans"
+//! section of `DESIGN.md` for the invalidation rules the runtime follows.
+
+use scec_linalg::{gauss, lu::Lu, Matrix, Scalar, Vector};
+
+use crate::design::CodeDesign;
+use crate::error::{Error, Result};
+
+/// A factorized decoder for a fixed `(design, B)` pair.
+///
+/// Construction costs one O(n³) elimination; every subsequent
+/// [`decode`](Self::decode) is two O(n²) triangular solves reusing the
+/// plan's scratch buffers.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use scec_coding::{decode, design::CodeDesign, plan::DecodePlan};
+/// use scec_linalg::{Fp61, Matrix, Vector};
+///
+/// let design = CodeDesign::new(4, 2)?;
+/// let b = design.encoding_matrix::<Fp61>();
+/// let mut plan = DecodePlan::new(&design, &b)?;
+/// let mut rng = StdRng::seed_from_u64(5);
+/// for _ in 0..3 {
+///     let btx = Vector::<Fp61>::random(design.total_rows(), &mut rng);
+///     // Same answer as the per-query elimination, at O(n²) per call.
+///     assert_eq!(plan.decode(&btx)?, decode::decode_general(&design, &b, &btx)?);
+/// }
+/// # Ok::<(), scec_coding::Error>(())
+/// ```
+pub struct DecodePlan<F> {
+    m: usize,
+    n: usize,
+    lu: Lu<F>,
+    /// Forward-substitution intermediate, reused across decodes.
+    scratch: Vec<F>,
+    /// Full `T x` solution, reused across decodes (first `m` entries are
+    /// the answer).
+    solved: Vec<F>,
+}
+
+impl<F: Scalar> std::fmt::Debug for DecodePlan<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodePlan")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+impl<F: Scalar> DecodePlan<F> {
+    /// Builds a plan by factorizing the encoding matrix `b` for `design`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::PayloadShape`] when `b` is not `(m+r) × (m+r)`;
+    /// * [`Error::Linalg`] (singular) when `b` is not full rank — the
+    ///   same availability failure [`decode_general`] reports, detected
+    ///   once up front instead of on every query.
+    ///
+    /// [`decode_general`]: crate::decode::decode_general
+    pub fn new(design: &CodeDesign, b: &Matrix<F>) -> Result<Self> {
+        let n = design.total_rows();
+        if b.shape() != (n, n) {
+            return Err(Error::PayloadShape {
+                what: "encoding matrix",
+                expected: (n, n),
+                got: b.shape(),
+            });
+        }
+        let lu = gauss::factorize(b)?;
+        Ok(DecodePlan {
+            m: design.data_rows(),
+            n,
+            lu,
+            scratch: vec![F::zero(); n],
+            solved: vec![F::zero(); n],
+        })
+    }
+
+    /// Builds a plan for the design's own structured encoding matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodePlan::new`] failures (the structured matrix of
+    /// Eq. (8) is always full rank, so this only fails on pathological
+    /// field behavior).
+    pub fn structured(design: &CodeDesign) -> Result<Self> {
+        Self::new(design, &design.encoding_matrix::<F>())
+    }
+
+    /// The number of data rows `m` recovered per decode.
+    pub fn data_rows(&self) -> usize {
+        self.m
+    }
+
+    /// The stacked-payload length `m + r` expected by [`decode`](Self::decode).
+    pub fn payload_len(&self) -> usize {
+        self.n
+    }
+
+    /// Recovers `y = Ax` from the stacked intermediate results `B T x`.
+    ///
+    /// Exactly the answer [`decode_general`](crate::decode::decode_general)
+    /// produces for the same `(design, B, btx)`, at O(n²) per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PayloadShape`] when `btx.len() != m + r`.
+    pub fn decode(&mut self, btx: &Vector<F>) -> Result<Vector<F>> {
+        self.solve_payload(btx.as_slice())?;
+        Ok(Vector::from_vec(self.solved[..self.m].to_vec()))
+    }
+
+    /// Allocation-free decode: writes `y = Ax` into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PayloadShape`] when `btx.len() != m + r` or
+    /// `out.len() != m`.
+    pub fn decode_into(&mut self, btx: &[F], out: &mut [F]) -> Result<()> {
+        if out.len() != self.m {
+            return Err(Error::PayloadShape {
+                what: "decode output buffer",
+                expected: (self.m, 1),
+                got: (out.len(), 1),
+            });
+        }
+        self.solve_payload(btx)?;
+        out.copy_from_slice(&self.solved[..self.m]);
+        Ok(())
+    }
+
+    /// Runs the two triangular solves into `self.solved`.
+    fn solve_payload(&mut self, btx: &[F]) -> Result<()> {
+        if btx.len() != self.n {
+            return Err(Error::PayloadShape {
+                what: "stacked intermediate results",
+                expected: (self.n, 1),
+                got: (btx.len(), 1),
+            });
+        }
+        self.lu
+            .solve_into(btx, &mut self.scratch, &mut self.solved)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_linalg::Fp61;
+
+    #[test]
+    fn plan_matches_general_decode_structured() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for (m, r) in [(4usize, 2usize), (1, 1), (7, 3), (5, 5)] {
+            let design = CodeDesign::new(m, r).unwrap();
+            let b = design.encoding_matrix::<Fp61>();
+            let mut plan = DecodePlan::new(&design, &b).unwrap();
+            assert_eq!(plan.data_rows(), m);
+            assert_eq!(plan.payload_len(), m + r);
+            for _ in 0..4 {
+                let btx = Vector::<Fp61>::random(m + r, &mut rng);
+                let want = decode::decode_general(&design, &b, &btx).unwrap();
+                assert_eq!(plan.decode(&btx).unwrap(), want, "m={m} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_matches_general_decode_dense() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let design = CodeDesign::new(5, 2).unwrap();
+        let b = crate::verify::densify(&design, &mut rng);
+        let mut plan = DecodePlan::new(&design, &b).unwrap();
+        for _ in 0..4 {
+            let btx = Vector::<Fp61>::random(7, &mut rng);
+            let want = decode::decode_general(&design, &b, &btx).unwrap();
+            assert_eq!(plan.decode(&btx).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn structured_constructor_recovers_ax() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let design = CodeDesign::new(6, 2).unwrap();
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let store = crate::encode::Encoder::new(design.clone())
+            .encode(&a, &mut rng)
+            .unwrap();
+        let partials: Vec<Vector<Fp61>> = store
+            .shares()
+            .iter()
+            .map(|s| s.compute(&x).unwrap())
+            .collect();
+        let btx = decode::stack_partials(&partials);
+        let mut plan = DecodePlan::<Fp61>::structured(&design).unwrap();
+        assert_eq!(plan.decode(&btx).unwrap(), a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn decode_into_avoids_output_allocation() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let design = CodeDesign::new(3, 2).unwrap();
+        let b = design.encoding_matrix::<Fp61>();
+        let mut plan = DecodePlan::new(&design, &b).unwrap();
+        let btx = Vector::<Fp61>::random(5, &mut rng);
+        let want = plan.decode(&btx).unwrap();
+        let mut out = vec![Fp61::new(0); 3];
+        plan.decode_into(btx.as_slice(), &mut out).unwrap();
+        assert_eq!(out.as_slice(), want.as_slice());
+        let mut wrong = vec![Fp61::new(0); 2];
+        assert!(matches!(
+            plan.decode_into(btx.as_slice(), &mut wrong),
+            Err(Error::PayloadShape { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_singular_b() {
+        let design = CodeDesign::new(4, 2).unwrap();
+        assert!(matches!(
+            DecodePlan::new(&design, &Matrix::<f64>::identity(3)),
+            Err(Error::PayloadShape { .. })
+        ));
+        assert!(matches!(
+            DecodePlan::new(&design, &Matrix::<f64>::zeros(6, 6)),
+            Err(Error::Linalg(_))
+        ));
+        let b = design.encoding_matrix::<f64>();
+        let mut plan = DecodePlan::new(&design, &b).unwrap();
+        assert!(matches!(
+            plan.decode(&Vector::<f64>::zeros(3)),
+            Err(Error::PayloadShape { .. })
+        ));
+    }
+}

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
-use scec_coding::{decode, design::CodeDesign, encode::Encoder, verify};
+use scec_coding::{decode, design::CodeDesign, encode::Encoder, plan::DecodePlan, verify};
 use scec_linalg::{Fp61, Matrix, Vector};
 
 /// Strategy over valid (m, r) pairs with bounded size.
@@ -141,6 +141,28 @@ proptest! {
             let coded = stacked.row(r + p);
             let raw = a.row(p);
             prop_assert_ne!(coded, raw, "row {} left unblinded", p);
+        }
+    }
+
+    #[test]
+    fn decode_plan_matches_per_query_elimination(
+        (m, r) in design_params(),
+        seed in any::<u64>(),
+    ) {
+        // The cached LU plan must agree bit-for-bit with the fresh
+        // `gauss::solve`-based elimination on every query, for both the
+        // structured B of Eq. (8) and a dense secure variant — including
+        // the edge shapes (m = 1, r = m) the strategy generates.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = CodeDesign::new(m, r).unwrap();
+        let n = design.total_rows();
+        for b in [design.encoding_matrix::<Fp61>(), verify::densify(&design, &mut rng)] {
+            let mut plan = DecodePlan::new(&design, &b).unwrap();
+            for _ in 0..3 {
+                let btx = Vector::<Fp61>::random(n, &mut rng);
+                let want = decode::decode_general(&design, &b, &btx).unwrap();
+                prop_assert_eq!(plan.decode(&btx).unwrap(), want, "m={} r={}", m, r);
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //! for finite fields and numerically robust for `f64`.
 
 use crate::error::{Error, Result};
+use crate::lu::Lu;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use crate::vector::Vector;
@@ -157,6 +158,25 @@ pub fn solve<F: Scalar>(a: &Matrix<F>, b: &Vector<F>) -> Result<Vector<F>> {
         }
     }
     Ok(Vector::from_vec(x))
+}
+
+/// Factorizes a square system once so that many right-hand sides can be
+/// solved in O(n²) each, instead of re-running the O(n³) elimination of
+/// [`solve`] per call.
+///
+/// This is the entry point for *decode plans*: a coded store answers a
+/// stream of queries against a fixed encoding matrix `B`, so the caller
+/// factors `B` up front and then runs only triangular solves per query.
+/// The factorization agrees with [`solve`] on every right-hand side
+/// (both use partial pivoting over [`Scalar::pivot_weight`]).
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] when `a` is not square;
+/// * [`Error::Empty`] when `a` has no rows;
+/// * [`Error::Singular`] when `a` is (numerically) rank deficient.
+pub fn factorize<F: Scalar>(a: &Matrix<F>) -> Result<Lu<F>> {
+    Lu::factor(a)
 }
 
 /// Solves the (possibly rectangular, possibly underdetermined) system

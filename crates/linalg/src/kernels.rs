@@ -176,10 +176,51 @@ where
     }
 }
 
-/// Edge length of the square tiles used by the blocked transpose: 32×32
-/// `u64`-sized entries is two 4 KiB pages — well inside L1 for both the
-/// read and the write tile.
-pub(crate) const TRANSPOSE_TILE: usize = 32;
+/// Edge length of the square tiles used by the blocked transpose.
+///
+/// Picked empirically from the `fp61_transpose_tile_sweep` bench shapes
+/// (see `crates/bench/benches/linalg_kernels.rs`): on the reference
+/// hardware a 16×16 tile of `u64`-sized entries (2 KiB read + 2 KiB
+/// write window) beat tiles 8/32/64/128 at 512², 1024², and 2048²
+/// (1.66/1.68/5.71 ns per element vs 1.70/2.15/5.83 for the previous
+/// tile of 32), and the write-contiguous inner loop in
+/// [`transpose_blocked`] beat the old read-contiguous order (which
+/// measured 4.78 ns/op at 1024² in `BENCH_2.json`).
+pub(crate) const TRANSPOSE_TILE: usize = 16;
+
+/// Tile-blocked transpose with a caller-chosen tile edge.
+///
+/// Walks square `tile`×`tile` blocks so both the read and the write
+/// window stay cache-resident regardless of matrix shape. Within a block
+/// the inner loop walks *output* rows, making the writes contiguous and
+/// the (prefetch-friendlier) strided accesses reads. `tile == 0` is
+/// treated as an untiled single block. [`Matrix::transpose`] delegates
+/// here with [`TRANSPOSE_TILE`]; the bench sweep calls this directly to
+/// compare tile sizes.
+pub fn transpose_blocked<F: Scalar>(m: &Matrix<F>, tile: usize) -> Matrix<F> {
+    let (rows, cols) = m.shape();
+    let tile = if tile == 0 {
+        rows.max(cols).max(1)
+    } else {
+        tile
+    };
+    let mut t = Matrix::zeros(cols, rows);
+    let src = m.flat();
+    let dst = t.flat_mut();
+    for bj in (0..cols).step_by(tile) {
+        let bj_end = (bj + tile).min(cols);
+        for bi in (0..rows).step_by(tile) {
+            let bi_end = (bi + tile).min(rows);
+            for j in bj..bj_end {
+                let out_row = &mut dst[j * rows..j * rows + rows];
+                for i in bi..bi_end {
+                    out_row[i] = src[i * cols + j];
+                }
+            }
+        }
+    }
+    t
+}
 
 /// Reference matrix product: the pre-kernel i-k-j triple loop with one
 /// reduction per multiply. Kept as the agreement-test oracle and the

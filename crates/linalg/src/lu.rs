@@ -121,33 +121,50 @@ impl<F: Scalar> Lu<F> {
     /// Returns [`Error::ShapeMismatch`] when `b.len() != self.dim()`.
     pub fn solve(&self, b: &Vector<F>) -> Result<Vector<F>> {
         let n = self.dim();
-        if b.len() != n {
+        let mut scratch = vec![F::zero(); n];
+        let mut x = vec![F::zero(); n];
+        self.solve_into(b.as_slice(), &mut scratch, &mut x)?;
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Allocation-free solve for streams of right-hand sides against the
+    /// same factorization: writes the solution of `A·x = b` into `out`,
+    /// using `scratch` for the forward-substitution intermediate. Both
+    /// working slices must have length [`dim`](Self::dim); callers keep
+    /// them across queries so a sustained solve stream performs zero
+    /// allocations. The substitution inner loops run on the fused
+    /// [`Scalar::dot_slices`] kernel, so `Fp61` triangular solves get
+    /// lazy reduction like the dense products do.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShapeMismatch`] when `b`, `scratch`, or `out` is not of
+    ///   length `dim()`;
+    /// * [`Error::Singular`] when a diagonal entry is not invertible
+    ///   (impossible for a factorization produced by [`Lu::factor`]).
+    pub fn solve_into(&self, b: &[F], scratch: &mut [F], out: &mut [F]) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n || scratch.len() != n || out.len() != n {
             return Err(Error::ShapeMismatch {
-                op: "lu_solve",
+                op: "lu_solve_into",
                 lhs: (n, n),
-                rhs: (b.len(), 1),
+                rhs: (b.len().max(scratch.len()).max(out.len()), 1),
             });
         }
         // Forward substitution on P·b with unit-diagonal L.
-        let mut y = vec![F::zero(); n];
         for i in 0..n {
-            let mut acc = b.at(self.perm[i]);
-            for (k, &yk) in y.iter().enumerate().take(i) {
-                acc = acc.sub(self.packed.at(i, k).mul(yk));
-            }
-            y[i] = acc;
+            let row = self.packed.row(i);
+            let acc = F::dot_slices(&row[..i], &scratch[..i]);
+            scratch[i] = b[self.perm[i]].sub(acc);
         }
         // Backward substitution with U.
-        let mut x = vec![F::zero(); n];
         for i in (0..n).rev() {
-            let mut acc = y[i];
-            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
-                acc = acc.sub(self.packed.at(i, k).mul(xk));
-            }
-            let diag = self.packed.at(i, i);
-            x[i] = acc.div(diag).ok_or(Error::Singular)?;
+            let row = self.packed.row(i);
+            let acc = F::dot_slices(&row[i + 1..], &out[i + 1..]);
+            let diag = row[i];
+            out[i] = scratch[i].sub(acc).div(diag).ok_or(Error::Singular)?;
         }
-        Ok(Vector::from_vec(x))
+        Ok(())
     }
 
     /// Solves `A·X = B` column by column.

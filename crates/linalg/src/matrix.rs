@@ -245,25 +245,12 @@ impl<F: Scalar> Matrix<F> {
     /// The transpose, computed tile-by-tile.
     ///
     /// A naive transpose walks one side with stride `cols`, missing cache
-    /// on every element once the matrix outgrows L1. Processing square
-    /// [`kernels::TRANSPOSE_TILE`]-sized tiles keeps both the read and the
+    /// on every element once the matrix outgrows L1. Delegates to
+    /// [`kernels::transpose_blocked`] with the tuned
+    /// [`kernels::TRANSPOSE_TILE`] edge, which keeps both the read and the
     /// write window resident regardless of the matrix shape.
     pub fn transpose(&self) -> Matrix<F> {
-        const TILE: usize = kernels::TRANSPOSE_TILE;
-        let (rows, cols) = (self.rows, self.cols);
-        let mut t = Matrix::zeros(cols, rows);
-        for bi in (0..rows).step_by(TILE) {
-            let bi_end = (bi + TILE).min(rows);
-            for bj in (0..cols).step_by(TILE) {
-                let bj_end = (bj + TILE).min(cols);
-                for i in bi..bi_end {
-                    for j in bj..bj_end {
-                        t.data[j * rows + i] = self.data[i * cols + j];
-                    }
-                }
-            }
-        }
-        t
+        kernels::transpose_blocked(self, kernels::TRANSPOSE_TILE)
     }
 
     /// Matrix product `self · rhs`.
@@ -639,6 +626,18 @@ impl<F: Scalar> Matrix<F> {
     #[inline]
     pub(crate) fn entry_mut(&mut self, row: usize, col: usize) -> &mut F {
         &mut self.data[row * self.cols + col]
+    }
+
+    /// The flat row-major buffer (crate-internal, for kernels).
+    #[inline]
+    pub(crate) fn flat(&self) -> &[F] {
+        &self.data
+    }
+
+    /// Mutable flat row-major buffer (crate-internal, for kernels).
+    #[inline]
+    pub(crate) fn flat_mut(&mut self) -> &mut [F] {
+        &mut self.data
     }
 
     /// Scales row `i` by `factor` in place.

@@ -3,8 +3,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -14,8 +15,10 @@ use scec_core::ScecSystem;
 use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::error::{Error, Result};
+use crate::latency::LatencyLog;
 use crate::mailbox::{lock, Mailbox};
 use crate::message::{FromDevice, ToDevice};
+use crate::pipeline::Ticket;
 
 /// How a spawned device actor (mis)behaves — fault injection for tests,
 /// demos, and integrity-check validation.
@@ -262,8 +265,8 @@ pub struct LocalCluster<F: Scalar> {
     mailbox: Mailbox<F>,
     next_request: AtomicU64,
     timeout: Duration,
-    /// Completed-query latencies, seconds.
-    latencies: std::sync::Mutex<Vec<f64>>,
+    /// Completed-query latencies, seconds (bounded ring).
+    latencies: std::sync::Mutex<LatencyLog>,
 }
 
 impl<F: Scalar> LocalCluster<F> {
@@ -342,28 +345,16 @@ impl<F: Scalar> LocalCluster<F> {
             mailbox: Mailbox::new(resp_rx),
             next_request: AtomicU64::new(1),
             timeout: crate::DEFAULT_DEADLINE,
-            latencies: std::sync::Mutex::new(Vec::new()),
+            latencies: std::sync::Mutex::new(LatencyLog::default()),
         })
     }
 
     /// Latency statistics over the queries served so far (vector queries
     /// only; batches are excluded because their cost scales with width).
     pub fn stats(&self) -> QueryStats {
-        let mut xs = lock(&self.latencies).clone();
-        if xs.is_empty() {
-            return QueryStats::default();
-        }
-        xs.sort_by(f64::total_cmp);
-        let count = xs.len();
-        let pick = |q: f64| xs[((count as f64 - 1.0) * q).round() as usize];
-        QueryStats {
-            count,
-            mean: xs.iter().sum::<f64>() / count as f64,
-            p50: pick(0.50),
-            p99: pick(0.99),
-            max: *xs.last().expect("non-empty"),
-            ..QueryStats::default()
-        }
+        let mut stats = QueryStats::default();
+        lock(&self.latencies).fill_stats(&mut stats);
+        stats
     }
 
     /// Sets the per-query deadline
@@ -395,35 +386,80 @@ impl<F: Scalar> LocalCluster<F> {
     /// * [`Error::Coding`] when a device reported a failure (wrapped
     ///   reason) or decoding failed.
     pub fn query(&self, x: &Vector<F>) -> Result<Vector<F>> {
-        let started = std::time::Instant::now();
-        let result = self.query_inner(x);
-        if result.is_ok() {
-            lock(&self.latencies).push(started.elapsed().as_secs_f64());
-        }
-        result
+        let ticket = self.begin_query(x)?;
+        self.finish_query(ticket)
     }
 
-    fn query_inner(&self, x: &Vector<F>) -> Result<Vector<F>> {
+    /// Broadcasts `x` to every device and returns immediately with a
+    /// [`Ticket`] for the in-flight request — the first half of
+    /// [`query`](Self::query). The devices start computing while the
+    /// caller is free to begin further queries; redeem the ticket with
+    /// [`finish_query`](Self::finish_query) (or discard the request with
+    /// [`abandon_query`](Self::abandon_query)).
+    ///
+    /// The broadcast shares one `Arc`-wrapped copy of `x` across the
+    /// whole fan-out instead of deep-copying it per device.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`] when a device thread died.
+    pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
+        let started = Instant::now();
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(x.clone());
         for dev in &self.devices {
             dev.tx
                 .send(ToDevice::Query {
                     request,
-                    x: x.clone(),
+                    x: Arc::clone(&shared),
                 })
                 .map_err(|_| Error::ChannelClosed {
                     device: Some(dev.device),
                 })?;
         }
+        Ok(Ticket::new(request, started))
+    }
+
+    /// Awaits all partials for an in-flight request and decodes — the
+    /// second half of [`query`](Self::query). Tickets may be redeemed in
+    /// any order; the mailbox parks responses for the requests not being
+    /// waited on.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query). On error, any
+    /// responses already parked for the request are discarded.
+    pub fn finish_query(&self, ticket: Ticket) -> Result<Vector<F>> {
+        let result = self.finish_inner(ticket.request());
+        match &result {
+            Ok(_) => lock(&self.latencies).record(ticket.elapsed_secs()),
+            Err(_) => self.mailbox.clear(ticket.request()),
+        }
+        result
+    }
+
+    /// Drops an in-flight request without waiting for its result,
+    /// discarding any responses already parked for it. Responses that
+    /// arrive later stay parked until the cluster shuts down, so abandon
+    /// is for error paths, not a completion strategy.
+    pub fn abandon_query(&self, ticket: Ticket) {
+        self.mailbox.clear(ticket.request());
+    }
+
+    fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
         self.mailbox
             .collect(request, self.timeout, self.devices.len(), |resp| {
                 Self::absorb(resp, &mut partials)?;
                 Ok(partials.len())
             })?;
-        let ordered: Vec<Vector<F>> = (1..=self.devices.len())
-            .map(|j| partials.remove(&j).expect("all devices responded"))
-            .collect();
+        let mut ordered: Vec<Vector<F>> = Vec::with_capacity(self.devices.len());
+        for j in 1..=self.devices.len() {
+            ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
+                device: j,
+                what: "complete quorum is missing an enrolled device's partial",
+            })?);
+        }
         let btx = decode::stack_partials(&ordered);
         Ok(decode::decode_fast(&self.design, &btx)?)
     }
@@ -453,11 +489,12 @@ impl<F: Scalar> LocalCluster<F> {
     /// Same failure modes as [`LocalCluster::query`].
     pub fn query_batch(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(xs.clone());
         for dev in &self.devices {
             dev.tx
                 .send(ToDevice::QueryBatch {
                     request,
-                    xs: xs.clone(),
+                    xs: Arc::clone(&shared),
                 })
                 .map_err(|_| Error::ChannelClosed {
                     device: Some(dev.device),
@@ -469,9 +506,13 @@ impl<F: Scalar> LocalCluster<F> {
                 Self::absorb_batch(resp, &mut partials)?;
                 Ok(partials.len())
             })?;
-        let ordered: Vec<Matrix<F>> = (1..=self.devices.len())
-            .map(|j| partials.remove(&j).expect("all devices responded"))
-            .collect();
+        let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(self.devices.len());
+        for j in 1..=self.devices.len() {
+            ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
+                device: j,
+                what: "complete quorum is missing an enrolled device's batch partial",
+            })?);
+        }
         let btx = decode::stack_partial_matrices(&ordered)?;
         Ok(decode::decode_fast_batch(&self.design, &btx)?)
     }

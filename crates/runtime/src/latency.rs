@@ -1,0 +1,213 @@
+//! Bounded latency log: a fixed-capacity ring buffer over per-query
+//! latencies.
+//!
+//! Clusters used to push every completed query's latency into an
+//! unbounded `Vec<f64>` — under the sustained traffic the pipeline is
+//! built for, that is a slow memory leak (a million queries is 8 MB that
+//! can never be reclaimed, growing forever). [`LatencyLog`] keeps
+//! **lifetime** `count`/`mean` exactly (they are O(1) accumulators) while
+//! bounding the samples retained for order statistics to the most recent
+//! [`LatencyLog::capacity`] entries, which is what p50/p99/max should
+//! describe for a long-running service anyway: recent behavior, not the
+//! launch transient.
+
+use crate::cluster::QueryStats;
+
+/// Samples retained for percentile estimation when no explicit capacity
+/// is given. 4096 × 8 bytes = 32 KiB per cluster, enough for stable p99
+/// estimates while staying cache-friendly to sort.
+pub const DEFAULT_LATENCY_WINDOW: usize = 4096;
+
+/// A fixed-capacity ring of recent latency samples with exact lifetime
+/// count and mean.
+#[derive(Debug, Clone)]
+pub struct LatencyLog {
+    /// Ring storage, at most `capacity` entries.
+    window: Vec<f64>,
+    /// Next write position once the ring is full.
+    head: usize,
+    capacity: usize,
+    /// Lifetime samples recorded (not bounded by the window).
+    count: usize,
+    /// Lifetime sum of samples (for the exact mean).
+    sum: f64,
+}
+
+impl Default for LatencyLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_LATENCY_WINDOW)
+    }
+}
+
+impl LatencyLog {
+    /// An empty log retaining at most `capacity` samples for the order
+    /// statistics (`capacity` is clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        LatencyLog {
+            window: Vec::new(),
+            head: 0,
+            capacity: capacity.max(1),
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one latency sample, seconds.
+    pub fn record(&mut self, secs: f64) {
+        self.count += 1;
+        self.sum += secs;
+        if self.window.len() < self.capacity {
+            self.window.push(secs);
+        } else {
+            self.window[self.head] = secs;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Lifetime number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Lifetime mean latency, seconds (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum number of samples retained for percentiles.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently retained (≤ `capacity`).
+    pub fn retained(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) over the retained window, by the
+    /// same nearest-rank rule the clusters have always reported (0.0 when
+    /// empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let mut xs = self.window.clone();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(f64::total_cmp);
+        xs[((xs.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize]
+    }
+
+    /// Median over the retained window.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile over the retained window.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Worst retained latency (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.window.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Fills the latency fields of a [`QueryStats`] (fault counters are
+    /// left untouched for the caller).
+    pub fn fill_stats(&self, stats: &mut QueryStats) {
+        if self.count == 0 {
+            return;
+        }
+        let mut xs = self.window.clone();
+        xs.sort_by(f64::total_cmp);
+        let retained = xs.len();
+        let pick = |q: f64| xs[((retained as f64 - 1.0) * q).round() as usize];
+        stats.count = self.count;
+        stats.mean = self.mean();
+        stats.p50 = pick(0.50);
+        stats.p99 = pick(0.99);
+        stats.max = *xs.last().expect("non-empty");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_reports_zeros() {
+        let log = LatencyLog::default();
+        assert_eq!(log.count(), 0);
+        assert_eq!(log.mean(), 0.0);
+        assert_eq!(log.p50(), 0.0);
+        assert_eq!(log.p99(), 0.0);
+        assert_eq!(log.max(), 0.0);
+        assert_eq!(log.capacity(), DEFAULT_LATENCY_WINDOW);
+        let mut stats = QueryStats::default();
+        log.fill_stats(&mut stats);
+        assert_eq!(stats, QueryStats::default());
+    }
+
+    #[test]
+    fn below_capacity_matches_unbounded_semantics() {
+        let mut log = LatencyLog::with_capacity(16);
+        for v in [3.0, 1.0, 2.0, 5.0, 4.0] {
+            log.record(v);
+        }
+        assert_eq!(log.count(), 5);
+        assert_eq!(log.retained(), 5);
+        assert!((log.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(log.p50(), 3.0);
+        assert_eq!(log.p99(), 5.0);
+        assert_eq!(log.max(), 5.0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_lifetime_count_and_mean() {
+        let mut log = LatencyLog::with_capacity(4);
+        for v in 1..=10 {
+            log.record(f64::from(v));
+        }
+        // Window holds the most recent four samples: 7, 8, 9, 10.
+        assert_eq!(log.count(), 10);
+        assert_eq!(log.retained(), 4);
+        assert!((log.mean() - 5.5).abs() < 1e-12);
+        assert_eq!(log.p50(), 9.0); // nearest-rank over [7, 8, 9, 10]
+        assert_eq!(log.max(), 10.0);
+        assert_eq!(log.p99(), 10.0);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut log = LatencyLog::with_capacity(0);
+        assert_eq!(log.capacity(), 1);
+        log.record(2.0);
+        log.record(7.0);
+        assert_eq!(log.count(), 2);
+        assert_eq!(log.retained(), 1);
+        assert_eq!(log.max(), 7.0);
+    }
+
+    #[test]
+    fn fill_stats_populates_latency_fields_only() {
+        let mut log = LatencyLog::with_capacity(8);
+        for v in [0.25, 0.5, 0.75] {
+            log.record(v);
+        }
+        let mut stats = QueryStats {
+            retries: 3,
+            repairs: 1,
+            ..QueryStats::default()
+        };
+        log.fill_stats(&mut stats);
+        assert_eq!(stats.count, 3);
+        assert!((stats.mean - 0.5).abs() < 1e-12);
+        assert_eq!(stats.p50, 0.5);
+        assert_eq!(stats.max, 0.75);
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.repairs, 1);
+    }
+}

@@ -74,8 +74,10 @@
 
 pub mod cluster;
 pub mod error;
+pub mod latency;
 mod mailbox;
 pub mod message;
+pub mod pipeline;
 pub mod straggler_cluster;
 pub mod supervisor;
 pub mod tprivate_cluster;
@@ -88,9 +90,11 @@ pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
 
 pub use cluster::{DeviceBehavior, LocalCluster, QueryStats};
 pub use error::{Error, Result};
-pub use straggler_cluster::StragglerCluster;
+pub use latency::LatencyLog;
+pub use pipeline::{PipelinedQuery, QueryPipeline, Ticket};
+pub use straggler_cluster::{QuorumResult, StragglerCluster};
 pub use supervisor::{
-    DeviceHealth, DeviceState, SupervisedCluster, SupervisedResult, SupervisorConfig,
-    SupervisorEvent,
+    DeviceHealth, DeviceState, SupervisedCluster, SupervisedResult, SupervisedTicket,
+    SupervisorConfig, SupervisorEvent,
 };
 pub use tprivate_cluster::TPrivateCluster;

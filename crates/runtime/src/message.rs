@@ -5,6 +5,8 @@
 //! device anything but its own share and blinded queries, and devices
 //! never return anything but computed values.
 
+use std::sync::Arc;
+
 use scec_coding::{DeviceShare, StragglerShare, TaggedResponse};
 use scec_linalg::{Matrix, Vector};
 
@@ -16,18 +18,23 @@ pub enum ToDevice<F> {
     /// Install a straggler-tolerant tagged share.
     InstallTagged(Box<StragglerShare<F>>),
     /// Compute `B_j T · x` for the query with this correlation id.
+    ///
+    /// The payload is `Arc`-shared: a `k`-device broadcast clones one
+    /// pointer per device instead of deep-copying `x` `k` times. (A
+    /// networked transport would serialize per device anyway; in-memory,
+    /// the share is free and the query stream is broadcast-bound.)
     Query {
         /// Correlation id echoed in the response.
         request: u64,
-        /// The input vector.
-        x: Vector<F>,
+        /// The input vector, shared across the fan-out.
+        x: Arc<Vector<F>>,
     },
     /// Compute `B_j T · X` for a whole batch of query columns.
     QueryBatch {
         /// Correlation id echoed in the response.
         request: u64,
-        /// The `l × n` matrix of query columns.
-        xs: Matrix<F>,
+        /// The `l × n` matrix of query columns, shared across the fan-out.
+        xs: Arc<Matrix<F>>,
     },
     /// Terminate the device thread.
     Shutdown,

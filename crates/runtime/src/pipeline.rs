@@ -1,0 +1,389 @@
+//! Pipelined multi-query execution: keep a window of requests in flight
+//! per cluster.
+//!
+//! Every cluster's `query()` is a broadcast followed by a collect — the
+//! user sits idle for a full device round-trip per query. Since the
+//! [`Mailbox`](crate::mailbox) correlates responses by request id and
+//! parks out-of-order arrivals, nothing forces those round-trips to
+//! serialize: broadcast query `i + 1` (and `i + 2`, …) while the devices
+//! are still computing query `i`, then collect the results in submission
+//! order.
+//!
+//! [`QueryPipeline`] implements exactly that over any cluster that
+//! splits its query into `begin` / `finish` halves (the
+//! [`PipelinedQuery`] trait): a bounded ring of in-flight tickets with
+//! backpressure. `submit` broadcasts immediately; once the window is
+//! full, each further `submit` first finishes the oldest in-flight
+//! request, so device inboxes and the response mailbox hold at most
+//! `window` requests from this pipeline at any moment.
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use scec_core::{AllocationStrategy, ScecSystem};
+//! use scec_allocation::EdgeFleet;
+//! use scec_linalg::{Fp61, Matrix, Vector};
+//! use scec_runtime::{LocalCluster, QueryPipeline};
+//!
+//! let mut rng = StdRng::seed_from_u64(9);
+//! let a = Matrix::<Fp61>::random(6, 3, &mut rng);
+//! let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 2.5])?;
+//! let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
+//! let cluster = LocalCluster::launch(&sys, &mut rng)?;
+//!
+//! let queries: Vec<Vector<Fp61>> = (0..8).map(|_| Vector::random(3, &mut rng)).collect();
+//! let results = QueryPipeline::run(&cluster, 4, &queries)?;
+//! for (x, y) in queries.iter().zip(&results) {
+//!     assert_eq!(*y, a.matvec(x)?);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use scec_linalg::{Scalar, Vector};
+
+use crate::cluster::LocalCluster;
+use crate::error::{Error, Result};
+use crate::straggler_cluster::{QuorumResult, StragglerCluster};
+use crate::supervisor::{SupervisedCluster, SupervisedResult, SupervisedTicket};
+use crate::tprivate_cluster::TPrivateCluster;
+
+/// Claim on an in-flight request for the stateless cluster protocols
+/// (local, straggler, `t`-private): the request id to collect on and the
+/// broadcast instant for latency accounting.
+#[derive(Debug)]
+pub struct Ticket {
+    request: u64,
+    started: Instant,
+}
+
+impl Ticket {
+    pub(crate) fn new(request: u64, started: Instant) -> Self {
+        Ticket { request, started }
+    }
+
+    /// The correlation id of the in-flight request.
+    pub fn request(&self) -> u64 {
+        self.request
+    }
+
+    /// Seconds elapsed since the broadcast.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A cluster whose query splits into a non-blocking broadcast (`begin`)
+/// and a blocking collect/decode (`finish`), allowing several requests
+/// in flight at once.
+///
+/// Implementations must tolerate tickets being finished in any order —
+/// the runtime's mailbox parks responses for requests not currently
+/// being collected — and `abandon` must release whatever the cluster
+/// parked for a ticket that will never be finished.
+pub trait PipelinedQuery {
+    /// Query payload (a vector for every current cluster).
+    type Input;
+    /// Decoded result type.
+    type Output;
+    /// Claim on one in-flight request.
+    type Ticket;
+
+    /// Broadcasts `input` and returns without waiting for responses.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surfaced at send time.
+    fn begin(&self, input: &Self::Input) -> Result<Self::Ticket>;
+
+    /// Blocks until the ticket's request completes and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// The same failure modes as the cluster's plain `query`.
+    fn finish(&self, ticket: Self::Ticket) -> Result<Self::Output>;
+
+    /// Releases an in-flight request that will never be finished.
+    fn abandon(&self, ticket: Self::Ticket);
+}
+
+impl<F: Scalar> PipelinedQuery for LocalCluster<F> {
+    type Input = Vector<F>;
+    type Output = Vector<F>;
+    type Ticket = Ticket;
+
+    fn begin(&self, input: &Vector<F>) -> Result<Ticket> {
+        self.begin_query(input)
+    }
+
+    fn finish(&self, ticket: Ticket) -> Result<Vector<F>> {
+        self.finish_query(ticket)
+    }
+
+    fn abandon(&self, ticket: Ticket) {
+        self.abandon_query(ticket);
+    }
+}
+
+impl<F: Scalar> PipelinedQuery for StragglerCluster<F> {
+    type Input = Vector<F>;
+    type Output = QuorumResult<F>;
+    type Ticket = Ticket;
+
+    fn begin(&self, input: &Vector<F>) -> Result<Ticket> {
+        self.begin_query(input)
+    }
+
+    fn finish(&self, ticket: Ticket) -> Result<QuorumResult<F>> {
+        self.finish_query(ticket)
+    }
+
+    fn abandon(&self, ticket: Ticket) {
+        self.abandon_query(ticket);
+    }
+}
+
+impl<F: Scalar> PipelinedQuery for TPrivateCluster<F> {
+    type Input = Vector<F>;
+    type Output = Vector<F>;
+    type Ticket = Ticket;
+
+    fn begin(&self, input: &Vector<F>) -> Result<Ticket> {
+        self.begin_query(input)
+    }
+
+    fn finish(&self, ticket: Ticket) -> Result<Vector<F>> {
+        self.finish_query(ticket)
+    }
+
+    fn abandon(&self, ticket: Ticket) {
+        self.abandon_query(ticket);
+    }
+}
+
+impl<F: Scalar> PipelinedQuery for SupervisedCluster<F> {
+    type Input = Vector<F>;
+    type Output = SupervisedResult<F>;
+    type Ticket = SupervisedTicket<F>;
+
+    fn begin(&self, input: &Vector<F>) -> Result<SupervisedTicket<F>> {
+        self.begin_query(input)
+    }
+
+    fn finish(&self, ticket: SupervisedTicket<F>) -> Result<SupervisedResult<F>> {
+        self.finish_query(ticket)
+    }
+
+    fn abandon(&self, ticket: SupervisedTicket<F>) {
+        self.abandon_query(ticket);
+    }
+}
+
+/// A bounded window of in-flight queries over one cluster.
+///
+/// Results come back in **submission order** (FIFO), regardless of the
+/// order device responses arrive in. Dropping the pipeline abandons any
+/// still-in-flight requests.
+pub struct QueryPipeline<'c, C: PipelinedQuery> {
+    cluster: &'c C,
+    window: usize,
+    in_flight: VecDeque<C::Ticket>,
+}
+
+impl<'c, C: PipelinedQuery> QueryPipeline<'c, C> {
+    /// A pipeline keeping at most `window` requests in flight on
+    /// `cluster`. `window == 1` degenerates to sequential queries.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when `window` is zero.
+    pub fn new(cluster: &'c C, window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(Error::InvalidConfig {
+                what: "pipeline window must be at least 1",
+            });
+        }
+        Ok(QueryPipeline {
+            cluster,
+            window,
+            in_flight: VecDeque::with_capacity(window),
+        })
+    }
+
+    /// The configured window depth.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Requests currently in flight (≤ `window`).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Submits one query. The broadcast happens immediately; if the
+    /// window is already full, the **oldest** in-flight request is
+    /// finished first (backpressure) and its result returned.
+    ///
+    /// # Errors
+    ///
+    /// Failures from finishing the displaced oldest request, or from the
+    /// new broadcast. On a broadcast error the displaced result (if any)
+    /// is lost — callers treating errors as fatal lose nothing, and
+    /// callers that want every result should drain with
+    /// [`poll`](Self::poll) before retrying.
+    pub fn submit(&mut self, input: &C::Input) -> Result<Option<C::Output>> {
+        let completed = if self.in_flight.len() == self.window {
+            let oldest = self.in_flight.pop_front().expect("window is non-empty");
+            Some(self.cluster.finish(oldest)?)
+        } else {
+            None
+        };
+        let ticket = self.cluster.begin(input)?;
+        self.in_flight.push_back(ticket);
+        Ok(completed)
+    }
+
+    /// Finishes the oldest in-flight request, or returns `Ok(None)` when
+    /// nothing is in flight.
+    ///
+    /// # Errors
+    ///
+    /// The cluster's query failure modes.
+    pub fn poll(&mut self) -> Result<Option<C::Output>> {
+        match self.in_flight.pop_front() {
+            Some(ticket) => Ok(Some(self.cluster.finish(ticket)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Finishes every in-flight request, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// On the first finish failure; remaining in-flight requests stay
+    /// queued (and are abandoned if the pipeline is dropped).
+    pub fn collect(&mut self) -> Result<Vec<C::Output>> {
+        let mut out = Vec::with_capacity(self.in_flight.len());
+        while let Some(result) = self.poll()? {
+            out.push(result);
+        }
+        Ok(out)
+    }
+
+    /// Pipelines `queries` through `cluster` at `window` depth and
+    /// returns the results in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for a zero window, else the first query
+    /// failure.
+    pub fn run(cluster: &'c C, window: usize, queries: &[C::Input]) -> Result<Vec<C::Output>> {
+        let mut pipeline = QueryPipeline::new(cluster, window)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for x in queries {
+            if let Some(result) = pipeline.submit(x)? {
+                out.push(result);
+            }
+        }
+        out.extend(pipeline.collect()?);
+        Ok(out)
+    }
+}
+
+impl<C: PipelinedQuery> Drop for QueryPipeline<'_, C> {
+    fn drop(&mut self) {
+        for ticket in self.in_flight.drain(..) {
+            self.cluster.abandon(ticket);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_allocation::EdgeFleet;
+    use scec_core::{AllocationStrategy, ScecSystem};
+    use scec_linalg::{Fp61, Matrix};
+
+    fn build(m: usize, l: usize, seed: u64) -> (Matrix<Fp61>, ScecSystem<Fp61>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+        let sys =
+            ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+        (a, sys, rng)
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        let (_a, sys, mut rng) = build(4, 3, 1);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        assert!(matches!(
+            QueryPipeline::new(&cluster, 0),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn submit_applies_backpressure_at_window_depth() {
+        let (a, sys, mut rng) = build(6, 3, 2);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let mut pipeline = QueryPipeline::new(&cluster, 2).unwrap();
+        let queries: Vec<Vector<Fp61>> = (0..5).map(|_| Vector::random(3, &mut rng)).collect();
+        let mut results = Vec::new();
+        for (i, x) in queries.iter().enumerate() {
+            let completed = pipeline.submit(x).unwrap();
+            // The first `window` submissions complete nothing; every
+            // later one displaces exactly the oldest request.
+            assert_eq!(completed.is_some(), i >= 2);
+            assert!(pipeline.in_flight() <= pipeline.window());
+            results.extend(completed);
+        }
+        results.extend(pipeline.collect().unwrap());
+        assert_eq!(pipeline.in_flight(), 0);
+        for (x, y) in queries.iter().zip(&results) {
+            assert_eq!(*y, a.matvec(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn run_preserves_submission_order() {
+        let (a, sys, mut rng) = build(6, 4, 3);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let queries: Vec<Vector<Fp61>> = (0..10).map(|_| Vector::random(4, &mut rng)).collect();
+        for window in [1, 3, 16] {
+            let results = QueryPipeline::run(&cluster, window, &queries).unwrap();
+            assert_eq!(results.len(), queries.len());
+            for (x, y) in queries.iter().zip(&results) {
+                assert_eq!(*y, a.matvec(x).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn poll_on_empty_pipeline_is_none() {
+        let (_a, sys, mut rng) = build(4, 2, 4);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let mut pipeline = QueryPipeline::new(&cluster, 4).unwrap();
+        assert!(pipeline.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn drop_abandons_in_flight_requests() {
+        let (a, sys, mut rng) = build(5, 3, 5);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let queries: Vec<Vector<Fp61>> = (0..3).map(|_| Vector::random(3, &mut rng)).collect();
+        {
+            let mut pipeline = QueryPipeline::new(&cluster, 4).unwrap();
+            for x in &queries {
+                pipeline.submit(x).unwrap();
+            }
+            assert_eq!(pipeline.in_flight(), 3);
+        } // dropped with requests still in flight
+          // The cluster stays fully usable afterwards.
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+}

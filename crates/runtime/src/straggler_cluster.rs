@@ -2,7 +2,8 @@
 //! to arrive, leaving slow devices behind.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
 use rand::Rng;
@@ -14,6 +15,7 @@ use crate::cluster::DeviceHandle;
 use crate::error::{Error, Result};
 use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
+use crate::pipeline::Ticket;
 
 /// A running straggler-tolerant cluster.
 ///
@@ -134,17 +136,44 @@ impl<F: Scalar> StragglerCluster<F> {
     /// * [`Error::DeviceFailure`] when a device reports an error;
     /// * [`Error::Coding`] when decoding fails.
     pub fn query(&self, x: &Vector<F>) -> Result<QuorumResult<F>> {
+        let ticket = self.begin_query(x)?;
+        self.finish_query(ticket)
+    }
+
+    /// Broadcasts `x` (one `Arc`-shared copy across the fan-out) and
+    /// returns a [`Ticket`] for the in-flight request; redeem it with
+    /// [`finish_query`](Self::finish_query). Tickets may be redeemed out
+    /// of order — the mailbox parks responses for requests not currently
+    /// being waited on.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`] when a device thread died.
+    pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
+        let started = Instant::now();
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(x.clone());
         for dev in &self.devices {
             dev.tx
                 .send(ToDevice::Query {
                     request,
-                    x: x.clone(),
+                    x: Arc::clone(&shared),
                 })
                 .map_err(|_| Error::ChannelClosed {
                     device: Some(dev.device),
                 })?;
         }
+        Ok(Ticket::new(request, started))
+    }
+
+    /// Awaits the first `m + r` tagged rows for an in-flight request and
+    /// decodes, leaving stragglers behind.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query).
+    pub fn finish_query(&self, ticket: Ticket) -> Result<QuorumResult<F>> {
+        let request = ticket.request();
         let needed = self.code.rows_needed();
         let mut collected: Vec<TaggedResponse<F>> = Vec::new();
         let mut responders = Vec::new();
@@ -162,6 +191,12 @@ impl<F: Scalar> StragglerCluster<F> {
             stragglers_left_behind: self.devices.len() - responders.len(),
             responders,
         })
+    }
+
+    /// Drops an in-flight request without waiting for a quorum,
+    /// discarding any responses already parked for it.
+    pub fn abandon_query(&self, ticket: Ticket) {
+        self.mailbox.clear(ticket.request());
     }
 
     fn absorb(

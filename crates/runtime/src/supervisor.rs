@@ -31,7 +31,7 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
@@ -44,6 +44,7 @@ use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::cluster::{device_main, DeviceBehavior, DeviceHandle, QueryStats};
 use crate::error::{Error, Result};
+use crate::latency::LatencyLog;
 use crate::mailbox::{lock, Mailbox};
 use crate::message::{FromDevice, ToDevice};
 
@@ -276,6 +277,32 @@ impl<F: Scalar> std::fmt::Debug for SupervisedResult<F> {
     }
 }
 
+/// An in-flight supervised query begun with
+/// [`SupervisedCluster::begin_query`].
+///
+/// Carries the query vector itself: if the fast path fails (a retryable
+/// attempt error, or a repair swapped the topology generation while the
+/// request was in flight), [`finish_query`](SupervisedCluster::finish_query)
+/// transparently falls back to a fresh serialized
+/// [`query`](SupervisedCluster::query) with the full retry/repair loop.
+pub struct SupervisedTicket<F: Scalar> {
+    x: Vector<F>,
+    /// `None` when the optimistic broadcast already failed at begin time
+    /// (finish goes straight to the serialized fallback).
+    request: Option<u64>,
+    generation: u64,
+    started: Instant,
+}
+
+impl<F: Scalar> std::fmt::Debug for SupervisedTicket<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedTicket")
+            .field("request", &self.request)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Supervisor-internal record for one physical device.
 struct PhysicalDevice {
     unit_cost: f64,
@@ -305,6 +332,12 @@ struct Topology<F: Scalar> {
     /// Logical device `j` -> physical device id (`physical[j - 1]`).
     physical: Vec<usize>,
     checks: Vec<DeviceCheck<F>>,
+    /// Bumped by every repair. A pipelined broadcast records the
+    /// generation it was sent under; if a repair lands before the
+    /// broadcast is collected, the responses can no longer be attributed
+    /// (the actors were torn down) and the query falls back to a fresh
+    /// serialized attempt.
+    generation: u64,
 }
 
 /// Counters backing the fault fields of [`QueryStats`].
@@ -435,7 +468,7 @@ pub struct SupervisedCluster<F: Scalar> {
     next_request: AtomicU64,
     roster: Mutex<Vec<PhysicalDevice>>,
     events: Mutex<Vec<SupervisorEvent>>,
-    latencies: Mutex<Vec<f64>>,
+    latencies: Mutex<LatencyLog>,
     counters: Mutex<Counters>,
     rng: Mutex<StdRng>,
 }
@@ -490,7 +523,7 @@ impl<F: Scalar> SupervisedCluster<F> {
             next_request: AtomicU64::new(1),
             roster: Mutex::new(roster),
             events: Mutex::new(Vec::new()),
-            latencies: Mutex::new(Vec::new()),
+            latencies: Mutex::new(LatencyLog::default()),
             counters: Mutex::new(Counters::default()),
             rng: Mutex::new(srng),
         })
@@ -603,6 +636,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 actors,
                 physical: enrolled.clone(),
                 checks,
+                generation: 0,
             },
             enrolled,
         ))
@@ -629,7 +663,7 @@ impl<F: Scalar> SupervisedCluster<F> {
             }
             match self.attempt(&topo, x) {
                 Ok(outcome) => {
-                    lock(&self.latencies).push(started.elapsed().as_secs_f64());
+                    lock(&self.latencies).record(started.elapsed().as_secs_f64());
                     if outcome.degraded {
                         lock(&self.counters).degraded += 1;
                     }
@@ -657,24 +691,132 @@ impl<F: Scalar> SupervisedCluster<F> {
         }
     }
 
+    /// Optimistically broadcasts `x` against the current topology
+    /// (repairing first if a device already left the alive set) and
+    /// returns a [`SupervisedTicket`] without waiting for responses.
+    ///
+    /// This is the supervised pipeline entry point: the devices start
+    /// computing immediately, and
+    /// [`finish_query`](Self::finish_query) later collects, verifies,
+    /// and decodes. If the in-flight attempt cannot be completed — a
+    /// retryable failure, or a repair replaced the topology generation
+    /// under the request — finish falls back to a fresh serialized
+    /// [`query`](Self::query), so pipelined submission never weakens the
+    /// fault-tolerance guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Repair failures at begin time (e.g. [`Error::FleetExhausted`]).
+    pub fn begin_query(&self, x: &Vector<F>) -> Result<SupervisedTicket<F>> {
+        let started = Instant::now();
+        let mut topo = lock(&self.topo);
+        if self.needs_repair(&topo) {
+            self.repair(&mut topo)?;
+        }
+        // A broadcast failure is not fatal here: the ticket simply skips
+        // the fast path and finish re-queries with retry + repair.
+        let request = self.broadcast(&topo, x).ok();
+        Ok(SupervisedTicket {
+            x: x.clone(),
+            request,
+            generation: topo.generation,
+            started,
+        })
+    }
+
+    /// Collects, verifies, and decodes an in-flight supervised query.
+    ///
+    /// The fast path completes the broadcast recorded in the ticket; if
+    /// that attempt fails retryably or the topology was repaired since
+    /// the broadcast (generation mismatch), the query is re-run through
+    /// the serialized [`query`](Self::query) loop.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query).
+    pub fn finish_query(&self, ticket: SupervisedTicket<F>) -> Result<SupervisedResult<F>> {
+        let mut spent_attempts = 0;
+        if let Some(request) = ticket.request {
+            let fast = {
+                let topo = lock(&self.topo);
+                if topo.generation == ticket.generation {
+                    Some(self.complete(&topo, &ticket.x, request, ticket.started))
+                } else {
+                    // A repair tore down the actors this broadcast went
+                    // to; its responses are unattributable.
+                    self.mailbox.clear(request);
+                    None
+                }
+            };
+            match fast {
+                Some(Ok(outcome)) => {
+                    lock(&self.latencies).record(ticket.started.elapsed().as_secs_f64());
+                    if outcome.degraded {
+                        lock(&self.counters).degraded += 1;
+                    }
+                    return Ok(SupervisedResult {
+                        value: outcome.value,
+                        responders: outcome.responders,
+                        attempts: 1,
+                        degraded: outcome.degraded,
+                    });
+                }
+                Some(Err(AttemptError::Fatal(e))) => return Err(e),
+                Some(Err(AttemptError::Repairable(_) | AttemptError::Timeout(_))) => {
+                    spent_attempts = 1;
+                    lock(&self.counters).retries += 1;
+                    lock(&self.events).push(SupervisorEvent::Retried {
+                        attempt: 1,
+                        backoff: Duration::ZERO,
+                    });
+                }
+                None => {}
+            }
+        }
+        self.query(&ticket.x).map(|mut r| {
+            r.attempts += spent_attempts;
+            r
+        })
+    }
+
+    /// Drops an in-flight supervised query, discarding any responses
+    /// already parked for it.
+    pub fn abandon_query(&self, ticket: SupervisedTicket<F>) {
+        if let Some(request) = ticket.request {
+            self.mailbox.clear(request);
+        }
+    }
+
     /// One broadcast/collect/decode round against the current topology.
     fn attempt(
         &self,
         topo: &Topology<F>,
         x: &Vector<F>,
     ) -> std::result::Result<AttemptOutcome<F>, AttemptError> {
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
+        let request = self.broadcast(topo, x)?;
+        self.complete(topo, x, request, started)
+    }
+
+    /// Broadcasts `x` (one `Arc`-shared copy across the fan-out) to every
+    /// actor of `topo` and returns the request id. A failed send means
+    /// the actor thread is gone — a crash detected at the transport
+    /// layer, reported as [`AttemptError::Repairable`].
+    fn broadcast(
+        &self,
+        topo: &Topology<F>,
+        x: &Vector<F>,
+    ) -> std::result::Result<u64, AttemptError> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(x.clone());
         let mut events = Vec::new();
-        // Broadcast. A failed send means the actor thread is gone — a
-        // crash detected at the transport layer.
         let mut dead_send = None;
         for (idx, dev) in topo.actors.iter().enumerate() {
             if dev
                 .tx
                 .send(ToDevice::Query {
                     request,
-                    x: x.clone(),
+                    x: Arc::clone(&shared),
                 })
                 .is_err()
             {
@@ -696,6 +838,20 @@ impl<F: Scalar> SupervisedCluster<F> {
                 device: Some(phys),
             }));
         }
+        Ok(request)
+    }
+
+    /// Collects, verifies, health-accounts, and decodes the responses to
+    /// an already-broadcast `request` against the topology it was sent
+    /// under.
+    fn complete(
+        &self,
+        topo: &Topology<F>,
+        x: &Vector<F>,
+        request: u64,
+        started: Instant,
+    ) -> std::result::Result<AttemptOutcome<F>, AttemptError> {
+        let mut events = Vec::new();
         // Collect until `m + r` *verified* rows; unverifiable partials
         // are rejected without counting toward the quorum.
         let needed = topo.code.rows_needed();
@@ -851,7 +1007,7 @@ impl<F: Scalar> SupervisedCluster<F> {
         }
         // Old-generation responses can no longer be attributed.
         self.mailbox.clear_all();
-        let (new_topo, enrolled) = {
+        let (mut new_topo, enrolled) = {
             let mut roster = lock(&self.roster);
             let mut rng = lock(&self.rng);
             Self::build_topology(
@@ -862,6 +1018,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 &mut rng,
             )?
         };
+        new_topo.generation = topo.generation.wrapping_add(1);
         let random_rows = new_topo.code.rows_needed() - self.data.nrows();
         let redundancy = new_topo.code.redundancy();
         *topo = new_topo;
@@ -926,7 +1083,6 @@ impl<F: Scalar> SupervisedCluster<F> {
             .iter()
             .filter(|d| matches!(d.state, DeviceState::Quarantined | DeviceState::Dead))
             .count();
-        let mut xs = lock(&self.latencies).clone();
         let mut stats = QueryStats {
             retries: counters.retries,
             degraded: counters.degraded,
@@ -934,17 +1090,7 @@ impl<F: Scalar> SupervisedCluster<F> {
             quarantined,
             ..QueryStats::default()
         };
-        if xs.is_empty() {
-            return stats;
-        }
-        xs.sort_by(f64::total_cmp);
-        let count = xs.len();
-        let pick = |q: f64| xs[((count as f64 - 1.0) * q).round() as usize];
-        stats.count = count;
-        stats.mean = xs.iter().sum::<f64>() / count as f64;
-        stats.p50 = pick(0.50);
-        stats.p99 = pick(0.99);
-        stats.max = *xs.last().expect("non-empty");
+        lock(&self.latencies).fill_stats(&mut stats);
         stats
     }
 

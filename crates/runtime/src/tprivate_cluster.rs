@@ -9,7 +9,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
 use rand::Rng;
@@ -21,6 +22,7 @@ use crate::cluster::{device_main, DeviceBehavior, DeviceHandle};
 use crate::error::{Error, Result};
 use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
+use crate::pipeline::Ticket;
 
 /// A running cluster executing the `t`-private protocol on real threads.
 ///
@@ -129,17 +131,58 @@ impl<F: Scalar> TPrivateCluster<F> {
     ///
     /// Same failure modes as [`LocalCluster::query`](crate::LocalCluster::query).
     pub fn query(&self, x: &Vector<F>) -> Result<Vector<F>> {
+        let ticket = self.begin_query(x)?;
+        self.finish_query(ticket)
+    }
+
+    /// Broadcasts `x` (one `Arc`-shared copy across the fan-out) and
+    /// returns a [`Ticket`] for the in-flight request; redeem it with
+    /// [`finish_query`](Self::finish_query). Tickets may be redeemed out
+    /// of order — the mailbox parks responses for requests not currently
+    /// being waited on.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`] when a device thread died.
+    pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
+        let started = Instant::now();
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(x.clone());
         for dev in &self.devices {
             dev.tx
                 .send(ToDevice::Query {
                     request,
-                    x: x.clone(),
+                    x: Arc::clone(&shared),
                 })
                 .map_err(|_| Error::ChannelClosed {
                     device: Some(dev.device),
                 })?;
         }
+        Ok(Ticket::new(request, started))
+    }
+
+    /// Awaits all partials for an in-flight request and decodes with the
+    /// mixer solve.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query). On error, any
+    /// responses already parked for the request are discarded.
+    pub fn finish_query(&self, ticket: Ticket) -> Result<Vector<F>> {
+        let result = self.finish_inner(ticket.request());
+        if result.is_err() {
+            self.mailbox.clear(ticket.request());
+        }
+        result
+    }
+
+    /// Drops an in-flight request without waiting for its result,
+    /// discarding any responses already parked for it.
+    pub fn abandon_query(&self, ticket: Ticket) {
+        self.mailbox.clear(ticket.request());
+    }
+
+    fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
         self.mailbox
             .collect(request, self.timeout, self.devices.len(), |resp| {
@@ -151,7 +194,10 @@ impl<F: Scalar> TPrivateCluster<F> {
             btx.extend(
                 partials
                     .remove(&j)
-                    .expect("all devices responded")
+                    .ok_or(Error::ProtocolViolation {
+                        device: j,
+                        what: "complete quorum is missing an enrolled device's partial",
+                    })?
                     .into_vec(),
             );
         }
