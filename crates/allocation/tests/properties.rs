@@ -113,6 +113,18 @@ proptest! {
     }
 
     #[test]
+    fn plans_stay_inside_the_feasibility_region(fleet in fleet_strategy(), m in 1usize..200) {
+        // Theorem 2's feasible range, per chosen (i, r): availability
+        // needs any i-1 devices to recover all m+r rows, which under the
+        // Lemma-1 cap V(B_j) ≤ r forces (i-1)·r ≥ m.
+        for plan in [ta::ta1(m, &fleet).unwrap(), ta::ta2(m, &fleet).unwrap()] {
+            let (i, r) = (plan.device_count(), plan.random_rows());
+            prop_assert!((i - 1) * r >= m, "infeasible (i={i}, r={r}) for m={m}");
+            prop_assert!(plan.loads().iter().all(|&v| v <= r), "load above the security cap");
+        }
+    }
+
+    #[test]
     fn istar_is_consistent_with_its_definition(fleet in fleet_strategy()) {
         let star = istar::i_star(&fleet);
         prop_assert!(star >= 2 && star <= fleet.len());
@@ -121,5 +133,41 @@ proptest! {
         for i in (star + 1)..=fleet.len() {
             prop_assert!(!istar::predicate(&fleet, i));
         }
+    }
+}
+
+/// Hand-computed optimal instances, pinned so a regression in TA-1/TA-2
+/// shows up as a concrete wrong number rather than a property failure.
+mod pinned {
+    use super::*;
+
+    #[test]
+    fn uniform_fleet_m4() {
+        // m=4, costs [1,1,1]: i*=3, r=2, loads [2,2,2], cost 6 — and the
+        // divisibility condition holds, so the lower bound is met exactly.
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.0, 1.0]).unwrap();
+        for plan in [ta::ta1(4, &fleet).unwrap(), ta::ta2(4, &fleet).unwrap()] {
+            assert_eq!(plan.random_rows(), 2);
+            assert_eq!(plan.device_count(), 3);
+            assert_eq!(plan.loads(), &[2, 2, 2]);
+            assert!((plan.total_cost() - 6.0).abs() < 1e-12);
+        }
+        assert!((bound::lower_bound(4, &fleet).unwrap() - 6.0).abs() < 1e-12);
+        assert!(bound::is_achievable(4, &fleet).unwrap());
+    }
+
+    #[test]
+    fn geometric_fleet_m6() {
+        // m=6, costs [1,2,4]: the expensive third device prices itself
+        // out — i*=2, r=6, loads [6,6], cost 18 beats i=3 (cost 21).
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(istar::i_star(&fleet), 2);
+        for plan in [ta::ta1(6, &fleet).unwrap(), ta::ta2(6, &fleet).unwrap()] {
+            assert_eq!(plan.random_rows(), 6);
+            assert_eq!(plan.device_count(), 2);
+            assert_eq!(plan.loads(), &[6, 6]);
+            assert!((plan.total_cost() - 18.0).abs() < 1e-12);
+        }
+        assert!((bound::lower_bound(6, &fleet).unwrap() - 18.0).abs() < 1e-12);
     }
 }

@@ -601,6 +601,86 @@ pub fn chaos(devices: usize, queries: usize, intensity: f64, seed: u64) -> Resul
     Ok(out)
 }
 
+/// `scec dst`: deterministic simulation testing — sweep seeded schedules
+/// through the virtual-time cluster simulation, checking the paper's
+/// theorems as oracles after every step, and optionally exhaust every
+/// delivery interleaving of the small 3-device configuration.
+///
+/// Returns the report and whether every oracle held. On a violation, the
+/// failing run (seed, decision script, shrunk script, full trace) is
+/// rendered into the report and — when `failure_out` is given — written
+/// to disk so CI can upload it as an artifact.
+///
+/// # Errors
+///
+/// Propagates world-construction failures and `failure_out` I/O errors.
+pub fn dst(
+    seeds: usize,
+    first_seed: u64,
+    pinned: Option<u64>,
+    explore_interleavings: bool,
+    failure_out: Option<&Path>,
+) -> Result<(String, bool)> {
+    let mut out = String::new();
+    let mut clean = true;
+    let config = scec_dst::DstConfig::chaos();
+    let sweep = scec_dst::run_seeds(&config, first_seed, seeds, pinned)
+        .map_err(|e| Error::Domain(e.to_string()))?;
+    let _ = writeln!(
+        out,
+        "dst sweep: {} runs, {} decoded, {} failed queries, {} repairs",
+        sweep.runs, sweep.completed, sweep.failed, sweep.repairs
+    );
+    if let Some(pin) = pinned {
+        let _ = writeln!(out, "  (seed pinned to {pin} via {})", scec_dst::SEED_ENV);
+    }
+    if let Some(failing) = &sweep.failure {
+        clean = false;
+        let _ = writeln!(
+            out,
+            "ORACLE VIOLATION at seed {} — replay with {}={} cargo test",
+            failing.seed,
+            scec_dst::SEED_ENV,
+            failing.seed
+        );
+        let mut artifact = failing.render();
+        if let Some(shrunk) = scec_dst::shrink(&config, failing) {
+            let _ = writeln!(
+                out,
+                "shrunk to {} of {} decisions in {} replays",
+                shrunk.script.len(),
+                failing.decisions.len(),
+                shrunk.attempts
+            );
+            artifact.push_str("\nshrunk:\n");
+            artifact.push_str(&shrunk.report.render());
+        }
+        out.push_str(&artifact);
+        if let Some(path) = failure_out {
+            std::fs::write(path, &artifact)?;
+            let _ = writeln!(out, "failing schedule written to {}", path.display());
+        }
+    }
+    if explore_interleavings {
+        let report = scec_dst::explore(&scec_dst::DstConfig::small(), first_seed, 200_000);
+        let _ = writeln!(
+            out,
+            "explorer: {} interleavings, max {} decisions, truncated = {}",
+            report.paths, report.max_decisions, report.truncated
+        );
+        if report.truncated || !report.violations.is_empty() {
+            clean = false;
+            for (script, violation) in report.violations.iter().take(5) {
+                let _ = writeln!(out, "  violation {violation:?} under script {script:?}");
+            }
+            if report.truncated {
+                let _ = writeln!(out, "  (path budget exhausted before full coverage)");
+            }
+        }
+    }
+    Ok((out, clean))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -838,6 +918,22 @@ mod tests {
         assert!(out.contains("(no faults injected)"), "{out}");
         assert!(out.contains("query  3: ok"), "{out}");
         assert!(out.contains("repairs = 0"), "{out}");
+    }
+
+    #[test]
+    fn dst_sweep_and_explorer_are_clean() {
+        let (out, clean) = dst(5, 0, None, true, None).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("dst sweep: 5 runs"), "{out}");
+        assert!(out.contains("truncated = false"), "{out}");
+    }
+
+    #[test]
+    fn dst_pinned_seed_runs_one_replay() {
+        let (out, clean) = dst(50, 0, Some(3), false, None).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("dst sweep: 1 runs"), "{out}");
+        assert!(out.contains("seed pinned to 3"), "{out}");
     }
 
     #[test]

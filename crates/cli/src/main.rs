@@ -17,7 +17,10 @@ USAGE:
   scec query  --shares <DIR> --input <x.csv> --output <y.csv>
   scec audit  --shares <DIR> [--seed N] [--coalitions T]
   scec chaos  [--devices N] [--queries Q] [--intensity F] [--seed N]
+  scec dst    [--seeds N] [--seed N] [--explore true] [--failure-out PATH]
   scec bench  [--out DIR] [--iters N] [--index N] [--quick true]
+
+`scec dst` honors SCEC_DST_SEED to replay a single seeded schedule.
 
 Data matrices and vectors are CSV files of integers in GF(2^61 - 1).
 Share files use the framed scec-wire binary format.";
@@ -141,6 +144,30 @@ fn run() -> Result<(), Error> {
                 "{}",
                 commands::chaos(devices, queries, intensity, args.seed()?)?
             );
+        }
+        "dst" => {
+            let seeds = match args.flags.get("seeds") {
+                None => 50,
+                Some(_) => args.get_usize("seeds")?,
+            };
+            let explore = match args.flags.get("explore") {
+                None => false,
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --explore: {e}")))?,
+            };
+            let failure_out = args.flags.get("failure-out").map(PathBuf::from);
+            let (report, clean) = commands::dst(
+                seeds,
+                args.seed()?,
+                scec_dst::seed_from_env(),
+                explore,
+                failure_out.as_deref(),
+            )?;
+            print!("{report}");
+            if !clean {
+                return Err(Error::Domain("dst found an oracle violation".into()));
+            }
         }
         "bench" => {
             let mut opts = scec_cli::bench::BenchOptions::default();

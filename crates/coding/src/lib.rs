@@ -59,6 +59,7 @@ pub mod decode;
 pub mod design;
 pub mod encode;
 pub mod error;
+pub mod oracle;
 pub mod plan;
 pub mod straggler;
 pub mod verify;

@@ -1,0 +1,192 @@
+//! Conformance oracles: the paper's theorems as executable checks.
+//!
+//! Deterministic simulation testing (`scec-dst`) re-validates the code
+//! design after *every* simulated step — a crash, a repair, a quarantine
+//! all change which devices survive, and each surviving configuration
+//! must still satisfy the paper's guarantees. These hooks phrase the
+//! theorems as cheap boolean checks over a [`StragglerCode`]:
+//!
+//! * **Theorem 3 (availability)** — any set of surviving devices holding
+//!   at least `m + r` coded rows stacks to a full-rank system, so the
+//!   user can decode `Ax` from that quorum alone.
+//! * **Theorem 3 (security)** — every device's coefficient block spans no
+//!   non-zero combination of pure data rows:
+//!   `dim(L(B_j) ∩ L(λ̄)) = 0`.
+//!
+//! The checks run Gaussian elimination over the exact field, so a `true`
+//! is a proof for the instance at hand, not a sampling argument.
+
+use scec_linalg::{span, Matrix, Scalar};
+
+use crate::error::Result;
+use crate::straggler::StragglerCode;
+
+impl<F: Scalar> StragglerCode<F> {
+    /// Stacked coefficient block of a device subset (1-based indices,
+    /// duplicates ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownDevice`](crate::Error::UnknownDevice) when
+    /// any index is outside `1..=device_count()`.
+    pub fn quorum_block(&self, devices: &[usize]) -> Result<Matrix<F>> {
+        let mut seen = vec![false; self.device_count() + 1];
+        let mut stacked: Option<Matrix<F>> = None;
+        for &j in devices {
+            let block = self.device_block(j)?;
+            if std::mem::replace(&mut seen[j], true) {
+                continue;
+            }
+            stacked = Some(match stacked {
+                None => block,
+                Some(acc) => acc.vstack(&block)?,
+            });
+        }
+        Ok(stacked.unwrap_or_else(|| Matrix::zeros(0, self.base().total_rows())))
+    }
+
+    /// Whether the given surviving devices can decode: they hold at least
+    /// `m + r` rows *and* those rows have full rank `m + r` (Theorem 3
+    /// availability, restricted to the quorum).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownDevice`](crate::Error::UnknownDevice) when
+    /// any index is outside the code.
+    pub fn quorum_is_decodable(&self, devices: &[usize]) -> Result<bool> {
+        let needed = self.rows_needed();
+        let block = self.quorum_block(devices)?;
+        Ok(block.nrows() >= needed && block.rank() == needed)
+    }
+
+    /// Theorem 3 availability over *all* quorums: every subset of devices
+    /// holding at least `m + r` rows is decodable. Exhaustive over the
+    /// `2^device_count` subsets — intended for the small clusters DST
+    /// explores, not production-sized deployments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn all_quorums_available(&self) -> Result<bool> {
+        let devices = self.device_count();
+        let needed = self.rows_needed();
+        for mask in 0u64..(1u64 << devices) {
+            let members: Vec<usize> = (1..=devices).filter(|j| mask >> (j - 1) & 1 == 1).collect();
+            let rows: usize = members
+                .iter()
+                .map(|&j| self.device_rows(j).map(|r| r.len()))
+                .sum::<Result<usize>>()?;
+            if rows < needed {
+                continue;
+            }
+            if !self.quorum_is_decodable(&members)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Theorem 3 security for every device (base and standby):
+    /// `dim(L(B_j) ∩ L(λ̄)) = 0`, i.e. no device can derive any non-zero
+    /// combination of pure data rows from its stored block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn per_device_security_holds(&self) -> Result<bool> {
+        let base = self.base();
+        let lambda = span::data_span_basis::<F>(base.data_rows(), base.random_rows());
+        for j in 1..=self.device_count() {
+            let block = self.device_block(j)?;
+            if span::intersection_dim(&block, &lambda) != 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::CodeDesign;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_linalg::Fp61;
+
+    fn code(m: usize, r: usize, s: usize, seed: u64) -> StragglerCode<Fp61> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        StragglerCode::new(CodeDesign::new(m, r).unwrap(), s, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn healthy_code_passes_both_oracles() {
+        let code = code(6, 2, 3, 1);
+        assert!(code.per_device_security_holds().unwrap());
+        assert!(code.all_quorums_available().unwrap());
+    }
+
+    #[test]
+    fn quorum_block_stacks_and_dedups() {
+        let code = code(4, 2, 2, 2);
+        let single = code.quorum_block(&[2]).unwrap();
+        assert_eq!(single, code.device_block(2).unwrap());
+        let duped = code.quorum_block(&[2, 2, 3]).unwrap();
+        let clean = code.quorum_block(&[2, 3]).unwrap();
+        assert_eq!(duped, clean);
+        assert_eq!(code.quorum_block(&[]).unwrap().nrows(), 0);
+        assert!(code.quorum_block(&[99]).is_err());
+    }
+
+    #[test]
+    fn quorum_decodability_follows_row_count_and_rank() {
+        // m=6, r=2: devices 1..=4 (base) hold 2 rows each, 2 standbys
+        // hold 2 and 1. Any quorum covering >= 8 rows decodes.
+        let code = code(6, 2, 3, 3);
+        let all: Vec<usize> = (1..=code.device_count()).collect();
+        assert!(code.quorum_is_decodable(&all).unwrap());
+        // Too few rows: three base devices give 6 < 8.
+        assert!(!code.quorum_is_decodable(&[1, 2, 3]).unwrap());
+        // Exactly enough: four base devices (8 rows, full rank).
+        assert!(code.quorum_is_decodable(&[1, 2, 3, 4]).unwrap());
+        // Losing one base device, covered by the standbys (4 + 3 >= 8...
+        // 3 base devices (6 rows) + both standbys (3 rows) = 9 rows).
+        assert!(code.quorum_is_decodable(&[1, 2, 4, 5, 6]).unwrap());
+    }
+
+    #[test]
+    fn tampered_extension_fails_security_oracle() {
+        // Overwrite a standby row with a pure data-row selector: the
+        // standby block then intersects L(λ̄) and the oracle must catch it.
+        let good = code(4, 2, 2, 4);
+        let mut ext = good.extension().clone();
+        for c in 0..ext.ncols() {
+            ext.set(0, c, Fp61::new(u64::from(c == 0))).unwrap();
+        }
+        let broken = StragglerCode {
+            base: good.base().clone(),
+            extension: ext,
+        };
+        assert!(!broken.per_device_security_holds().unwrap());
+        // The healthy original still passes.
+        assert!(good.per_device_security_holds().unwrap());
+    }
+
+    #[test]
+    fn rank_deficient_extension_fails_availability_oracle() {
+        // Duplicate extension rows: a quorum that needs both standby rows
+        // to reach m + r distinct directions now sees rank m + r - 1.
+        let good = code(4, 2, 2, 5);
+        let mut ext = good.extension().clone();
+        for c in 0..ext.ncols() {
+            ext.set(1, c, ext.at(0, c)).unwrap();
+        }
+        let broken = StragglerCode {
+            base: good.base().clone(),
+            extension: ext,
+        };
+        // Quorum = base devices 1,2 (4 rows) + standby (2 duplicated rows):
+        // 6 >= m + r = 6 rows but rank 5.
+        assert!(!broken.all_quorums_available().unwrap());
+        assert!(good.all_quorums_available().unwrap());
+    }
+}

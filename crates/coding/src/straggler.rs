@@ -54,9 +54,9 @@ use crate::error::{Error, Result};
 /// ```
 #[derive(Clone)]
 pub struct StragglerCode<F> {
-    base: CodeDesign,
+    pub(crate) base: CodeDesign,
     /// The `s × (m+r)` random extension block appended below Eq. (8)'s B.
-    extension: Matrix<F>,
+    pub(crate) extension: Matrix<F>,
 }
 
 impl<F: Scalar> std::fmt::Debug for StragglerCode<F> {

@@ -1,0 +1,93 @@
+//! Seed sweeps: run many seeded simulations, stop at the first
+//! violation, and package everything a human needs to replay it.
+
+use crate::sim::{RunReport, Simulation};
+use crate::DstConfig;
+
+/// Outcome of sweeping a range of seeds.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Seeds actually executed (the sweep stops at the first failure).
+    pub runs: usize,
+    /// Total queries decoded across all runs.
+    pub completed: usize,
+    /// Total queries failed (timeouts / exhaustion — not violations).
+    pub failed: usize,
+    /// Total repairs performed across all runs.
+    pub repairs: usize,
+    /// The first violating run, if any.
+    pub failure: Option<RunReport>,
+}
+
+impl SweepReport {
+    /// Whether every run satisfied every oracle.
+    pub fn is_clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs `count` seeded simulations starting at `first_seed` (or exactly
+/// the pinned seed when `pinned` is set — the `SCEC_DST_SEED` replay
+/// path), stopping at the first oracle violation.
+///
+/// # Errors
+///
+/// Propagates world-construction failures (invalid coding parameters).
+pub fn run_seeds(
+    config: &DstConfig,
+    first_seed: u64,
+    count: usize,
+    pinned: Option<u64>,
+) -> Result<SweepReport, scec_coding::Error> {
+    let seeds: Vec<u64> = match pinned {
+        Some(seed) => vec![seed],
+        None => (0..count as u64).map(|i| first_seed + i).collect(),
+    };
+    let mut report = SweepReport {
+        runs: 0,
+        completed: 0,
+        failed: 0,
+        repairs: 0,
+        failure: None,
+    };
+    for seed in seeds {
+        let run = Simulation::new(config.clone(), seed)?.run();
+        report.runs += 1;
+        report.completed += run.completed;
+        report.failed += run.failed;
+        report.repairs += run.repairs;
+        if run.violation.is_some() {
+            report.failure = Some(run);
+            break;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_sweep_accumulates_counters() {
+        let report = run_seeds(&DstConfig::small(), 0, 8, None).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.runs, 8);
+        assert_eq!(report.completed, 16); // 2 queries × 8 clean runs
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn sweep_stops_at_first_failure_and_pins_replay() {
+        let mut config = DstConfig::small();
+        config.break_decode_oracle = true;
+        let sweep = run_seeds(&config, 0, 10, None).unwrap();
+        assert_eq!(sweep.runs, 1, "must stop at the first violation");
+        let failing = sweep.failure.expect("violation");
+        // The pinned replay (the SCEC_DST_SEED path) reproduces it.
+        let replay = run_seeds(&config, 999, 10, Some(failing.seed)).unwrap();
+        assert_eq!(replay.runs, 1);
+        let again = replay.failure.expect("same violation");
+        assert_eq!(failing.render(), again.render());
+    }
+}

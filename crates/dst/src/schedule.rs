@@ -1,0 +1,186 @@
+//! Seeded, replayable schedules: the single source of nondeterminism.
+//!
+//! Every choice the simulator makes — which pending event to process
+//! next, whether a flaky device drops a query — is funneled through a
+//! [`Schedule`]. A schedule draws choices either from a seeded RNG
+//! ([`Schedule::seeded`]) or from an explicit decision script
+//! ([`Schedule::scripted`]), and **logs every decision it hands out**
+//! together with the number of alternatives that were available.
+//!
+//! That log is the whole replay/shrink/explore story:
+//!
+//! * *replay* — re-running with the same seed reproduces the identical
+//!   decision sequence, so the identical execution;
+//! * *shrink* — a failing run's log can be cut to a prefix and re-played
+//!   as a script (positions past the script take the benign default);
+//! * *explore* — a bounded DFS re-runs scripts that override one logged
+//!   decision at a time with each untaken alternative.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One logged decision: the value chosen and how many alternatives were
+/// available at that point (`arity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The chosen branch, `0..arity`.
+    pub chosen: u32,
+    /// Number of alternatives that were available (`>= 1`).
+    pub arity: u32,
+}
+
+enum Source {
+    /// Draw decisions from a seeded RNG.
+    Seeded(StdRng),
+    /// Follow an explicit script; past its end take the benign default
+    /// (branch 0).
+    Scripted(Vec<u32>),
+}
+
+/// A replayable decision source plus its decision log.
+pub struct Schedule {
+    source: Source,
+    /// Latency noise, deliberately *separate* from the decision stream:
+    /// delays shape the event timeline but are fully determined by the
+    /// seed, so the explorer never branches on them.
+    noise: StdRng,
+    log: Vec<Decision>,
+}
+
+impl Schedule {
+    /// A schedule drawing every decision from `StdRng::seed_from_u64(seed)`.
+    pub fn seeded(seed: u64) -> Self {
+        Schedule {
+            source: Source::Seeded(StdRng::seed_from_u64(seed)),
+            noise: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            log: Vec::new(),
+        }
+    }
+
+    /// A schedule following `script` decision-for-decision; once the
+    /// script runs out, every further decision takes branch 0 (the benign
+    /// default: deliver the oldest event, never drop). `seed` still feeds
+    /// the latency noise so the event timeline matches the seeded run the
+    /// script was cut from.
+    pub fn scripted(seed: u64, script: Vec<u32>) -> Self {
+        Schedule {
+            source: Source::Scripted(script),
+            noise: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            log: Vec::new(),
+        }
+    }
+
+    /// Picks one of `arity` alternatives (`arity >= 1`), logging the
+    /// choice. Scripted values are clamped into range so a script cut
+    /// from a different timeline can never panic the simulator.
+    pub fn pick(&mut self, arity: usize) -> usize {
+        debug_assert!(arity >= 1);
+        let arity = arity.max(1) as u32;
+        let chosen = match &mut self.source {
+            Source::Seeded(rng) => rng.gen_range(0..arity),
+            Source::Scripted(script) => script
+                .get(self.log.len())
+                .copied()
+                .unwrap_or(0)
+                .min(arity - 1),
+        };
+        self.log.push(Decision { chosen, arity });
+        chosen as usize
+    }
+
+    /// A boolean decision with an explicit benign default of `false`
+    /// (branch 0). Used for flaky-drop coin flips.
+    pub fn coin(&mut self, p_true: f64) -> bool {
+        let chosen = match &mut self.source {
+            Source::Seeded(rng) => u32::from(rng.gen_bool(p_true.clamp(0.0, 1.0))),
+            Source::Scripted(script) => script.get(self.log.len()).copied().unwrap_or(0).min(1),
+        };
+        self.log.push(Decision { chosen, arity: 2 });
+        chosen == 1
+    }
+
+    /// A latency draw in whole milliseconds from `lo..=hi` — seed-derived
+    /// noise, *not* part of the decision log.
+    pub fn latency_ms(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.noise.gen_range(lo..=hi)
+    }
+
+    /// The decisions handed out so far, in draw order.
+    pub fn log(&self) -> &[Decision] {
+        &self.log
+    }
+
+    /// The chosen branches alone — the replay script for this run.
+    pub fn script(&self) -> Vec<u32> {
+        self.log.iter().map(|d| d.chosen).collect()
+    }
+}
+
+impl std::fmt::Debug for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match &self.source {
+            Source::Seeded(_) => "seeded",
+            Source::Scripted(_) => "scripted",
+        };
+        f.debug_struct("Schedule")
+            .field("mode", &mode)
+            .field("decisions", &self.log.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_replay_identically() {
+        let mut a = Schedule::seeded(7);
+        let mut b = Schedule::seeded(7);
+        for arity in [3usize, 1, 5, 2, 9] {
+            assert_eq!(a.pick(arity), b.pick(arity));
+        }
+        assert_eq!(a.coin(0.5), b.coin(0.5));
+        assert_eq!(a.latency_ms(1, 20), b.latency_ms(1, 20));
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn scripted_schedule_follows_script_then_defaults() {
+        let mut s = Schedule::scripted(7, vec![2, 1, 9]);
+        assert_eq!(s.pick(4), 2);
+        assert!(s.coin(0.0)); // scripted 1 overrides the probability
+        assert_eq!(s.pick(3), 2); // 9 clamped to arity - 1
+        assert_eq!(s.pick(5), 0); // past the script: benign default
+        assert!(!s.coin(1.0)); // past the script: benign default
+        assert_eq!(s.script(), vec![2, 1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn replaying_a_seeded_log_as_script_matches() {
+        let mut seeded = Schedule::seeded(42);
+        let picks: Vec<usize> = [4usize, 2, 7, 3].iter().map(|&a| seeded.pick(a)).collect();
+        let drop = seeded.coin(0.5);
+        let mut replay = Schedule::scripted(42, seeded.script());
+        let again: Vec<usize> = [4usize, 2, 7, 3].iter().map(|&a| replay.pick(a)).collect();
+        assert_eq!(picks, again);
+        assert_eq!(drop, replay.coin(0.5));
+        // Noise stream is seed-derived, so it matches too.
+        assert_eq!(seeded.latency_ms(1, 50), replay.latency_ms(1, 50));
+    }
+
+    #[test]
+    fn arity_one_picks_are_forced_but_logged() {
+        let mut s = Schedule::seeded(1);
+        assert_eq!(s.pick(1), 0);
+        assert_eq!(
+            s.log(),
+            &[Decision {
+                chosen: 0,
+                arity: 1
+            }]
+        );
+    }
+}

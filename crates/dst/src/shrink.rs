@@ -1,0 +1,78 @@
+//! Failure minimization: cut a failing decision log down to its shortest
+//! failing prefix.
+//!
+//! A seeded failure hands us the full decision log of the violating run.
+//! Positions past a script's end take the benign default (deliver the
+//! oldest event, never drop), so a *prefix* of the log is itself a valid
+//! schedule — usually a much more readable one. [`shrink`] scans prefix
+//! lengths from zero upward and returns the first (hence shortest) prefix
+//! whose scripted replay still violates an oracle.
+
+use crate::sim::{RunReport, Simulation};
+use crate::DstConfig;
+
+/// Outcome of shrinking one failing run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized decision script.
+    pub script: Vec<u32>,
+    /// The report of replaying the minimized script.
+    pub report: RunReport,
+    /// Scripted replays performed while scanning.
+    pub attempts: usize,
+}
+
+/// Minimizes `failing` (a report with a violation) to the shortest
+/// decision-log prefix that still fails under scripted replay. Returns
+/// `None` when `failing` has no violation, or — defensively — when no
+/// prefix up to the full log reproduces one (a nondeterministic oracle,
+/// which would itself be a bug worth surfacing).
+pub fn shrink(config: &DstConfig, failing: &RunReport) -> Option<Shrunk> {
+    failing.violation.as_ref()?;
+    let full: Vec<u32> = failing.decisions.iter().map(|d| d.chosen).collect();
+    for (attempts, len) in (0..=full.len()).enumerate() {
+        let script = full[..len].to_vec();
+        let sim = Simulation::scripted(config.clone(), failing.seed, script.clone()).ok()?;
+        let report = sim.run();
+        if report.violation.is_some() {
+            return Some(Shrunk {
+                script,
+                report,
+                attempts: attempts + 1,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrunk_script_is_minimal_and_still_fails() {
+        let mut config = DstConfig::small();
+        config.break_decode_oracle = true;
+        let failing = Simulation::new(config.clone(), 2).unwrap().run();
+        assert!(failing.violation.is_some());
+        let shrunk = shrink(&config, &failing).expect("shrinkable");
+        assert!(shrunk.report.violation.is_some());
+        assert!(shrunk.script.len() <= failing.decisions.len());
+        // Minimality: every strictly shorter prefix passes.
+        if !shrunk.script.is_empty() {
+            let shorter = shrunk.script[..shrunk.script.len() - 1].to_vec();
+            let report = Simulation::scripted(config, failing.seed, shorter)
+                .unwrap()
+                .run();
+            assert!(report.violation.is_none());
+        }
+    }
+
+    #[test]
+    fn clean_runs_do_not_shrink() {
+        let config = DstConfig::small();
+        let clean = Simulation::new(config.clone(), 3).unwrap().run();
+        assert!(clean.is_clean());
+        assert!(shrink(&config, &clean).is_none());
+    }
+}

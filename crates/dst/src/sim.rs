@@ -1,0 +1,858 @@
+//! The deterministic cluster simulation: one virtual-time event loop,
+//! every choice funneled through a [`Schedule`], every step checked
+//! against the paper's theorems.
+//!
+//! The simulator models a supervised straggler-coded cluster — the same
+//! protocol `scec_runtime::SupervisedCluster` runs on real threads — as a
+//! single-threaded event-set simulation:
+//!
+//! * device responses and query deadlines are *pending events* with
+//!   virtual due times on a manual [`SimClock`];
+//! * the [`Schedule`] picks which pending event is processed next, so
+//!   delivery order, timeout/response races, drops, and repair timing are
+//!   all under seed (or script) control;
+//! * after each processed event the **conformance oracles** run: decode
+//!   correctness (`decode(B·Tx) == A·x`), Theorem 3 availability and
+//!   per-device security on every topology change, FIFO result emission,
+//!   supervisor lifecycle monotonicity, and clock monotonicity.
+//!
+//! A run is fully described by `(config, seed, script)`: re-running with
+//! the same triple reproduces the identical [`RunReport`], byte for byte.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use scec_coding::{CodeDesign, StragglerCode, StragglerStore, TaggedResponse};
+use scec_linalg::{Fp61, Matrix, Scalar, Vector};
+use scec_runtime::{Clock, SimClock};
+use scec_sim::adversary::{ChaosFault, ChaosPlan};
+
+use crate::schedule::{Decision, Schedule};
+use crate::DstConfig;
+
+/// Supervisor-visible device lifecycle, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// Responding normally.
+    Healthy,
+    /// Missed at least `suspect_after` deadlines.
+    Suspect,
+    /// Missed `evict_after` deadlines — evicted (absorbing).
+    Dead,
+    /// Returned a corrupted partial — quarantined (absorbing).
+    Quarantined,
+}
+
+impl Health {
+    fn is_absorbing(self) -> bool {
+        matches!(self, Health::Dead | Health::Quarantined)
+    }
+
+    /// Whether a device may move `self → next` without violating the
+    /// lifecycle oracle: severity never decreases and the absorbing
+    /// states are never left.
+    fn may_become(self, next: Health) -> bool {
+        if self == next {
+            return true;
+        }
+        !self.is_absorbing() && next > self
+    }
+}
+
+/// Which oracle a run violated, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Oracle name: `decode`, `availability`, `security`, `fifo`,
+    /// `lifecycle`, or `clock`.
+    pub oracle: &'static str,
+    /// Simulation step (processed-event count) at which it fired.
+    pub step: usize,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// How one simulated query ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Decoded (and the decode oracle checked the value).
+    Decoded,
+    /// Retry budget exhausted or the cluster ran out of devices.
+    Failed,
+}
+
+/// The deterministic record of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Seed the schedule (or its noise stream) was derived from.
+    pub seed: u64,
+    /// Processed-event count.
+    pub steps: usize,
+    /// Queries that decoded successfully.
+    pub completed: usize,
+    /// Queries that failed (timeout / cluster exhaustion).
+    pub failed: usize,
+    /// Topology repairs performed.
+    pub repairs: usize,
+    /// Devices quarantined for corrupted partials.
+    pub quarantined: usize,
+    /// First oracle violation, if any.
+    pub violation: Option<Violation>,
+    /// Every decision the schedule handed out, in draw order.
+    pub decisions: Vec<Decision>,
+    /// Deterministic event trace.
+    pub trace: Vec<String>,
+}
+
+impl RunReport {
+    /// Whether the run finished with every oracle intact.
+    pub fn is_clean(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Renders the report as a deterministic string: two runs of the same
+    /// `(config, seed, script)` render byte-identically, which is what
+    /// the replay test asserts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "seed={} steps={} completed={} failed={} repairs={} quarantined={}\n",
+            self.seed, self.steps, self.completed, self.failed, self.repairs, self.quarantined
+        ));
+        match &self.violation {
+            Some(v) => out.push_str(&format!(
+                "violation oracle={} step={} {}\n",
+                v.oracle, v.step, v.detail
+            )),
+            None => out.push_str("violation none\n"),
+        }
+        out.push_str(&format!(
+            "decisions {}\n",
+            self.decisions
+                .iter()
+                .map(|d| format!("{}/{}", d.chosen, d.arity))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+        for line in &self.trace {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A pending simulated event.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A device's partial result arriving at the user.
+    Response {
+        at: Duration,
+        query: usize,
+        attempt: u32,
+        generation: u32,
+        device: usize,
+        rows: Vec<TaggedResponse<Fp61>>,
+        corrupted: bool,
+    },
+    /// A query attempt's deadline expiring at the supervisor.
+    Deadline {
+        at: Duration,
+        query: usize,
+        attempt: u32,
+        generation: u32,
+    },
+}
+
+impl Event {
+    fn at(&self) -> Duration {
+        match self {
+            Event::Response { at, .. } | Event::Deadline { at, .. } => *at,
+        }
+    }
+}
+
+struct QueryState {
+    x: Vector<Fp61>,
+    want: Vector<Fp61>,
+    attempt: u32,
+    /// Devices broadcast to in the current attempt (global ids).
+    targets: Vec<usize>,
+    /// Verified rows collected in the current attempt, by global device.
+    collected: BTreeMap<usize, Vec<TaggedResponse<Fp61>>>,
+    outcome: Option<QueryOutcome>,
+    emitted: bool,
+}
+
+/// The simulator itself. Construct with [`Simulation::new`], drive with
+/// [`Simulation::run`].
+pub struct Simulation {
+    config: DstConfig,
+    schedule: Schedule,
+    clock: SimClock,
+    /// World-building randomness (data matrix, query vectors, code
+    /// rebuilds) — seed-derived, separate from the decision stream.
+    world: StdRng,
+    a: Matrix<Fp61>,
+    code: StragglerCode<Fp61>,
+    store: StragglerStore<Fp61>,
+    /// Global device id (1-based) of each code position (1-based - 1).
+    roster: Vec<usize>,
+    faults: Vec<ChaosFault>,
+    health: Vec<Health>,
+    misses: Vec<u32>,
+    served: Vec<u32>,
+    crashed: Vec<bool>,
+    generation: u32,
+    queries: Vec<QueryState>,
+    started: usize,
+    next_emit: usize,
+    pending: Vec<Event>,
+    steps: usize,
+    repairs: usize,
+    quarantined: usize,
+    exhausted: bool,
+    violation: Option<Violation>,
+    trace: Vec<String>,
+    seed: u64,
+}
+
+impl Simulation {
+    /// Builds the simulated world for `(config, seed)` with a seeded
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coding failures from the initial code construction.
+    pub fn new(config: DstConfig, seed: u64) -> Result<Self, scec_coding::Error> {
+        Self::with_schedule(config, seed, Schedule::seeded(seed))
+    }
+
+    /// Builds the world with an explicit decision script (the replay /
+    /// shrink / explore entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates coding failures from the initial code construction.
+    pub fn scripted(
+        config: DstConfig,
+        seed: u64,
+        script: Vec<u32>,
+    ) -> Result<Self, scec_coding::Error> {
+        Self::with_schedule(config, seed, Schedule::scripted(seed, script))
+    }
+
+    fn with_schedule(
+        config: DstConfig,
+        seed: u64,
+        schedule: Schedule,
+    ) -> Result<Self, scec_coding::Error> {
+        let mut world =
+            StdRng::seed_from_u64(seed.wrapping_mul(0xa24b_aed4_963e_e407).wrapping_add(1));
+        let a = Matrix::<Fp61>::random(config.data_rows, config.width, &mut world);
+        let design = CodeDesign::new(config.data_rows, config.random_rows)?;
+        let code = StragglerCode::<Fp61>::new(design, config.redundancy, &mut world)?;
+        let store = code.encode(&a, &mut world)?;
+        let needed = code.device_count();
+        let pool = needed + config.spare_devices;
+        let faults = ChaosPlan::generate(pool, config.intensity, seed).faults;
+        let sim = Simulation {
+            roster: (1..=needed).collect(),
+            health: vec![Health::Healthy; pool],
+            misses: vec![0; pool],
+            served: vec![0; pool],
+            crashed: vec![false; pool],
+            generation: 0,
+            queries: Vec::new(),
+            started: 0,
+            next_emit: 0,
+            pending: Vec::new(),
+            steps: 0,
+            repairs: 0,
+            quarantined: 0,
+            exhausted: false,
+            violation: None,
+            trace: Vec::new(),
+            clock: SimClock::manual(),
+            config,
+            schedule,
+            world,
+            a,
+            code,
+            store,
+            faults,
+            seed,
+        };
+        Ok(sim)
+    }
+
+    /// Runs to completion and returns the deterministic report.
+    pub fn run(mut self) -> RunReport {
+        self.check_topology_oracles();
+        while self.violation.is_none() && self.started < self.config.queries.min(self.config.window)
+        {
+            self.start_next_query();
+        }
+        while self.violation.is_none() && self.steps < self.config.max_steps {
+            self.prune_stale();
+            if self.pending.is_empty() {
+                break;
+            }
+            let event = self.pick_event();
+            self.steps += 1;
+            let before = self.clock.now();
+            self.clock.advance_to(event.at());
+            if self.clock.now() < before {
+                self.violate(
+                    "clock",
+                    format!("virtual time moved backwards at step {}", self.steps),
+                );
+                break;
+            }
+            self.process(event);
+        }
+        if self.violation.is_none() && self.next_emit < self.queries.len() {
+            // Ran out of events or steps with queries unresolved — fail
+            // them in FIFO order so the report accounts for every query.
+            for q in self.next_emit..self.queries.len() {
+                if self.queries[q].outcome.is_none() {
+                    self.queries[q].outcome = Some(QueryOutcome::Failed);
+                }
+            }
+            self.emit_ready();
+        }
+        let completed = self
+            .queries
+            .iter()
+            .filter(|q| q.outcome == Some(QueryOutcome::Decoded))
+            .count();
+        // Queries the cluster never even admitted (exhaustion, violation,
+        // step cap) count as failed: every configured query is accounted.
+        let failed = self.config.queries.saturating_sub(completed);
+        RunReport {
+            seed: self.seed,
+            steps: self.steps,
+            completed,
+            failed,
+            repairs: self.repairs,
+            quarantined: self.quarantined,
+            violation: self.violation,
+            decisions: self.schedule.log().to_vec(),
+            trace: self.trace,
+        }
+    }
+
+    // ---- event machinery -------------------------------------------------
+
+    /// Drops events that can no longer matter — stale generation, resolved
+    /// query, superseded attempt — *without* consuming a decision, so the
+    /// explorer's branching factor stays tight.
+    fn prune_stale(&mut self) {
+        let queries = &self.queries;
+        let generation = self.generation;
+        self.pending.retain(|e| {
+            let (q, attempt, gen) = match e {
+                Event::Response {
+                    query,
+                    attempt,
+                    generation,
+                    ..
+                }
+                | Event::Deadline {
+                    query,
+                    attempt,
+                    generation,
+                    ..
+                } => (*query, *attempt, *generation),
+            };
+            gen == generation && queries[q].outcome.is_none() && attempt == queries[q].attempt
+        });
+    }
+
+    /// Lets the schedule choose the next event. In deliveries-first mode
+    /// deadlines are eligible only when no response is pending, which
+    /// keeps the explorer's interleaving space finite and focused on
+    /// delivery order.
+    fn pick_event(&mut self) -> Event {
+        let deliveries_first = self.config.deliveries_first
+            && self
+                .pending
+                .iter()
+                .any(|e| matches!(e, Event::Response { .. }));
+        let eligible: Vec<usize> = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !deliveries_first || matches!(e, Event::Response { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let pick = self.schedule.pick(eligible.len());
+        self.pending.remove(eligible[pick])
+    }
+
+    fn process(&mut self, event: Event) {
+        match event {
+            Event::Response {
+                query,
+                device,
+                rows,
+                corrupted,
+                ..
+            } => self.process_response(query, device, rows, corrupted),
+            Event::Deadline { query, .. } => self.process_deadline(query),
+        }
+    }
+
+    fn process_response(
+        &mut self,
+        query: usize,
+        device: usize,
+        rows: Vec<TaggedResponse<Fp61>>,
+        corrupted: bool,
+    ) {
+        if corrupted {
+            // The runtime's Freivalds verification catches corrupted
+            // partials; the simulator has ground truth and the same
+            // verdict: quarantine the device and discard the rows.
+            self.trace.push(format!(
+                "t={} quarantine d{} (corrupt partial q{})",
+                self.ms(),
+                device,
+                query
+            ));
+            self.quarantined += 1;
+            self.set_health(device, Health::Quarantined);
+            self.maybe_repair();
+            return;
+        }
+        self.trace.push(format!(
+            "t={} deliver q{} d{} rows={}",
+            self.ms(),
+            query,
+            device,
+            rows.len()
+        ));
+        self.queries[query].collected.insert(device, rows);
+        self.try_complete(query);
+    }
+
+    fn process_deadline(&mut self, query: usize) {
+        self.trace.push(format!(
+            "t={} deadline q{} attempt={}",
+            self.ms(),
+            query,
+            self.queries[query].attempt
+        ));
+        // Count a miss against every broadcast target that neither
+        // responded nor was already removed from play.
+        let missing: Vec<usize> = self.queries[query]
+            .targets
+            .iter()
+            .copied()
+            .filter(|d| {
+                !self.queries[query].collected.contains_key(d) && !self.health[d - 1].is_absorbing()
+            })
+            .collect();
+        for device in missing {
+            self.misses[device - 1] += 1;
+            let misses = self.misses[device - 1];
+            if misses >= self.config.evict_after {
+                self.set_health(device, Health::Dead);
+            } else if misses >= self.config.suspect_after {
+                self.set_health(device, Health::Suspect);
+            }
+        }
+        self.maybe_repair();
+        if self.violation.is_some() || self.queries[query].outcome.is_some() {
+            return;
+        }
+        if self.queries[query].attempt < self.config.max_retries {
+            self.queries[query].attempt += 1;
+            self.queries[query].collected.clear();
+            let backoff = Duration::from_millis(self.config.backoff_ms);
+            self.trace.push(format!(
+                "t={} retry q{} attempt={}",
+                self.ms(),
+                query,
+                self.queries[query].attempt
+            ));
+            self.broadcast(query, backoff);
+        } else {
+            self.resolve(query, QueryOutcome::Failed);
+        }
+    }
+
+    fn start_next_query(&mut self) {
+        let q = self.started;
+        self.started += 1;
+        let x = Vector::<Fp61>::random(self.config.width, &mut self.world);
+        let want = self.a.matvec(&x).expect("widths agree");
+        self.queries.push(QueryState {
+            x,
+            want,
+            attempt: 0,
+            targets: Vec::new(),
+            collected: BTreeMap::new(),
+            outcome: None,
+            emitted: false,
+        });
+        self.trace.push(format!("t={} start q{}", self.ms(), q));
+        self.broadcast(q, Duration::ZERO);
+    }
+
+    /// Broadcasts query `q`'s current attempt to every live roster device
+    /// and schedules the attempt's deadline.
+    fn broadcast(&mut self, q: usize, delay: Duration) {
+        let start = self.clock.now().saturating_add(delay);
+        let attempt = self.queries[q].attempt;
+        let x = self.queries[q].x.clone();
+        let mut targets = Vec::new();
+        for pos in 1..=self.code.device_count() {
+            let device = self.roster[pos - 1];
+            if self.health[device - 1].is_absorbing() {
+                continue;
+            }
+            targets.push(device);
+            if self.crashed[device - 1] {
+                continue;
+            }
+            if let ChaosFault::Crash { after_queries } = self.faults[device - 1] {
+                if self.served[device - 1] >= after_queries {
+                    self.crashed[device - 1] = true;
+                    self.trace
+                        .push(format!("t={} crash d{}", self.ms(), device));
+                    continue;
+                }
+            }
+            self.served[device - 1] += 1;
+            let mut latency = self.schedule.latency_ms(1, 8);
+            let mut corrupted = false;
+            match self.faults[device - 1] {
+                ChaosFault::Omit => continue,
+                ChaosFault::Slow { millis } => latency += millis,
+                ChaosFault::Byzantine => corrupted = true,
+                ChaosFault::Flaky { permille } => {
+                    if self.schedule.coin(f64::from(permille) / 1000.0) {
+                        self.trace
+                            .push(format!("t={} drop q{} d{}", self.ms(), q, device));
+                        continue;
+                    }
+                }
+                ChaosFault::None | ChaosFault::Crash { .. } => {}
+            }
+            let mut rows = self.store.shares()[pos - 1]
+                .compute(&x)
+                .expect("widths agree");
+            if corrupted {
+                for r in &mut rows {
+                    r.value = r.value.add(Fp61::one());
+                }
+            }
+            self.pending.push(Event::Response {
+                at: start.saturating_add(Duration::from_millis(latency)),
+                query: q,
+                attempt,
+                generation: self.generation,
+                device,
+                rows,
+                corrupted,
+            });
+        }
+        self.queries[q].targets = targets;
+        self.pending.push(Event::Deadline {
+            at: start.saturating_add(Duration::from_millis(self.config.deadline_ms)),
+            query: q,
+            attempt,
+            generation: self.generation,
+        });
+    }
+
+    fn try_complete(&mut self, q: usize) {
+        let state = &self.queries[q];
+        let responses: Vec<TaggedResponse<Fp61>> = state
+            .collected
+            .values()
+            .flat_map(|rows| rows.iter().copied())
+            .collect();
+        let distinct: std::collections::BTreeSet<usize> = responses.iter().map(|r| r.row).collect();
+        if distinct.len() < self.code.rows_needed() {
+            return;
+        }
+        let mut y = match self.code.decode(&responses) {
+            Ok(y) => y,
+            Err(e) => {
+                self.violate(
+                    "decode",
+                    format!("q{q}: decode failed on a full quorum: {e}"),
+                );
+                return;
+            }
+        };
+        if self.config.break_decode_oracle {
+            // Intentional fault injection for the replay test: corrupt the
+            // decoded result so the decode oracle fires deterministically.
+            let mut vals = y.into_vec();
+            vals[0] = vals[0].add(Fp61::one());
+            y = Vector::from_vec(vals);
+        }
+        if y != self.queries[q].want {
+            self.violate("decode", format!("q{q}: decode(B·Tx) != A·x"));
+            return;
+        }
+        self.resolve(q, QueryOutcome::Decoded);
+    }
+
+    fn resolve(&mut self, q: usize, outcome: QueryOutcome) {
+        self.queries[q].outcome = Some(outcome);
+        self.trace
+            .push(format!("t={} resolve q{} {:?}", self.ms(), q, outcome));
+        self.emit_ready();
+    }
+
+    /// Emits resolved results in FIFO order and admits new queries into
+    /// the freed window slots. The FIFO oracle lives here: a result may
+    /// only be emitted if every earlier query has already been emitted.
+    fn emit_ready(&mut self) {
+        while self.next_emit < self.queries.len() {
+            if self.queries[self.next_emit].outcome.is_none() {
+                break;
+            }
+            if self.queries[..self.next_emit].iter().any(|p| !p.emitted) {
+                self.violate(
+                    "fifo",
+                    format!("q{} emitted before a predecessor", self.next_emit),
+                );
+                return;
+            }
+            self.queries[self.next_emit].emitted = true;
+            self.trace
+                .push(format!("t={} emit q{}", self.ms(), self.next_emit));
+            self.next_emit += 1;
+            if !self.exhausted && self.violation.is_none() && self.started < self.config.queries {
+                self.start_next_query();
+            }
+        }
+    }
+
+    // ---- supervisor: health, repair, oracles -----------------------------
+
+    fn set_health(&mut self, device: usize, next: Health) {
+        let current = self.health[device - 1];
+        if current == next {
+            return;
+        }
+        if !current.may_become(next) {
+            self.violate(
+                "lifecycle",
+                format!("d{device}: illegal transition {current:?} -> {next:?}"),
+            );
+            return;
+        }
+        self.trace.push(format!(
+            "t={} d{} {:?} -> {:?}",
+            self.ms(),
+            device,
+            current,
+            next
+        ));
+        self.health[device - 1] = next;
+    }
+
+    /// Re-allocates around Dead/Quarantined roster members: survivors are
+    /// re-enrolled cheapest-first (global id order — the fleet is sorted
+    /// by unit cost, so the prefix is exactly the TA-1 choice), the code
+    /// and store are rebuilt, and the generation fence advances so stale
+    /// in-flight responses are discarded.
+    fn maybe_repair(&mut self) {
+        if self.violation.is_some()
+            || !self
+                .roster
+                .iter()
+                .any(|&d| self.health[d - 1].is_absorbing())
+        {
+            return;
+        }
+        let needed = self.code.device_count();
+        let survivors: Vec<usize> = (1..=self.health.len())
+            .filter(|&d| !self.health[d - 1].is_absorbing())
+            .collect();
+        if survivors.len() < needed {
+            self.trace.push(format!(
+                "t={} exhausted: {} survivors < {} needed",
+                self.ms(),
+                survivors.len(),
+                needed
+            ));
+            self.exhausted = true;
+            for q in 0..self.queries.len() {
+                if self.queries[q].outcome.is_none() {
+                    self.queries[q].outcome = Some(QueryOutcome::Failed);
+                }
+            }
+            self.emit_ready();
+            return;
+        }
+        self.roster = survivors[..needed].to_vec();
+        let design = CodeDesign::new(self.config.data_rows, self.config.random_rows)
+            .expect("validated at construction");
+        self.code = StragglerCode::<Fp61>::new(design, self.config.redundancy, &mut self.world)
+            .expect("resampling always finds a secure extension over Fp61");
+        self.store = self
+            .code
+            .encode(&self.a, &mut self.world)
+            .expect("shapes validated at construction");
+        self.generation += 1;
+        self.repairs += 1;
+        self.trace.push(format!(
+            "t={} repair gen={} roster={:?}",
+            self.ms(),
+            self.generation,
+            self.roster
+        ));
+        self.check_topology_oracles();
+        if self.violation.is_some() {
+            return;
+        }
+        // Every unresolved query restarts on the new topology.
+        for q in 0..self.queries.len() {
+            if self.queries[q].outcome.is_none() {
+                self.queries[q].collected.clear();
+                self.broadcast(q, Duration::ZERO);
+            }
+        }
+    }
+
+    /// Theorem 3, both halves, on the current code: every quorum with at
+    /// least `m + r` rows decodes, and no device's block intersects the
+    /// pure-data span. Runs at construction and after every repair — the
+    /// only points where the coefficient matrix changes.
+    fn check_topology_oracles(&mut self) {
+        match self.code.all_quorums_available() {
+            Ok(true) => {}
+            Ok(false) => {
+                self.violate(
+                    "availability",
+                    format!(
+                        "gen {}: a quorum with >= m+r rows is rank-deficient",
+                        self.generation
+                    ),
+                );
+                return;
+            }
+            Err(e) => {
+                self.violate("availability", format!("oracle error: {e}"));
+                return;
+            }
+        }
+        match self.code.per_device_security_holds() {
+            Ok(true) => {}
+            Ok(false) => self.violate(
+                "security",
+                format!(
+                    "gen {}: a device block intersects the data span",
+                    self.generation
+                ),
+            ),
+            Err(e) => self.violate("security", format!("oracle error: {e}")),
+        }
+    }
+
+    fn violate(&mut self, oracle: &'static str, detail: String) {
+        if self.violation.is_none() {
+            self.trace
+                .push(format!("t={} VIOLATION {} {}", self.ms(), oracle, detail));
+            self.violation = Some(Violation {
+                oracle,
+                step: self.steps,
+                detail,
+            });
+        }
+    }
+
+    fn ms(&self) -> u128 {
+        self.clock.now().as_millis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_small_run_is_clean_and_deterministic() {
+        let config = DstConfig::small();
+        let a = Simulation::new(config.clone(), 11).unwrap().run();
+        let b = Simulation::new(config, 11).unwrap().run();
+        assert!(a.is_clean(), "{}", a.render());
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.failed, 0);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn chaos_runs_are_clean_across_seeds() {
+        let config = DstConfig::chaos();
+        for seed in 0..20 {
+            let report = Simulation::new(config.clone(), seed).unwrap().run();
+            assert!(report.is_clean(), "seed {seed}:\n{}", report.render());
+            assert_eq!(
+                report.completed + report.failed,
+                config.queries,
+                "seed {seed} lost queries:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn broken_decode_oracle_fires_on_every_seed() {
+        let mut config = DstConfig::small();
+        config.break_decode_oracle = true;
+        for seed in 0..5 {
+            let report = Simulation::new(config.clone(), seed).unwrap().run();
+            let v = report.violation.expect("broken oracle must fire");
+            assert_eq!(v.oracle, "decode");
+        }
+    }
+
+    #[test]
+    fn scripted_replay_of_a_seeded_run_matches_byte_for_byte() {
+        let config = DstConfig::chaos();
+        let seeded = Simulation::new(config.clone(), 3).unwrap().run();
+        let script: Vec<u32> = seeded.decisions.iter().map(|d| d.chosen).collect();
+        let replay = Simulation::scripted(config, 3, script).unwrap().run();
+        assert_eq!(seeded.render(), replay.render());
+    }
+
+    #[test]
+    fn byzantine_device_is_quarantined_and_repaired_around() {
+        // Find a chaos seed whose plan includes a Byzantine device; the
+        // run must quarantine it and still satisfy every oracle.
+        let config = DstConfig::chaos();
+        let pool = 5 + config.spare_devices;
+        let seed = (0..200)
+            .find(|&s| {
+                ChaosPlan::generate(pool, config.intensity, s)
+                    .faults
+                    .iter()
+                    .any(|f| matches!(f, ChaosFault::Byzantine))
+            })
+            .expect("some seed draws a Byzantine fault");
+        let report = Simulation::new(config, seed).unwrap().run();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.quarantined >= 1, "{}", report.render());
+        assert!(report.repairs >= 1, "{}", report.render());
+    }
+
+    #[test]
+    fn lifecycle_rules_reject_resurrection() {
+        assert!(Health::Healthy.may_become(Health::Suspect));
+        assert!(Health::Healthy.may_become(Health::Quarantined));
+        assert!(Health::Suspect.may_become(Health::Dead));
+        assert!(!Health::Dead.may_become(Health::Healthy));
+        assert!(!Health::Dead.may_become(Health::Quarantined));
+        assert!(!Health::Quarantined.may_become(Health::Suspect));
+        assert!(Health::Dead.may_become(Health::Dead));
+    }
+}

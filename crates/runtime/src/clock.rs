@@ -1,0 +1,200 @@
+//! Virtual-time abstraction for the runtime.
+//!
+//! Every timestamp, deadline, backoff, and artificial device delay in
+//! this crate flows through the [`Clock`] trait instead of touching
+//! `std::time::Instant::now()` or `std::thread::sleep` directly. Two
+//! implementations are provided:
+//!
+//! * [`RealClock`] — wall-clock time, the default for every cluster
+//!   `launch` constructor. `now()` is the elapsed time since the clock
+//!   was created and `sleep` really blocks the calling thread.
+//! * [`SimClock`] — simulated time for deterministic tests. `sleep`
+//!   advances the virtual clock instantly instead of blocking, and (in
+//!   auto-advance mode) each expired mailbox polling slice advances
+//!   virtual time by the slice, so a device that *never* responds trips
+//!   a virtual deadline after a bounded number of polls — the timeout
+//!   outcome no longer races a wall-clock delay.
+//!
+//! The deterministic simulation harness in `scec-dst` drives a manual
+//! [`SimClock`] as the single time authority of a single-threaded event
+//! loop; the threaded clusters here accept either clock flavor through
+//! their `launch_clocked` constructors.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::mailbox::lock;
+
+/// A source of monotonic time plus a way to wait.
+///
+/// `now()` is an offset from an arbitrary per-clock epoch — only
+/// differences are meaningful. Implementations must be monotonic: `now`
+/// never decreases.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Monotonic time since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Waits for `d` — really (wall clock) or by advancing virtual time.
+    fn sleep(&self, d: Duration);
+
+    /// Hook invoked by the mailbox each time a bounded polling slice of
+    /// real length `waited` expired without a response. Real clocks
+    /// ignore it (real time already advanced); an auto-advance
+    /// [`SimClock`] moves virtual time forward by the slice so virtual
+    /// deadlines make progress while threads are quiescent.
+    fn poll_expired(&self, waited: Duration) {
+        let _ = waited;
+    }
+}
+
+/// Wall-clock [`Clock`]: `now()` is time elapsed since construction.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// The default clock used by the plain `launch` constructors.
+pub(crate) fn default_clock() -> Arc<dyn Clock> {
+    Arc::new(RealClock::default())
+}
+
+/// Simulated [`Clock`] for deterministic tests.
+///
+/// `sleep` advances virtual time instantly — a `Delayed` device actor
+/// under a `SimClock` responds immediately while *recording* the delay
+/// in virtual time. In auto-advance mode (the [`SimClock::new`]
+/// default), every expired mailbox polling slice also advances virtual
+/// time, so virtual deadlines expire after a bounded amount of real
+/// polling even when no thread ever sleeps.
+///
+/// [`SimClock::manual`] disables auto-advance: time moves only through
+/// explicit [`advance`](SimClock::advance) / [`advance_to`](SimClock::advance_to)
+/// calls. The `scec-dst` event loop uses this mode as its time
+/// authority.
+#[derive(Debug)]
+pub struct SimClock {
+    now: Mutex<Duration>,
+    auto_advance: bool,
+}
+
+impl SimClock {
+    /// An auto-advancing simulated clock starting at zero.
+    pub fn new() -> Self {
+        SimClock {
+            now: Mutex::new(Duration::ZERO),
+            auto_advance: true,
+        }
+    }
+
+    /// A manually-driven simulated clock starting at zero: time moves
+    /// only through [`advance`](Self::advance) / [`advance_to`](Self::advance_to).
+    pub fn manual() -> Self {
+        SimClock {
+            now: Mutex::new(Duration::ZERO),
+            auto_advance: false,
+        }
+    }
+
+    /// Moves virtual time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let mut now = lock(&self.now);
+        *now = now.saturating_add(d);
+    }
+
+    /// Moves virtual time forward to `t` if `t` is in the future;
+    /// otherwise leaves the clock unchanged (monotonicity).
+    pub fn advance_to(&self, t: Duration) {
+        let mut now = lock(&self.now);
+        if t > *now {
+            *now = t;
+        }
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Duration {
+        *lock(&self.now)
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+
+    fn poll_expired(&self, waited: Duration) {
+        if self.auto_advance {
+            self.advance(waited);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic_and_sleeps() {
+        let clock = RealClock::default();
+        let t0 = clock.now();
+        clock.sleep(Duration::from_millis(2));
+        let t1 = clock.now();
+        assert!(t1 >= t0 + Duration::from_millis(2));
+        // poll_expired is a no-op on real clocks.
+        clock.poll_expired(Duration::from_secs(100));
+        assert!(clock.now() < Duration::from_secs(50));
+    }
+
+    #[test]
+    fn sim_clock_sleep_advances_instantly() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        let wall = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn auto_advance_moves_on_expired_polls() {
+        let clock = SimClock::new();
+        clock.poll_expired(Duration::from_millis(5));
+        clock.poll_expired(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn manual_clock_ignores_expired_polls() {
+        let clock = SimClock::manual();
+        clock.poll_expired(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(7));
+        clock.advance_to(Duration::from_millis(3)); // backwards: ignored
+        assert_eq!(clock.now(), Duration::from_millis(7));
+        clock.advance_to(Duration::from_millis(12));
+        assert_eq!(clock.now(), Duration::from_millis(12));
+    }
+}

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -14,6 +14,7 @@ use scec_coding::decode;
 use scec_core::ScecSystem;
 use scec_linalg::{Matrix, Scalar, Vector};
 
+use crate::clock::{default_clock, Clock};
 use crate::error::{Error, Result};
 use crate::latency::LatencyLog;
 use crate::mailbox::{lock, Mailbox};
@@ -95,6 +96,7 @@ pub(crate) fn device_main<F: Scalar>(
     inbox: Receiver<ToDevice<F>>,
     outbox: Sender<FromDevice<F>>,
     behavior: DeviceBehavior,
+    clock: Arc<dyn Clock>,
 ) {
     let mut share = None;
     let mut tagged = None;
@@ -114,7 +116,7 @@ pub(crate) fn device_main<F: Scalar>(
                     Gate::Serve => {}
                 }
                 if let DeviceBehavior::Delayed(d) = behavior {
-                    std::thread::sleep(d);
+                    clock.sleep(d);
                 }
                 let response = if let Some(s) = &share {
                     match s.coded().matmul(&xs) {
@@ -154,7 +156,7 @@ pub(crate) fn device_main<F: Scalar>(
                     Gate::Serve => {}
                 }
                 if let DeviceBehavior::Delayed(d) = behavior {
-                    std::thread::sleep(d);
+                    clock.sleep(d);
                 }
                 let corrupt = |mut values: scec_linalg::Vector<F>| {
                     if behavior == DeviceBehavior::Byzantine {
@@ -265,6 +267,7 @@ pub struct LocalCluster<F: Scalar> {
     mailbox: Mailbox<F>,
     next_request: AtomicU64,
     timeout: Duration,
+    clock: Arc<dyn Clock>,
     /// Completed-query latencies, seconds (bounded ring).
     latencies: std::sync::Mutex<LatencyLog>,
 }
@@ -317,6 +320,23 @@ impl<F: Scalar> LocalCluster<F> {
         rng: &mut R,
         behaviors: &[DeviceBehavior],
     ) -> Result<Self> {
+        Self::launch_clocked(system, rng, behaviors, default_clock())
+    }
+
+    /// Like [`launch_with_behaviors`](Self::launch_with_behaviors), on an
+    /// explicit [`Clock`]. Pass a [`SimClock`](crate::SimClock) to make
+    /// timeouts and artificial delays advance on virtual time — the
+    /// deterministic-simulation entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution failures.
+    pub fn launch_clocked<R: Rng + ?Sized>(
+        system: &ScecSystem<F>,
+        rng: &mut R,
+        behaviors: &[DeviceBehavior],
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
         let deployment = system.distribute(rng)?;
         let (resp_tx, resp_rx) = unbounded();
         let mut devices = Vec::new();
@@ -325,9 +345,10 @@ impl<F: Scalar> LocalCluster<F> {
             let outbox = resp_tx.clone();
             let device = dev.device();
             let behavior = behaviors.get(idx).copied().unwrap_or_default();
+            let device_clock = Arc::clone(&clock);
             let join = std::thread::Builder::new()
                 .name(format!("scec-device-{device}"))
-                .spawn(move || device_main::<F>(device, rx, outbox, behavior))
+                .spawn(move || device_main::<F>(device, rx, outbox, behavior, device_clock))
                 .expect("spawn device thread");
             tx.send(ToDevice::Install(Box::new(dev.share().clone())))
                 .map_err(|_| Error::ChannelClosed {
@@ -345,6 +366,7 @@ impl<F: Scalar> LocalCluster<F> {
             mailbox: Mailbox::new(resp_rx),
             next_request: AtomicU64::new(1),
             timeout: crate::DEFAULT_DEADLINE,
+            clock,
             latencies: std::sync::Mutex::new(LatencyLog::default()),
         })
     }
@@ -404,7 +426,7 @@ impl<F: Scalar> LocalCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
-        let started = Instant::now();
+        let ticket_clock = Arc::clone(&self.clock);
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(x.clone());
         for dev in &self.devices {
@@ -417,7 +439,7 @@ impl<F: Scalar> LocalCluster<F> {
                     device: Some(dev.device),
                 })?;
         }
-        Ok(Ticket::new(request, started))
+        Ok(Ticket::new(request, &ticket_clock))
     }
 
     /// Awaits all partials for an in-flight request and decodes — the
@@ -448,11 +470,16 @@ impl<F: Scalar> LocalCluster<F> {
 
     fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
-        self.mailbox
-            .collect(request, self.timeout, self.devices.len(), |resp| {
+        self.mailbox.collect(
+            &*self.clock,
+            request,
+            self.timeout,
+            self.devices.len(),
+            |resp| {
                 Self::absorb(resp, &mut partials)?;
                 Ok(partials.len())
-            })?;
+            },
+        )?;
         let mut ordered: Vec<Vector<F>> = Vec::with_capacity(self.devices.len());
         for j in 1..=self.devices.len() {
             ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
@@ -501,11 +528,16 @@ impl<F: Scalar> LocalCluster<F> {
                 })?;
         }
         let mut partials: HashMap<usize, Matrix<F>> = HashMap::new();
-        self.mailbox
-            .collect(request, self.timeout, self.devices.len(), |resp| {
+        self.mailbox.collect(
+            &*self.clock,
+            request,
+            self.timeout,
+            self.devices.len(),
+            |resp| {
                 Self::absorb_batch(resp, &mut partials)?;
                 Ok(partials.len())
-            })?;
+            },
+        )?;
         let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(self.devices.len());
         for j in 1..=self.devices.len() {
             ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
@@ -614,12 +646,27 @@ mod tests {
 
     #[test]
     fn timeout_fires_when_a_device_is_too_slow() {
+        // Deterministic timeout: the first device *never* responds (Omit),
+        // and the auto-advance SimClock turns each empty 5ms polling
+        // slice into 5ms of virtual time, so a 25ms virtual deadline
+        // expires after a bounded number of polls — no wall-clock race
+        // between a delayed thread and the deadline.
         let (_a, sys, mut rng) = build(5, 3, 4);
-        let delays = vec![Duration::from_millis(400)];
-        let mut cluster = LocalCluster::launch_with_delays(&sys, &mut rng, &delays).unwrap();
-        cluster.set_timeout(Duration::from_millis(50));
+        let behaviors = vec![DeviceBehavior::Omit];
+        let clock: Arc<dyn Clock> = Arc::new(crate::SimClock::new());
+        let mut cluster = LocalCluster::launch_clocked(&sys, &mut rng, &behaviors, clock).unwrap();
+        cluster.set_timeout(Duration::from_millis(25));
         let x = Vector::<Fp61>::random(3, &mut rng);
-        assert!(matches!(cluster.query(&x), Err(Error::Timeout { .. })));
+        match cluster.query(&x) {
+            Err(Error::Timeout {
+                received, needed, ..
+            }) => {
+                // Everyone except the omitting device responded.
+                assert_eq!(needed, sys.plan().device_count());
+                assert_eq!(received, needed - 1);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -181,6 +181,52 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_order_statistic() {
+        let mut log = LatencyLog::with_capacity(8);
+        log.record(0.125);
+        assert_eq!(log.count(), 1);
+        assert_eq!(log.retained(), 1);
+        assert_eq!(log.mean(), 0.125);
+        assert_eq!(log.p50(), 0.125);
+        assert_eq!(log.p99(), 0.125);
+        assert_eq!(log.max(), 0.125);
+        let mut stats = QueryStats::default();
+        log.fill_stats(&mut stats);
+        assert_eq!(stats.p50, 0.125);
+        assert_eq!(stats.p99, 0.125);
+    }
+
+    #[test]
+    fn quantiles_follow_the_window_across_the_wrap_boundary() {
+        // A regime change right as the ring wraps: the first `capacity`
+        // samples are slow, everything after is fast. Percentiles must
+        // forget the slow launch transient entirely once the window has
+        // turned over, while the lifetime mean still remembers it.
+        let mut log = LatencyLog::with_capacity(4);
+        for _ in 0..4 {
+            log.record(9.0);
+        }
+        // Exactly at capacity, no wrap yet: all statistics see 9.0.
+        assert_eq!((log.p50(), log.p99(), log.max()), (9.0, 9.0, 9.0));
+        // One fast sample overwrites the oldest slow one (partial wrap).
+        log.record(1.0);
+        assert_eq!(log.retained(), 4);
+        assert_eq!(log.p50(), 9.0); // nearest-rank over [1, 9, 9, 9]
+        assert_eq!(log.p99(), 9.0);
+        // Full turnover: window is [1, 1, 1, 1], head back at the start.
+        for _ in 0..3 {
+            log.record(1.0);
+        }
+        assert_eq!((log.p50(), log.p99(), log.max()), (1.0, 1.0, 1.0));
+        assert_eq!(log.count(), 8);
+        assert!((log.mean() - 5.0).abs() < 1e-12);
+        // A second lap keeps the same semantics (head wrapped past 0).
+        log.record(3.0);
+        assert_eq!(log.p99(), 3.0);
+        assert_eq!(log.p50(), 1.0); // nearest-rank over [1, 1, 1, 3]
+    }
+
+    #[test]
     fn capacity_is_clamped_to_one() {
         let mut log = LatencyLog::with_capacity(0);
         assert_eq!(log.capacity(), 1);

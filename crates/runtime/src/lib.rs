@@ -72,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod cluster;
 pub mod error;
 pub mod latency;
@@ -88,6 +89,7 @@ use std::time::Duration;
 /// per cluster with `with_deadline` at launch or `set_timeout` later.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
 
+pub use clock::{Clock, RealClock, SimClock};
 pub use cluster::{DeviceBehavior, LocalCluster, QueryStats};
 pub use error::{Error, Result};
 pub use latency::LatencyLog;

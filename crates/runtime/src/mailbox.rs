@@ -9,10 +9,11 @@
 
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 
+use crate::clock::Clock;
 use crate::error::{Error, Result};
 use crate::message::FromDevice;
 
@@ -57,6 +58,13 @@ impl<F> Mailbox<F> {
     /// protocols. Responses for other requests are parked for their
     /// owning threads; the stash is re-checked every polling round.
     ///
+    /// The deadline lives on `clock`'s timeline: real time for
+    /// [`RealClock`](crate::RealClock), virtual time for
+    /// [`SimClock`](crate::SimClock). The channel itself is still polled
+    /// in bounded *real* slices; each expired slice is reported to the
+    /// clock via [`Clock::poll_expired`], which is how an auto-advance
+    /// sim clock makes virtual deadlines expire deterministically.
+    ///
     /// # Errors
     ///
     /// * [`Error::Timeout`] when `needed` is not reached in `timeout`;
@@ -64,12 +72,13 @@ impl<F> Mailbox<F> {
     /// * whatever `absorb` returns, verbatim.
     pub(crate) fn collect(
         &self,
+        clock: &dyn Clock,
         request: u64,
         timeout: Duration,
         needed: usize,
         mut absorb: impl FnMut(FromDevice<F>) -> Result<usize>,
     ) -> Result<()> {
-        let deadline = Instant::now() + timeout;
+        let deadline = clock.now().saturating_add(timeout);
         let mut progress = 0;
         while progress < needed {
             if let Some(stash) = lock(&self.parked).remove(&request) {
@@ -78,7 +87,7 @@ impl<F> Mailbox<F> {
                 }
                 continue;
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_sub(clock.now());
             if remaining.is_zero() {
                 return Err(Error::Timeout {
                     request,
@@ -86,7 +95,8 @@ impl<F> Mailbox<F> {
                     needed,
                 });
             }
-            match self.responses.recv_timeout(remaining.min(POLL)) {
+            let slice = remaining.min(POLL);
+            match self.responses.recv_timeout(slice) {
                 Ok(resp) if resp.request() == request => {
                     progress = absorb(resp)?;
                 }
@@ -97,8 +107,11 @@ impl<F> Mailbox<F> {
                         .push(other);
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    // Poll expired — loop to re-check the deadline and the
-                    // parked stash.
+                    // A real polling slice expired with no response; tell
+                    // the clock (advances virtual time under an
+                    // auto-advance SimClock), then loop to re-check the
+                    // deadline and the parked stash.
+                    clock.poll_expired(slice);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(Error::ChannelClosed { device: None });

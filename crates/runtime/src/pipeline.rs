@@ -39,10 +39,12 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::Duration;
 
 use scec_linalg::{Scalar, Vector};
 
+use crate::clock::Clock;
 use crate::cluster::LocalCluster;
 use crate::error::{Error, Result};
 use crate::straggler_cluster::{QuorumResult, StragglerCluster};
@@ -51,16 +53,22 @@ use crate::tprivate_cluster::TPrivateCluster;
 
 /// Claim on an in-flight request for the stateless cluster protocols
 /// (local, straggler, `t`-private): the request id to collect on and the
-/// broadcast instant for latency accounting.
+/// broadcast timestamp (on the cluster's [`Clock`]) for latency
+/// accounting.
 #[derive(Debug)]
 pub struct Ticket {
     request: u64,
-    started: Instant,
+    started: Duration,
+    clock: Arc<dyn Clock>,
 }
 
 impl Ticket {
-    pub(crate) fn new(request: u64, started: Instant) -> Self {
-        Ticket { request, started }
+    pub(crate) fn new(request: u64, clock: &Arc<dyn Clock>) -> Self {
+        Ticket {
+            request,
+            started: clock.now(),
+            clock: Arc::clone(clock),
+        }
     }
 
     /// The correlation id of the in-flight request.
@@ -68,9 +76,9 @@ impl Ticket {
         self.request
     }
 
-    /// Seconds elapsed since the broadcast.
+    /// Seconds elapsed on the cluster clock since the broadcast.
     pub fn elapsed_secs(&self) -> f64 {
-        self.started.elapsed().as_secs_f64()
+        self.clock.now().saturating_sub(self.started).as_secs_f64()
     }
 }
 

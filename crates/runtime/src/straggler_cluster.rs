@@ -3,7 +3,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use rand::Rng;
@@ -11,7 +11,8 @@ use rand::Rng;
 use scec_coding::{StragglerCode, TaggedResponse};
 use scec_linalg::{Matrix, Scalar, Vector};
 
-use crate::cluster::DeviceHandle;
+use crate::clock::{default_clock, Clock};
+use crate::cluster::{DeviceBehavior, DeviceHandle};
 use crate::error::{Error, Result};
 use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
@@ -29,6 +30,7 @@ pub struct StragglerCluster<F: Scalar> {
     mailbox: Mailbox<F>,
     next_request: AtomicU64,
     timeout: Duration,
+    clock: Arc<dyn Clock>,
 }
 
 /// A decoded result plus completion statistics.
@@ -68,6 +70,34 @@ impl<F: Scalar> StragglerCluster<F> {
         rng: &mut R,
         delays: &[Duration],
     ) -> Result<Self> {
+        let behaviors: Vec<DeviceBehavior> = delays
+            .iter()
+            .map(|&d| {
+                if d.is_zero() {
+                    DeviceBehavior::Honest
+                } else {
+                    DeviceBehavior::Delayed(d)
+                }
+            })
+            .collect();
+        Self::launch_clocked(code, a, rng, &behaviors, default_clock())
+    }
+
+    /// Like [`launch`](Self::launch), with an explicit behavior per
+    /// device (padded with [`DeviceBehavior::Honest`]) on an explicit
+    /// [`Clock`] — the fault-injection and deterministic-simulation
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn launch_clocked<R: Rng + ?Sized>(
+        code: StragglerCode<F>,
+        a: &Matrix<F>,
+        rng: &mut R,
+        behaviors: &[DeviceBehavior],
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
         let store = code.encode(a, rng)?;
         let (resp_tx, resp_rx) = unbounded();
         let mut devices = Vec::new();
@@ -75,15 +105,13 @@ impl<F: Scalar> StragglerCluster<F> {
             let (tx, rx) = unbounded();
             let outbox = resp_tx.clone();
             let device = share.device();
-            let delay = delays.get(idx).copied().unwrap_or(Duration::ZERO);
-            let behavior = if delay.is_zero() {
-                crate::cluster::DeviceBehavior::Honest
-            } else {
-                crate::cluster::DeviceBehavior::Delayed(delay)
-            };
+            let behavior = behaviors.get(idx).copied().unwrap_or_default();
+            let device_clock = Arc::clone(&clock);
             let join = std::thread::Builder::new()
                 .name(format!("scec-straggler-device-{device}"))
-                .spawn(move || crate::cluster::device_main::<F>(device, rx, outbox, behavior))
+                .spawn(move || {
+                    crate::cluster::device_main::<F>(device, rx, outbox, behavior, device_clock)
+                })
                 .expect("spawn device thread");
             tx.send(ToDevice::InstallTagged(Box::new(share.clone())))
                 .map_err(|_| Error::ChannelClosed {
@@ -101,6 +129,7 @@ impl<F: Scalar> StragglerCluster<F> {
             mailbox: Mailbox::new(resp_rx),
             next_request: AtomicU64::new(1),
             timeout: crate::DEFAULT_DEADLINE,
+            clock,
         })
     }
 
@@ -150,7 +179,6 @@ impl<F: Scalar> StragglerCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
-        let started = Instant::now();
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(x.clone());
         for dev in &self.devices {
@@ -163,7 +191,7 @@ impl<F: Scalar> StragglerCluster<F> {
                     device: Some(dev.device),
                 })?;
         }
-        Ok(Ticket::new(request, started))
+        Ok(Ticket::new(request, &self.clock))
     }
 
     /// Awaits the first `m + r` tagged rows for an in-flight request and
@@ -177,10 +205,12 @@ impl<F: Scalar> StragglerCluster<F> {
         let needed = self.code.rows_needed();
         let mut collected: Vec<TaggedResponse<F>> = Vec::new();
         let mut responders = Vec::new();
-        let result = self.mailbox.collect(request, self.timeout, needed, |resp| {
-            Self::absorb(resp, &mut collected, &mut responders)?;
-            Ok(collected.len())
-        });
+        let result = self
+            .mailbox
+            .collect(&*self.clock, request, self.timeout, needed, |resp| {
+                Self::absorb(resp, &mut collected, &mut responders)?;
+                Ok(collected.len())
+            });
         // Late responses to this (now finished) request will be re-parked
         // by other threads; clear what exists now to bound the stash.
         self.mailbox.clear(request);
@@ -279,10 +309,29 @@ mod tests {
     #[test]
     fn slow_device_is_left_behind() {
         // Base design (6, 3): 3 base devices + 1 standby (s = 3 <= r).
-        // Slowing down device 2 (3 rows <= redundancy 3): the query must
-        // finish WITHOUT it, well before its 2 s delay.
+        // Device 2 never responds (3 rows <= redundancy 3): the query
+        // must finish WITHOUT it. Omit + SimClock makes the outcome
+        // deterministic; the wall-clock latency claim lives in
+        // `straggler_beats_the_delay_wall_clock` below.
         let (code, a, mut rng) = build(6, 3, 3, 3, 2);
         assert_eq!(code.device_count(), 4);
+        let behaviors = vec![DeviceBehavior::Honest, DeviceBehavior::Omit];
+        let clock: Arc<dyn Clock> = Arc::new(crate::SimClock::new());
+        let cluster =
+            StragglerCluster::launch_clocked(code, &a, &mut rng, &behaviors, clock).unwrap();
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        let result = cluster.query(&x).unwrap();
+        assert_eq!(result.value, a.matvec(&x).unwrap());
+        assert!(!result.responders.contains(&2), "{:?}", result.responders);
+        assert_eq!(result.stragglers_left_behind, 1);
+    }
+
+    #[test]
+    #[ignore = "wall-clock"] // asserts real elapsed time; timing-sensitive under load
+    fn straggler_beats_the_delay_wall_clock() {
+        // The quorum completes well before the straggler's 600ms real
+        // delay — a latency claim that only wall-clock time can witness.
+        let (code, a, mut rng) = build(6, 3, 3, 3, 2);
         let delays = vec![Duration::ZERO, Duration::from_millis(600)];
         let cluster = StragglerCluster::launch(code, &a, &mut rng, &delays).unwrap();
         let x = Vector::<Fp61>::random(3, &mut rng);
@@ -290,19 +339,20 @@ mod tests {
         let result = cluster.query(&x).unwrap();
         let elapsed = start.elapsed();
         assert_eq!(result.value, a.matvec(&x).unwrap());
-        assert!(!result.responders.contains(&2), "{:?}", result.responders);
-        assert_eq!(result.stragglers_left_behind, 1);
         assert!(elapsed < Duration::from_millis(400), "took {elapsed:?}");
     }
 
     #[test]
     fn timeout_when_too_many_stragglers() {
-        // Slow down TWO devices (6 rows > redundancy 3): quorum is
-        // unreachable before the deadline.
+        // TWO devices omit (6 rows > redundancy 3): quorum is
+        // unreachable, and the auto-advance SimClock expires the virtual
+        // deadline deterministically.
         let (code, a, mut rng) = build(6, 3, 3, 3, 3);
-        let delays = vec![Duration::from_millis(400), Duration::from_millis(400)];
-        let mut cluster = StragglerCluster::launch(code, &a, &mut rng, &delays).unwrap();
-        cluster.set_timeout(Duration::from_millis(100));
+        let behaviors = vec![DeviceBehavior::Omit, DeviceBehavior::Omit];
+        let clock: Arc<dyn Clock> = Arc::new(crate::SimClock::new());
+        let mut cluster =
+            StragglerCluster::launch_clocked(code, &a, &mut rng, &behaviors, clock).unwrap();
+        cluster.set_timeout(Duration::from_millis(25));
         let x = Vector::<Fp61>::random(3, &mut rng);
         assert!(matches!(cluster.query(&x), Err(Error::Timeout { .. })));
     }

@@ -32,7 +32,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -42,6 +42,7 @@ use scec_coding::{CodeDesign, StragglerCode, TaggedResponse};
 use scec_core::IntegrityKey;
 use scec_linalg::{Matrix, Scalar, Vector};
 
+use crate::clock::{default_clock, Clock};
 use crate::cluster::{device_main, DeviceBehavior, DeviceHandle, QueryStats};
 use crate::error::{Error, Result};
 use crate::latency::LatencyLog;
@@ -291,7 +292,8 @@ pub struct SupervisedTicket<F: Scalar> {
     /// (finish goes straight to the serialized fallback).
     request: Option<u64>,
     generation: u64,
-    started: Instant,
+    /// Broadcast timestamp on the cluster clock.
+    started: Duration,
 }
 
 impl<F: Scalar> std::fmt::Debug for SupervisedTicket<F> {
@@ -384,7 +386,8 @@ impl<F: Scalar> AttemptState<F> {
         &mut self,
         topo: &Topology<F>,
         x: &Vector<F>,
-        started: Instant,
+        clock: &dyn Clock,
+        started: Duration,
         resp: FromDevice<F>,
     ) -> (usize, usize) {
         match resp {
@@ -394,7 +397,7 @@ impl<F: Scalar> AttemptState<F> {
                 if partial_verifies(topo, device, x, &responses) {
                     self.rows.extend(responses);
                     self.responders
-                        .push((device, started.elapsed().as_secs_f64()));
+                        .push((device, clock.now().saturating_sub(started).as_secs_f64()));
                 } else if !self.rejected.contains(&device) {
                     self.rejected.push(device);
                 }
@@ -471,6 +474,7 @@ pub struct SupervisedCluster<F: Scalar> {
     latencies: Mutex<LatencyLog>,
     counters: Mutex<Counters>,
     rng: Mutex<StdRng>,
+    clock: Arc<dyn Clock>,
 }
 
 impl<F: Scalar> SupervisedCluster<F> {
@@ -493,6 +497,25 @@ impl<F: Scalar> SupervisedCluster<F> {
         config: SupervisorConfig,
         rng: &mut R,
     ) -> Result<Self> {
+        Self::launch_clocked(data, unit_costs, behaviors, config, rng, default_clock())
+    }
+
+    /// Like [`launch`](Self::launch), on an explicit [`Clock`]. Under a
+    /// [`SimClock`](crate::SimClock), attempt deadlines, retry backoffs,
+    /// and device delays all advance on virtual time — backoff sleeps
+    /// cost zero wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`launch`](Self::launch).
+    pub fn launch_clocked<R: Rng + ?Sized>(
+        data: &Matrix<F>,
+        unit_costs: &[f64],
+        behaviors: &[DeviceBehavior],
+        config: SupervisorConfig,
+        rng: &mut R,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
         config.validate()?;
         if unit_costs.iter().any(|c| !c.is_finite() || *c <= 0.0) {
             return Err(Error::InvalidConfig {
@@ -513,7 +536,8 @@ impl<F: Scalar> SupervisedCluster<F> {
             .collect();
         let (resp_tx, resp_rx) = unbounded();
         let mut srng = StdRng::seed_from_u64(rng.next_u64());
-        let (topo, _) = Self::build_topology(data, &mut roster, &config, &resp_tx, &mut srng)?;
+        let (topo, _) =
+            Self::build_topology(data, &mut roster, &config, &resp_tx, &mut srng, &clock)?;
         Ok(SupervisedCluster {
             data: data.clone(),
             config,
@@ -526,6 +550,7 @@ impl<F: Scalar> SupervisedCluster<F> {
             latencies: Mutex::new(LatencyLog::default()),
             counters: Mutex::new(Counters::default()),
             rng: Mutex::new(srng),
+            clock,
         })
     }
 
@@ -538,6 +563,7 @@ impl<F: Scalar> SupervisedCluster<F> {
         config: &SupervisorConfig,
         resp_tx: &Sender<FromDevice<F>>,
         rng: &mut StdRng,
+        clock: &Arc<dyn Clock>,
     ) -> Result<(Topology<F>, Vec<usize>)> {
         let m = data.nrows();
         // Alive devices, cheapest first (ties broken by id for
@@ -609,9 +635,10 @@ impl<F: Scalar> SupervisedCluster<F> {
             let behavior = roster[phys - 1].behavior;
             let (tx, rx) = unbounded();
             let outbox = resp_tx.clone();
+            let device_clock = Arc::clone(clock);
             let join = std::thread::Builder::new()
                 .name(format!("scec-supervised-device-{phys}"))
-                .spawn(move || device_main::<F>(logical, rx, outbox, behavior))
+                .spawn(move || device_main::<F>(logical, rx, outbox, behavior, device_clock))
                 .expect("spawn device thread");
             tx.send(ToDevice::InstallTagged(Box::new(share.clone())))
                 .map_err(|_| Error::ChannelClosed {
@@ -653,7 +680,7 @@ impl<F: Scalar> SupervisedCluster<F> {
     ///   repair;
     /// * [`Error::Coding`] when decoding fails.
     pub fn query(&self, x: &Vector<F>) -> Result<SupervisedResult<F>> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut topo = lock(&self.topo);
         let mut attempts: u32 = 0;
         loop {
@@ -663,7 +690,8 @@ impl<F: Scalar> SupervisedCluster<F> {
             }
             match self.attempt(&topo, x) {
                 Ok(outcome) => {
-                    lock(&self.latencies).record(started.elapsed().as_secs_f64());
+                    lock(&self.latencies)
+                        .record(self.clock.now().saturating_sub(started).as_secs_f64());
                     if outcome.degraded {
                         lock(&self.counters).degraded += 1;
                     }
@@ -685,7 +713,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                         attempt: attempts,
                         backoff,
                     });
-                    std::thread::sleep(backoff);
+                    self.clock.sleep(backoff);
                 }
             }
         }
@@ -708,7 +736,7 @@ impl<F: Scalar> SupervisedCluster<F> {
     ///
     /// Repair failures at begin time (e.g. [`Error::FleetExhausted`]).
     pub fn begin_query(&self, x: &Vector<F>) -> Result<SupervisedTicket<F>> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut topo = lock(&self.topo);
         if self.needs_repair(&topo) {
             self.repair(&mut topo)?;
@@ -750,7 +778,12 @@ impl<F: Scalar> SupervisedCluster<F> {
             };
             match fast {
                 Some(Ok(outcome)) => {
-                    lock(&self.latencies).record(ticket.started.elapsed().as_secs_f64());
+                    lock(&self.latencies).record(
+                        self.clock
+                            .now()
+                            .saturating_sub(ticket.started)
+                            .as_secs_f64(),
+                    );
                     if outcome.degraded {
                         lock(&self.counters).degraded += 1;
                     }
@@ -793,7 +826,7 @@ impl<F: Scalar> SupervisedCluster<F> {
         topo: &Topology<F>,
         x: &Vector<F>,
     ) -> std::result::Result<AttemptOutcome<F>, AttemptError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let request = self.broadcast(topo, x)?;
         self.complete(topo, x, request, started)
     }
@@ -849,7 +882,7 @@ impl<F: Scalar> SupervisedCluster<F> {
         topo: &Topology<F>,
         x: &Vector<F>,
         request: u64,
-        started: Instant,
+        started: Duration,
     ) -> std::result::Result<AttemptOutcome<F>, AttemptError> {
         let mut events = Vec::new();
         // Collect until `m + r` *verified* rows; unverifiable partials
@@ -860,21 +893,24 @@ impl<F: Scalar> SupervisedCluster<F> {
             responders: Vec::new(),
             rejected: Vec::new(),
         };
-        let collect = self
-            .mailbox
-            .collect(request, self.config.deadline, needed, |resp| {
-                Ok(state.absorb(topo, x, started, resp).0)
-            });
+        let collect = self.mailbox.collect(
+            &*self.clock,
+            request,
+            self.config.deadline,
+            needed,
+            |resp| Ok(state.absorb(topo, x, &*self.clock, started, resp).0),
+        );
         if collect.is_ok() && state.heard() < topo.actors.len() {
             // Quorum is met; give the remaining enrolled devices a short
             // grace window (their responses are usually already queued)
             // so slow-but-honest devices are credited instead of
             // accruing misses. Extra verified rows also join the decode.
             let _ = self.mailbox.collect(
+                &*self.clock,
                 request,
                 self.config.quorum_grace,
                 topo.actors.len(),
-                |resp| Ok(state.absorb(topo, x, started, resp).1),
+                |resp| Ok(state.absorb(topo, x, &*self.clock, started, resp).1),
             );
         }
         self.mailbox.clear(request);
@@ -1016,6 +1052,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 &self.config,
                 &self.resp_tx,
                 &mut rng,
+                &self.clock,
             )?
         };
         new_topo.generation = topo.generation.wrapping_add(1);
@@ -1296,6 +1333,41 @@ mod tests {
                 SupervisedCluster::launch(&a, &[1.0, 2.0, 3.0], &[], bad, &mut rng).unwrap_err();
             assert!(matches!(err, Error::InvalidConfig { .. }), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn retry_budget_exhausts_on_virtual_time() {
+        // Every device omits, so each attempt times out on the *virtual*
+        // deadline (auto-advance SimClock) and the backoff sleeps advance
+        // virtual time instantly — the whole retry ladder runs without a
+        // single wall-clock sleep or wall-clock-dependent outcome.
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        let behaviors = [DeviceBehavior::Omit; 5];
+        let clock = Arc::new(crate::SimClock::new());
+        let config = SupervisorConfig::default()
+            .with_deadline(Duration::from_millis(25))
+            .with_backoff(Duration::from_millis(10), 0.5)
+            .with_max_retries(2)
+            .with_thresholds(1, 200); // suspect quickly, never evict
+        let cluster = SupervisedCluster::launch_clocked(
+            &a,
+            &COSTS,
+            &behaviors,
+            config,
+            &mut rng,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .unwrap();
+        let t0 = clock.now();
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        assert!(matches!(cluster.query(&x), Err(Error::Timeout { .. })));
+        // 3 attempts x 25ms virtual deadline, plus two virtual backoffs.
+        assert!(clock.now().saturating_sub(t0) >= Duration::from_millis(75));
+        let stats = cluster.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.repairs, 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use rand::Rng;
@@ -18,6 +18,7 @@ use rand::Rng;
 use scec_coding::{DeviceShare, TPrivateCode};
 use scec_linalg::{Matrix, Scalar, Vector};
 
+use crate::clock::{default_clock, Clock};
 use crate::cluster::{device_main, DeviceBehavior, DeviceHandle};
 use crate::error::{Error, Result};
 use crate::mailbox::Mailbox;
@@ -49,6 +50,7 @@ pub struct TPrivateCluster<F: Scalar> {
     mailbox: Mailbox<F>,
     next_request: AtomicU64,
     timeout: Duration,
+    clock: Arc<dyn Clock>,
 }
 
 impl<F: Scalar> TPrivateCluster<F> {
@@ -66,6 +68,23 @@ impl<F: Scalar> TPrivateCluster<F> {
         rng: &mut R,
         behaviors: &[DeviceBehavior],
     ) -> Result<Self> {
+        Self::launch_clocked(code, a, rng, behaviors, default_clock())
+    }
+
+    /// Like [`launch`](Self::launch), on an explicit [`Clock`] — pass a
+    /// [`SimClock`](crate::SimClock) for deterministic virtual-time
+    /// timeouts and delays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn launch_clocked<R: Rng + ?Sized>(
+        code: TPrivateCode<F>,
+        a: &Matrix<F>,
+        rng: &mut R,
+        behaviors: &[DeviceBehavior],
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
         let store = code.encode(a, rng)?;
         let (resp_tx, resp_rx) = unbounded();
         let mut devices = Vec::new();
@@ -74,9 +93,10 @@ impl<F: Scalar> TPrivateCluster<F> {
             let outbox = resp_tx.clone();
             let device = share.device();
             let behavior = behaviors.get(idx).copied().unwrap_or_default();
+            let device_clock = Arc::clone(&clock);
             let join = std::thread::Builder::new()
                 .name(format!("scec-tprivate-device-{device}"))
-                .spawn(move || device_main::<F>(device, rx, outbox, behavior))
+                .spawn(move || device_main::<F>(device, rx, outbox, behavior, device_clock))
                 .expect("spawn device thread");
             // Actors are code-agnostic: ship the payload in the plain
             // share container.
@@ -98,6 +118,7 @@ impl<F: Scalar> TPrivateCluster<F> {
             mailbox: Mailbox::new(resp_rx),
             next_request: AtomicU64::new(1),
             timeout: crate::DEFAULT_DEADLINE,
+            clock,
         })
     }
 
@@ -145,7 +166,6 @@ impl<F: Scalar> TPrivateCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
-        let started = Instant::now();
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(x.clone());
         for dev in &self.devices {
@@ -158,7 +178,7 @@ impl<F: Scalar> TPrivateCluster<F> {
                     device: Some(dev.device),
                 })?;
         }
-        Ok(Ticket::new(request, started))
+        Ok(Ticket::new(request, &self.clock))
     }
 
     /// Awaits all partials for an in-flight request and decodes with the
@@ -184,11 +204,16 @@ impl<F: Scalar> TPrivateCluster<F> {
 
     fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
-        self.mailbox
-            .collect(request, self.timeout, self.devices.len(), |resp| {
+        self.mailbox.collect(
+            &*self.clock,
+            request,
+            self.timeout,
+            self.devices.len(),
+            |resp| {
                 Self::absorb(resp, &mut partials)?;
                 Ok(partials.len())
-            })?;
+            },
+        )?;
         let mut btx = Vec::with_capacity(self.code.total_rows());
         for j in 1..=self.devices.len() {
             btx.extend(

@@ -1,0 +1,154 @@
+//! Deterministic simulation testing, end to end: seed replay, bounded
+//! exhaustive exploration, shrinking, and the decode-plan staleness rule
+//! a repair imposes on the live runtime.
+//!
+//! The replay workflow under test is the one CI uses: a failing seed is
+//! everything needed to reproduce a violation byte-for-byte —
+//! `SCEC_DST_SEED=<seed> cargo test -p scec-integration-tests dst`
+//! re-runs the pinned schedule exactly.
+
+use std::time::Duration;
+
+use rand::{rngs::StdRng, SeedableRng};
+use scec_coding::{CodeDesign, DecodePlan};
+use scec_dst::{explore, run_seeds, seed_from_env, shrink, DstConfig, Simulation};
+use scec_linalg::{Fp61, Matrix, Vector};
+use scec_runtime::{DeviceBehavior, SupervisedCluster, SupervisorConfig, SupervisorEvent};
+
+#[test]
+fn seeded_sweep_satisfies_every_oracle() {
+    // SCEC_DST_SEED pins the sweep to a single schedule for replay.
+    let sweep = run_seeds(&DstConfig::chaos(), 0, 30, seed_from_env()).unwrap();
+    assert!(
+        sweep.is_clean(),
+        "oracle violation:\n{}",
+        sweep.failure.unwrap().render()
+    );
+}
+
+#[test]
+fn a_violation_replays_byte_identically_from_the_seed_alone() {
+    // An intentionally broken decode oracle stands in for a real bug:
+    // the sweep finds a violating seed, and that u64 — nothing else — is
+    // enough to reproduce the failing run byte-for-byte.
+    let mut config = DstConfig::chaos();
+    config.break_decode_oracle = true;
+    let sweep = run_seeds(&config, 0, 10, None).unwrap();
+    let failing = sweep.failure.expect("broken oracle must fire");
+    let seed = failing.seed;
+
+    // A fresh process would do exactly this with SCEC_DST_SEED=<seed>:
+    let replayed = run_seeds(&config, 999, 1, Some(seed))
+        .unwrap()
+        .failure
+        .expect("replay reproduces the violation");
+    assert_eq!(failing.render(), replayed.render());
+    assert_eq!(
+        failing.violation.as_ref().unwrap().oracle,
+        "decode",
+        "{}",
+        failing.render()
+    );
+}
+
+#[test]
+fn explorer_exhausts_the_three_device_config_with_zero_violations() {
+    // 3 devices (2 base + 1 standby), 2 in-flight queries: every
+    // delivery interleaving is enumerated, none may violate an oracle.
+    let report = explore(&DstConfig::small(), 1, 200_000);
+    assert!(
+        !report.truncated,
+        "budget too small: {} paths",
+        report.paths
+    );
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.paths > 100, "only {} interleavings", report.paths);
+}
+
+#[test]
+fn explorer_coverage_is_schedule_structural_not_seed_dependent() {
+    // Latency noise moves event timestamps but not the interleaving
+    // tree, so coverage is identical across seeds.
+    let a = explore(&DstConfig::small(), 1, 200_000);
+    let b = explore(&DstConfig::small(), 99, 200_000);
+    assert_eq!(a.paths, b.paths);
+    assert_eq!(a.max_decisions, b.max_decisions);
+}
+
+#[test]
+fn shrinking_returns_the_shortest_failing_prefix() {
+    let mut config = DstConfig::chaos();
+    config.break_decode_oracle = true;
+    let failing = Simulation::new(config.clone(), 0).unwrap().run();
+    assert!(failing.violation.is_some());
+    let shrunk = shrink(&config, &failing).expect("must shrink");
+    assert!(shrunk.report.violation.is_some());
+    assert!(shrunk.script.len() <= failing.decisions.len());
+    // Minimality: one decision fewer no longer fails.
+    if !shrunk.script.is_empty() {
+        let shorter = shrunk.script[..shrunk.script.len() - 1].to_vec();
+        let report = Simulation::scripted(config, failing.seed, shorter)
+            .unwrap()
+            .run();
+        assert!(report.violation.is_none());
+    }
+}
+
+#[test]
+fn decode_plan_is_stale_after_a_repair_changes_the_allocation() {
+    // Cost structure chosen so the TA-1 re-allocation after losing a
+    // cheap device lands on a different r: three cheap devices carry the
+    // initial plan (r = 3, loads [3,3,3]); once one crashes, two cheap
+    // devices at r = 6 beat enrolling an expensive one.
+    let costs = [1.0, 1.0, 1.0, 4.0, 4.0, 4.0, 4.0];
+    let mut rng = StdRng::seed_from_u64(41);
+    let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+    let mut behaviors = vec![DeviceBehavior::Honest; costs.len()];
+    behaviors[0] = DeviceBehavior::Crash { after_queries: 1 };
+    let config = SupervisorConfig::default()
+        .with_deadline(Duration::from_millis(500))
+        .with_backoff(Duration::from_millis(2), 0.5)
+        .with_thresholds(1, 2);
+    let cluster = SupervisedCluster::launch(&a, &costs, &behaviors, config, &mut rng).unwrap();
+
+    let old_design = CodeDesign::new(6, 3).unwrap();
+    let mut old_plan = DecodePlan::<Fp61>::structured(&old_design).unwrap();
+    // The cached plan serves the initial generation.
+    assert_eq!(old_plan.payload_len(), old_design.total_rows());
+
+    let mut repaired_r = None;
+    for _ in 0..10 {
+        let x = Vector::<Fp61>::random(4, &mut rng);
+        let want = a.matvec(&x).unwrap();
+        if let Ok(result) = cluster.query(&x) {
+            assert_eq!(result.value, want);
+        }
+        repaired_r = cluster.events().iter().rev().find_map(|e| match e {
+            SupervisorEvent::Repaired { random_rows, .. } => Some(*random_rows),
+            _ => None,
+        });
+        if repaired_r.is_some() {
+            break;
+        }
+    }
+    let new_r = repaired_r.expect("crash must force a repair");
+    assert_ne!(new_r, 3, "re-allocation must move r off the old design");
+
+    // Stale plan: the new generation's stacked payload has a different
+    // shape, and the old factorization must refuse it outright.
+    let new_design = CodeDesign::new(6, new_r).unwrap();
+    let stale_payload = Vector::<Fp61>::zeros(new_design.total_rows());
+    assert!(old_plan.decode(&stale_payload).is_err());
+
+    // Rebuilt plan: factorizes the new B and decodes its payloads.
+    let mut new_plan = DecodePlan::<Fp61>::structured(&new_design).unwrap();
+    assert_eq!(new_plan.payload_len(), new_design.total_rows());
+    let tx = Vector::<Fp61>::random(new_design.total_rows(), &mut rng);
+    let btx = new_design.encoding_matrix::<Fp61>().matvec(&tx).unwrap();
+    assert_eq!(
+        new_plan.decode(&btx).unwrap(),
+        tx.slice(0, 6).unwrap(),
+        "fresh plan must invert the repaired encoding matrix"
+    );
+    cluster.shutdown();
+}
