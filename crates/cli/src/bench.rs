@@ -22,11 +22,13 @@ use std::time::Instant;
 
 use rand::{rngs::StdRng, SeedableRng};
 
+use std::sync::Arc;
+
 use scec_allocation::EdgeFleet;
 use scec_coding::{decode, CodeDesign, DecodePlan, Encoder};
 use scec_core::{AllocationStrategy, ScecSystem};
-use scec_linalg::{gauss, kernels, Fp61, Matrix, Vector};
-use scec_runtime::{LocalCluster, QueryPipeline};
+use scec_linalg::{gauss, kernels, ops, Fp61, Matrix, Vector};
+use scec_runtime::{LocalCluster, QueryPipeline, Telemetry};
 
 use crate::error::{Error, Result};
 
@@ -76,7 +78,7 @@ fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
     samples[samples.len() / 2]
 }
 
-fn run_suite(iters: usize, quick: bool) -> Vec<CaseResult> {
+fn run_suite(iters: usize, quick: bool) -> (Vec<CaseResult>, String) {
     let mut rng = StdRng::seed_from_u64(0x5CEC);
     let n = if quick { 48 } else { 256 };
     let nv = if quick { 128 } else { 1024 };
@@ -151,11 +153,18 @@ fn run_suite(iters: usize, quick: bool) -> Vec<CaseResult> {
     // ns_per_op reads as ns per query and the speedup is the ratio of
     // the sequential to the pipelined ns_per_op.
     let (tm, tl, tq) = if quick { (16, 32, 8) } else { (48, 96, 32) };
-    {
+    let telemetry = {
         let ta = Matrix::<Fp61>::random(tm, tl, &mut rng);
         let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.3, 1.6, 2.0, 2.5]).expect("valid costs");
         let sys = ScecSystem::build(ta, fleet, AllocationStrategy::Mcscec, &mut rng)
             .expect("system build");
+        // The timed cases run with the `telemetry` feature compiled in
+        // but no handle attached — the default build's passive overhead
+        // (a branch per call site, atomic flop tallies in the kernels)
+        // is what the trajectory must show staying flat. Attachment is
+        // the gate for the real recording cost, and it is priced by the
+        // untimed instrumented drain below, not by the timed medians.
+        let tel = Arc::new(Telemetry::new());
         let cluster = LocalCluster::launch(&sys, &mut rng).expect("cluster launch");
         let queries: Vec<Vector<Fp61>> = (0..tq).map(|_| Vector::random(tl, &mut rng)).collect();
         case("cluster_query_sequential", tm, tq, &mut || {
@@ -169,8 +178,24 @@ fn run_suite(iters: usize, quick: bool) -> Vec<CaseResult> {
         case("cluster_query_pipelined_w16", tm, tq, &mut || {
             std::hint::black_box(QueryPipeline::run(&cluster, 16, &queries).expect("pipeline"));
         });
+        // One untimed instrumented drain so the snapshot carries the
+        // full observability surface: the attach installs each device's
+        // predicted cost from the plan, and the pipelined pass records
+        // spans, the observed cost ledger, and the window-occupancy and
+        // FIFO-latency distributions.
+        let cluster = cluster.with_telemetry(Arc::clone(&tel));
+        {
+            let mut pipeline = QueryPipeline::new(&cluster, 4)
+                .expect("pipeline window")
+                .with_telemetry(&tel);
+            for q in &queries {
+                let _ = pipeline.submit(q).expect("pipeline submit");
+            }
+            let _ = pipeline.collect().expect("pipeline collect");
+        }
         cluster.shutdown();
-    }
+        render_telemetry(&tel)
+    };
 
     // General (Gaussian) decode with and without the cached DecodePlan:
     // per-query elimination re-solves `B z = BTx` from scratch; the plan
@@ -191,7 +216,23 @@ fn run_suite(iters: usize, quick: bool) -> Vec<CaseResult> {
             std::hint::black_box(plan.decode(&dbtx).expect("planned decode"));
         });
     }
-    results
+    (results, telemetry)
+}
+
+/// Renders the cluster-case telemetry as a JSON object for embedding in
+/// the `BENCH_<n>.json` snapshot: the metrics registry, the per-device
+/// predicted-vs-observed cost ledger, and the process-global field-op
+/// counters (zero when the `telemetry` feature is off).
+fn render_telemetry(tel: &Telemetry) -> String {
+    format!(
+        "{{\n    \"telemetry_feature\": {},\n    \"global_field_mults\": {},\n    \
+         \"global_field_adds\": {},\n    \"metrics\": {},\n    \"costs\": {}\n  }}",
+        cfg!(feature = "telemetry"),
+        ops::mults(),
+        ops::adds(),
+        tel.registry.snapshot().render_json(),
+        tel.costs.report().render_json()
+    )
 }
 
 /// Picks the next snapshot index: one past the largest `BENCH_<n>.json`
@@ -234,7 +275,7 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn render_json(opts: &BenchOptions, index: usize, cases: &[CaseResult]) -> String {
+fn render_json(opts: &BenchOptions, index: usize, cases: &[CaseResult], telemetry: &str) -> String {
     let captured_at = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -260,6 +301,7 @@ fn render_json(opts: &BenchOptions, index: usize, cases: &[CaseResult]) -> Strin
         cfg!(feature = "parallel")
     );
     let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"telemetry\": {telemetry},");
     let _ = writeln!(j, "  \"cases\": [");
     for (i, c) in cases.iter().enumerate() {
         let ns_per_op = c.median_ns as f64 / c.ops.max(1) as f64;
@@ -292,11 +334,11 @@ pub fn run(opts: &BenchOptions) -> Result<String> {
     if opts.iters == 0 {
         return Err(Error::Usage("--iters must be at least 1".into()));
     }
-    let cases = run_suite(opts.iters, opts.quick);
+    let (cases, telemetry) = run_suite(opts.iters, opts.quick);
     let index = opts.index.unwrap_or_else(|| next_index(&opts.out_dir));
     std::fs::create_dir_all(&opts.out_dir)?;
     let path = opts.out_dir.join(format!("BENCH_{index}.json"));
-    std::fs::write(&path, render_json(opts, index, &cases))?;
+    std::fs::write(&path, render_json(opts, index, &cases, &telemetry))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -355,6 +397,16 @@ mod tests {
         assert!(json.contains("\"fp61_decode_general_gauss\""));
         assert!(json.contains("\"fp61_decode_general_planned\""));
         assert!(json.contains("\"parallel_feature\""));
+        // The embedded telemetry section from the cluster cases.
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"telemetry_feature\""));
+        assert!(json.contains("\"global_field_mults\""));
+        assert!(json.contains("\"costs\""));
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(json.contains("scec_queries_total"));
+            assert!(json.contains("scec_pipeline_window_occupancy"));
+        }
         // Balanced braces and brackets — cheap well-formedness check in
         // lieu of a JSON parser dependency.
         for (open, close) in [('{', '}'), ('[', ']')] {

@@ -7,6 +7,7 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::{rngs::StdRng, SeedableRng};
@@ -16,7 +17,10 @@ use scec_coding::{decode, CodeDesign, DeviceShare, StragglerCode, StragglerShare
 use scec_core::{AllocationStrategy, ScecSystem};
 use scec_linalg::Fp61;
 use scec_linalg::Vector;
-use scec_runtime::{DeviceBehavior, SupervisedCluster, SupervisorConfig};
+use scec_runtime::{
+    CostVector, DeviceBehavior, QueryPipeline, Stage, SupervisedCluster, SupervisorConfig,
+    Telemetry, Verbosity,
+};
 use scec_sim::adversary::{ChaosFault, ChaosPlan, PassiveAdversary};
 use scec_sim::CostDistribution;
 use scec_wire::{decode_framed, encode_framed, tag};
@@ -241,64 +245,147 @@ fn load_private_deployment(
     Ok((code, shares))
 }
 
+/// Records one simulated device's round into a query telemetry snapshot:
+/// predicted per-query cost (unit cost 1.0 — share files carry no fleet
+/// prices), the matching observed bytes/rows/flops, and the compute
+/// span. `tagged` marks straggler responses (value + u64 row tag).
+fn record_query_device(
+    tel: &Telemetry,
+    at: Duration,
+    dur: Duration,
+    device: usize,
+    rows: u64,
+    l: u64,
+    tagged: bool,
+) {
+    let esize = std::mem::size_of::<Fp61>() as u64;
+    let row_bytes = if tagged { esize + 8 } else { esize };
+    let per_query = CostVector {
+        stored_rows: rows,
+        rows_served: rows,
+        bytes_sent: l * esize,
+        bytes_received: rows * row_bytes,
+        field_mults: rows * l,
+        field_adds: rows * l.saturating_sub(1),
+    };
+    tel.costs.record_stored(device, rows);
+    tel.costs.set_predicted(device, 1.0, per_query);
+    tel.costs.record_sent(device, l * esize);
+    tel.costs.record_received(device, rows * row_bytes, rows);
+    tel.costs
+        .record_compute(device, rows * l, rows * l.saturating_sub(1));
+    tel.tracer
+        .span(at, dur, Stage::DeviceCompute, Some(0), Some(device));
+}
+
 /// `scec query`: load a deployment directory, compute `y = A·x` securely
 /// (devices simulated locally from their share files), write `y` as CSV.
-/// Straggler deployments decode via the tagged quorum path.
+/// Straggler deployments decode via the tagged quorum path. With
+/// `metrics_out`, a telemetry snapshot of the round — per-device
+/// predicted vs. observed cost and the compute/decode spans — is
+/// written alongside.
 ///
 /// # Errors
 ///
 /// Propagates CSV, I/O, wire, and decode failures.
-pub fn query(shares_dir: &Path, input: &Path, output: &Path) -> Result<String> {
+pub fn query(
+    shares_dir: &Path,
+    input: &Path,
+    output: &Path,
+    metrics_out: Option<&Path>,
+) -> Result<String> {
     let x = csv::read_vector_fp61(input)?;
+    let tel = metrics_out.map(|_| Telemetry::new());
+    let clock = std::time::Instant::now();
+    let l = x.len() as u64;
+    let mut out;
     if shares_dir.join("tprivate-design.bin").exists() {
         let (code, shares) = load_private_deployment(shares_dir)?;
         let mut btx = Vec::new();
         for share in &shares {
-            btx.extend(share.compute(&x)?.into_vec());
+            let at = clock.elapsed();
+            let partial = share.compute(&x)?;
+            if let Some(t) = &tel {
+                let rows = partial.len() as u64;
+                record_query_device(t, at, clock.elapsed() - at, share.device(), rows, l, false);
+            }
+            btx.extend(partial.into_vec());
         }
+        let at = clock.elapsed();
         let y = code.decode(&Vector::from_vec(btx))?;
+        if let Some(t) = &tel {
+            t.tracer
+                .span(at, clock.elapsed() - at, Stage::Decode, Some(0), None);
+            t.costs.record_query();
+        }
         csv::write_vector_fp61(output, &y)?;
-        return Ok(format!(
+        out = format!(
             "queried {} devices ({}-private mode), decoded {} values -> {}\n",
             shares.len(),
             code.threshold(),
             y.len(),
             output.display()
-        ));
-    }
-    if shares_dir.join("straggler-design.bin").exists() {
+        );
+    } else if shares_dir.join("straggler-design.bin").exists() {
         let (code, shares) = load_straggler_deployment(shares_dir)?;
-        let responses: Vec<_> = shares
-            .iter()
-            .map(|s| s.compute(&x))
-            .collect::<std::result::Result<Vec<_>, _>>()?
-            .into_iter()
-            .flatten()
-            .collect();
+        let mut responses = Vec::new();
+        for share in &shares {
+            let at = clock.elapsed();
+            let partial = share.compute(&x)?;
+            if let Some(t) = &tel {
+                let rows = partial.len() as u64;
+                record_query_device(t, at, clock.elapsed() - at, share.device(), rows, l, true);
+            }
+            responses.extend(partial);
+        }
+        let at = clock.elapsed();
         let y = code.decode(&responses)?;
+        if let Some(t) = &tel {
+            t.tracer
+                .span(at, clock.elapsed() - at, Stage::Decode, Some(0), None);
+            t.costs.record_query();
+        }
         csv::write_vector_fp61(output, &y)?;
-        return Ok(format!(
+        out = format!(
             "queried {} devices (straggler mode), decoded {} values -> {}\n",
             shares.len(),
             y.len(),
             output.display()
-        ));
+        );
+    } else {
+        let (design, shares) = load_deployment(shares_dir)?;
+        let mut partials = Vec::with_capacity(shares.len());
+        for share in &shares {
+            let at = clock.elapsed();
+            let partial = share.compute(&x)?;
+            if let Some(t) = &tel {
+                let rows = partial.len() as u64;
+                record_query_device(t, at, clock.elapsed() - at, share.device(), rows, l, false);
+            }
+            partials.push(partial);
+        }
+        let at = clock.elapsed();
+        let btx = decode::stack_partials(&partials);
+        let y = decode::decode_fast(&design, &btx)?;
+        if let Some(t) = &tel {
+            t.tracer
+                .span(at, clock.elapsed() - at, Stage::Decode, Some(0), None);
+            t.costs.record_query();
+        }
+        csv::write_vector_fp61(output, &y)?;
+        out = format!(
+            "queried {} devices, decoded {} values with {} subtractions -> {}\n",
+            shares.len(),
+            y.len(),
+            design.data_rows(),
+            output.display()
+        );
     }
-    let (design, shares) = load_deployment(shares_dir)?;
-    let partials: Vec<_> = shares
-        .iter()
-        .map(|s| s.compute(&x))
-        .collect::<std::result::Result<_, _>>()?;
-    let btx = decode::stack_partials(&partials);
-    let y = decode::decode_fast(&design, &btx)?;
-    csv::write_vector_fp61(output, &y)?;
-    Ok(format!(
-        "queried {} devices, decoded {} values with {} subtractions -> {}\n",
-        shares.len(),
-        y.len(),
-        design.data_rows(),
-        output.display()
-    ))
+    if let (Some(t), Some(path)) = (&tel, metrics_out) {
+        std::fs::write(path, t.render_json())?;
+        let _ = writeln!(out, "telemetry snapshot written to {}", path.display());
+    }
+    Ok(out)
 }
 
 fn load_straggler_deployment(
@@ -507,7 +594,7 @@ pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String,
 }
 
 /// `scec chaos`: run a fault-injection drill against a live
-/// [`SupervisedCluster`].
+/// [`SupervisedCluster`], pipelined through a [`QueryPipeline`].
 ///
 /// A [`ChaosPlan`] is generated from `seed` (faults on at most a
 /// minority of the `devices` devices, scaled by `intensity`), mapped
@@ -515,13 +602,24 @@ pub fn audit(shares_dir: &Path, seed: u64, coalitions: usize) -> Result<(String,
 /// `queries` matrix–vector queries through the resulting crashes,
 /// drops, omissions, and Byzantine corruptions. Every answer is checked
 /// against the locally computed `Ax`; the report ends with the
-/// supervision events, per-device health, and aggregate statistics.
+/// per-device health and aggregate statistics. Per-query progress lines
+/// and the supervision event dump are printed only at
+/// [`Verbosity::Verbose`] — the structured record of the same moments
+/// lives in the telemetry snapshot, written to `metrics_out` when
+/// given.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Domain`] when the fleet cannot serve the workload
 /// (exhaustion, timeout past all retries) or any answer is wrong.
-pub fn chaos(devices: usize, queries: usize, intensity: f64, seed: u64) -> Result<String> {
+pub fn chaos(
+    devices: usize,
+    queries: usize,
+    intensity: f64,
+    seed: u64,
+    verbosity: Verbosity,
+    metrics_out: Option<&Path>,
+) -> Result<String> {
     let plan = ChaosPlan::generate(devices, intensity, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let costs = CostDistribution::uniform(3.0).sample_many(devices, &mut rng);
@@ -542,7 +640,9 @@ pub fn chaos(devices: usize, queries: usize, intensity: f64, seed: u64) -> Resul
         .with_deadline(Duration::from_millis(750))
         .with_backoff(Duration::from_millis(5), 0.5)
         .with_thresholds(1, 2);
-    let cluster = SupervisedCluster::launch(&a, &costs, &behaviors, config, &mut rng)?;
+    let tel = Arc::new(Telemetry::new().with_verbosity(verbosity));
+    let cluster = SupervisedCluster::launch(&a, &costs, &behaviors, config, &mut rng)?
+        .with_telemetry(Arc::clone(&tel));
 
     let mut out = String::new();
     let _ = writeln!(
@@ -559,24 +659,49 @@ pub fn chaos(devices: usize, queries: usize, intensity: f64, seed: u64) -> Resul
         let _ = writeln!(out, "  (no faults injected)");
     }
     let mut wrong = 0usize;
-    for q in 1..=queries {
-        let x = Vector::<Fp61>::random(a.ncols(), &mut rng);
-        let expected = a.matvec(&x).map_err(|e| Error::Domain(e.to_string()))?;
-        let result = cluster.query(&x)?;
-        let ok = result.value == expected;
-        wrong += usize::from(!ok);
-        let _ = writeln!(
-            out,
-            "query {q:>2}: {}  attempts = {}, degraded = {}, responders = {:?}",
-            if ok { "ok " } else { "BAD" },
-            result.attempts,
-            result.degraded,
-            result.responders
-        );
+    {
+        let window = queries.clamp(1, 2);
+        let mut pipeline = QueryPipeline::new(&cluster, window)?.with_telemetry(&tel);
+        // FIFO queue of (query number, expected answer) for results the
+        // window hands back, possibly a few submissions later.
+        let mut awaiting = std::collections::VecDeque::new();
+        let mut check = |out: &mut String,
+                         awaiting: &mut std::collections::VecDeque<(usize, Vector<Fp61>)>,
+                         result: scec_runtime::SupervisedResult<Fp61>| {
+            let (q, expected) = awaiting.pop_front().expect("pipeline results are FIFO");
+            let ok = result.value == expected;
+            wrong += usize::from(!ok);
+            if verbosity >= Verbosity::Verbose {
+                let _ = writeln!(
+                    out,
+                    "query {q:>2}: {}  attempts = {}, degraded = {}, responders = {:?}",
+                    if ok { "ok " } else { "BAD" },
+                    result.attempts,
+                    result.degraded,
+                    result.responders
+                );
+            }
+        };
+        for q in 1..=queries {
+            let x = Vector::<Fp61>::random(a.ncols(), &mut rng);
+            let expected = a.matvec(&x).map_err(|e| Error::Domain(e.to_string()))?;
+            awaiting.push_back((q, expected));
+            if let Some(result) = pipeline.submit(&x)? {
+                check(&mut out, &mut awaiting, result);
+            }
+        }
+        for result in pipeline.collect()? {
+            check(&mut out, &mut awaiting, result);
+        }
     }
-    let _ = writeln!(out, "events:");
-    for event in cluster.events() {
-        let _ = writeln!(out, "  {event:?}");
+    let events = cluster.events();
+    if verbosity >= Verbosity::Verbose {
+        let _ = writeln!(out, "events:");
+        for event in &events {
+            let _ = writeln!(out, "  {event:?}");
+        }
+    } else {
+        let _ = writeln!(out, "events: {} (telemetry holds the detail)", events.len());
     }
     let _ = writeln!(out, "health:");
     for h in cluster.health() {
@@ -593,12 +718,55 @@ pub fn chaos(devices: usize, queries: usize, intensity: f64, seed: u64) -> Resul
         stats.count, stats.retries, stats.degraded, stats.quarantined, stats.repairs
     );
     cluster.shutdown();
+    if let Some(path) = metrics_out {
+        std::fs::write(path, tel.render_json())?;
+        let _ = writeln!(out, "telemetry snapshot written to {}", path.display());
+    }
     if wrong > 0 {
         return Err(Error::Domain(format!(
             "chaos drill returned {wrong} wrong answers out of {queries}"
         )));
     }
     Ok(out)
+}
+
+/// `scec metrics`: serve a canned honest workload through a pipelined
+/// [`SupervisedCluster`] with telemetry attached and render the
+/// resulting snapshot — Prometheus text exposition by default, the
+/// combined `scec-telemetry-v1` JSON document when `json` is set.
+///
+/// # Errors
+///
+/// Propagates launch and query failures.
+pub fn metrics(devices: usize, queries: usize, seed: u64, json: bool) -> Result<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = CostDistribution::uniform(3.0).sample_many(devices, &mut rng);
+    let behaviors = vec![DeviceBehavior::Honest; devices];
+    let a = scec_linalg::Matrix::<Fp61>::random(8, 5, &mut rng);
+    let tel = Arc::new(Telemetry::new());
+    let cluster = SupervisedCluster::launch(
+        &a,
+        &costs,
+        &behaviors,
+        SupervisorConfig::default(),
+        &mut rng,
+    )?
+    .with_telemetry(Arc::clone(&tel));
+    {
+        let window = queries.clamp(1, 4);
+        let mut pipeline = QueryPipeline::new(&cluster, window)?.with_telemetry(&tel);
+        for _ in 0..queries {
+            let x = Vector::<Fp61>::random(a.ncols(), &mut rng);
+            let _ = pipeline.submit(&x)?;
+        }
+        let _ = pipeline.collect()?;
+    }
+    cluster.shutdown();
+    Ok(if json {
+        tel.render_json()
+    } else {
+        tel.render_prometheus()
+    })
 }
 
 /// `scec dst`: deterministic simulation testing — sweep seeded schedules
@@ -620,17 +788,27 @@ pub fn dst(
     pinned: Option<u64>,
     explore_interleavings: bool,
     failure_out: Option<&Path>,
+    metrics_out: Option<&Path>,
 ) -> Result<(String, bool)> {
     let mut out = String::new();
     let mut clean = true;
     let config = scec_dst::DstConfig::chaos();
-    let sweep = scec_dst::run_seeds(&config, first_seed, seeds, pinned)
-        .map_err(|e| Error::Domain(e.to_string()))?;
+    let tel = metrics_out.map(|_| Arc::new(Telemetry::new()));
+    let sweep = match &tel {
+        Some(t) => scec_dst::run_seeds_telemetry(&config, first_seed, seeds, pinned, t),
+        None => scec_dst::run_seeds(&config, first_seed, seeds, pinned),
+    }
+    .map_err(|e| Error::Domain(e.to_string()))?;
     let _ = writeln!(
         out,
         "dst sweep: {} runs, {} decoded, {} failed queries, {} repairs",
         sweep.runs, sweep.completed, sweep.failed, sweep.repairs
     );
+    if let (Some(t), Some(path)) = (&tel, metrics_out) {
+        // Virtual-clock telemetry: byte-deterministic for the seed range.
+        std::fs::write(path, t.render_json())?;
+        let _ = writeln!(out, "telemetry snapshot written to {}", path.display());
+    }
     if let Some(pin) = pinned {
         let _ = writeln!(out, "  (seed pinned to {pin} via {})", scec_dst::SEED_ENV);
     }
@@ -717,7 +895,7 @@ mod tests {
         let x_path = dir.join("x.csv");
         std::fs::write(&x_path, "1\n1\n1\n").unwrap();
         let y_path = dir.join("y.csv");
-        let out = query(&shares_dir, &x_path, &y_path).unwrap();
+        let out = query(&shares_dir, &x_path, &y_path, None).unwrap();
         assert!(out.contains("decoded 4 values"));
         // y = A·[1,1,1] = row sums.
         let y = csv::read_vector_fp61(&y_path).unwrap();
@@ -745,7 +923,7 @@ mod tests {
         std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
         let x_path = dir.join("x.csv");
         std::fs::write(&x_path, "1\n1\n").unwrap();
-        assert!(query(&shares_dir, &x_path, &dir.join("y.csv")).is_err());
+        assert!(query(&shares_dir, &x_path, &dir.join("y.csv"), None).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -764,7 +942,7 @@ mod tests {
         std::fs::write(shares_dir.join("device-2.share"), &a).unwrap();
         let x_path = dir.join("x.csv");
         std::fs::write(&x_path, "1\n1\n").unwrap();
-        let err = query(&shares_dir, &x_path, &dir.join("y.csv"));
+        let err = query(&shares_dir, &x_path, &dir.join("y.csv"), None);
         assert!(err.is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -819,7 +997,7 @@ mod tests {
         )
         .unwrap();
         let y_path = dir.join("y.csv");
-        let out = query(&shares_dir, &x_path, &y_path).unwrap();
+        let out = query(&shares_dir, &x_path, &y_path, None).unwrap();
         assert!(out.contains("straggler mode"), "{out}");
         let y = csv::read_vector_fp61(&y_path).unwrap();
         assert_eq!(
@@ -882,7 +1060,7 @@ mod tests {
         )
         .unwrap();
         let y_path = dir.join("y.csv");
-        let out = query(&shares_dir, &x_path, &y_path).unwrap();
+        let out = query(&shares_dir, &x_path, &y_path, None).unwrap();
         assert!(out.contains("2-private mode"), "{out}");
         let y = csv::read_vector_fp61(&y_path).unwrap();
         assert_eq!(
@@ -906,7 +1084,7 @@ mod tests {
         let x_path = dir.join("x.csv");
         csv::write_vector_fp61(&x_path, &x).unwrap();
         let y_path = dir.join("y.csv");
-        query(&shares_dir, &x_path, &y_path).unwrap();
+        query(&shares_dir, &x_path, &y_path, None).unwrap();
         let y = csv::read_vector_fp61(&y_path).unwrap();
         assert_eq!(y, a.matvec(&x).unwrap());
         let _ = std::fs::remove_dir_all(&dir);
@@ -914,7 +1092,7 @@ mod tests {
 
     #[test]
     fn chaos_drill_quiet_fleet_is_clean() {
-        let out = chaos(5, 3, 0.0, 17).unwrap();
+        let out = chaos(5, 3, 0.0, 17, Verbosity::Verbose, None).unwrap();
         assert!(out.contains("(no faults injected)"), "{out}");
         assert!(out.contains("query  3: ok"), "{out}");
         assert!(out.contains("repairs = 0"), "{out}");
@@ -922,7 +1100,7 @@ mod tests {
 
     #[test]
     fn dst_sweep_and_explorer_are_clean() {
-        let (out, clean) = dst(5, 0, None, true, None).unwrap();
+        let (out, clean) = dst(5, 0, None, true, None, None).unwrap();
         assert!(clean, "{out}");
         assert!(out.contains("dst sweep: 5 runs"), "{out}");
         assert!(out.contains("truncated = false"), "{out}");
@@ -930,7 +1108,7 @@ mod tests {
 
     #[test]
     fn dst_pinned_seed_runs_one_replay() {
-        let (out, clean) = dst(50, 0, Some(3), false, None).unwrap();
+        let (out, clean) = dst(50, 0, Some(3), false, None, None).unwrap();
         assert!(clean, "{out}");
         assert!(out.contains("dst sweep: 1 runs"), "{out}");
         assert!(out.contains("seed pinned to 3"), "{out}");
@@ -941,9 +1119,84 @@ mod tests {
         // Seeded run with faults: all answers must still verify (the
         // command errors on any wrong answer) and the report must carry
         // the fault roster and health table.
-        let out = chaos(7, 6, 0.6, 4).unwrap();
+        let out = chaos(7, 6, 0.6, 4, Verbosity::Verbose, None).unwrap();
         assert!(out.contains("device"), "{out}");
         assert!(out.contains("health:"), "{out}");
         assert!(!out.contains("BAD"), "{out}");
+    }
+
+    #[test]
+    fn chaos_normal_verbosity_keeps_per_query_lines_out() {
+        let out = chaos(5, 3, 0.0, 17, Verbosity::Normal, None).unwrap();
+        assert!(!out.contains("query  1:"), "{out}");
+        assert!(out.contains("events: "), "{out}");
+        assert!(out.contains("stats: queries = 3"), "{out}");
+    }
+
+    #[test]
+    fn chaos_metrics_out_writes_acceptance_snapshot() {
+        // The ISSUE 5 acceptance check: the snapshot must carry
+        // per-device predicted vs observed cost, lifecycle events, and
+        // pipeline window statistics.
+        let dir = temp_dir("chaos-metrics");
+        let path = dir.join("m.json");
+        // Same fleet/seed as `chaos_drill_survives_injected_faults`, so
+        // faults (and therefore lifecycle events) are known to occur.
+        let out = chaos(7, 6, 0.6, 4, Verbosity::Normal, Some(&path)).unwrap();
+        assert!(out.contains("telemetry snapshot written"), "{out}");
+        let snap = std::fs::read_to_string(&path).unwrap();
+        assert!(snap.contains("\"schema\": \"scec-telemetry-v1\""), "{snap}");
+        assert!(snap.contains("\"predicted\""), "{snap}");
+        assert!(snap.contains("\"observed\""), "{snap}");
+        assert!(snap.contains("\"device\""), "{snap}");
+        assert!(snap.contains("supervisor."), "{snap}");
+        assert!(snap.contains("scec_pipeline_window_occupancy"), "{snap}");
+        assert!(snap.contains("scec_pipeline_in_flight"), "{snap}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                snap.matches(open).count(),
+                snap.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_command_renders_both_formats() {
+        let prom = metrics(4, 3, 23, false).unwrap();
+        assert!(prom.contains("# TYPE scec_queries_total counter"), "{prom}");
+        assert!(prom.contains("scec_query_latency_seconds"), "{prom}");
+        let json = metrics(4, 3, 23, true).unwrap();
+        assert!(json.contains("\"schema\": \"scec-telemetry-v1\""), "{json}");
+        assert!(json.contains("\"events\""), "{json}");
+        assert!(json.contains("\"costs\""), "{json}");
+        assert!(json.contains("span.device_compute"), "{json}");
+    }
+
+    #[test]
+    fn query_metrics_out_reports_per_device_costs() {
+        let dir = temp_dir("query-metrics");
+        let mut rng = StdRng::seed_from_u64(29);
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        let data_path = dir.join("a.csv");
+        csv::write_matrix_fp61(&data_path, &a).unwrap();
+        let shares_dir = dir.join("shares");
+        deploy(&data_path, &[1.0, 1.2, 1.4, 1.6], &shares_dir, 13, 0).unwrap();
+        let x = scec_linalg::Vector::<Fp61>::random(4, &mut rng);
+        let x_path = dir.join("x.csv");
+        csv::write_vector_fp61(&x_path, &x).unwrap();
+        let y_path = dir.join("y.csv");
+        let m_path = dir.join("m.json");
+        query(&shares_dir, &x_path, &y_path, Some(&m_path)).unwrap();
+        assert_eq!(
+            csv::read_vector_fp61(&y_path).unwrap(),
+            a.matvec(&x).unwrap()
+        );
+        let snap = std::fs::read_to_string(&m_path).unwrap();
+        assert!(snap.contains("\"predicted\""), "{snap}");
+        assert!(snap.contains("span.decode"), "{snap}");
+        assert!(snap.contains("span.device_compute"), "{snap}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,13 +14,18 @@ USAGE:
   scec plan   --m <ROWS> --costs <C1,C2,...>
   scec deploy --data <A.csv> --costs <C1,C2,...> --out <DIR> [--seed N] [--redundancy S]
   scec deploy-private --data <A.csv> --out <DIR> --threshold T --load-cap V [--seed N]
-  scec query  --shares <DIR> --input <x.csv> --output <y.csv>
+  scec query  --shares <DIR> --input <x.csv> --output <y.csv> [--metrics-out PATH]
   scec audit  --shares <DIR> [--seed N] [--coalitions T]
   scec chaos  [--devices N] [--queries Q] [--intensity F] [--seed N]
+              [--verbose true] [--metrics-out PATH]
   scec dst    [--seeds N] [--seed N] [--explore true] [--failure-out PATH]
+              [--metrics-out PATH]
+  scec metrics [--devices N] [--queries Q] [--seed N] [--format prometheus|json]
   scec bench  [--out DIR] [--iters N] [--index N] [--quick true]
 
 `scec dst` honors SCEC_DST_SEED to replay a single seeded schedule.
+`--metrics-out PATH` writes a scec-telemetry-v1 JSON snapshot: metrics,
+query spans and lifecycle events, per-device predicted vs observed cost.
 
 Data matrices and vectors are CSV files of integers in GF(2^61 - 1).
 Share files use the framed scec-wire binary format.";
@@ -109,7 +114,11 @@ fn run() -> Result<(), Error> {
             let shares = PathBuf::from(args.get("shares")?);
             let input = PathBuf::from(args.get("input")?);
             let output = PathBuf::from(args.get("output")?);
-            print!("{}", commands::query(&shares, &input, &output)?);
+            let metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
+            print!(
+                "{}",
+                commands::query(&shares, &input, &output, metrics_out.as_deref())?
+            );
         }
         "audit" => {
             let shares = PathBuf::from(args.get("shares")?);
@@ -140,9 +149,28 @@ fn run() -> Result<(), Error> {
                     .parse()
                     .map_err(|e| Error::Usage(format!("bad --intensity: {e}")))?,
             };
+            let verbose: bool = match args.flags.get("verbose") {
+                None => false,
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --verbose: {e}")))?,
+            };
+            let verbosity = if verbose {
+                scec_runtime::Verbosity::Verbose
+            } else {
+                scec_runtime::Verbosity::Normal
+            };
+            let metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
             print!(
                 "{}",
-                commands::chaos(devices, queries, intensity, args.seed()?)?
+                commands::chaos(
+                    devices,
+                    queries,
+                    intensity,
+                    args.seed()?,
+                    verbosity,
+                    metrics_out.as_deref()
+                )?
             );
         }
         "dst" => {
@@ -157,17 +185,43 @@ fn run() -> Result<(), Error> {
                     .map_err(|e| Error::Usage(format!("bad --explore: {e}")))?,
             };
             let failure_out = args.flags.get("failure-out").map(PathBuf::from);
+            let metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
             let (report, clean) = commands::dst(
                 seeds,
                 args.seed()?,
                 scec_dst::seed_from_env(),
                 explore,
                 failure_out.as_deref(),
+                metrics_out.as_deref(),
             )?;
             print!("{report}");
             if !clean {
                 return Err(Error::Domain("dst found an oracle violation".into()));
             }
+        }
+        "metrics" => {
+            let devices = match args.flags.get("devices") {
+                None => 5,
+                Some(_) => args.get_usize("devices")?,
+            };
+            let queries = match args.flags.get("queries") {
+                None => 8,
+                Some(_) => args.get_usize("queries")?,
+            };
+            let json = match args.flags.get("format") {
+                None => false,
+                Some(v) if v == "prometheus" => false,
+                Some(v) if v == "json" => true,
+                Some(v) => {
+                    return Err(Error::Usage(format!(
+                        "bad --format {v:?}: expected prometheus or json"
+                    )))
+                }
+            };
+            print!(
+                "{}",
+                commands::metrics(devices, queries, args.seed()?, json)?
+            );
         }
         "bench" => {
             let mut opts = scec_cli::bench::BenchOptions::default();

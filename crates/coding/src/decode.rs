@@ -59,6 +59,8 @@ pub fn decode_fast<F: Scalar>(design: &CodeDesign, btx: &Vector<F>) -> Result<Ve
         });
     }
     let vals = btx.as_slice();
+    // One field subtraction per data row — telemetry prices these as adds.
+    scec_linalg::ops::record_adds(m as u64);
     let mut y = Vec::with_capacity(m);
     for p in 0..m {
         y.push(vals[r + p].sub(vals[p % r]));
@@ -149,6 +151,7 @@ pub fn decode_fast_batch<F: Scalar>(design: &CodeDesign, btx: &Matrix<F>) -> Res
         });
     }
     let n = btx.ncols();
+    scec_linalg::ops::record_adds((m * n) as u64);
     // Build the flat output buffer row by row: one slice-wise subtraction
     // per output row, no per-element bounds checks.
     let mut flat = Vec::with_capacity(m * n);

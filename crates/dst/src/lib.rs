@@ -43,7 +43,7 @@ pub mod shrink;
 pub mod sim;
 
 pub use explore::{explore, ExploreReport};
-pub use runner::{run_seeds, SweepReport};
+pub use runner::{run_seeds, run_seeds_telemetry, SweepReport};
 pub use schedule::{Decision, Schedule};
 pub use shrink::shrink;
 pub use sim::{Health, QueryOutcome, RunReport, Simulation, Violation};

@@ -1,6 +1,10 @@
 //! Seed sweeps: run many seeded simulations, stop at the first
 //! violation, and package everything a human needs to replay it.
 
+use std::sync::Arc;
+
+use scec_telemetry::Telemetry;
+
 use crate::sim::{RunReport, Simulation};
 use crate::DstConfig;
 
@@ -39,6 +43,34 @@ pub fn run_seeds(
     count: usize,
     pinned: Option<u64>,
 ) -> Result<SweepReport, scec_coding::Error> {
+    sweep(config, first_seed, count, pinned, None)
+}
+
+/// [`run_seeds`] with a telemetry handle attached to every simulation:
+/// spans, health events, and costs accumulate into `tel` across the
+/// whole sweep, on virtual clocks — the rendered snapshot is
+/// byte-deterministic for a given `(config, seeds)`.
+///
+/// # Errors
+///
+/// Propagates world-construction failures (invalid coding parameters).
+pub fn run_seeds_telemetry(
+    config: &DstConfig,
+    first_seed: u64,
+    count: usize,
+    pinned: Option<u64>,
+    tel: &Arc<Telemetry>,
+) -> Result<SweepReport, scec_coding::Error> {
+    sweep(config, first_seed, count, pinned, Some(tel))
+}
+
+fn sweep(
+    config: &DstConfig,
+    first_seed: u64,
+    count: usize,
+    pinned: Option<u64>,
+    tel: Option<&Arc<Telemetry>>,
+) -> Result<SweepReport, scec_coding::Error> {
     let seeds: Vec<u64> = match pinned {
         Some(seed) => vec![seed],
         None => (0..count as u64).map(|i| first_seed + i).collect(),
@@ -51,7 +83,11 @@ pub fn run_seeds(
         failure: None,
     };
     for seed in seeds {
-        let run = Simulation::new(config.clone(), seed)?.run();
+        let mut sim = Simulation::new(config.clone(), seed)?;
+        if let Some(t) = tel {
+            sim = sim.with_telemetry(Arc::clone(t));
+        }
+        let run = sim.run();
         report.runs += 1;
         report.completed += run.completed;
         report.failed += run.failed;

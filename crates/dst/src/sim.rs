@@ -20,6 +20,7 @@
 //! the same triple reproduces the identical [`RunReport`], byte for byte.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::{rngs::StdRng, SeedableRng};
@@ -28,6 +29,7 @@ use scec_coding::{CodeDesign, StragglerCode, StragglerStore, TaggedResponse};
 use scec_linalg::{Fp61, Matrix, Scalar, Vector};
 use scec_runtime::{Clock, SimClock};
 use scec_sim::adversary::{ChaosFault, ChaosPlan};
+use scec_telemetry::{CostVector, Stage, Telemetry};
 
 use crate::schedule::{Decision, Schedule};
 use crate::DstConfig;
@@ -176,6 +178,7 @@ impl Event {
 struct QueryState {
     x: Vector<Fp61>,
     want: Vector<Fp61>,
+    started_at: Duration,
     attempt: u32,
     /// Devices broadcast to in the current attempt (global ids).
     targets: Vec<usize>,
@@ -216,6 +219,7 @@ pub struct Simulation {
     violation: Option<Violation>,
     trace: Vec<String>,
     seed: u64,
+    tel: Option<Arc<Telemetry>>,
 }
 
 impl Simulation {
@@ -283,8 +287,63 @@ impl Simulation {
             store,
             faults,
             seed,
+            tel: None,
         };
         Ok(sim)
+    }
+
+    /// Attaches a telemetry handle: the simulation records spans, health
+    /// events, and predicted-vs-observed costs against the **virtual**
+    /// clock, so two runs of the same `(config, seed, script)` render
+    /// byte-identical telemetry. Devices are priced at unit cost 1.0 —
+    /// the simulated fleet carries no cost vector of its own.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<Telemetry>) -> Self {
+        self.tel = Some(tel);
+        if let Some(t) = &self.tel {
+            // Encoding happened during construction, before time started.
+            t.tracer
+                .span(Duration::ZERO, Duration::ZERO, Stage::Encode, None, None);
+        }
+        self.instrument_topology();
+        self
+    }
+
+    /// (Re-)installs predicted per-query costs and stored-row levels for
+    /// the current roster; called at attachment and after every repair.
+    fn instrument_topology(&self) {
+        let Some(t) = &self.tel else { return };
+        let l = self.config.width as u64;
+        let esize = std::mem::size_of::<Fp61>() as u64;
+        for (pos, share) in self.store.shares().iter().enumerate() {
+            let device = self.roster[pos];
+            let rows = share.rows().len() as u64;
+            t.costs.record_stored(device, rows);
+            t.costs.set_predicted(
+                device,
+                1.0,
+                CostVector {
+                    stored_rows: rows,
+                    rows_served: rows,
+                    bytes_sent: l * esize,
+                    // Tagged responses: value + u64 row tag per row.
+                    bytes_received: rows * (esize + 8),
+                    field_mults: rows * l,
+                    field_adds: rows * l.saturating_sub(1),
+                },
+            );
+        }
+    }
+
+    /// Mirrors a supervisor lifecycle moment into the tracer and the
+    /// labelled event counter (same names as the threaded supervisor).
+    fn tev(&self, name: &'static str, device: Option<usize>, detail: String) {
+        if let Some(t) = &self.tel {
+            t.tracer.event(self.clock.now(), name, None, device, detail);
+            t.registry
+                .counter("scec_supervisor_events_total", &[("event", name)])
+                .inc();
+        }
     }
 
     /// Runs to completion and returns the deterministic report.
@@ -433,6 +492,22 @@ impl Simulation {
             device,
             rows.len()
         ));
+        if let Some(t) = &self.tel {
+            let now = self.clock.now();
+            let l = self.config.width as u64;
+            let n = rows.len() as u64;
+            let esize = std::mem::size_of::<Fp61>() as u64;
+            t.tracer.span(
+                now,
+                Duration::ZERO,
+                Stage::DeviceCompute,
+                Some(query as u64),
+                Some(device),
+            );
+            t.costs.record_received(device, n * (esize + 8), n);
+            t.costs
+                .record_compute(device, n * l, n * l.saturating_sub(1));
+        }
         self.queries[query].collected.insert(device, rows);
         self.try_complete(query);
     }
@@ -477,6 +552,11 @@ impl Simulation {
                 query,
                 self.queries[query].attempt
             ));
+            self.tev(
+                "supervisor.retried",
+                None,
+                format!("q{query} attempt={}", self.queries[query].attempt),
+            );
             self.broadcast(query, backoff);
         } else {
             self.resolve(query, QueryOutcome::Failed);
@@ -491,6 +571,7 @@ impl Simulation {
         self.queries.push(QueryState {
             x,
             want,
+            started_at: self.clock.now(),
             attempt: 0,
             targets: Vec::new(),
             collected: BTreeMap::new(),
@@ -559,6 +640,14 @@ impl Simulation {
                 corrupted,
             });
         }
+        if let Some(t) = &self.tel {
+            t.tracer
+                .span(start, Duration::ZERO, Stage::Dispatch, Some(q as u64), None);
+            let bytes = (self.config.width * std::mem::size_of::<Fp61>()) as u64;
+            for &device in &targets {
+                t.costs.record_sent(device, bytes);
+            }
+        }
         self.queries[q].targets = targets;
         self.pending.push(Event::Deadline {
             at: start.saturating_add(Duration::from_millis(self.config.deadline_ms)),
@@ -600,11 +689,38 @@ impl Simulation {
             self.violate("decode", format!("q{q}: decode(B·Tx) != A·x"));
             return;
         }
+        if let Some(t) = &self.tel {
+            t.tracer.span(
+                self.clock.now(),
+                Duration::ZERO,
+                Stage::Decode,
+                Some(q as u64),
+                None,
+            );
+        }
         self.resolve(q, QueryOutcome::Decoded);
     }
 
     fn resolve(&mut self, q: usize, outcome: QueryOutcome) {
         self.queries[q].outcome = Some(outcome);
+        if let Some(t) = &self.tel {
+            let labels = [("cluster", "dst")];
+            match outcome {
+                QueryOutcome::Decoded => {
+                    t.registry.counter("scec_queries_total", &labels).inc();
+                    let latency = self.clock.now().saturating_sub(self.queries[q].started_at);
+                    t.registry
+                        .histogram("scec_query_latency_seconds", &labels)
+                        .record(latency.as_secs_f64());
+                    t.costs.record_query();
+                }
+                QueryOutcome::Failed => {
+                    t.registry
+                        .counter("scec_query_failures_total", &labels)
+                        .inc();
+                }
+            }
+        }
         self.trace
             .push(format!("t={} resolve q{} {:?}", self.ms(), q, outcome));
         self.emit_ready();
@@ -657,6 +773,13 @@ impl Simulation {
             next
         ));
         self.health[device - 1] = next;
+        let name = match next {
+            Health::Suspect => "supervisor.suspected",
+            Health::Dead => "supervisor.died",
+            Health::Quarantined => "supervisor.quarantined",
+            Health::Healthy => return,
+        };
+        self.tev(name, Some(device), format!("{current:?} -> {next:?}"));
     }
 
     /// Re-allocates around Dead/Quarantined roster members: survivors are
@@ -710,6 +833,18 @@ impl Simulation {
             self.generation,
             self.roster
         ));
+        self.tev(
+            "supervisor.repaired",
+            None,
+            format!("gen={} roster={:?}", self.generation, self.roster),
+        );
+        if let Some(t) = &self.tel {
+            // The rebuilt code re-encodes the data; instantaneous in
+            // virtual time, but the span marks it on the trace.
+            t.tracer
+                .span(self.clock.now(), Duration::ZERO, Stage::Encode, None, None);
+        }
+        self.instrument_topology();
         self.check_topology_oracles();
         if self.violation.is_some() {
             return;
@@ -843,6 +978,29 @@ mod tests {
         assert!(report.is_clean(), "{}", report.render());
         assert!(report.quarantined >= 1, "{}", report.render());
         assert!(report.repairs >= 1, "{}", report.render());
+    }
+
+    #[test]
+    fn telemetry_renders_byte_identically_across_identical_runs() {
+        let config = DstConfig::chaos();
+        let render = |seed: u64| {
+            let tel = Arc::new(Telemetry::new());
+            let report = Simulation::new(config.clone(), seed)
+                .unwrap()
+                .with_telemetry(Arc::clone(&tel))
+                .run();
+            assert!(report.is_clean(), "{}", report.render());
+            tel.render_json()
+        };
+        // Seed 0 both decodes queries and injects faults under chaos().
+        let snapshot = render(0);
+        assert_eq!(snapshot, render(0));
+        // The virtual-clock trace actually carries the query stages.
+        assert!(snapshot.contains("span.dispatch"));
+        assert!(snapshot.contains("span.device_compute"));
+        assert!(snapshot.contains("span.decode"));
+        assert!(snapshot.contains("scec_queries_total"));
+        assert!(snapshot.contains("cluster=\\\"dst\\\""));
     }
 
     #[test]

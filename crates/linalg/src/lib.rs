@@ -41,6 +41,7 @@ pub mod gauss;
 pub mod kernels;
 pub mod lu;
 pub mod matrix;
+pub mod ops;
 pub mod scalar;
 pub mod span;
 pub mod sparse;

@@ -292,6 +292,8 @@ impl<F: Scalar> Matrix<F> {
             });
         }
         let (rows, inner, cols) = (self.rows, self.cols, rhs.cols);
+        crate::ops::record_mults((rows * inner * cols) as u64);
+        crate::ops::record_adds((rows * inner.saturating_sub(1) * cols) as u64);
         let mut out = vec![F::zero(); rows * cols];
         if F::prefers_dot_matmul() && inner > 0 {
             // Dot formulation: transpose rhs once (blocked, O(inner·cols))
@@ -344,6 +346,8 @@ impl<F: Scalar> Matrix<F> {
                 rhs: (x.len(), 1),
             });
         }
+        crate::ops::record_mults((self.rows * self.cols) as u64);
+        crate::ops::record_adds((self.rows * self.cols.saturating_sub(1)) as u64);
         let threads = kernels::threads_for(self.rows * self.cols);
         let xs = x.as_slice();
         let out = kernels::par_map_collect(self.rows, threads, |i| F::dot_slices(self.row(i), xs));
@@ -366,6 +370,8 @@ impl<F: Scalar> Matrix<F> {
                 rhs: (u.len(), 1),
             });
         }
+        crate::ops::record_mults((self.rows * self.cols) as u64);
+        crate::ops::record_adds((self.rows.saturating_sub(1) * self.cols) as u64);
         let mut acc = vec![F::zero(); self.cols];
         for (i, &ui) in u.as_slice().iter().enumerate() {
             if ui.is_zero() {

@@ -1,0 +1,86 @@
+//! Process-wide field-operation counters — the flop hooks telemetry
+//! snapshots read.
+//!
+//! The big kernels ([`Matrix::matmul`](crate::Matrix::matmul),
+//! [`matvec`](crate::Matrix::matvec), [`tr_matvec`](crate::Matrix::tr_matvec))
+//! record their *nominal dense* operation counts (`rows·inner·cols`
+//! multiplies, and so on) on entry — one relaxed atomic add per kernel
+//! call, not per element, so the hot loops are untouched. Structured
+//! sparsity (the 0/1 encoding matrices skip zero coefficients) is
+//! deliberately not discounted: the nominal count is what the paper's
+//! cost model prices. Gaussian-elimination paths are not counted.
+//!
+//! With the `telemetry` feature disabled every function here is an
+//! empty `#[inline]` stub, the counters read zero, and the kernels
+//! carry no atomics at all — the zero-overhead path CI builds with
+//! `--no-default-features`.
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use std::sync::atomic::AtomicU64;
+
+    pub static MULTS: AtomicU64 = AtomicU64::new(0);
+    pub static ADDS: AtomicU64 = AtomicU64::new(0);
+}
+
+/// Adds `n` field multiplications to the global tally.
+#[inline]
+pub fn record_mults(n: u64) {
+    #[cfg(feature = "telemetry")]
+    imp::MULTS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = n;
+}
+
+/// Adds `n` field additions to the global tally.
+#[inline]
+pub fn record_adds(n: u64) {
+    #[cfg(feature = "telemetry")]
+    imp::ADDS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = n;
+}
+
+/// Field multiplications recorded since start (or [`reset`]).
+#[inline]
+pub fn mults() -> u64 {
+    #[cfg(feature = "telemetry")]
+    return imp::MULTS.load(std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "telemetry"))]
+    0
+}
+
+/// Field additions recorded since start (or [`reset`]).
+#[inline]
+pub fn adds() -> u64 {
+    #[cfg(feature = "telemetry")]
+    return imp::ADDS.load(std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "telemetry"))]
+    0
+}
+
+/// Zeroes both counters. Counters are process-global, so tests that
+/// assert on deltas should read before/after instead of resetting
+/// under a parallel test runner.
+#[inline]
+pub fn reset() {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::MULTS.store(0, std::sync::atomic::Ordering::Relaxed);
+        imp::ADDS.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let (m0, a0) = (mults(), adds());
+        record_mults(7);
+        record_adds(3);
+        assert!(mults() >= m0 + 7);
+        assert!(adds() >= a0 + 3);
+    }
+}

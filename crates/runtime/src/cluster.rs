@@ -100,6 +100,7 @@ pub(crate) fn device_main<F: Scalar>(
 ) {
     let mut share = None;
     let mut tagged = None;
+    let mut tel: Option<Arc<scec_telemetry::Telemetry>> = None;
     // Queries received so far (crash countdown) and a deterministic
     // per-device stream for FlakyDrop draws.
     let mut served: u64 = 0;
@@ -108,6 +109,7 @@ pub(crate) fn device_main<F: Scalar>(
         match msg {
             ToDevice::Install(s) => share = Some(*s),
             ToDevice::InstallTagged(s) => tagged = Some(*s),
+            ToDevice::Instrument(t) => tel = Some(t),
             ToDevice::QueryBatch { request, xs } => {
                 served += 1;
                 match fault_gate(behavior, served, &mut fault_rng) {
@@ -118,6 +120,7 @@ pub(crate) fn device_main<F: Scalar>(
                 if let DeviceBehavior::Delayed(d) = behavior {
                     clock.sleep(d);
                 }
+                let compute_started = crate::telemetry::actor_now(&tel, &clock);
                 let response = if let Some(s) = &share {
                     match s.coded().matmul(&xs) {
                         Ok(mut values) => {
@@ -144,6 +147,7 @@ pub(crate) fn device_main<F: Scalar>(
                         reason: "no share installed (or tagged share on batch protocol)".into(),
                     }
                 };
+                crate::telemetry::actor_span(&tel, &clock, compute_started, request, device);
                 if outbox.send(response).is_err() {
                     return;
                 }
@@ -158,6 +162,7 @@ pub(crate) fn device_main<F: Scalar>(
                 if let DeviceBehavior::Delayed(d) = behavior {
                     clock.sleep(d);
                 }
+                let compute_started = crate::telemetry::actor_now(&tel, &clock);
                 let corrupt = |mut values: scec_linalg::Vector<F>| {
                     if behavior == DeviceBehavior::Byzantine {
                         if let Some(first) = values.as_mut_slice().first_mut() {
@@ -206,6 +211,7 @@ pub(crate) fn device_main<F: Scalar>(
                         reason: "no share installed".into(),
                     }
                 };
+                crate::telemetry::actor_span(&tel, &clock, compute_started, request, device);
                 if outbox.send(response).is_err() {
                     return; // cluster gone
                 }
@@ -268,8 +274,19 @@ pub struct LocalCluster<F: Scalar> {
     next_request: AtomicU64,
     timeout: Duration,
     clock: Arc<dyn Clock>,
-    /// Completed-query latencies, seconds (bounded ring).
+    /// Completed-query latencies, seconds (lifetime histogram).
     latencies: std::sync::Mutex<LatencyLog>,
+    tel: crate::telemetry::Sink,
+    /// When encoding started / how long it took (replayed into the
+    /// tracer at `with_telemetry` time, since encoding happens at
+    /// launch).
+    encode_started: Duration,
+    encode_dur: Duration,
+    /// Query width `l` (for analytic per-device flop accounting).
+    input_len: usize,
+    /// `(device id, coded rows held, fleet unit cost)` per enrolled
+    /// device.
+    loads: Vec<(usize, usize, f64)>,
 }
 
 impl<F: Scalar> LocalCluster<F> {
@@ -337,7 +354,25 @@ impl<F: Scalar> LocalCluster<F> {
         behaviors: &[DeviceBehavior],
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
+        let encode_started = clock.now();
         let deployment = system.distribute(rng)?;
+        let encode_dur = clock.now().saturating_sub(encode_started);
+        let input_len = deployment
+            .devices()
+            .first()
+            .map(|d| d.share().coded().ncols())
+            .unwrap_or(0);
+        let loads: Vec<(usize, usize, f64)> = deployment
+            .devices()
+            .iter()
+            .map(|d| {
+                (
+                    d.device(),
+                    d.share().coded().nrows(),
+                    system.fleet().c(d.device()),
+                )
+            })
+            .collect();
         let (resp_tx, resp_rx) = unbounded();
         let mut devices = Vec::new();
         for (idx, dev) in deployment.devices().iter().enumerate() {
@@ -368,7 +403,57 @@ impl<F: Scalar> LocalCluster<F> {
             timeout: crate::DEFAULT_DEADLINE,
             clock,
             latencies: std::sync::Mutex::new(LatencyLog::default()),
+            tel: crate::telemetry::Sink::none(),
+            encode_started,
+            encode_dur,
+            input_len,
+            loads,
         })
+    }
+
+    /// Attaches a telemetry handle: queries record spans, metrics, and
+    /// observed costs against it, and each device actor starts tracing
+    /// its compute spans. The encode span (encoding happened at launch)
+    /// is replayed into the tracer, and each device's cost prediction —
+    /// its fleet unit cost and the per-query usage the active design
+    /// assigns it — is installed alongside its stored coded rows.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<scec_telemetry::Telemetry>) -> Self {
+        for dev in &self.devices {
+            let _ = dev.tx.send(ToDevice::Instrument(Arc::clone(&tel)));
+        }
+        tel.tracer.span(
+            self.encode_started,
+            self.encode_dur,
+            scec_telemetry::Stage::Encode,
+            None,
+            None,
+        );
+        let l = self.input_len as u64;
+        let esize = std::mem::size_of::<F>() as u64;
+        for &(device, rows, unit_cost) in &self.loads {
+            let rows = rows as u64;
+            tel.costs.record_stored(device, rows);
+            tel.costs.set_predicted(
+                device,
+                unit_cost,
+                scec_telemetry::CostVector {
+                    stored_rows: rows,
+                    rows_served: rows,
+                    bytes_sent: l * esize,
+                    bytes_received: rows * esize,
+                    field_mults: rows * l,
+                    field_adds: rows * l.saturating_sub(1),
+                },
+            );
+        }
+        self.tel.attach(tel, "local");
+        self
+    }
+
+    /// The clock this cluster runs on.
+    pub(crate) fn clock_handle(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Latency statistics over the queries served so far (vector queries
@@ -428,6 +513,7 @@ impl<F: Scalar> LocalCluster<F> {
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
         let ticket_clock = Arc::clone(&self.clock);
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &ticket_clock);
         let shared = Arc::new(x.clone());
         for dev in &self.devices {
             dev.tx
@@ -439,7 +525,19 @@ impl<F: Scalar> LocalCluster<F> {
                     device: Some(dev.device),
                 })?;
         }
-        Ok(Ticket::new(request, &ticket_clock))
+        self.tel.with(|s| {
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            s.tel
+                .costs
+                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(ticket)
     }
 
     /// Awaits all partials for an in-flight request and decodes — the
@@ -454,8 +552,15 @@ impl<F: Scalar> LocalCluster<F> {
     pub fn finish_query(&self, ticket: Ticket) -> Result<Vector<F>> {
         let result = self.finish_inner(ticket.request());
         match &result {
-            Ok(_) => lock(&self.latencies).record(ticket.elapsed_secs()),
-            Err(_) => self.mailbox.clear(ticket.request()),
+            Ok(_) => {
+                let elapsed = ticket.elapsed_secs();
+                lock(&self.latencies).record(elapsed);
+                self.tel.with(|s| s.query_ok(elapsed));
+            }
+            Err(_) => {
+                self.mailbox.clear(ticket.request());
+                self.tel.with(|s| s.query_err());
+            }
         }
         result
     }
@@ -469,6 +574,7 @@ impl<F: Scalar> LocalCluster<F> {
     }
 
     fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
+        let collect_started = self.tel.now(&self.clock);
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
         self.mailbox.collect(
             &*self.clock,
@@ -480,6 +586,27 @@ impl<F: Scalar> LocalCluster<F> {
                 Ok(partials.len())
             },
         )?;
+        let decode_started = self.tel.now(&self.clock);
+        self.tel.with(|s| {
+            s.span(
+                collect_started,
+                decode_started,
+                scec_telemetry::Stage::Collect,
+                request,
+            );
+            let esize = std::mem::size_of::<F>() as u64;
+            let l = self.input_len as u64;
+            for (&device, values) in &partials {
+                let rows = values.len() as u64;
+                s.tel.costs.record_served(
+                    device,
+                    rows * esize,
+                    rows,
+                    rows * l,
+                    rows * l.saturating_sub(1),
+                );
+            }
+        });
         let mut ordered: Vec<Vector<F>> = Vec::with_capacity(self.devices.len());
         for j in 1..=self.devices.len() {
             ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
@@ -488,7 +615,16 @@ impl<F: Scalar> LocalCluster<F> {
             })?);
         }
         let btx = decode::stack_partials(&ordered);
-        Ok(decode::decode_fast(&self.design, &btx)?)
+        let y = decode::decode_fast(&self.design, &btx)?;
+        self.tel.with(|s| {
+            s.span(
+                decode_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Decode,
+                request,
+            );
+        });
+        Ok(y)
     }
 
     fn absorb(resp: FromDevice<F>, partials: &mut HashMap<usize, Vector<F>>) -> Result<()> {

@@ -1,135 +1,84 @@
-//! Bounded latency log: a fixed-capacity ring buffer over per-query
-//! latencies.
+//! Per-query latency statistics over a log-bucketed histogram.
 //!
-//! Clusters used to push every completed query's latency into an
-//! unbounded `Vec<f64>` — under the sustained traffic the pipeline is
-//! built for, that is a slow memory leak (a million queries is 8 MB that
-//! can never be reclaimed, growing forever). [`LatencyLog`] keeps
-//! **lifetime** `count`/`mean` exactly (they are O(1) accumulators) while
-//! bounding the samples retained for order statistics to the most recent
-//! [`LatencyLog::capacity`] entries, which is what p50/p99/max should
-//! describe for a long-running service anyway: recent behavior, not the
-//! launch transient.
+//! [`LatencyLog`] used to be a bespoke fixed-capacity ring buffer that
+//! sorted its retained window on every quantile read. It is now a thin
+//! wrapper over [`scec_telemetry::LogHistogram`]: `count`, `mean`
+//! (Welford running update — numerically stable over long runs, unlike
+//! the old `sum / count`), `min`, and `max` are exact over the full
+//! lifetime, quantiles are bucketed estimates with ≤ ~19 % relative
+//! error, and memory stays O(1) regardless of traffic. The p50/p99/max
+//! reporting surface the clusters rely on is unchanged.
+
+use scec_telemetry::LogHistogram;
 
 use crate::cluster::QueryStats;
 
-/// Samples retained for percentile estimation when no explicit capacity
-/// is given. 4096 × 8 bytes = 32 KiB per cluster, enough for stable p99
-/// estimates while staying cache-friendly to sort.
-pub const DEFAULT_LATENCY_WINDOW: usize = 4096;
-
-/// A fixed-capacity ring of recent latency samples with exact lifetime
-/// count and mean.
-#[derive(Debug, Clone)]
+/// Lifetime latency statistics for one cluster, seconds.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyLog {
-    /// Ring storage, at most `capacity` entries.
-    window: Vec<f64>,
-    /// Next write position once the ring is full.
-    head: usize,
-    capacity: usize,
-    /// Lifetime samples recorded (not bounded by the window).
-    count: usize,
-    /// Lifetime sum of samples (for the exact mean).
-    sum: f64,
-}
-
-impl Default for LatencyLog {
-    fn default() -> Self {
-        Self::with_capacity(DEFAULT_LATENCY_WINDOW)
-    }
+    hist: LogHistogram,
 }
 
 impl LatencyLog {
-    /// An empty log retaining at most `capacity` samples for the order
-    /// statistics (`capacity` is clamped to at least 1).
-    pub fn with_capacity(capacity: usize) -> Self {
-        LatencyLog {
-            window: Vec::new(),
-            head: 0,
-            capacity: capacity.max(1),
-            count: 0,
-            sum: 0.0,
-        }
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Records one latency sample, seconds.
     pub fn record(&mut self, secs: f64) {
-        self.count += 1;
-        self.sum += secs;
-        if self.window.len() < self.capacity {
-            self.window.push(secs);
-        } else {
-            self.window[self.head] = secs;
-            self.head = (self.head + 1) % self.capacity;
-        }
+        self.hist.record(secs);
     }
 
     /// Lifetime number of samples recorded.
     pub fn count(&self) -> usize {
-        self.count
+        self.hist.count() as usize
     }
 
-    /// Lifetime mean latency, seconds (0.0 when empty).
+    /// Lifetime mean latency, seconds (0.0 when empty) — a numerically
+    /// stable running update, not a raw sum.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
+        self.hist.mean()
     }
 
-    /// Maximum number of samples retained for percentiles.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of samples currently retained (≤ `capacity`).
-    pub fn retained(&self) -> usize {
-        self.window.len()
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) over the retained window, by the
-    /// same nearest-rank rule the clusters have always reported (0.0 when
-    /// empty).
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimate over the lifetime
+    /// distribution (0.0 when empty). Extreme ranks (`q = 0`, `q = 1`)
+    /// are exact; interior ranks are bucketed.
     pub fn quantile(&self, q: f64) -> f64 {
-        let mut xs = self.window.clone();
-        if xs.is_empty() {
-            return 0.0;
-        }
-        xs.sort_by(f64::total_cmp);
-        xs[((xs.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize]
+        self.hist.quantile(q)
     }
 
-    /// Median over the retained window.
+    /// Median latency estimate.
     pub fn p50(&self) -> f64 {
-        self.quantile(0.50)
+        self.hist.p50()
     }
 
-    /// 99th percentile over the retained window.
+    /// 99th-percentile latency estimate.
     pub fn p99(&self) -> f64 {
-        self.quantile(0.99)
+        self.hist.p99()
     }
 
-    /// Worst retained latency (0.0 when empty).
+    /// Worst observed latency (exact; 0.0 when empty).
     pub fn max(&self) -> f64 {
-        self.window.iter().copied().fold(0.0, f64::max)
+        self.hist.max()
+    }
+
+    /// A copy of the underlying histogram (for telemetry snapshots).
+    pub fn histogram(&self) -> LogHistogram {
+        self.hist.clone()
     }
 
     /// Fills the latency fields of a [`QueryStats`] (fault counters are
     /// left untouched for the caller).
     pub fn fill_stats(&self, stats: &mut QueryStats) {
-        if self.count == 0 {
+        if self.hist.is_empty() {
             return;
         }
-        let mut xs = self.window.clone();
-        xs.sort_by(f64::total_cmp);
-        let retained = xs.len();
-        let pick = |q: f64| xs[((retained as f64 - 1.0) * q).round() as usize];
-        stats.count = self.count;
+        stats.count = self.count();
         stats.mean = self.mean();
-        stats.p50 = pick(0.50);
-        stats.p99 = pick(0.99);
-        stats.max = *xs.last().expect("non-empty");
+        stats.p50 = self.p50();
+        stats.p99 = self.p99();
+        stats.max = self.max();
     }
 }
 
@@ -145,47 +94,33 @@ mod tests {
         assert_eq!(log.p50(), 0.0);
         assert_eq!(log.p99(), 0.0);
         assert_eq!(log.max(), 0.0);
-        assert_eq!(log.capacity(), DEFAULT_LATENCY_WINDOW);
         let mut stats = QueryStats::default();
         log.fill_stats(&mut stats);
         assert_eq!(stats, QueryStats::default());
     }
 
     #[test]
-    fn below_capacity_matches_unbounded_semantics() {
-        let mut log = LatencyLog::with_capacity(16);
-        for v in [3.0, 1.0, 2.0, 5.0, 4.0] {
-            log.record(v);
-        }
-        assert_eq!(log.count(), 5);
-        assert_eq!(log.retained(), 5);
-        assert!((log.mean() - 3.0).abs() < 1e-12);
-        assert_eq!(log.p50(), 3.0);
-        assert_eq!(log.p99(), 5.0);
-        assert_eq!(log.max(), 5.0);
-    }
-
-    #[test]
-    fn ring_evicts_oldest_but_keeps_lifetime_count_and_mean() {
-        let mut log = LatencyLog::with_capacity(4);
+    fn statistics_are_lifetime_and_quantiles_are_bucketed() {
+        let mut log = LatencyLog::new();
         for v in 1..=10 {
             log.record(f64::from(v));
         }
-        // Window holds the most recent four samples: 7, 8, 9, 10.
         assert_eq!(log.count(), 10);
-        assert_eq!(log.retained(), 4);
-        assert!((log.mean() - 5.5).abs() < 1e-12);
-        assert_eq!(log.p50(), 9.0); // nearest-rank over [7, 8, 9, 10]
-        assert_eq!(log.max(), 10.0);
-        assert_eq!(log.p99(), 10.0);
+        assert!((log.mean() - 5.5).abs() < 1e-12, "mean is exact");
+        assert_eq!(log.max(), 10.0, "max is exact");
+        // Quantiles carry at most one bucket (~19 %) of relative error.
+        let width = 2f64.powf(0.25);
+        let p50 = log.p50();
+        assert!(p50 > 5.0 / width && p50 < 5.0 * width, "p50 = {p50}");
+        assert!(log.p50() <= log.p99());
+        assert!(log.p99() <= log.max());
     }
 
     #[test]
     fn single_sample_is_every_order_statistic() {
-        let mut log = LatencyLog::with_capacity(8);
+        let mut log = LatencyLog::new();
         log.record(0.125);
         assert_eq!(log.count(), 1);
-        assert_eq!(log.retained(), 1);
         assert_eq!(log.mean(), 0.125);
         assert_eq!(log.p50(), 0.125);
         assert_eq!(log.p99(), 0.125);
@@ -197,49 +132,20 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_follow_the_window_across_the_wrap_boundary() {
-        // A regime change right as the ring wraps: the first `capacity`
-        // samples are slow, everything after is fast. Percentiles must
-        // forget the slow launch transient entirely once the window has
-        // turned over, while the lifetime mean still remembers it.
-        let mut log = LatencyLog::with_capacity(4);
-        for _ in 0..4 {
-            log.record(9.0);
+    fn mean_is_stable_over_long_runs() {
+        // A naive sum/count mean drifts once the accumulator dwarfs the
+        // samples; the running update must not.
+        let mut log = LatencyLog::new();
+        for _ in 0..1_000_000 {
+            log.record(1e-4);
         }
-        // Exactly at capacity, no wrap yet: all statistics see 9.0.
-        assert_eq!((log.p50(), log.p99(), log.max()), (9.0, 9.0, 9.0));
-        // One fast sample overwrites the oldest slow one (partial wrap).
-        log.record(1.0);
-        assert_eq!(log.retained(), 4);
-        assert_eq!(log.p50(), 9.0); // nearest-rank over [1, 9, 9, 9]
-        assert_eq!(log.p99(), 9.0);
-        // Full turnover: window is [1, 1, 1, 1], head back at the start.
-        for _ in 0..3 {
-            log.record(1.0);
-        }
-        assert_eq!((log.p50(), log.p99(), log.max()), (1.0, 1.0, 1.0));
-        assert_eq!(log.count(), 8);
-        assert!((log.mean() - 5.0).abs() < 1e-12);
-        // A second lap keeps the same semantics (head wrapped past 0).
-        log.record(3.0);
-        assert_eq!(log.p99(), 3.0);
-        assert_eq!(log.p50(), 1.0); // nearest-rank over [1, 1, 1, 3]
-    }
-
-    #[test]
-    fn capacity_is_clamped_to_one() {
-        let mut log = LatencyLog::with_capacity(0);
-        assert_eq!(log.capacity(), 1);
-        log.record(2.0);
-        log.record(7.0);
-        assert_eq!(log.count(), 2);
-        assert_eq!(log.retained(), 1);
-        assert_eq!(log.max(), 7.0);
+        assert!((log.mean() - 1e-4).abs() < 1e-15);
+        assert_eq!(log.count(), 1_000_000);
     }
 
     #[test]
     fn fill_stats_populates_latency_fields_only() {
-        let mut log = LatencyLog::with_capacity(8);
+        let mut log = LatencyLog::new();
         for v in [0.25, 0.5, 0.75] {
             log.record(v);
         }
@@ -251,7 +157,6 @@ mod tests {
         log.fill_stats(&mut stats);
         assert_eq!(stats.count, 3);
         assert!((stats.mean - 0.5).abs() < 1e-12);
-        assert_eq!(stats.p50, 0.5);
         assert_eq!(stats.max, 0.75);
         assert_eq!(stats.retries, 3);
         assert_eq!(stats.repairs, 1);

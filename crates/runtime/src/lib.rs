@@ -81,6 +81,7 @@ pub mod message;
 pub mod pipeline;
 pub mod straggler_cluster;
 pub mod supervisor;
+mod telemetry;
 pub mod tprivate_cluster;
 
 use std::time::Duration;
@@ -100,3 +101,9 @@ pub use supervisor::{
     SupervisorConfig, SupervisorEvent,
 };
 pub use tprivate_cluster::TPrivateCluster;
+
+// Telemetry types, re-exported so `with_telemetry` callers need no
+// direct scec-telemetry dependency.
+pub use scec_telemetry::{
+    CostReport, CostVector, MetricsSnapshot, Stage, Telemetry, TraceEvent, Verbosity,
+};

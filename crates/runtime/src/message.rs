@@ -36,6 +36,10 @@ pub enum ToDevice<F> {
         /// The `l × n` matrix of query columns, shared across the fan-out.
         xs: Arc<Matrix<F>>,
     },
+    /// Attach a telemetry handle: the actor starts recording per-query
+    /// compute spans against it. (A networked deployment would ship an
+    /// exporter endpoint instead of a shared handle.)
+    Instrument(Arc<scec_telemetry::Telemetry>),
     /// Terminate the device thread.
     Shutdown,
 }
@@ -97,6 +101,7 @@ impl<F: scec_linalg::Scalar> std::fmt::Debug for ToDevice<F> {
                 .field("request", request)
                 .field("xs", xs)
                 .finish(),
+            ToDevice::Instrument(_) => f.write_str("Instrument"),
             ToDevice::Shutdown => f.write_str("Shutdown"),
         }
     }

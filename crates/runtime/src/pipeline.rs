@@ -76,6 +76,11 @@ impl Ticket {
         self.request
     }
 
+    /// The broadcast timestamp on the cluster clock.
+    pub(crate) fn started(&self) -> Duration {
+        self.started
+    }
+
     /// Seconds elapsed on the cluster clock since the broadcast.
     pub fn elapsed_secs(&self) -> f64 {
         self.clock.now().saturating_sub(self.started).as_secs_f64()
@@ -114,6 +119,11 @@ pub trait PipelinedQuery {
 
     /// Releases an in-flight request that will never be finished.
     fn abandon(&self, ticket: Self::Ticket);
+
+    /// The current time on the cluster's [`Clock`] — drives pipeline
+    /// latency accounting (virtual time under a
+    /// [`SimClock`](crate::SimClock)).
+    fn clock_now(&self) -> Duration;
 }
 
 impl<F: Scalar> PipelinedQuery for LocalCluster<F> {
@@ -131,6 +141,10 @@ impl<F: Scalar> PipelinedQuery for LocalCluster<F> {
 
     fn abandon(&self, ticket: Ticket) {
         self.abandon_query(ticket);
+    }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
     }
 }
 
@@ -150,6 +164,10 @@ impl<F: Scalar> PipelinedQuery for StragglerCluster<F> {
     fn abandon(&self, ticket: Ticket) {
         self.abandon_query(ticket);
     }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
+    }
 }
 
 impl<F: Scalar> PipelinedQuery for TPrivateCluster<F> {
@@ -167,6 +185,10 @@ impl<F: Scalar> PipelinedQuery for TPrivateCluster<F> {
 
     fn abandon(&self, ticket: Ticket) {
         self.abandon_query(ticket);
+    }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
     }
 }
 
@@ -186,6 +208,10 @@ impl<F: Scalar> PipelinedQuery for SupervisedCluster<F> {
     fn abandon(&self, ticket: SupervisedTicket<F>) {
         self.abandon_query(ticket);
     }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
+    }
 }
 
 /// A bounded window of in-flight queries over one cluster.
@@ -197,6 +223,9 @@ pub struct QueryPipeline<'c, C: PipelinedQuery> {
     cluster: &'c C,
     window: usize,
     in_flight: VecDeque<C::Ticket>,
+    /// Submission timestamps parallel to `in_flight` (FIFO latency).
+    submitted: VecDeque<Duration>,
+    tel: crate::telemetry::PipelineSink,
 }
 
 impl<'c, C: PipelinedQuery> QueryPipeline<'c, C> {
@@ -216,7 +245,18 @@ impl<'c, C: PipelinedQuery> QueryPipeline<'c, C> {
             cluster,
             window,
             in_flight: VecDeque::with_capacity(window),
+            submitted: VecDeque::with_capacity(window),
+            tel: crate::telemetry::PipelineSink::none(),
         })
+    }
+
+    /// Attaches a telemetry handle: the pipeline records its in-flight
+    /// gauge, window-occupancy histogram, and submit-to-finish (FIFO)
+    /// latency against it.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &scec_telemetry::Telemetry) -> Self {
+        self.tel.attach(tel);
+        self
     }
 
     /// The configured window depth.
@@ -242,13 +282,17 @@ impl<'c, C: PipelinedQuery> QueryPipeline<'c, C> {
     /// [`poll`](Self::poll) before retrying.
     pub fn submit(&mut self, input: &C::Input) -> Result<Option<C::Output>> {
         let completed = if self.in_flight.len() == self.window {
-            let oldest = self.in_flight.pop_front().expect("window is non-empty");
-            Some(self.cluster.finish(oldest)?)
+            self.poll()?
         } else {
             None
         };
         let ticket = self.cluster.begin(input)?;
         self.in_flight.push_back(ticket);
+        self.submitted.push_back(self.cluster.clock_now());
+        self.tel.with(|m| {
+            m.in_flight.set(self.in_flight.len() as i64);
+            m.occupancy.record(self.in_flight.len() as f64);
+        });
         Ok(completed)
     }
 
@@ -259,10 +303,21 @@ impl<'c, C: PipelinedQuery> QueryPipeline<'c, C> {
     ///
     /// The cluster's query failure modes.
     pub fn poll(&mut self) -> Result<Option<C::Output>> {
-        match self.in_flight.pop_front() {
-            Some(ticket) => Ok(Some(self.cluster.finish(ticket)?)),
-            None => Ok(None),
-        }
+        let Some(ticket) = self.in_flight.pop_front() else {
+            return Ok(None);
+        };
+        let started = self.submitted.pop_front();
+        let result = self.cluster.finish(ticket);
+        self.tel.with(|m| {
+            m.in_flight.set(self.in_flight.len() as i64);
+            if result.is_ok() {
+                if let Some(t0) = started {
+                    let waited = self.cluster.clock_now().saturating_sub(t0);
+                    m.fifo_latency.record(waited.as_secs_f64());
+                }
+            }
+        });
+        Ok(Some(result?))
     }
 
     /// Finishes every in-flight request, in submission order.
@@ -304,6 +359,8 @@ impl<C: PipelinedQuery> Drop for QueryPipeline<'_, C> {
         for ticket in self.in_flight.drain(..) {
             self.cluster.abandon(ticket);
         }
+        self.submitted.clear();
+        self.tel.with(|m| m.in_flight.set(0));
     }
 }
 

@@ -31,6 +31,13 @@ pub struct StragglerCluster<F: Scalar> {
     next_request: AtomicU64,
     timeout: Duration,
     clock: Arc<dyn Clock>,
+    tel: crate::telemetry::Sink,
+    encode_started: Duration,
+    encode_dur: Duration,
+    /// Query width `l` (for analytic per-device flop accounting).
+    input_len: usize,
+    /// `(device id, tagged rows held)` per enrolled device.
+    loads: Vec<(usize, usize)>,
 }
 
 /// A decoded result plus completion statistics.
@@ -98,7 +105,14 @@ impl<F: Scalar> StragglerCluster<F> {
         behaviors: &[DeviceBehavior],
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
+        let encode_started = clock.now();
         let store = code.encode(a, rng)?;
+        let encode_dur = clock.now().saturating_sub(encode_started);
+        let loads: Vec<(usize, usize)> = store
+            .shares()
+            .iter()
+            .map(|s| (s.device(), s.rows().len()))
+            .collect();
         let (resp_tx, resp_rx) = unbounded();
         let mut devices = Vec::new();
         for (idx, share) in store.shares().iter().enumerate() {
@@ -130,7 +144,41 @@ impl<F: Scalar> StragglerCluster<F> {
             next_request: AtomicU64::new(1),
             timeout: crate::DEFAULT_DEADLINE,
             clock,
+            tel: crate::telemetry::Sink::none(),
+            encode_started,
+            encode_dur,
+            input_len: a.ncols(),
+            loads,
         })
+    }
+
+    /// Attaches a telemetry handle: queries record spans, metrics, and
+    /// observed costs against it, and each device actor starts tracing
+    /// its compute spans. The encode span is replayed into the tracer
+    /// and the stored tagged rows per device are registered with the
+    /// cost accountant.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<scec_telemetry::Telemetry>) -> Self {
+        for dev in &self.devices {
+            let _ = dev.tx.send(ToDevice::Instrument(Arc::clone(&tel)));
+        }
+        tel.tracer.span(
+            self.encode_started,
+            self.encode_dur,
+            scec_telemetry::Stage::Encode,
+            None,
+            None,
+        );
+        for &(device, rows) in &self.loads {
+            tel.costs.record_stored(device, rows as u64);
+        }
+        self.tel.attach(tel, "straggler");
+        self
+    }
+
+    /// The clock this cluster runs on.
+    pub(crate) fn clock_handle(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Sets the per-query deadline
@@ -180,6 +228,7 @@ impl<F: Scalar> StragglerCluster<F> {
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &self.clock);
         let shared = Arc::new(x.clone());
         for dev in &self.devices {
             dev.tx
@@ -191,7 +240,19 @@ impl<F: Scalar> StragglerCluster<F> {
                     device: Some(dev.device),
                 })?;
         }
-        Ok(Ticket::new(request, &self.clock))
+        self.tel.with(|s| {
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            s.tel
+                .costs
+                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(ticket)
     }
 
     /// Awaits the first `m + r` tagged rows for an in-flight request and
@@ -203,22 +264,69 @@ impl<F: Scalar> StragglerCluster<F> {
     pub fn finish_query(&self, ticket: Ticket) -> Result<QuorumResult<F>> {
         let request = ticket.request();
         let needed = self.code.rows_needed();
+        let collect_started = self.tel.now(&self.clock);
         let mut collected: Vec<TaggedResponse<F>> = Vec::new();
         let mut responders = Vec::new();
         let result = self
             .mailbox
             .collect(&*self.clock, request, self.timeout, needed, |resp| {
+                let before = collected.len();
                 Self::absorb(resp, &mut collected, &mut responders)?;
+                self.tel.with(|s| {
+                    // `absorb` only grows `collected` for the device it
+                    // just pushed onto `responders`.
+                    if let Some(&device) = responders.last() {
+                        let rows = (collected.len() - before) as u64;
+                        let esize = std::mem::size_of::<F>() as u64;
+                        let l = self.input_len as u64;
+                        // A tagged row ships the value plus its u64 tag.
+                        s.tel.costs.record_served(
+                            device,
+                            rows * (esize + 8),
+                            rows,
+                            rows * l,
+                            rows * l.saturating_sub(1),
+                        );
+                    }
+                });
                 Ok(collected.len())
             });
         // Late responses to this (now finished) request will be re-parked
         // by other threads; clear what exists now to bound the stash.
         self.mailbox.clear(request);
+        if result.is_err() {
+            self.tel.with(|s| s.query_err());
+        }
         result?;
-        let value = self.code.decode(&collected)?;
+        let decode_started = self.tel.now(&self.clock);
+        let value = match self.code.decode(&collected) {
+            Ok(v) => v,
+            Err(e) => {
+                self.tel.with(|s| s.query_err());
+                return Err(e.into());
+            }
+        };
+        let left_behind = self.devices.len() - responders.len();
+        self.tel.with(|s| {
+            s.span(
+                collect_started,
+                decode_started,
+                scec_telemetry::Stage::Collect,
+                request,
+            );
+            s.span(
+                decode_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Decode,
+                request,
+            );
+            s.query_ok(ticket.elapsed_secs());
+            s.counter("scec_stragglers_left_behind_total")
+                .add(left_behind as u64);
+        });
         Ok(QuorumResult {
             value,
-            stragglers_left_behind: self.devices.len() - responders.len(),
+            stragglers_left_behind: left_behind,
             responders,
         })
     }

@@ -475,6 +475,9 @@ pub struct SupervisedCluster<F: Scalar> {
     counters: Mutex<Counters>,
     rng: Mutex<StdRng>,
     clock: Arc<dyn Clock>,
+    tel: crate::telemetry::Sink,
+    encode_started: Duration,
+    encode_dur: Duration,
 }
 
 impl<F: Scalar> SupervisedCluster<F> {
@@ -536,8 +539,10 @@ impl<F: Scalar> SupervisedCluster<F> {
             .collect();
         let (resp_tx, resp_rx) = unbounded();
         let mut srng = StdRng::seed_from_u64(rng.next_u64());
+        let encode_started = clock.now();
         let (topo, _) =
             Self::build_topology(data, &mut roster, &config, &resp_tx, &mut srng, &clock)?;
+        let encode_dur = clock.now().saturating_sub(encode_started);
         Ok(SupervisedCluster {
             data: data.clone(),
             config,
@@ -551,7 +556,122 @@ impl<F: Scalar> SupervisedCluster<F> {
             counters: Mutex::new(Counters::default()),
             rng: Mutex::new(srng),
             clock,
+            tel: crate::telemetry::Sink::none(),
+            encode_started,
+            encode_dur,
         })
+    }
+
+    /// Attaches a telemetry handle: queries record spans, metrics, and
+    /// observed costs, supervisor lifecycle events (suspicions,
+    /// quarantines, deaths, retries, repairs) are mirrored into the
+    /// trace, and the MCSCEC-predicted per-device cost of the active
+    /// allocation is registered with the cost accountant — refreshed on
+    /// every repair. The launch-time allocate+encode span is replayed
+    /// into the tracer.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<scec_telemetry::Telemetry>) -> Self {
+        tel.tracer.span(
+            self.encode_started,
+            self.encode_dur,
+            scec_telemetry::Stage::Encode,
+            None,
+            None,
+        );
+        self.tel.attach(tel, "supervised");
+        {
+            let topo = lock(&self.topo);
+            self.instrument_topology(&topo);
+        }
+        self
+    }
+
+    /// The clock this cluster runs on.
+    pub(crate) fn clock_handle(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Sends the telemetry handle to every actor of `topo` (compute
+    /// spans use *logical* device ids), registers the stored rows, and
+    /// sets each enrolled physical device's predicted per-query cost
+    /// from the active code and roster unit costs (paper Eq. 1 units:
+    /// one coded row costs `(l+1)c_s + l·c_m + (l-1)c_a + c_d`; the
+    /// accountant prices rows at the device's unit cost).
+    fn instrument_topology(&self, topo: &Topology<F>) {
+        self.tel.with(|s| {
+            let roster = lock(&self.roster);
+            let l = self.data.ncols() as u64;
+            let esize = std::mem::size_of::<F>() as u64;
+            for (idx, actor) in topo.actors.iter().enumerate() {
+                let _ = actor.tx.send(ToDevice::Instrument(Arc::clone(&s.tel)));
+                let phys = topo.physical[idx];
+                let rows = topo.checks[idx].rows.len() as u64;
+                s.tel.costs.record_stored(phys, rows);
+                s.tel.costs.set_predicted(
+                    phys,
+                    roster[phys - 1].unit_cost,
+                    scec_telemetry::CostVector {
+                        stored_rows: rows,
+                        rows_served: rows,
+                        bytes_sent: l * esize,
+                        // A tagged row ships the value plus its u64 tag.
+                        bytes_received: rows * (esize + 8),
+                        field_mults: rows * l,
+                        field_adds: rows * l.saturating_sub(1),
+                    },
+                );
+            }
+        });
+    }
+
+    /// Mirrors supervisor events into the trace (as point events at the
+    /// current clock time) and into a labelled event counter.
+    fn emit_events(&self, events: &[SupervisorEvent]) {
+        self.tel.with(|s| {
+            let at = self.clock.now();
+            for ev in events {
+                let (name, device, detail) = match ev {
+                    SupervisorEvent::Suspected { device, misses } => (
+                        "supervisor.suspected",
+                        Some(*device),
+                        format!("misses={misses}"),
+                    ),
+                    SupervisorEvent::Quarantined { device } => {
+                        ("supervisor.quarantined", Some(*device), String::new())
+                    }
+                    SupervisorEvent::Died { device } => {
+                        ("supervisor.died", Some(*device), String::new())
+                    }
+                    SupervisorEvent::Retried { attempt, backoff } => (
+                        "supervisor.retried",
+                        None,
+                        format!("attempt={attempt} backoff={backoff:?}"),
+                    ),
+                    SupervisorEvent::Degraded { missing, rejected } => (
+                        "supervisor.degraded",
+                        None,
+                        format!("missing={missing:?} rejected={rejected:?}"),
+                    ),
+                    SupervisorEvent::Repaired {
+                        enrolled,
+                        random_rows,
+                        redundancy,
+                    } => (
+                        "supervisor.repaired",
+                        None,
+                        format!(
+                            "enrolled={enrolled:?} random_rows={random_rows} \
+                             redundancy={redundancy}"
+                        ),
+                    ),
+                };
+                s.tel.tracer.event(at, name, None, device, &detail);
+                s.tel
+                    .registry
+                    .counter("scec_supervisor_events_total", &[("event", name)])
+                    .inc();
+            }
+        });
     }
 
     /// Allocates over the alive devices, encodes, spawns actors, installs
@@ -690,8 +810,9 @@ impl<F: Scalar> SupervisedCluster<F> {
             }
             match self.attempt(&topo, x) {
                 Ok(outcome) => {
-                    lock(&self.latencies)
-                        .record(self.clock.now().saturating_sub(started).as_secs_f64());
+                    let elapsed = self.clock.now().saturating_sub(started).as_secs_f64();
+                    lock(&self.latencies).record(elapsed);
+                    self.tel.with(|s| s.query_ok(elapsed));
                     if outcome.degraded {
                         lock(&self.counters).degraded += 1;
                     }
@@ -702,17 +823,23 @@ impl<F: Scalar> SupervisedCluster<F> {
                         degraded: outcome.degraded,
                     });
                 }
-                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Fatal(e)) => {
+                    self.tel.with(|s| s.query_err());
+                    return Err(e);
+                }
                 Err(AttemptError::Repairable(e)) | Err(AttemptError::Timeout(e)) => {
                     if attempts > self.config.max_retries {
+                        self.tel.with(|s| s.query_err());
                         return Err(e);
                     }
                     let backoff = self.backoff(attempts);
                     lock(&self.counters).retries += 1;
-                    lock(&self.events).push(SupervisorEvent::Retried {
+                    let ev = SupervisorEvent::Retried {
                         attempt: attempts,
                         backoff,
-                    });
+                    };
+                    self.emit_events(std::slice::from_ref(&ev));
+                    lock(&self.events).push(ev);
                     self.clock.sleep(backoff);
                 }
             }
@@ -778,12 +905,13 @@ impl<F: Scalar> SupervisedCluster<F> {
             };
             match fast {
                 Some(Ok(outcome)) => {
-                    lock(&self.latencies).record(
-                        self.clock
-                            .now()
-                            .saturating_sub(ticket.started)
-                            .as_secs_f64(),
-                    );
+                    let elapsed = self
+                        .clock
+                        .now()
+                        .saturating_sub(ticket.started)
+                        .as_secs_f64();
+                    lock(&self.latencies).record(elapsed);
+                    self.tel.with(|s| s.query_ok(elapsed));
                     if outcome.degraded {
                         lock(&self.counters).degraded += 1;
                     }
@@ -794,14 +922,19 @@ impl<F: Scalar> SupervisedCluster<F> {
                         degraded: outcome.degraded,
                     });
                 }
-                Some(Err(AttemptError::Fatal(e))) => return Err(e),
+                Some(Err(AttemptError::Fatal(e))) => {
+                    self.tel.with(|s| s.query_err());
+                    return Err(e);
+                }
                 Some(Err(AttemptError::Repairable(_) | AttemptError::Timeout(_))) => {
                     spent_attempts = 1;
                     lock(&self.counters).retries += 1;
-                    lock(&self.events).push(SupervisorEvent::Retried {
+                    let ev = SupervisorEvent::Retried {
                         attempt: 1,
                         backoff: Duration::ZERO,
-                    });
+                    };
+                    self.emit_events(std::slice::from_ref(&ev));
+                    lock(&self.events).push(ev);
                 }
                 None => {}
             }
@@ -841,6 +974,7 @@ impl<F: Scalar> SupervisedCluster<F> {
         x: &Vector<F>,
     ) -> std::result::Result<u64, AttemptError> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let dispatch_started = self.tel.now(&self.clock);
         let shared = Arc::new(x.clone());
         let mut events = Vec::new();
         let mut dead_send = None;
@@ -866,11 +1000,24 @@ impl<F: Scalar> SupervisedCluster<F> {
         }
         if let Some(phys) = dead_send {
             self.mailbox.clear(request);
+            self.emit_events(&events);
             lock(&self.events).extend(events);
             return Err(AttemptError::Repairable(Error::ChannelClosed {
                 device: Some(phys),
             }));
         }
+        self.tel.with(|s| {
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            s.tel
+                .costs
+                .record_broadcast(topo.physical.iter().copied(), bytes);
+            s.span(
+                dispatch_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
         Ok(request)
     }
 
@@ -885,6 +1032,7 @@ impl<F: Scalar> SupervisedCluster<F> {
         started: Duration,
     ) -> std::result::Result<AttemptOutcome<F>, AttemptError> {
         let mut events = Vec::new();
+        let collect_started = self.tel.now(&self.clock);
         // Collect until `m + r` *verified* rows; unverifiable partials
         // are rejected without counting toward the quorum.
         let needed = topo.code.rows_needed();
@@ -919,6 +1067,30 @@ impl<F: Scalar> SupervisedCluster<F> {
             responders,
             rejected,
         } = state;
+
+        // Observed traffic and compute for every *verified* responder (a
+        // verified partial carries exactly the device's installed rows).
+        self.tel.with(|s| {
+            s.span(
+                collect_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Collect,
+                request,
+            );
+            let l = self.data.ncols() as u64;
+            let esize = std::mem::size_of::<F>() as u64;
+            for &(j, _) in &responders {
+                let phys = topo.physical[j - 1];
+                let device_rows = topo.checks[j - 1].rows.len() as u64;
+                s.tel.costs.record_served(
+                    phys,
+                    device_rows * (esize + 8),
+                    device_rows,
+                    device_rows * l,
+                    device_rows * l.saturating_sub(1),
+                );
+            }
+        });
 
         // Health accounting for this attempt.
         let mut newly_excluded = false;
@@ -988,11 +1160,21 @@ impl<F: Scalar> SupervisedCluster<F> {
                         rejected: rejected_phys,
                     });
                 }
+                self.emit_events(&events);
                 lock(&self.events).extend(events);
+                let decode_started = self.tel.now(&self.clock);
                 let value = topo
                     .code
                     .decode(&rows)
                     .map_err(|e| AttemptError::Fatal(e.into()))?;
+                self.tel.with(|s| {
+                    s.span(
+                        decode_started,
+                        self.clock.now(),
+                        scec_telemetry::Stage::Decode,
+                        request,
+                    );
+                });
                 Ok(AttemptOutcome {
                     value,
                     responders: responders
@@ -1003,6 +1185,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 })
             }
             Err(e @ Error::Timeout { .. }) => {
+                self.emit_events(&events);
                 lock(&self.events).extend(events);
                 if newly_excluded {
                     Err(AttemptError::Repairable(e))
@@ -1011,6 +1194,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 }
             }
             Err(e) => {
+                self.emit_events(&events);
                 lock(&self.events).extend(events);
                 Err(AttemptError::Fatal(e))
             }
@@ -1043,6 +1227,7 @@ impl<F: Scalar> SupervisedCluster<F> {
         }
         // Old-generation responses can no longer be attributed.
         self.mailbox.clear_all();
+        let encode_started = self.tel.now(&self.clock);
         let (mut new_topo, enrolled) = {
             let mut roster = lock(&self.roster);
             let mut rng = lock(&self.rng);
@@ -1059,12 +1244,26 @@ impl<F: Scalar> SupervisedCluster<F> {
         let random_rows = new_topo.code.rows_needed() - self.data.nrows();
         let redundancy = new_topo.code.redundancy();
         *topo = new_topo;
+        self.tel.with(|s| {
+            s.tel.tracer.span(
+                encode_started,
+                self.clock.now().saturating_sub(encode_started),
+                scec_telemetry::Stage::Encode,
+                None,
+                None,
+            );
+        });
+        // The repaired allocation changes each device's predicted cost
+        // and the actors are fresh threads: re-instrument.
+        self.instrument_topology(topo);
         lock(&self.counters).repairs += 1;
-        lock(&self.events).push(SupervisorEvent::Repaired {
+        let ev = SupervisorEvent::Repaired {
             enrolled,
             random_rows,
             redundancy,
-        });
+        };
+        self.emit_events(std::slice::from_ref(&ev));
+        lock(&self.events).push(ev);
         Ok(())
     }
 

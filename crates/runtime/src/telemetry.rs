@@ -1,0 +1,196 @@
+//! Telemetry attachment points for clusters and pipelines.
+//!
+//! Every cluster (and [`QueryPipeline`](crate::QueryPipeline)) accepts an
+//! [`Arc<Telemetry>`](scec_telemetry::Telemetry) via a `with_telemetry`
+//! builder. Attachment is optional and feature-gated: with the crate's
+//! `telemetry` feature disabled, every recording call compiles to a
+//! no-op (the types remain available so call sites need no `cfg`).
+//!
+//! Timestamps are always drawn from the cluster's [`Clock`], so a
+//! [`SimClock`](crate::SimClock)-driven run produces byte-deterministic
+//! traces.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use scec_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
+
+use crate::clock::Clock;
+
+/// Pre-resolved metric handles for one cluster, so the per-query hot
+/// path touches no registry locks.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) struct ClusterSink {
+    pub(crate) tel: Arc<Telemetry>,
+    cluster: &'static str,
+    queries: Counter,
+    failures: Counter,
+    latency: Histogram,
+}
+
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+impl ClusterSink {
+    fn new(tel: Arc<Telemetry>, cluster: &'static str) -> Self {
+        let labels = [("cluster", cluster)];
+        ClusterSink {
+            queries: tel.registry.counter("scec_queries_total", &labels),
+            failures: tel.registry.counter("scec_query_failures_total", &labels),
+            latency: tel
+                .registry
+                .histogram("scec_query_latency_seconds", &labels),
+            cluster,
+            tel,
+        }
+    }
+
+    /// Records one successfully completed query (count, latency, cost
+    /// accountant query tally).
+    pub(crate) fn query_ok(&self, secs: f64) {
+        self.queries.inc();
+        self.latency.record(secs);
+        self.tel.costs.record_query();
+    }
+
+    /// Records one failed query.
+    pub(crate) fn query_err(&self) {
+        self.failures.inc();
+    }
+
+    /// Records a span from `start` to `end` on this cluster's trace.
+    pub(crate) fn span(&self, start: Duration, end: Duration, stage: Stage, request: u64) {
+        self.tel
+            .tracer
+            .span(start, end.saturating_sub(start), stage, Some(request), None);
+    }
+
+    /// A counter labelled with this cluster's name, resolved on demand
+    /// (for rare events, not the per-query path).
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        self.tel
+            .registry
+            .counter(name, &[("cluster", self.cluster)])
+    }
+}
+
+/// A cluster's optional telemetry attachment. `with` runs its closure
+/// only when telemetry is attached *and* the `telemetry` feature is on;
+/// otherwise it compiles to nothing.
+pub(crate) struct Sink(Option<ClusterSink>);
+
+impl Sink {
+    /// No telemetry attached.
+    pub(crate) fn none() -> Self {
+        Sink(None)
+    }
+
+    /// Attaches `tel`, pre-resolving the per-query metric handles under
+    /// a `cluster` label.
+    pub(crate) fn attach(&mut self, tel: Arc<Telemetry>, cluster: &'static str) {
+        self.0 = Some(ClusterSink::new(tel, cluster));
+    }
+
+    /// Runs `f` against the attached sink (no-op when detached or when
+    /// the `telemetry` feature is off).
+    #[inline]
+    pub(crate) fn with(&self, f: impl FnOnce(&ClusterSink)) {
+        #[cfg(feature = "telemetry")]
+        if let Some(s) = &self.0 {
+            f(s);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = f;
+    }
+
+    /// The current time on `clock` when a span will actually be
+    /// recorded, else `Duration::ZERO` without touching the clock.
+    #[inline]
+    pub(crate) fn now(&self, clock: &Arc<dyn Clock>) -> Duration {
+        #[cfg(feature = "telemetry")]
+        if self.0.is_some() {
+            return clock.now();
+        }
+        let _ = clock;
+        Duration::ZERO
+    }
+}
+
+/// Pre-resolved handles for [`QueryPipeline`](crate::QueryPipeline)
+/// window instrumentation.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) struct PipelineMetrics {
+    /// Requests currently in flight.
+    pub(crate) in_flight: Gauge,
+    /// Window occupancy observed at each submit.
+    pub(crate) occupancy: Histogram,
+    /// Submit-to-finish (FIFO) latency, seconds.
+    pub(crate) fifo_latency: Histogram,
+}
+
+/// A pipeline's optional telemetry attachment (same contract as
+/// [`Sink`]).
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) struct PipelineSink(Option<PipelineMetrics>);
+
+impl PipelineSink {
+    pub(crate) fn none() -> Self {
+        PipelineSink(None)
+    }
+
+    pub(crate) fn attach(&mut self, tel: &Telemetry) {
+        self.0 = Some(PipelineMetrics {
+            in_flight: tel.registry.gauge("scec_pipeline_in_flight", &[]),
+            occupancy: tel
+                .registry
+                .histogram("scec_pipeline_window_occupancy", &[]),
+            fifo_latency: tel
+                .registry
+                .histogram("scec_pipeline_fifo_latency_seconds", &[]),
+        });
+    }
+
+    #[inline]
+    pub(crate) fn with(&self, f: impl FnOnce(&PipelineMetrics)) {
+        #[cfg(feature = "telemetry")]
+        if let Some(m) = &self.0 {
+            f(m);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = f;
+    }
+}
+
+/// Device-actor side: timestamp for a compute span, `Duration::ZERO`
+/// when nothing will be recorded.
+#[inline]
+pub(crate) fn actor_now(tel: &Option<Arc<Telemetry>>, clock: &Arc<dyn Clock>) -> Duration {
+    #[cfg(feature = "telemetry")]
+    if tel.is_some() {
+        return clock.now();
+    }
+    let _ = (tel, clock);
+    Duration::ZERO
+}
+
+/// Device-actor side: records the per-device compute span for one
+/// served query.
+#[inline]
+pub(crate) fn actor_span(
+    tel: &Option<Arc<Telemetry>>,
+    clock: &Arc<dyn Clock>,
+    start: Duration,
+    request: u64,
+    device: usize,
+) {
+    #[cfg(feature = "telemetry")]
+    if let Some(t) = tel {
+        let end = clock.now();
+        t.tracer.span(
+            start,
+            end.saturating_sub(start),
+            Stage::DeviceCompute,
+            Some(request),
+            Some(device),
+        );
+    }
+    let _ = (tel, clock, start, request, device);
+}

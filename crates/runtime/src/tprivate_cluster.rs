@@ -51,6 +51,13 @@ pub struct TPrivateCluster<F: Scalar> {
     next_request: AtomicU64,
     timeout: Duration,
     clock: Arc<dyn Clock>,
+    tel: crate::telemetry::Sink,
+    encode_started: Duration,
+    encode_dur: Duration,
+    /// Query width `l` (for analytic per-device flop accounting).
+    input_len: usize,
+    /// `(device id, coded rows held)` per enrolled device.
+    loads: Vec<(usize, usize)>,
 }
 
 impl<F: Scalar> TPrivateCluster<F> {
@@ -85,7 +92,14 @@ impl<F: Scalar> TPrivateCluster<F> {
         behaviors: &[DeviceBehavior],
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
+        let encode_started = clock.now();
         let store = code.encode(a, rng)?;
+        let encode_dur = clock.now().saturating_sub(encode_started);
+        let loads: Vec<(usize, usize)> = store
+            .shares()
+            .iter()
+            .map(|s| (s.device(), s.coded().nrows()))
+            .collect();
         let (resp_tx, resp_rx) = unbounded();
         let mut devices = Vec::new();
         for (idx, share) in store.shares().iter().enumerate() {
@@ -119,7 +133,41 @@ impl<F: Scalar> TPrivateCluster<F> {
             next_request: AtomicU64::new(1),
             timeout: crate::DEFAULT_DEADLINE,
             clock,
+            tel: crate::telemetry::Sink::none(),
+            encode_started,
+            encode_dur,
+            input_len: a.ncols(),
+            loads,
         })
+    }
+
+    /// Attaches a telemetry handle: queries record spans, metrics, and
+    /// observed costs against it, and each device actor starts tracing
+    /// its compute spans. The encode span is replayed into the tracer
+    /// and the stored coded rows per device are registered with the
+    /// cost accountant.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<scec_telemetry::Telemetry>) -> Self {
+        for dev in &self.devices {
+            let _ = dev.tx.send(ToDevice::Instrument(Arc::clone(&tel)));
+        }
+        tel.tracer.span(
+            self.encode_started,
+            self.encode_dur,
+            scec_telemetry::Stage::Encode,
+            None,
+            None,
+        );
+        for &(device, rows) in &self.loads {
+            tel.costs.record_stored(device, rows as u64);
+        }
+        self.tel.attach(tel, "tprivate");
+        self
+    }
+
+    /// The clock this cluster runs on.
+    pub(crate) fn clock_handle(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Sets the per-query deadline
@@ -167,6 +215,7 @@ impl<F: Scalar> TPrivateCluster<F> {
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &self.clock);
         let shared = Arc::new(x.clone());
         for dev in &self.devices {
             dev.tx
@@ -178,7 +227,19 @@ impl<F: Scalar> TPrivateCluster<F> {
                     device: Some(dev.device),
                 })?;
         }
-        Ok(Ticket::new(request, &self.clock))
+        self.tel.with(|s| {
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            s.tel
+                .costs
+                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(ticket)
     }
 
     /// Awaits all partials for an in-flight request and decodes with the
@@ -190,8 +251,12 @@ impl<F: Scalar> TPrivateCluster<F> {
     /// responses already parked for the request are discarded.
     pub fn finish_query(&self, ticket: Ticket) -> Result<Vector<F>> {
         let result = self.finish_inner(ticket.request());
-        if result.is_err() {
-            self.mailbox.clear(ticket.request());
+        match &result {
+            Ok(_) => self.tel.with(|s| s.query_ok(ticket.elapsed_secs())),
+            Err(_) => {
+                self.mailbox.clear(ticket.request());
+                self.tel.with(|s| s.query_err());
+            }
         }
         result
     }
@@ -203,6 +268,7 @@ impl<F: Scalar> TPrivateCluster<F> {
     }
 
     fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
+        let collect_started = self.tel.now(&self.clock);
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
         self.mailbox.collect(
             &*self.clock,
@@ -214,6 +280,27 @@ impl<F: Scalar> TPrivateCluster<F> {
                 Ok(partials.len())
             },
         )?;
+        let decode_started = self.tel.now(&self.clock);
+        self.tel.with(|s| {
+            s.span(
+                collect_started,
+                decode_started,
+                scec_telemetry::Stage::Collect,
+                request,
+            );
+            let esize = std::mem::size_of::<F>() as u64;
+            let l = self.input_len as u64;
+            for (&device, values) in &partials {
+                let rows = values.len() as u64;
+                s.tel.costs.record_served(
+                    device,
+                    rows * esize,
+                    rows,
+                    rows * l,
+                    rows * l.saturating_sub(1),
+                );
+            }
+        });
         let mut btx = Vec::with_capacity(self.code.total_rows());
         for j in 1..=self.devices.len() {
             btx.extend(
@@ -226,7 +313,16 @@ impl<F: Scalar> TPrivateCluster<F> {
                     .into_vec(),
             );
         }
-        Ok(self.code.decode(&Vector::from_vec(btx))?)
+        let y = self.code.decode(&Vector::from_vec(btx))?;
+        self.tel.with(|s| {
+            s.span(
+                decode_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Decode,
+                request,
+            );
+        });
+        Ok(y)
     }
 
     fn absorb(resp: FromDevice<F>, partials: &mut HashMap<usize, Vector<F>>) -> Result<()> {

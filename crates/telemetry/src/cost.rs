@@ -1,0 +1,365 @@
+//! Predicted-vs-observed cost accounting, in the paper's currency.
+//!
+//! The MCSCEC objective (Sec. V) prices a deployment as
+//! `Σ_j c_j · l_j`: each of device `j`'s `l_j` coded rows costs
+//! `c_j = (l+1)c_s + l·c_m + (l−1)c_a + c_d` — storage, multiplies,
+//! adds, and one transferred value per row per query. The accountant
+//! keeps both sides of that ledger per device:
+//!
+//! * **predicted** — set once per topology (and again after a repair)
+//!   from the active `CodeDesign`/allocation: the per-query
+//!   [`CostVector`] a device *should* incur, plus its per-row unit
+//!   cost `c_j`. Scaled by the completed-query count at report time.
+//! * **observed** — accumulated from the runtime as queries actually
+//!   flow: bytes broadcast to and received from the device, field
+//!   multiplications/additions implied by the rows it served, and the
+//!   coded rows it currently stores.
+//!
+//! Monetized totals use the paper's unit: `c_j ×` rows (predicted:
+//! `l_j` per query; observed: rows actually served), so a straggler
+//! that never answers shows up as observed < predicted and a retry
+//! storm as observed > predicted.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::registry::fmt_f64;
+
+/// One side of the per-device ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostVector {
+    /// Coded rows resident on the device (a level, not a sum).
+    pub stored_rows: u64,
+    /// Coded rows served back to the user.
+    pub rows_served: u64,
+    /// Bytes sent user → device (queries).
+    pub bytes_sent: u64,
+    /// Bytes received device → user (partials).
+    pub bytes_received: u64,
+    /// Field multiplications performed for the user.
+    pub field_mults: u64,
+    /// Field additions performed for the user.
+    pub field_adds: u64,
+}
+
+impl CostVector {
+    /// Component-wise sum (stored_rows included — totals over devices
+    /// add levels across distinct devices, which is meaningful).
+    pub fn plus(&self, o: &CostVector) -> CostVector {
+        CostVector {
+            stored_rows: self.stored_rows + o.stored_rows,
+            rows_served: self.rows_served + o.rows_served,
+            bytes_sent: self.bytes_sent + o.bytes_sent,
+            bytes_received: self.bytes_received + o.bytes_received,
+            field_mults: self.field_mults + o.field_mults,
+            field_adds: self.field_adds + o.field_adds,
+        }
+    }
+
+    /// Per-query vector scaled to `queries` (stored_rows stays a level).
+    pub fn scaled(&self, queries: u64) -> CostVector {
+        CostVector {
+            stored_rows: self.stored_rows,
+            rows_served: self.rows_served * queries,
+            bytes_sent: self.bytes_sent * queries,
+            bytes_received: self.bytes_received * queries,
+            field_mults: self.field_mults * queries,
+            field_adds: self.field_adds * queries,
+        }
+    }
+
+    fn render_json(&self) -> String {
+        format!(
+            "{{\"stored_rows\": {}, \"rows_served\": {}, \"bytes_sent\": {}, \
+             \"bytes_received\": {}, \"field_mults\": {}, \"field_adds\": {}}}",
+            self.stored_rows,
+            self.rows_served,
+            self.bytes_sent,
+            self.bytes_received,
+            self.field_mults,
+            self.field_adds
+        )
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct DeviceEntry {
+    unit_cost: f64,
+    predicted_per_query: CostVector,
+    observed: CostVector,
+}
+
+/// One device's report row: both ledger sides plus monetized totals.
+#[derive(Clone, Debug)]
+pub struct DeviceCostReport {
+    /// Device id (physical, for supervised clusters).
+    pub device: usize,
+    /// Per-row unit cost `c_j` from the fleet.
+    pub unit_cost: f64,
+    /// Predicted usage over the completed-query count.
+    pub predicted: CostVector,
+    /// Observed usage, as accumulated.
+    pub observed: CostVector,
+    /// `c_j · l_j · queries`.
+    pub predicted_cost: f64,
+    /// `c_j ·` rows actually served.
+    pub observed_cost: f64,
+}
+
+/// The full ledger: per-device rows plus totals.
+#[derive(Clone, Debug, Default)]
+pub struct CostReport {
+    /// Completed queries the predictions were scaled by.
+    pub queries: u64,
+    /// Per-device rows, ascending device id.
+    pub devices: Vec<DeviceCostReport>,
+    /// Sum of predicted vectors.
+    pub total_predicted: CostVector,
+    /// Sum of observed vectors.
+    pub total_observed: CostVector,
+    /// Sum of monetized predicted costs.
+    pub predicted_cost: f64,
+    /// Sum of monetized observed costs.
+    pub observed_cost: f64,
+}
+
+impl CostReport {
+    /// Renders the ledger as a JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\n    \"queries\": {},", self.queries);
+        let _ = write!(
+            out,
+            "\n    \"predicted_cost\": {},\n    \"observed_cost\": {},",
+            fmt_f64(self.predicted_cost),
+            fmt_f64(self.observed_cost)
+        );
+        let _ = write!(
+            out,
+            "\n    \"total_predicted\": {},\n    \"total_observed\": {},",
+            self.total_predicted.render_json(),
+            self.total_observed.render_json()
+        );
+        out.push_str("\n    \"devices\": [");
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"device\": {}, \"unit_cost\": {}, \"predicted_cost\": {}, \
+                 \"observed_cost\": {}, \"predicted\": {}, \"observed\": {}}}",
+                d.device,
+                fmt_f64(d.unit_cost),
+                fmt_f64(d.predicted_cost),
+                fmt_f64(d.observed_cost),
+                d.predicted.render_json(),
+                d.observed.render_json()
+            );
+        }
+        out.push_str("\n    ]\n  }");
+        out
+    }
+}
+
+/// Thread-safe predicted/observed ledger keyed by device id.
+#[derive(Default)]
+pub struct CostAccountant {
+    inner: Mutex<CostInner>,
+}
+
+#[derive(Default)]
+struct CostInner {
+    devices: BTreeMap<usize, DeviceEntry>,
+    queries: u64,
+}
+
+impl CostAccountant {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut CostInner) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Installs (or replaces, after a repair) a device's prediction:
+    /// its per-row unit cost and the per-query usage the active design
+    /// assigns it. `per_query.stored_rows` is the resident-row level.
+    pub fn set_predicted(&self, device: usize, unit_cost: f64, per_query: CostVector) {
+        self.with(|inner| {
+            let entry = inner.devices.entry(device).or_default();
+            entry.unit_cost = unit_cost;
+            entry.predicted_per_query = per_query;
+        });
+    }
+
+    /// Adds user → device bytes.
+    pub fn record_sent(&self, device: usize, bytes: u64) {
+        self.with(|i| i.devices.entry(device).or_default().observed.bytes_sent += bytes);
+    }
+
+    /// Adds the same user → device byte count for every device of a
+    /// fan-out, in a single lock — the broadcast-side hot path.
+    pub fn record_broadcast(&self, devices: impl IntoIterator<Item = usize>, bytes: u64) {
+        self.with(|i| {
+            for device in devices {
+                i.devices.entry(device).or_default().observed.bytes_sent += bytes;
+            }
+        });
+    }
+
+    /// Adds one served response in a single lock: device → user bytes,
+    /// the rows they carried, and the field work they represent — the
+    /// collect-side hot path.
+    pub fn record_served(&self, device: usize, bytes: u64, rows: u64, mults: u64, adds: u64) {
+        self.with(|i| {
+            let obs = &mut i.devices.entry(device).or_default().observed;
+            obs.bytes_received += bytes;
+            obs.rows_served += rows;
+            obs.field_mults += mults;
+            obs.field_adds += adds;
+        });
+    }
+
+    /// Adds device → user bytes and the rows they carried.
+    pub fn record_received(&self, device: usize, bytes: u64, rows: u64) {
+        self.with(|i| {
+            let obs = &mut i.devices.entry(device).or_default().observed;
+            obs.bytes_received += bytes;
+            obs.rows_served += rows;
+        });
+    }
+
+    /// Adds field work the device performed for the user.
+    pub fn record_compute(&self, device: usize, mults: u64, adds: u64) {
+        self.with(|i| {
+            let obs = &mut i.devices.entry(device).or_default().observed;
+            obs.field_mults += mults;
+            obs.field_adds += adds;
+        });
+    }
+
+    /// Sets the device's resident coded-row level.
+    pub fn record_stored(&self, device: usize, rows: u64) {
+        self.with(|i| i.devices.entry(device).or_default().observed.stored_rows = rows);
+    }
+
+    /// Counts one completed query (scales the predictions at report
+    /// time).
+    pub fn record_query(&self) {
+        self.with(|i| i.queries += 1);
+    }
+
+    /// Completed-query count so far.
+    pub fn queries(&self) -> u64 {
+        self.with(|i| i.queries)
+    }
+
+    /// Builds the predicted-vs-observed report.
+    pub fn report(&self) -> CostReport {
+        self.with(|inner| {
+            let mut report = CostReport {
+                queries: inner.queries,
+                ..CostReport::default()
+            };
+            for (&device, entry) in &inner.devices {
+                let predicted = entry.predicted_per_query.scaled(inner.queries);
+                let predicted_cost = entry.unit_cost * predicted.rows_served as f64;
+                let observed_cost = entry.unit_cost * entry.observed.rows_served as f64;
+                report.total_predicted = report.total_predicted.plus(&predicted);
+                report.total_observed = report.total_observed.plus(&entry.observed);
+                report.predicted_cost += predicted_cost;
+                report.observed_cost += observed_cost;
+                report.devices.push(DeviceCostReport {
+                    device,
+                    unit_cost: entry.unit_cost,
+                    predicted,
+                    observed: entry.observed,
+                    predicted_cost,
+                    observed_cost,
+                });
+            }
+            report
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictions_scale_by_queries_and_money_uses_unit_cost() {
+        let acc = CostAccountant::new();
+        acc.set_predicted(
+            1,
+            2.5,
+            CostVector {
+                stored_rows: 3,
+                rows_served: 3,
+                bytes_sent: 32,
+                bytes_received: 24,
+                field_mults: 12,
+                field_adds: 9,
+            },
+        );
+        acc.record_query();
+        acc.record_query();
+        let report = acc.report();
+        assert_eq!(report.queries, 2);
+        let d = &report.devices[0];
+        assert_eq!(d.predicted.stored_rows, 3, "levels do not scale");
+        assert_eq!(d.predicted.rows_served, 6);
+        assert_eq!(d.predicted.bytes_sent, 64);
+        assert_eq!(d.predicted_cost, 2.5 * 6.0);
+        assert_eq!(d.observed_cost, 0.0, "nothing observed yet");
+    }
+
+    #[test]
+    fn observed_side_accumulates() {
+        let acc = CostAccountant::new();
+        acc.set_predicted(2, 1.0, CostVector::default());
+        acc.record_sent(2, 100);
+        acc.record_received(2, 40, 5);
+        acc.record_compute(2, 20, 15);
+        acc.record_stored(2, 4);
+        acc.record_stored(2, 6); // level replaces, not adds
+        let report = acc.report();
+        let d = &report.devices[0];
+        assert_eq!(d.observed.bytes_sent, 100);
+        assert_eq!(d.observed.bytes_received, 40);
+        assert_eq!(d.observed.rows_served, 5);
+        assert_eq!(d.observed.field_mults, 20);
+        assert_eq!(d.observed.field_adds, 15);
+        assert_eq!(d.observed.stored_rows, 6);
+        assert_eq!(report.observed_cost, 5.0);
+    }
+
+    #[test]
+    fn report_totals_sum_devices_and_render_as_json() {
+        let acc = CostAccountant::new();
+        for dev in 1..=3 {
+            acc.set_predicted(
+                dev,
+                1.0,
+                CostVector {
+                    rows_served: 2,
+                    ..CostVector::default()
+                },
+            );
+            acc.record_received(dev, 16, 2);
+        }
+        acc.record_query();
+        let report = acc.report();
+        assert_eq!(report.devices.len(), 3);
+        assert_eq!(report.total_predicted.rows_served, 6);
+        assert_eq!(report.total_observed.rows_served, 6);
+        assert_eq!(report.predicted_cost, report.observed_cost);
+        let json = report.render_json();
+        assert!(json.contains("\"devices\": ["));
+        assert!(json.contains("\"predicted\": {\"stored_rows\": 0"));
+    }
+}

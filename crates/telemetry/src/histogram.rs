@@ -1,0 +1,289 @@
+//! Log-bucketed histogram with a numerically stable running mean.
+//!
+//! The bucket layout is fixed at compile time: [`SUBS`] logarithmically
+//! spaced sub-buckets per power-of-two octave, spanning
+//! [`MIN_TRACKABLE`] up to `MIN_TRACKABLE · 2^OCTAVES` (roughly a
+//! nanosecond to over an hour when values are seconds), plus an
+//! underflow and an overflow bucket. Every regular bucket therefore has
+//! the same *relative* width (`2^(1/SUBS) ≈ 1.19`), so quantile
+//! estimates carry at most ~19 % relative error regardless of scale —
+//! the same histogram works for sub-millisecond decode latencies and
+//! multi-second chaos runs.
+//!
+//! Unlike the ring-buffer `LatencyLog` this replaces, the histogram
+//! never evicts: `count`, `mean`, `min`, and `max` are exact over the
+//! full lifetime, and only the quantiles are approximate (bucketed).
+//! The mean uses Welford's running update, `mean += (v - mean) / n`,
+//! which does not accumulate the cancellation error of a naive
+//! `sum / count` over long runs.
+
+/// Smallest value with its own bucket; anything below lands in the
+/// underflow bucket. With seconds as the unit this is one nanosecond.
+pub const MIN_TRACKABLE: f64 = 1e-9;
+
+/// Sub-buckets per power-of-two octave.
+pub const SUBS: usize = 4;
+
+/// Number of power-of-two octaves covered by regular buckets.
+/// `MIN_TRACKABLE · 2^42 ≈ 4398` seconds — comfortably past any query.
+pub const OCTAVES: usize = 42;
+
+/// Total bucket count: underflow + regular + overflow.
+pub const BUCKET_COUNT: usize = 2 + OCTAVES * SUBS;
+
+/// A fixed-layout log-bucketed histogram.
+///
+/// Records nonnegative `f64` samples (negatives clamp to the underflow
+/// bucket). `Clone`-able so snapshots are cheap and lock hold times
+/// stay short.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            mean: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index a value falls into (also the export order).
+    pub fn bucket_index(value: f64) -> usize {
+        if value.is_nan() || value < MIN_TRACKABLE {
+            return 0; // underflow (NaN and negatives land here too)
+        }
+        let pos = ((value / MIN_TRACKABLE).log2() * SUBS as f64).floor();
+        if pos >= (OCTAVES * SUBS) as f64 {
+            BUCKET_COUNT - 1 // overflow
+        } else {
+            1 + pos as usize
+        }
+    }
+
+    /// Inclusive lower bound of a regular bucket (0.0 for underflow).
+    pub fn bucket_lower(index: usize) -> f64 {
+        if index == 0 {
+            0.0
+        } else {
+            MIN_TRACKABLE * ((index - 1) as f64 / SUBS as f64).exp2()
+        }
+    }
+
+    /// Exclusive upper bound of a bucket (+inf for overflow).
+    pub fn bucket_upper(index: usize) -> f64 {
+        if index >= BUCKET_COUNT - 1 {
+            f64::INFINITY
+        } else {
+            MIN_TRACKABLE * (index as f64 / SUBS as f64).exp2()
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let value = if value.is_nan() { 0.0 } else { value };
+        self.count += 1;
+        // Welford running mean: stable for long runs where a naive
+        // sum would lose low-order bits against a large accumulator.
+        self.mean += (value - self.mean) / self.count as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Lifetime sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Lifetime running mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Exact minimum sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Nearest-rank quantile estimate, `q ∈ [0, 1]`.
+    ///
+    /// The rank is located exactly (counts are exact); the returned
+    /// value is the geometric midpoint of the bucket holding that rank,
+    /// clamped into `[min, max]` so estimates are monotone in `q`, a
+    /// single-sample histogram reports the sample itself, and `q = 1`
+    /// reports the exact maximum.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Same nearest-rank convention as a sorted-array lookup at
+        // round((n-1)·q).
+        let target = ((self.count - 1) as f64 * q).round() as u64;
+        // The extreme ranks are tracked exactly; report them exactly.
+        if target == 0 {
+            return self.min();
+        }
+        if target >= self.count - 1 {
+            return self.max();
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > target {
+                let lo = Self::bucket_lower(idx).max(MIN_TRACKABLE);
+                let hi = Self::bucket_upper(idx);
+                let mid = if hi.is_finite() { (lo * hi).sqrt() } else { lo };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs in
+    /// ascending order — the Prometheus `le` series (without the final
+    /// `+Inf`, which equals [`count`](Self::count)).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                out.push((Self::bucket_upper(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log_spaced() {
+        // Underflow.
+        assert_eq!(LogHistogram::bucket_index(0.0), 0);
+        assert_eq!(LogHistogram::bucket_index(-1.0), 0);
+        assert_eq!(LogHistogram::bucket_index(f64::NAN), 0);
+        assert_eq!(LogHistogram::bucket_index(0.5e-9), 0);
+        // First regular bucket starts at MIN_TRACKABLE.
+        assert_eq!(LogHistogram::bucket_index(1.01e-9), 1);
+        // Each octave spans SUBS buckets: 2x the value moves SUBS on.
+        let a = LogHistogram::bucket_index(3.0e-6);
+        let b = LogHistogram::bucket_index(6.0e-6);
+        assert_eq!(b - a, SUBS);
+        // Bounds bracket their members.
+        for v in [1.5e-9, 2.2e-7, 0.013, 1.0, 37.5] {
+            let i = LogHistogram::bucket_index(v);
+            assert!(LogHistogram::bucket_lower(i) <= v, "lower({i}) <= {v}");
+            assert!(v < LogHistogram::bucket_upper(i), "{v} < upper({i})");
+        }
+        // Overflow.
+        assert_eq!(LogHistogram::bucket_index(1e30), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record(0.125);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 0.125);
+        assert_eq!(h.p50(), 0.125);
+        assert_eq!(h.p99(), 0.125);
+        assert_eq!(h.max(), 0.125);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_relative_error() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 0.001 .. 1.000
+        }
+        let width = (1.0f64 / SUBS as f64).exp2(); // max relative error
+        for (q, exact) in [(0.5, 0.5005), (0.9, 0.9005), (0.99, 0.9905)] {
+            let est = h.quantile(q);
+            assert!(
+                est > exact / width && est < exact * width,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert!(h.p50() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert_eq!(h.quantile(1.0), 1.0, "q=1 reports the exact max");
+        assert!((h.mean() - 0.5005).abs() < 1e-9, "mean is exact");
+    }
+
+    #[test]
+    fn running_mean_is_stable_for_long_runs() {
+        let mut h = LogHistogram::new();
+        for _ in 0..2_000_000 {
+            h.record(1e-3);
+        }
+        assert!((h.mean() - 1e-3).abs() < 1e-12);
+        assert_eq!(h.count(), 2_000_000);
+    }
+
+    #[test]
+    fn cumulative_buckets_sum_to_count() {
+        let mut h = LogHistogram::new();
+        for v in [0.0, 1e-4, 2e-4, 5.0, 1e30] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        // Ascending le bounds and cumulative counts.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end telemetry for secure coded edge computing: a lock-cheap
+//! metrics registry, span-based query tracing, and predicted-vs-
+//! observed cost accounting in the paper's MCSCEC currency.
+//!
+//! The crate is deliberately dependency-free and knows nothing about
+//! matrices, codes, or clusters — consumers (the runtime, the DST
+//! harness, the CLI) resolve handles from a shared [`Telemetry`] and
+//! feed it timestamps from their own `Clock`, which keeps this crate
+//! placeable anywhere in the dependency graph and keeps traces
+//! byte-deterministic under a simulated clock.
+//!
+//! Three pillars:
+//!
+//! * [`MetricsRegistry`] — counters, gauges, and [`LogHistogram`]s
+//!   behind `Arc`-shared atomic handles; Prometheus-text and JSON
+//!   exporters over a sorted snapshot.
+//! * [`Tracer`] — `encode → dispatch → per-device compute → collect →
+//!   decode` spans plus lifecycle point events, tagged with request
+//!   and device ids.
+//! * [`CostAccountant`] — per-device observed bytes/flops/rows next to
+//!   the cost the active code design predicts.
+
+pub mod cost;
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use cost::{CostAccountant, CostReport, CostVector, DeviceCostReport};
+pub use histogram::LogHistogram;
+pub use registry::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use trace::{Stage, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
+
+/// How chatty command-line surfaces should be. Structured events are
+/// always recorded; verbosity only gates what gets *printed*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Summaries only.
+    Quiet,
+    /// Summaries plus per-query progress lines.
+    #[default]
+    Normal,
+    /// Everything, including the rendered event trace.
+    Verbose,
+}
+
+/// The shared telemetry handle: one registry, one tracer, one ledger.
+///
+/// Cheap to share (`Arc<Telemetry>`); every recording path is either
+/// atomic or behind a short per-structure lock.
+#[derive(Default)]
+pub struct Telemetry {
+    /// Metrics registry.
+    pub registry: MetricsRegistry,
+    /// Trace-event buffer.
+    pub tracer: Tracer,
+    /// Predicted-vs-observed cost ledger.
+    pub costs: CostAccountant,
+    verbosity: Verbosity,
+}
+
+impl Telemetry {
+    /// Fresh telemetry at [`Verbosity::Normal`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style verbosity override.
+    #[must_use]
+    pub fn with_verbosity(mut self, verbosity: Verbosity) -> Self {
+        self.verbosity = verbosity;
+        self
+    }
+
+    /// The configured verbosity.
+    pub fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+
+    /// Renders the combined snapshot — metrics, sorted events, and the
+    /// cost ledger — as one JSON document (`scec-telemetry-v1`).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"scec-telemetry-v1\",\n  \"metrics\": {},\n  \
+             \"events\": {},\n  \"costs\": {}\n}}\n",
+            self.registry.snapshot().render_json(),
+            self.tracer.render_json(),
+            self.costs.report().render_json()
+        )
+    }
+
+    /// Renders the metrics in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.snapshot().render_prometheus()
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn combined_snapshot_has_all_three_sections() {
+        let tel = Telemetry::new();
+        tel.registry.counter("scec_queries_total", &[]).inc();
+        tel.tracer.span(
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Stage::Dispatch,
+            Some(1),
+            None,
+        );
+        tel.costs.set_predicted(1, 1.0, CostVector::default());
+        tel.costs.record_query();
+        let json = tel.render_json();
+        assert!(json.contains("\"schema\": \"scec-telemetry-v1\""));
+        assert!(json.contains("\"metrics\": ["));
+        assert!(json.contains("\"events\": ["));
+        assert!(json.contains("\"costs\": {"));
+        assert!(json.contains("span.dispatch"));
+        let prom = tel.render_prometheus();
+        assert!(prom.contains("scec_queries_total 1"));
+    }
+
+    #[test]
+    fn verbosity_orders() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        assert_eq!(Telemetry::new().verbosity(), Verbosity::Normal);
+        let t = Telemetry::new().with_verbosity(Verbosity::Verbose);
+        assert_eq!(t.verbosity(), Verbosity::Verbose);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

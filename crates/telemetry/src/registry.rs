@@ -1,0 +1,415 @@
+//! Lock-cheap metrics registry: counters, gauges, and log-bucketed
+//! histograms, exported as Prometheus text or JSON.
+//!
+//! Registration takes a short registry lock (a `BTreeMap` lookup);
+//! the returned handles are `Arc`-shared atomics (counters/gauges) or
+//! a per-histogram mutex, so the hot paths — `inc`, `add`, `set`,
+//! `record` — never touch the registry lock and never contend with
+//! each other across metrics. Instrumented components are expected to
+//! resolve their handles once at attach time, not per event.
+//!
+//! Keys are `name{label="value",…}` with labels sorted, stored in a
+//! `BTreeMap`, so snapshots and both exporters are byte-deterministic
+//! for a given set of recorded values.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::LogHistogram;
+
+/// Monotone counter handle (atomic, lock-free).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed gauge handle (atomic, lock-free).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram handle; `record` takes only this histogram's own lock.
+#[derive(Clone)]
+pub struct Histogram(Arc<Mutex<LogHistogram>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        self.lock().record(v);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LogHistogram> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<Mutex<LogHistogram>>),
+}
+
+/// The registry: name → metric, behind one short-lived lock.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+/// One exported metric value.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Monotone count.
+    Counter(u64),
+    /// Signed level.
+    Gauge(i64),
+    /// Distribution summary: count, mean, min, max, p50, p99, and the
+    /// cumulative `(le, count)` bucket series.
+    Histogram {
+        /// Lifetime sample count.
+        count: u64,
+        /// Stable running mean.
+        mean: f64,
+        /// Exact minimum.
+        min: f64,
+        /// Exact maximum.
+        max: f64,
+        /// Median estimate.
+        p50: f64,
+        /// 99th-percentile estimate.
+        p99: f64,
+        /// Non-empty cumulative buckets, ascending `le`.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+/// A point-in-time dump of every registered metric, sorted by key.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(full key, bare name, rendered labels, value)` per metric.
+    pub entries: Vec<(String, String, String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> (String, String) {
+        if labels.is_empty() {
+            return (name.to_string(), String::new());
+        }
+        let mut sorted: Vec<_> = labels.to_vec();
+        sorted.sort_unstable();
+        let mut rendered = String::new();
+        for (i, (k, v)) in sorted.iter().enumerate() {
+            if i > 0 {
+                rendered.push(',');
+            }
+            let _ = write!(rendered, "{k}=\"{v}\"");
+        }
+        (format!("{name}{{{rendered}}}"), rendered)
+    }
+
+    /// Gets or creates a counter. A name already registered as another
+    /// kind yields a fresh detached handle (recorded values are lost) —
+    /// callers own their namespace, so this is a programming error kept
+    /// non-fatal.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let (key, _) = Self::key(name, labels);
+        let mut slots = self.lock();
+        if let Slot::Counter(c) = slots
+            .entry(key)
+            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Counter(Arc::clone(c))
+        } else {
+            Counter(Arc::new(AtomicU64::new(0)))
+        }
+    }
+
+    /// Gets or creates a gauge (same collision policy as `counter`).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let (key, _) = Self::key(name, labels);
+        let mut slots = self.lock();
+        if let Slot::Gauge(g) = slots
+            .entry(key)
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicI64::new(0))))
+        {
+            Gauge(Arc::clone(g))
+        } else {
+            Gauge(Arc::new(AtomicI64::new(0)))
+        }
+    }
+
+    /// Gets or creates a histogram (same collision policy as `counter`).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let (key, _) = Self::key(name, labels);
+        let mut slots = self.lock();
+        if let Slot::Histogram(h) = slots
+            .entry(key)
+            .or_insert_with(|| Slot::Histogram(Arc::new(Mutex::new(LogHistogram::new()))))
+        {
+            Histogram(Arc::clone(h))
+        } else {
+            Histogram(Arc::new(Mutex::new(LogHistogram::new())))
+        }
+    }
+
+    /// Dumps every metric, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.lock();
+        let mut entries = Vec::with_capacity(slots.len());
+        for (key, slot) in slots.iter() {
+            let (name, labels) = match key.split_once('{') {
+                Some((n, rest)) => (n.to_string(), rest.trim_end_matches('}').to_string()),
+                None => (key.clone(), String::new()),
+            };
+            let value = match slot {
+                Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                Slot::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                Slot::Histogram(h) => {
+                    let h = h.lock().unwrap_or_else(|p| p.into_inner());
+                    MetricValue::Histogram {
+                        count: h.count(),
+                        mean: h.mean(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50: h.p50(),
+                        p99: h.p99(),
+                        buckets: h.cumulative_buckets(),
+                    }
+                }
+            };
+            entries.push((key.clone(), name, labels, value));
+        }
+        MetricsSnapshot { entries }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Slot>> {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Formats an `f64` for exporters: finite values via `Display`
+/// (round-trip, no exponent — valid in both JSON and Prometheus text),
+/// non-finite values as 0.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for (_, name, labels, value) in &self.entries {
+            let typed = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            if *name != last_name {
+                let _ = writeln!(out, "# TYPE {name} {typed}");
+                last_name = name.clone();
+            }
+            let braced = |extra: &str| -> String {
+                match (labels.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{labels}}}"),
+                    (false, false) => format!("{{{labels},{extra}}}"),
+                }
+            };
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", braced(""));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", braced(""));
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean,
+                    buckets,
+                    ..
+                } => {
+                    for (le, cum) in buckets {
+                        let le = if le.is_finite() {
+                            fmt_f64(*le)
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            braced(&format!("le=\"{le}\""))
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_bucket{} {count}", braced("le=\"+Inf\""));
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        braced(""),
+                        fmt_f64(mean * *count as f64)
+                    );
+                    let _ = writeln!(out, "{name}_count{} {count}", braced(""));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON array of metric objects.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (_, name, labels, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"labels\": \"{}\", ",
+                crate::json_escape(name),
+                crate::json_escape(labels)
+            );
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"type\": \"counter\", \"value\": {v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\": \"gauge\", \"value\": {v}}}");
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean,
+                    min,
+                    max,
+                    p50,
+                    p99,
+                    ..
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"type\": \"histogram\", \"count\": {count}, \"mean\": {}, \
+                         \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}}}",
+                        fmt_f64(*mean),
+                        fmt_f64(*min),
+                        fmt_f64(*max),
+                        fmt_f64(*p50),
+                        fmt_f64(*p99)
+                    );
+                }
+            }
+        }
+        out.push_str("\n  ]");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_lock_free_on_the_hot_path() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("scec_queries_total", &[]);
+        let c2 = reg.counter("scec_queries_total", &[]);
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3, "same underlying atomic");
+
+        let g = reg.gauge("scec_in_flight", &[]);
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+
+        let h = reg.histogram("scec_latency_seconds", &[("cluster", "local")]);
+        h.record(0.25);
+        assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn labels_are_sorted_into_a_stable_key() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("m", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("m", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "label order must not split the metric");
+        let snap = reg.snapshot();
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.entries[0].0, "m{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn prometheus_render_has_type_lines_and_histogram_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("scec_queries_total", &[]).add(7);
+        reg.gauge("scec_in_flight", &[]).set(2);
+        let h = reg.histogram("scec_latency_seconds", &[]);
+        h.record(0.001);
+        h.record(0.002);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE scec_queries_total counter"));
+        assert!(text.contains("scec_queries_total 7"));
+        assert!(text.contains("# TYPE scec_in_flight gauge"));
+        assert!(text.contains("scec_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("scec_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn json_render_is_an_array_of_objects() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", &[("k", "v")]).inc();
+        reg.histogram("b_seconds", &[]).record(1.0);
+        let json = reg.snapshot().render_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"type\": \"counter\""));
+        assert!(json.contains("\"type\": \"histogram\""));
+        assert!(json.contains("\"labels\": \"k=\\\"v\\\"\""));
+    }
+}

@@ -1,0 +1,293 @@
+//! Span-based query tracing as structured events.
+//!
+//! A query's life is `encode → dispatch → per-device compute → collect
+//! → decode`; each stage is recorded as a completed span (start
+//! timestamp + duration) tagged with the request id and, where it
+//! applies, the device id. Lifecycle moments that are not spans —
+//! health transitions, quarantines, repairs — are recorded as point
+//! events with a freeform detail string.
+//!
+//! The tracer never reads a wall clock: callers supply timestamps from
+//! the runtime's `Clock` trait, so under a simulated clock (the
+//! `scec-dst` event loop) the rendered trace is byte-deterministic for
+//! a given seed.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default event-buffer capacity; past it, new events are counted in
+/// [`Tracer::dropped`] and discarded.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// The stages of a query's life, in protocol order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Coding the data matrix into device shares.
+    Encode,
+    /// Broadcasting a query to the fan-out.
+    Dispatch,
+    /// One device computing its partial.
+    DeviceCompute,
+    /// Waiting for the response quorum.
+    Collect,
+    /// Recovering the result from partials.
+    Decode,
+}
+
+impl Stage {
+    /// The event name this stage records under.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Encode => "span.encode",
+            Stage::Dispatch => "span.dispatch",
+            Stage::DeviceCompute => "span.device_compute",
+            Stage::Collect => "span.collect",
+            Stage::Decode => "span.decode",
+        }
+    }
+}
+
+/// One structured trace event (a completed span or a point event).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Clock timestamp of the span start (or the moment, for points).
+    pub at: Duration,
+    /// Event name (`span.*` for spans, dotted lifecycle names such as
+    /// `supervisor.quarantined` for points). Static so the hot path
+    /// never allocates: instrumentation names its moments up front.
+    pub name: &'static str,
+    /// Correlation id of the query, when the event belongs to one.
+    pub request: Option<u64>,
+    /// Device id, when the event belongs to one.
+    pub device: Option<usize>,
+    /// Span duration; `None` for point events.
+    pub dur: Option<Duration>,
+    /// Freeform detail (state transition, reason, counts).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    fn render_into(&self, out: &mut String) {
+        let _ = write!(out, "[{:>12.9}] {}", self.at.as_secs_f64(), self.name);
+        if let Some(r) = self.request {
+            let _ = write!(out, " request={r}");
+        }
+        if let Some(d) = self.device {
+            let _ = write!(out, " device={d}");
+        }
+        if let Some(dur) = self.dur {
+            let _ = write!(out, " dur={:.9}", dur.as_secs_f64());
+        }
+        if !self.detail.is_empty() {
+            let _ = write!(out, " {}", self.detail);
+        }
+        out.push('\n');
+    }
+}
+
+/// Bounded, thread-safe event buffer.
+pub struct Tracer {
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            // Pre-size so early pushes never reallocate while holding
+            // the lock (device actors record spans concurrently).
+            events: Mutex::new(Vec::with_capacity(capacity.min(1024))),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a completed span.
+    pub fn span(
+        &self,
+        at: Duration,
+        dur: Duration,
+        stage: Stage,
+        request: Option<u64>,
+        device: Option<usize>,
+    ) {
+        self.push(TraceEvent {
+            at,
+            name: stage.as_str(),
+            request,
+            device,
+            dur: Some(dur),
+            detail: String::new(),
+        });
+    }
+
+    /// Records a point event.
+    pub fn event(
+        &self,
+        at: Duration,
+        name: &'static str,
+        request: Option<u64>,
+        device: Option<usize>,
+        detail: impl Into<String>,
+    ) {
+        self.push(TraceEvent {
+            at,
+            name,
+            request,
+            device,
+            dur: None,
+            detail: detail.into(),
+        });
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut events = self.lock();
+        if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(ev);
+        }
+    }
+
+    /// Events recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().clone()
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders one line per event, sorted by `(at, request, device,
+    /// name)` — a stable order, and a fully deterministic one when
+    /// timestamps come from a simulated clock.
+    pub fn render(&self) -> String {
+        let mut events = self.events();
+        events.sort_by(|a, b| {
+            (a.at, a.request, a.device, &a.name).cmp(&(b.at, b.request, b.device, &b.name))
+        });
+        let mut out = String::new();
+        for ev in &events {
+            ev.render_into(&mut out);
+        }
+        out
+    }
+
+    /// Renders events as a JSON array (same sort as [`render`](Self::render)).
+    pub fn render_json(&self) -> String {
+        let mut events = self.events();
+        events.sort_by(|a, b| {
+            (a.at, a.request, a.device, &a.name).cmp(&(b.at, b.request, b.device, &b.name))
+        });
+        let mut out = String::from("[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"at\": {}, \"name\": \"{}\"",
+                crate::registry::fmt_f64(ev.at.as_secs_f64()),
+                crate::json_escape(ev.name)
+            );
+            if let Some(r) = ev.request {
+                let _ = write!(out, ", \"request\": {r}");
+            }
+            if let Some(d) = ev.device {
+                let _ = write!(out, ", \"device\": {d}");
+            }
+            if let Some(dur) = ev.dur {
+                let _ = write!(
+                    out,
+                    ", \"dur\": {}",
+                    crate::registry::fmt_f64(dur.as_secs_f64())
+                );
+            }
+            if !ev.detail.is_empty() {
+                let _ = write!(out, ", \"detail\": \"{}\"", crate::json_escape(&ev.detail));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn spans_render_in_timestamp_order() {
+        let t = Tracer::default();
+        // Recorded out of order on purpose.
+        t.span(ms(30), ms(5), Stage::Decode, Some(1), None);
+        t.span(ms(0), ms(2), Stage::Dispatch, Some(1), None);
+        t.span(ms(5), ms(10), Stage::DeviceCompute, Some(1), Some(2));
+        t.span(ms(2), ms(25), Stage::Collect, Some(1), None);
+        let text = t.render();
+        let dispatch = text.find("span.dispatch").unwrap();
+        let compute = text.find("span.device_compute").unwrap();
+        let collect = text.find("span.collect").unwrap();
+        let decode = text.find("span.decode").unwrap();
+        assert!(dispatch < collect && collect < compute && compute < decode);
+        assert!(text.contains("request=1"));
+        assert!(text.contains("device=2"));
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer_and_counts_drops() {
+        let t = Tracer::new(2);
+        for i in 0..5 {
+            t.event(ms(i), "tick", None, None, "");
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn point_events_carry_detail() {
+        let t = Tracer::default();
+        t.event(
+            ms(7),
+            "supervisor.quarantined",
+            None,
+            Some(3),
+            "Suspect -> Quarantined",
+        );
+        let text = t.render();
+        assert!(text.contains("supervisor.quarantined device=3 Suspect -> Quarantined"));
+        let json = t.render_json();
+        assert!(json.contains("\"name\": \"supervisor.quarantined\""));
+        assert!(json.contains("\"device\": 3"));
+    }
+}

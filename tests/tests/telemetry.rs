@@ -1,0 +1,147 @@
+//! Cross-crate telemetry integration: span coverage and ordering over a
+//! live threaded cluster, cost-ledger totals against hand-computed
+//! byte/flop counts, and byte-deterministic traces under the simulated
+//! clock of the DST event loop.
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_core::{AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix, Vector};
+use scec_runtime::{LocalCluster, Stage, Telemetry};
+
+#[test]
+fn spans_cover_the_protocol_in_clock_order() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::<Fp61>::random(9, 4, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.0, 1.0]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let tel = Arc::new(Telemetry::new());
+    let cluster = LocalCluster::launch(&sys, &mut rng)
+        .unwrap()
+        .with_telemetry(Arc::clone(&tel));
+    let devices = cluster.device_count();
+    let x = Vector::<Fp61>::random(4, &mut rng);
+    assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    cluster.shutdown();
+
+    let events = tel.tracer.events();
+    let of = |stage: Stage| -> Vec<&scec_runtime::TraceEvent> {
+        events.iter().filter(|e| e.name == stage.as_str()).collect()
+    };
+    let encode = of(Stage::Encode);
+    let dispatch = of(Stage::Dispatch);
+    let computes = of(Stage::DeviceCompute);
+    let collect = of(Stage::Collect);
+    let decode = of(Stage::Decode);
+    assert_eq!(encode.len(), 1, "one encode span from launch");
+    assert_eq!(dispatch.len(), 1);
+    assert_eq!(computes.len(), devices, "one compute span per device");
+    assert_eq!(collect.len(), 1);
+    assert_eq!(decode.len(), 1);
+
+    // Every query-scoped span carries the same correlation id; the
+    // device spans name their device.
+    let request = dispatch[0].request.expect("dispatch is query-scoped");
+    assert!(collect[0].request == Some(request) && decode[0].request == Some(request));
+    let mut seen: Vec<usize> = computes
+        .iter()
+        .map(|e| {
+            assert_eq!(e.request, Some(request));
+            e.device.expect("compute spans name their device")
+        })
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (1..=devices).collect::<Vec<_>>());
+
+    // Nesting in protocol order on the shared clock: encode precedes
+    // dispatch, devices compute only after dispatch, and decode starts
+    // after collection (which waited out every compute span).
+    assert!(encode[0].at <= dispatch[0].at);
+    for c in &computes {
+        assert!(c.at >= dispatch[0].at, "compute before dispatch");
+        assert!(
+            c.at + c.dur.unwrap() <= decode[0].at,
+            "decode before a compute finished"
+        );
+    }
+    assert!(collect[0].at <= decode[0].at);
+
+    // The same query also landed in the metrics registry.
+    let prom = tel.render_prometheus();
+    assert!(
+        prom.contains("scec_queries_total{cluster=\"local\"} 1"),
+        "{prom}"
+    );
+    assert!(prom.contains("scec_query_latency_seconds"), "{prom}");
+}
+
+#[test]
+fn cost_ledger_matches_hand_computed_counts() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let l = 4usize;
+    let a = Matrix::<Fp61>::random(9, l, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![2.0, 2.0, 2.0]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let design = sys.design().clone();
+    assert_eq!(
+        design.device_count(),
+        3,
+        "example must span all three devices"
+    );
+    let tel = Arc::new(Telemetry::new());
+    let cluster = LocalCluster::launch(&sys, &mut rng)
+        .unwrap()
+        .with_telemetry(Arc::clone(&tel));
+    let q = 5u64;
+    for _ in 0..q {
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+    cluster.shutdown();
+
+    // Per query each device receives the length-l query vector (8-byte
+    // words), returns its coded rows, and spends rows·l multiplies plus
+    // rows·(l−1) adds forming the partial products.
+    let report = tel.costs.report();
+    assert_eq!(report.queries, q);
+    assert_eq!(report.devices.len(), 3);
+    let esize = std::mem::size_of::<Fp61>() as u64;
+    let lw = l as u64;
+    for d in &report.devices {
+        let rows = design.device_load(d.device).unwrap() as u64;
+        assert_eq!(d.observed.stored_rows, rows, "device {}", d.device);
+        assert_eq!(d.observed.bytes_sent, q * lw * esize);
+        assert_eq!(d.observed.bytes_received, q * rows * esize);
+        assert_eq!(d.observed.rows_served, q * rows);
+        assert_eq!(d.observed.field_mults, q * rows * lw);
+        assert_eq!(d.observed.field_adds, q * rows * (lw - 1));
+        assert_eq!(d.observed_cost, 2.0 * (q * rows) as f64);
+        // Honest fleet, no retries: the design's prediction is exact.
+        assert_eq!(d.predicted, d.observed);
+        assert_eq!(d.predicted_cost, d.observed_cost);
+    }
+    let total_rows = design.total_rows() as u64;
+    assert_eq!(report.total_observed.rows_served, q * total_rows);
+    assert_eq!(report.total_observed.bytes_sent, q * 3 * lw * esize);
+    assert_eq!(report.observed_cost, 2.0 * (q * total_rows) as f64);
+}
+
+#[test]
+fn dst_trace_renders_identically_for_a_fixed_seed() {
+    // The same pinned seed that SCEC_DST_SEED would inject: the
+    // virtual-clock trace must come back byte-for-byte identical.
+    let config = scec_dst::DstConfig::chaos();
+    let render = || {
+        let tel = Arc::new(Telemetry::new());
+        let sweep = scec_dst::run_seeds_telemetry(&config, 0, 6, Some(0), &tel).unwrap();
+        assert!(sweep.failure.is_none());
+        tel.render_json()
+    };
+    let first = render();
+    assert!(first.contains("span.dispatch"), "{first}");
+    assert!(first.contains("span.decode"), "{first}");
+    assert!(first.contains("\"predicted\""), "{first}");
+    assert_eq!(first, render());
+}
