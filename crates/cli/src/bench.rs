@@ -216,6 +216,26 @@ fn run_suite(iters: usize, quick: bool) -> (Vec<CaseResult>, String) {
             std::hint::black_box(plan.decode(&dbtx).expect("planned decode"));
         });
     }
+
+    // DST event-loop throughput: one seeded fleet-scenario campaign end
+    // to end on the indexed event set. `ops` is the event count of the
+    // (deterministic) run, so ns_per_op reads as ns per simulation
+    // event and the trajectory tracks events/sec at fleet scale.
+    {
+        let (fleet_devices, fleet_queries) = if quick { (14, 40) } else { (140, 2_000) };
+        let scenario = scec_dst::find_scenario("diurnal").expect("in catalog");
+        let dconfig = scenario.config(Some(fleet_devices), Some(fleet_queries));
+        let steps = scec_dst::Simulation::new(dconfig.clone(), 1)
+            .expect("valid scenario config")
+            .run()
+            .steps;
+        case("dst_events", fleet_devices, steps, &mut || {
+            let report = scec_dst::Simulation::new(dconfig.clone(), 1)
+                .expect("valid scenario config")
+                .run();
+            std::hint::black_box(report.steps);
+        });
+    }
     (results, telemetry)
 }
 

@@ -6,7 +6,7 @@
 //! participating device.
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,7 +21,7 @@ use scec_runtime::{
     CostVector, DeviceBehavior, QueryPipeline, Stage, SupervisedCluster, SupervisorConfig,
     Telemetry, Verbosity,
 };
-use scec_sim::adversary::{ChaosFault, ChaosPlan, PassiveAdversary};
+use scec_sim::adversary::{ChaosPlan, PassiveAdversary};
 use scec_sim::CostDistribution;
 use scec_wire::{decode_framed, encode_framed, tag};
 
@@ -626,14 +626,7 @@ pub fn chaos(
     let behaviors: Vec<DeviceBehavior> = plan
         .faults
         .iter()
-        .map(|fault| match *fault {
-            ChaosFault::None => DeviceBehavior::Honest,
-            ChaosFault::Slow { millis } => DeviceBehavior::Delayed(Duration::from_millis(millis)),
-            ChaosFault::Crash { after_queries } => DeviceBehavior::Crash { after_queries },
-            ChaosFault::Flaky { permille } => DeviceBehavior::FlakyDrop { permille },
-            ChaosFault::Omit => DeviceBehavior::Omit,
-            ChaosFault::Byzantine => DeviceBehavior::Byzantine,
-        })
+        .map(|&fault| DeviceBehavior::from_fault(fault))
         .collect();
     let a = scec_linalg::Matrix::<Fp61>::random(8, 5, &mut rng);
     let config = SupervisorConfig::default()
@@ -769,10 +762,52 @@ pub fn metrics(devices: usize, queries: usize, seed: u64, json: bool) -> Result<
     })
 }
 
+/// Options for [`dst`] — the `scec dst` surface grew past positional
+/// arguments once scenario campaigns arrived.
+#[derive(Debug, Clone, Default)]
+pub struct DstOptions {
+    /// Seeds to sweep (ignored when `pinned` is set).
+    pub seeds: usize,
+    /// First seed of the sweep.
+    pub first_seed: u64,
+    /// Replay exactly this seed (the `SCEC_DST_SEED` path).
+    pub pinned: Option<u64>,
+    /// Also exhaust every delivery interleaving of the 3-device config.
+    pub explore: bool,
+    /// Run a named scenario from the catalog instead of the default
+    /// chaos configuration.
+    pub scenario: Option<String>,
+    /// Override the scenario's fleet size (total devices).
+    pub devices: Option<usize>,
+    /// Override the scenario's query count.
+    pub queries: Option<usize>,
+    /// Print the scenario catalog and exit.
+    pub list_scenarios: bool,
+    /// Write the failing schedule artifact here.
+    pub failure_out: Option<PathBuf>,
+    /// Write the scec-telemetry-v1 snapshot here.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl DstOptions {
+    /// The defaults `scec dst` uses with no flags: a 50-seed sweep of
+    /// the chaos configuration.
+    pub fn sweep(seeds: usize, first_seed: u64) -> Self {
+        DstOptions {
+            seeds,
+            first_seed,
+            ..DstOptions::default()
+        }
+    }
+}
+
 /// `scec dst`: deterministic simulation testing — sweep seeded schedules
 /// through the virtual-time cluster simulation, checking the paper's
-/// theorems as oracles after every step, and optionally exhaust every
-/// delivery interleaving of the small 3-device configuration.
+/// theorems as oracles after every step. `--scenario NAME` swaps the
+/// default chaos configuration for a named adversarial campaign (scaled
+/// by `--devices`/`--queries`); `--list-scenarios true` prints the
+/// catalog; `--explore true` additionally exhausts every delivery
+/// interleaving of the small 3-device configuration.
 ///
 /// Returns the report and whether every oracle held. On a violation, the
 /// failing run (seed, decision script, shrunk script, full trace) is
@@ -781,45 +816,94 @@ pub fn metrics(devices: usize, queries: usize, seed: u64, json: bool) -> Result<
 ///
 /// # Errors
 ///
-/// Propagates world-construction failures and `failure_out` I/O errors.
-pub fn dst(
-    seeds: usize,
-    first_seed: u64,
-    pinned: Option<u64>,
-    explore_interleavings: bool,
-    failure_out: Option<&Path>,
-    metrics_out: Option<&Path>,
-) -> Result<(String, bool)> {
+/// Returns [`Error::Usage`] for an unknown scenario name; propagates
+/// world-construction failures and `failure_out` I/O errors.
+pub fn dst(options: &DstOptions) -> Result<(String, bool)> {
     let mut out = String::new();
     let mut clean = true;
-    let config = scec_dst::DstConfig::chaos();
-    let tel = metrics_out.map(|_| Arc::new(Telemetry::new()));
+    if options.list_scenarios {
+        let _ = writeln!(out, "scenarios ({} available):", scec_dst::catalog().len());
+        for s in scec_dst::catalog() {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>5} devices {:>6} queries  {}",
+                s.name, s.default_devices, s.default_queries, s.summary
+            );
+        }
+        return Ok((out, clean));
+    }
+    let scenario = match &options.scenario {
+        Some(name) => Some(scec_dst::find_scenario(name).ok_or_else(|| {
+            let known: Vec<&str> = scec_dst::catalog().iter().map(|s| s.name).collect();
+            Error::Usage(format!(
+                "unknown scenario {name:?}; available: {}",
+                known.join(", ")
+            ))
+        })?),
+        None => None,
+    };
+    let config = match scenario {
+        Some(s) => s.config(options.devices, options.queries),
+        None => scec_dst::DstConfig::chaos(),
+    };
+    let tel = options
+        .metrics_out
+        .as_ref()
+        .map(|_| Arc::new(Telemetry::new()));
     let sweep = match &tel {
-        Some(t) => scec_dst::run_seeds_telemetry(&config, first_seed, seeds, pinned, t),
-        None => scec_dst::run_seeds(&config, first_seed, seeds, pinned),
+        Some(t) => scec_dst::run_seeds_telemetry(
+            &config,
+            options.first_seed,
+            options.seeds,
+            options.pinned,
+            t,
+        ),
+        None => scec_dst::run_seeds(&config, options.first_seed, options.seeds, options.pinned),
     }
     .map_err(|e| Error::Domain(e.to_string()))?;
-    let _ = writeln!(
-        out,
-        "dst sweep: {} runs, {} decoded, {} failed queries, {} repairs",
-        sweep.runs, sweep.completed, sweep.failed, sweep.repairs
-    );
-    if let (Some(t), Some(path)) = (&tel, metrics_out) {
+    match scenario {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "dst scenario {:?}: {} cells x {} devices, {} runs, {} decoded, \
+                 {} failed queries, {} repairs",
+                s.name,
+                config.cells,
+                scec_dst::scenarios::pool_size(&config),
+                sweep.runs,
+                sweep.completed,
+                sweep.failed,
+                sweep.repairs
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "dst sweep: {} runs, {} decoded, {} failed queries, {} repairs",
+                sweep.runs, sweep.completed, sweep.failed, sweep.repairs
+            );
+        }
+    }
+    if let (Some(t), Some(path)) = (&tel, &options.metrics_out) {
         // Virtual-clock telemetry: byte-deterministic for the seed range.
         std::fs::write(path, t.render_json())?;
         let _ = writeln!(out, "telemetry snapshot written to {}", path.display());
     }
-    if let Some(pin) = pinned {
+    if let Some(pin) = options.pinned {
         let _ = writeln!(out, "  (seed pinned to {pin} via {})", scec_dst::SEED_ENV);
     }
     if let Some(failing) = &sweep.failure {
         clean = false;
+        let scenario_hint = scenario
+            .map(|s| format!(" --scenario {}", s.name))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "ORACLE VIOLATION at seed {} — replay with {}={} cargo test",
+            "ORACLE VIOLATION at seed {} — replay with {}={} scec dst{}",
             failing.seed,
             scec_dst::SEED_ENV,
-            failing.seed
+            failing.seed,
+            scenario_hint
         );
         let mut artifact = failing.render();
         if let Some(shrunk) = scec_dst::shrink(&config, failing) {
@@ -834,13 +918,13 @@ pub fn dst(
             artifact.push_str(&shrunk.report.render());
         }
         out.push_str(&artifact);
-        if let Some(path) = failure_out {
+        if let Some(path) = &options.failure_out {
             std::fs::write(path, &artifact)?;
             let _ = writeln!(out, "failing schedule written to {}", path.display());
         }
     }
-    if explore_interleavings {
-        let report = scec_dst::explore(&scec_dst::DstConfig::small(), first_seed, 200_000);
+    if options.explore {
+        let report = scec_dst::explore(&scec_dst::DstConfig::small(), options.first_seed, 200_000);
         let _ = writeln!(
             out,
             "explorer: {} interleavings, max {} decisions, truncated = {}",
@@ -1100,7 +1184,9 @@ mod tests {
 
     #[test]
     fn dst_sweep_and_explorer_are_clean() {
-        let (out, clean) = dst(5, 0, None, true, None, None).unwrap();
+        let mut options = DstOptions::sweep(5, 0);
+        options.explore = true;
+        let (out, clean) = dst(&options).unwrap();
         assert!(clean, "{out}");
         assert!(out.contains("dst sweep: 5 runs"), "{out}");
         assert!(out.contains("truncated = false"), "{out}");
@@ -1108,10 +1194,46 @@ mod tests {
 
     #[test]
     fn dst_pinned_seed_runs_one_replay() {
-        let (out, clean) = dst(50, 0, Some(3), false, None, None).unwrap();
+        let mut options = DstOptions::sweep(50, 0);
+        options.pinned = Some(3);
+        let (out, clean) = dst(&options).unwrap();
         assert!(clean, "{out}");
         assert!(out.contains("dst sweep: 1 runs"), "{out}");
         assert!(out.contains("seed pinned to 3"), "{out}");
+    }
+
+    #[test]
+    fn dst_lists_the_scenario_catalog() {
+        let options = DstOptions {
+            list_scenarios: true,
+            ..DstOptions::default()
+        };
+        let (out, clean) = dst(&options).unwrap();
+        assert!(clean, "{out}");
+        for s in scec_dst::catalog() {
+            assert!(out.contains(s.name), "missing {}: {out}", s.name);
+        }
+    }
+
+    #[test]
+    fn dst_scenario_smoke_runs_clean_at_small_scale() {
+        let mut options = DstOptions::sweep(2, 0);
+        options.scenario = Some("diurnal".into());
+        options.devices = Some(14);
+        options.queries = Some(24);
+        let (out, clean) = dst(&options).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("dst scenario \"diurnal\""), "{out}");
+    }
+
+    #[test]
+    fn dst_rejects_unknown_scenarios_with_the_catalog() {
+        let mut options = DstOptions::sweep(1, 0);
+        options.scenario = Some("nope".into());
+        let err = dst(&options).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("unknown scenario"), "{msg}");
+        assert!(msg.contains("diurnal"), "{msg}");
     }
 
     #[test]

@@ -19,11 +19,14 @@ USAGE:
   scec chaos  [--devices N] [--queries Q] [--intensity F] [--seed N]
               [--verbose true] [--metrics-out PATH]
   scec dst    [--seeds N] [--seed N] [--explore true] [--failure-out PATH]
-              [--metrics-out PATH]
+              [--metrics-out PATH] [--scenario NAME] [--devices N]
+              [--queries Q] [--list-scenarios true]
   scec metrics [--devices N] [--queries Q] [--seed N] [--format prometheus|json]
   scec bench  [--out DIR] [--iters N] [--index N] [--quick true]
 
 `scec dst` honors SCEC_DST_SEED to replay a single seeded schedule.
+`scec dst --scenario NAME` sweeps a named adversarial campaign at fleet
+scale (`--list-scenarios true` prints the catalog).
 `--metrics-out PATH` writes a scec-telemetry-v1 JSON snapshot: metrics,
 query spans and lifecycle events, per-device predicted vs observed cost.
 
@@ -174,26 +177,36 @@ fn run() -> Result<(), Error> {
             );
         }
         "dst" => {
-            let seeds = match args.flags.get("seeds") {
-                None => 50,
-                Some(_) => args.get_usize("seeds")?,
-            };
-            let explore = match args.flags.get("explore") {
+            let mut options = commands::DstOptions::sweep(
+                match args.flags.get("seeds") {
+                    None => 50,
+                    Some(_) => args.get_usize("seeds")?,
+                },
+                args.seed()?,
+            );
+            options.pinned = scec_dst::seed_from_env();
+            options.explore = match args.flags.get("explore") {
                 None => false,
                 Some(v) => v
                     .parse()
                     .map_err(|e| Error::Usage(format!("bad --explore: {e}")))?,
             };
-            let failure_out = args.flags.get("failure-out").map(PathBuf::from);
-            let metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
-            let (report, clean) = commands::dst(
-                seeds,
-                args.seed()?,
-                scec_dst::seed_from_env(),
-                explore,
-                failure_out.as_deref(),
-                metrics_out.as_deref(),
-            )?;
+            options.scenario = args.flags.get("scenario").cloned();
+            if args.flags.contains_key("devices") {
+                options.devices = Some(args.get_usize("devices")?);
+            }
+            if args.flags.contains_key("queries") {
+                options.queries = Some(args.get_usize("queries")?);
+            }
+            options.list_scenarios = match args.flags.get("list-scenarios") {
+                None => false,
+                Some(v) => v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --list-scenarios: {e}")))?,
+            };
+            options.failure_out = args.flags.get("failure-out").map(PathBuf::from);
+            options.metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
+            let (report, clean) = commands::dst(&options)?;
             print!("{report}");
             if !clean {
                 return Err(Error::Domain("dst found an oracle violation".into()));

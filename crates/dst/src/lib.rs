@@ -38,12 +38,14 @@
 
 pub mod explore;
 pub mod runner;
+pub mod scenarios;
 pub mod schedule;
 pub mod shrink;
 pub mod sim;
 
 pub use explore::{explore, ExploreReport};
-pub use runner::{run_seeds, run_seeds_telemetry, SweepReport};
+pub use runner::{run_scenario, run_seeds, run_seeds_telemetry, SweepReport};
+pub use scenarios::{catalog, find as find_scenario, Dynamics, Scenario, SloPolicy};
 pub use schedule::{Decision, Schedule};
 pub use shrink::shrink;
 pub use sim::{Health, QueryOutcome, RunReport, Simulation, Violation};
@@ -96,6 +98,25 @@ pub struct DstConfig {
     /// Intentionally corrupt every decoded result so the decode oracle
     /// fires — the self-test proving a violation replays from its seed.
     pub break_decode_oracle: bool,
+    /// Independent replica groups (fleets = many cells of
+    /// `device_count + spare_devices` devices each); queries are routed
+    /// `query % cells`. 1 = the legacy single-cell world.
+    pub cells: usize,
+    /// When `>= 2`, every topology (construction and each repair) is
+    /// probed with a colluding coalition of this many base devices. The
+    /// `coalition` oracle fires if the coalition *fails* to leak —
+    /// the structured design is only t = 1 private, so a working
+    /// adversary implementation must break it (regression guard on
+    /// adversary power).
+    pub coalition_size: usize,
+    /// Trace-line cap: lines beyond this are counted (deterministically)
+    /// in `RunReport::trace_dropped` instead of stored, keeping
+    /// fleet-scale runs in bounded memory.
+    pub max_trace: usize,
+    /// Telemetry-backed SLO oracles checked after the event loop drains.
+    pub slo: Option<scenarios::SloPolicy>,
+    /// Time-varying environment: traffic waves, outages, slow creeps.
+    pub dynamics: scenarios::Dynamics,
 }
 
 impl DstConfig {
@@ -121,6 +142,11 @@ impl DstConfig {
             max_steps: 10_000,
             deliveries_first: true,
             break_decode_oracle: false,
+            cells: 1,
+            coalition_size: 0,
+            max_trace: usize::MAX,
+            slo: None,
+            dynamics: scenarios::Dynamics::default(),
         }
     }
 
@@ -146,6 +172,11 @@ impl DstConfig {
             max_steps: 50_000,
             deliveries_first: false,
             break_decode_oracle: false,
+            cells: 1,
+            coalition_size: 0,
+            max_trace: usize::MAX,
+            slo: None,
+            dynamics: scenarios::Dynamics::default(),
         }
     }
 }

@@ -64,6 +64,29 @@ pub fn run_seeds_telemetry(
     sweep(config, first_seed, count, pinned, Some(tel))
 }
 
+/// Sweeps seeds over a named scenario at the given fleet scale — the
+/// `scec dst --scenario` entry point. `devices`/`queries` default to
+/// the scenario's own scale when `None`.
+///
+/// # Errors
+///
+/// Propagates world-construction failures (invalid coding parameters).
+pub fn run_scenario(
+    scenario: &crate::scenarios::Scenario,
+    devices: Option<usize>,
+    queries: Option<usize>,
+    first_seed: u64,
+    count: usize,
+    pinned: Option<u64>,
+) -> Result<SweepReport, scec_coding::Error> {
+    run_seeds(
+        &scenario.config(devices, queries),
+        first_seed,
+        count,
+        pinned,
+    )
+}
+
 fn sweep(
     config: &DstConfig,
     first_seed: u64,

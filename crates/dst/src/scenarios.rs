@@ -1,0 +1,540 @@
+//! Named adversarial scenarios: deterministic, seed-replayable campaign
+//! generators for fleet-scale simulation runs.
+//!
+//! A scenario is a [`DstConfig`] factory: it fixes the chaos intensity,
+//! the time-varying environment ([`Dynamics`] — traffic waves, outages,
+//! slow-creep stragglers), the coalition probe size, and the SLO budget
+//! ([`SloPolicy`]) the run must meet on top of the paper-theorem
+//! oracles. Everything a scenario injects is a pure function of
+//! `(config, seed, virtual time)`, so `SCEC_DST_SEED` replay and
+//! shrink-to-failing-prefix work for every scenario exactly as they do
+//! for the plain chaos sweep.
+//!
+//! The fleet is organized in **cells**: independent replica groups of
+//! `device_count + spares` devices, each serving the same data matrix
+//! with its own roster, chaos plan, and repair lifecycle. Queries are
+//! routed round-robin (`query % cells`), so a scenario scales to
+//! thousands of devices by adding cells while the per-cell coding
+//! parameters — and therefore the paper's theorems — stay fixed.
+//!
+//! # Example
+//!
+//! ```
+//! use scec_dst::{scenarios, Simulation};
+//!
+//! let scenario = scenarios::find("diurnal").expect("in catalog");
+//! let config = scenario.config(Some(14), Some(12)); // 2 cells, 12 queries
+//! let report = Simulation::new(config, 7)?.run();
+//! assert!(report.is_clean(), "{}", report.render());
+//! # Ok::<(), scec_coding::Error>(())
+//! ```
+
+use crate::DstConfig;
+
+/// A sinusoid-free diurnal load model: a triangle wave over virtual
+/// time that scales device service latency up and down — integer math
+/// only, so replay is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wave {
+    /// Full wave period in virtual milliseconds.
+    pub period_ms: u64,
+    /// Peak latency inflation in thousandths (1000 = +100 % at peak).
+    pub amplitude_permille: u64,
+}
+
+/// A network outage window: devices in cell-relative positions
+/// `pos_lo..=pos_hi` of every cell matching `cell % cell_mod ==
+/// cell_rem` receive nothing during `[from_ms, until_ms)`. The
+/// supervisor still counts them as broadcast targets, so a partitioned
+/// device accumulates deadline misses exactly like an omitting one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outage {
+    /// First affected cell-relative device position (0-based).
+    pub pos_lo: usize,
+    /// Last affected cell-relative device position (inclusive).
+    pub pos_hi: usize,
+    /// Cell selector modulus (1 = every cell).
+    pub cell_mod: usize,
+    /// Cell selector remainder.
+    pub cell_rem: usize,
+    /// Outage start, virtual milliseconds.
+    pub from_ms: u64,
+    /// Outage end (exclusive); `u64::MAX` = permanent.
+    pub until_ms: u64,
+}
+
+impl Outage {
+    fn applies(&self, rel: usize, cell: usize) -> bool {
+        rel >= self.pos_lo && rel <= self.pos_hi && cell % self.cell_mod.max(1) == self.cell_rem
+    }
+}
+
+/// A slow-creep straggler: from `start_ms` on, the device at
+/// cell-relative position `pos` (in matching cells) adds
+/// `permille_per_ms / 1000` extra milliseconds of latency per elapsed
+/// virtual millisecond — it degrades gradually instead of failing, the
+/// time-varying speed model of adaptive-coding related work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Creep {
+    /// Affected cell-relative device position (0-based).
+    pub pos: usize,
+    /// Cell selector modulus (1 = every cell).
+    pub cell_mod: usize,
+    /// Cell selector remainder.
+    pub cell_rem: usize,
+    /// Onset, virtual milliseconds.
+    pub start_ms: u64,
+    /// Latency growth rate: added ms per elapsed ms, in thousandths.
+    pub permille_per_ms: u64,
+    /// Ceiling on the added latency, virtual milliseconds. Keeps the
+    /// degradation bounded: an uncapped creep compounds (each query
+    /// waits for the straggler, so the next broadcast starts later and
+    /// creeps further) into astronomically late virtual completions.
+    pub cap_ms: u64,
+}
+
+impl Creep {
+    fn applies(&self, rel: usize, cell: usize) -> bool {
+        rel == self.pos && cell % self.cell_mod.max(1) == self.cell_rem
+    }
+}
+
+/// The time-varying environment a scenario runs in. Everything here is
+/// a pure function of `(device position, cell, virtual time)` — no
+/// hidden randomness — so scenarios replay byte-identically. Device
+/// *faults* are not duplicated here: those come from
+/// `scec_sim::adversary::ChaosPlan`, seeded per cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dynamics {
+    /// Diurnal latency wave applied to every response.
+    pub wave: Option<Wave>,
+    /// Network outage windows (partitions, rack failures).
+    pub outages: Vec<Outage>,
+    /// Slow-creep stragglers.
+    pub creeps: Vec<Creep>,
+}
+
+impl Dynamics {
+    /// No waves, outages, or creeps — the legacy chaos environment.
+    pub fn is_empty(&self) -> bool {
+        self.wave.is_none() && self.outages.is_empty() && self.creeps.is_empty()
+    }
+
+    /// Whether `device` (global id, pool `pool` per cell) is unreachable
+    /// at virtual time `t_ms`.
+    pub(crate) fn in_outage(&self, device: usize, pool: usize, t_ms: u64) -> bool {
+        let rel = (device - 1) % pool;
+        let cell = (device - 1) / pool;
+        self.outages
+            .iter()
+            .any(|o| o.applies(rel, cell) && t_ms >= o.from_ms && t_ms < o.until_ms)
+    }
+
+    /// Applies creep and wave shaping to a base service latency.
+    pub(crate) fn shape_latency(&self, device: usize, pool: usize, t_ms: u64, base: u64) -> u64 {
+        let rel = (device - 1) % pool;
+        let cell = (device - 1) / pool;
+        let mut latency = base;
+        for creep in &self.creeps {
+            if creep.applies(rel, cell) && t_ms > creep.start_ms {
+                let crept = (t_ms - creep.start_ms).saturating_mul(creep.permille_per_ms) / 1000;
+                latency += crept.min(creep.cap_ms);
+            }
+        }
+        if let Some(w) = &self.wave {
+            let period = w.period_ms.max(1);
+            let phase = t_ms % period;
+            // Triangle wave: 0 at the trough, `period` at the peak.
+            let tri = if phase * 2 < period {
+                phase * 2
+            } else {
+                (period - phase) * 2
+            };
+            latency += latency * w.amplitude_permille * tri / (period * 1000);
+        }
+        latency
+    }
+}
+
+/// Telemetry-backed service-level objectives a scenario run must meet,
+/// checked as oracles after the event loop drains (violations use the
+/// `slo.*` oracle names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloPolicy {
+    /// Minimum fraction of configured queries that must decode, in
+    /// thousandths.
+    pub min_completed_permille: u64,
+    /// p99 query completion latency budget, virtual milliseconds.
+    pub p99_ms: f64,
+    /// Cost-ledger reconciliation band: observed rows delivered per
+    /// 1000 predicted rows (`attempted queries × total coded rows`)
+    /// must land in `[lo, hi]`. Honest fleets sit below 1000 because
+    /// the quorum cut-off discards late rows; retry storms push toward
+    /// `max_retries + 1` times that.
+    pub cost_band_permille: (u64, u64),
+    /// Minimum repairs the run must perform — the stress floor proving
+    /// a repair-heavy scenario actually exercised the repair path.
+    pub min_repairs: usize,
+}
+
+/// A named, parameterized campaign: a [`DstConfig`] factory plus its
+/// default fleet size.
+pub struct Scenario {
+    /// CLI-visible name (`scec dst --scenario NAME`).
+    pub name: &'static str,
+    /// One-line description for `--list-scenarios`.
+    pub summary: &'static str,
+    /// Default device count when the CLI gives none.
+    pub default_devices: usize,
+    /// Default query count when the CLI gives none.
+    pub default_queries: usize,
+    build: fn(usize, usize) -> DstConfig,
+}
+
+impl Scenario {
+    /// Builds the scenario's [`DstConfig`] for `devices` total devices
+    /// (rounded up to whole cells) and `queries` queries, defaulting to
+    /// the scenario's own scale when `None`.
+    pub fn config(&self, devices: Option<usize>, queries: Option<usize>) -> DstConfig {
+        (self.build)(
+            devices.unwrap_or(self.default_devices).max(1),
+            queries.unwrap_or(self.default_queries).max(1),
+        )
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Devices per cell for a config: coded devices plus repair spares.
+pub fn pool_size(config: &DstConfig) -> usize {
+    let design = scec_coding::CodeDesign::new(config.data_rows, config.random_rows)
+        .expect("scenario base config is valid");
+    let standby = config.redundancy.div_ceil(config.random_rows.max(1));
+    design.device_count() + standby + config.spare_devices
+}
+
+/// The shared fleet shape: chaos coding parameters, `devices` rounded
+/// up to whole cells, a window that keeps every cell busy, and trace /
+/// step budgets that scale with the query count.
+fn fleet_base(devices: usize, queries: usize) -> DstConfig {
+    let mut config = DstConfig::chaos();
+    let pool = pool_size(&config);
+    let cells = devices.div_ceil(pool).max(1);
+    config.cells = cells;
+    config.queries = queries;
+    config.window = (2 * cells).min(queries.max(1));
+    config.max_steps = queries.saturating_mul(60) + 20_000;
+    config.max_trace = 4_000;
+    // Partial synchrony: a deadline only fires once no delivery is
+    // pending anywhere, so a miss means a device genuinely did not
+    // respond (outage, omission, crash) — the capacity-planning reading
+    // of an SLO. The default chaos config keeps `deliveries_first =
+    // false` for fully adversarial timeout/delivery races.
+    config.deliveries_first = true;
+    config
+}
+
+fn diurnal(devices: usize, queries: usize) -> DstConfig {
+    let mut c = fleet_base(devices, queries);
+    c.intensity = 0.2;
+    c.dynamics.wave = Some(Wave {
+        period_ms: 240,
+        amplitude_permille: 2_000,
+    });
+    c.slo = Some(SloPolicy {
+        min_completed_permille: 900,
+        p99_ms: 600.0,
+        cost_band_permille: (300, 2_500),
+        min_repairs: 0,
+    });
+    c
+}
+
+fn slow_creep(devices: usize, queries: usize) -> DstConfig {
+    let mut c = fleet_base(devices, queries);
+    c.intensity = 0.1;
+    c.dynamics.creeps = vec![Creep {
+        pos: 1,
+        cell_mod: 1,
+        cell_rem: 0,
+        start_ms: 30,
+        permille_per_ms: 2_000,
+        cap_ms: 300,
+    }];
+    c.slo = Some(SloPolicy {
+        min_completed_permille: 800,
+        // Creep-capped stragglers stack with retries: queries that wait
+        // out the 300 ms plateau land near the second.
+        p99_ms: 2_500.0,
+        cost_band_permille: (300, 2_500),
+        min_repairs: 0,
+    });
+    c
+}
+
+fn rack_failure(devices: usize, queries: usize) -> DstConfig {
+    let mut c = fleet_base(devices, queries);
+    let pool = pool_size(&c);
+    c.intensity = 0.15;
+    // Every 4th cell (rack) goes permanently dark at t = 80 ms: its
+    // queries drain the retry budget and fail; the rest of the fleet
+    // must keep its completion floor.
+    c.dynamics.outages = vec![Outage {
+        pos_lo: 0,
+        pos_hi: pool - 1,
+        cell_mod: 4,
+        cell_rem: 1,
+        from_ms: 80,
+        until_ms: u64::MAX,
+    }];
+    c.slo = Some(SloPolicy {
+        min_completed_permille: 500,
+        p99_ms: 900.0,
+        cost_band_permille: (200, 2_500),
+        min_repairs: 0,
+    });
+    c
+}
+
+fn partition(devices: usize, queries: usize) -> DstConfig {
+    let mut c = fleet_base(devices, queries);
+    c.intensity = 0.1;
+    // Enough standbys to re-enroll after the partitioned pair is
+    // evicted even when the chaos plan claims a device of its own —
+    // otherwise a small fleet can exhaust a whole cell and the
+    // completion floor turns into a coin flip.
+    c.spare_devices = 4;
+    c.cells = devices.div_ceil(pool_size(&c)).max(1);
+    c.window = (2 * c.cells).min(queries.max(1));
+    // A transient partition cuts off the first two coded devices of
+    // every cell: quorums stall, the supervisor evicts the unreachable
+    // pair, and a repair re-enrolls the spares — at least one repair is
+    // the stress floor.
+    // The window opens almost immediately so even a short smoke run
+    // overlaps it (a late partition would miss a fast small fleet).
+    c.dynamics.outages = vec![Outage {
+        pos_lo: 0,
+        pos_hi: 1,
+        cell_mod: 1,
+        cell_rem: 0,
+        from_ms: 30,
+        until_ms: 260,
+    }];
+    c.slo = Some(SloPolicy {
+        min_completed_permille: 400,
+        p99_ms: 1_200.0,
+        cost_band_permille: (200, 3_000),
+        min_repairs: 1,
+    });
+    c
+}
+
+fn coalition(devices: usize, queries: usize) -> DstConfig {
+    let mut c = fleet_base(devices, queries);
+    c.intensity = 0.3;
+    // Probe every topology (construction and each repair) with a
+    // colluding pair — one past the structured design's t = 1 privacy.
+    // The oracle demands the adversary DOES leak: the paper's
+    // non-collusion boundary must stay visible, not silently vanish.
+    c.coalition_size = 2;
+    c.slo = Some(SloPolicy {
+        min_completed_permille: 700,
+        p99_ms: 900.0,
+        cost_band_permille: (200, 2_500),
+        min_repairs: 0,
+    });
+    c
+}
+
+fn repair_storm(devices: usize, queries: usize) -> DstConfig {
+    let mut c = fleet_base(devices, queries);
+    c.intensity = 0.5;
+    // Double the spare bench: the storm is about repairs *succeeding*
+    // repeatedly, not about exhaustion, so cells need standbys for both
+    // scripted losses plus the chaos plan's own crashes.
+    c.spare_devices = 4;
+    c.cells = devices.div_ceil(pool_size(&c)).max(1);
+    c.window = (2 * c.cells).min(queries.max(1));
+    // Staggered permanent losses in every cell force cascading
+    // repairs on top of a high-intensity chaos plan; some cells may
+    // exhaust, so the completion floor is low but repairs must happen.
+    c.dynamics.outages = vec![
+        Outage {
+            pos_lo: 0,
+            pos_hi: 0,
+            cell_mod: 1,
+            cell_rem: 0,
+            from_ms: 60,
+            until_ms: u64::MAX,
+        },
+        Outage {
+            pos_lo: 1,
+            pos_hi: 1,
+            cell_mod: 1,
+            cell_rem: 0,
+            from_ms: 140,
+            until_ms: u64::MAX,
+        },
+    ];
+    c.slo = Some(SloPolicy {
+        min_completed_permille: 100,
+        p99_ms: 1_500.0,
+        // Retried queries ship rows on every attempt, so a repair storm
+        // reconciles above 1000 — bounded by the retry budget.
+        cost_band_permille: (100, 3_500),
+        min_repairs: 1,
+    });
+    c
+}
+
+/// The scenario catalog, in presentation order.
+pub fn catalog() -> &'static [Scenario] {
+    const CATALOG: &[Scenario] = &[
+        Scenario {
+            name: "diurnal",
+            summary: "traffic wave: triangle latency swell up to 3x, moderate chaos",
+            default_devices: 35,
+            default_queries: 80,
+            build: diurnal,
+        },
+        Scenario {
+            name: "slow-creep",
+            summary: "straggler latency creeps up 2 ms/ms to a 300 ms plateau",
+            default_devices: 35,
+            default_queries: 80,
+            build: slow_creep,
+        },
+        Scenario {
+            name: "rack-failure",
+            summary: "every 4th cell goes permanently dark at t=80ms",
+            default_devices: 35,
+            default_queries: 80,
+            build: rack_failure,
+        },
+        Scenario {
+            name: "partition",
+            summary: "transient partition of 2 devices/cell forces evict+repair",
+            default_devices: 35,
+            default_queries: 80,
+            build: partition,
+        },
+        Scenario {
+            name: "coalition",
+            summary: "colluding pair probes the t=1 design at every topology",
+            default_devices: 35,
+            default_queries: 80,
+            build: coalition,
+        },
+        Scenario {
+            name: "repair-storm",
+            summary: "staggered device losses cascade repairs under heavy chaos",
+            default_devices: 35,
+            default_queries: 80,
+            build: repair_storm,
+        },
+    ];
+    CATALOG
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    catalog().iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_at_least_six_distinct_scenarios() {
+        let names: Vec<&str> = catalog().iter().map(|s| s.name).collect();
+        assert!(names.len() >= 6, "{names:?}");
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names: {names:?}");
+        for s in catalog() {
+            assert!(find(s.name).is_some());
+            let config = s.config(None, None);
+            assert!(config.cells >= 1);
+            assert!(config.slo.is_some(), "{} has no SLO policy", s.name);
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn device_overrides_round_up_to_whole_cells() {
+        let s = find("diurnal").unwrap();
+        let pool = pool_size(&DstConfig::chaos());
+        let config = s.config(Some(pool * 3 + 1), Some(10));
+        assert_eq!(config.cells, 4);
+        assert_eq!(config.queries, 10);
+        let tiny = s.config(Some(1), Some(1));
+        assert_eq!(tiny.cells, 1);
+    }
+
+    #[test]
+    fn outage_windows_select_positions_cells_and_time() {
+        let d = Dynamics {
+            outages: vec![Outage {
+                pos_lo: 0,
+                pos_hi: 1,
+                cell_mod: 2,
+                cell_rem: 1,
+                from_ms: 10,
+                until_ms: 20,
+            }],
+            ..Dynamics::default()
+        };
+        let pool = 7;
+        // Device 9 = cell 1, rel 1: matched during the window only.
+        assert!(d.in_outage(9, pool, 10));
+        assert!(d.in_outage(9, pool, 19));
+        assert!(!d.in_outage(9, pool, 20));
+        assert!(!d.in_outage(9, pool, 9));
+        // Device 2 = cell 0, rel 1: wrong cell parity.
+        assert!(!d.in_outage(2, pool, 15));
+        // Device 12 = cell 1, rel 4: outside the position range.
+        assert!(!d.in_outage(12, pool, 15));
+    }
+
+    #[test]
+    fn creep_and_wave_shape_latency_deterministically() {
+        let d = Dynamics {
+            creeps: vec![Creep {
+                pos: 0,
+                cell_mod: 1,
+                cell_rem: 0,
+                start_ms: 100,
+                permille_per_ms: 2_000,
+                cap_ms: 150,
+            }],
+            ..Dynamics::default()
+        };
+        // Before onset: unchanged. After: +2 ms per elapsed ms.
+        assert_eq!(d.shape_latency(1, 7, 50, 4), 4);
+        assert_eq!(d.shape_latency(1, 7, 150, 4), 4 + 100);
+        // Other positions unaffected.
+        assert_eq!(d.shape_latency(2, 7, 150, 4), 4);
+        // Far past onset the added latency plateaus at the cap.
+        assert_eq!(d.shape_latency(1, 7, 10_000, 4), 4 + 150);
+
+        let w = Dynamics {
+            wave: Some(Wave {
+                period_ms: 100,
+                amplitude_permille: 1_000,
+            }),
+            ..Dynamics::default()
+        };
+        // Trough (t=0): no inflation. Peak (t=50): double.
+        assert_eq!(w.shape_latency(1, 7, 0, 10), 10);
+        assert_eq!(w.shape_latency(1, 7, 50, 10), 20);
+        assert!(w.shape_latency(1, 7, 25, 10) > 10);
+    }
+}

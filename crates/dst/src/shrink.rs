@@ -75,4 +75,55 @@ mod tests {
         assert!(clean.is_clean());
         assert!(shrink(&config, &clean).is_none());
     }
+
+    #[test]
+    fn shrinking_is_sound_and_minimal_across_seeds() {
+        // Property over a seed range: for every failing run, the shrunk
+        // prefix (a) still fails, (b) names the same oracle, and (c) is
+        // minimal by construction — the upward scan returns the FIRST
+        // failing length, so every strictly shorter prefix passed.
+        let mut config = DstConfig::chaos();
+        config.break_decode_oracle = true;
+        for seed in 0..12 {
+            let failing = Simulation::new(config.clone(), seed).unwrap().run();
+            let Some(violation) = &failing.violation else {
+                continue;
+            };
+            let shrunk = shrink(&config, &failing).expect("failing runs shrink");
+            let again = &shrunk.report.violation.as_ref().expect("still fails");
+            assert_eq!(again.oracle, violation.oracle, "seed {seed}");
+            assert!(shrunk.script.len() <= failing.decisions.len());
+            // attempts counts one replay per prefix length tried, so the
+            // scan visited exactly the lengths 0..script.len() — nothing
+            // shorter can fail.
+            assert_eq!(shrunk.attempts, shrunk.script.len() + 1, "seed {seed}");
+            if !shrunk.script.is_empty() {
+                let shorter = shrunk.script[..shrunk.script.len() - 1].to_vec();
+                let report = Simulation::scripted(config.clone(), seed, shorter)
+                    .unwrap()
+                    .run();
+                assert!(report.violation.is_none(), "seed {seed} not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_a_scenario_failure_preserves_its_seed_replay_line() {
+        // Regression: a scenario campaign failure must shrink exactly
+        // like a plain chaos failure — same seed in the shrunk report
+        // (the replay line a human copies), and the shrunk script must
+        // reproduce the shrunk report byte-for-byte under scripted
+        // replay.
+        let scenario = crate::scenarios::find("diurnal").expect("in catalog");
+        let mut config = scenario.config(Some(14), Some(12));
+        config.break_decode_oracle = true;
+        let sweep = crate::run_seeds(&config, 0, 10, None).unwrap();
+        let failing = sweep.failure.expect("broken oracle must fire");
+        let shrunk = shrink(&config, &failing).expect("shrinkable");
+        assert_eq!(shrunk.report.seed, failing.seed, "seed must survive");
+        let replay = Simulation::scripted(config, failing.seed, shrunk.script.clone())
+            .unwrap()
+            .run();
+        assert_eq!(replay.render(), shrunk.report.render());
+    }
 }

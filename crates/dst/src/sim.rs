@@ -2,19 +2,29 @@
 //! every choice funneled through a [`Schedule`], every step checked
 //! against the paper's theorems.
 //!
-//! The simulator models a supervised straggler-coded cluster — the same
+//! The simulator models a supervised straggler-coded fleet — the same
 //! protocol `scec_runtime::SupervisedCluster` runs on real threads — as a
 //! single-threaded event-set simulation:
 //!
+//! * the fleet is organized in **cells**: independent replica groups of
+//!   `device_count + spares` devices, each with its own roster, chaos
+//!   plan, and repair lifecycle; queries are routed `query % cells`, so
+//!   thousands of devices are thousands of devices, not a bigger code;
 //! * device responses and query deadlines are *pending events* with
-//!   virtual due times on a manual [`SimClock`];
+//!   virtual due times on a manual [`SimClock`], held in an **indexed
+//!   event set** ([`EventSet`]) with O(1) insert, O(1) removal by
+//!   eligibility index, and O(1) amortized invalidation per query — the
+//!   loop is linear in events processed even at fleet scale;
 //! * the [`Schedule`] picks which pending event is processed next, so
 //!   delivery order, timeout/response races, drops, and repair timing are
 //!   all under seed (or script) control;
 //! * after each processed event the **conformance oracles** run: decode
 //!   correctness (`decode(B·Tx) == A·x`), Theorem 3 availability and
 //!   per-device security on every topology change, FIFO result emission,
-//!   supervisor lifecycle monotonicity, and clock monotonicity.
+//!   supervisor lifecycle monotonicity, and clock monotonicity — plus,
+//!   when the config carries a [`SloPolicy`], end-of-run **SLO oracles**
+//!   (`slo.progress`, `slo.p99`, `slo.cost`, `slo.stress`) and, when
+//!   `coalition_size >= 2`, the **coalition** adversary-power probe.
 //!
 //! A run is fully described by `(config, seed, script)`: re-running with
 //! the same triple reproduces the identical [`RunReport`], byte for byte.
@@ -28,11 +38,17 @@ use rand::{rngs::StdRng, SeedableRng};
 use scec_coding::{CodeDesign, StragglerCode, StragglerStore, TaggedResponse};
 use scec_linalg::{Fp61, Matrix, Scalar, Vector};
 use scec_runtime::{Clock, SimClock};
-use scec_sim::adversary::{ChaosFault, ChaosPlan};
-use scec_telemetry::{CostVector, Stage, Telemetry};
+use scec_sim::adversary::{ChaosFault, ChaosPlan, PassiveAdversary};
+use scec_telemetry::{CostVector, LogHistogram, Stage, Telemetry};
 
+use crate::scenarios::SloPolicy;
 use crate::schedule::{Decision, Schedule};
 use crate::DstConfig;
+
+/// Per-cell chaos seeds decorrelate fault plans across cells while cell
+/// 0 keeps the raw run seed (so single-cell worlds match the historical
+/// `ChaosPlan::generate(pool, intensity, seed)` exactly).
+const CELL_SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Supervisor-visible device lifecycle, ordered by severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -66,8 +82,9 @@ impl Health {
 /// Which oracle a run violated, where, and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Oracle name: `decode`, `availability`, `security`, `fifo`,
-    /// `lifecycle`, or `clock`.
+    /// Oracle name: `decode`, `availability`, `security`, `coalition`,
+    /// `fifo`, `lifecycle`, `clock`, or one of the SLO oracles
+    /// `slo.progress`, `slo.p99`, `slo.cost`, `slo.stress`.
     pub oracle: &'static str,
     /// Simulation step (processed-event count) at which it fired.
     pub step: usize,
@@ -95,7 +112,7 @@ pub struct RunReport {
     pub completed: usize,
     /// Queries that failed (timeout / cluster exhaustion).
     pub failed: usize,
-    /// Topology repairs performed.
+    /// Topology repairs performed (across all cells).
     pub repairs: usize,
     /// Devices quarantined for corrupted partials.
     pub quarantined: usize,
@@ -103,8 +120,15 @@ pub struct RunReport {
     pub violation: Option<Violation>,
     /// Every decision the schedule handed out, in draw order.
     pub decisions: Vec<Decision>,
-    /// Deterministic event trace.
+    /// Deterministic event trace (first `config.max_trace` lines).
     pub trace: Vec<String>,
+    /// Trace lines dropped by the `max_trace` cap (deterministic).
+    pub trace_dropped: usize,
+    /// p99 completion latency over decoded queries, virtual ms.
+    pub p99_ms: f64,
+    /// Observed rows delivered per 1000 predicted (`attempted queries ×
+    /// total coded rows`) — the cost-ledger reconciliation ratio.
+    pub cost_permille: u64,
 }
 
 impl RunReport {
@@ -121,6 +145,10 @@ impl RunReport {
         out.push_str(&format!(
             "seed={} steps={} completed={} failed={} repairs={} quarantined={}\n",
             self.seed, self.steps, self.completed, self.failed, self.repairs, self.quarantined
+        ));
+        out.push_str(&format!(
+            "slo p99_ms={:.3} cost_permille={}\n",
+            self.p99_ms, self.cost_permille
         ));
         match &self.violation {
             Some(v) => out.push_str(&format!(
@@ -141,6 +169,9 @@ impl RunReport {
             out.push_str(line);
             out.push('\n');
         }
+        if self.trace_dropped > 0 {
+            out.push_str(&format!("trace dropped={}\n", self.trace_dropped));
+        }
         out
     }
 }
@@ -153,7 +184,6 @@ enum Event {
         at: Duration,
         query: usize,
         attempt: u32,
-        generation: u32,
         device: usize,
         rows: Vec<TaggedResponse<Fp61>>,
         corrupted: bool,
@@ -163,7 +193,6 @@ enum Event {
         at: Duration,
         query: usize,
         attempt: u32,
-        generation: u32,
     },
 }
 
@@ -173,11 +202,135 @@ impl Event {
             Event::Response { at, .. } | Event::Deadline { at, .. } => *at,
         }
     }
+
+    fn query(&self) -> usize {
+        match self {
+            Event::Response { query, .. } | Event::Deadline { query, .. } => *query,
+        }
+    }
+}
+
+/// The indexed event set that replaced `pending: Vec<Event>`.
+///
+/// Events live in slab `slots`; two eligibility lists (`responses`,
+/// `deadlines`) hold slot ids, with a `wherein` back-pointer per slot so
+/// removal is a swap-remove. The schedule's pick indexes directly into
+/// the eligible lists, so a step is O(1) instead of the old O(pending)
+/// re-scan + `Vec::remove` shift. `by_query` lets the supervisor
+/// invalidate every event of a query (resolution, retry, repair) in
+/// amortized O(events of that query) — the eager replacement for the old
+/// per-step `prune_stale` full scan.
+///
+/// Eligibility order is insertion order with swap-remove holes — a pure
+/// function of the decision history, never of timestamps — so seeded
+/// replay, scripting, shrinking, and exploration see exactly the same
+/// decision arities as the schedule that produced them.
+#[derive(Default)]
+struct EventSet {
+    slots: Vec<Option<Event>>,
+    free: Vec<usize>,
+    responses: Vec<usize>,
+    deadlines: Vec<usize>,
+    /// `(is_response, position)` of each occupied slot in its list.
+    wherein: Vec<(bool, usize)>,
+    /// Slot ids ever assigned to each query; lazily cleaned on clear.
+    by_query: Vec<Vec<usize>>,
+}
+
+impl EventSet {
+    fn insert(&mut self, event: Event) {
+        let is_response = matches!(event, Event::Response { .. });
+        let q = event.query();
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = Some(event);
+                id
+            }
+            None => {
+                self.slots.push(Some(event));
+                self.wherein.push((false, 0));
+                self.slots.len() - 1
+            }
+        };
+        let list = if is_response {
+            &mut self.responses
+        } else {
+            &mut self.deadlines
+        };
+        list.push(id);
+        self.wherein[id] = (is_response, list.len() - 1);
+        if self.by_query.len() <= q {
+            self.by_query.resize_with(q + 1, Vec::new);
+        }
+        self.by_query[q].push(id);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.responses.is_empty() && self.deadlines.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.responses.len() + self.deadlines.len()
+    }
+
+    /// Size of the schedule's choice space this step.
+    fn arity(&self, deliveries_first: bool) -> usize {
+        if deliveries_first && !self.responses.is_empty() {
+            self.responses.len()
+        } else {
+            self.len()
+        }
+    }
+
+    /// Removes and returns the event at eligibility index `idx` (the
+    /// schedule's pick over [`arity`](Self::arity) choices).
+    fn take(&mut self, idx: usize, deliveries_first: bool) -> Event {
+        let id = if (deliveries_first && !self.responses.is_empty()) || idx < self.responses.len() {
+            self.responses[idx]
+        } else {
+            self.deadlines[idx - self.responses.len()]
+        };
+        self.remove_slot(id)
+    }
+
+    fn remove_slot(&mut self, id: usize) -> Event {
+        let (is_response, pos) = self.wherein[id];
+        let list = if is_response {
+            &mut self.responses
+        } else {
+            &mut self.deadlines
+        };
+        list.swap_remove(pos);
+        if let Some(&moved) = list.get(pos) {
+            self.wherein[moved].1 = pos;
+        }
+        self.free.push(id);
+        self.slots[id].take().expect("occupied slot")
+    }
+
+    /// Drops every live event belonging to `q` — called when a query
+    /// resolves, retries, or restarts on a repaired topology, so stale
+    /// events never reach the schedule's choice space.
+    fn clear_query(&mut self, q: usize) {
+        let Some(ids) = self.by_query.get_mut(q) else {
+            return;
+        };
+        for id in std::mem::take(ids) {
+            // Slot ids are recycled: only remove if the slot still holds
+            // a live event of this very query.
+            let live = matches!(self.slots.get(id), Some(Some(e)) if e.query() == q);
+            if live {
+                self.remove_slot(id);
+            }
+        }
+    }
 }
 
 struct QueryState {
     x: Vector<Fp61>,
     want: Vector<Fp61>,
+    /// Cell this query is routed to (`query % cells`).
+    cell: usize,
     started_at: Duration,
     attempt: u32,
     /// Devices broadcast to in the current attempt (global ids).
@@ -188,6 +341,18 @@ struct QueryState {
     emitted: bool,
 }
 
+/// One replica group: its own code, store, roster, and repair state.
+/// All cells share the data matrix `A` and the coding parameters, so
+/// the paper's per-cell theorems are identical across the fleet.
+struct Cell {
+    code: StragglerCode<Fp61>,
+    store: StragglerStore<Fp61>,
+    /// Global device id (1-based) of each code position (0-based).
+    roster: Vec<usize>,
+    generation: u32,
+    exhausted: bool,
+}
+
 /// The simulator itself. Construct with [`Simulation::new`], drive with
 /// [`Simulation::run`].
 pub struct Simulation {
@@ -195,29 +360,36 @@ pub struct Simulation {
     schedule: Schedule,
     clock: SimClock,
     /// World-building randomness (data matrix, query vectors, code
-    /// rebuilds) — seed-derived, separate from the decision stream.
+    /// rebuilds, coalition probes) — seed-derived, separate from the
+    /// decision stream.
     world: StdRng,
     a: Matrix<Fp61>,
-    code: StragglerCode<Fp61>,
-    store: StragglerStore<Fp61>,
-    /// Global device id (1-based) of each code position (1-based - 1).
-    roster: Vec<usize>,
+    cells: Vec<Cell>,
+    /// Devices per cell (coded positions + spares).
+    pool: usize,
     faults: Vec<ChaosFault>,
     health: Vec<Health>,
     misses: Vec<u32>,
     served: Vec<u32>,
     crashed: Vec<bool>,
-    generation: u32,
     queries: Vec<QueryState>,
     started: usize,
     next_emit: usize,
-    pending: Vec<Event>,
+    events: EventSet,
     steps: usize,
     repairs: usize,
     quarantined: usize,
-    exhausted: bool,
     violation: Option<Violation>,
     trace: Vec<String>,
+    trace_dropped: usize,
+    /// Completion latencies of decoded queries (seconds) — the internal
+    /// SLO input, recorded whether or not telemetry is attached.
+    latency_hist: LogHistogram,
+    /// Total verified rows delivered — the observed side of the
+    /// cost-ledger reconciliation oracle.
+    observed_rows: u64,
+    /// Step cap hit with events still pending (livelock suspicion).
+    livelocked: bool,
     seed: u64,
     tel: Option<Arc<Telemetry>>,
 }
@@ -260,31 +432,48 @@ impl Simulation {
         let store = code.encode(&a, &mut world)?;
         let needed = code.device_count();
         let pool = needed + config.spare_devices;
-        let faults = ChaosPlan::generate(pool, config.intensity, seed).faults;
+        let cell_count = config.cells.max(1);
+        let mut cells = Vec::with_capacity(cell_count);
+        let mut faults = Vec::with_capacity(pool * cell_count);
+        for c in 0..cell_count {
+            let cell_seed = seed.wrapping_add(CELL_SEED_STRIDE.wrapping_mul(c as u64));
+            faults.extend(ChaosPlan::generate(pool, config.intensity, cell_seed).faults);
+            let base = c * pool;
+            cells.push(Cell {
+                // Identical coding state per cell; repairs resample.
+                code: code.clone(),
+                store: store.clone(),
+                roster: (base + 1..=base + needed).collect(),
+                generation: 0,
+                exhausted: false,
+            });
+        }
+        let devices = pool * cell_count;
         let sim = Simulation {
-            roster: (1..=needed).collect(),
-            health: vec![Health::Healthy; pool],
-            misses: vec![0; pool],
-            served: vec![0; pool],
-            crashed: vec![false; pool],
-            generation: 0,
+            cells,
+            pool,
+            health: vec![Health::Healthy; devices],
+            misses: vec![0; devices],
+            served: vec![0; devices],
+            crashed: vec![false; devices],
             queries: Vec::new(),
             started: 0,
             next_emit: 0,
-            pending: Vec::new(),
+            events: EventSet::default(),
             steps: 0,
             repairs: 0,
             quarantined: 0,
-            exhausted: false,
             violation: None,
             trace: Vec::new(),
+            trace_dropped: 0,
+            latency_hist: LogHistogram::new(),
+            observed_rows: 0,
+            livelocked: false,
             clock: SimClock::manual(),
             config,
             schedule,
             world,
             a,
-            code,
-            store,
             faults,
             seed,
             tel: None,
@@ -305,18 +494,21 @@ impl Simulation {
             t.tracer
                 .span(Duration::ZERO, Duration::ZERO, Stage::Encode, None, None);
         }
-        self.instrument_topology();
+        for c in 0..self.cells.len() {
+            self.instrument_cell(c);
+        }
         self
     }
 
     /// (Re-)installs predicted per-query costs and stored-row levels for
-    /// the current roster; called at attachment and after every repair.
-    fn instrument_topology(&self) {
+    /// a cell's current roster; called at attachment and after repairs.
+    fn instrument_cell(&self, c: usize) {
         let Some(t) = &self.tel else { return };
         let l = self.config.width as u64;
         let esize = std::mem::size_of::<Fp61>() as u64;
-        for (pos, share) in self.store.shares().iter().enumerate() {
-            let device = self.roster[pos];
+        let cell = &self.cells[c];
+        for (pos, share) in cell.store.shares().iter().enumerate() {
+            let device = cell.roster[pos];
             let rows = share.rows().len() as u64;
             t.costs.record_stored(device, rows);
             t.costs.set_predicted(
@@ -346,16 +538,29 @@ impl Simulation {
         }
     }
 
+    /// Appends a trace line unless the deterministic cap is reached, in
+    /// which case the line is counted instead of stored. Callers bind
+    /// any values read from `self` *before* the closure.
+    fn tr(&mut self, line: impl FnOnce() -> String) {
+        if self.trace.len() < self.config.max_trace {
+            self.trace.push(line());
+        } else {
+            self.trace_dropped += 1;
+        }
+    }
+
     /// Runs to completion and returns the deterministic report.
     pub fn run(mut self) -> RunReport {
-        self.check_topology_oracles();
+        // Cells start as clones of one construction, so the topology
+        // oracles (and the coalition probe) run once for cell 0 here and
+        // per cell after each repair — the only coefficient changes.
+        self.check_topology_oracles(0);
         while self.violation.is_none() && self.started < self.config.queries.min(self.config.window)
         {
             self.start_next_query();
         }
         while self.violation.is_none() && self.steps < self.config.max_steps {
-            self.prune_stale();
-            if self.pending.is_empty() {
+            if self.events.is_empty() {
                 break;
             }
             let event = self.pick_event();
@@ -371,6 +576,7 @@ impl Simulation {
             }
             self.process(event);
         }
+        self.livelocked = self.violation.is_none() && !self.events.is_empty();
         if self.violation.is_none() && self.next_emit < self.queries.len() {
             // Ran out of events or steps with queries unresolved — fail
             // them in FIFO order so the report accounts for every query.
@@ -389,6 +595,23 @@ impl Simulation {
         // Queries the cluster never even admitted (exhaustion, violation,
         // step cap) count as failed: every configured query is accounted.
         let failed = self.config.queries.saturating_sub(completed);
+        let p99_ms = self.latency_hist.p99() * 1_000.0;
+        // Reconcile the ledger against *attempted* work: every admitted
+        // query was predicted to ship one full coded payload. A
+        // completed-only denominator is ill-conditioned — failed queries
+        // still deliver rows, so the ratio diverges as completion drops.
+        let total_rows = self.cells[0].code.total_rows() as u64;
+        let predicted_rows = (completed + failed) as u64 * total_rows;
+        let cost_permille = self
+            .observed_rows
+            .saturating_mul(1_000)
+            .checked_div(predicted_rows)
+            .unwrap_or(0);
+        if self.violation.is_none() {
+            if let Some(slo) = self.config.slo.clone() {
+                self.check_slo_oracles(&slo, completed, p99_ms, cost_permille);
+            }
+        }
         RunReport {
             seed: self.seed,
             steps: self.steps,
@@ -399,67 +622,47 @@ impl Simulation {
             violation: self.violation,
             decisions: self.schedule.log().to_vec(),
             trace: self.trace,
+            trace_dropped: self.trace_dropped,
+            p99_ms,
+            cost_permille,
         }
     }
 
     // ---- event machinery -------------------------------------------------
 
-    /// Drops events that can no longer matter — stale generation, resolved
-    /// query, superseded attempt — *without* consuming a decision, so the
-    /// explorer's branching factor stays tight.
-    fn prune_stale(&mut self) {
-        let queries = &self.queries;
-        let generation = self.generation;
-        self.pending.retain(|e| {
-            let (q, attempt, gen) = match e {
-                Event::Response {
-                    query,
-                    attempt,
-                    generation,
-                    ..
-                }
-                | Event::Deadline {
-                    query,
-                    attempt,
-                    generation,
-                    ..
-                } => (*query, *attempt, *generation),
-            };
-            gen == generation && queries[q].outcome.is_none() && attempt == queries[q].attempt
-        });
-    }
-
-    /// Lets the schedule choose the next event. In deliveries-first mode
-    /// deadlines are eligible only when no response is pending, which
-    /// keeps the explorer's interleaving space finite and focused on
-    /// delivery order.
+    /// Lets the schedule choose the next event from the indexed set. In
+    /// deliveries-first mode deadlines are eligible only when no response
+    /// is pending, which keeps the explorer's interleaving space finite
+    /// and focused on delivery order. Stale events never appear here:
+    /// they are removed eagerly when their query resolves, retries, or
+    /// restarts, so no decision is ever burned on dead work.
     fn pick_event(&mut self) -> Event {
-        let deliveries_first = self.config.deliveries_first
-            && self
-                .pending
-                .iter()
-                .any(|e| matches!(e, Event::Response { .. }));
-        let eligible: Vec<usize> = self
-            .pending
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !deliveries_first || matches!(e, Event::Response { .. }))
-            .map(|(i, _)| i)
-            .collect();
-        let pick = self.schedule.pick(eligible.len());
-        self.pending.remove(eligible[pick])
+        let deliveries_first = self.config.deliveries_first;
+        let arity = self.events.arity(deliveries_first);
+        let pick = self.schedule.pick(arity);
+        self.events.take(pick, deliveries_first)
     }
 
     fn process(&mut self, event: Event) {
         match event {
             Event::Response {
                 query,
+                attempt,
                 device,
                 rows,
                 corrupted,
                 ..
-            } => self.process_response(query, device, rows, corrupted),
-            Event::Deadline { query, .. } => self.process_deadline(query),
+            } => {
+                // Eager invalidation keeps only current-attempt events.
+                debug_assert_eq!(attempt, self.queries[query].attempt);
+                debug_assert!(self.queries[query].outcome.is_none());
+                self.process_response(query, device, rows, corrupted);
+            }
+            Event::Deadline { query, attempt, .. } => {
+                debug_assert_eq!(attempt, self.queries[query].attempt);
+                debug_assert!(self.queries[query].outcome.is_none());
+                self.process_deadline(query);
+            }
         }
     }
 
@@ -470,42 +673,35 @@ impl Simulation {
         rows: Vec<TaggedResponse<Fp61>>,
         corrupted: bool,
     ) {
+        let t = self.ms();
         if corrupted {
             // The runtime's Freivalds verification catches corrupted
             // partials; the simulator has ground truth and the same
             // verdict: quarantine the device and discard the rows.
-            self.trace.push(format!(
-                "t={} quarantine d{} (corrupt partial q{})",
-                self.ms(),
-                device,
-                query
-            ));
+            self.tr(|| format!("t={t} quarantine d{device} (corrupt partial q{query})"));
             self.quarantined += 1;
             self.set_health(device, Health::Quarantined);
-            self.maybe_repair();
+            let cell = self.queries[query].cell;
+            self.maybe_repair(cell);
             return;
         }
-        self.trace.push(format!(
-            "t={} deliver q{} d{} rows={}",
-            self.ms(),
-            query,
-            device,
-            rows.len()
-        ));
-        if let Some(t) = &self.tel {
+        let n = rows.len();
+        self.tr(|| format!("t={t} deliver q{query} d{device} rows={n}"));
+        self.observed_rows += n as u64;
+        if let Some(tel) = &self.tel {
             let now = self.clock.now();
             let l = self.config.width as u64;
-            let n = rows.len() as u64;
+            let n = n as u64;
             let esize = std::mem::size_of::<Fp61>() as u64;
-            t.tracer.span(
+            tel.tracer.span(
                 now,
                 Duration::ZERO,
                 Stage::DeviceCompute,
                 Some(query as u64),
                 Some(device),
             );
-            t.costs.record_received(device, n * (esize + 8), n);
-            t.costs
+            tel.costs.record_received(device, n * (esize + 8), n);
+            tel.costs
                 .record_compute(device, n * l, n * l.saturating_sub(1));
         }
         self.queries[query].collected.insert(device, rows);
@@ -513,12 +709,9 @@ impl Simulation {
     }
 
     fn process_deadline(&mut self, query: usize) {
-        self.trace.push(format!(
-            "t={} deadline q{} attempt={}",
-            self.ms(),
-            query,
-            self.queries[query].attempt
-        ));
+        let t = self.ms();
+        let attempt = self.queries[query].attempt;
+        self.tr(|| format!("t={t} deadline q{query} attempt={attempt}"));
         // Count a miss against every broadcast target that neither
         // responded nor was already removed from play.
         let missing: Vec<usize> = self.queries[query]
@@ -538,24 +731,23 @@ impl Simulation {
                 self.set_health(device, Health::Suspect);
             }
         }
-        self.maybe_repair();
+        let cell = self.queries[query].cell;
+        self.maybe_repair(cell);
         if self.violation.is_some() || self.queries[query].outcome.is_some() {
             return;
         }
         if self.queries[query].attempt < self.config.max_retries {
+            self.events.clear_query(query);
             self.queries[query].attempt += 1;
             self.queries[query].collected.clear();
             let backoff = Duration::from_millis(self.config.backoff_ms);
-            self.trace.push(format!(
-                "t={} retry q{} attempt={}",
-                self.ms(),
-                query,
-                self.queries[query].attempt
-            ));
+            let t = self.ms();
+            let attempt = self.queries[query].attempt;
+            self.tr(|| format!("t={t} retry q{query} attempt={attempt}"));
             self.tev(
                 "supervisor.retried",
                 None,
-                format!("q{query} attempt={}", self.queries[query].attempt),
+                format!("q{query} attempt={attempt}"),
             );
             self.broadcast(query, backoff);
         } else {
@@ -568,9 +760,11 @@ impl Simulation {
         self.started += 1;
         let x = Vector::<Fp61>::random(self.config.width, &mut self.world);
         let want = self.a.matvec(&x).expect("widths agree");
+        let cell = q % self.cells.len();
         self.queries.push(QueryState {
             x,
             want,
+            cell,
             started_at: self.clock.now(),
             attempt: 0,
             targets: Vec::new(),
@@ -578,31 +772,43 @@ impl Simulation {
             outcome: None,
             emitted: false,
         });
-        self.trace.push(format!("t={} start q{}", self.ms(), q));
+        let t = self.ms();
+        self.tr(|| format!("t={t} start q{q}"));
         self.broadcast(q, Duration::ZERO);
     }
 
-    /// Broadcasts query `q`'s current attempt to every live roster device
-    /// and schedules the attempt's deadline.
+    /// Broadcasts query `q`'s current attempt to every live device of its
+    /// cell and schedules the attempt's deadline. An exhausted cell's
+    /// roster is entirely absorbing, so the broadcast degenerates to a
+    /// lone deadline and the query drains its retry budget.
     fn broadcast(&mut self, q: usize, delay: Duration) {
+        let c = self.queries[q].cell;
         let start = self.clock.now().saturating_add(delay);
+        let start_ms = start.as_millis() as u64;
         let attempt = self.queries[q].attempt;
         let x = self.queries[q].x.clone();
+        let device_count = self.cells[c].code.device_count();
         let mut targets = Vec::new();
-        for pos in 1..=self.code.device_count() {
-            let device = self.roster[pos - 1];
+        for pos in 1..=device_count {
+            let device = self.cells[c].roster[pos - 1];
             if self.health[device - 1].is_absorbing() {
                 continue;
             }
             targets.push(device);
+            // A partitioned device never receives the query: it stays a
+            // target (misses accrue at the supervisor) but neither serves
+            // nor advances its crash countdown.
+            if self.config.dynamics.in_outage(device, self.pool, start_ms) {
+                continue;
+            }
             if self.crashed[device - 1] {
                 continue;
             }
             if let ChaosFault::Crash { after_queries } = self.faults[device - 1] {
                 if self.served[device - 1] >= after_queries {
                     self.crashed[device - 1] = true;
-                    self.trace
-                        .push(format!("t={} crash d{}", self.ms(), device));
+                    let t = self.ms();
+                    self.tr(|| format!("t={t} crash d{device}"));
                     continue;
                 }
             }
@@ -615,14 +821,18 @@ impl Simulation {
                 ChaosFault::Byzantine => corrupted = true,
                 ChaosFault::Flaky { permille } => {
                     if self.schedule.coin(f64::from(permille) / 1000.0) {
-                        self.trace
-                            .push(format!("t={} drop q{} d{}", self.ms(), q, device));
+                        let t = self.ms();
+                        self.tr(|| format!("t={t} drop q{q} d{device}"));
                         continue;
                     }
                 }
                 ChaosFault::None | ChaosFault::Crash { .. } => {}
             }
-            let mut rows = self.store.shares()[pos - 1]
+            latency = self
+                .config
+                .dynamics
+                .shape_latency(device, self.pool, start_ms, latency);
+            let mut rows = self.cells[c].store.shares()[pos - 1]
                 .compute(&x)
                 .expect("widths agree");
             if corrupted {
@@ -630,11 +840,10 @@ impl Simulation {
                     r.value = r.value.add(Fp61::one());
                 }
             }
-            self.pending.push(Event::Response {
+            self.events.insert(Event::Response {
                 at: start.saturating_add(Duration::from_millis(latency)),
                 query: q,
                 attempt,
-                generation: self.generation,
                 device,
                 rows,
                 corrupted,
@@ -649,11 +858,10 @@ impl Simulation {
             }
         }
         self.queries[q].targets = targets;
-        self.pending.push(Event::Deadline {
+        self.events.insert(Event::Deadline {
             at: start.saturating_add(Duration::from_millis(self.config.deadline_ms)),
             query: q,
             attempt,
-            generation: self.generation,
         });
     }
 
@@ -664,11 +872,12 @@ impl Simulation {
             .values()
             .flat_map(|rows| rows.iter().copied())
             .collect();
+        let c = state.cell;
         let distinct: std::collections::BTreeSet<usize> = responses.iter().map(|r| r.row).collect();
-        if distinct.len() < self.code.rows_needed() {
+        if distinct.len() < self.cells[c].code.rows_needed() {
             return;
         }
-        let mut y = match self.code.decode(&responses) {
+        let mut y = match self.cells[c].code.decode(&responses) {
             Ok(y) => y,
             Err(e) => {
                 self.violate(
@@ -703,6 +912,11 @@ impl Simulation {
 
     fn resolve(&mut self, q: usize, outcome: QueryOutcome) {
         self.queries[q].outcome = Some(outcome);
+        self.events.clear_query(q);
+        if outcome == QueryOutcome::Decoded {
+            let latency = self.clock.now().saturating_sub(self.queries[q].started_at);
+            self.latency_hist.record(latency.as_secs_f64());
+        }
         if let Some(t) = &self.tel {
             let labels = [("cluster", "dst")];
             match outcome {
@@ -721,8 +935,8 @@ impl Simulation {
                 }
             }
         }
-        self.trace
-            .push(format!("t={} resolve q{} {:?}", self.ms(), q, outcome));
+        let t = self.ms();
+        self.tr(|| format!("t={t} resolve q{q} {outcome:?}"));
         self.emit_ready();
     }
 
@@ -742,10 +956,11 @@ impl Simulation {
                 return;
             }
             self.queries[self.next_emit].emitted = true;
-            self.trace
-                .push(format!("t={} emit q{}", self.ms(), self.next_emit));
+            let t = self.ms();
+            let q = self.next_emit;
+            self.tr(|| format!("t={t} emit q{q}"));
             self.next_emit += 1;
-            if !self.exhausted && self.violation.is_none() && self.started < self.config.queries {
+            if self.violation.is_none() && self.started < self.config.queries {
                 self.start_next_query();
             }
         }
@@ -765,13 +980,8 @@ impl Simulation {
             );
             return;
         }
-        self.trace.push(format!(
-            "t={} d{} {:?} -> {:?}",
-            self.ms(),
-            device,
-            current,
-            next
-        ));
+        let t = self.ms();
+        self.tr(|| format!("t={t} d{device} {current:?} -> {next:?}"));
         self.health[device - 1] = next;
         let name = match next {
             Health::Suspect => "supervisor.suspected",
@@ -782,61 +992,63 @@ impl Simulation {
         self.tev(name, Some(device), format!("{current:?} -> {next:?}"));
     }
 
-    /// Re-allocates around Dead/Quarantined roster members: survivors are
-    /// re-enrolled cheapest-first (global id order — the fleet is sorted
-    /// by unit cost, so the prefix is exactly the TA-1 choice), the code
-    /// and store are rebuilt, and the generation fence advances so stale
-    /// in-flight responses are discarded.
-    fn maybe_repair(&mut self) {
-        if self.violation.is_some()
-            || !self
-                .roster
-                .iter()
-                .any(|&d| self.health[d - 1].is_absorbing())
+    /// Re-allocates cell `c` around Dead/Quarantined roster members:
+    /// survivors are re-enrolled cheapest-first (global id order — the
+    /// fleet is sorted by unit cost, so the prefix is exactly the TA-1
+    /// choice), the cell's code and store are rebuilt, and its generation
+    /// fence advances; in-flight events of the cell's unresolved queries
+    /// are invalidated eagerly.
+    fn maybe_repair(&mut self, c: usize) {
+        if self.violation.is_some() || self.cells[c].exhausted {
+            return;
+        }
+        if !self.cells[c]
+            .roster
+            .iter()
+            .any(|&d| self.health[d - 1].is_absorbing())
         {
             return;
         }
-        let needed = self.code.device_count();
-        let survivors: Vec<usize> = (1..=self.health.len())
+        let needed = self.cells[c].code.device_count();
+        let base = c * self.pool;
+        let survivors: Vec<usize> = (base + 1..=base + self.pool)
             .filter(|&d| !self.health[d - 1].is_absorbing())
             .collect();
         if survivors.len() < needed {
-            self.trace.push(format!(
-                "t={} exhausted: {} survivors < {} needed",
-                self.ms(),
-                survivors.len(),
-                needed
-            ));
-            self.exhausted = true;
+            let t = self.ms();
+            let n = survivors.len();
+            self.tr(|| format!("t={t} cell{c} exhausted: {n} survivors < {needed} needed"));
+            self.cells[c].exhausted = true;
             for q in 0..self.queries.len() {
-                if self.queries[q].outcome.is_none() {
+                if self.queries[q].cell == c && self.queries[q].outcome.is_none() {
                     self.queries[q].outcome = Some(QueryOutcome::Failed);
+                    self.events.clear_query(q);
                 }
             }
             self.emit_ready();
             return;
         }
-        self.roster = survivors[..needed].to_vec();
+        let roster = survivors[..needed].to_vec();
         let design = CodeDesign::new(self.config.data_rows, self.config.random_rows)
             .expect("validated at construction");
-        self.code = StragglerCode::<Fp61>::new(design, self.config.redundancy, &mut self.world)
+        let code = StragglerCode::<Fp61>::new(design, self.config.redundancy, &mut self.world)
             .expect("resampling always finds a secure extension over Fp61");
-        self.store = self
-            .code
+        let store = code
             .encode(&self.a, &mut self.world)
             .expect("shapes validated at construction");
-        self.generation += 1;
+        self.cells[c].roster = roster;
+        self.cells[c].code = code;
+        self.cells[c].store = store;
+        self.cells[c].generation += 1;
         self.repairs += 1;
-        self.trace.push(format!(
-            "t={} repair gen={} roster={:?}",
-            self.ms(),
-            self.generation,
-            self.roster
-        ));
+        let t = self.ms();
+        let generation = self.cells[c].generation;
+        let roster = self.cells[c].roster.clone();
+        self.tr(|| format!("t={t} repair cell{c} gen={generation} roster={roster:?}"));
         self.tev(
             "supervisor.repaired",
             None,
-            format!("gen={} roster={:?}", self.generation, self.roster),
+            format!("cell{c} gen={generation} roster={roster:?}"),
         );
         if let Some(t) = &self.tel {
             // The rebuilt code re-encodes the data; instantaneous in
@@ -844,33 +1056,39 @@ impl Simulation {
             t.tracer
                 .span(self.clock.now(), Duration::ZERO, Stage::Encode, None, None);
         }
-        self.instrument_topology();
-        self.check_topology_oracles();
+        self.instrument_cell(c);
+        self.check_topology_oracles(c);
         if self.violation.is_some() {
             return;
         }
-        // Every unresolved query restarts on the new topology.
+        // Every unresolved query of this cell restarts on the new
+        // topology; other cells' in-flight work is untouched.
         for q in 0..self.queries.len() {
-            if self.queries[q].outcome.is_none() {
+            if self.queries[q].cell == c && self.queries[q].outcome.is_none() {
+                self.events.clear_query(q);
                 self.queries[q].collected.clear();
                 self.broadcast(q, Duration::ZERO);
             }
         }
     }
 
-    /// Theorem 3, both halves, on the current code: every quorum with at
-    /// least `m + r` rows decodes, and no device's block intersects the
-    /// pure-data span. Runs at construction and after every repair — the
-    /// only points where the coefficient matrix changes.
-    fn check_topology_oracles(&mut self) {
-        match self.code.all_quorums_available() {
+    /// Theorem 3, both halves, on cell `c`'s current code: every quorum
+    /// with at least `m + r` rows decodes, and no device's block
+    /// intersects the pure-data span. When `coalition_size >= 2`, also
+    /// probes the topology with a colluding coalition — the structured
+    /// design is only 1-private, so the probe must leak; a silent
+    /// adversary is a regression in adversary power and fires the
+    /// `coalition` oracle. Runs at construction and after every repair —
+    /// the only points where coefficient matrices change.
+    fn check_topology_oracles(&mut self, c: usize) {
+        let generation = self.cells[c].generation;
+        match self.cells[c].code.all_quorums_available() {
             Ok(true) => {}
             Ok(false) => {
                 self.violate(
                     "availability",
                     format!(
-                        "gen {}: a quorum with >= m+r rows is rank-deficient",
-                        self.generation
+                        "cell{c} gen {generation}: a quorum with >= m+r rows is rank-deficient"
                     ),
                 );
                 return;
@@ -880,23 +1098,133 @@ impl Simulation {
                 return;
             }
         }
-        match self.code.per_device_security_holds() {
+        match self.cells[c].code.per_device_security_holds() {
             Ok(true) => {}
-            Ok(false) => self.violate(
-                "security",
+            Ok(false) => {
+                self.violate(
+                    "security",
+                    format!("cell{c} gen {generation}: a device block intersects the data span"),
+                );
+                return;
+            }
+            Err(e) => {
+                self.violate("security", format!("oracle error: {e}"));
+                return;
+            }
+        }
+        if self.config.coalition_size >= 2 {
+            self.probe_coalition(c);
+        }
+    }
+
+    /// Pools the observations of the first `coalition_size` coded
+    /// positions and runs the passive adversary on the combined view.
+    fn probe_coalition(&mut self, c: usize) {
+        let cell = &self.cells[c];
+        let k = self.config.coalition_size.min(cell.code.device_count());
+        let adversary = PassiveAdversary::for_dimensions(
+            cell.code.base().data_rows(),
+            cell.code.base().random_rows(),
+        )
+        .with_candidates(2);
+        let blocks: Result<Vec<Matrix<Fp61>>, _> =
+            (1..=k).map(|j| cell.code.device_block(j)).collect();
+        let verdict = match blocks {
+            Ok(blocks) => {
+                let members: Vec<(usize, &Matrix<Fp61>, &Matrix<Fp61>)> = (1..=k)
+                    .map(|j| (j, &blocks[j - 1], cell.store.shares()[j - 1].coded()))
+                    .collect();
+                adversary
+                    .attack_coalition(&members, &mut self.world)
+                    .map_err(|e| e.to_string())
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        let generation = cell.generation;
+        match verdict {
+            Ok(v) if v.is_information_theoretic_secure() => self.violate(
+                "coalition",
                 format!(
-                    "gen {}: a device block intersects the data span",
-                    self.generation
+                    "cell{c} gen {generation}: coalition of {k} leaked nothing from the \
+                     1-private design — adversary lost power"
                 ),
             ),
-            Err(e) => self.violate("security", format!("oracle error: {e}")),
+            Ok(_) => {}
+            Err(e) => self.violate("coalition", format!("probe error: {e}")),
+        }
+    }
+
+    /// The telemetry-backed SLO oracles, checked once the event loop has
+    /// drained. Ordered livelock → completion floor → stress floor →
+    /// p99 → cost so the most fundamental failure wins the report.
+    fn check_slo_oracles(
+        &mut self,
+        slo: &SloPolicy,
+        completed: usize,
+        p99_ms: f64,
+        cost_permille: u64,
+    ) {
+        if self.livelocked {
+            let pending = self.events.len();
+            self.violate(
+                "slo.progress",
+                format!(
+                    "step cap {} hit with {pending} events still pending",
+                    self.config.max_steps
+                ),
+            );
+            return;
+        }
+        let permille = completed as u64 * 1_000 / self.config.queries.max(1) as u64;
+        if permille < slo.min_completed_permille {
+            self.violate(
+                "slo.progress",
+                format!(
+                    "completed {permille}/1000 queries < {}/1000 floor",
+                    slo.min_completed_permille
+                ),
+            );
+            return;
+        }
+        if self.repairs < slo.min_repairs {
+            self.violate(
+                "slo.stress",
+                format!(
+                    "{} repairs < {} floor — the scenario failed to stress the repair path",
+                    self.repairs, slo.min_repairs
+                ),
+            );
+            return;
+        }
+        if completed > 0 && p99_ms > slo.p99_ms {
+            self.violate(
+                "slo.p99",
+                format!(
+                    "p99 completion {p99_ms:.3} ms > {:.3} ms budget",
+                    slo.p99_ms
+                ),
+            );
+            return;
+        }
+        let (lo, hi) = slo.cost_band_permille;
+        if completed > 0 && (cost_permille < lo || cost_permille > hi) {
+            self.violate(
+                "slo.cost",
+                format!(
+                    "observed/predicted rows = {cost_permille}/1000 outside [{lo}, {hi}] — \
+                     cost ledger failed to reconcile"
+                ),
+            );
         }
     }
 
     fn violate(&mut self, oracle: &'static str, detail: String) {
         if self.violation.is_none() {
+            let t = self.ms();
+            // A violation line always lands in the trace, cap or not —
+            // it is the one line shrinking and replay care about.
             self.trace
-                .push(format!("t={} VIOLATION {} {}", self.ms(), oracle, detail));
+                .push(format!("t={t} VIOLATION {oracle} {detail}"));
             self.violation = Some(Violation {
                 oracle,
                 step: self.steps,
@@ -929,6 +1257,24 @@ mod tests {
     fn chaos_runs_are_clean_across_seeds() {
         let config = DstConfig::chaos();
         for seed in 0..20 {
+            let report = Simulation::new(config.clone(), seed).unwrap().run();
+            assert!(report.is_clean(), "seed {seed}:\n{}", report.render());
+            assert_eq!(
+                report.completed + report.failed,
+                config.queries,
+                "seed {seed} lost queries:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_cell_runs_are_clean_and_route_round_robin() {
+        let mut config = DstConfig::chaos();
+        config.cells = 3;
+        config.queries = 12;
+        config.window = 6;
+        for seed in 0..10 {
             let report = Simulation::new(config.clone(), seed).unwrap().run();
             assert!(report.is_clean(), "seed {seed}:\n{}", report.render());
             assert_eq!(
@@ -981,6 +1327,44 @@ mod tests {
     }
 
     #[test]
+    fn trace_cap_counts_dropped_lines_deterministically() {
+        let mut config = DstConfig::chaos();
+        config.max_trace = 5;
+        let a = Simulation::new(config.clone(), 4).unwrap().run();
+        let b = Simulation::new(config, 4).unwrap().run();
+        assert_eq!(a.trace.len(), 5);
+        assert!(a.trace_dropped > 0);
+        assert_eq!(a.trace_dropped, b.trace_dropped);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn coalition_probe_confirms_the_design_leaks_to_a_pair() {
+        // The structured design is 1-private: a colluding pair MUST leak,
+        // so a clean run here proves the adversary still has teeth.
+        let mut config = DstConfig::chaos();
+        config.coalition_size = 2;
+        let report = Simulation::new(config, 0).unwrap().run();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn slo_floor_violation_fires_and_names_the_oracle() {
+        // An impossible completion floor turns an otherwise clean run
+        // into an slo.progress violation.
+        let mut config = DstConfig::chaos();
+        config.slo = Some(SloPolicy {
+            min_completed_permille: 1_001,
+            p99_ms: 1e9,
+            cost_band_permille: (0, u64::MAX),
+            min_repairs: 0,
+        });
+        let report = Simulation::new(config, 0).unwrap().run();
+        let v = report.violation.expect("floor cannot be met");
+        assert_eq!(v.oracle, "slo.progress");
+    }
+
+    #[test]
     fn telemetry_renders_byte_identically_across_identical_runs() {
         let config = DstConfig::chaos();
         let render = |seed: u64| {
@@ -990,11 +1374,19 @@ mod tests {
                 .with_telemetry(Arc::clone(&tel))
                 .run();
             assert!(report.is_clean(), "{}", report.render());
-            tel.render_json()
+            (report.completed, tel.render_json())
         };
-        // Seed 0 both decodes queries and injects faults under chaos().
-        let snapshot = render(0);
-        assert_eq!(snapshot, render(0));
+        // Pick the first seed that actually decodes under chaos(), so the
+        // trace-content assertions don't depend on one RNG stream.
+        let seed = (0..32)
+            .find(|&s| {
+                let report = Simulation::new(config.clone(), s).unwrap().run();
+                report.violation.is_none() && report.completed > 0
+            })
+            .expect("some seed in 0..32 decodes under chaos()");
+        let (completed, snapshot) = render(seed);
+        assert!(completed > 0);
+        assert_eq!(snapshot, render(seed).1);
         // The virtual-clock trace actually carries the query stages.
         assert!(snapshot.contains("span.dispatch"));
         assert!(snapshot.contains("span.device_compute"));
@@ -1012,5 +1404,33 @@ mod tests {
         assert!(!Health::Dead.may_become(Health::Quarantined));
         assert!(!Health::Quarantined.may_become(Health::Suspect));
         assert!(Health::Dead.may_become(Health::Dead));
+    }
+
+    #[test]
+    fn event_set_insert_take_clear_round_trip() {
+        let mut set = EventSet::default();
+        let deadline = |q: usize| Event::Deadline {
+            at: Duration::from_millis(q as u64),
+            query: q,
+            attempt: 0,
+        };
+        for q in 0..4 {
+            set.insert(deadline(q));
+        }
+        assert_eq!(set.len(), 4);
+        // Clearing a query removes exactly its events, even with slot
+        // reuse in between.
+        set.clear_query(1);
+        assert_eq!(set.len(), 3);
+        set.insert(deadline(1)); // reuses the freed slot
+        set.clear_query(1);
+        assert_eq!(set.len(), 3);
+        // Draining by eligibility index yields each event exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        while !set.is_empty() {
+            let e = set.take(0, false);
+            assert!(seen.insert(e.query()), "duplicate {:?}", e.query());
+        }
+        assert_eq!(seen, [0usize, 2, 3].into_iter().collect());
     }
 }

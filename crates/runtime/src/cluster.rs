@@ -60,6 +60,29 @@ impl DeviceBehavior {
         let permille = (p.clamp(0.0, 1.0) * 1000.0).round() as u16;
         DeviceBehavior::FlakyDrop { permille }
     }
+
+    /// Maps a simulator-drawn [`scec_sim::ChaosFault`] onto the concrete
+    /// actor behavior that realizes it on a live cluster. This is the
+    /// single fault-model conversion layer: every driver (CLI chaos runs,
+    /// DST scenario replays against real actors) goes through it, so the
+    /// two enums cannot drift apart silently.
+    pub fn from_fault(fault: scec_sim::ChaosFault) -> Self {
+        use scec_sim::ChaosFault;
+        match fault {
+            ChaosFault::None => DeviceBehavior::Honest,
+            ChaosFault::Slow { millis } => DeviceBehavior::Delayed(Duration::from_millis(millis)),
+            ChaosFault::Crash { after_queries } => DeviceBehavior::Crash { after_queries },
+            ChaosFault::Flaky { permille } => DeviceBehavior::FlakyDrop { permille },
+            ChaosFault::Omit => DeviceBehavior::Omit,
+            ChaosFault::Byzantine => DeviceBehavior::Byzantine,
+        }
+    }
+}
+
+impl From<scec_sim::ChaosFault> for DeviceBehavior {
+    fn from(fault: scec_sim::ChaosFault) -> Self {
+        DeviceBehavior::from_fault(fault)
+    }
 }
 
 /// What the fault gate decides for one incoming query.

@@ -257,11 +257,12 @@ impl PassiveAdversary {
 /// One device's scripted misbehavior in a chaos scenario.
 ///
 /// The simulation layer stays runtime-agnostic: these are *descriptions*
-/// of faults, mapped onto concrete
-/// `scec_runtime::DeviceBehavior` values by whoever drives a live
-/// cluster (e.g. the CLI's `chaos` subcommand). Keeping the enum here
-/// lets experiments generate, store, and compare scenarios without
-/// pulling in the threaded runtime.
+/// of faults. The one conversion layer onto concrete actor behaviors is
+/// `scec_runtime::DeviceBehavior::from_fault` (also exposed as a `From`
+/// impl), which every live-cluster driver — the CLI's `chaos`
+/// subcommand included — goes through. Keeping the enum here lets
+/// experiments and the DST generate, store, and compare scenarios
+/// without pulling in the threaded runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChaosFault {
     /// The device behaves honestly.

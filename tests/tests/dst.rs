@@ -79,8 +79,12 @@ fn explorer_coverage_is_schedule_structural_not_seed_dependent() {
 fn shrinking_returns_the_shortest_failing_prefix() {
     let mut config = DstConfig::chaos();
     config.break_decode_oracle = true;
-    let failing = Simulation::new(config.clone(), 0).unwrap().run();
-    assert!(failing.violation.is_some());
+    // Sweep until the broken oracle fires (a seed that decodes at least
+    // one query) rather than hinging on one RNG stream.
+    let failing = run_seeds(&config, 0, 10, None)
+        .unwrap()
+        .failure
+        .expect("broken oracle must fire");
     let shrunk = shrink(&config, &failing).expect("must shrink");
     assert!(shrunk.report.violation.is_some());
     assert!(shrunk.script.len() <= failing.decisions.len());
@@ -92,6 +96,119 @@ fn shrinking_returns_the_shortest_failing_prefix() {
             .run();
         assert!(report.violation.is_none());
     }
+}
+
+#[test]
+fn every_scenario_runs_clean_and_replays_at_smoke_scale() {
+    // The per-PR CI smoke: each named scenario, scaled down to 14
+    // devices / 24 queries, must satisfy every oracle (paper theorems
+    // *and* its own SLO policy) across a few seeds, and a pinned seed
+    // must replay byte-for-byte — the same contract the fleet-scale
+    // nightly enforces at 1000+ devices.
+    for scenario in scec_dst::catalog() {
+        let sweep =
+            scec_dst::run_scenario(scenario, Some(14), Some(24), 0, 3, seed_from_env()).unwrap();
+        assert!(
+            sweep.is_clean(),
+            "scenario {:?}:\n{}",
+            scenario.name,
+            sweep.failure.unwrap().render()
+        );
+        assert!(
+            sweep.completed > 0,
+            "scenario {:?} decoded nothing",
+            scenario.name
+        );
+
+        let config = scenario.config(Some(14), Some(24));
+        let replay = |seed| {
+            Simulation::new(config.clone(), seed)
+                .unwrap()
+                .run()
+                .render()
+        };
+        assert_eq!(
+            replay(1),
+            replay(1),
+            "scenario {:?} replay drift",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn a_scenario_failure_shrinks_and_replays_from_its_seed() {
+    // End-to-end failure workflow on a *scenario* config: break the
+    // decode oracle, sweep until it fires, then confirm the seed alone
+    // reproduces the run and the shrunk prefix still fails under
+    // scripted replay.
+    let scenario = scec_dst::find_scenario("rack-failure").expect("in catalog");
+    let mut config = scenario.config(Some(14), Some(12));
+    config.break_decode_oracle = true;
+    let sweep = run_seeds(&config, 0, 10, None).unwrap();
+    let failing = sweep.failure.expect("broken oracle must fire");
+
+    let replayed = run_seeds(&config, 999, 1, Some(failing.seed))
+        .unwrap()
+        .failure
+        .expect("replay reproduces the violation");
+    assert_eq!(failing.render(), replayed.render());
+
+    let shrunk = shrink(&config, &failing).expect("shrinkable");
+    assert!(shrunk.report.violation.is_some());
+    assert_eq!(shrunk.report.seed, failing.seed);
+    assert!(shrunk.script.len() <= failing.decisions.len());
+}
+
+#[test]
+fn a_scenario_sustains_a_moderate_fleet() {
+    // Mid-scale checkpoint between the smoke tests above and the
+    // `#[ignore]`d fleet run below: ~10 cells, a couple thousand
+    // queries, still fast enough for the default test pass.
+    let scenario = scec_dst::find_scenario("diurnal").expect("in catalog");
+    let sweep =
+        scec_dst::run_scenario(scenario, Some(70), Some(2_000), 0, 1, seed_from_env()).unwrap();
+    assert!(
+        sweep.is_clean(),
+        "oracle violation:\n{}",
+        sweep.failure.unwrap().render()
+    );
+    assert!(sweep.completed > 0);
+}
+
+#[test]
+#[ignore = "fleet-scale: ~1000 devices / 100k queries; run explicitly or nightly"]
+fn fleet_scale_campaign_is_clean_replayable_and_shrinkable() {
+    // The acceptance run: >= 1000 devices and >= 100k queries complete
+    // with byte-identical seeded replay, and a synthetic failure at the
+    // same scale still shrinks. Nightly CI sweeps every scenario at
+    // this scale via `scec dst --scenario NAME --devices 1050
+    // --queries 100000`.
+    let scenario = scec_dst::find_scenario("diurnal").expect("in catalog");
+    let config = scenario.config(Some(1_050), Some(100_000));
+    let sweep = run_seeds(&config, 0, 1, seed_from_env()).unwrap();
+    assert!(
+        sweep.is_clean(),
+        "oracle violation:\n{}",
+        sweep.failure.unwrap().render()
+    );
+    assert!(sweep.completed > 0);
+
+    let replay = |seed| {
+        Simulation::new(config.clone(), seed)
+            .unwrap()
+            .run()
+            .render()
+    };
+    assert_eq!(replay(0), replay(0), "fleet-scale replay drift");
+
+    let mut broken = scenario.config(Some(1_050), Some(1_000));
+    broken.break_decode_oracle = true;
+    let failing = Simulation::new(broken.clone(), 0).unwrap().run();
+    assert!(failing.violation.is_some());
+    let shrunk = shrink(&broken, &failing).expect("fleet-scale failure shrinks");
+    assert!(shrunk.report.violation.is_some());
+    assert!(shrunk.script.len() <= failing.decisions.len());
 }
 
 #[test]
