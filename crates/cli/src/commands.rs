@@ -1255,6 +1255,10 @@ mod tests {
         assert!(out.contains("stats: queries = 3"), "{out}");
     }
 
+    // The snapshot-content tests assert recorded telemetry; with the
+    // feature off every recording call is a no-op and the snapshot is
+    // (correctly) empty, so they only run feature-on.
+    #[cfg(feature = "telemetry")]
     #[test]
     fn chaos_metrics_out_writes_acceptance_snapshot() {
         // The ISSUE 5 acceptance check: the snapshot must carry
@@ -1284,6 +1288,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    #[cfg(feature = "telemetry")]
     #[test]
     fn metrics_command_renders_both_formats() {
         let prom = metrics(4, 3, 23, false).unwrap();

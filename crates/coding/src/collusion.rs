@@ -398,6 +398,47 @@ impl<F: Scalar> TPrivateCode<F> {
         }
         Ok(Vector::from_vec(y))
     }
+
+    /// Batched decode: recovers the `m × k` answer panel `Y = A X` from
+    /// the stacked intermediate result panel `B T X` (one column per
+    /// query).
+    ///
+    /// One multi-RHS mixer solve recovers `R X`, one matmul forms all the
+    /// `G·(RX)` corrections, and one subtraction sweep finishes — versus
+    /// `k` solves and `m·k` scalar dots on the per-query path. Column `j`
+    /// is bit-identical to [`decode`](Self::decode) of column `j`: the
+    /// panel solve and the matmul both replay the per-query operation
+    /// sequence exactly.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::PayloadShape`] when `btx` does not have `m + r` rows;
+    /// * [`Error::Linalg`] when the noise mixer solve fails (impossible
+    ///   for a constructed code).
+    pub fn decode_panel(&self, btx: &Matrix<F>) -> Result<Matrix<F>> {
+        let r = self.random_rows();
+        if btx.nrows() != self.total_rows() {
+            return Err(Error::PayloadShape {
+                what: "stacked intermediate result panel",
+                expected: (self.total_rows(), btx.ncols()),
+                got: btx.shape(),
+            });
+        }
+        let k = btx.ncols();
+        let w_noise = btx.row_block(0, r)?;
+        let rx = self.mixer_lu.solve_matrix(&w_noise)?;
+        let correction = self.data_coeffs.matmul(&rx)?;
+        let mut flat = Vec::with_capacity(self.m * k);
+        for p in 0..self.m {
+            flat.extend(
+                btx.row(r + p)
+                    .iter()
+                    .zip(correction.row(p))
+                    .map(|(&d, &c)| d.sub(c)),
+            );
+        }
+        Ok(Matrix::from_flat(self.m, k, flat)?)
+    }
 }
 
 /// One device's share under a [`TPrivateCode`].
@@ -448,6 +489,24 @@ impl<F: Scalar> TPrivateShare<F> {
             });
         }
         Ok(self.coded.matvec(x)?)
+    }
+
+    /// Device-side *panel* computation `B_j T · X`: one matmul serving `k`
+    /// queries, column `j` bit-identical to [`compute`](Self::compute) of
+    /// column `j` of `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PayloadShape`] when `xs` has the wrong row count.
+    pub fn compute_panel(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        if xs.nrows() != self.coded.ncols() {
+            return Err(Error::PayloadShape {
+                what: "input panel",
+                expected: (self.coded.ncols(), xs.ncols()),
+                got: xs.shape(),
+            });
+        }
+        Ok(self.coded.matmul(xs)?)
     }
 }
 
@@ -521,6 +580,36 @@ mod tests {
             let y = code.decode(&Vector::from_vec(btx)).unwrap();
             assert_eq!(y, a.matvec(&x).unwrap(), "m={m} t={t} v={v}");
         }
+    }
+
+    #[test]
+    fn panel_decode_matches_per_query() {
+        let (code, a, _x, store) = setup(6, 2, 2, 3, 29);
+        let mut rng = StdRng::seed_from_u64(30);
+        for k in [1usize, 5] {
+            let xs = Matrix::<Fp61>::random(3, k, &mut rng);
+            let parts: Vec<Matrix<Fp61>> = store
+                .shares()
+                .iter()
+                .map(|s| s.compute_panel(&xs).unwrap())
+                .collect();
+            let btx = crate::decode::stack_partial_matrices(&parts).unwrap();
+            let y = code.decode_panel(&btx).unwrap();
+            assert_eq!(y, a.matmul(&xs).unwrap(), "k={k}");
+            for j in 0..k {
+                assert_eq!(y.col(j), code.decode(&btx.col(j)).unwrap(), "column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_decode_validates_shape() {
+        let (code, _a, _x, _store) = setup(5, 2, 2, 3, 33);
+        let wrong = Matrix::<Fp61>::zeros(code.total_rows() - 1, 2);
+        assert!(matches!(
+            code.decode_panel(&wrong),
+            Err(Error::PayloadShape { .. })
+        ));
     }
 
     #[test]

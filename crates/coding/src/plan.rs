@@ -57,6 +57,13 @@ pub struct DecodePlan<F> {
     /// Full `T x` solution, reused across decodes (first `m` entries are
     /// the answer).
     solved: Vec<F>,
+    /// Multi-RHS scratch for [`decode_panel_into`](Self::decode_panel_into),
+    /// grown on demand and then reused — steady-state panel decodes at a
+    /// fixed width perform zero allocations.
+    panel_scratch: Vec<F>,
+    /// Full `T X` solution panel (first `m` rows are the answer), reused
+    /// across panel decodes of the same width.
+    panel_solved: Matrix<F>,
 }
 
 impl<F: Scalar> std::fmt::Debug for DecodePlan<F> {
@@ -95,6 +102,8 @@ impl<F: Scalar> DecodePlan<F> {
             lu,
             scratch: vec![F::zero(); n],
             solved: vec![F::zero(); n],
+            panel_scratch: Vec::new(),
+            panel_solved: Matrix::zeros(0, 0),
         })
     }
 
@@ -148,6 +157,68 @@ impl<F: Scalar> DecodePlan<F> {
         }
         self.solve_payload(btx)?;
         out.copy_from_slice(&self.solved[..self.m]);
+        Ok(())
+    }
+
+    /// Batched decode: recovers the `m × k` answer panel `Y = A X` from
+    /// the stacked intermediate result panel `B T X` (`(m+r) × k`, one
+    /// column per query).
+    ///
+    /// Column `j` of the result is bit-identical to
+    /// [`decode`](Self::decode) of column `j` — the multi-RHS solve in
+    /// [`Lu::solve_panel_into`] performs the per-entry operation sequence
+    /// of the single-RHS path — but the triangular factors are walked
+    /// **once per panel** instead of once per query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PayloadShape`] when `btx` does not have `m + r`
+    /// rows.
+    pub fn decode_panel(&mut self, btx: &Matrix<F>) -> Result<Matrix<F>> {
+        let mut out = Matrix::zeros(self.m, btx.ncols());
+        self.decode_panel_into(btx, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free batched decode: writes `Y = A X` into `out`
+    /// (`m × k`).
+    ///
+    /// Internal panel buffers are grown on first use (or when the panel
+    /// width changes) and reused afterwards, so a steady stream of
+    /// same-width panels decodes with **zero allocations**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PayloadShape`] when `btx` is not `(m+r) × k` or
+    /// `out` is not `m × k`.
+    pub fn decode_panel_into(&mut self, btx: &Matrix<F>, out: &mut Matrix<F>) -> Result<()> {
+        let k = btx.ncols();
+        if btx.nrows() != self.n {
+            return Err(Error::PayloadShape {
+                what: "stacked intermediate result panel",
+                expected: (self.n, k),
+                got: btx.shape(),
+            });
+        }
+        if out.shape() != (self.m, k) {
+            return Err(Error::PayloadShape {
+                what: "panel decode output buffer",
+                expected: (self.m, k),
+                got: out.shape(),
+            });
+        }
+        let need = self.lu.panel_scratch_len(k);
+        if self.panel_scratch.len() != need {
+            self.panel_scratch.resize(need, F::zero());
+        }
+        if self.panel_solved.shape() != (self.n, k) {
+            self.panel_solved = Matrix::zeros(self.n, k);
+        }
+        self.lu
+            .solve_panel_into(btx, &mut self.panel_scratch, &mut self.panel_solved)?;
+        for i in 0..self.m {
+            out.row_mut(i).copy_from_slice(self.panel_solved.row(i));
+        }
         Ok(())
     }
 
@@ -238,6 +309,65 @@ mod tests {
             plan.decode_into(btx.as_slice(), &mut wrong),
             Err(Error::PayloadShape { .. })
         ));
+    }
+
+    #[test]
+    fn panel_decode_bit_identical_to_per_query_fp61() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let design = CodeDesign::new(5, 3).unwrap();
+        let b = crate::verify::densify(&design, &mut rng);
+        let mut plan = DecodePlan::new(&design, &b).unwrap();
+        for k in [1usize, 3, 8] {
+            let panel = Matrix::<Fp61>::random(8, k, &mut rng);
+            let got = plan.decode_panel(&panel).unwrap();
+            assert_eq!(got.shape(), (5, k));
+            for j in 0..k {
+                let want = plan.decode(&panel.col(j)).unwrap();
+                assert_eq!(got.col(j), want, "k={k} column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_decode_bit_identical_to_per_query_f64() {
+        let mut rng = StdRng::seed_from_u64(67);
+        let design = CodeDesign::new(4, 2).unwrap();
+        let b = crate::verify::densify(&design, &mut rng);
+        let mut plan = DecodePlan::new(&design, &b).unwrap();
+        for k in [1usize, 5] {
+            let panel = Matrix::<f64>::random(6, k, &mut rng);
+            let got = plan.decode_panel(&panel).unwrap();
+            for j in 0..k {
+                let want = plan.decode(&panel.col(j)).unwrap();
+                for p in 0..4 {
+                    // Bitwise equality, not epsilon: the panel solve must
+                    // replay the scalar op sequence exactly.
+                    assert_eq!(
+                        got.at(p, j).to_bits(),
+                        want.at(p).to_bits(),
+                        "k={k} col {j} row {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_decode_into_validates_shapes() {
+        let design = CodeDesign::new(4, 2).unwrap();
+        let b = design.encoding_matrix::<Fp61>();
+        let mut plan = DecodePlan::new(&design, &b).unwrap();
+        let mut out = Matrix::<Fp61>::zeros(4, 3);
+        assert!(matches!(
+            plan.decode_panel_into(&Matrix::zeros(5, 3), &mut out),
+            Err(Error::PayloadShape { .. })
+        ));
+        assert!(matches!(
+            plan.decode_panel_into(&Matrix::zeros(6, 2), &mut out),
+            Err(Error::PayloadShape { .. })
+        ));
+        plan.decode_panel_into(&Matrix::zeros(6, 3), &mut out)
+            .unwrap();
     }
 
     #[test]

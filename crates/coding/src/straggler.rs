@@ -349,8 +349,99 @@ impl<F: Scalar> StragglerCode<F> {
                 sub.set(t, c, full.at(row, c))?;
             }
         }
-        let tx = gauss::solve(&sub, &Vector::from_vec(rhs))?;
+        // PLU-factorize and solve (same route, and hence bit-identical
+        // per-column results, as the multi-RHS panel path below).
+        let tx = gauss::factorize(&sub)?.solve(&Vector::from_vec(rhs))?;
         Ok(tx.slice(0, self.base.data_rows())?)
+    }
+
+    /// Batched decode: recovers the `m × k` answer panel `Y = A X` from
+    /// row-tagged partial-result *panels* (one column per query).
+    ///
+    /// `rows[t]` tags row `t` of `values` with its global coded-row index,
+    /// exactly like [`TaggedResponse::row`] tags a scalar; duplicates are
+    /// deduplicated first-occurrence-wins, matching [`decode`](Self::decode).
+    /// Column `j` of the result is bit-identical to `decode` of the
+    /// corresponding tagged column, but the row bookkeeping, fast-path
+    /// subtraction sweep, and (on the general path) the elimination run
+    /// **once per panel** instead of once per query.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::PayloadShape`] when `rows` and `values` disagree in
+    ///   length, a tag is out of range, or fewer than `m + r` distinct
+    ///   rows are supplied;
+    /// * [`Error::Linalg`] when the selected submatrix is singular.
+    pub fn decode_panel(&self, rows: &[usize], values: &Matrix<F>) -> Result<Matrix<F>> {
+        if rows.len() != values.nrows() {
+            return Err(Error::PayloadShape {
+                what: "tagged panel row tags",
+                expected: (values.nrows(), 1),
+                got: (rows.len(), 1),
+            });
+        }
+        let n = self.base.total_rows();
+        let k = values.ncols();
+        // First response index per global row, first occurrence wins.
+        let mut have: Vec<Option<usize>> = vec![None; self.total_rows()];
+        let mut distinct = 0;
+        for (t, &row) in rows.iter().enumerate() {
+            if row >= self.total_rows() {
+                return Err(Error::PayloadShape {
+                    what: "tagged response row index",
+                    expected: (self.total_rows(), 1),
+                    got: (row, 1),
+                });
+            }
+            if have[row].is_none() {
+                have[row] = Some(t);
+                distinct += 1;
+            }
+        }
+        if distinct < n {
+            return Err(Error::PayloadShape {
+                what: "straggler responses (distinct rows)",
+                expected: (n, 1),
+                got: (distinct, 1),
+            });
+        }
+        // Fast path: all base rows arrived — one batched subtraction sweep.
+        if have[..n].iter().all(Option::is_some) {
+            let mut flat = Vec::with_capacity(n * k);
+            for slot in &have[..n] {
+                flat.extend_from_slice(values.row(slot.expect("checked")));
+            }
+            let btx = Matrix::from_flat(n, k, flat)?;
+            return crate::decode::decode_fast_batch(&self.base, &btx);
+        }
+        // General path: first n available rows, one factorization, one
+        // multi-RHS solve.
+        let full = self.extended_matrix();
+        let mut picked = Vec::with_capacity(n);
+        for (row, slot) in have.iter().enumerate() {
+            if let Some(t) = slot {
+                picked.push((row, *t));
+                if picked.len() == n {
+                    break;
+                }
+            }
+        }
+        let mut sub = Matrix::zeros(n, n);
+        let mut rhs_flat = Vec::with_capacity(n * k);
+        for (t, &(row, resp)) in picked.iter().enumerate() {
+            for c in 0..n {
+                sub.set(t, c, full.at(row, c))?;
+            }
+            rhs_flat.extend_from_slice(values.row(resp));
+        }
+        let rhs = Matrix::from_flat(n, k, rhs_flat)?;
+        let lu = gauss::factorize(&sub)?;
+        let tx = lu.solve_matrix(&rhs)?;
+        let mut out_flat = Vec::with_capacity(self.base.data_rows() * k);
+        for p in 0..self.base.data_rows() {
+            out_flat.extend_from_slice(tx.row(p));
+        }
+        Ok(Matrix::from_flat(self.base.data_rows(), k, out_flat)?)
     }
 }
 
@@ -431,6 +522,26 @@ impl<F: Scalar> StragglerShare<F> {
             .zip(values.as_slice())
             .map(|(&row, &value)| TaggedResponse { row, value })
             .collect())
+    }
+
+    /// The device-side *panel* computation: one `coded · X` matmul serving
+    /// `k` queries at once. Row `t` of the result carries the values for
+    /// global coded row [`rows()`](Self::rows)`[t]`, i.e. column `j` is
+    /// bit-identical to the values [`compute`](Self::compute) returns for
+    /// column `j` of `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PayloadShape`] when `xs` has the wrong row count.
+    pub fn compute_panel(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        if xs.nrows() != self.coded.ncols() {
+            return Err(Error::PayloadShape {
+                what: "input panel",
+                expected: (self.coded.ncols(), xs.ncols()),
+                got: xs.shape(),
+            });
+        }
+        Ok(self.coded.matmul(xs)?)
     }
 }
 
@@ -558,6 +669,88 @@ mod tests {
             let y = code.decode(&kept).unwrap();
             assert_eq!(y, want, "dropping device {dropped}");
         }
+    }
+
+    /// Tagged panel for a subset of devices: (row tags, stacked values).
+    fn panel_responses(
+        store: &StragglerStore<Fp61>,
+        xs: &Matrix<Fp61>,
+        skip_devices: &[usize],
+    ) -> (Vec<usize>, Matrix<Fp61>) {
+        let mut rows = Vec::new();
+        let mut parts = Vec::new();
+        for share in store.shares() {
+            if skip_devices.contains(&share.device()) {
+                continue;
+            }
+            rows.extend_from_slice(share.rows());
+            parts.push(share.compute_panel(xs).unwrap());
+        }
+        (rows, crate::decode::stack_partial_matrices(&parts).unwrap())
+    }
+
+    #[test]
+    fn panel_decode_matches_per_query_fast_path() {
+        let (code, a, _x, store, mut rng) = setup(6, 2, 3, 4, 31);
+        for k in [1usize, 4] {
+            let xs = Matrix::<Fp61>::random(4, k, &mut rng);
+            let (rows, values) = panel_responses(&store, &xs, &[]);
+            let y = code.decode_panel(&rows, &values).unwrap();
+            assert_eq!(y, a.matmul(&xs).unwrap());
+            for j in 0..k {
+                let per_query: Vec<TaggedResponse<Fp61>> = store
+                    .shares()
+                    .iter()
+                    .flat_map(|s| s.compute(&xs.col(j)).unwrap())
+                    .collect();
+                assert_eq!(y.col(j), code.decode(&per_query).unwrap(), "column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_decode_matches_per_query_general_path() {
+        // Drop device 1 to knock out base rows and force elimination.
+        let (code, a, _x, store, mut rng) = setup(6, 3, 4, 3, 37);
+        let xs = Matrix::<Fp61>::random(3, 5, &mut rng);
+        let (rows, values) = panel_responses(&store, &xs, &[1]);
+        let y = code.decode_panel(&rows, &values).unwrap();
+        assert_eq!(y, a.matmul(&xs).unwrap());
+        for j in 0..5 {
+            let per_query: Vec<TaggedResponse<Fp61>> = store
+                .shares()
+                .iter()
+                .filter(|s| s.device() != 1)
+                .flat_map(|s| s.compute(&xs.col(j)).unwrap())
+                .collect();
+            assert_eq!(y.col(j), code.decode(&per_query).unwrap(), "column {j}");
+        }
+    }
+
+    #[test]
+    fn panel_decode_validates_inputs() {
+        let (code, _a, _x, store, mut rng) = setup(5, 2, 2, 3, 41);
+        let xs = Matrix::<Fp61>::random(3, 2, &mut rng);
+        let (rows, values) = panel_responses(&store, &xs, &[]);
+        // Tag/value length mismatch.
+        assert!(matches!(
+            code.decode_panel(&rows[..rows.len() - 1], &values),
+            Err(Error::PayloadShape { .. })
+        ));
+        // Out-of-range tag.
+        let mut bad_rows = rows.clone();
+        bad_rows[0] = code.total_rows();
+        assert!(matches!(
+            code.decode_panel(&bad_rows, &values),
+            Err(Error::PayloadShape { .. })
+        ));
+        // Too few distinct rows.
+        let short = Matrix::from_rows(vec![values.row(0).to_vec(); rows.len()]).unwrap();
+        let same_rows = vec![rows[0]; rows.len()];
+        assert!(matches!(
+            code.decode_panel(&same_rows, &short),
+            Err(Error::PayloadShape { .. })
+        ));
     }
 
     #[test]

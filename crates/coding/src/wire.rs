@@ -12,6 +12,88 @@ use crate::design::CodeDesign;
 use crate::encode::DeviceShare;
 use crate::straggler::{StragglerCode, StragglerShare, TaggedResponse};
 
+/// A batched multi-query panel broadcast: `k` query columns stacked into
+/// one `l × k` matrix, shipped under a single request id so every device
+/// answers the whole window with one matmul. Framed with
+/// [`scec_wire::tag::QUERY_PANEL`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelQueryMsg<F: Scalar> {
+    /// Correlation id matching partials back to this panel.
+    pub request: u64,
+    /// The `l × k` panel of query columns.
+    pub panel: Matrix<F>,
+}
+
+/// A device's partial result for a whole panel: a `rows × k` value block,
+/// optionally tagged with global row indices for straggler-tolerant
+/// assembly. Framed with [`scec_wire::tag::PANEL_PARTIAL`].
+///
+/// `rows` is either empty — a plain block partial whose rows are
+/// assembled in device order — or exactly one global row index per value
+/// row, letting the collector build the decode system without trusting
+/// response order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelPartialMsg<F: Scalar> {
+    /// Correlation id of the panel this answers.
+    pub request: u64,
+    /// 1-based device index of the responder.
+    pub device: usize,
+    /// Global row tags (empty for untagged block partials).
+    pub rows: Vec<usize>,
+    /// The `rows × k` block of partial products.
+    pub values: Matrix<F>,
+}
+
+impl<F: Scalar + WireEncode> WireEncode for PanelQueryMsg<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.request.encode(out);
+        self.panel.encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for PanelQueryMsg<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let request = u64::decode(r)?;
+        let panel = Matrix::<F>::decode(r)?;
+        if panel.ncols() == 0 {
+            return Err(WireError::Malformed("panel must carry at least one query"));
+        }
+        Ok(PanelQueryMsg { request, panel })
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for PanelPartialMsg<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.request.encode(out);
+        self.device.encode(out);
+        self.rows.encode(out);
+        self.values.encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for PanelPartialMsg<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let request = u64::decode(r)?;
+        let device = usize::decode(r)?;
+        let rows = Vec::<usize>::decode(r)?;
+        let values = Matrix::<F>::decode(r)?;
+        if device == 0 {
+            return Err(WireError::Malformed("device index must be 1-based"));
+        }
+        if !rows.is_empty() && rows.len() != values.nrows() {
+            return Err(WireError::Malformed(
+                "row tags do not match panel partial rows",
+            ));
+        }
+        Ok(PanelPartialMsg {
+            request,
+            device,
+            rows,
+            values,
+        })
+    }
+}
+
 impl WireEncode for CodeDesign {
     fn encode(&self, out: &mut Vec<u8>) {
         self.data_rows().encode(out);
@@ -233,6 +315,61 @@ mod tests {
         base.encode(&mut bytes);
         evil.encode(&mut bytes);
         assert!(StragglerCode::<Fp61>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn panel_messages_roundtrip_and_validate() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let query = PanelQueryMsg {
+            request: 42,
+            panel: Matrix::<Fp61>::random(4, 3, &mut rng),
+        };
+        let frame = encode_framed(&query, tag::QUERY_PANEL);
+        let back: PanelQueryMsg<Fp61> = decode_framed(&frame, tag::QUERY_PANEL).unwrap();
+        assert_eq!(back, query);
+        // A panel frame is not accepted under the single-query tag.
+        assert!(decode_framed::<PanelQueryMsg<Fp61>>(&frame, tag::QUERY).is_err());
+        // Zero-width panels are rejected: the frame must carry work.
+        let empty = PanelQueryMsg {
+            request: 1,
+            panel: Matrix::<Fp61>::zeros(4, 0),
+        };
+        assert!(PanelQueryMsg::<Fp61>::from_bytes(&empty.to_bytes()).is_err());
+
+        // Tagged partial: one global row index per value row.
+        let partial = PanelPartialMsg {
+            request: 42,
+            device: 2,
+            rows: vec![0, 5],
+            values: Matrix::<Fp61>::random(2, 3, &mut rng),
+        };
+        let frame = encode_framed(&partial, tag::PANEL_PARTIAL);
+        let back: PanelPartialMsg<Fp61> = decode_framed(&frame, tag::PANEL_PARTIAL).unwrap();
+        assert_eq!(back, partial);
+        // Untagged block partial: empty row tags are allowed.
+        let block = PanelPartialMsg {
+            request: 42,
+            device: 1,
+            rows: vec![],
+            values: Matrix::<Fp61>::random(3, 3, &mut rng),
+        };
+        assert_eq!(
+            PanelPartialMsg::<Fp61>::from_bytes(&block.to_bytes()).unwrap(),
+            block
+        );
+        // Tag-count mismatch and zero device index are rejected.
+        let mut bytes = Vec::new();
+        42u64.encode(&mut bytes);
+        2usize.encode(&mut bytes);
+        vec![0usize, 1, 2].encode(&mut bytes); // 3 tags
+        Matrix::<Fp61>::identity(2).encode(&mut bytes); // 2 rows
+        assert!(PanelPartialMsg::<Fp61>::from_bytes(&bytes).is_err());
+        let mut bytes = Vec::new();
+        42u64.encode(&mut bytes);
+        0usize.encode(&mut bytes); // device 0: invalid
+        Vec::<usize>::new().encode(&mut bytes);
+        Matrix::<Fp61>::identity(2).encode(&mut bytes);
+        assert!(PanelPartialMsg::<Fp61>::from_bytes(&bytes).is_err());
     }
 
     #[test]

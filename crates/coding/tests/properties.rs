@@ -145,6 +145,63 @@ proptest! {
     }
 
     #[test]
+    fn panel_decode_matches_per_query_decodes_fp61(
+        (m, r) in design_params(),
+        k in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Decoding an n × k panel in one multi-RHS elimination must be
+        // bit-identical to decoding its k columns one by one — including
+        // the ragged widths (k = 1, k = window) the panel pipeline emits
+        // for tail flushes.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = CodeDesign::new(m, r).unwrap();
+        let n = design.total_rows();
+        for b in [design.encoding_matrix::<Fp61>(), verify::densify(&design, &mut rng)] {
+            let mut plan = DecodePlan::new(&design, &b).unwrap();
+            let btx = Matrix::<Fp61>::random(n, k, &mut rng);
+            let panel = plan.decode_panel(&btx).unwrap();
+            prop_assert_eq!(panel.shape(), (m, k));
+            for j in 0..k {
+                let single = plan.decode(&btx.col(j)).unwrap();
+                prop_assert_eq!(
+                    panel.col(j).as_slice(), single.as_slice(),
+                    "m={} r={} k={} col {}", m, r, k, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panel_decode_matches_per_query_decodes_f64(
+        (m, r) in design_params(),
+        k in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Same agreement over the reals: the cached LU applies the exact
+        // same factor sequence to every right-hand side, so panel and
+        // per-query decodes agree to the last bit even though f64
+        // arithmetic is not associative.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = CodeDesign::new(m, r).unwrap();
+        let n = design.total_rows();
+        let b = design.encoding_matrix::<f64>();
+        let mut plan = DecodePlan::new(&design, &b).unwrap();
+        let btx = Matrix::<f64>::random(n, k, &mut rng);
+        let panel = plan.decode_panel(&btx).unwrap();
+        prop_assert_eq!(panel.shape(), (m, k));
+        for j in 0..k {
+            let single = plan.decode(&btx.col(j)).unwrap();
+            for p in 0..m {
+                prop_assert_eq!(
+                    panel.at(p, j).to_bits(), single.at(p).to_bits(),
+                    "m={} r={} k={} col {} row {}", m, r, k, j, p
+                );
+            }
+        }
+    }
+
+    #[test]
     fn decode_plan_matches_per_query_elimination(
         (m, r) in design_params(),
         seed in any::<u64>(),

@@ -114,6 +114,51 @@ impl<F: Scalar> IntegrityKey<F> {
     pub fn verify(&self, x: &Vector<F>, y: &Vector<F>) -> Result<bool> {
         Ok(self.residual(x, y)?.is_zero())
     }
+
+    /// Batched residuals for a query panel: entry `j` is
+    /// `uᵀ·Y_j − (uᵀA)·X_j`, zero for a correct column.
+    ///
+    /// One `Yᵀu` matvec and one `Xᵀ(uᵀA)` matvec check all `k` columns —
+    /// two fused transposed kernels per **panel** instead of two dots per
+    /// query; the per-column soundness bound (`2⁻⁶¹` over GF(2⁶¹−1)) is
+    /// unchanged because each column is still an independent Freivalds
+    /// test against the same secret `u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] when `xs`/`ys` widths disagree or their
+    /// row counts do not match the key.
+    pub fn residual_panel(&self, xs: &Matrix<F>, ys: &Matrix<F>) -> Result<Vector<F>> {
+        if ys.nrows() != self.u.len() || ys.ncols() != xs.ncols() {
+            return Err(Error::Coding(scec_coding::Error::PayloadShape {
+                what: "result panel vs integrity key",
+                expected: (self.u.len(), xs.ncols()),
+                got: ys.shape(),
+            }));
+        }
+        if xs.nrows() != self.ut_a.len() {
+            return Err(Error::Coding(scec_coding::Error::PayloadShape {
+                what: "query panel vs integrity key",
+                expected: (self.ut_a.len(), xs.ncols()),
+                got: xs.shape(),
+            }));
+        }
+        let lhs = ys.tr_matvec(&self.u).map_err(scec_coding::Error::from)?;
+        let rhs = xs.tr_matvec(&self.ut_a).map_err(scec_coding::Error::from)?;
+        Ok(lhs.sub(&rhs).map_err(scec_coding::Error::from)?)
+    }
+
+    /// Batched verify: checks every column of a decoded panel at once.
+    /// Returns `Ok(None)` when every column passes, or `Ok(Some(j))` with
+    /// the index of the first corrupted column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] for shape mismatches.
+    pub fn verify_panel(&self, xs: &Matrix<F>, ys: &Matrix<F>) -> Result<Option<usize>> {
+        let residuals = self.residual_panel(xs, ys)?;
+        Ok(residuals.as_slice().iter().position(|r| !r.is_zero()))
+    }
 }
 
 /// Runs a secure query and verifies the result before returning it.
@@ -205,6 +250,52 @@ mod tests {
             assert_eq!(y, a.matvec(&x).unwrap());
         }
         assert_eq!(key.rows(), 7);
+    }
+
+    #[test]
+    fn honest_panels_verify_and_match_per_query_residuals() {
+        let (a, _deployment, key, mut rng) = setup(8);
+        for k in [1usize, 6] {
+            let xs = Matrix::<Fp61>::random(4, k, &mut rng);
+            let ys = a.matmul(&xs).unwrap();
+            assert_eq!(key.verify_panel(&xs, &ys).unwrap(), None, "k={k}");
+            let residuals = key.residual_panel(&xs, &ys).unwrap();
+            for j in 0..k {
+                assert_eq!(
+                    residuals.at(j),
+                    key.residual(&xs.col(j), &ys.col(j)).unwrap(),
+                    "k={k} column {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panel_verify_pinpoints_each_corrupted_column() {
+        let (a, _deployment, key, mut rng) = setup(9);
+        let xs = Matrix::<Fp61>::random(4, 5, &mut rng);
+        let ys = a.matmul(&xs).unwrap();
+        for victim in 0..5 {
+            let mut bad = ys.clone();
+            let old = bad.at(2, victim);
+            bad.set(2, victim, old + Fp61::new(1)).unwrap();
+            assert_eq!(
+                key.verify_panel(&xs, &bad).unwrap(),
+                Some(victim),
+                "corrupted column {victim} not identified"
+            );
+        }
+    }
+
+    #[test]
+    fn panel_verify_validates_shapes() {
+        let (_a, _deployment, key, mut rng) = setup(10);
+        let xs = Matrix::<Fp61>::random(4, 3, &mut rng);
+        assert!(key.verify_panel(&xs, &Matrix::zeros(6, 3)).is_err());
+        assert!(key.verify_panel(&xs, &Matrix::zeros(7, 2)).is_err());
+        assert!(key
+            .verify_panel(&Matrix::zeros(5, 3), &Matrix::zeros(7, 3))
+            .is_err());
     }
 
     #[test]

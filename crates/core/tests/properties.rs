@@ -104,6 +104,35 @@ proptest! {
     }
 
     #[test]
+    fn panel_freivalds_accepts_honest_rejects_corrupted_column(
+        m in 2usize..10,
+        l in 1usize..6,
+        k in 1usize..7,
+        corrupt in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Batched Freivalds over a whole panel: one pair of transposed
+        // matvecs must accept every honest column, and corrupting a
+        // single entry of a single column must surface exactly that
+        // column's index — for every panel width the pipeline can emit
+        // (k = 1 ragged tails through full windows).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let key = IntegrityKey::generate(&a, &mut rng).unwrap();
+        let xs = Matrix::<Fp61>::random(l, k, &mut rng);
+        let ys = a.matmul(&xs).unwrap();
+        prop_assert_eq!(key.verify_panel(&xs, &ys).unwrap(), None);
+        let (row, col) = (corrupt / k % m, corrupt % k);
+        let mut bad = ys.clone();
+        bad.set(row, col, ys.at(row, col) + Fp61::new(1)).unwrap();
+        prop_assert_eq!(
+            key.verify_panel(&xs, &bad).unwrap(),
+            Some(col),
+            "m={} l={} k={} corrupted ({}, {})", m, l, k, row, col
+        );
+    }
+
+    #[test]
     fn batch_matches_columns(
         m in 1usize..10,
         l in 1usize..6,

@@ -54,6 +54,7 @@ const FOLD_ZERO: u128 = (1u128 << 122) - 1;
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
+#[repr(transparent)] // the simd kernels reinterpret &[Fp61] as &[u64]
 pub struct Fp61(u64);
 
 impl Fp61 {
@@ -104,13 +105,21 @@ impl Fp61 {
         s
     }
 
+    /// Creates a field element from an already-canonical representative
+    /// (crate-internal: the simd kernels produce canonical residues).
+    #[inline]
+    pub(crate) fn from_canonical(value: u64) -> Self {
+        debug_assert!(value < MODULUS);
+        Fp61(value)
+    }
+
     /// Full-range reduction of any `u128` into `[0, p)` via two folds.
     ///
     /// The lazy dot kernel accumulates up to [`LAZY_BLOCK`] unreduced
     /// products (`< 2^128`), so its accumulator exceeds the domain of
     /// [`Fp61::reduce128`]; this variant folds twice.
     #[inline]
-    fn reduce_wide(x: u128) -> u64 {
+    pub(crate) fn reduce_wide(x: u128) -> u64 {
         // First fold: x = hi·2^61 + lo with hi < 2^67 ⇒ hi + lo < 2^68.
         let folded = (x >> 61) + (x & MODULUS as u128);
         // Second fold now fits comfortably in u64 arithmetic.
@@ -121,6 +130,44 @@ impl Fp61 {
             s -= MODULUS;
         }
         s
+    }
+
+    /// The portable scalar lazy dot kernel: unreduced `u128` accumulation
+    /// in four ILP lanes with one wide reduction per [`LAZY_BLOCK`]
+    /// products. This is the dispatch fallback of
+    /// [`Scalar::dot_slices`]; it is public so benches and agreement
+    /// tests can pin the scalar path explicitly (see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the slices have different lengths.
+    pub fn dot_slices_scalar(a: &[Fp61], b: &[Fp61]) -> Fp61 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc: u128 = 0;
+        for (ca, cb) in a.chunks(LAZY_BLOCK).zip(b.chunks(LAZY_BLOCK)) {
+            // Entering each block acc < 2^61 (folded carry), and 63
+            // products of at most (p−1)² keep the sum below 2^128 no
+            // matter how they are split across the four lanes below.
+            //
+            // Four independent accumulators break the loop-carried
+            // add-with-carry chain: a single u128 accumulator serializes
+            // at ~2 cycles per product, while independent lanes let the
+            // multiplies pipeline.
+            let (mut e0, mut e1, mut e2, mut e3) = (0u128, 0u128, 0u128, 0u128);
+            let mut qa = ca.chunks_exact(4);
+            let mut qb = cb.chunks_exact(4);
+            for (pa, pb) in (&mut qa).zip(&mut qb) {
+                e0 += pa[0].0 as u128 * pb[0].0 as u128;
+                e1 += pa[1].0 as u128 * pb[1].0 as u128;
+                e2 += pa[2].0 as u128 * pb[2].0 as u128;
+                e3 += pa[3].0 as u128 * pb[3].0 as u128;
+            }
+            for (&x, &y) in qa.remainder().iter().zip(qb.remainder()) {
+                e0 += x.0 as u128 * y.0 as u128;
+            }
+            acc = Fp61::reduce_wide(acc + (e0 + e1) + (e2 + e3)) as u128;
+        }
+        Fp61(acc as u64)
     }
 
     /// Modular exponentiation by squaring.
@@ -329,31 +376,33 @@ impl Scalar for Fp61 {
 
     fn dot_slices(a: &[Self], b: &[Self]) -> Self {
         debug_assert_eq!(a.len(), b.len());
-        let mut acc: u128 = 0;
-        for (ca, cb) in a.chunks(LAZY_BLOCK).zip(b.chunks(LAZY_BLOCK)) {
-            // Entering each block acc < 2^61 (folded carry), and 63
-            // products of at most (p−1)² keep the sum below 2^128 no
-            // matter how they are split across the four lanes below.
-            //
-            // Four independent accumulators break the loop-carried
-            // add-with-carry chain: a single u128 accumulator serializes
-            // at ~2 cycles per product, while independent lanes let the
-            // multiplies pipeline.
-            let (mut e0, mut e1, mut e2, mut e3) = (0u128, 0u128, 0u128, 0u128);
-            let mut qa = ca.chunks_exact(4);
-            let mut qb = cb.chunks_exact(4);
-            for (pa, pb) in (&mut qa).zip(&mut qb) {
-                e0 += pa[0].0 as u128 * pb[0].0 as u128;
-                e1 += pa[1].0 as u128 * pb[1].0 as u128;
-                e2 += pa[2].0 as u128 * pb[2].0 as u128;
-                e3 += pa[3].0 as u128 * pb[3].0 as u128;
+        // Runtime SIMD dispatch: both paths produce the canonical
+        // representative, so this is a speed decision only (bit-identical
+        // results either way; see `crate::simd` docs).
+        if a.len() >= crate::simd::MIN_DOT_LEN && crate::simd::active() {
+            if let Some(v) = crate::simd::dot_fp61(a, b) {
+                return v;
             }
-            for (&x, &y) in qa.remainder().iter().zip(qb.remainder()) {
-                e0 += x.0 as u128 * y.0 as u128;
-            }
-            acc = Fp61::reduce_wide(acc + (e0 + e1) + (e2 + e3)) as u128;
         }
-        Fp61(acc as u64)
+        Fp61::dot_slices_scalar(a, b)
+    }
+
+    fn dot_slices_x4(a: &[Self], b: [&[Self]; 4]) -> [Self; 4] {
+        // Same dispatch rule as `dot_slices`; the 4-column microkernel
+        // shares the `a` loads and runs four accumulator chains, but
+        // each column's arithmetic is identical to a single dot, so the
+        // result is bit-identical either way.
+        if a.len() >= crate::simd::MIN_DOT_LEN && crate::simd::active() {
+            if let Some(v) = crate::simd::dot4_fp61(a, b) {
+                return v;
+            }
+        }
+        [
+            Fp61::dot_slices(a, b[0]),
+            Fp61::dot_slices(a, b[1]),
+            Fp61::dot_slices(a, b[2]),
+            Fp61::dot_slices(a, b[3]),
+        ]
     }
 
     fn fused_muladd(acc: &mut [Self], factor: Self, rhs: &[Self]) {

@@ -57,12 +57,22 @@ pub const PAR_THRESHOLD: usize = 1 << 15;
 
 /// Upper bound on worker threads: `available_parallelism`, or 1 when the
 /// `parallel` feature is disabled.
+///
+/// The core count is detected once and cached: `available_parallelism`
+/// is a syscall, and the un-cached version showed up as a measurable
+/// regression on single-core hosts (BENCH_6: `fp61_matmul_parallel`
+/// 0.745 ns/op vs 0.736 for the serial-pinned kernel, on a machine where
+/// the parallel path never spawns a thread). With the cache, the
+/// `threads == 1` degradation path costs one relaxed atomic load.
 pub fn max_threads() -> usize {
     #[cfg(feature = "parallel")]
     {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
     #[cfg(not(feature = "parallel"))]
     {
@@ -109,6 +119,12 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    // Single-core / small-work early exit before any band bookkeeping:
+    // on one core (or below the per-band threshold in the caller) the
+    // spawn path must cost nothing.
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
     let bands = bands(n, threads);
     if bands.len() <= 1 {
         return (0..n).map(f).collect();
@@ -148,6 +164,11 @@ where
         return;
     }
     debug_assert_eq!(data.len() % cols, 0);
+    // Same single-core early exit as `par_map_collect`.
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
     let rows = data.len() / cols;
     let bands = bands(rows, threads);
     if bands.len() <= 1 {
@@ -186,6 +207,13 @@ where
 /// tile of 32), and the write-contiguous inner loop in
 /// [`transpose_blocked`] beat the old read-contiguous order (which
 /// measured 4.78 ns/op at 1024² in `BENCH_2.json`).
+///
+/// Re-swept after the `BENCH_6.json` regression to 1.58 ns/op (via the
+/// in-tree `transpose_tile_sweep_report` test): tile 16 still wins —
+/// 1.67/1.76/4.67 ns per element at 512²/1024²/2048² vs 1.67/1.83/4.76
+/// for tile 8 and 1.88/2.34/4.91 for tile 32 — so the regression was
+/// measurement-environment drift, not a mistuned tile; the constant
+/// stands.
 pub(crate) const TRANSPOSE_TILE: usize = 16;
 
 /// Tile-blocked transpose with a caller-chosen tile edge.
@@ -362,6 +390,30 @@ mod tests {
         // Degenerate shapes are no-ops.
         for_row_bands(&mut [] as &mut [usize], 4, 2, |_, _| panic!("no rows"));
         for_row_bands(&mut [1usize], 0, 2, |_, _| panic!("no cols"));
+    }
+
+    /// Tile-size sweep for [`transpose_blocked`], ignored by default:
+    /// `cargo test --release -p scec-linalg -- --ignored tile_sweep
+    /// --nocapture` prints ns/element per tile per shape. The winner is
+    /// recorded in the [`TRANSPOSE_TILE`] doc comment and DESIGN.md.
+    #[test]
+    #[ignore]
+    fn transpose_tile_sweep_report() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [512usize, 1024, 2048] {
+            let m = Matrix::<Fp61>::random(n, n, &mut rng);
+            for tile in [8usize, 16, 24, 32, 64, 128] {
+                let reps = (3usize).max(64 * 1024 * 1024 / (n * n));
+                // Warmup + timed reps.
+                let _ = transpose_blocked(&m, tile);
+                let start = std::time::Instant::now();
+                for _ in 0..reps {
+                    std::hint::black_box(transpose_blocked(std::hint::black_box(&m), tile));
+                }
+                let ns = start.elapsed().as_nanos() as f64 / (reps * n * n) as f64;
+                println!("transpose {n}x{n} tile {tile:>3}: {ns:.3} ns/elem");
+            }
+        }
     }
 
     #[test]

@@ -31,8 +31,13 @@
 //! assert_eq!(span::intersection_dim(&b_j, &lambda), 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module opts back in with a
+// scoped `#[allow(unsafe_code)]` for the AVX2 intrinsics (every unsafe
+// block there is behind runtime CPU-feature detection); everything else
+// in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod error;
 pub mod fp;
@@ -43,6 +48,7 @@ pub mod lu;
 pub mod matrix;
 pub mod ops;
 pub mod scalar;
+pub mod simd;
 pub mod span;
 pub mod sparse;
 pub mod vector;

@@ -167,28 +167,102 @@ impl<F: Scalar> Lu<F> {
         Ok(())
     }
 
-    /// Solves `A·X = B` column by column.
+    /// Solves `A·X = B` for a whole right-hand-side panel.
+    ///
+    /// Allocates the working buffers once and delegates to
+    /// [`Lu::solve_panel_into`]; results are bit-identical to solving
+    /// column by column with [`Lu::solve`].
     ///
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] when `b.nrows() != self.dim()`.
     pub fn solve_matrix(&self, b: &Matrix<F>) -> Result<Matrix<F>> {
         let n = self.dim();
-        if b.nrows() != n {
+        let k = b.ncols();
+        let mut scratch = vec![F::zero(); (n + 1) * k];
+        let mut out = Matrix::zeros(n, k);
+        self.solve_panel_into(b, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scratch length [`Lu::solve_panel_into`] requires for a panel of
+    /// `width` right-hand sides: `dim` intermediate rows plus one
+    /// accumulator row.
+    #[inline]
+    pub fn panel_scratch_len(&self, width: usize) -> usize {
+        (self.dim() + 1) * width
+    }
+
+    /// Allocation-free multi-RHS solve: writes the solution of `A·X = B`
+    /// into `out` for an `n×k` panel `B`, using `scratch` (length
+    /// [`panel_scratch_len`](Self::panel_scratch_len)) for the
+    /// forward-substitution intermediate plus one accumulator row.
+    ///
+    /// The substitution runs row-wise over the panel on the fused
+    /// [`Scalar::fused_muladd`] kernel, but accumulates per column in
+    /// exactly the order [`Lu::solve_into`] does (ascending `j`, one
+    /// subtraction, one multiply by the row's pivot inverse), so the
+    /// panel result is **bit-identical** to `k` independent per-column
+    /// solves — exactly over finite fields and bitwise over `f64`. One
+    /// pivot inversion per row is shared by all `k` columns, so over
+    /// `Fp61` the panel solve also amortizes the Fermat inversions.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShapeMismatch`] when `b` or `out` is not `dim×k` or
+    ///   `scratch` is not of length `(dim+1)·k`;
+    /// * [`Error::Singular`] when a diagonal entry is not invertible
+    ///   (impossible for a factorization produced by [`Lu::factor`]).
+    pub fn solve_panel_into(
+        &self,
+        b: &Matrix<F>,
+        scratch: &mut [F],
+        out: &mut Matrix<F>,
+    ) -> Result<()> {
+        let n = self.dim();
+        let k = b.ncols();
+        if b.nrows() != n || out.shape() != (n, k) || scratch.len() != (n + 1) * k {
             return Err(Error::ShapeMismatch {
-                op: "lu_solve_matrix",
-                lhs: (n, n),
-                rhs: b.shape(),
+                op: "lu_solve_panel_into",
+                lhs: (n, k),
+                rhs: (out.nrows().max(b.nrows()), scratch.len()),
             });
         }
-        let mut out = Matrix::zeros(n, b.ncols());
-        for c in 0..b.ncols() {
-            let col = self.solve(&b.col(c))?;
-            for (rix, &v) in col.as_slice().iter().enumerate() {
-                out.set(rix, c, v)?;
+        if k == 0 {
+            return Ok(());
+        }
+        let (s, acc) = scratch.split_at_mut(n * k);
+        // Forward substitution on P·B with unit-diagonal L:
+        // S[i,:] = B[perm[i],:] − Σ_{j<i} L[i,j]·S[j,:].
+        for i in 0..n {
+            let lrow = self.packed.row(i);
+            let (done, rest) = s.split_at_mut(i * k);
+            acc.fill(F::zero());
+            for (j, srow) in done.chunks_exact(k).enumerate() {
+                F::fused_muladd(acc, lrow[j], srow);
+            }
+            let brow = b.row(self.perm[i]);
+            for ((t, &bv), &a) in rest[..k].iter_mut().zip(brow).zip(acc.iter()) {
+                *t = bv.sub(a);
             }
         }
-        Ok(out)
+        // Backward substitution with U:
+        // X[i,:] = (S[i,:] − Σ_{j>i} U[i,j]·X[j,:]) · U[i,i]⁻¹.
+        let of = out.flat_mut();
+        for i in (0..n).rev() {
+            let urow = self.packed.row(i);
+            let diag_inv = urow[i].inv().ok_or(Error::Singular)?;
+            let (head, tail) = of.split_at_mut((i + 1) * k);
+            acc.fill(F::zero());
+            for (j, xrow) in tail.chunks_exact(k).enumerate() {
+                F::fused_muladd(acc, urow[i + 1 + j], xrow);
+            }
+            let srow = &s[i * k..(i + 1) * k];
+            for ((t, &sv), &a) in head[i * k..].iter_mut().zip(srow).zip(acc.iter()) {
+                *t = sv.sub(a).mul(diag_inv);
+            }
+        }
+        Ok(())
     }
 
     /// The determinant, from the product of `U`'s diagonal and the
@@ -250,6 +324,53 @@ mod tests {
         let lu = Lu::factor(&a).unwrap();
         let x = lu.solve_matrix(&b).unwrap();
         assert_eq!(a.matmul(&x).unwrap(), b);
+    }
+
+    #[test]
+    fn panel_solve_bit_identical_to_per_column() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in [1usize, 3, 8] {
+            let a = Matrix::<Fp61>::random(9, 9, &mut rng);
+            let b = Matrix::<Fp61>::random(9, k, &mut rng);
+            let lu = Lu::factor(&a).unwrap();
+            let panel = lu.solve_matrix(&b).unwrap();
+            for c in 0..k {
+                assert_eq!(panel.col(c), lu.solve(&b.col(c)).unwrap(), "k={k} c={c}");
+            }
+
+            // f64: bitwise, not approximate — the panel path performs the
+            // same float ops in the same order as the per-column path.
+            let af = Matrix::<f64>::random(9, 9, &mut rng);
+            let bf = Matrix::<f64>::random(9, k, &mut rng);
+            let luf = Lu::factor(&af).unwrap();
+            let panelf = luf.solve_matrix(&bf).unwrap();
+            for c in 0..k {
+                let col = luf.solve(&bf.col(c)).unwrap();
+                for i in 0..9 {
+                    assert!(
+                        panelf.at(i, c).to_bits() == col.at(i).to_bits(),
+                        "f64 k={k} c={c} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_solve_validates_shapes() {
+        let a = Matrix::<f64>::identity(3);
+        let lu = Lu::factor(&a).unwrap();
+        let b = Matrix::<f64>::zeros(3, 2);
+        assert_eq!(lu.panel_scratch_len(2), 8);
+        let mut out = Matrix::zeros(3, 2);
+        let mut short = vec![0.0; 7];
+        assert!(lu.solve_panel_into(&b, &mut short, &mut out).is_err());
+        let mut wrong_out = Matrix::zeros(2, 2);
+        let mut scratch = vec![0.0; 8];
+        assert!(lu
+            .solve_panel_into(&b, &mut scratch, &mut wrong_out)
+            .is_err());
+        assert!(lu.solve_panel_into(&b, &mut scratch, &mut out).is_ok());
     }
 
     #[test]

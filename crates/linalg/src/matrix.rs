@@ -303,8 +303,21 @@ impl<F: Scalar> Matrix<F> {
             kernels::for_row_bands(&mut out, cols.max(1), threads, |first_row, band| {
                 for (local, orow) in band.chunks_mut(cols.max(1)).enumerate() {
                     let arow = self.row(first_row + local);
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o = F::dot_slices(arow, rt.row(j));
+                    // Register blocking: four output columns share each
+                    // `arow` load (and, over Fp61 with SIMD, four
+                    // independent accumulator chains). The tail columns
+                    // fall back to single dots; results are identical.
+                    let mut j = 0;
+                    while j + 4 <= cols {
+                        let d = F::dot_slices_x4(
+                            arow,
+                            [rt.row(j), rt.row(j + 1), rt.row(j + 2), rt.row(j + 3)],
+                        );
+                        orow[j..j + 4].copy_from_slice(&d);
+                        j += 4;
+                    }
+                    for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+                        *o = F::dot_slices(arow, rt.row(jj));
                     }
                 }
             });

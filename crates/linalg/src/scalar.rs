@@ -103,6 +103,25 @@ pub trait Scalar: Copy + Clone + Debug + PartialEq + Send + Sync + 'static {
             .fold(Self::zero(), |acc, (&x, &y)| acc.add(x.mul(y)))
     }
 
+    /// Four inner products sharing the left operand:
+    /// `[a·b0, a·b1, a·b2, a·b3]`.
+    ///
+    /// This is the register-blocked shape of the transpose-then-dot
+    /// `matmul`: one row of the left factor against four consecutive
+    /// output columns. The default delegates to four [`dot_slices`]
+    /// calls; fields with a wide kernel override it to reuse the `a`
+    /// loads across columns and run four independent accumulation chains
+    /// (see the `simd` module). Overrides must return exactly what the
+    /// four per-column calls would.
+    fn dot_slices_x4(a: &[Self], b: [&[Self]; 4]) -> [Self; 4] {
+        [
+            Self::dot_slices(a, b[0]),
+            Self::dot_slices(a, b[1]),
+            Self::dot_slices(a, b[2]),
+            Self::dot_slices(a, b[3]),
+        ]
+    }
+
     /// Fused multiply-add over slices: `acc[i] += factor · rhs[i]`.
     ///
     /// This is the inner update of the i-k-j `matmul` loop and of

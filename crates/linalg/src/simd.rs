@@ -1,0 +1,447 @@
+//! Explicit-SIMD-width kernels for GF(2⁶¹ − 1): an AVX2 microkernel for
+//! the lazy dot product, behind runtime CPU-feature detection.
+//!
+//! # Dispatch policy
+//!
+//! [`Fp61`]'s [`Scalar::dot_slices`](crate::Scalar::dot_slices) override
+//! routes through [`active`] + [`dot_fp61`]: slices of at least
+//! [`MIN_DOT_LEN`] elements take the vector path when the CPU reports
+//! AVX2 (checked once, cached), and everything else falls back to the
+//! portable scalar lazy kernel. Because GF(2⁶¹ − 1) arithmetic is exact,
+//! the two paths return *bit-identical* canonical representatives — the
+//! dispatch is a pure speed decision, never a semantics decision, and
+//! `--no-default-features` / non-x86 builds simply never take it.
+//! [`force_scalar`] pins the dispatch to the scalar kernel so benches and
+//! agreement tests can measure/compare both paths on the same machine.
+//!
+//! # The semi-reduced product
+//!
+//! AVX2 has no 64×64→128 lane multiply, so the microkernel splits each
+//! canonical representative `a < 2^61` as `a = aH·2^32 + aL` and builds
+//! the product from four 32×32→64 [`_mm256_mul_epu32`] partials:
+//!
+//! ```text
+//! a·b = LL + 2^32·(LH + HL) + 2^64·HH
+//! ```
+//!
+//! Each term is folded into a *semi-reduced* 64-bit lane value using the
+//! Mersenne identity `2^61 ≡ 1 (mod p)`:
+//!
+//! * `2^64·HH ≡ 8·HH < 2^61`  (HH < 2^58);
+//! * `2^32·M ≡ M_hi + M_lo·2^32` for `M = LH + HL < 2^62` split at bit 29
+//!   (`M_hi = M >> 29 < 2^33`, `M_lo·2^32 < 2^61`);
+//! * `LL ≡ (LL & p) + (LL >> 61) < 2^61 + 8`.
+//!
+//! The sum `t` of the three folded terms stays below `3·2^61 + 2^34`, so
+//! one more fold gives a semi-reduced product `< 2^61 + 3` per lane. A
+//! 4×u64 accumulator absorbs six semi-reduced products plus its own
+//! folded carry (`7·(2^61 + 8) < 2^64`) before it must fold again, which
+//! sets the 24-element block length [`MIN_DOT_LEN`]. The horizontal
+//! finish sums the four lanes (and the scalar tail) in `u128` and
+//! canonicalizes with the same wide reduction the scalar kernel uses.
+//!
+//! An equivalent `std::simd` portable-vector kernel is available behind
+//! the non-default `portable-simd` cargo feature (nightly-only; the CI
+//! matrix never enables it).
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::fp::Fp61;
+
+/// Minimum slice length for which the vector path is attempted: one full
+/// accumulator block. Shorter dots (e.g. triangular-solve prefixes) stay
+/// on the scalar kernel, whose startup cost is lower.
+pub const MIN_DOT_LEN: usize = 24;
+
+/// Bench/test override: when `true`, [`active`] reports `false` and every
+/// dot runs the portable scalar kernel regardless of CPU features.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Pins (`true`) or unpins (`false`) the dot dispatch to the scalar lazy
+/// kernel. Used by `scec bench` to measure the scalar and SIMD paths
+/// separately on the same machine, and by agreement tests.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Whether the running CPU supports the AVX2 microkernel. Detected once
+/// and cached; always `false` on non-x86_64 targets.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static DETECTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether [`dot_fp61`] would currently take a vector path: a SIMD
+/// kernel is compiled in and available on this CPU, and no
+/// [`force_scalar`] override is in effect.
+pub fn active() -> bool {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        return false;
+    }
+    #[cfg(feature = "portable-simd")]
+    {
+        return true;
+    }
+    #[cfg(not(feature = "portable-simd"))]
+    avx2_available()
+}
+
+/// Vector dot product over GF(2⁶¹ − 1), or `None` when no SIMD path is
+/// available (wrong architecture, AVX2 absent, or [`force_scalar`] set).
+/// When `Some`, the result is the canonical representative and is
+/// bit-identical to [`Fp61::dot_slices_scalar`].
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn dot_fp61(a: &[Fp61], b: &[Fp61]) -> Option<Fp61> {
+    assert_eq!(a.len(), b.len(), "simd dot length mismatch");
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        return None;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // Safety: AVX2 support was just verified at runtime.
+        return Some(unsafe { avx2::dot(a, b) });
+    }
+    #[cfg(feature = "portable-simd")]
+    {
+        return Some(portable::dot(a, b));
+    }
+    #[allow(unreachable_code)]
+    None
+}
+
+/// Four vector dot products over GF(2⁶¹ − 1) sharing the left operand,
+/// or `None` when no SIMD path is available. The 4-column microkernel
+/// loads each `a` vector once and feeds four independent accumulator
+/// chains — the single-dot kernel is latency-bound on its one
+/// accumulator, so this is where the matmul speedup actually comes from.
+/// When `Some`, each entry is bit-identical to the corresponding
+/// [`dot_fp61`] / scalar result.
+///
+/// # Panics
+///
+/// Panics when any slice length differs from `a`'s.
+pub fn dot4_fp61(a: &[Fp61], b: [&[Fp61]; 4]) -> Option<[Fp61; 4]> {
+    for col in &b {
+        assert_eq!(a.len(), col.len(), "simd dot4 length mismatch");
+    }
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        return None;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // Safety: AVX2 support was just verified at runtime.
+        return Some(unsafe { avx2::dot4(a, b) });
+    }
+    #[cfg(feature = "portable-simd")]
+    {
+        return Some([
+            portable::dot(a, b[0]),
+            portable::dot(a, b[1]),
+            portable::dot(a, b[2]),
+            portable::dot(a, b[3]),
+        ]);
+    }
+    #[allow(unreachable_code)]
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_loadu_si256, _mm256_mul_epu32,
+        _mm256_set1_epi64x, _mm256_setzero_si256, _mm256_slli_epi64, _mm256_srli_epi64,
+        _mm256_storeu_si256,
+    };
+
+    use crate::fp::{Fp61, MODULUS};
+
+    /// Elements per accumulator block: 6 vectors × 4 lanes. Derived in
+    /// the module docs from the `7·(2^61 + 8) < 2^64` lane headroom.
+    const BLOCK: usize = 24;
+
+    /// Semi-reduced lane-wise product of canonical representatives: each
+    /// output lane is `< 2^61 + 3` and congruent to `a·b (mod p)`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn mul_semi(av: __m256i, bv: __m256i, p: __m256i, mask29: __m256i) -> __m256i {
+        let ah = _mm256_srli_epi64::<32>(av);
+        let bh = _mm256_srli_epi64::<32>(bv);
+        // mul_epu32 multiplies the low 32 bits of each 64-bit lane.
+        let ll = _mm256_mul_epu32(av, bv);
+        let lh = _mm256_mul_epu32(av, bh);
+        let hl = _mm256_mul_epu32(ah, bv);
+        let hh = _mm256_mul_epu32(ah, bh);
+        // 2^32·(LH + HL) ≡ M_hi + M_lo·2^32 with M split at bit 29.
+        let m = _mm256_add_epi64(lh, hl);
+        let mterm = _mm256_add_epi64(
+            _mm256_slli_epi64::<32>(_mm256_and_si256(m, mask29)),
+            _mm256_srli_epi64::<29>(m),
+        );
+        // 2^64·HH ≡ 8·HH.
+        let hterm = _mm256_slli_epi64::<3>(hh);
+        // LL ≡ (LL & p) + (LL >> 61).
+        let lterm = _mm256_add_epi64(_mm256_and_si256(ll, p), _mm256_srli_epi64::<61>(ll));
+        let t = _mm256_add_epi64(_mm256_add_epi64(lterm, mterm), hterm);
+        _mm256_add_epi64(_mm256_and_si256(t, p), _mm256_srli_epi64::<61>(t))
+    }
+
+    /// AVX2 lazy dot product; returns the canonical representative.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support (`avx2_available()`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot(a: &[Fp61], b: &[Fp61]) -> Fp61 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        // Safety: Fp61 is #[repr(transparent)] over u64.
+        let ap = a.as_ptr() as *const u64;
+        let bp = b.as_ptr() as *const u64;
+        let p = _mm256_set1_epi64x(MODULUS as i64);
+        let mask29 = _mm256_set1_epi64x(((1u64 << 29) - 1) as i64);
+        let mut acc = _mm256_setzero_si256();
+        let blocks = n / BLOCK;
+        for blk in 0..blocks {
+            let base = blk * BLOCK;
+            // Six semi-reduced products per lane, then one fold: the
+            // folded carry plus six semis stays below 2^64 (module docs).
+            for v in 0..6 {
+                let off = base + v * 4;
+                let av = _mm256_loadu_si256(ap.add(off) as *const __m256i);
+                let bv = _mm256_loadu_si256(bp.add(off) as *const __m256i);
+                acc = _mm256_add_epi64(acc, mul_semi(av, bv, p, mask29));
+            }
+            acc = _mm256_add_epi64(_mm256_and_si256(acc, p), _mm256_srli_epi64::<61>(acc));
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        let mut total: u128 = lanes.iter().map(|&x| x as u128).sum();
+        // Scalar tail: at most BLOCK−1 unreduced products, well inside
+        // u128 headroom on top of the four folded lanes.
+        for i in blocks * BLOCK..n {
+            total += (*ap.add(i) as u128) * (*bp.add(i) as u128);
+        }
+        Fp61::from_canonical(Fp61::reduce_wide(total))
+    }
+
+    /// AVX2 4-column lazy dot: `[a·b0, a·b1, a·b2, a·b3]` with one `a`
+    /// load shared across four independent accumulators. Each column
+    /// runs exactly the semi-reduce/fold/finish sequence of [`dot`], so
+    /// the results are bit-identical to four single dots.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support (`avx2_available()`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot4(a: &[Fp61], b: [&[Fp61]; 4]) -> [Fp61; 4] {
+        let n = a.len();
+        // Safety: Fp61 is #[repr(transparent)] over u64.
+        let ap = a.as_ptr() as *const u64;
+        let bps = [
+            b[0].as_ptr() as *const u64,
+            b[1].as_ptr() as *const u64,
+            b[2].as_ptr() as *const u64,
+            b[3].as_ptr() as *const u64,
+        ];
+        let p = _mm256_set1_epi64x(MODULUS as i64);
+        let mask29 = _mm256_set1_epi64x(((1u64 << 29) - 1) as i64);
+        let mut acc = [_mm256_setzero_si256(); 4];
+        let blocks = n / BLOCK;
+        for blk in 0..blocks {
+            let base = blk * BLOCK;
+            for v in 0..6 {
+                let off = base + v * 4;
+                let av = _mm256_loadu_si256(ap.add(off) as *const __m256i);
+                for (c, bp) in bps.iter().enumerate() {
+                    let bv = _mm256_loadu_si256(bp.add(off) as *const __m256i);
+                    acc[c] = _mm256_add_epi64(acc[c], mul_semi(av, bv, p, mask29));
+                }
+            }
+            for a in &mut acc {
+                *a = _mm256_add_epi64(_mm256_and_si256(*a, p), _mm256_srli_epi64::<61>(*a));
+            }
+        }
+        let mut out = [Fp61::new(0); 4];
+        for (c, bp) in bps.iter().enumerate() {
+            let mut lanes = [0u64; 4];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc[c]);
+            let mut total: u128 = lanes.iter().map(|&x| x as u128).sum();
+            for i in blocks * BLOCK..n {
+                total += (*ap.add(i) as u128) * (*bp.add(i) as u128);
+            }
+            out[c] = Fp61::from_canonical(Fp61::reduce_wide(total));
+        }
+        out
+    }
+}
+
+/// `std::simd` portable-vector kernel (nightly-only, behind the
+/// non-default `portable-simd` feature). Same semi-reduced block scheme
+/// as the AVX2 kernel, written against `u64x4`; the 32×32→64 partial
+/// products use plain lane multiplies of masked halves, which cannot
+/// overflow.
+#[cfg(feature = "portable-simd")]
+mod portable {
+    use std::simd::u64x4;
+
+    use crate::fp::{Fp61, MODULUS};
+
+    const BLOCK: usize = 24;
+
+    #[inline]
+    fn mul_semi(av: u64x4, bv: u64x4, p: u64x4, mask29: u64x4, mask32: u64x4) -> u64x4 {
+        let al = av & mask32;
+        let ah = av >> 32;
+        let bl = bv & mask32;
+        let bh = bv >> 32;
+        let ll = al * bl;
+        let m = al * bh + ah * bl;
+        let mterm = ((m & mask29) << 32) + (m >> 29);
+        let hterm = (ah * bh) << 3;
+        let lterm = (ll & p) + (ll >> 61);
+        let t = lterm + mterm + hterm;
+        (t & p) + (t >> 61)
+    }
+
+    pub(super) fn dot(a: &[Fp61], b: &[Fp61]) -> Fp61 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let p = u64x4::splat(MODULUS);
+        let mask29 = u64x4::splat((1u64 << 29) - 1);
+        let mask32 = u64x4::splat(u32::MAX as u64);
+        let mut acc = u64x4::splat(0);
+        let blocks = n / BLOCK;
+        let mut lane = [0u64; 4];
+        for blk in 0..blocks {
+            let base = blk * BLOCK;
+            for v in 0..6 {
+                let off = base + v * 4;
+                for (l, slot) in lane.iter_mut().enumerate() {
+                    *slot = a[off + l].residue();
+                }
+                let av = u64x4::from_array(lane);
+                for (l, slot) in lane.iter_mut().enumerate() {
+                    *slot = b[off + l].residue();
+                }
+                let bv = u64x4::from_array(lane);
+                acc += mul_semi(av, bv, p, mask29, mask32);
+            }
+            acc = (acc & p) + (acc >> 61);
+        }
+        let mut total: u128 = acc.to_array().iter().map(|&x| x as u128).sum();
+        for i in blocks * BLOCK..n {
+            total += a[i].residue() as u128 * b[i].residue() as u128;
+        }
+        Fp61::from_canonical(Fp61::reduce_wide(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn simd_dot_matches_scalar_when_available() {
+        let Some(()) = avx2_available().then_some(()) else {
+            eprintln!("AVX2 unavailable; skipping simd agreement test");
+            return;
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [0usize, 1, 4, 23, 24, 25, 47, 48, 100, 1000] {
+            let a: Vec<Fp61> = (0..n).map(|_| Fp61::sample(&mut rng)).collect();
+            let b: Vec<Fp61> = (0..n).map(|_| Fp61::sample(&mut rng)).collect();
+            let simd = dot_fp61(&a, &b).expect("avx2 path");
+            assert_eq!(simd, Fp61::dot_slices_scalar(&a, &b), "length {n}");
+        }
+    }
+
+    #[test]
+    fn simd_dot_survives_all_maximum_inputs() {
+        // Overflow boundary: every product is (p−1)², the largest the
+        // semi-reduction and lane accumulator ever absorb.
+        if !avx2_available() {
+            return;
+        }
+        let max = Fp61::new(crate::fp::MODULUS - 1);
+        for n in [24usize, 25, 24 * 7, 24 * 7 + 23] {
+            let a = vec![max; n];
+            let simd = dot_fp61(&a, &a).expect("avx2 path");
+            assert_eq!(simd, Fp61::dot_slices_scalar(&a, &a), "length {n}");
+        }
+    }
+
+    #[test]
+    fn simd_dot_random_lengths_fuzz() {
+        if !avx2_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(78);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..400);
+            let a: Vec<Fp61> = (0..n).map(|_| Fp61::sample(&mut rng)).collect();
+            let b: Vec<Fp61> = (0..n).map(|_| Fp61::sample(&mut rng)).collect();
+            assert_eq!(
+                dot_fp61(&a, &b).expect("avx2 path"),
+                Fp61::dot_slices_scalar(&a, &b),
+            );
+        }
+    }
+
+    #[test]
+    fn simd_dot4_matches_four_single_dots() {
+        if !avx2_available() {
+            eprintln!("AVX2 unavailable; skipping simd dot4 agreement test");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(79);
+        for n in [0usize, 1, 23, 24, 25, 96, 100, 333] {
+            let a: Vec<Fp61> = (0..n).map(|_| Fp61::sample(&mut rng)).collect();
+            let cols: Vec<Vec<Fp61>> = (0..4)
+                .map(|_| (0..n).map(|_| Fp61::sample(&mut rng)).collect())
+                .collect();
+            let got = dot4_fp61(&a, [&cols[0], &cols[1], &cols[2], &cols[3]]).expect("avx2 path");
+            for c in 0..4 {
+                assert_eq!(
+                    got[c],
+                    Fp61::dot_slices_scalar(&a, &cols[c]),
+                    "n={n} col={c}"
+                );
+            }
+        }
+        // Overflow boundary, as in the single-dot test.
+        let max = vec![Fp61::new(crate::fp::MODULUS - 1); 24 * 7 + 23];
+        let got = dot4_fp61(&max, [&max, &max, &max, &max]).expect("avx2 path");
+        for v in got {
+            assert_eq!(v, Fp61::dot_slices_scalar(&max, &max));
+        }
+    }
+
+    #[test]
+    fn force_scalar_pins_dispatch() {
+        force_scalar(true);
+        assert!(!active());
+        assert_eq!(dot_fp61(&[Fp61::new(3)], &[Fp61::new(5)]), None);
+        force_scalar(false);
+        // Dispatched dot (whatever the platform) equals the scalar kernel.
+        let a: Vec<Fp61> = (0..100).map(|i| Fp61::new(i * 17 + 1)).collect();
+        let b: Vec<Fp61> = (0..100).map(|i| Fp61::new(i * 31 + 2)).collect();
+        assert_eq!(Fp61::dot_slices(&a, &b), Fp61::dot_slices_scalar(&a, &b));
+    }
+}

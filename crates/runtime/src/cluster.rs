@@ -19,7 +19,7 @@ use crate::error::{Error, Result};
 use crate::latency::LatencyLog;
 use crate::mailbox::{lock, Mailbox};
 use crate::message::{FromDevice, ToDevice};
-use crate::pipeline::Ticket;
+use crate::pipeline::{PanelTicket, Ticket};
 
 /// How a spawned device actor (mis)behaves — fault injection for tests,
 /// demos, and integrity-check validation.
@@ -144,7 +144,27 @@ pub(crate) fn device_main<F: Scalar>(
                     clock.sleep(d);
                 }
                 let compute_started = crate::telemetry::actor_now(&tel, &clock);
-                let response = if let Some(s) = &share {
+                let response = if let Some(s) = &tagged {
+                    match s.compute_panel(&xs) {
+                        Ok(mut values) => {
+                            if behavior == DeviceBehavior::Byzantine && !values.is_empty() {
+                                let v = values.at(0, 0).add(F::one());
+                                values.set(0, 0, v).expect("in range");
+                            }
+                            FromDevice::TaggedBatch {
+                                request,
+                                device,
+                                rows: s.rows().to_vec(),
+                                values,
+                            }
+                        }
+                        Err(e) => FromDevice::Failure {
+                            request,
+                            device,
+                            reason: e.to_string(),
+                        },
+                    }
+                } else if let Some(s) = &share {
                     match s.coded().matmul(&xs) {
                         Ok(mut values) => {
                             if behavior == DeviceBehavior::Byzantine && !values.is_empty() {
@@ -167,7 +187,7 @@ pub(crate) fn device_main<F: Scalar>(
                     FromDevice::Failure {
                         request,
                         device,
-                        reason: "no share installed (or tagged share on batch protocol)".into(),
+                        reason: "no share installed".into(),
                     }
                 };
                 crate::telemetry::actor_span(&tel, &clock, compute_started, request, device);
@@ -469,6 +489,21 @@ impl<F: Scalar> LocalCluster<F> {
                     field_adds: rows * l.saturating_sub(1),
                 },
             );
+            // Message framing is paid once per *window* (one broadcast
+            // and one reply per device per round), so panels amortize it
+            // across their columns while plain queries — width-1 windows
+            // — pay it per query.
+            tel.costs.set_predicted_window(
+                device,
+                scec_telemetry::CostVector {
+                    stored_rows: 0,
+                    rows_served: 0,
+                    bytes_sent: scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    bytes_received: scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    field_mults: 0,
+                    field_adds: 0,
+                },
+            );
         }
         self.tel.attach(tel, "local");
         self
@@ -549,7 +584,8 @@ impl<F: Scalar> LocalCluster<F> {
                 })?;
         }
         self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
+                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
             s.tel
                 .costs
                 .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
@@ -623,7 +659,7 @@ impl<F: Scalar> LocalCluster<F> {
                 let rows = values.len() as u64;
                 s.tel.costs.record_served(
                     device,
-                    rows * esize,
+                    rows * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
                     rows,
                     rows * l,
                     rows * l.saturating_sub(1),
@@ -670,11 +706,31 @@ impl<F: Scalar> LocalCluster<F> {
     /// computes `B_j T · X` for the whole column batch in one message
     /// round, and the user decodes with `m · n` subtractions.
     ///
+    /// Equivalent to [`begin_panel`](Self::begin_panel) followed by
+    /// [`finish_panel`](Self::finish_panel).
+    ///
     /// # Errors
     ///
     /// Same failure modes as [`LocalCluster::query`].
     pub fn query_batch(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        let ticket = self.begin_panel(xs)?;
+        self.finish_panel(ticket)
+    }
+
+    /// Broadcasts a whole `l × k` query panel to every device and
+    /// returns immediately with a [`PanelTicket`] — the panel analogue
+    /// of [`begin_query`](Self::begin_query). One `Arc`-shared copy of
+    /// the panel crosses the fan-out, so the broadcast cost is one
+    /// message (plus the panel payload) per device per *window*, not per
+    /// query.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`] when a device thread died.
+    pub fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &self.clock);
+        let width = xs.ncols();
         let shared = Arc::new(xs.clone());
         for dev in &self.devices {
             dev.tx
@@ -686,6 +742,53 @@ impl<F: Scalar> LocalCluster<F> {
                     device: Some(dev.device),
                 })?;
         }
+        self.tel.with(|s| {
+            let bytes = (shared.nrows() * shared.ncols() * std::mem::size_of::<F>()) as u64
+                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
+            s.tel
+                .costs
+                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(PanelTicket::new(ticket, width))
+    }
+
+    /// Awaits all batch partials for an in-flight panel, stacks them,
+    /// and decodes every column with one multi-RHS pass — the second
+    /// half of [`query_batch`](Self::query_batch).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query). On error, any
+    /// responses already parked for the request are discarded.
+    pub fn finish_panel(&self, ticket: PanelTicket) -> Result<Matrix<F>> {
+        let result = self.finish_panel_inner(ticket.request(), ticket.width());
+        match &result {
+            Ok(_) => {
+                self.tel
+                    .with(|s| s.panel_ok(ticket.elapsed_secs(), ticket.width()));
+            }
+            Err(_) => {
+                self.mailbox.clear(ticket.request());
+                self.tel.with(|s| s.query_err());
+            }
+        }
+        result
+    }
+
+    /// Drops an in-flight panel without waiting for its result,
+    /// discarding any responses already parked for it.
+    pub fn abandon_panel(&self, ticket: PanelTicket) {
+        self.mailbox.clear(ticket.request());
+    }
+
+    fn finish_panel_inner(&self, request: u64, width: usize) -> Result<Matrix<F>> {
+        let collect_started = self.tel.now(&self.clock);
         let mut partials: HashMap<usize, Matrix<F>> = HashMap::new();
         self.mailbox.collect(
             &*self.clock,
@@ -697,6 +800,28 @@ impl<F: Scalar> LocalCluster<F> {
                 Ok(partials.len())
             },
         )?;
+        let decode_started = self.tel.now(&self.clock);
+        self.tel.with(|s| {
+            s.span(
+                collect_started,
+                decode_started,
+                scec_telemetry::Stage::Collect,
+                request,
+            );
+            let esize = std::mem::size_of::<F>() as u64;
+            let l = self.input_len as u64;
+            let k = width as u64;
+            for (&device, values) in &partials {
+                let rows = values.nrows() as u64;
+                s.tel.costs.record_served(
+                    device,
+                    rows * k * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    rows * k,
+                    rows * k * l,
+                    rows * k * l.saturating_sub(1),
+                );
+            }
+        });
         let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(self.devices.len());
         for j in 1..=self.devices.len() {
             ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
@@ -705,7 +830,16 @@ impl<F: Scalar> LocalCluster<F> {
             })?);
         }
         let btx = decode::stack_partial_matrices(&ordered)?;
-        Ok(decode::decode_fast_batch(&self.design, &btx)?)
+        let ys = decode::decode_fast_batch(&self.design, &btx)?;
+        self.tel.with(|s| {
+            s.span(
+                decode_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Decode,
+                request,
+            );
+        });
+        Ok(ys)
     }
 
     fn absorb_batch(resp: FromDevice<F>, partials: &mut HashMap<usize, Matrix<F>>) -> Result<()> {
@@ -866,6 +1000,34 @@ mod tests {
         let x = Vector::<Fp61>::random(3, &mut rng);
         assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
         cluster.shutdown();
+    }
+
+    #[test]
+    fn panel_query_is_bit_identical_to_per_query_path() {
+        let (a, sys, mut rng) = build(6, 3, 9);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        for k in [1usize, 4, 8] {
+            let xs = Matrix::<Fp61>::random(3, k, &mut rng);
+            let ticket = cluster.begin_panel(&xs).unwrap();
+            assert_eq!(ticket.width(), k);
+            let panel = cluster.finish_panel(ticket).unwrap();
+            assert_eq!(panel, a.matmul(&xs).unwrap());
+            for j in 0..k {
+                assert_eq!(panel.col(j), cluster.query(&xs.col(j)).unwrap());
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn abandoned_panel_leaves_cluster_usable() {
+        let (a, sys, mut rng) = build(5, 3, 10);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let xs = Matrix::<Fp61>::random(3, 4, &mut rng);
+        let ticket = cluster.begin_panel(&xs).unwrap();
+        cluster.abandon_panel(ticket);
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
     }
 
     #[test]

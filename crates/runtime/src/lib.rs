@@ -94,7 +94,7 @@ pub use clock::{Clock, RealClock, SimClock};
 pub use cluster::{DeviceBehavior, LocalCluster, QueryStats};
 pub use error::{Error, Result};
 pub use latency::LatencyLog;
-pub use pipeline::{PipelinedQuery, QueryPipeline, Ticket};
+pub use pipeline::{PanelPipeline, PanelQuery, PanelTicket, PipelinedQuery, QueryPipeline, Ticket};
 pub use straggler_cluster::{QuorumResult, StragglerCluster};
 pub use supervisor::{
     DeviceHealth, DeviceState, SupervisedCluster, SupervisedResult, SupervisedTicket,
@@ -106,4 +106,5 @@ pub use tprivate_cluster::TPrivateCluster;
 // direct scec-telemetry dependency.
 pub use scec_telemetry::{
     CostReport, CostVector, MetricsSnapshot, Stage, Telemetry, TraceEvent, Verbosity,
+    MESSAGE_OVERHEAD_BYTES,
 };

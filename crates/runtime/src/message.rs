@@ -65,6 +65,20 @@ pub enum FromDevice<F> {
         /// The partial matrix.
         values: Matrix<F>,
     },
+    /// A computed panel partial for a tagged (straggler) share
+    /// (`B_j T · X` with the device's global row indices alongside, so
+    /// the collector can assemble the decode system without trusting
+    /// response order).
+    TaggedBatch {
+        /// Correlation id of the query.
+        request: u64,
+        /// The responding device (1-based).
+        device: usize,
+        /// Global row indices, one per row of `values`.
+        rows: Vec<usize>,
+        /// The partial panel, row `i` belonging to global row `rows[i]`.
+        values: Matrix<F>,
+    },
     /// A computed partial for a tagged (straggler) share.
     TaggedPartial {
         /// Correlation id of the query.
@@ -130,6 +144,18 @@ impl<F: scec_linalg::Scalar> std::fmt::Debug for FromDevice<F> {
                 .field("device", device)
                 .field("values", values)
                 .finish(),
+            FromDevice::TaggedBatch {
+                request,
+                device,
+                rows,
+                values,
+            } => f
+                .debug_struct("TaggedBatch")
+                .field("request", request)
+                .field("device", device)
+                .field("rows", rows)
+                .field("values", values)
+                .finish(),
             FromDevice::TaggedPartial {
                 request,
                 device,
@@ -160,6 +186,7 @@ impl<F> FromDevice<F> {
         match self {
             FromDevice::Partial { request, .. }
             | FromDevice::BatchPartial { request, .. }
+            | FromDevice::TaggedBatch { request, .. }
             | FromDevice::TaggedPartial { request, .. }
             | FromDevice::Failure { request, .. } => *request,
         }
@@ -170,6 +197,7 @@ impl<F> FromDevice<F> {
         match self {
             FromDevice::Partial { device, .. }
             | FromDevice::BatchPartial { device, .. }
+            | FromDevice::TaggedBatch { device, .. }
             | FromDevice::TaggedPartial { device, .. }
             | FromDevice::Failure { device, .. } => *device,
         }
@@ -204,5 +232,13 @@ mod tests {
         };
         assert_eq!(t.request(), 4);
         assert_eq!(t.device(), 3);
+        let b: FromDevice<Fp61> = FromDevice::TaggedBatch {
+            request: 11,
+            device: 4,
+            rows: vec![0, 5],
+            values: Matrix::zeros(2, 3),
+        };
+        assert_eq!(b.request(), 11);
+        assert_eq!(b.device(), 4);
     }
 }

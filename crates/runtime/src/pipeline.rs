@@ -42,7 +42,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use scec_linalg::{Scalar, Vector};
+use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::clock::Clock;
 use crate::cluster::LocalCluster;
@@ -84,6 +84,36 @@ impl Ticket {
     /// Seconds elapsed on the cluster clock since the broadcast.
     pub fn elapsed_secs(&self) -> f64 {
         self.clock.now().saturating_sub(self.started).as_secs_f64()
+    }
+}
+
+/// Claim on an in-flight query *panel*: the underlying request
+/// [`Ticket`] plus the panel width (number of query columns), which
+/// telemetry accounting needs at finish time.
+#[derive(Debug)]
+pub struct PanelTicket {
+    ticket: Ticket,
+    width: usize,
+}
+
+impl PanelTicket {
+    pub(crate) fn new(ticket: Ticket, width: usize) -> Self {
+        PanelTicket { ticket, width }
+    }
+
+    /// The correlation id of the in-flight panel request.
+    pub fn request(&self) -> u64 {
+        self.ticket.request()
+    }
+
+    /// Number of query columns in the panel.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Seconds elapsed on the cluster clock since the broadcast.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.ticket.elapsed_secs()
     }
 }
 
@@ -208,6 +238,130 @@ impl<F: Scalar> PipelinedQuery for SupervisedCluster<F> {
     fn abandon(&self, ticket: SupervisedTicket<F>) {
         self.abandon_query(ticket);
     }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
+    }
+}
+
+/// A cluster that can serve a whole `l × k` panel of query columns in
+/// one broadcast/collect round, split into a non-blocking `begin` and a
+/// blocking `finish` so several panels can be in flight at once.
+///
+/// Implementations must tolerate panels being finished in any order and
+/// `abandon_panel` must release whatever the cluster parked for a panel
+/// that will never be finished.
+pub trait PanelQuery {
+    /// Scalar element type of queries and results.
+    type Elem: Scalar;
+    /// Claim on one in-flight panel.
+    type PanelTicket;
+
+    /// Broadcasts the `l × k` panel `xs` and returns without waiting
+    /// for responses.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surfaced at send time.
+    fn begin_panel(&self, xs: &Matrix<Self::Elem>) -> Result<Self::PanelTicket>;
+
+    /// Blocks until the panel completes and decodes every column,
+    /// returning the `m × k` result matrix.
+    ///
+    /// # Errors
+    ///
+    /// The same failure modes as the cluster's plain query.
+    fn finish_panel(&self, ticket: Self::PanelTicket) -> Result<Matrix<Self::Elem>>;
+
+    /// Releases an in-flight panel that will never be finished.
+    fn abandon_panel(&self, ticket: Self::PanelTicket);
+
+    /// The current time on the cluster's [`Clock`].
+    fn clock_now(&self) -> Duration;
+}
+
+impl<F: Scalar> PanelQuery for LocalCluster<F> {
+    type Elem = F;
+    type PanelTicket = PanelTicket;
+
+    fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
+        self.begin_panel(xs)
+    }
+
+    fn finish_panel(&self, ticket: PanelTicket) -> Result<Matrix<F>> {
+        self.finish_panel(ticket)
+    }
+
+    fn abandon_panel(&self, ticket: PanelTicket) {
+        self.abandon_panel(ticket);
+    }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
+    }
+}
+
+impl<F: Scalar> PanelQuery for StragglerCluster<F> {
+    type Elem = F;
+    type PanelTicket = PanelTicket;
+
+    fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
+        self.begin_panel(xs)
+    }
+
+    fn finish_panel(&self, ticket: PanelTicket) -> Result<Matrix<F>> {
+        self.finish_panel(ticket)
+    }
+
+    fn abandon_panel(&self, ticket: PanelTicket) {
+        self.abandon_panel(ticket);
+    }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
+    }
+}
+
+impl<F: Scalar> PanelQuery for TPrivateCluster<F> {
+    type Elem = F;
+    type PanelTicket = PanelTicket;
+
+    fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
+        self.begin_panel(xs)
+    }
+
+    fn finish_panel(&self, ticket: PanelTicket) -> Result<Matrix<F>> {
+        self.finish_panel(ticket)
+    }
+
+    fn abandon_panel(&self, ticket: PanelTicket) {
+        self.abandon_panel(ticket);
+    }
+
+    fn clock_now(&self) -> Duration {
+        self.clock_handle().now()
+    }
+}
+
+/// The supervised cluster serves panels column by column (see
+/// [`SupervisedCluster::query_panel`]); `begin_panel` just captures the
+/// panel, and all the work happens at `finish_panel` time. Panels gain
+/// no overlap here — the supervisor serializes queries — but
+/// panel-oriented drivers still run unmodified against a supervised
+/// fleet.
+impl<F: Scalar> PanelQuery for SupervisedCluster<F> {
+    type Elem = F;
+    type PanelTicket = Matrix<F>;
+
+    fn begin_panel(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        Ok(xs.clone())
+    }
+
+    fn finish_panel(&self, ticket: Matrix<F>) -> Result<Matrix<F>> {
+        self.query_panel(&ticket)
+    }
+
+    fn abandon_panel(&self, _ticket: Matrix<F>) {}
 
     fn clock_now(&self) -> Duration {
         self.clock_handle().now()
@@ -364,6 +518,286 @@ impl<C: PipelinedQuery> Drop for QueryPipeline<'_, C> {
     }
 }
 
+/// A panel-batching pipeline: buffers submitted query vectors into
+/// `panel_width`-column panels, keeps up to `window` panels in flight,
+/// and hands decoded columns back in **submission order** (FIFO).
+///
+/// Where [`QueryPipeline`] overlaps the *round-trips* of independent
+/// per-query requests, `PanelPipeline` also collapses their *messages*:
+/// `panel_width` queries share one broadcast, one `B_j T · X` matmul
+/// per device, and one multi-RHS decode. The tail of a query stream
+/// that does not fill a whole panel is flushed as a narrower (ragged)
+/// panel by [`collect`](Self::collect) — or eagerly via
+/// [`flush`](Self::flush) when latency matters more than batching.
+///
+/// Dropping the pipeline abandons any in-flight panels and discards
+/// buffered queries.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use scec_core::{AllocationStrategy, ScecSystem};
+/// use scec_allocation::EdgeFleet;
+/// use scec_linalg::{Fp61, Matrix, Vector};
+/// use scec_runtime::{LocalCluster, PanelPipeline};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let a = Matrix::<Fp61>::random(6, 3, &mut rng);
+/// let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0, 2.5])?;
+/// let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
+/// let cluster = LocalCluster::launch(&sys, &mut rng)?;
+///
+/// let queries: Vec<Vector<Fp61>> = (0..10).map(|_| Vector::random(3, &mut rng)).collect();
+/// // Panels of up to 4 columns, at most 2 panels in flight.
+/// let results = PanelPipeline::run(&cluster, 4, 2, &queries)?;
+/// for (x, y) in queries.iter().zip(&results) {
+///     assert_eq!(*y, a.matvec(x)?);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PanelPipeline<'c, C: PanelQuery> {
+    cluster: &'c C,
+    panel_width: usize,
+    window: usize,
+    /// Queries buffered toward the next panel (column order).
+    pending: Vec<Vector<C::Elem>>,
+    /// Broadcast panels awaiting finish, oldest first.
+    in_flight: VecDeque<C::PanelTicket>,
+    /// Broadcast timestamps parallel to `in_flight` (FIFO latency).
+    submitted: VecDeque<Duration>,
+    /// Decoded columns not yet handed back, oldest first.
+    ready: VecDeque<Vector<C::Elem>>,
+    tel: crate::telemetry::PipelineSink,
+}
+
+impl<'c, C: PanelQuery> PanelPipeline<'c, C> {
+    /// A pipeline batching queries into panels of up to `panel_width`
+    /// columns with at most `window` panels in flight on `cluster`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when `panel_width` or `window` is zero.
+    pub fn new(cluster: &'c C, panel_width: usize, window: usize) -> Result<Self> {
+        if panel_width == 0 {
+            return Err(Error::InvalidConfig {
+                what: "panel width must be at least 1",
+            });
+        }
+        if window == 0 {
+            return Err(Error::InvalidConfig {
+                what: "pipeline window must be at least 1",
+            });
+        }
+        Ok(PanelPipeline {
+            cluster,
+            panel_width,
+            window,
+            pending: Vec::with_capacity(panel_width),
+            in_flight: VecDeque::with_capacity(window),
+            submitted: VecDeque::with_capacity(window),
+            ready: VecDeque::new(),
+            tel: crate::telemetry::PipelineSink::none(),
+        })
+    }
+
+    /// Attaches a telemetry handle: the pipeline records its in-flight
+    /// panel gauge, window-occupancy histogram, and broadcast-to-finish
+    /// (FIFO) latency per panel against it.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &scec_telemetry::Telemetry) -> Self {
+        self.tel.attach(tel);
+        self
+    }
+
+    /// The configured panel width.
+    pub fn panel_width(&self) -> usize {
+        self.panel_width
+    }
+
+    /// The configured window depth (in panels).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Panels currently in flight (≤ `window`).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Queries buffered toward the next panel (< `panel_width`).
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits one query column. Once `panel_width` queries are
+    /// buffered they are broadcast as one panel; if the window is
+    /// already full, the **oldest** in-flight panel is finished first
+    /// (backpressure) and its decoded columns returned, in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Failures from finishing the displaced oldest panel, or from the
+    /// new broadcast.
+    pub fn submit(&mut self, x: &Vector<C::Elem>) -> Result<Vec<Vector<C::Elem>>> {
+        if let Some(first) = self.pending.first() {
+            if x.len() != first.len() {
+                return Err(Error::InvalidConfig {
+                    what: "panel queries must all have the same length",
+                });
+            }
+        }
+        self.pending.push(x.clone());
+        if self.pending.len() < self.panel_width {
+            return Ok(Vec::new());
+        }
+        let mut completed = Vec::new();
+        self.broadcast_pending(&mut completed)?;
+        Ok(completed)
+    }
+
+    /// Broadcasts any buffered queries immediately as a (possibly
+    /// ragged, i.e. narrower than `panel_width`) panel instead of
+    /// waiting for the buffer to fill. Returns columns completed by
+    /// backpressure, if any.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`submit`](Self::submit).
+    pub fn flush(&mut self) -> Result<Vec<Vector<C::Elem>>> {
+        let mut completed = Vec::new();
+        if !self.pending.is_empty() {
+            self.broadcast_pending(&mut completed)?;
+        }
+        Ok(completed)
+    }
+
+    /// Finishes the oldest in-flight panel (if its columns are not
+    /// already decoded) and returns the next decoded column in
+    /// submission order, or `Ok(None)` when nothing is in flight or
+    /// ready. Buffered queries are *not* flushed — call
+    /// [`flush`](Self::flush) or [`collect`](Self::collect) for the
+    /// ragged tail.
+    ///
+    /// # Errors
+    ///
+    /// The cluster's query failure modes.
+    pub fn poll(&mut self) -> Result<Option<Vector<C::Elem>>> {
+        if let Some(col) = self.ready.pop_front() {
+            return Ok(Some(col));
+        }
+        if self.in_flight.is_empty() {
+            return Ok(None);
+        }
+        self.finish_oldest()?;
+        Ok(self.ready.pop_front())
+    }
+
+    /// Finishes the oldest in-flight panel, appending its decoded
+    /// columns to `ready`. Must only be called with a non-empty
+    /// `in_flight`.
+    fn finish_oldest(&mut self) -> Result<()> {
+        let ticket = self.in_flight.pop_front().expect("panel in flight");
+        let started = self.submitted.pop_front();
+        let result = self.cluster.finish_panel(ticket);
+        self.tel.with(|m| {
+            m.in_flight.set(self.in_flight.len() as i64);
+            if result.is_ok() {
+                if let Some(t0) = started {
+                    let waited = self.cluster.clock_now().saturating_sub(t0);
+                    m.fifo_latency.record(waited.as_secs_f64());
+                }
+            }
+        });
+        let panel = result?;
+        for j in 0..panel.ncols() {
+            self.ready.push_back(panel.col(j));
+        }
+        Ok(())
+    }
+
+    /// Flushes the ragged tail and finishes everything in flight,
+    /// returning all remaining results in submission order.
+    ///
+    /// # Errors
+    ///
+    /// On the first failure; remaining in-flight panels stay queued
+    /// (and are abandoned if the pipeline is dropped).
+    pub fn collect(&mut self) -> Result<Vec<Vector<C::Elem>>> {
+        let mut out = self.flush()?;
+        while let Some(col) = self.poll()? {
+            out.push(col);
+        }
+        Ok(out)
+    }
+
+    /// Pipelines `queries` through `cluster` in `panel_width`-column
+    /// panels at `window` depth and returns the results in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for a zero panel width or window, else
+    /// the first query failure.
+    pub fn run(
+        cluster: &'c C,
+        panel_width: usize,
+        window: usize,
+        queries: &[Vector<C::Elem>],
+    ) -> Result<Vec<Vector<C::Elem>>> {
+        let mut pipeline = PanelPipeline::new(cluster, panel_width, window)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for x in queries {
+            out.extend(pipeline.submit(x)?);
+        }
+        out.extend(pipeline.collect()?);
+        Ok(out)
+    }
+
+    /// Assembles the buffered columns into one `l × k` panel matrix,
+    /// applies window backpressure, and broadcasts.
+    fn broadcast_pending(&mut self, completed: &mut Vec<Vector<C::Elem>>) -> Result<()> {
+        let k = self.pending.len();
+        let l = self.pending.first().map_or(0, Vector::len);
+        let mut flat = Vec::with_capacity(l * k);
+        for i in 0..l {
+            for q in &self.pending {
+                flat.push(q.as_slice()[i]);
+            }
+        }
+        let xs = Matrix::from_flat(l, k, flat).map_err(|_| Error::InvalidConfig {
+            what: "panel queries must all have the same length",
+        })?;
+        if self.in_flight.len() == self.window {
+            // Backpressure: finish the oldest panel and hand back every
+            // column decoded so far (FIFO: `ready` leftovers first).
+            self.finish_oldest()?;
+            while let Some(col) = self.ready.pop_front() {
+                completed.push(col);
+            }
+        }
+        let ticket = self.cluster.begin_panel(&xs)?;
+        self.pending.clear();
+        self.in_flight.push_back(ticket);
+        self.submitted.push_back(self.cluster.clock_now());
+        self.tel.with(|m| {
+            m.in_flight.set(self.in_flight.len() as i64);
+            m.occupancy.record(self.in_flight.len() as f64);
+        });
+        Ok(())
+    }
+}
+
+impl<C: PanelQuery> Drop for PanelPipeline<'_, C> {
+    fn drop(&mut self) {
+        for ticket in self.in_flight.drain(..) {
+            self.cluster.abandon_panel(ticket);
+        }
+        self.pending.clear();
+        self.submitted.clear();
+        self.ready.clear();
+        self.tel.with(|m| m.in_flight.set(0));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +867,108 @@ mod tests {
         let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
         let mut pipeline = QueryPipeline::new(&cluster, 4).unwrap();
         assert!(pipeline.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn panel_pipeline_preserves_order_across_widths_and_windows() {
+        let (a, sys, mut rng) = build(6, 4, 6);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let queries: Vec<Vector<Fp61>> = (0..11).map(|_| Vector::random(4, &mut rng)).collect();
+        // 11 queries: exercises full panels, ragged tails (11 % 4 == 3,
+        // 11 % 3 == 2), and the width-1 degenerate case.
+        for (panel_width, window) in [(1, 1), (3, 2), (4, 2), (16, 1)] {
+            let results = PanelPipeline::run(&cluster, panel_width, window, &queries).unwrap();
+            assert_eq!(results.len(), queries.len());
+            for (x, y) in queries.iter().zip(&results) {
+                assert_eq!(*y, a.matvec(x).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn panel_pipeline_bounds_in_flight_panels() {
+        let (a, sys, mut rng) = build(6, 3, 7);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let mut pipeline = PanelPipeline::new(&cluster, 2, 2).unwrap();
+        let queries: Vec<Vector<Fp61>> = (0..9).map(|_| Vector::random(3, &mut rng)).collect();
+        let mut results = Vec::new();
+        for x in &queries {
+            results.extend(pipeline.submit(x).unwrap());
+            assert!(pipeline.in_flight() <= pipeline.window());
+            assert!(pipeline.buffered() < pipeline.panel_width());
+        }
+        results.extend(pipeline.collect().unwrap());
+        assert_eq!(pipeline.in_flight(), 0);
+        assert_eq!(pipeline.buffered(), 0);
+        for (x, y) in queries.iter().zip(&results) {
+            assert_eq!(*y, a.matvec(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn panel_pipeline_rejects_zero_configs_and_mixed_lengths() {
+        let (_a, sys, mut rng) = build(4, 3, 8);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        assert!(matches!(
+            PanelPipeline::new(&cluster, 0, 1),
+            Err(Error::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            PanelPipeline::new(&cluster, 4, 0),
+            Err(Error::InvalidConfig { .. })
+        ));
+        let mut pipeline = PanelPipeline::new(&cluster, 4, 1).unwrap();
+        pipeline.submit(&Vector::<Fp61>::zeros(3)).unwrap();
+        assert!(matches!(
+            pipeline.submit(&Vector::<Fp61>::zeros(5)),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn panel_pipeline_drop_abandons_in_flight_panels() {
+        let (a, sys, mut rng) = build(5, 3, 9);
+        let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+        let queries: Vec<Vector<Fp61>> = (0..4).map(|_| Vector::random(3, &mut rng)).collect();
+        {
+            let mut pipeline = PanelPipeline::new(&cluster, 2, 4).unwrap();
+            for x in &queries {
+                pipeline.submit(x).unwrap();
+            }
+            assert_eq!(pipeline.in_flight(), 2);
+        } // dropped with panels still in flight
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn panel_pipeline_runs_on_straggler_and_supervised_clusters() {
+        use crate::supervisor::SupervisorConfig;
+        use scec_coding::{CodeDesign, StragglerCode};
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::<Fp61>::random(6, 3, &mut rng);
+        let queries: Vec<Vector<Fp61>> = (0..5).map(|_| Vector::random(3, &mut rng)).collect();
+
+        let base = CodeDesign::new(6, 2).unwrap();
+        let code = StragglerCode::<Fp61>::new(base, 2, &mut rng).unwrap();
+        let cluster = StragglerCluster::launch(code, &a, &mut rng, &[]).unwrap();
+        let results = PanelPipeline::run(&cluster, 2, 2, &queries).unwrap();
+        for (x, y) in queries.iter().zip(&results) {
+            assert_eq!(*y, a.matvec(x).unwrap());
+        }
+
+        let supervised = SupervisedCluster::launch(
+            &a,
+            &[1.0, 1.5, 2.0, 2.5],
+            &[],
+            SupervisorConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let results = PanelPipeline::run(&supervised, 2, 2, &queries).unwrap();
+        for (x, y) in queries.iter().zip(&results) {
+            assert_eq!(*y, a.matvec(x).unwrap());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::cluster::{DeviceBehavior, DeviceHandle};
 use crate::error::{Error, Result};
 use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
-use crate::pipeline::Ticket;
+use crate::pipeline::{PanelTicket, Ticket};
 
 /// A running straggler-tolerant cluster.
 ///
@@ -241,7 +241,8 @@ impl<F: Scalar> StragglerCluster<F> {
                 })?;
         }
         self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
+                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
             s.tel
                 .costs
                 .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
@@ -282,7 +283,7 @@ impl<F: Scalar> StragglerCluster<F> {
                         // A tagged row ships the value plus its u64 tag.
                         s.tel.costs.record_served(
                             device,
-                            rows * (esize + 8),
+                            rows * (esize + 8) + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
                             rows,
                             rows * l,
                             rows * l.saturating_sub(1),
@@ -335,6 +336,181 @@ impl<F: Scalar> StragglerCluster<F> {
     /// discarding any responses already parked for it.
     pub fn abandon_query(&self, ticket: Ticket) {
         self.mailbox.clear(ticket.request());
+    }
+
+    /// Runs one `l × k` panel query, decoding every column from the
+    /// first `m + r` tagged rows to arrive (whole-device granularity:
+    /// each response carries the device's full row block for the whole
+    /// panel).
+    ///
+    /// Equivalent to [`begin_panel`](Self::begin_panel) followed by
+    /// [`finish_panel`](Self::finish_panel).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query).
+    pub fn query_panel(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        let ticket = self.begin_panel(xs)?;
+        self.finish_panel(ticket)
+    }
+
+    /// Broadcasts a whole query panel (one `Arc`-shared copy across the
+    /// fan-out) and returns a [`PanelTicket`] for the in-flight request.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`] when a device thread died.
+    pub fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &self.clock);
+        let width = xs.ncols();
+        let shared = Arc::new(xs.clone());
+        for dev in &self.devices {
+            dev.tx
+                .send(ToDevice::QueryBatch {
+                    request,
+                    xs: Arc::clone(&shared),
+                })
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(dev.device),
+                })?;
+        }
+        self.tel.with(|s| {
+            let bytes = (shared.nrows() * shared.ncols() * std::mem::size_of::<F>()) as u64
+                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
+            s.tel
+                .costs
+                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(PanelTicket::new(ticket, width))
+    }
+
+    /// Awaits the first `m + r` tagged panel rows for an in-flight
+    /// panel and decodes all columns at once, leaving stragglers behind.
+    ///
+    /// The decoded `m × k` matrix has column `j` equal to `A x_j`; the
+    /// responder set is recorded in telemetry (the
+    /// `scec_stragglers_left_behind_total` counter) rather than
+    /// returned, so the panel output type matches the other clusters'.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query).
+    pub fn finish_panel(&self, ticket: PanelTicket) -> Result<Matrix<F>> {
+        let request = ticket.request();
+        let width = ticket.width();
+        let needed = self.code.rows_needed();
+        let collect_started = self.tel.now(&self.clock);
+        let mut rows: Vec<usize> = Vec::new();
+        let mut flat: Vec<F> = Vec::new();
+        let mut responders = Vec::new();
+        let result = self
+            .mailbox
+            .collect(&*self.clock, request, self.timeout, needed, |resp| {
+                let before = rows.len();
+                Self::absorb_panel(resp, width, &mut rows, &mut flat, &mut responders)?;
+                self.tel.with(|s| {
+                    if let Some(&device) = responders.last() {
+                        let served = (rows.len() - before) as u64;
+                        let esize = std::mem::size_of::<F>() as u64;
+                        let l = self.input_len as u64;
+                        let k = width as u64;
+                        // A tagged panel row ships `k` values plus its
+                        // u64 tag.
+                        s.tel.costs.record_served(
+                            device,
+                            served * (k * esize + 8) + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                            served * k,
+                            served * k * l,
+                            served * k * l.saturating_sub(1),
+                        );
+                    }
+                });
+                Ok(rows.len())
+            });
+        self.mailbox.clear(request);
+        if result.is_err() {
+            self.tel.with(|s| s.query_err());
+        }
+        result?;
+        let decode_started = self.tel.now(&self.clock);
+        let values =
+            Matrix::from_flat(rows.len(), width, flat).map_err(scec_coding::Error::from)?;
+        let decoded = match self.code.decode_panel(&rows, &values) {
+            Ok(v) => v,
+            Err(e) => {
+                self.tel.with(|s| s.query_err());
+                return Err(e.into());
+            }
+        };
+        let left_behind = self.devices.len() - responders.len();
+        self.tel.with(|s| {
+            s.span(
+                collect_started,
+                decode_started,
+                scec_telemetry::Stage::Collect,
+                request,
+            );
+            s.span(
+                decode_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Decode,
+                request,
+            );
+            s.panel_ok(ticket.elapsed_secs(), width);
+            s.counter("scec_stragglers_left_behind_total")
+                .add(left_behind as u64);
+        });
+        Ok(decoded)
+    }
+
+    /// Drops an in-flight panel without waiting for a quorum,
+    /// discarding any responses already parked for it.
+    pub fn abandon_panel(&self, ticket: PanelTicket) {
+        self.mailbox.clear(ticket.request());
+    }
+
+    fn absorb_panel(
+        resp: FromDevice<F>,
+        width: usize,
+        rows: &mut Vec<usize>,
+        flat: &mut Vec<F>,
+        responders: &mut Vec<usize>,
+    ) -> Result<()> {
+        match resp {
+            FromDevice::TaggedBatch {
+                device,
+                rows: device_rows,
+                values,
+                ..
+            } => {
+                if values.nrows() != device_rows.len() || values.ncols() != width {
+                    return Err(Error::ProtocolViolation {
+                        device,
+                        what: "tagged panel partial shape does not match the request",
+                    });
+                }
+                for (i, &row) in device_rows.iter().enumerate() {
+                    rows.push(row);
+                    flat.extend_from_slice(values.row(i));
+                }
+                responders.push(device);
+                Ok(())
+            }
+            FromDevice::Failure { device, reason, .. } => {
+                Err(Error::DeviceFailure { device, reason })
+            }
+            other => Err(Error::ProtocolViolation {
+                device: other.device(),
+                what: "untagged partial on the straggler panel protocol",
+            }),
+        }
     }
 
     fn absorb(
@@ -463,6 +639,33 @@ mod tests {
         cluster.set_timeout(Duration::from_millis(25));
         let x = Vector::<Fp61>::random(3, &mut rng);
         assert!(matches!(cluster.query(&x), Err(Error::Timeout { .. })));
+    }
+
+    #[test]
+    fn panel_query_recovers_every_column() {
+        let (code, a, mut rng) = build(6, 2, 3, 4, 7);
+        let cluster = StragglerCluster::launch(code, &a, &mut rng, &[]).unwrap();
+        for k in [1usize, 5] {
+            let xs = Matrix::<Fp61>::random(4, k, &mut rng);
+            let got = cluster.query_panel(&xs).unwrap();
+            assert_eq!(got, a.matmul(&xs).unwrap());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn panel_leaves_slow_device_behind() {
+        // Same setup as `slow_device_is_left_behind`: device 2 omits and
+        // its 3 rows fit inside the redundancy budget, so the panel must
+        // decode without it.
+        let (code, a, mut rng) = build(6, 3, 3, 3, 2);
+        let behaviors = vec![DeviceBehavior::Honest, DeviceBehavior::Omit];
+        let clock: Arc<dyn Clock> = Arc::new(crate::SimClock::new());
+        let cluster =
+            StragglerCluster::launch_clocked(code, &a, &mut rng, &behaviors, clock).unwrap();
+        let xs = Matrix::<Fp61>::random(3, 4, &mut rng);
+        let got = cluster.query_panel(&xs).unwrap();
+        assert_eq!(got, a.matmul(&xs).unwrap());
     }
 
     #[test]

@@ -620,6 +620,19 @@ impl<F: Scalar> SupervisedCluster<F> {
                         field_adds: rows * l.saturating_sub(1),
                     },
                 );
+                // Message framing is paid once per window (a plain query
+                // is a width-1 window), not per query.
+                s.tel.costs.set_predicted_window(
+                    phys,
+                    scec_telemetry::CostVector {
+                        stored_rows: 0,
+                        rows_served: 0,
+                        bytes_sent: scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                        bytes_received: scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                        field_mults: 0,
+                        field_adds: 0,
+                    },
+                );
             }
         });
     }
@@ -953,6 +966,35 @@ impl<F: Scalar> SupervisedCluster<F> {
         }
     }
 
+    /// Serves an `l × k` query panel column by column through the full
+    /// retry/repair machinery, returning the `m × k` result matrix with
+    /// column `j` equal to `A x_j`.
+    ///
+    /// The supervised protocol deliberately does *not* batch a panel
+    /// into one device round: per-column verification (each device's
+    /// Freivalds key checks one `u_j^T C_j x` pair), health accounting,
+    /// and retry against a possibly-repaired topology all operate on
+    /// individual queries, and collapsing them into one round would
+    /// weaken fault attribution to whole-panel granularity. Callers who
+    /// want single-round panels should use the unsupervised clusters;
+    /// this method exists so panel-oriented drivers can still run
+    /// against a supervised fleet.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query), surfaced from the
+    /// first failing column.
+    pub fn query_panel(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        let mut out = Matrix::zeros(self.data.nrows(), xs.ncols());
+        for j in 0..xs.ncols() {
+            let y = self.query(&xs.col(j))?.value;
+            for (i, &v) in y.as_slice().iter().enumerate() {
+                out.set(i, j, v).map_err(scec_coding::Error::from)?;
+            }
+        }
+        Ok(out)
+    }
+
     /// One broadcast/collect/decode round against the current topology.
     fn attempt(
         &self,
@@ -1007,7 +1049,8 @@ impl<F: Scalar> SupervisedCluster<F> {
             }));
         }
         self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
+                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
             s.tel
                 .costs
                 .record_broadcast(topo.physical.iter().copied(), bytes);
@@ -1084,7 +1127,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 let device_rows = topo.checks[j - 1].rows.len() as u64;
                 s.tel.costs.record_served(
                     phys,
-                    device_rows * (esize + 8),
+                    device_rows * (esize + 8) + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
                     device_rows,
                     device_rows * l,
                     device_rows * l.saturating_sub(1),

@@ -26,6 +26,7 @@ pub(crate) struct ClusterSink {
     queries: Counter,
     failures: Counter,
     latency: Histogram,
+    panel_width: Histogram,
 }
 
 #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
@@ -38,17 +39,31 @@ impl ClusterSink {
             latency: tel
                 .registry
                 .histogram("scec_query_latency_seconds", &labels),
+            panel_width: tel.registry.histogram("scec_panel_width", &labels),
             cluster,
             tel,
         }
     }
 
     /// Records one successfully completed query (count, latency, cost
-    /// accountant query tally).
+    /// accountant query tally). A plain query is a width-1 window for
+    /// the accountant's per-window (message framing) predictions.
     pub(crate) fn query_ok(&self, secs: f64) {
         self.queries.inc();
         self.latency.record(secs);
         self.tel.costs.record_query();
+        self.tel.costs.record_window();
+    }
+
+    /// Records one successfully completed `width`-column panel: `width`
+    /// queries, one window, one panel-round latency sample, and the
+    /// panel width distribution.
+    pub(crate) fn panel_ok(&self, secs: f64, width: usize) {
+        self.queries.add(width as u64);
+        self.latency.record(secs);
+        self.panel_width.record(width as f64);
+        self.tel.costs.record_queries(width as u64);
+        self.tel.costs.record_window();
     }
 
     /// Records one failed query.

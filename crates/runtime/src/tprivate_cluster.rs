@@ -23,7 +23,7 @@ use crate::cluster::{device_main, DeviceBehavior, DeviceHandle};
 use crate::error::{Error, Result};
 use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
-use crate::pipeline::Ticket;
+use crate::pipeline::{PanelTicket, Ticket};
 
 /// A running cluster executing the `t`-private protocol on real threads.
 ///
@@ -228,7 +228,8 @@ impl<F: Scalar> TPrivateCluster<F> {
                 })?;
         }
         self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64;
+            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
+                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
             s.tel
                 .costs
                 .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
@@ -267,6 +268,156 @@ impl<F: Scalar> TPrivateCluster<F> {
         self.mailbox.clear(ticket.request());
     }
 
+    /// Runs one `l × k` panel query: one broadcast, one `B_j T · X`
+    /// matmul per device, one multi-RHS mixer solve for all columns.
+    ///
+    /// Equivalent to [`begin_panel`](Self::begin_panel) followed by
+    /// [`finish_panel`](Self::finish_panel).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query).
+    pub fn query_panel(&self, xs: &Matrix<F>) -> Result<Matrix<F>> {
+        let ticket = self.begin_panel(xs)?;
+        self.finish_panel(ticket)
+    }
+
+    /// Broadcasts a whole query panel (one `Arc`-shared copy across the
+    /// fan-out) and returns a [`PanelTicket`] for the in-flight request.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`] when a device thread died.
+    pub fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &self.clock);
+        let width = xs.ncols();
+        let shared = Arc::new(xs.clone());
+        for dev in &self.devices {
+            dev.tx
+                .send(ToDevice::QueryBatch {
+                    request,
+                    xs: Arc::clone(&shared),
+                })
+                .map_err(|_| Error::ChannelClosed {
+                    device: Some(dev.device),
+                })?;
+        }
+        self.tel.with(|s| {
+            let bytes = (shared.nrows() * shared.ncols() * std::mem::size_of::<F>()) as u64
+                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
+            s.tel
+                .costs
+                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(PanelTicket::new(ticket, width))
+    }
+
+    /// Awaits all batch partials for an in-flight panel and decodes
+    /// every column with one multi-RHS mixer solve.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`query`](Self::query). On error, any
+    /// responses already parked for the request are discarded.
+    pub fn finish_panel(&self, ticket: PanelTicket) -> Result<Matrix<F>> {
+        let result = self.finish_panel_inner(ticket.request(), ticket.width());
+        match &result {
+            Ok(_) => {
+                self.tel
+                    .with(|s| s.panel_ok(ticket.elapsed_secs(), ticket.width()));
+            }
+            Err(_) => {
+                self.mailbox.clear(ticket.request());
+                self.tel.with(|s| s.query_err());
+            }
+        }
+        result
+    }
+
+    /// Drops an in-flight panel without waiting for its result,
+    /// discarding any responses already parked for it.
+    pub fn abandon_panel(&self, ticket: PanelTicket) {
+        self.mailbox.clear(ticket.request());
+    }
+
+    fn finish_panel_inner(&self, request: u64, width: usize) -> Result<Matrix<F>> {
+        let collect_started = self.tel.now(&self.clock);
+        let mut partials: HashMap<usize, Matrix<F>> = HashMap::new();
+        self.mailbox.collect(
+            &*self.clock,
+            request,
+            self.timeout,
+            self.devices.len(),
+            |resp| {
+                Self::absorb_panel(resp, &mut partials)?;
+                Ok(partials.len())
+            },
+        )?;
+        let decode_started = self.tel.now(&self.clock);
+        self.tel.with(|s| {
+            s.span(
+                collect_started,
+                decode_started,
+                scec_telemetry::Stage::Collect,
+                request,
+            );
+            let esize = std::mem::size_of::<F>() as u64;
+            let l = self.input_len as u64;
+            let k = width as u64;
+            for (&device, values) in &partials {
+                let rows = values.nrows() as u64;
+                s.tel.costs.record_served(
+                    device,
+                    rows * k * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    rows * k,
+                    rows * k * l,
+                    rows * k * l.saturating_sub(1),
+                );
+            }
+        });
+        let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(self.devices.len());
+        for j in 1..=self.devices.len() {
+            ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
+                device: j,
+                what: "complete quorum is missing an enrolled device's batch partial",
+            })?);
+        }
+        let btx = scec_coding::decode::stack_partial_matrices(&ordered)?;
+        let ys = self.code.decode_panel(&btx)?;
+        self.tel.with(|s| {
+            s.span(
+                decode_started,
+                self.clock.now(),
+                scec_telemetry::Stage::Decode,
+                request,
+            );
+        });
+        Ok(ys)
+    }
+
+    fn absorb_panel(resp: FromDevice<F>, partials: &mut HashMap<usize, Matrix<F>>) -> Result<()> {
+        match resp {
+            FromDevice::BatchPartial { device, values, .. } => {
+                partials.insert(device, values);
+                Ok(())
+            }
+            FromDevice::Failure { device, reason, .. } => {
+                Err(Error::DeviceFailure { device, reason })
+            }
+            other => Err(Error::ProtocolViolation {
+                device: other.device(),
+                what: "non-batch partial on a t-private panel request",
+            }),
+        }
+    }
+
     fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
         let collect_started = self.tel.now(&self.clock);
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
@@ -294,7 +445,7 @@ impl<F: Scalar> TPrivateCluster<F> {
                 let rows = values.len() as u64;
                 s.tel.costs.record_served(
                     device,
-                    rows * esize,
+                    rows * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
                     rows,
                     rows * l,
                     rows * l.saturating_sub(1),
@@ -402,6 +553,21 @@ mod tests {
         // result, and the Freivalds key catches it.
         assert_ne!(y, a.matvec(&x).unwrap());
         assert!(!key.verify(&x, &y).unwrap());
+    }
+
+    #[test]
+    fn panel_query_matches_per_query_columns() {
+        let (code, a, mut rng) = build(4);
+        let cluster = TPrivateCluster::launch(code, &a, &mut rng, &[]).unwrap();
+        for k in [1usize, 6] {
+            let xs = Matrix::<Fp61>::random(4, k, &mut rng);
+            let got = cluster.query_panel(&xs).unwrap();
+            assert_eq!(got, a.matmul(&xs).unwrap());
+            for j in 0..k {
+                assert_eq!(got.col(j), cluster.query(&xs.col(j)).unwrap());
+            }
+        }
+        cluster.shutdown();
     }
 
     #[test]

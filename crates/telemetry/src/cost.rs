@@ -26,6 +26,16 @@ use std::sync::Mutex;
 
 use crate::registry::fmt_f64;
 
+/// Fixed per-message framing overhead, in bytes: the `scec-wire` header
+/// (4 magic + 2 version + 2 tag) plus the runtime's 8-byte request id.
+///
+/// Pricing this **per window** rather than per query is what makes panel
+/// batching visible in the ledger: a width-`k` panel ships `k` queries'
+/// payload under a single header each way, so its predicted (and
+/// observed) byte total is `k · payload + 2 · MESSAGE_OVERHEAD_BYTES`
+/// instead of `k · (payload + 2 · MESSAGE_OVERHEAD_BYTES)`.
+pub const MESSAGE_OVERHEAD_BYTES: u64 = 16;
+
 /// One side of the per-device ledger.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CostVector {
@@ -87,6 +97,11 @@ impl CostVector {
 struct DeviceEntry {
     unit_cost: f64,
     predicted_per_query: CostVector,
+    /// Per-*window* prediction: costs paid once per broadcast round
+    /// regardless of how many queries the round's panel carries (message
+    /// framing, request-id bookkeeping). `stored_rows` must stay 0 here —
+    /// the per-query vector owns the resident-row level.
+    predicted_per_window: CostVector,
     observed: CostVector,
 }
 
@@ -110,8 +125,11 @@ pub struct DeviceCostReport {
 /// The full ledger: per-device rows plus totals.
 #[derive(Clone, Debug, Default)]
 pub struct CostReport {
-    /// Completed queries the predictions were scaled by.
+    /// Completed queries the per-query predictions were scaled by.
     pub queries: u64,
+    /// Completed broadcast windows the per-window predictions were
+    /// scaled by (a plain unbatched query counts as a width-1 window).
+    pub windows: u64,
     /// Per-device rows, ascending device id.
     pub devices: Vec<DeviceCostReport>,
     /// Sum of predicted vectors.
@@ -128,7 +146,11 @@ impl CostReport {
     /// Renders the ledger as a JSON object.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
-        let _ = write!(out, "\n    \"queries\": {},", self.queries);
+        let _ = write!(
+            out,
+            "\n    \"queries\": {},\n    \"windows\": {},",
+            self.queries, self.windows
+        );
         let _ = write!(
             out,
             "\n    \"predicted_cost\": {},\n    \"observed_cost\": {},",
@@ -173,6 +195,7 @@ pub struct CostAccountant {
 struct CostInner {
     devices: BTreeMap<usize, DeviceEntry>,
     queries: u64,
+    windows: u64,
 }
 
 impl CostAccountant {
@@ -247,10 +270,37 @@ impl CostAccountant {
         self.with(|i| i.devices.entry(device).or_default().observed.stored_rows = rows);
     }
 
+    /// Installs (or replaces) a device's per-*window* prediction: costs
+    /// paid once per broadcast round — message framing and request-id
+    /// bookkeeping — no matter how many queries ride in the round's
+    /// panel. Leave `stored_rows` at 0; the per-query vector owns that
+    /// level.
+    pub fn set_predicted_window(&self, device: usize, per_window: CostVector) {
+        self.with(|inner| {
+            inner
+                .devices
+                .entry(device)
+                .or_default()
+                .predicted_per_window = per_window;
+        });
+    }
+
     /// Counts one completed query (scales the predictions at report
     /// time).
     pub fn record_query(&self) {
         self.with(|i| i.queries += 1);
+    }
+
+    /// Counts `n` completed queries in one lock — the panel path records
+    /// one per column when a window completes.
+    pub fn record_queries(&self, n: u64) {
+        self.with(|i| i.queries += n);
+    }
+
+    /// Counts one completed broadcast window (a plain query is a width-1
+    /// window; a batched panel is one window carrying many queries).
+    pub fn record_window(&self) {
+        self.with(|i| i.windows += 1);
     }
 
     /// Completed-query count so far.
@@ -258,15 +308,24 @@ impl CostAccountant {
         self.with(|i| i.queries)
     }
 
+    /// Completed-window count so far.
+    pub fn windows(&self) -> u64 {
+        self.with(|i| i.windows)
+    }
+
     /// Builds the predicted-vs-observed report.
     pub fn report(&self) -> CostReport {
         self.with(|inner| {
             let mut report = CostReport {
                 queries: inner.queries,
+                windows: inner.windows,
                 ..CostReport::default()
             };
             for (&device, entry) in &inner.devices {
-                let predicted = entry.predicted_per_query.scaled(inner.queries);
+                let predicted = entry
+                    .predicted_per_query
+                    .scaled(inner.queries)
+                    .plus(&entry.predicted_per_window.scaled(inner.windows));
                 let predicted_cost = entry.unit_cost * predicted.rows_served as f64;
                 let observed_cost = entry.unit_cost * entry.observed.rows_served as f64;
                 report.total_predicted = report.total_predicted.plus(&predicted);
@@ -336,6 +395,44 @@ mod tests {
         assert_eq!(d.observed.field_adds, 15);
         assert_eq!(d.observed.stored_rows, 6);
         assert_eq!(report.observed_cost, 5.0);
+    }
+
+    #[test]
+    fn per_window_predictions_amortize_over_panels() {
+        // Hand-computed: payload of 24 bytes per query each way, 16-byte
+        // framing per message. 8 queries in 2 windows (panels of width 4)
+        // must predict 8·24 + 2·16 bytes per direction — not 8·(24+16).
+        let acc = CostAccountant::new();
+        acc.set_predicted(
+            1,
+            1.0,
+            CostVector {
+                bytes_sent: 24,
+                bytes_received: 24,
+                rows_served: 1,
+                ..CostVector::default()
+            },
+        );
+        acc.set_predicted_window(
+            1,
+            CostVector {
+                bytes_sent: MESSAGE_OVERHEAD_BYTES,
+                bytes_received: MESSAGE_OVERHEAD_BYTES,
+                ..CostVector::default()
+            },
+        );
+        acc.record_queries(4);
+        acc.record_window();
+        acc.record_queries(4);
+        acc.record_window();
+        let report = acc.report();
+        assert_eq!(report.queries, 8);
+        assert_eq!(report.windows, 2);
+        let d = &report.devices[0];
+        assert_eq!(d.predicted.bytes_sent, 8 * 24 + 2 * 16);
+        assert_eq!(d.predicted.bytes_received, 8 * 24 + 2 * 16);
+        assert_eq!(d.predicted.rows_served, 8, "rows stay per-query");
+        assert!(report.render_json().contains("\"windows\": 2,"));
     }
 
     #[test]

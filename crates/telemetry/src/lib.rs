@@ -25,7 +25,7 @@ pub mod histogram;
 pub mod registry;
 pub mod trace;
 
-pub use cost::{CostAccountant, CostReport, CostVector, DeviceCostReport};
+pub use cost::{CostAccountant, CostReport, CostVector, DeviceCostReport, MESSAGE_OVERHEAD_BYTES};
 pub use histogram::LogHistogram;
 pub use registry::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use trace::{Stage, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};

@@ -54,6 +54,12 @@ pub mod tag {
     pub const QUERY: u16 = 5;
     /// A partial-result message.
     pub const PARTIAL: u16 = 6;
+    /// A batched multi-query panel broadcast (an `l × k` matrix of `k`
+    /// query columns shipped in one frame).
+    pub const QUERY_PANEL: u16 = 7;
+    /// A device's partial result for a whole panel (a `rows × k` block,
+    /// optionally row-tagged for straggler-tolerant assembly).
+    pub const PANEL_PARTIAL: u16 = 8;
 }
 
 /// Decoding errors.

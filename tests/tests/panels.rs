@@ -1,0 +1,156 @@
+//! Integration tests for the batched multi-query panel path.
+//!
+//! The panel pipeline must return exactly what the per-query pipeline
+//! returns — bit for bit, on every cluster flavor and both fields, for
+//! every panel width including the ragged shapes a finite stream forces
+//! (`k = 1` and a final short panel) — and batched Freivalds must guard
+//! whole panels end to end.
+
+use rand::{rngs::StdRng, SeedableRng};
+use scec_allocation::EdgeFleet;
+use scec_coding::{CodeDesign, StragglerCode, TPrivateCode};
+use scec_core::{integrity::IntegrityKey, AllocationStrategy, ScecSystem};
+use scec_linalg::{Fp61, Matrix, Scalar, Vector};
+use scec_runtime::{
+    DeviceBehavior, LocalCluster, PanelPipeline, QueryPipeline, StragglerCluster, TPrivateCluster,
+};
+
+/// Stacks result columns back into the `m × k` panel they decoded from.
+fn columns_to_panel<F: Scalar>(cols: &[Vector<F>]) -> Matrix<F> {
+    let m = cols[0].len();
+    let mut flat = Vec::with_capacity(m * cols.len());
+    for i in 0..m {
+        for c in cols {
+            flat.push(c.as_slice()[i]);
+        }
+    }
+    Matrix::from_flat(m, cols.len(), flat).unwrap()
+}
+
+#[test]
+fn panel_pipeline_matches_per_query_pipeline_fp61() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (m, l) = (9, 5);
+    let a = Matrix::<Fp61>::random(m, l, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.4, 1.9, 2.3]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+    let queries: Vec<Vector<Fp61>> = (0..13).map(|_| Vector::random(l, &mut rng)).collect();
+
+    let per_query = QueryPipeline::run(&cluster, 4, &queries).unwrap();
+    // Width 1 (every panel is a k = 1 column), a ragged mix
+    // (13 = 3 × 4 + 1 tail), and width > stream (one 13-wide flush).
+    for width in [1, 4, 32] {
+        let panel = PanelPipeline::run(&cluster, width, 2, &queries).unwrap();
+        assert_eq!(panel, per_query, "width {width}");
+    }
+    for (x, y) in queries.iter().zip(&per_query) {
+        assert_eq!(y, &a.matvec(x).unwrap());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn panel_pipeline_bit_identical_to_per_query_pipeline_f64() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let (m, l) = (7, 4);
+    let a = Matrix::<f64>::random(m, l, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.6, 2.1]).unwrap();
+    let sys = ScecSystem::build(a, fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let cluster = LocalCluster::launch(&sys, &mut rng).unwrap();
+    let queries: Vec<Vector<f64>> = (0..11).map(|_| Vector::random(l, &mut rng)).collect();
+
+    let per_query = QueryPipeline::run(&cluster, 3, &queries).unwrap();
+    for width in [1, 4, 16] {
+        let panel = PanelPipeline::run(&cluster, width, 2, &queries).unwrap();
+        assert_eq!(panel.len(), per_query.len(), "width {width}");
+        for (q, (p, s)) in panel.iter().zip(&per_query).enumerate() {
+            for (i, (pv, sv)) in p.as_slice().iter().zip(s.as_slice()).enumerate() {
+                // Exact bit equality: the multi-RHS decode applies the
+                // same factor sequence as the per-query decode, so even
+                // non-associative f64 arithmetic cannot drift.
+                assert_eq!(
+                    pv.to_bits(),
+                    sv.to_bits(),
+                    "width {width} query {q} row {i}: {pv} vs {sv}"
+                );
+            }
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn panel_pipeline_agrees_on_straggler_and_tprivate_clusters() {
+    let mut rng = StdRng::seed_from_u64(13);
+
+    // Straggler-coded fleet: panels assemble from row-tagged batch
+    // partials, so agreement here exercises the TaggedBatch wire form.
+    let (m, r, s, l) = (8, 4, 4, 3);
+    let base = CodeDesign::new(m, r).unwrap();
+    let code = StragglerCode::<Fp61>::new(base, s, &mut rng).unwrap();
+    let a = Matrix::<Fp61>::random(m, l, &mut rng);
+    let cluster = StragglerCluster::launch(code, &a, &mut rng, &[]).unwrap();
+    let queries: Vec<Vector<Fp61>> = (0..7).map(|_| Vector::random(l, &mut rng)).collect();
+    let per_query = QueryPipeline::run(&cluster, 3, &queries).unwrap();
+    for width in [1, 3, 16] {
+        let panel = PanelPipeline::run(&cluster, width, 2, &queries).unwrap();
+        let values: Vec<Vector<Fp61>> = per_query.iter().map(|q| q.value.clone()).collect();
+        assert_eq!(panel, values, "straggler width {width}");
+    }
+    for (x, y) in queries.iter().zip(&per_query) {
+        assert_eq!(y.value, a.matvec(x).unwrap());
+    }
+    cluster.shutdown();
+
+    // t-private fleet: same agreement under collusion-resistant coding.
+    let (m, t, v, l) = (8, 2, 2, 4);
+    let code = TPrivateCode::<Fp61>::new(m, t, v, &mut rng).unwrap();
+    let a = Matrix::<Fp61>::random(m, l, &mut rng);
+    let cluster = TPrivateCluster::launch(code, &a, &mut rng, &[]).unwrap();
+    let queries: Vec<Vector<Fp61>> = (0..5).map(|_| Vector::random(l, &mut rng)).collect();
+    let per_query = QueryPipeline::run(&cluster, 2, &queries).unwrap();
+    for width in [1, 2, 8] {
+        let panel = PanelPipeline::run(&cluster, width, 2, &queries).unwrap();
+        assert_eq!(panel, per_query, "t-private width {width}");
+    }
+    for (x, y) in queries.iter().zip(&per_query) {
+        assert_eq!(y, &a.matvec(x).unwrap());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn batched_freivalds_guards_panel_results_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let (m, l, k) = (6, 4, 5);
+    let a = Matrix::<Fp61>::random(m, l, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.3, 1.7]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let key = IntegrityKey::generate(&a, &mut rng).unwrap();
+    let queries: Vec<Vector<Fp61>> = (0..k).map(|_| Vector::random(l, &mut rng)).collect();
+    let xs = columns_to_panel(&queries);
+
+    // Honest cluster: the whole panel passes in one batched check.
+    let honest = LocalCluster::launch(&sys, &mut rng).unwrap();
+    let results = PanelPipeline::run(&honest, k, 1, &queries).unwrap();
+    let ys = columns_to_panel(&results);
+    assert_eq!(key.verify_panel(&xs, &ys).unwrap(), None);
+    honest.shutdown();
+
+    // Corrupting any single column is pinpointed by index.
+    for col in 0..k {
+        let mut bad = ys.clone();
+        bad.set(0, col, ys.at(0, col) + Fp61::new(1)).unwrap();
+        assert_eq!(key.verify_panel(&xs, &bad).unwrap(), Some(col));
+    }
+
+    // A Byzantine device corrupts its panel partial silently; the
+    // batched check still catches the damaged column.
+    let behaviors = vec![DeviceBehavior::Honest, DeviceBehavior::Byzantine];
+    let byzantine = LocalCluster::launch_with_behaviors(&sys, &mut rng, &behaviors).unwrap();
+    let tainted = PanelPipeline::run(&byzantine, k, 1, &queries).unwrap();
+    let ys_bad = columns_to_panel(&tainted);
+    assert!(key.verify_panel(&xs, &ys_bad).unwrap().is_some());
+    byzantine.shutdown();
+}

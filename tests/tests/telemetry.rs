@@ -102,30 +102,97 @@ fn cost_ledger_matches_hand_computed_counts() {
     cluster.shutdown();
 
     // Per query each device receives the length-l query vector (8-byte
-    // words), returns its coded rows, and spends rows·l multiplies plus
-    // rows·(l−1) adds forming the partial products.
+    // words) in one framed message, returns its coded rows in another,
+    // and spends rows·l multiplies plus rows·(l−1) adds forming the
+    // partial products. A plain query is a width-1 window, so the
+    // 16-byte message framing is paid once per query each way.
     let report = tel.costs.report();
     assert_eq!(report.queries, q);
+    assert_eq!(report.windows, q, "each plain query is a width-1 window");
     assert_eq!(report.devices.len(), 3);
     let esize = std::mem::size_of::<Fp61>() as u64;
+    let frame = scec_runtime::MESSAGE_OVERHEAD_BYTES;
     let lw = l as u64;
     for d in &report.devices {
         let rows = design.device_load(d.device).unwrap() as u64;
         assert_eq!(d.observed.stored_rows, rows, "device {}", d.device);
-        assert_eq!(d.observed.bytes_sent, q * lw * esize);
-        assert_eq!(d.observed.bytes_received, q * rows * esize);
+        assert_eq!(d.observed.bytes_sent, q * (lw * esize + frame));
+        assert_eq!(d.observed.bytes_received, q * (rows * esize + frame));
         assert_eq!(d.observed.rows_served, q * rows);
         assert_eq!(d.observed.field_mults, q * rows * lw);
         assert_eq!(d.observed.field_adds, q * rows * (lw - 1));
         assert_eq!(d.observed_cost, 2.0 * (q * rows) as f64);
-        // Honest fleet, no retries: the design's prediction is exact.
+        // Honest fleet, no retries: the per-query + per-window
+        // prediction is exact.
         assert_eq!(d.predicted, d.observed);
         assert_eq!(d.predicted_cost, d.observed_cost);
     }
     let total_rows = design.total_rows() as u64;
     assert_eq!(report.total_observed.rows_served, q * total_rows);
-    assert_eq!(report.total_observed.bytes_sent, q * 3 * lw * esize);
+    assert_eq!(
+        report.total_observed.bytes_sent,
+        q * 3 * (lw * esize + frame)
+    );
     assert_eq!(report.observed_cost, 2.0 * (q * total_rows) as f64);
+}
+
+#[test]
+fn panel_cost_ledger_amortizes_framing_and_reconciles_exactly() {
+    // A panel of width k ships one framed broadcast (k·l payload words)
+    // and one framed reply (k·rows words) per device per *window*, so
+    // the ledger must price k queries' payload but only ONE frame each
+    // way — and the per-query + per-window predicted decomposition must
+    // still reconcile exactly against the observed totals.
+    let mut rng = StdRng::seed_from_u64(11);
+    let l = 4usize;
+    let a = Matrix::<Fp61>::random(9, l, &mut rng);
+    let fleet = EdgeFleet::from_unit_costs(vec![2.0, 2.0, 2.0]).unwrap();
+    let sys = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng).unwrap();
+    let design = sys.design().clone();
+    let tel = Arc::new(Telemetry::new());
+    let cluster = LocalCluster::launch(&sys, &mut rng)
+        .unwrap()
+        .with_telemetry(Arc::clone(&tel));
+    // 8 queries in two panels of width 4, plus one plain (width-1) query.
+    let k = 4u64;
+    for _ in 0..2 {
+        let xs = Matrix::<Fp61>::random(l, k as usize, &mut rng);
+        assert_eq!(cluster.query_batch(&xs).unwrap(), a.matmul(&xs).unwrap());
+    }
+    let x = Vector::<Fp61>::random(l, &mut rng);
+    assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    cluster.shutdown();
+
+    let report = tel.costs.report();
+    let queries = 2 * k + 1;
+    let windows = 3u64; // two panels + one width-1 query
+    assert_eq!(report.queries, queries);
+    assert_eq!(report.windows, windows);
+    let esize = std::mem::size_of::<Fp61>() as u64;
+    let frame = scec_runtime::MESSAGE_OVERHEAD_BYTES;
+    let lw = l as u64;
+    for d in &report.devices {
+        let rows = design.device_load(d.device).unwrap() as u64;
+        assert_eq!(
+            d.observed.bytes_sent,
+            queries * lw * esize + windows * frame,
+            "device {}: payload scales with queries, framing with windows",
+            d.device
+        );
+        assert_eq!(
+            d.observed.bytes_received,
+            queries * rows * esize + windows * frame
+        );
+        assert_eq!(d.observed.rows_served, queries * rows);
+        assert_eq!(d.observed.field_mults, queries * rows * lw);
+        assert_eq!(d.observed.field_adds, queries * rows * (lw - 1));
+        // Honest fleet: predicted = per_query·queries + per_window·windows
+        // matches the observed ledger to the byte.
+        assert_eq!(d.predicted, d.observed);
+        assert_eq!(d.predicted_cost, d.observed_cost);
+    }
+    let json = report.render_json();
+    assert!(json.contains("\"windows\": 3,"), "{json}");
 }
 
 #[test]
