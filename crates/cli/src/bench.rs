@@ -284,6 +284,78 @@ fn run_suite(iters: usize, quick: bool) -> (Vec<CaseResult>, String) {
             std::hint::black_box(report.steps);
         });
     }
+
+    // Serving tier over real loopback TCP: the same serving-regime
+    // stream as `cluster_query_serving_w16`, but every frame crosses
+    // the scec-wire codec and a socket — the ns/query gap between the
+    // two cases is the measured price of the wire.
+    {
+        let server = scec_serve::DeviceServer::bind::<Fp61>(
+            "127.0.0.1:0",
+            scec_serve::ServerConfig::default(),
+        )
+        .expect("bind loopback server");
+        let addr = server.local_addr();
+        let (sm, sl, sq) = if quick { (8, 16, 32) } else { (8, 16, 256) };
+        {
+            let sa = Matrix::<Fp61>::random(sm, sl, &mut rng);
+            let fleet =
+                EdgeFleet::from_unit_costs(vec![1.0, 1.3, 1.6, 2.0, 2.5]).expect("valid costs");
+            let sys = ScecSystem::build(sa, fleet, AllocationStrategy::Mcscec, &mut rng)
+                .expect("system build");
+            let cluster = LocalCluster::launch_with_transport(
+                &sys,
+                &mut rng,
+                Arc::new(scec_runtime::RealClock::default()) as Arc<dyn scec_runtime::Clock>,
+                |shares| {
+                    let ids: Vec<usize> = shares.iter().map(|s| s.device()).collect();
+                    scec_serve::TcpTransport::connect(addr, 0, &ids)
+                        .map(|(t, rx, _meter)| (Box::new(t) as _, rx))
+                        .map_err(|_| scec_runtime::Error::ChannelClosed { device: None })
+                },
+            )
+            .expect("tcp cluster launch");
+            let squeries: Vec<Vector<Fp61>> =
+                (0..sq).map(|_| Vector::random(sl, &mut rng)).collect();
+            case("serve_loopback_w16", sm, sq, &mut || {
+                std::hint::black_box(
+                    QueryPipeline::run(&cluster, 16, &squeries).expect("pipeline"),
+                );
+            });
+            cluster.shutdown();
+        }
+
+        // The full sharded tier: 64 tenants, each its own SCEC instance,
+        // panel pipelines under the global admission gate, all against
+        // the one server bound above. `ops` is the query count, so
+        // ns_per_op reads as ns per query at 64-tenant concurrency
+        // (setup — 64 allocations + ~320 connections — is timed too;
+        // it is part of what the tier costs to stand up).
+        let (tq, tw) = if quick { (16, 2) } else { (64, 4) };
+        let load = scec_serve::LoadConfig {
+            tenants: 64,
+            queries_per_tenant: tq,
+            panel_width: 16,
+            window: tw,
+            rows: 8,
+            cols: 16,
+            seed: 0x5CEC,
+            max_in_flight: 0,
+        };
+        case("load_tenants_64", 64, 64 * tq, &mut || {
+            let report = scec_serve::Router::new(load.clone())
+                .expect("load config")
+                .run(addr)
+                .expect("load run");
+            assert!(
+                report.failures.is_empty(),
+                "tenants failed: {:?}",
+                report.failures
+            );
+            std::hint::black_box(report.total_queries);
+        });
+        server.shutdown();
+    }
     (results, telemetry)
 }
 
@@ -465,6 +537,8 @@ mod tests {
         assert!(json.contains("\"cluster_query_serving_w16\""));
         assert!(json.contains("\"cluster_query_batched_k8\""));
         assert!(json.contains("\"cluster_query_batched_k32\""));
+        assert!(json.contains("\"serve_loopback_w16\""));
+        assert!(json.contains("\"load_tenants_64\""));
         assert!(json.contains("\"fp61_matmul_simd\""));
         assert!(json.contains("\"fp61_decode_general_gauss\""));
         assert!(json.contains("\"fp61_decode_general_planned\""));

@@ -943,6 +943,166 @@ pub fn dst(options: &DstOptions) -> Result<(String, bool)> {
     Ok((out, clean))
 }
 
+/// Options for [`serve`], mirroring the `scec serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:4070` (port 0 for ephemeral).
+    pub addr: String,
+    /// Admission cap: tenants with id `>= max_tenants` are refused.
+    pub max_tenants: u64,
+    /// Exit cleanly once at least one connection was served and all
+    /// have closed (smoke tests and CI); otherwise serve until killed.
+    pub once: bool,
+}
+
+/// `scec serve`: host a GF(2⁶¹−1) device fleet on a TCP listener.
+/// Prints the bound address immediately (so scripts can wait for it),
+/// then blocks.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(options: &ServeOptions) -> Result<String> {
+    let config = scec_serve::ServerConfig {
+        max_tenants: options.max_tenants,
+        ..scec_serve::ServerConfig::default()
+    };
+    let server = scec_serve::DeviceServer::bind::<Fp61>(&options.addr, config)?;
+    println!(
+        "scec serve: listening on {} (max tenants {}{})",
+        server.local_addr(),
+        options.max_tenants,
+        if options.once {
+            ", exiting when idle"
+        } else {
+            ""
+        }
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if !options.once {
+        // Serve until the process is killed.
+        loop {
+            std::thread::park();
+        }
+    }
+    server.wait_idle();
+    let stats = server.stats();
+    let ordering = std::sync::atomic::Ordering::Acquire;
+    let out = format!(
+        "served {} queries over {} connections ({} refused, {} closed cleanly)\n",
+        stats.queries_served.load(ordering),
+        stats.accepted.load(ordering),
+        stats.rejected.load(ordering),
+        stats.clean_closes.load(ordering),
+    );
+    server.shutdown();
+    Ok(out)
+}
+
+/// Options for [`load`], mirroring the `scec load` flags.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server to drive; `None` spawns an in-process loopback server.
+    pub addr: Option<String>,
+    /// Tenant count.
+    pub tenants: usize,
+    /// Queries per tenant.
+    pub queries: usize,
+    /// Panel width (queries per broadcast).
+    pub panel: usize,
+    /// Panels in flight per tenant.
+    pub window: usize,
+    /// Global admission cap on in-flight queries (0 = workload max).
+    pub cap: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Where to write the JSON load report.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        let defaults = scec_serve::LoadConfig::default();
+        LoadOptions {
+            addr: None,
+            tenants: defaults.tenants,
+            queries: defaults.queries_per_tenant,
+            panel: defaults.panel_width,
+            window: defaults.window,
+            cap: defaults.max_in_flight,
+            seed: defaults.seed,
+            metrics_out: None,
+        }
+    }
+}
+
+/// `scec load`: drive a multi-tenant query load through the serving
+/// tier and report per-tenant predicted-vs-observed wire bytes, the
+/// peak in-flight query count, and p99 latency.
+///
+/// # Errors
+///
+/// Returns a domain error when any tenant fails or any result
+/// mismatches its tenant's own `A·x` — a clean exit certifies the run.
+pub fn load(options: &LoadOptions) -> Result<String> {
+    let defaults = scec_serve::LoadConfig::default();
+    let config = scec_serve::LoadConfig {
+        tenants: options.tenants,
+        queries_per_tenant: options.queries,
+        panel_width: options.panel,
+        window: options.window,
+        max_in_flight: options.cap,
+        seed: options.seed,
+        ..defaults
+    };
+    let router = scec_serve::Router::new(config).map_err(|e| Error::Domain(e.to_string()))?;
+    let (server, addr) = match &options.addr {
+        Some(a) => (
+            None,
+            a.parse::<std::net::SocketAddr>()
+                .map_err(|e| Error::Usage(format!("bad --addr {a:?}: {e}")))?,
+        ),
+        None => {
+            let server = scec_serve::DeviceServer::bind::<Fp61>(
+                "127.0.0.1:0",
+                scec_serve::ServerConfig {
+                    max_tenants: options.tenants as u64,
+                    ..scec_serve::ServerConfig::default()
+                },
+            )?;
+            let addr = server.local_addr();
+            (Some(server), addr)
+        }
+    };
+    let report = router.run(addr).map_err(|e| Error::Domain(e.to_string()))?;
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if let Some(path) = &options.metrics_out {
+        std::fs::write(path, report.render_json())?;
+    }
+    let mut out = report.render();
+    if let Some(path) = &options.metrics_out {
+        let _ = writeln!(out, "load report written to {}", path.display());
+    }
+    if !report.failures.is_empty() {
+        return Err(Error::Domain(format!(
+            "{} tenants failed (first: tenant {}: {})",
+            report.failures.len(),
+            report.failures[0].0,
+            report.failures[0].1
+        )));
+    }
+    let mismatches: u64 = report.tenants.iter().map(|t| t.mismatches).sum();
+    if mismatches > 0 {
+        return Err(Error::Domain(format!(
+            "{mismatches} results did not match their tenant's A·x"
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1324,6 +1484,28 @@ mod tests {
         assert!(snap.contains("\"predicted\""), "{snap}");
         assert!(snap.contains("span.decode"), "{snap}");
         assert!(snap.contains("span.device_compute"), "{snap}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_drives_an_in_process_serving_tier() {
+        let dir = temp_dir("load");
+        let metrics = dir.join("load.json");
+        let options = LoadOptions {
+            tenants: 3,
+            queries: 12,
+            panel: 4,
+            window: 2,
+            seed: 23,
+            metrics_out: Some(metrics.clone()),
+            ..LoadOptions::default()
+        };
+        let out = load(&options).unwrap();
+        assert!(out.contains("serving tier: 3 tenants"), "{out}");
+        assert!(out.contains("peak in-flight"), "{out}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"peak_in_flight\""), "{json}");
+        assert!(json.contains("\"tenants\""), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

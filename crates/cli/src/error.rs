@@ -84,6 +84,12 @@ impl From<scec_runtime::Error> for Error {
     }
 }
 
+impl From<scec_serve::Error> for Error {
+    fn from(e: scec_serve::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,14 @@ USAGE:
               [--queries Q] [--list-scenarios true]
   scec metrics [--devices N] [--queries Q] [--seed N] [--format prometheus|json]
   scec bench  [--out DIR] [--iters N] [--index N] [--quick true]
+  scec serve  [--addr HOST:PORT] [--max-tenants N] [--once true]
+  scec load   [--addr HOST:PORT] [--tenants N] [--queries Q] [--panel W]
+              [--window D] [--cap N] [--seed N] [--metrics-out PATH]
 
+`scec serve` hosts a device fleet over TCP; `scec load` drives a
+sharded multi-tenant query load against it (spawning an in-process
+loopback server when --addr is omitted) and exits non-zero unless
+every tenant's results match its own A·x.
 `scec dst` honors SCEC_DST_SEED to replay a single seeded schedule.
 `scec dst --scenario NAME` sweeps a named adversarial campaign at fleet
 scale (`--list-scenarios true` prints the catalog).
@@ -235,6 +242,52 @@ fn run() -> Result<(), Error> {
                 "{}",
                 commands::metrics(devices, queries, args.seed()?, json)?
             );
+        }
+        "serve" => {
+            let options = commands::ServeOptions {
+                addr: args
+                    .flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:4070".to_string()),
+                max_tenants: match args.flags.get("max-tenants") {
+                    None => u64::MAX,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|e| Error::Usage(format!("bad --max-tenants: {e}")))?,
+                },
+                once: match args.flags.get("once") {
+                    None => false,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|e| Error::Usage(format!("bad --once: {e}")))?,
+                },
+            };
+            print!("{}", commands::serve(&options)?);
+        }
+        "load" => {
+            let mut options = commands::LoadOptions {
+                seed: args.seed()?,
+                ..commands::LoadOptions::default()
+            };
+            options.addr = args.flags.get("addr").cloned();
+            if args.flags.contains_key("tenants") {
+                options.tenants = args.get_usize("tenants")?;
+            }
+            if args.flags.contains_key("queries") {
+                options.queries = args.get_usize("queries")?;
+            }
+            if args.flags.contains_key("panel") {
+                options.panel = args.get_usize("panel")?;
+            }
+            if args.flags.contains_key("window") {
+                options.window = args.get_usize("window")?;
+            }
+            if args.flags.contains_key("cap") {
+                options.cap = args.get_usize("cap")?;
+            }
+            options.metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
+            print!("{}", commands::load(&options)?);
         }
         "bench" => {
             let mut opts = scec_cli::bench::BenchOptions::default();

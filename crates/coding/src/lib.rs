@@ -71,4 +71,4 @@ pub use encode::{DeviceShare, EncodedStore, Encoder};
 pub use error::{Error, Result};
 pub use plan::DecodePlan;
 pub use straggler::{StragglerCode, StragglerShare, StragglerStore, TaggedResponse};
-pub use wire::{PanelPartialMsg, PanelQueryMsg};
+pub use wire::{FailureMsg, HelloMsg, PanelPartialMsg, PanelQueryMsg, PartialMsg, QueryMsg};

@@ -4,13 +4,60 @@
 //! any byte transport; devices deserialize, verify shapes, and serve
 //! queries. See [`scec_wire`] for the codec itself.
 
-use scec_linalg::{Matrix, Scalar};
+use scec_linalg::{Matrix, Scalar, Vector};
 use scec_wire::{Error as WireError, Reader, Result as WireResult, WireDecode, WireEncode};
 
 use crate::collusion::TPrivateCode;
 use crate::design::CodeDesign;
 use crate::encode::DeviceShare;
 use crate::straggler::{StragglerCode, StragglerShare, TaggedResponse};
+
+/// A single query broadcast: one `l`-vector under a correlation id.
+/// Framed with [`scec_wire::tag::QUERY`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMsg<F: Scalar> {
+    /// Correlation id matching partials back to this query.
+    pub request: u64,
+    /// The query vector `x` (length `l`).
+    pub query: Vector<F>,
+}
+
+/// A device's partial result for one query: its block of `B_j T x`.
+/// Framed with [`scec_wire::tag::PARTIAL`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialMsg<F: Scalar> {
+    /// Correlation id of the query this answers.
+    pub request: u64,
+    /// 1-based device index of the responder.
+    pub device: usize,
+    /// The device's partial product rows.
+    pub value: Vector<F>,
+}
+
+/// A device-side failure report: the networked analogue of an
+/// in-process failure response, so collectors can distinguish "device
+/// declined" from "link went quiet". Framed with
+/// [`scec_wire::tag::FAILURE`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureMsg {
+    /// Correlation id of the request that failed.
+    pub request: u64,
+    /// 1-based device index of the reporter.
+    pub device: usize,
+    /// Numeric reason code (transport-defined).
+    pub reason: u64,
+}
+
+/// Connection handshake: binds a socket to one `(tenant, device)` pair
+/// so subsequent frames need no per-message routing fields. Framed with
+/// [`scec_wire::tag::HELLO`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloMsg {
+    /// Tenant id the connection serves.
+    pub tenant: u64,
+    /// 1-based device index within that tenant's fleet.
+    pub device: usize,
+}
 
 /// A batched multi-query panel broadcast: `k` query columns stacked into
 /// one `l × k` matrix, shipped under a single request id so every device
@@ -42,6 +89,90 @@ pub struct PanelPartialMsg<F: Scalar> {
     pub rows: Vec<usize>,
     /// The `rows × k` block of partial products.
     pub values: Matrix<F>,
+}
+
+impl<F: Scalar + WireEncode> WireEncode for QueryMsg<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.request.encode(out);
+        self.query.encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for QueryMsg<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let request = u64::decode(r)?;
+        let query = Vector::<F>::decode(r)?;
+        if query.is_empty() {
+            return Err(WireError::Malformed("query must carry elements"));
+        }
+        Ok(QueryMsg { request, query })
+    }
+}
+
+impl<F: Scalar + WireEncode> WireEncode for PartialMsg<F> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.request.encode(out);
+        self.device.encode(out);
+        self.value.encode(out);
+    }
+}
+
+impl<F: Scalar + WireDecode> WireDecode for PartialMsg<F> {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let request = u64::decode(r)?;
+        let device = usize::decode(r)?;
+        let value = Vector::<F>::decode(r)?;
+        if device == 0 {
+            return Err(WireError::Malformed("device index must be 1-based"));
+        }
+        Ok(PartialMsg {
+            request,
+            device,
+            value,
+        })
+    }
+}
+
+impl WireEncode for FailureMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.request.encode(out);
+        self.device.encode(out);
+        self.reason.encode(out);
+    }
+}
+
+impl WireDecode for FailureMsg {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let request = u64::decode(r)?;
+        let device = usize::decode(r)?;
+        let reason = u64::decode(r)?;
+        if device == 0 {
+            return Err(WireError::Malformed("device index must be 1-based"));
+        }
+        Ok(FailureMsg {
+            request,
+            device,
+            reason,
+        })
+    }
+}
+
+impl WireEncode for HelloMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tenant.encode(out);
+        self.device.encode(out);
+    }
+}
+
+impl WireDecode for HelloMsg {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let tenant = u64::decode(r)?;
+        let device = usize::decode(r)?;
+        if device == 0 {
+            return Err(WireError::Malformed("device index must be 1-based"));
+        }
+        Ok(HelloMsg { tenant, device })
+    }
 }
 
 impl<F: Scalar + WireEncode> WireEncode for PanelQueryMsg<F> {
@@ -370,6 +501,74 @@ mod tests {
         Vec::<usize>::new().encode(&mut bytes);
         Matrix::<Fp61>::identity(2).encode(&mut bytes);
         assert!(PanelPartialMsg::<Fp61>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn serving_messages_roundtrip_and_validate() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let query = QueryMsg {
+            request: 7,
+            query: Vector::<Fp61>::random(5, &mut rng),
+        };
+        let frame = encode_framed(&query, tag::QUERY);
+        assert_eq!(
+            decode_framed::<QueryMsg<Fp61>>(&frame, tag::QUERY).unwrap(),
+            query
+        );
+        // Empty queries carry no work and are rejected.
+        let empty = QueryMsg {
+            request: 7,
+            query: Vector::<Fp61>::from_vec(vec![]),
+        };
+        assert!(QueryMsg::<Fp61>::from_bytes(&empty.to_bytes()).is_err());
+
+        let partial = PartialMsg {
+            request: 7,
+            device: 3,
+            value: Vector::<Fp61>::random(2, &mut rng),
+        };
+        let frame = encode_framed(&partial, tag::PARTIAL);
+        assert_eq!(
+            decode_framed::<PartialMsg<Fp61>>(&frame, tag::PARTIAL).unwrap(),
+            partial
+        );
+
+        let failure = FailureMsg {
+            request: 7,
+            device: 3,
+            reason: 2,
+        };
+        let frame = encode_framed(&failure, tag::FAILURE);
+        assert_eq!(
+            decode_framed::<FailureMsg>(&frame, tag::FAILURE).unwrap(),
+            failure
+        );
+
+        let hello = HelloMsg {
+            tenant: 12,
+            device: 1,
+        };
+        let frame = encode_framed(&hello, tag::HELLO);
+        assert_eq!(
+            decode_framed::<HelloMsg>(&frame, tag::HELLO).unwrap(),
+            hello
+        );
+
+        // Zero device indexes are rejected across the serving messages.
+        let mut bytes = Vec::new();
+        7u64.encode(&mut bytes);
+        0usize.encode(&mut bytes);
+        Vector::<Fp61>::random(2, &mut rng).encode(&mut bytes);
+        assert!(PartialMsg::<Fp61>::from_bytes(&bytes).is_err());
+        let mut bytes = Vec::new();
+        7u64.encode(&mut bytes);
+        0usize.encode(&mut bytes);
+        2u64.encode(&mut bytes);
+        assert!(FailureMsg::from_bytes(&bytes).is_err());
+        let mut bytes = Vec::new();
+        12u64.encode(&mut bytes);
+        0usize.encode(&mut bytes);
+        assert!(HelloMsg::from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod parity;
 pub mod runner;
 pub mod scenarios;
 pub mod schedule;
@@ -44,6 +45,7 @@ pub mod shrink;
 pub mod sim;
 
 pub use explore::{explore, ExploreReport};
+pub use parity::{transport_parity, ParityConfig, ParityReport};
 pub use runner::{run_scenario, run_seeds, run_seeds_telemetry, SweepReport};
 pub use scenarios::{catalog, find as find_scenario, Dynamics, Scenario, SloPolicy};
 pub use schedule::{Decision, Schedule};

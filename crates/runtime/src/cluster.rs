@@ -2,12 +2,11 @@
 //! decoding.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use scec_coding::decode;
@@ -15,11 +14,13 @@ use scec_core::ScecSystem;
 use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::clock::{default_clock, Clock};
+use crate::core::{message_bytes, ClusterCore};
 use crate::error::{Error, Result};
 use crate::latency::LatencyLog;
-use crate::mailbox::{lock, Mailbox};
+use crate::mailbox::lock;
 use crate::message::{FromDevice, ToDevice};
 use crate::pipeline::{PanelTicket, Ticket};
+use crate::transport::{ChannelTransport, DeviceSpec, SimLinkTransport, Transport};
 
 /// How a spawned device actor (mis)behaves — fault injection for tests,
 /// demos, and integrity-check validation.
@@ -312,21 +313,15 @@ pub struct QueryStats {
 /// See the [crate-level example](crate).
 pub struct LocalCluster<F: Scalar> {
     design: scec_coding::CodeDesign,
-    devices: Vec<DeviceHandle<F>>,
-    mailbox: Mailbox<F>,
-    next_request: AtomicU64,
-    timeout: Duration,
-    clock: Arc<dyn Clock>,
+    transport: Box<dyn Transport<F>>,
+    core: ClusterCore<F>,
     /// Completed-query latencies, seconds (lifetime histogram).
     latencies: std::sync::Mutex<LatencyLog>,
-    tel: crate::telemetry::Sink,
     /// When encoding started / how long it took (replayed into the
     /// tracer at `with_telemetry` time, since encoding happens at
     /// launch).
     encode_started: Duration,
     encode_dur: Duration,
-    /// Query width `l` (for analytic per-device flop accounting).
-    input_len: usize,
     /// `(device id, coded rows held, fleet unit cost)` per enrolled
     /// device.
     loads: Vec<(usize, usize, f64)>,
@@ -416,42 +411,159 @@ impl<F: Scalar> LocalCluster<F> {
                 )
             })
             .collect();
-        let (resp_tx, resp_rx) = unbounded();
-        let mut devices = Vec::new();
+        let specs: Vec<DeviceSpec<F>> = deployment
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(idx, dev)| DeviceSpec {
+                device: dev.device(),
+                thread_name: format!("scec-device-{}", dev.device()),
+                behavior: behaviors.get(idx).copied().unwrap_or_default(),
+                install: Some(ToDevice::Install(Box::new(dev.share().clone()))),
+            })
+            .collect();
+        let (transport, resp_rx) = ChannelTransport::spawn(specs, &clock)?;
+        Ok(LocalCluster {
+            design: system.design().clone(),
+            transport: Box::new(transport),
+            core: ClusterCore::new(resp_rx, clock, input_len),
+            latencies: std::sync::Mutex::new(LatencyLog::default()),
+            encode_started,
+            encode_dur,
+            loads,
+        })
+    }
+
+    /// Like [`launch_clocked`](Self::launch_clocked), but every message
+    /// crosses a [`SimLinkTransport`]: encoded to `scec-wire` bytes and
+    /// decoded back (both directions) before delivery, with `delay`
+    /// slept per message on `clock`. Used by DST parity suites to prove
+    /// the protocol behaves identically once a codec sits on the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution failures.
+    pub fn launch_sim_linked<R: Rng + ?Sized>(
+        system: &ScecSystem<F>,
+        rng: &mut R,
+        behaviors: &[DeviceBehavior],
+        clock: Arc<dyn Clock>,
+        delay: Duration,
+    ) -> Result<Self>
+    where
+        F: scec_wire::WireEncode + scec_wire::WireDecode,
+    {
+        let encode_started = clock.now();
+        let deployment = system.distribute(rng)?;
+        let encode_dur = clock.now().saturating_sub(encode_started);
+        let input_len = deployment
+            .devices()
+            .first()
+            .map(|d| d.share().coded().ncols())
+            .unwrap_or(0);
+        let loads: Vec<(usize, usize, f64)> = deployment
+            .devices()
+            .iter()
+            .map(|d| {
+                (
+                    d.device(),
+                    d.share().coded().nrows(),
+                    system.fleet().c(d.device()),
+                )
+            })
+            .collect();
+        // Spawn bare actors; shares are installed *through* the link so
+        // the install frames round-trip the codec too.
+        let specs: Vec<DeviceSpec<F>> = deployment
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(idx, dev)| DeviceSpec {
+                device: dev.device(),
+                thread_name: format!("scec-device-{}", dev.device()),
+                behavior: behaviors.get(idx).copied().unwrap_or_default(),
+                install: None,
+            })
+            .collect();
+        let (inner, inner_rx) = ChannelTransport::spawn(specs, &clock)?;
+        let (transport, resp_rx) =
+            SimLinkTransport::wrap(inner, inner_rx, Arc::clone(&clock), delay);
         for (idx, dev) in deployment.devices().iter().enumerate() {
-            let (tx, rx) = unbounded();
-            let outbox = resp_tx.clone();
-            let device = dev.device();
-            let behavior = behaviors.get(idx).copied().unwrap_or_default();
-            let device_clock = Arc::clone(&clock);
-            let join = std::thread::Builder::new()
-                .name(format!("scec-device-{device}"))
-                .spawn(move || device_main::<F>(device, rx, outbox, behavior, device_clock))
-                .expect("spawn device thread");
-            tx.send(ToDevice::Install(Box::new(dev.share().clone())))
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(device),
-                })?;
-            devices.push(DeviceHandle {
-                device,
-                tx,
-                join: Some(join),
-            });
+            transport.send(idx, ToDevice::Install(Box::new(dev.share().clone())))?;
         }
         Ok(LocalCluster {
             design: system.design().clone(),
-            devices,
-            mailbox: Mailbox::new(resp_rx),
-            next_request: AtomicU64::new(1),
-            timeout: crate::DEFAULT_DEADLINE,
-            clock,
+            transport: Box::new(transport),
+            core: ClusterCore::new(resp_rx, clock, input_len),
             latencies: std::sync::Mutex::new(LatencyLog::default()),
-            tel: crate::telemetry::Sink::none(),
             encode_started,
             encode_dur,
-            input_len,
             loads,
         })
+    }
+
+    /// Runs the base protocol over an externally built [`Transport`] —
+    /// the entry point for networked deployments (e.g. the `scec-serve`
+    /// TCP backend). `connect` receives the freshly distributed shares
+    /// (device ids, row counts) and must return the transport plus the
+    /// response stream feeding the mailbox; the cluster then installs
+    /// each share through the transport, in roster order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution failures, connection failures from
+    /// `connect`, and install-send failures.
+    pub fn launch_with_transport<R: Rng + ?Sized>(
+        system: &ScecSystem<F>,
+        rng: &mut R,
+        clock: Arc<dyn Clock>,
+        connect: impl FnOnce(
+            &[scec_coding::DeviceShare<F>],
+        ) -> Result<(Box<dyn Transport<F>>, Receiver<FromDevice<F>>)>,
+    ) -> Result<Self> {
+        let encode_started = clock.now();
+        let deployment = system.distribute(rng)?;
+        let encode_dur = clock.now().saturating_sub(encode_started);
+        let input_len = deployment
+            .devices()
+            .first()
+            .map(|d| d.share().coded().ncols())
+            .unwrap_or(0);
+        let loads: Vec<(usize, usize, f64)> = deployment
+            .devices()
+            .iter()
+            .map(|d| {
+                (
+                    d.device(),
+                    d.share().coded().nrows(),
+                    system.fleet().c(d.device()),
+                )
+            })
+            .collect();
+        let shares: Vec<scec_coding::DeviceShare<F>> = deployment
+            .devices()
+            .iter()
+            .map(|d| d.share().clone())
+            .collect();
+        let (transport, resp_rx) = connect(&shares)?;
+        for (idx, share) in shares.into_iter().enumerate() {
+            transport.send(idx, ToDevice::Install(Box::new(share)))?;
+        }
+        Ok(LocalCluster {
+            design: system.design().clone(),
+            transport,
+            core: ClusterCore::new(resp_rx, clock, input_len),
+            latencies: std::sync::Mutex::new(LatencyLog::default()),
+            encode_started,
+            encode_dur,
+            loads,
+        })
+    }
+
+    /// Cumulative `(bytes sent, bytes received)` on the wire, when the
+    /// transport meters actual bytes (`None` for in-memory backends).
+    pub fn wire_bytes(&self) -> Option<(u64, u64)> {
+        self.transport.wire_bytes()
     }
 
     /// Attaches a telemetry handle: queries record spans, metrics, and
@@ -462,9 +574,7 @@ impl<F: Scalar> LocalCluster<F> {
     /// assigns it — is installed alongside its stored coded rows.
     #[must_use]
     pub fn with_telemetry(mut self, tel: Arc<scec_telemetry::Telemetry>) -> Self {
-        for dev in &self.devices {
-            let _ = dev.tx.send(ToDevice::Instrument(Arc::clone(&tel)));
-        }
+        self.core.instrument(&*self.transport, &tel);
         tel.tracer.span(
             self.encode_started,
             self.encode_dur,
@@ -472,7 +582,7 @@ impl<F: Scalar> LocalCluster<F> {
             None,
             None,
         );
-        let l = self.input_len as u64;
+        let l = self.core.input_len as u64;
         let esize = std::mem::size_of::<F>() as u64;
         for &(device, rows, unit_cost) in &self.loads {
             let rows = rows as u64;
@@ -505,13 +615,13 @@ impl<F: Scalar> LocalCluster<F> {
                 },
             );
         }
-        self.tel.attach(tel, "local");
+        self.core.tel.attach(tel, "local");
         self
     }
 
     /// The clock this cluster runs on.
     pub(crate) fn clock_handle(&self) -> &Arc<dyn Clock> {
-        &self.clock
+        &self.core.clock
     }
 
     /// Latency statistics over the queries served so far (vector queries
@@ -525,20 +635,20 @@ impl<F: Scalar> LocalCluster<F> {
     /// Sets the per-query deadline
     /// (default [`DEFAULT_DEADLINE`](crate::DEFAULT_DEADLINE)).
     pub fn set_timeout(&mut self, timeout: Duration) {
-        self.timeout = timeout;
+        self.core.timeout = timeout;
     }
 
     /// Builder-style per-query deadline, usable at launch:
     /// `LocalCluster::launch(&sys, rng)?.with_deadline(d)`.
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.timeout = deadline;
+        self.core.timeout = deadline;
         self
     }
 
-    /// Number of device threads.
+    /// Number of enrolled devices.
     pub fn device_count(&self) -> usize {
-        self.devices.len()
+        self.transport.device_count()
     }
 
     /// Runs one full secure query: broadcast, await **all** partials,
@@ -569,34 +679,7 @@ impl<F: Scalar> LocalCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
-        let ticket_clock = Arc::clone(&self.clock);
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let ticket = Ticket::new(request, &ticket_clock);
-        let shared = Arc::new(x.clone());
-        for dev in &self.devices {
-            dev.tx
-                .send(ToDevice::Query {
-                    request,
-                    x: Arc::clone(&shared),
-                })
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(dev.device),
-                })?;
-        }
-        self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
-                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
-            s.tel
-                .costs
-                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
-            s.span(
-                ticket.started(),
-                self.clock.now(),
-                scec_telemetry::Stage::Dispatch,
-                request,
-            );
-        });
-        Ok(ticket)
+        self.core.begin_query(&*self.transport, x)
     }
 
     /// Awaits all partials for an in-flight request and decodes — the
@@ -614,11 +697,11 @@ impl<F: Scalar> LocalCluster<F> {
             Ok(_) => {
                 let elapsed = ticket.elapsed_secs();
                 lock(&self.latencies).record(elapsed);
-                self.tel.with(|s| s.query_ok(elapsed));
+                self.core.tel.with(|s| s.query_ok(elapsed));
             }
             Err(_) => {
-                self.mailbox.clear(ticket.request());
-                self.tel.with(|s| s.query_err());
+                self.core.mailbox.clear(ticket.request());
+                self.core.tel.with(|s| s.query_err());
             }
         }
         result
@@ -629,45 +712,47 @@ impl<F: Scalar> LocalCluster<F> {
     /// arrive later stay parked until the cluster shuts down, so abandon
     /// is for error paths, not a completion strategy.
     pub fn abandon_query(&self, ticket: Ticket) {
-        self.mailbox.clear(ticket.request());
+        self.core.mailbox.clear(ticket.request());
     }
 
     fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
-        let collect_started = self.tel.now(&self.clock);
+        let device_count = self.transport.device_count();
+        let collect_started = self.core.tel.now(&self.core.clock);
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
-        self.mailbox.collect(
-            &*self.clock,
+        self.core.mailbox.collect(
+            &*self.core.clock,
             request,
-            self.timeout,
-            self.devices.len(),
+            self.core.timeout,
+            device_count,
             |resp| {
                 Self::absorb(resp, &mut partials)?;
                 Ok(partials.len())
             },
         )?;
-        let decode_started = self.tel.now(&self.clock);
-        self.tel.with(|s| {
+        let decode_started = self.core.tel.now(&self.core.clock);
+        self.core.tel.with(|s| {
             s.span(
                 collect_started,
                 decode_started,
                 scec_telemetry::Stage::Collect,
                 request,
             );
+            let wire = self.transport.counts_wire_bytes();
             let esize = std::mem::size_of::<F>() as u64;
-            let l = self.input_len as u64;
+            let l = self.core.input_len as u64;
             for (&device, values) in &partials {
                 let rows = values.len() as u64;
                 s.tel.costs.record_served(
                     device,
-                    rows * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    message_bytes(wire, rows * esize),
                     rows,
                     rows * l,
                     rows * l.saturating_sub(1),
                 );
             }
         });
-        let mut ordered: Vec<Vector<F>> = Vec::with_capacity(self.devices.len());
-        for j in 1..=self.devices.len() {
+        let mut ordered: Vec<Vector<F>> = Vec::with_capacity(device_count);
+        for j in 1..=device_count {
             ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
                 device: j,
                 what: "complete quorum is missing an enrolled device's partial",
@@ -675,10 +760,10 @@ impl<F: Scalar> LocalCluster<F> {
         }
         let btx = decode::stack_partials(&ordered);
         let y = decode::decode_fast(&self.design, &btx)?;
-        self.tel.with(|s| {
+        self.core.tel.with(|s| {
             s.span(
                 decode_started,
-                self.clock.now(),
+                self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
             );
@@ -728,34 +813,7 @@ impl<F: Scalar> LocalCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let ticket = Ticket::new(request, &self.clock);
-        let width = xs.ncols();
-        let shared = Arc::new(xs.clone());
-        for dev in &self.devices {
-            dev.tx
-                .send(ToDevice::QueryBatch {
-                    request,
-                    xs: Arc::clone(&shared),
-                })
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(dev.device),
-                })?;
-        }
-        self.tel.with(|s| {
-            let bytes = (shared.nrows() * shared.ncols() * std::mem::size_of::<F>()) as u64
-                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
-            s.tel
-                .costs
-                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
-            s.span(
-                ticket.started(),
-                self.clock.now(),
-                scec_telemetry::Stage::Dispatch,
-                request,
-            );
-        });
-        Ok(PanelTicket::new(ticket, width))
+        self.core.begin_panel(&*self.transport, xs)
     }
 
     /// Awaits all batch partials for an in-flight panel, stacks them,
@@ -770,12 +828,13 @@ impl<F: Scalar> LocalCluster<F> {
         let result = self.finish_panel_inner(ticket.request(), ticket.width());
         match &result {
             Ok(_) => {
-                self.tel
+                self.core
+                    .tel
                     .with(|s| s.panel_ok(ticket.elapsed_secs(), ticket.width()));
             }
             Err(_) => {
-                self.mailbox.clear(ticket.request());
-                self.tel.with(|s| s.query_err());
+                self.core.mailbox.clear(ticket.request());
+                self.core.tel.with(|s| s.query_err());
             }
         }
         result
@@ -784,46 +843,48 @@ impl<F: Scalar> LocalCluster<F> {
     /// Drops an in-flight panel without waiting for its result,
     /// discarding any responses already parked for it.
     pub fn abandon_panel(&self, ticket: PanelTicket) {
-        self.mailbox.clear(ticket.request());
+        self.core.mailbox.clear(ticket.request());
     }
 
     fn finish_panel_inner(&self, request: u64, width: usize) -> Result<Matrix<F>> {
-        let collect_started = self.tel.now(&self.clock);
+        let device_count = self.transport.device_count();
+        let collect_started = self.core.tel.now(&self.core.clock);
         let mut partials: HashMap<usize, Matrix<F>> = HashMap::new();
-        self.mailbox.collect(
-            &*self.clock,
+        self.core.mailbox.collect(
+            &*self.core.clock,
             request,
-            self.timeout,
-            self.devices.len(),
+            self.core.timeout,
+            device_count,
             |resp| {
                 Self::absorb_batch(resp, &mut partials)?;
                 Ok(partials.len())
             },
         )?;
-        let decode_started = self.tel.now(&self.clock);
-        self.tel.with(|s| {
+        let decode_started = self.core.tel.now(&self.core.clock);
+        self.core.tel.with(|s| {
             s.span(
                 collect_started,
                 decode_started,
                 scec_telemetry::Stage::Collect,
                 request,
             );
+            let wire = self.transport.counts_wire_bytes();
             let esize = std::mem::size_of::<F>() as u64;
-            let l = self.input_len as u64;
+            let l = self.core.input_len as u64;
             let k = width as u64;
             for (&device, values) in &partials {
                 let rows = values.nrows() as u64;
                 s.tel.costs.record_served(
                     device,
-                    rows * k * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    message_bytes(wire, rows * k * esize),
                     rows * k,
                     rows * k * l,
                     rows * k * l.saturating_sub(1),
                 );
             }
         });
-        let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(self.devices.len());
-        for j in 1..=self.devices.len() {
+        let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(device_count);
+        for j in 1..=device_count {
             ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
                 device: j,
                 what: "complete quorum is missing an enrolled device's batch partial",
@@ -831,10 +892,10 @@ impl<F: Scalar> LocalCluster<F> {
         }
         let btx = decode::stack_partial_matrices(&ordered)?;
         let ys = decode::decode_fast_batch(&self.design, &btx)?;
-        self.tel.with(|s| {
+        self.core.tel.with(|s| {
             s.span(
                 decode_started,
-                self.clock.now(),
+                self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
             );
@@ -864,14 +925,7 @@ impl<F: Scalar> LocalCluster<F> {
     }
 
     fn shutdown_in_place(&mut self) {
-        for dev in &mut self.devices {
-            dev.shutdown();
-        }
-        for dev in &mut self.devices {
-            if let Some(join) = dev.join.take() {
-                let _ = join.join();
-            }
-        }
+        self.transport.shutdown();
     }
 }
 

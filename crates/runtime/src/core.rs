@@ -1,0 +1,176 @@
+//! The generic cluster core shared by every cluster flavor.
+//!
+//! Local, straggler-coded, t-private, and supervised clusters all run
+//! the same outer loop — assign a request id, broadcast over a
+//! [`Transport`], park responses in the [`Mailbox`], account costs,
+//! decode — and differ only in their coding layer and quorum rule.
+//! [`ClusterCore`] owns that outer loop's state (request counter,
+//! mailbox, deadline, clock, telemetry sink) and the broadcast half of
+//! the protocol, generic over the transport.
+//!
+//! The core deliberately does *not* own the transport: the supervised
+//! cluster swaps its transport atomically during fleet repair (it lives
+//! inside the generation-fenced topology), so broadcast methods borrow
+//! the transport per call instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+
+use scec_linalg::{Matrix, Scalar, Vector};
+
+use crate::clock::Clock;
+use crate::error::Result;
+use crate::mailbox::Mailbox;
+use crate::message::{FromDevice, ToDevice};
+use crate::pipeline::{PanelTicket, Ticket};
+use crate::telemetry::Sink;
+use crate::transport::Transport;
+
+/// Analytic message cost for one protocol message of `payload` bytes —
+/// zero when the transport meters actual wire bytes (the observed
+/// ledger then reports measured traffic, not the model's estimate).
+pub(crate) fn message_bytes(counts_wire: bool, payload: u64) -> u64 {
+    if counts_wire {
+        0
+    } else {
+        payload + scec_telemetry::MESSAGE_OVERHEAD_BYTES
+    }
+}
+
+/// Shared outer-loop state for one running cluster.
+pub(crate) struct ClusterCore<F: Scalar> {
+    /// Parked-response stash fed by the transport's response channel.
+    pub(crate) mailbox: Mailbox<F>,
+    /// Monotonic request ids, starting at 1.
+    pub(crate) next_request: AtomicU64,
+    /// Per-query deadline.
+    pub(crate) timeout: Duration,
+    /// The clock queries and device actors run on.
+    pub(crate) clock: Arc<dyn Clock>,
+    /// Optional telemetry attachment.
+    pub(crate) tel: Sink,
+    /// Query width `l` (for analytic per-device flop accounting).
+    pub(crate) input_len: usize,
+}
+
+impl<F: Scalar> ClusterCore<F> {
+    pub(crate) fn new(
+        resp_rx: Receiver<FromDevice<F>>,
+        clock: Arc<dyn Clock>,
+        input_len: usize,
+    ) -> Self {
+        ClusterCore {
+            mailbox: Mailbox::new(resp_rx),
+            next_request: AtomicU64::new(1),
+            timeout: crate::DEFAULT_DEADLINE,
+            clock,
+            tel: Sink::none(),
+            input_len,
+        }
+    }
+
+    /// Broadcasts one query vector to every enrolled device and returns
+    /// the in-flight [`Ticket`]. One `Arc`-shared copy of `x` crosses
+    /// the whole fan-out.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`](crate::Error::ChannelClosed) when a
+    /// device is unreachable.
+    pub(crate) fn begin_query(
+        &self,
+        transport: &dyn Transport<F>,
+        x: &Vector<F>,
+    ) -> Result<Ticket> {
+        let ticket_clock = Arc::clone(&self.clock);
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &ticket_clock);
+        let shared = Arc::new(x.clone());
+        for idx in 0..transport.device_count() {
+            transport.send(
+                idx,
+                ToDevice::Query {
+                    request,
+                    x: Arc::clone(&shared),
+                },
+            )?;
+        }
+        self.tel.with(|s| {
+            if !transport.counts_wire_bytes() {
+                let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
+                    + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
+                s.tel.costs.record_broadcast(
+                    (0..transport.device_count()).map(|i| transport.device_id(i)),
+                    bytes,
+                );
+            }
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(ticket)
+    }
+
+    /// Broadcasts a whole `l × k` query panel and returns the in-flight
+    /// [`PanelTicket`] — the panel analogue of
+    /// [`begin_query`](Self::begin_query).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelClosed`](crate::Error::ChannelClosed) when a
+    /// device is unreachable.
+    pub(crate) fn begin_panel(
+        &self,
+        transport: &dyn Transport<F>,
+        xs: &Matrix<F>,
+    ) -> Result<PanelTicket> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let ticket = Ticket::new(request, &self.clock);
+        let width = xs.ncols();
+        let shared = Arc::new(xs.clone());
+        for idx in 0..transport.device_count() {
+            transport.send(
+                idx,
+                ToDevice::QueryBatch {
+                    request,
+                    xs: Arc::clone(&shared),
+                },
+            )?;
+        }
+        self.tel.with(|s| {
+            if !transport.counts_wire_bytes() {
+                let bytes = (shared.nrows() * shared.ncols() * std::mem::size_of::<F>()) as u64
+                    + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
+                s.tel.costs.record_broadcast(
+                    (0..transport.device_count()).map(|i| transport.device_id(i)),
+                    bytes,
+                );
+            }
+            s.span(
+                ticket.started(),
+                self.clock.now(),
+                scec_telemetry::Stage::Dispatch,
+                request,
+            );
+        });
+        Ok(PanelTicket::new(ticket, width))
+    }
+
+    /// Best-effort instrument broadcast (send failures mean the device
+    /// is already gone; launch-time attachment must not fail for that).
+    pub(crate) fn instrument(
+        &self,
+        transport: &dyn Transport<F>,
+        tel: &Arc<scec_telemetry::Telemetry>,
+    ) {
+        for idx in 0..transport.device_count() {
+            let _ = transport.send(idx, ToDevice::Instrument(Arc::clone(tel)));
+        }
+    }
+}

@@ -74,6 +74,7 @@
 
 pub mod clock;
 pub mod cluster;
+mod core;
 pub mod error;
 pub mod latency;
 mod mailbox;
@@ -83,6 +84,7 @@ pub mod straggler_cluster;
 pub mod supervisor;
 mod telemetry;
 pub mod tprivate_cluster;
+pub mod transport;
 
 use std::time::Duration;
 
@@ -101,6 +103,7 @@ pub use supervisor::{
     SupervisorConfig, SupervisorEvent,
 };
 pub use tprivate_cluster::TPrivateCluster;
+pub use transport::{ChannelTransport, SimLinkTransport, Transport};
 
 // Telemetry types, re-exported so `with_telemetry` callers need no
 // direct scec-telemetry dependency.

@@ -1,22 +1,21 @@
 //! Straggler-tolerant cluster: decode from the first `m + r` tagged rows
 //! to arrive, leaving slow devices behind.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::unbounded;
 use rand::Rng;
 
 use scec_coding::{StragglerCode, TaggedResponse};
 use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::clock::{default_clock, Clock};
-use crate::cluster::{DeviceBehavior, DeviceHandle};
+use crate::cluster::DeviceBehavior;
+use crate::core::{message_bytes, ClusterCore};
 use crate::error::{Error, Result};
-use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
 use crate::pipeline::{PanelTicket, Ticket};
+use crate::transport::{ChannelTransport, DeviceSpec, SimLinkTransport, Transport};
 
 /// A running straggler-tolerant cluster.
 ///
@@ -26,16 +25,10 @@ use crate::pipeline::{PanelTicket, Ticket};
 /// actually waited for.
 pub struct StragglerCluster<F: Scalar> {
     code: StragglerCode<F>,
-    devices: Vec<DeviceHandle<F>>,
-    mailbox: Mailbox<F>,
-    next_request: AtomicU64,
-    timeout: Duration,
-    clock: Arc<dyn Clock>,
-    tel: crate::telemetry::Sink,
+    transport: Box<dyn Transport<F>>,
+    core: ClusterCore<F>,
     encode_started: Duration,
     encode_dur: Duration,
-    /// Query width `l` (for analytic per-device flop accounting).
-    input_len: usize,
     /// `(device id, tagged rows held)` per enrolled device.
     loads: Vec<(usize, usize)>,
 }
@@ -113,41 +106,82 @@ impl<F: Scalar> StragglerCluster<F> {
             .iter()
             .map(|s| (s.device(), s.rows().len()))
             .collect();
-        let (resp_tx, resp_rx) = unbounded();
-        let mut devices = Vec::new();
+        let specs: Vec<DeviceSpec<F>> = store
+            .shares()
+            .iter()
+            .enumerate()
+            .map(|(idx, share)| DeviceSpec {
+                device: share.device(),
+                thread_name: format!("scec-straggler-device-{}", share.device()),
+                behavior: behaviors.get(idx).copied().unwrap_or_default(),
+                install: Some(ToDevice::InstallTagged(Box::new(share.clone()))),
+            })
+            .collect();
+        let (transport, resp_rx) = ChannelTransport::spawn(specs, &clock)?;
+        Ok(StragglerCluster {
+            code,
+            transport: Box::new(transport),
+            core: ClusterCore::new(resp_rx, clock, a.ncols()),
+            encode_started,
+            encode_dur,
+            loads,
+        })
+    }
+
+    /// Like [`launch_clocked`](Self::launch_clocked), but every message
+    /// crosses a [`SimLinkTransport`]: encoded to `scec-wire` bytes and
+    /// decoded back (both directions) before delivery, with `delay`
+    /// slept per message on `clock`. Used by DST parity suites to prove
+    /// the quorum protocol behaves identically once a codec sits on the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn launch_sim_linked<R: Rng + ?Sized>(
+        code: StragglerCode<F>,
+        a: &Matrix<F>,
+        rng: &mut R,
+        behaviors: &[DeviceBehavior],
+        clock: Arc<dyn Clock>,
+        delay: Duration,
+    ) -> Result<Self>
+    where
+        F: scec_wire::WireEncode + scec_wire::WireDecode,
+    {
+        let encode_started = clock.now();
+        let store = code.encode(a, rng)?;
+        let encode_dur = clock.now().saturating_sub(encode_started);
+        let loads: Vec<(usize, usize)> = store
+            .shares()
+            .iter()
+            .map(|s| (s.device(), s.rows().len()))
+            .collect();
+        // Spawn bare actors; tagged shares are installed *through* the
+        // link so the install frames round-trip the codec too.
+        let specs: Vec<DeviceSpec<F>> = store
+            .shares()
+            .iter()
+            .enumerate()
+            .map(|(idx, share)| DeviceSpec {
+                device: share.device(),
+                thread_name: format!("scec-straggler-device-{}", share.device()),
+                behavior: behaviors.get(idx).copied().unwrap_or_default(),
+                install: None,
+            })
+            .collect();
+        let (inner, inner_rx) = ChannelTransport::spawn(specs, &clock)?;
+        let (transport, resp_rx) =
+            SimLinkTransport::wrap(inner, inner_rx, Arc::clone(&clock), delay);
         for (idx, share) in store.shares().iter().enumerate() {
-            let (tx, rx) = unbounded();
-            let outbox = resp_tx.clone();
-            let device = share.device();
-            let behavior = behaviors.get(idx).copied().unwrap_or_default();
-            let device_clock = Arc::clone(&clock);
-            let join = std::thread::Builder::new()
-                .name(format!("scec-straggler-device-{device}"))
-                .spawn(move || {
-                    crate::cluster::device_main::<F>(device, rx, outbox, behavior, device_clock)
-                })
-                .expect("spawn device thread");
-            tx.send(ToDevice::InstallTagged(Box::new(share.clone())))
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(device),
-                })?;
-            devices.push(DeviceHandle {
-                device,
-                tx,
-                join: Some(join),
-            });
+            transport.send(idx, ToDevice::InstallTagged(Box::new(share.clone())))?;
         }
         Ok(StragglerCluster {
             code,
-            devices,
-            mailbox: Mailbox::new(resp_rx),
-            next_request: AtomicU64::new(1),
-            timeout: crate::DEFAULT_DEADLINE,
-            clock,
-            tel: crate::telemetry::Sink::none(),
+            transport: Box::new(transport),
+            core: ClusterCore::new(resp_rx, clock, a.ncols()),
             encode_started,
             encode_dur,
-            input_len: a.ncols(),
             loads,
         })
     }
@@ -159,9 +193,7 @@ impl<F: Scalar> StragglerCluster<F> {
     /// cost accountant.
     #[must_use]
     pub fn with_telemetry(mut self, tel: Arc<scec_telemetry::Telemetry>) -> Self {
-        for dev in &self.devices {
-            let _ = dev.tx.send(ToDevice::Instrument(Arc::clone(&tel)));
-        }
+        self.core.instrument(&*self.transport, &tel);
         tel.tracer.span(
             self.encode_started,
             self.encode_dur,
@@ -172,31 +204,37 @@ impl<F: Scalar> StragglerCluster<F> {
         for &(device, rows) in &self.loads {
             tel.costs.record_stored(device, rows as u64);
         }
-        self.tel.attach(tel, "straggler");
+        self.core.tel.attach(tel, "straggler");
         self
     }
 
     /// The clock this cluster runs on.
     pub(crate) fn clock_handle(&self) -> &Arc<dyn Clock> {
-        &self.clock
+        &self.core.clock
     }
 
     /// Sets the per-query deadline
     /// (default [`DEFAULT_DEADLINE`](crate::DEFAULT_DEADLINE)).
     pub fn set_timeout(&mut self, timeout: Duration) {
-        self.timeout = timeout;
+        self.core.timeout = timeout;
     }
 
     /// Builder-style per-query deadline, usable at launch.
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.timeout = deadline;
+        self.core.timeout = deadline;
         self
     }
 
-    /// Number of device threads (base + standby).
+    /// Number of enrolled devices (base + standby).
     pub fn device_count(&self) -> usize {
-        self.devices.len()
+        self.transport.device_count()
+    }
+
+    /// Cumulative `(bytes sent, bytes received)` on the wire, when the
+    /// transport meters actual bytes (`None` for in-memory backends).
+    pub fn wire_bytes(&self) -> Option<(u64, u64)> {
+        self.transport.wire_bytes()
     }
 
     /// The straggler code in force.
@@ -227,33 +265,7 @@ impl<F: Scalar> StragglerCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let ticket = Ticket::new(request, &self.clock);
-        let shared = Arc::new(x.clone());
-        for dev in &self.devices {
-            dev.tx
-                .send(ToDevice::Query {
-                    request,
-                    x: Arc::clone(&shared),
-                })
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(dev.device),
-                })?;
-        }
-        self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
-                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
-            s.tel
-                .costs
-                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
-            s.span(
-                ticket.started(),
-                self.clock.now(),
-                scec_telemetry::Stage::Dispatch,
-                request,
-            );
-        });
-        Ok(ticket)
+        self.core.begin_query(&*self.transport, x)
     }
 
     /// Awaits the first `m + r` tagged rows for an in-flight request and
@@ -265,25 +277,29 @@ impl<F: Scalar> StragglerCluster<F> {
     pub fn finish_query(&self, ticket: Ticket) -> Result<QuorumResult<F>> {
         let request = ticket.request();
         let needed = self.code.rows_needed();
-        let collect_started = self.tel.now(&self.clock);
+        let wire = self.transport.counts_wire_bytes();
+        let collect_started = self.core.tel.now(&self.core.clock);
         let mut collected: Vec<TaggedResponse<F>> = Vec::new();
         let mut responders = Vec::new();
-        let result = self
-            .mailbox
-            .collect(&*self.clock, request, self.timeout, needed, |resp| {
+        let result = self.core.mailbox.collect(
+            &*self.core.clock,
+            request,
+            self.core.timeout,
+            needed,
+            |resp| {
                 let before = collected.len();
                 Self::absorb(resp, &mut collected, &mut responders)?;
-                self.tel.with(|s| {
+                self.core.tel.with(|s| {
                     // `absorb` only grows `collected` for the device it
                     // just pushed onto `responders`.
                     if let Some(&device) = responders.last() {
                         let rows = (collected.len() - before) as u64;
                         let esize = std::mem::size_of::<F>() as u64;
-                        let l = self.input_len as u64;
+                        let l = self.core.input_len as u64;
                         // A tagged row ships the value plus its u64 tag.
                         s.tel.costs.record_served(
                             device,
-                            rows * (esize + 8) + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                            message_bytes(wire, rows * (esize + 8)),
                             rows,
                             rows * l,
                             rows * l.saturating_sub(1),
@@ -291,24 +307,25 @@ impl<F: Scalar> StragglerCluster<F> {
                     }
                 });
                 Ok(collected.len())
-            });
+            },
+        );
         // Late responses to this (now finished) request will be re-parked
         // by other threads; clear what exists now to bound the stash.
-        self.mailbox.clear(request);
+        self.core.mailbox.clear(request);
         if result.is_err() {
-            self.tel.with(|s| s.query_err());
+            self.core.tel.with(|s| s.query_err());
         }
         result?;
-        let decode_started = self.tel.now(&self.clock);
+        let decode_started = self.core.tel.now(&self.core.clock);
         let value = match self.code.decode(&collected) {
             Ok(v) => v,
             Err(e) => {
-                self.tel.with(|s| s.query_err());
+                self.core.tel.with(|s| s.query_err());
                 return Err(e.into());
             }
         };
-        let left_behind = self.devices.len() - responders.len();
-        self.tel.with(|s| {
+        let left_behind = self.transport.device_count() - responders.len();
+        self.core.tel.with(|s| {
             s.span(
                 collect_started,
                 decode_started,
@@ -317,7 +334,7 @@ impl<F: Scalar> StragglerCluster<F> {
             );
             s.span(
                 decode_started,
-                self.clock.now(),
+                self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
             );
@@ -335,7 +352,7 @@ impl<F: Scalar> StragglerCluster<F> {
     /// Drops an in-flight request without waiting for a quorum,
     /// discarding any responses already parked for it.
     pub fn abandon_query(&self, ticket: Ticket) {
-        self.mailbox.clear(ticket.request());
+        self.core.mailbox.clear(ticket.request());
     }
 
     /// Runs one `l × k` panel query, decoding every column from the
@@ -361,34 +378,7 @@ impl<F: Scalar> StragglerCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let ticket = Ticket::new(request, &self.clock);
-        let width = xs.ncols();
-        let shared = Arc::new(xs.clone());
-        for dev in &self.devices {
-            dev.tx
-                .send(ToDevice::QueryBatch {
-                    request,
-                    xs: Arc::clone(&shared),
-                })
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(dev.device),
-                })?;
-        }
-        self.tel.with(|s| {
-            let bytes = (shared.nrows() * shared.ncols() * std::mem::size_of::<F>()) as u64
-                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
-            s.tel
-                .costs
-                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
-            s.span(
-                ticket.started(),
-                self.clock.now(),
-                scec_telemetry::Stage::Dispatch,
-                request,
-            );
-        });
-        Ok(PanelTicket::new(ticket, width))
+        self.core.begin_panel(&*self.transport, xs)
     }
 
     /// Awaits the first `m + r` tagged panel rows for an in-flight
@@ -406,26 +396,30 @@ impl<F: Scalar> StragglerCluster<F> {
         let request = ticket.request();
         let width = ticket.width();
         let needed = self.code.rows_needed();
-        let collect_started = self.tel.now(&self.clock);
+        let wire = self.transport.counts_wire_bytes();
+        let collect_started = self.core.tel.now(&self.core.clock);
         let mut rows: Vec<usize> = Vec::new();
         let mut flat: Vec<F> = Vec::new();
         let mut responders = Vec::new();
-        let result = self
-            .mailbox
-            .collect(&*self.clock, request, self.timeout, needed, |resp| {
+        let result = self.core.mailbox.collect(
+            &*self.core.clock,
+            request,
+            self.core.timeout,
+            needed,
+            |resp| {
                 let before = rows.len();
                 Self::absorb_panel(resp, width, &mut rows, &mut flat, &mut responders)?;
-                self.tel.with(|s| {
+                self.core.tel.with(|s| {
                     if let Some(&device) = responders.last() {
                         let served = (rows.len() - before) as u64;
                         let esize = std::mem::size_of::<F>() as u64;
-                        let l = self.input_len as u64;
+                        let l = self.core.input_len as u64;
                         let k = width as u64;
                         // A tagged panel row ships `k` values plus its
                         // u64 tag.
                         s.tel.costs.record_served(
                             device,
-                            served * (k * esize + 8) + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                            message_bytes(wire, served * (k * esize + 8)),
                             served * k,
                             served * k * l,
                             served * k * l.saturating_sub(1),
@@ -433,24 +427,25 @@ impl<F: Scalar> StragglerCluster<F> {
                     }
                 });
                 Ok(rows.len())
-            });
-        self.mailbox.clear(request);
+            },
+        );
+        self.core.mailbox.clear(request);
         if result.is_err() {
-            self.tel.with(|s| s.query_err());
+            self.core.tel.with(|s| s.query_err());
         }
         result?;
-        let decode_started = self.tel.now(&self.clock);
+        let decode_started = self.core.tel.now(&self.core.clock);
         let values =
             Matrix::from_flat(rows.len(), width, flat).map_err(scec_coding::Error::from)?;
         let decoded = match self.code.decode_panel(&rows, &values) {
             Ok(v) => v,
             Err(e) => {
-                self.tel.with(|s| s.query_err());
+                self.core.tel.with(|s| s.query_err());
                 return Err(e.into());
             }
         };
-        let left_behind = self.devices.len() - responders.len();
-        self.tel.with(|s| {
+        let left_behind = self.transport.device_count() - responders.len();
+        self.core.tel.with(|s| {
             s.span(
                 collect_started,
                 decode_started,
@@ -459,7 +454,7 @@ impl<F: Scalar> StragglerCluster<F> {
             );
             s.span(
                 decode_started,
-                self.clock.now(),
+                self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
             );
@@ -473,7 +468,7 @@ impl<F: Scalar> StragglerCluster<F> {
     /// Drops an in-flight panel without waiting for a quorum,
     /// discarding any responses already parked for it.
     pub fn abandon_panel(&self, ticket: PanelTicket) {
-        self.mailbox.clear(ticket.request());
+        self.core.mailbox.clear(ticket.request());
     }
 
     fn absorb_panel(
@@ -542,14 +537,7 @@ impl<F: Scalar> StragglerCluster<F> {
     }
 
     fn shutdown_in_place(&mut self) {
-        for dev in &mut self.devices {
-            dev.shutdown();
-        }
-        for dev in &mut self.devices {
-            if let Some(join) = dev.join.take() {
-                let _ = join.join();
-            }
-        }
+        self.transport.shutdown();
     }
 }
 

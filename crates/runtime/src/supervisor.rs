@@ -43,11 +43,13 @@ use scec_core::IntegrityKey;
 use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::clock::{default_clock, Clock};
-use crate::cluster::{device_main, DeviceBehavior, DeviceHandle, QueryStats};
+use crate::cluster::{DeviceBehavior, QueryStats};
+use crate::core::message_bytes;
 use crate::error::{Error, Result};
 use crate::latency::LatencyLog;
 use crate::mailbox::{lock, Mailbox};
 use crate::message::{FromDevice, ToDevice};
+use crate::transport::{ChannelTransport, DeviceSpec, Transport};
 
 /// Tuning knobs for the supervision layer. Construct with
 /// [`SupervisorConfig::default`] and override builder-style.
@@ -329,8 +331,10 @@ struct DeviceCheck<F: Scalar> {
 /// repair.
 struct Topology<F: Scalar> {
     code: StragglerCode<F>,
-    /// Actor handles; index `j - 1` is logical device `j` of `code`.
-    actors: Vec<DeviceHandle<F>>,
+    /// Transport to the generation's actors; index `j - 1` is logical
+    /// device `j` of `code`. Owned by the topology (not the cluster) so
+    /// a repair swaps the transport together with the code it serves.
+    transport: Box<dyn Transport<F>>,
     /// Logical device `j` -> physical device id (`physical[j - 1]`).
     physical: Vec<usize>,
     checks: Vec<DeviceCheck<F>>,
@@ -602,8 +606,10 @@ impl<F: Scalar> SupervisedCluster<F> {
             let roster = lock(&self.roster);
             let l = self.data.ncols() as u64;
             let esize = std::mem::size_of::<F>() as u64;
-            for (idx, actor) in topo.actors.iter().enumerate() {
-                let _ = actor.tx.send(ToDevice::Instrument(Arc::clone(&s.tel)));
+            for idx in 0..topo.transport.device_count() {
+                let _ = topo
+                    .transport
+                    .send(idx, ToDevice::Instrument(Arc::clone(&s.tel)));
                 let phys = topo.physical[idx];
                 let rows = topo.checks[idx].rows.len() as u64;
                 s.tel.costs.record_stored(phys, rows);
@@ -760,40 +766,31 @@ impl<F: Scalar> SupervisedCluster<F> {
             }
         }
         let store = code.encode(data, rng)?;
-        let mut actors = Vec::with_capacity(code.device_count());
+        let mut specs = Vec::with_capacity(code.device_count());
         let mut checks = Vec::with_capacity(code.device_count());
         for (idx, share) in store.shares().iter().enumerate() {
             let logical = share.device();
             let phys = enrolled[idx];
             let behavior = roster[phys - 1].behavior;
-            let (tx, rx) = unbounded();
-            let outbox = resp_tx.clone();
-            let device_clock = Arc::clone(clock);
-            let join = std::thread::Builder::new()
-                .name(format!("scec-supervised-device-{phys}"))
-                .spawn(move || device_main::<F>(logical, rx, outbox, behavior, device_clock))
-                .expect("spawn device thread");
-            tx.send(ToDevice::InstallTagged(Box::new(share.clone())))
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(logical),
-                })?;
+            specs.push(DeviceSpec {
+                device: logical,
+                thread_name: format!("scec-supervised-device-{phys}"),
+                behavior,
+                install: Some(ToDevice::InstallTagged(Box::new(share.clone()))),
+            });
             checks.push(DeviceCheck {
                 key: IntegrityKey::generate(share.coded(), rng)?,
                 rows: share.rows().to_vec(),
             });
-            actors.push(DeviceHandle {
-                device: logical,
-                tx,
-                join: Some(join),
-            });
         }
+        let transport = ChannelTransport::spawn_onto(specs, clock, resp_tx)?;
         for &phys in &enrolled {
             roster[phys - 1].consecutive_misses = 0;
         }
         Ok((
             Topology {
                 code,
-                actors,
+                transport: Box::new(transport),
                 physical: enrolled.clone(),
                 checks,
                 generation: 0,
@@ -1020,13 +1017,16 @@ impl<F: Scalar> SupervisedCluster<F> {
         let shared = Arc::new(x.clone());
         let mut events = Vec::new();
         let mut dead_send = None;
-        for (idx, dev) in topo.actors.iter().enumerate() {
-            if dev
-                .tx
-                .send(ToDevice::Query {
-                    request,
-                    x: Arc::clone(&shared),
-                })
+        for idx in 0..topo.transport.device_count() {
+            if topo
+                .transport
+                .send(
+                    idx,
+                    ToDevice::Query {
+                        request,
+                        x: Arc::clone(&shared),
+                    },
+                )
                 .is_err()
             {
                 dead_send = Some(topo.physical[idx]);
@@ -1049,8 +1049,10 @@ impl<F: Scalar> SupervisedCluster<F> {
             }));
         }
         self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
-                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
+            let bytes = message_bytes(
+                topo.transport.counts_wire_bytes(),
+                (shared.len() * std::mem::size_of::<F>()) as u64,
+            );
             s.tel
                 .costs
                 .record_broadcast(topo.physical.iter().copied(), bytes);
@@ -1091,7 +1093,7 @@ impl<F: Scalar> SupervisedCluster<F> {
             needed,
             |resp| Ok(state.absorb(topo, x, &*self.clock, started, resp).0),
         );
-        if collect.is_ok() && state.heard() < topo.actors.len() {
+        if collect.is_ok() && state.heard() < topo.transport.device_count() {
             // Quorum is met; give the remaining enrolled devices a short
             // grace window (their responses are usually already queued)
             // so slow-but-honest devices are credited instead of
@@ -1100,7 +1102,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 &*self.clock,
                 request,
                 self.config.quorum_grace,
-                topo.actors.len(),
+                topo.transport.device_count(),
                 |resp| Ok(state.absorb(topo, x, &*self.clock, started, resp).1),
             );
         }
@@ -1122,12 +1124,13 @@ impl<F: Scalar> SupervisedCluster<F> {
             );
             let l = self.data.ncols() as u64;
             let esize = std::mem::size_of::<F>() as u64;
+            let wire = topo.transport.counts_wire_bytes();
             for &(j, _) in &responders {
                 let phys = topo.physical[j - 1];
                 let device_rows = topo.checks[j - 1].rows.len() as u64;
                 s.tel.costs.record_served(
                     phys,
-                    device_rows * (esize + 8) + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    message_bytes(wire, device_rows * (esize + 8)),
                     device_rows,
                     device_rows * l,
                     device_rows * l.saturating_sub(1),
@@ -1260,14 +1263,7 @@ impl<F: Scalar> SupervisedCluster<F> {
     /// surviving fleet: TA-1 re-allocation, fresh straggler code,
     /// re-encode, hot-install.
     fn repair(&self, topo: &mut Topology<F>) -> Result<()> {
-        for dev in &mut topo.actors {
-            dev.shutdown();
-        }
-        for dev in &mut topo.actors {
-            if let Some(join) = dev.join.take() {
-                let _ = join.join();
-            }
-        }
+        topo.transport.shutdown();
         // Old-generation responses can no longer be attributed.
         self.mailbox.clear_all();
         let encode_started = self.tel.now(&self.clock);
@@ -1327,7 +1323,7 @@ impl<F: Scalar> SupervisedCluster<F> {
 
     /// Number of actors in the current topology (base + standby).
     pub fn device_count(&self) -> usize {
-        lock(&self.topo).actors.len()
+        lock(&self.topo).transport.device_count()
     }
 
     /// Health snapshot for every physical device.
@@ -1380,14 +1376,7 @@ impl<F: Scalar> SupervisedCluster<F> {
 
     fn shutdown_in_place(&mut self) {
         let topo = self.topo.get_mut().unwrap_or_else(|e| e.into_inner());
-        for dev in &mut topo.actors {
-            dev.shutdown();
-        }
-        for dev in &mut topo.actors {
-            if let Some(join) = dev.join.take() {
-                let _ = join.join();
-            }
-        }
+        topo.transport.shutdown();
     }
 }
 

@@ -8,22 +8,21 @@
 //! `m` subtractions.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::unbounded;
 use rand::Rng;
 
 use scec_coding::{DeviceShare, TPrivateCode};
 use scec_linalg::{Matrix, Scalar, Vector};
 
 use crate::clock::{default_clock, Clock};
-use crate::cluster::{device_main, DeviceBehavior, DeviceHandle};
+use crate::cluster::DeviceBehavior;
+use crate::core::{message_bytes, ClusterCore};
 use crate::error::{Error, Result};
-use crate::mailbox::Mailbox;
 use crate::message::{FromDevice, ToDevice};
 use crate::pipeline::{PanelTicket, Ticket};
+use crate::transport::{ChannelTransport, DeviceSpec, Transport};
 
 /// A running cluster executing the `t`-private protocol on real threads.
 ///
@@ -46,16 +45,10 @@ use crate::pipeline::{PanelTicket, Ticket};
 /// ```
 pub struct TPrivateCluster<F: Scalar> {
     code: TPrivateCode<F>,
-    devices: Vec<DeviceHandle<F>>,
-    mailbox: Mailbox<F>,
-    next_request: AtomicU64,
-    timeout: Duration,
-    clock: Arc<dyn Clock>,
-    tel: crate::telemetry::Sink,
+    transport: Box<dyn Transport<F>>,
+    core: ClusterCore<F>,
     encode_started: Duration,
     encode_dur: Duration,
-    /// Query width `l` (for analytic per-device flop accounting).
-    input_len: usize,
     /// `(device id, coded rows held)` per enrolled device.
     loads: Vec<(usize, usize)>,
 }
@@ -100,43 +93,33 @@ impl<F: Scalar> TPrivateCluster<F> {
             .iter()
             .map(|s| (s.device(), s.coded().nrows()))
             .collect();
-        let (resp_tx, resp_rx) = unbounded();
-        let mut devices = Vec::new();
-        for (idx, share) in store.shares().iter().enumerate() {
-            let (tx, rx) = unbounded();
-            let outbox = resp_tx.clone();
-            let device = share.device();
-            let behavior = behaviors.get(idx).copied().unwrap_or_default();
-            let device_clock = Arc::clone(&clock);
-            let join = std::thread::Builder::new()
-                .name(format!("scec-tprivate-device-{device}"))
-                .spawn(move || device_main::<F>(device, rx, outbox, behavior, device_clock))
-                .expect("spawn device thread");
-            // Actors are code-agnostic: ship the payload in the plain
-            // share container.
-            let plain =
-                DeviceShare::from_parts(share.device(), share.first_row(), share.coded().clone());
-            tx.send(ToDevice::Install(Box::new(plain)))
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(device),
-                })?;
-            devices.push(DeviceHandle {
-                device,
-                tx,
-                join: Some(join),
-            });
-        }
+        let specs: Vec<DeviceSpec<F>> = store
+            .shares()
+            .iter()
+            .enumerate()
+            .map(|(idx, share)| {
+                // Actors are code-agnostic: ship the payload in the plain
+                // share container.
+                let plain = DeviceShare::from_parts(
+                    share.device(),
+                    share.first_row(),
+                    share.coded().clone(),
+                );
+                DeviceSpec {
+                    device: share.device(),
+                    thread_name: format!("scec-tprivate-device-{}", share.device()),
+                    behavior: behaviors.get(idx).copied().unwrap_or_default(),
+                    install: Some(ToDevice::Install(Box::new(plain))),
+                }
+            })
+            .collect();
+        let (transport, resp_rx) = ChannelTransport::spawn(specs, &clock)?;
         Ok(TPrivateCluster {
             code,
-            devices,
-            mailbox: Mailbox::new(resp_rx),
-            next_request: AtomicU64::new(1),
-            timeout: crate::DEFAULT_DEADLINE,
-            clock,
-            tel: crate::telemetry::Sink::none(),
+            transport: Box::new(transport),
+            core: ClusterCore::new(resp_rx, clock, a.ncols()),
             encode_started,
             encode_dur,
-            input_len: a.ncols(),
             loads,
         })
     }
@@ -148,9 +131,7 @@ impl<F: Scalar> TPrivateCluster<F> {
     /// cost accountant.
     #[must_use]
     pub fn with_telemetry(mut self, tel: Arc<scec_telemetry::Telemetry>) -> Self {
-        for dev in &self.devices {
-            let _ = dev.tx.send(ToDevice::Instrument(Arc::clone(&tel)));
-        }
+        self.core.instrument(&*self.transport, &tel);
         tel.tracer.span(
             self.encode_started,
             self.encode_dur,
@@ -161,31 +142,31 @@ impl<F: Scalar> TPrivateCluster<F> {
         for &(device, rows) in &self.loads {
             tel.costs.record_stored(device, rows as u64);
         }
-        self.tel.attach(tel, "tprivate");
+        self.core.tel.attach(tel, "tprivate");
         self
     }
 
     /// The clock this cluster runs on.
     pub(crate) fn clock_handle(&self) -> &Arc<dyn Clock> {
-        &self.clock
+        &self.core.clock
     }
 
     /// Sets the per-query deadline
     /// (default [`DEFAULT_DEADLINE`](crate::DEFAULT_DEADLINE)).
     pub fn set_timeout(&mut self, timeout: Duration) {
-        self.timeout = timeout;
+        self.core.timeout = timeout;
     }
 
     /// Builder-style per-query deadline, usable at launch.
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.timeout = deadline;
+        self.core.timeout = deadline;
         self
     }
 
-    /// Number of device threads.
+    /// Number of enrolled devices.
     pub fn device_count(&self) -> usize {
-        self.devices.len()
+        self.transport.device_count()
     }
 
     /// The `t`-private code in force.
@@ -214,33 +195,7 @@ impl<F: Scalar> TPrivateCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_query(&self, x: &Vector<F>) -> Result<Ticket> {
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let ticket = Ticket::new(request, &self.clock);
-        let shared = Arc::new(x.clone());
-        for dev in &self.devices {
-            dev.tx
-                .send(ToDevice::Query {
-                    request,
-                    x: Arc::clone(&shared),
-                })
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(dev.device),
-                })?;
-        }
-        self.tel.with(|s| {
-            let bytes = (shared.len() * std::mem::size_of::<F>()) as u64
-                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
-            s.tel
-                .costs
-                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
-            s.span(
-                ticket.started(),
-                self.clock.now(),
-                scec_telemetry::Stage::Dispatch,
-                request,
-            );
-        });
-        Ok(ticket)
+        self.core.begin_query(&*self.transport, x)
     }
 
     /// Awaits all partials for an in-flight request and decodes with the
@@ -253,10 +208,10 @@ impl<F: Scalar> TPrivateCluster<F> {
     pub fn finish_query(&self, ticket: Ticket) -> Result<Vector<F>> {
         let result = self.finish_inner(ticket.request());
         match &result {
-            Ok(_) => self.tel.with(|s| s.query_ok(ticket.elapsed_secs())),
+            Ok(_) => self.core.tel.with(|s| s.query_ok(ticket.elapsed_secs())),
             Err(_) => {
-                self.mailbox.clear(ticket.request());
-                self.tel.with(|s| s.query_err());
+                self.core.mailbox.clear(ticket.request());
+                self.core.tel.with(|s| s.query_err());
             }
         }
         result
@@ -265,7 +220,7 @@ impl<F: Scalar> TPrivateCluster<F> {
     /// Drops an in-flight request without waiting for its result,
     /// discarding any responses already parked for it.
     pub fn abandon_query(&self, ticket: Ticket) {
-        self.mailbox.clear(ticket.request());
+        self.core.mailbox.clear(ticket.request());
     }
 
     /// Runs one `l × k` panel query: one broadcast, one `B_j T · X`
@@ -289,34 +244,7 @@ impl<F: Scalar> TPrivateCluster<F> {
     ///
     /// [`Error::ChannelClosed`] when a device thread died.
     pub fn begin_panel(&self, xs: &Matrix<F>) -> Result<PanelTicket> {
-        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let ticket = Ticket::new(request, &self.clock);
-        let width = xs.ncols();
-        let shared = Arc::new(xs.clone());
-        for dev in &self.devices {
-            dev.tx
-                .send(ToDevice::QueryBatch {
-                    request,
-                    xs: Arc::clone(&shared),
-                })
-                .map_err(|_| Error::ChannelClosed {
-                    device: Some(dev.device),
-                })?;
-        }
-        self.tel.with(|s| {
-            let bytes = (shared.nrows() * shared.ncols() * std::mem::size_of::<F>()) as u64
-                + scec_telemetry::MESSAGE_OVERHEAD_BYTES;
-            s.tel
-                .costs
-                .record_broadcast(self.devices.iter().map(|d| d.device), bytes);
-            s.span(
-                ticket.started(),
-                self.clock.now(),
-                scec_telemetry::Stage::Dispatch,
-                request,
-            );
-        });
-        Ok(PanelTicket::new(ticket, width))
+        self.core.begin_panel(&*self.transport, xs)
     }
 
     /// Awaits all batch partials for an in-flight panel and decodes
@@ -330,12 +258,13 @@ impl<F: Scalar> TPrivateCluster<F> {
         let result = self.finish_panel_inner(ticket.request(), ticket.width());
         match &result {
             Ok(_) => {
-                self.tel
+                self.core
+                    .tel
                     .with(|s| s.panel_ok(ticket.elapsed_secs(), ticket.width()));
             }
             Err(_) => {
-                self.mailbox.clear(ticket.request());
-                self.tel.with(|s| s.query_err());
+                self.core.mailbox.clear(ticket.request());
+                self.core.tel.with(|s| s.query_err());
             }
         }
         result
@@ -344,46 +273,48 @@ impl<F: Scalar> TPrivateCluster<F> {
     /// Drops an in-flight panel without waiting for its result,
     /// discarding any responses already parked for it.
     pub fn abandon_panel(&self, ticket: PanelTicket) {
-        self.mailbox.clear(ticket.request());
+        self.core.mailbox.clear(ticket.request());
     }
 
     fn finish_panel_inner(&self, request: u64, width: usize) -> Result<Matrix<F>> {
-        let collect_started = self.tel.now(&self.clock);
+        let device_count = self.transport.device_count();
+        let collect_started = self.core.tel.now(&self.core.clock);
         let mut partials: HashMap<usize, Matrix<F>> = HashMap::new();
-        self.mailbox.collect(
-            &*self.clock,
+        self.core.mailbox.collect(
+            &*self.core.clock,
             request,
-            self.timeout,
-            self.devices.len(),
+            self.core.timeout,
+            device_count,
             |resp| {
                 Self::absorb_panel(resp, &mut partials)?;
                 Ok(partials.len())
             },
         )?;
-        let decode_started = self.tel.now(&self.clock);
-        self.tel.with(|s| {
+        let decode_started = self.core.tel.now(&self.core.clock);
+        self.core.tel.with(|s| {
             s.span(
                 collect_started,
                 decode_started,
                 scec_telemetry::Stage::Collect,
                 request,
             );
+            let wire = self.transport.counts_wire_bytes();
             let esize = std::mem::size_of::<F>() as u64;
-            let l = self.input_len as u64;
+            let l = self.core.input_len as u64;
             let k = width as u64;
             for (&device, values) in &partials {
                 let rows = values.nrows() as u64;
                 s.tel.costs.record_served(
                     device,
-                    rows * k * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    message_bytes(wire, rows * k * esize),
                     rows * k,
                     rows * k * l,
                     rows * k * l.saturating_sub(1),
                 );
             }
         });
-        let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(self.devices.len());
-        for j in 1..=self.devices.len() {
+        let mut ordered: Vec<Matrix<F>> = Vec::with_capacity(device_count);
+        for j in 1..=device_count {
             ordered.push(partials.remove(&j).ok_or(Error::ProtocolViolation {
                 device: j,
                 what: "complete quorum is missing an enrolled device's batch partial",
@@ -391,10 +322,10 @@ impl<F: Scalar> TPrivateCluster<F> {
         }
         let btx = scec_coding::decode::stack_partial_matrices(&ordered)?;
         let ys = self.code.decode_panel(&btx)?;
-        self.tel.with(|s| {
+        self.core.tel.with(|s| {
             s.span(
                 decode_started,
-                self.clock.now(),
+                self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
             );
@@ -419,33 +350,35 @@ impl<F: Scalar> TPrivateCluster<F> {
     }
 
     fn finish_inner(&self, request: u64) -> Result<Vector<F>> {
-        let collect_started = self.tel.now(&self.clock);
+        let device_count = self.transport.device_count();
+        let collect_started = self.core.tel.now(&self.core.clock);
         let mut partials: HashMap<usize, Vector<F>> = HashMap::new();
-        self.mailbox.collect(
-            &*self.clock,
+        self.core.mailbox.collect(
+            &*self.core.clock,
             request,
-            self.timeout,
-            self.devices.len(),
+            self.core.timeout,
+            device_count,
             |resp| {
                 Self::absorb(resp, &mut partials)?;
                 Ok(partials.len())
             },
         )?;
-        let decode_started = self.tel.now(&self.clock);
-        self.tel.with(|s| {
+        let decode_started = self.core.tel.now(&self.core.clock);
+        self.core.tel.with(|s| {
             s.span(
                 collect_started,
                 decode_started,
                 scec_telemetry::Stage::Collect,
                 request,
             );
+            let wire = self.transport.counts_wire_bytes();
             let esize = std::mem::size_of::<F>() as u64;
-            let l = self.input_len as u64;
+            let l = self.core.input_len as u64;
             for (&device, values) in &partials {
                 let rows = values.len() as u64;
                 s.tel.costs.record_served(
                     device,
-                    rows * esize + scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    message_bytes(wire, rows * esize),
                     rows,
                     rows * l,
                     rows * l.saturating_sub(1),
@@ -453,7 +386,7 @@ impl<F: Scalar> TPrivateCluster<F> {
             }
         });
         let mut btx = Vec::with_capacity(self.code.total_rows());
-        for j in 1..=self.devices.len() {
+        for j in 1..=device_count {
             btx.extend(
                 partials
                     .remove(&j)
@@ -465,10 +398,10 @@ impl<F: Scalar> TPrivateCluster<F> {
             );
         }
         let y = self.code.decode(&Vector::from_vec(btx))?;
-        self.tel.with(|s| {
+        self.core.tel.with(|s| {
             s.span(
                 decode_started,
-                self.clock.now(),
+                self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
             );
@@ -498,14 +431,7 @@ impl<F: Scalar> TPrivateCluster<F> {
     }
 
     fn shutdown_in_place(&mut self) {
-        for dev in &mut self.devices {
-            dev.shutdown();
-        }
-        for dev in &mut self.devices {
-            if let Some(join) = dev.join.take() {
-                let _ = join.join();
-            }
-        }
+        self.transport.shutdown();
     }
 }
 

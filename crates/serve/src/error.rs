@@ -1,0 +1,135 @@
+//! Error type for the serving tier.
+
+use std::fmt;
+
+/// A specialized result type for serving-tier operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Failures raised by the TCP serving tier.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Socket-level failure (bind, connect, read, write).
+    Io(std::io::Error),
+    /// The peer violated the wire format.
+    Wire(scec_wire::Error),
+    /// The server refused the tenant at handshake time.
+    Admission {
+        /// Tenant that was turned away.
+        tenant: u64,
+        /// Server-supplied reason.
+        reason: String,
+    },
+    /// The peer sent a well-formed frame that is illegal at this point
+    /// of the conversation.
+    Protocol(String),
+    /// A runtime-layer failure (cluster launch, query, decode).
+    Runtime(scec_runtime::Error),
+    /// A domain-layer failure (allocation, coding, framework).
+    Domain(String),
+    /// Bad serving/load configuration.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Wire(e) => write!(f, "wire error: {e}"),
+            Error::Admission { tenant, reason } => {
+                write!(f, "tenant {tenant} refused admission: {reason}")
+            }
+            Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::Domain(msg) => write!(f, "{msg}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Wire(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<scec_wire::Error> for Error {
+    fn from(e: scec_wire::Error) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl From<scec_wire::stream::StreamError> for Error {
+    fn from(e: scec_wire::stream::StreamError) -> Self {
+        match e {
+            scec_wire::stream::StreamError::Closed => {
+                Error::Protocol("peer closed the stream mid-conversation".into())
+            }
+            scec_wire::stream::StreamError::Io(e) => Error::Io(e),
+            scec_wire::stream::StreamError::Wire(e) => Error::Wire(e),
+            other => Error::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl From<scec_runtime::Error> for Error {
+    fn from(e: scec_runtime::Error) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl From<scec_linalg::Error> for Error {
+    fn from(e: scec_linalg::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
+impl From<scec_core::Error> for Error {
+    fn from(e: scec_core::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
+impl From<scec_coding::Error> for Error {
+    fn from(e: scec_coding::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
+impl From<scec_allocation::Error> for Error {
+    fn from(e: scec_allocation::Error) -> Self {
+        Error::Domain(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(Error::Admission {
+            tenant: 99,
+            reason: "full".into()
+        }
+        .to_string()
+        .contains("tenant 99"));
+        assert!(Error::from(scec_wire::Error::BadMagic)
+            .to_string()
+            .contains("wire"));
+        assert!(Error::Config("zero tenants".into())
+            .to_string()
+            .contains("configuration"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Networked serving tier for the SCEC protocol.
+//!
+//! The runtime crate proves the protocol over in-process channels; this
+//! crate puts it on real sockets without changing a line of cluster
+//! logic. Three pieces:
+//!
+//! * [`DeviceServer`] — a TCP listener hosting the device side: each
+//!   accepted connection is one device enrollment by one tenant
+//!   (HELLO handshake, admission control, then install/query frames).
+//!   Blocking I/O, one thread per connection, no async runtime.
+//! * [`TcpTransport`] — the user side: a
+//!   [`Transport`](scec_runtime::Transport) implementation over one
+//!   socket per device, pluggable into
+//!   [`LocalCluster::launch_with_transport`](scec_runtime::LocalCluster::launch_with_transport).
+//!   Meters actual wire bytes per device via a shared [`WireMeter`].
+//! * [`Router`] — the multi-tenant front end: shards `N` independent
+//!   tenants (each its own `A`, code design, and TA-1 plan) across one
+//!   shared server, drives panel pipelines under a global admission
+//!   gate, and reconciles measured wire bytes against MCSCEC-predicted
+//!   bytes in per-tenant cost ledgers.
+//!
+//! Frames are the `scec-wire` codecs shared with the runtime's
+//! simulated link ([`scec_runtime::transport::frames`]), length-prefixed
+//! per [`scec_wire::stream`]: one vectored write syscall per frame on
+//! the hot path, reused encode/decode buffers, max-frame-size guard on
+//! every read.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod router;
+pub mod server;
+pub mod transport;
+
+pub use error::{Error, Result};
+pub use router::{LoadConfig, LoadReport, Router, TenantReport};
+pub use server::{DeviceServer, ServerConfig, ServerStats};
+pub use transport::{TcpTransport, WireMeter};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use rand::{rngs::StdRng, SeedableRng};
+
+    use scec_allocation::EdgeFleet;
+    use scec_core::{AllocationStrategy, ScecSystem};
+    use scec_linalg::{Fp61, Matrix, Vector};
+    use scec_runtime::{Clock, LocalCluster, RealClock};
+
+    use super::*;
+
+    fn serve_one_tenant(
+        seed: u64,
+        server_cfg: ServerConfig,
+        tenant: u64,
+    ) -> Result<(Matrix<Fp61>, LocalCluster<Fp61>, WireMeter, DeviceServer)> {
+        let server = DeviceServer::bind::<Fp61>("127.0.0.1:0", server_cfg)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Fp61>::random(6, 5, &mut rng);
+        let fleet = EdgeFleet::from_unit_costs(vec![1.0, 1.5, 2.0])?;
+        let system = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
+        let addr = server.local_addr();
+        let mut meter_slot = None;
+        let mut connect_err = None;
+        let cluster = LocalCluster::launch_with_transport(
+            &system,
+            &mut rng,
+            Arc::new(RealClock::default()) as Arc<dyn Clock>,
+            |shares| {
+                let ids: Vec<usize> = shares.iter().map(|s| s.device()).collect();
+                match TcpTransport::connect(addr, tenant, &ids) {
+                    Ok((t, rx, meter)) => {
+                        meter_slot = Some(meter);
+                        Ok((Box::new(t), rx))
+                    }
+                    Err(e) => {
+                        connect_err = Some(e);
+                        Err(scec_runtime::Error::ChannelClosed { device: None })
+                    }
+                }
+            },
+        )
+        .map_err(|e| connect_err.take().unwrap_or(Error::Runtime(e)))?;
+        Ok((a, cluster, meter_slot.expect("connected"), server))
+    }
+
+    #[test]
+    fn queries_over_loopback_match_the_plain_matvec() {
+        let (a, cluster, meter, server) =
+            serve_one_tenant(11, ServerConfig::default(), 0).expect("serve");
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..4 {
+            let x = Vector::<Fp61>::random(5, &mut rng);
+            let y = cluster.query(&x).expect("query");
+            assert_eq!(y, a.matvec(&x).expect("matvec"));
+        }
+        let xs = Matrix::<Fp61>::random(5, 3, &mut rng);
+        let ys = cluster.query_batch(&xs).expect("panel");
+        assert_eq!(ys, a.matmul(&xs).expect("matmul"));
+        let (sent, received) = meter.totals();
+        assert!(sent > 0 && received > 0, "wire bytes metered");
+        assert_eq!(cluster.wire_bytes(), Some(meter.totals()));
+        cluster.shutdown();
+        server.wait_idle();
+        let stats = server.stats();
+        assert!(stats.accepted.load(std::sync::atomic::Ordering::Acquire) >= 2);
+        assert!(
+            stats
+                .clean_closes
+                .load(std::sync::atomic::Ordering::Acquire)
+                >= 2
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_refuses_tenants_past_the_cap() {
+        let cfg = ServerConfig {
+            max_tenants: 2,
+            ..ServerConfig::default()
+        };
+        match serve_one_tenant(13, cfg, 7) {
+            Err(Error::Admission { tenant, reason }) => {
+                assert_eq!(tenant, 7);
+                assert!(reason.contains("at most 2"), "reason: {reason}");
+            }
+            Err(other) => panic!("expected admission refusal, got {other}"),
+            Ok(_) => panic!("expected admission refusal, got a running cluster"),
+        }
+    }
+
+    #[test]
+    fn router_shards_tenants_and_reconciles_wire_bytes() {
+        let server =
+            DeviceServer::bind::<Fp61>("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let config = LoadConfig {
+            tenants: 4,
+            queries_per_tenant: 24,
+            panel_width: 4,
+            window: 3,
+            rows: 6,
+            cols: 8,
+            seed: 19,
+            max_in_flight: 0,
+        };
+        let report = Router::new(config)
+            .expect("config")
+            .run(server.local_addr())
+            .expect("load");
+        assert!(
+            report.failures.is_empty(),
+            "failures: {:?}",
+            report.failures
+        );
+        assert_eq!(report.tenants.len(), 4);
+        assert_eq!(report.total_queries, 4 * 24);
+        for t in &report.tenants {
+            assert_eq!(t.mismatches, 0, "tenant {} results verified", t.tenant);
+            assert!(t.wire_sent > 0 && t.wire_received > 0);
+            assert!(t.predicted_sent > 0 && t.predicted_received > 0);
+        }
+        assert!(report.peak_in_flight > 0);
+        let json = report.render_json();
+        assert!(json.contains("\"peak_in_flight\""));
+        assert!(report.render().contains("serving tier: 4 tenants"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn router_rejects_degenerate_configs() {
+        let bad = LoadConfig {
+            tenants: 0,
+            ..LoadConfig::default()
+        };
+        assert!(Router::new(bad).is_err());
+        let starved = LoadConfig {
+            tenants: 8,
+            panel_width: 4,
+            max_in_flight: 8,
+            ..LoadConfig::default()
+        };
+        assert!(Router::new(starved).is_err());
+    }
+}

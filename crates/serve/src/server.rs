@@ -1,0 +1,367 @@
+//! The device-side server: a fleet of SCEC devices behind one TCP
+//! listener.
+//!
+//! Each accepted connection is one *device enrollment* by one tenant:
+//! the peer opens with a [`HelloMsg`] naming its tenant and device id,
+//! then installs a coded share and streams queries. Connections are
+//! fully sharded — a connection's share lives on its handler thread's
+//! stack, so tenants (and devices within a tenant) never contend on
+//! shared state; the only cross-connection touches are a few atomic
+//! stats counters.
+//!
+//! Threading is plain blocking I/O: one OS thread per connection, no
+//! async runtime. The hot loop reuses one read and one write buffer per
+//! connection and issues one vectored write syscall per response frame.
+
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use scec_coding::{DeviceShare, HelloMsg, StragglerShare};
+use scec_linalg::Scalar;
+use scec_runtime::message::{FromDevice, ToDevice};
+use scec_runtime::transport::frames;
+use scec_wire::stream::{read_frame, write_frame, StreamError, DEFAULT_MAX_FRAME};
+use scec_wire::{decode_framed, encode_framed_into, peek_tag, tag, WireDecode, WireEncode};
+
+use crate::error::{Error, Result};
+
+/// Knobs for a [`DeviceServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Tenants with id `>= max_tenants` are refused at handshake time —
+    /// the admission-control gate.
+    pub max_tenants: u64,
+    /// Cap on an incoming frame's payload, enforced before allocation.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_tenants: u64::MAX,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Cross-connection counters, all monotone except `active`.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Connections admitted past the handshake.
+    pub accepted: AtomicU64,
+    /// Connections refused by admission control.
+    pub rejected: AtomicU64,
+    /// Queries (single or panel) served across all connections.
+    pub queries_served: AtomicU64,
+    /// Connections that ended with a clean [`tag::BYE`].
+    pub clean_closes: AtomicU64,
+    /// Currently-open admitted connections.
+    pub active: AtomicUsize,
+}
+
+/// An open connection's watch stream plus its handler thread, held for
+/// forced shutdown.
+type ConnSlots = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A running device fleet server. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) closes the listener, severs every open
+/// connection, and joins all handler threads.
+pub struct DeviceServer {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    conns: ConnSlots,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl DeviceServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — read it back
+    /// with [`local_addr`](Self::local_addr)) and starts accepting
+    /// device enrollments for field `F`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<F>(addr: &str, config: ServerConfig) -> Result<Self>
+    where
+        F: Scalar + WireEncode + WireDecode + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: ConnSlots = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("scec-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let Ok(watch) = stream.try_clone() else {
+                            continue;
+                        };
+                        let stats = Arc::clone(&stats);
+                        let config = config.clone();
+                        let handler = std::thread::Builder::new()
+                            .name("scec-serve-conn".into())
+                            .spawn(move || handle_connection::<F>(stream, &config, &stats))
+                            .expect("spawn connection handler");
+                        lock(&conns).push((watch, handler));
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(DeviceServer {
+            addr,
+            stats,
+            stop,
+            conns,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Blocks until at least one connection was admitted and all of
+    /// them have since closed — the `scec serve --once` exit condition
+    /// for smoke tests and CI.
+    pub fn wait_idle(&self) {
+        loop {
+            let accepted = self.stats.accepted.load(Ordering::Acquire);
+            let active = self.stats.active.load(Ordering::Acquire);
+            if accepted > 0 && active == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Stops accepting, severs open connections, and joins every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.accept.take() {
+            let _ = join.join();
+        }
+        let conns = std::mem::take(&mut *lock(&self.conns));
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (_, join) in conns {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for DeviceServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs one enrolled device: handshake, then a read→compute→write loop
+/// until BYE, EOF, or an I/O error. All state is connection-local.
+fn handle_connection<F>(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats)
+where
+    F: Scalar + WireEncode + WireDecode,
+{
+    let mut rbuf = Vec::new();
+    let mut wbuf = Vec::new();
+    let hello = match read_hello(&mut stream, &mut rbuf, config.max_frame) {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    if hello.tenant >= config.max_tenants {
+        stats.rejected.fetch_add(1, Ordering::AcqRel);
+        frames::encode_response::<F>(
+            &FromDevice::Failure {
+                request: 0,
+                device: hello.device,
+                reason: format!(
+                    "tenant {} refused: serving at most {} tenants",
+                    hello.tenant, config.max_tenants
+                ),
+            },
+            &mut wbuf,
+        );
+        let _ = write_frame(&mut stream, &wbuf);
+        let _ = stream.flush();
+        return;
+    }
+    // Admission ack: echo the hello.
+    encode_framed_into(&hello, tag::HELLO, &mut wbuf);
+    if write_frame(&mut stream, &wbuf).is_err() {
+        return;
+    }
+    stats.accepted.fetch_add(1, Ordering::AcqRel);
+    stats.active.fetch_add(1, Ordering::AcqRel);
+    serve_device::<F>(
+        &mut stream,
+        config,
+        stats,
+        hello.device,
+        &mut rbuf,
+        &mut wbuf,
+    );
+    stats.active.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn read_hello(stream: &mut TcpStream, rbuf: &mut Vec<u8>, max_frame: usize) -> Result<HelloMsg> {
+    read_frame(stream, rbuf, max_frame)?;
+    if peek_tag(rbuf)? != tag::HELLO {
+        return Err(Error::Protocol("expected HELLO as the first frame".into()));
+    }
+    Ok(decode_framed::<HelloMsg>(rbuf, tag::HELLO)?)
+}
+
+/// The post-handshake serve loop. The share installed on this
+/// connection lives here, on the handler's stack — the sharding unit is
+/// the connection itself.
+fn serve_device<F>(
+    stream: &mut TcpStream,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    device: usize,
+    rbuf: &mut Vec<u8>,
+    wbuf: &mut Vec<u8>,
+) where
+    F: Scalar + WireEncode + WireDecode,
+{
+    let mut share: Option<DeviceShare<F>> = None;
+    let mut tagged: Option<StragglerShare<F>> = None;
+    loop {
+        match read_frame(stream, rbuf, config.max_frame) {
+            Ok(()) => {}
+            // Clean EOF without BYE: the peer vanished; nothing to do.
+            Err(StreamError::Closed) => return,
+            Err(_) => return,
+        }
+        if peek_tag(rbuf).map(|t| t == tag::BYE).unwrap_or(false) {
+            stats.clean_closes.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        let response = match frames::decode_to_device::<F>(rbuf) {
+            Ok(ToDevice::Install(s)) => {
+                share = Some(*s);
+                continue;
+            }
+            Ok(ToDevice::InstallTagged(s)) => {
+                tagged = Some(*s);
+                continue;
+            }
+            Ok(ToDevice::Query { request, x }) => {
+                stats.queries_served.fetch_add(1, Ordering::AcqRel);
+                if let Some(s) = &tagged {
+                    match s.compute(&x) {
+                        Ok(responses) => FromDevice::TaggedPartial {
+                            request,
+                            device,
+                            responses,
+                        },
+                        Err(e) => failure(request, device, &e),
+                    }
+                } else if let Some(s) = &share {
+                    match s.compute(&x) {
+                        Ok(values) => FromDevice::Partial {
+                            request,
+                            device,
+                            values,
+                        },
+                        Err(e) => failure(request, device, &e),
+                    }
+                } else {
+                    no_share(request, device)
+                }
+            }
+            Ok(ToDevice::QueryBatch { request, xs }) => {
+                stats
+                    .queries_served
+                    .fetch_add(xs.ncols() as u64, Ordering::AcqRel);
+                if let Some(s) = &tagged {
+                    match s.compute_panel(&xs) {
+                        Ok(values) => FromDevice::TaggedBatch {
+                            request,
+                            device,
+                            rows: s.rows().to_vec(),
+                            values,
+                        },
+                        Err(e) => failure(request, device, &e),
+                    }
+                } else if let Some(s) = &share {
+                    match s.coded().matmul(&xs) {
+                        Ok(values) => FromDevice::BatchPartial {
+                            request,
+                            device,
+                            values,
+                        },
+                        Err(e) => failure(request, device, &e),
+                    }
+                } else {
+                    no_share(request, device)
+                }
+            }
+            // `decode_to_device` never yields control-plane messages.
+            Ok(_) => return,
+            Err(e) => {
+                // A malformed frame gets a typed refusal; the request id
+                // is unknown, so 0 marks it connection-level.
+                FromDevice::Failure {
+                    request: 0,
+                    device,
+                    reason: format!("malformed frame: {e}"),
+                }
+            }
+        };
+        frames::encode_response(&response, wbuf);
+        if write_frame(stream, wbuf).is_err() {
+            return;
+        }
+    }
+}
+
+fn failure<F: Scalar>(request: u64, device: usize, e: &dyn std::fmt::Display) -> FromDevice<F> {
+    FromDevice::Failure {
+        request,
+        device,
+        reason: e.to_string(),
+    }
+}
+
+fn no_share<F: Scalar>(request: u64, device: usize) -> FromDevice<F> {
+    FromDevice::Failure {
+        request,
+        device,
+        reason: "no share installed".into(),
+    }
+}

@@ -1,0 +1,288 @@
+//! The TCP [`Transport`] backend: a cluster's device fleet reached over
+//! real sockets.
+//!
+//! One connection per enrolled device, blocking I/O throughout. Sends
+//! encode into a per-device reused buffer and go out as **one vectored
+//! write syscall** per frame (length prefix + payload); a reader thread
+//! per device decodes response frames into the cluster's crossbeam
+//! mailbox channel — the same channel the in-memory backend feeds, so
+//! the cluster core cannot tell the difference.
+//!
+//! Every frame is metered by a [`WireMeter`] shared with the caller:
+//! the transport reports `counts_wire_bytes() == true`, which switches
+//! the cluster core's analytic byte accounting off, and the router
+//! reconciles the *measured* per-device byte counters into the cost
+//! ledger instead — predicted-vs-observed in actual wire bytes.
+
+use std::io::Write as _;
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use scec_coding::HelloMsg;
+use scec_linalg::Scalar;
+use scec_runtime::message::{FromDevice, ToDevice};
+use scec_runtime::transport::frames;
+use scec_runtime::Transport;
+use scec_wire::stream::{
+    read_frame, write_frame, StreamError, DEFAULT_MAX_FRAME, LEN_PREFIX_BYTES,
+};
+use scec_wire::{encode_framed_into, peek_tag, tag, WireDecode, WireEncode};
+
+use crate::error::{Error, Result};
+
+/// Shared per-device wire-byte counters, one pair per enrolled device.
+/// Clone it out of [`TcpTransport::connect`] before handing the
+/// transport to a cluster; reads stay valid for the life of all clones.
+#[derive(Clone)]
+pub struct WireMeter {
+    inner: Arc<MeterInner>,
+}
+
+struct MeterInner {
+    devices: Vec<usize>,
+    sent: Vec<AtomicU64>,
+    received: Vec<AtomicU64>,
+}
+
+impl WireMeter {
+    fn new(devices: Vec<usize>) -> Self {
+        let n = devices.len();
+        WireMeter {
+            inner: Arc::new(MeterInner {
+                devices,
+                sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                received: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
+    }
+
+    /// Protocol device ids, in roster order (parallel to the counters).
+    pub fn devices(&self) -> &[usize] {
+        &self.inner.devices
+    }
+
+    /// Bytes sent to the device at roster `index`, framing included.
+    pub fn sent(&self, index: usize) -> u64 {
+        self.inner.sent[index].load(Ordering::Relaxed)
+    }
+
+    /// Bytes received from the device at roster `index`.
+    pub fn received(&self, index: usize) -> u64 {
+        self.inner.received[index].load(Ordering::Relaxed)
+    }
+
+    /// Fleet totals `(sent, received)`.
+    pub fn totals(&self) -> (u64, u64) {
+        let sum = |v: &[AtomicU64]| v.iter().map(|a| a.load(Ordering::Relaxed)).sum();
+        (sum(&self.inner.sent), sum(&self.inner.received))
+    }
+
+    fn add_sent(&self, index: usize, bytes: u64) {
+        self.inner.sent[index].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn add_received(&self, index: usize, bytes: u64) {
+        self.inner.received[index].fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// One device's send side: the socket plus its reused encode buffer,
+/// under one lock so concurrent broadcasts interleave whole frames.
+struct Peer {
+    device: usize,
+    send: Mutex<(TcpStream, Vec<u8>)>,
+}
+
+/// A [`Transport`] whose devices live across TCP connections.
+pub struct TcpTransport<F> {
+    peers: Vec<Peer>,
+    meter: WireMeter,
+    readers: Vec<JoinHandle<()>>,
+    _field: PhantomData<fn() -> F>,
+}
+
+impl<F> TcpTransport<F>
+where
+    F: Scalar + WireEncode + WireDecode + 'static,
+{
+    /// Opens one connection per device id, runs the tenant handshake on
+    /// each, and spawns the reader threads. Returns the transport, the
+    /// response stream for the cluster mailbox, and the byte meter.
+    ///
+    /// # Errors
+    ///
+    /// Connect/handshake I/O failures, or [`Error::Admission`] when the
+    /// server refuses the tenant.
+    pub fn connect(
+        addr: SocketAddr,
+        tenant: u64,
+        device_ids: &[usize],
+    ) -> Result<(Self, Receiver<FromDevice<F>>, WireMeter)> {
+        let meter = WireMeter::new(device_ids.to_vec());
+        let (resp_tx, resp_rx) = unbounded();
+        let mut peers = Vec::with_capacity(device_ids.len());
+        let mut readers = Vec::with_capacity(device_ids.len());
+        let mut buf = Vec::new();
+        for (index, &device) in device_ids.iter().enumerate() {
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            handshake(&mut stream, tenant, device, &mut buf, &meter, index)?;
+            readers.push(spawn_reader(
+                stream.try_clone()?,
+                device,
+                index,
+                meter.clone(),
+                resp_tx.clone(),
+            )?);
+            peers.push(Peer {
+                device,
+                send: Mutex::new((stream, Vec::new())),
+            });
+        }
+        Ok((
+            TcpTransport {
+                peers,
+                meter: meter.clone(),
+                readers,
+                _field: PhantomData,
+            },
+            resp_rx,
+            meter,
+        ))
+    }
+}
+
+/// HELLO → ack round trip; a FAILURE reply is an admission refusal.
+fn handshake(
+    stream: &mut TcpStream,
+    tenant: u64,
+    device: usize,
+    buf: &mut Vec<u8>,
+    meter: &WireMeter,
+    index: usize,
+) -> Result<()> {
+    encode_framed_into(&HelloMsg { tenant, device }, tag::HELLO, buf);
+    write_frame(stream, buf)?;
+    meter.add_sent(index, (LEN_PREFIX_BYTES + buf.len()) as u64);
+    stream.flush()?;
+    read_frame(stream, buf, DEFAULT_MAX_FRAME)?;
+    meter.add_received(index, (LEN_PREFIX_BYTES + buf.len()) as u64);
+    match peek_tag(buf)? {
+        tag::HELLO => Ok(()),
+        tag::FAILURE => {
+            let reason = match frames::decode_response::<scec_linalg::Fp61>(buf) {
+                Ok(FromDevice::Failure { reason, .. }) => reason,
+                _ => "admission refused".into(),
+            };
+            Err(Error::Admission { tenant, reason })
+        }
+        got => Err(Error::Protocol(format!(
+            "unexpected handshake reply tag {got}"
+        ))),
+    }
+}
+
+fn spawn_reader<F>(
+    mut stream: TcpStream,
+    device: usize,
+    index: usize,
+    meter: WireMeter,
+    resp_tx: Sender<FromDevice<F>>,
+) -> Result<JoinHandle<()>>
+where
+    F: Scalar + WireDecode + 'static,
+{
+    Ok(std::thread::Builder::new()
+        .name(format!("scec-tcp-reader-{device}"))
+        .spawn(move || {
+            let mut buf = Vec::new();
+            loop {
+                match read_frame(&mut stream, &mut buf, DEFAULT_MAX_FRAME) {
+                    Ok(()) => {}
+                    Err(StreamError::Closed) => return,
+                    Err(_) => return,
+                }
+                meter.add_received(index, (LEN_PREFIX_BYTES + buf.len()) as u64);
+                let resp = match frames::decode_response::<F>(&buf) {
+                    Ok(resp) => resp,
+                    // Corrupt response frame: surface as a device
+                    // failure so the cluster's quorum logic sees it.
+                    Err(e) => FromDevice::Failure {
+                        request: 0,
+                        device,
+                        reason: format!("response codec error: {e}"),
+                    },
+                };
+                if resp_tx.send(resp).is_err() {
+                    return;
+                }
+            }
+        })?)
+}
+
+impl<F> Transport<F> for TcpTransport<F>
+where
+    F: Scalar + WireEncode + WireDecode + 'static,
+{
+    fn device_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn device_id(&self, index: usize) -> usize {
+        self.peers[index].device
+    }
+
+    fn send(&self, index: usize, msg: ToDevice<F>) -> scec_runtime::Result<()> {
+        let peer = &self.peers[index];
+        let closed = || scec_runtime::Error::ChannelClosed {
+            device: Some(peer.device),
+        };
+        let mut guard = peer.send.lock().unwrap_or_else(|p| p.into_inner());
+        let (stream, buf) = &mut *guard;
+        if !frames::encode_to_device(&msg, buf) {
+            // Control plane (Instrument): telemetry handles are
+            // process-local; the server side has nothing to attach.
+            return Ok(());
+        }
+        write_frame(stream, buf).map_err(|_| closed())?;
+        self.meter
+            .add_sent(index, (LEN_PREFIX_BYTES + buf.len()) as u64);
+        Ok(())
+    }
+
+    fn counts_wire_bytes(&self) -> bool {
+        true
+    }
+
+    fn wire_bytes(&self) -> Option<(u64, u64)> {
+        Some(self.meter.totals())
+    }
+
+    fn shutdown(&mut self) {
+        for peer in &self.peers {
+            let mut guard = peer.send.lock().unwrap_or_else(|p| p.into_inner());
+            let (stream, buf) = &mut *guard;
+            bye_frame(buf);
+            if write_frame(stream, buf).is_ok() {
+                let _ = stream.flush();
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for join in self.readers.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+/// A BYE is header-only: magic, version, tag — no payload.
+fn bye_frame(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&scec_wire::MAGIC);
+    buf.extend_from_slice(&scec_wire::VERSION.to_le_bytes());
+    buf.extend_from_slice(&tag::BYE.to_le_bytes());
+}

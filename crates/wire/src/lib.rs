@@ -60,6 +60,17 @@ pub mod tag {
     /// A device's partial result for a whole panel (a `rows × k` block,
     /// optionally row-tagged for straggler-tolerant assembly).
     pub const PANEL_PARTIAL: u16 = 8;
+    /// A device-side failure report for one request (the networked
+    /// analogue of an in-process `FromDevice::Failure`).
+    pub const FAILURE: u16 = 9;
+    /// Connection handshake: which `(tenant, device)` pair a socket
+    /// serves.
+    pub const HELLO: u16 = 10;
+    /// Clean shutdown notice for a connection.
+    pub const BYE: u16 = 11;
+    /// A straggler device's row-tagged partial for a single query (a
+    /// list of `(row, value)` responses).
+    pub const TAGGED_PARTIAL: u16 = 12;
 }
 
 /// Decoding errors.
@@ -107,6 +118,14 @@ pub enum Error {
         /// Number of unread bytes.
         count: usize,
     },
+    /// A length-prefixed stream frame claimed more bytes than the
+    /// receiver's configured cap — rejected before allocation.
+    FrameTooLarge {
+        /// The claimed frame length in bytes.
+        size: u64,
+        /// The receiver's maximum accepted frame length.
+        max: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -137,6 +156,9 @@ impl fmt::Display for Error {
             Error::Malformed(what) => write!(f, "malformed payload: {what}"),
             Error::TrailingBytes { count } => {
                 write!(f, "{count} trailing bytes after a complete value")
+            }
+            Error::FrameTooLarge { size, max } => {
+                write!(f, "frame of {size} bytes exceeds the {max}-byte cap")
             }
         }
     }
@@ -258,6 +280,25 @@ pub trait WireDecode: Sized {
     /// out-of-range input.
     fn decode(r: &mut Reader<'_>) -> Result<Self>;
 
+    /// Bulk-decodes `n` values, appending them to `out`.
+    ///
+    /// The default loops over [`WireDecode::decode`]; fixed-width types
+    /// (the finite fields) override it to take one bounds-checked slice
+    /// and iterate `chunks_exact`, avoiding per-element cursor
+    /// bookkeeping on hot panel-decode paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decoding [`Error`] on truncated, corrupt, or
+    /// out-of-range input.
+    fn decode_many(r: &mut Reader<'_>, n: usize, out: &mut Vec<Self>) -> Result<()> {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(Self::decode(r)?);
+        }
+        Ok(())
+    }
+
     /// Convenience: decode a value that must consume the whole buffer.
     ///
     /// # Errors
@@ -322,6 +363,10 @@ impl WireDecode for Fp61 {
         }
         Ok(Fp61::new(raw))
     }
+
+    fn decode_many(r: &mut Reader<'_>, n: usize, out: &mut Vec<Self>) -> Result<()> {
+        decode_residues(r, n, scec_linalg::fp::MODULUS, out, Fp61::new)
+    }
 }
 
 impl<const P: u64> WireEncode for FpGeneric<P> {
@@ -338,6 +383,34 @@ impl<const P: u64> WireDecode for FpGeneric<P> {
         }
         Ok(FpGeneric::new(raw))
     }
+
+    fn decode_many(r: &mut Reader<'_>, n: usize, out: &mut Vec<Self>) -> Result<()> {
+        decode_residues(r, n, P, out, FpGeneric::new)
+    }
+}
+
+/// Shared bulk path for the fixed-width fields: one bounds check, one
+/// contiguous slice, `chunks_exact` over 8-byte residues.
+fn decode_residues<T>(
+    r: &mut Reader<'_>,
+    n: usize,
+    modulus: u64,
+    out: &mut Vec<T>,
+    make: impl Fn(u64) -> T,
+) -> Result<()> {
+    let bytes = n
+        .checked_mul(8)
+        .ok_or(Error::Malformed("element count overflow"))?;
+    let raw = r.take(bytes)?;
+    out.reserve(n);
+    for chunk in raw.chunks_exact(8) {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        if v >= modulus {
+            return Err(Error::InvalidFieldElement { raw: v });
+        }
+        out.push(make(v));
+    }
+    Ok(())
 }
 
 impl<T: WireEncode> WireEncode for Vec<T> {
@@ -353,10 +426,8 @@ impl<T: WireDecode> WireDecode for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         // Every supported element costs at least 1 byte on the wire.
         let len = r.length(1)?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(T::decode(r)?);
-        }
+        let mut out = Vec::new();
+        T::decode_many(r, len, &mut out)?;
         Ok(out)
     }
 }
@@ -373,10 +444,8 @@ impl<F: Scalar + WireEncode> WireEncode for Vector<F> {
 impl<F: Scalar + WireDecode> WireDecode for Vector<F> {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let len = r.length(8)?;
-        let mut data = Vec::with_capacity(len);
-        for _ in 0..len {
-            data.push(F::decode(r)?);
-        }
+        let mut data = Vec::new();
+        F::decode_many(r, len, &mut data)?;
         Ok(Vector::from_vec(data))
     }
 }
@@ -404,10 +473,8 @@ impl<F: Scalar + WireDecode> WireDecode for Matrix<F> {
                 remaining: r.remaining(),
             });
         }
-        let mut data = Vec::with_capacity(total);
-        for _ in 0..total {
-            data.push(F::decode(r)?);
-        }
+        let mut data = Vec::new();
+        F::decode_many(r, total, &mut data)?;
         Matrix::from_flat(rows, cols, data).map_err(|_| Error::Malformed("matrix shape"))
     }
 }
@@ -415,11 +482,45 @@ impl<F: Scalar + WireDecode> WireDecode for Matrix<F> {
 /// Encodes a value inside a `MAGIC | VERSION | tag | payload` frame.
 pub fn encode_framed<T: WireEncode>(value: &T, tag: u16) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_framed_into(value, tag, &mut out);
+    out
+}
+
+/// Encodes a value inside a `MAGIC | VERSION | tag | payload` frame,
+/// reusing a caller-provided buffer.
+///
+/// The buffer is cleared first but keeps its capacity, so a connection
+/// loop that encodes into the same pooled `Vec<u8>` amortizes the
+/// allocation to zero per message once warm.
+pub fn encode_framed_into<T: WireEncode>(value: &T, tag: u16, out: &mut Vec<u8>) {
+    out.clear();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&tag.to_le_bytes());
-    value.encode(&mut out);
-    out
+    value.encode(out);
+}
+
+/// Peeks the type tag of a framed message without decoding the payload,
+/// validating magic and version.
+///
+/// Lets a connection loop dispatch on message type before committing to
+/// a payload decode.
+///
+/// # Errors
+///
+/// Returns [`Error::BadMagic`], [`Error::UnsupportedVersion`], or
+/// [`Error::UnexpectedEof`] when the header is incomplete.
+pub fn peek_tag(bytes: &[u8]) -> Result<u16> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(Error::UnsupportedVersion { got: version });
+    }
+    r.u16()
 }
 
 /// Decodes a framed value, validating magic, version, and tag, and
@@ -449,6 +550,157 @@ pub fn decode_framed<T: WireDecode>(bytes: &[u8], expected_tag: u16) -> Result<T
     let v = T::decode(&mut r)?;
     r.finish()?;
     Ok(v)
+}
+
+pub mod stream {
+    //! Length-prefixed framing over blocking byte streams.
+    //!
+    //! A stream frame is a little-endian `u32` byte count followed by a
+    //! [`encode_framed`](crate::encode_framed)-style message. The writer
+    //! issues **one** vectored write syscall for header + payload in the
+    //! common case; the reader enforces a maximum frame size before
+    //! allocating, so a hostile or corrupt peer cannot force an
+    //! over-allocation or an over-read.
+
+    use std::fmt;
+    use std::io::{self, IoSlice, Read, Write};
+
+    use super::Error;
+
+    /// Bytes in the stream-level length prefix.
+    pub const LEN_PREFIX_BYTES: usize = 4;
+
+    /// Default cap on an incoming frame's payload length (64 MiB) —
+    /// far above any legitimate SCEC message, far below an allocation
+    /// bomb.
+    pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+    /// Failures while moving frames over a byte stream.
+    #[derive(Debug)]
+    #[non_exhaustive]
+    pub enum StreamError {
+        /// The peer closed the stream cleanly at a frame boundary.
+        Closed,
+        /// The underlying transport failed.
+        Io(io::Error),
+        /// The frame violated the wire format (truncated mid-frame,
+        /// larger than the receiver's cap, …).
+        Wire(Error),
+    }
+
+    impl fmt::Display for StreamError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                StreamError::Closed => f.write_str("stream closed at a frame boundary"),
+                StreamError::Io(e) => write!(f, "stream i/o error: {e}"),
+                StreamError::Wire(e) => write!(f, "stream framing error: {e}"),
+            }
+        }
+    }
+
+    impl std::error::Error for StreamError {}
+
+    impl From<Error> for StreamError {
+        fn from(e: Error) -> Self {
+            StreamError::Wire(e)
+        }
+    }
+
+    /// Writes one `u32`-length-prefixed frame.
+    ///
+    /// Header and payload go out in a single
+    /// [`write_vectored`](Write::write_vectored) call when the sink
+    /// accepts it all at once (the normal case on a socket); partial
+    /// writes fall back to a completion loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's I/O error, [`io::ErrorKind::InvalidInput`] for
+    /// frames over `u32::MAX` bytes, or [`io::ErrorKind::WriteZero`]
+    /// when the sink stops accepting bytes.
+    pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(frame.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32::MAX"))?;
+        let header = len.to_le_bytes();
+        let total = header.len() + frame.len();
+        let mut written = 0usize;
+        while written < total {
+            let n = if written < header.len() {
+                w.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(frame)])
+            } else {
+                w.write(&frame[written - header.len()..])
+            };
+            match n {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "sink stopped accepting frame bytes",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one length-prefixed frame into `buf` (cleared and reused,
+    /// keeping its capacity warm across calls).
+    ///
+    /// Reads exactly `4 + len` bytes — never past the frame boundary —
+    /// and rejects any claimed length above `max_frame` **before**
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// * [`StreamError::Closed`] — clean EOF before any header byte;
+    /// * [`StreamError::Wire`]`(`[`Error::UnexpectedEof`]`)` — EOF
+    ///   mid-header or mid-payload (a truncated frame);
+    /// * [`StreamError::Wire`]`(`[`Error::FrameTooLarge`]`)` — claimed
+    ///   length above `max_frame`;
+    /// * [`StreamError::Io`] — any other transport failure.
+    pub fn read_frame<R: Read>(
+        r: &mut R,
+        buf: &mut Vec<u8>,
+        max_frame: usize,
+    ) -> Result<(), StreamError> {
+        let mut header = [0u8; LEN_PREFIX_BYTES];
+        let mut got = 0usize;
+        while got < header.len() {
+            match r.read(&mut header[got..]) {
+                Ok(0) if got == 0 => return Err(StreamError::Closed),
+                Ok(0) => {
+                    return Err(StreamError::Wire(Error::UnexpectedEof {
+                        needed: header.len(),
+                        remaining: got,
+                    }))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(StreamError::Io(e)),
+            }
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > max_frame {
+            return Err(StreamError::Wire(Error::FrameTooLarge {
+                size: len as u64,
+                max: max_frame as u64,
+            }));
+        }
+        buf.clear();
+        buf.resize(len, 0);
+        match r.read_exact(buf) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                Err(StreamError::Wire(Error::UnexpectedEof {
+                    needed: len,
+                    remaining: 0,
+                }))
+            }
+            Err(e) => Err(StreamError::Io(e)),
+        }
+    }
 }
 
 #[cfg(test)]

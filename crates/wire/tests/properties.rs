@@ -2,9 +2,12 @@
 //! values and — the important one — *no panic and no huge allocation on
 //! arbitrary hostile bytes*.
 
+use std::io::Cursor;
+
 use proptest::prelude::*;
 use scec_linalg::{Fp61, FpGeneric, Matrix, Vector};
-use scec_wire::{decode_framed, encode_framed, tag, WireDecode, WireEncode};
+use scec_wire::stream::{read_frame, write_frame, StreamError, DEFAULT_MAX_FRAME};
+use scec_wire::{decode_framed, encode_framed, encode_framed_into, tag, WireDecode, WireEncode};
 
 proptest! {
     #[test]
@@ -78,5 +81,116 @@ proptest! {
         if let Ok(decoded) = decode_framed::<Matrix<Fp61>>(&frame, tag::MATRIX) {
             prop_assert_eq!(decoded.ncols(), 3);
         }
+    }
+
+    #[test]
+    fn stream_frames_roundtrip_back_to_back(
+        seed in any::<u64>(),
+        frames in 1usize..5,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payloads: Vec<Vec<u8>> = (0..frames)
+            .map(|i| encode_framed(&Matrix::<Fp61>::random(i + 1, 2, &mut rng), tag::MATRIX))
+            .collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut cursor = Cursor::new(wire);
+        let mut buf = Vec::new();
+        for p in &payloads {
+            read_frame(&mut cursor, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+            prop_assert_eq!(&buf, p);
+        }
+        // The stream is drained exactly: the next read sees a clean close.
+        prop_assert!(matches!(
+            read_frame(&mut cursor, &mut buf, DEFAULT_MAX_FRAME),
+            Err(StreamError::Closed)
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_frames_yield_typed_errors(
+        seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = encode_framed(&Matrix::<Fp61>::random(3, 2, &mut rng), tag::MATRIX);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let cut = ((wire.len() - 1) as f64 * cut_frac) as usize;
+        let mut cursor = Cursor::new(&wire[..cut]);
+        let mut buf = Vec::new();
+        match read_frame(&mut cursor, &mut buf, DEFAULT_MAX_FRAME) {
+            // Clean close only when not a single header byte arrived.
+            Err(StreamError::Closed) => prop_assert_eq!(cut, 0),
+            // Otherwise the truncation is reported as a typed wire error.
+            Err(StreamError::Wire(e)) => prop_assert!(matches!(
+                e,
+                scec_wire::Error::UnexpectedEof { .. }
+            )),
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn oversized_stream_frames_are_rejected_before_allocation(
+        claimed in (DEFAULT_MAX_FRAME as u32 + 1)..=u32::MAX,
+    ) {
+        // A header claiming more than the cap is rejected after exactly
+        // the 4 header bytes — the payload is never read or allocated.
+        let mut wire = claimed.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0xAB; 32]);
+        let mut cursor = Cursor::new(wire);
+        let mut buf = Vec::new();
+        prop_assert!(matches!(
+            read_frame(&mut cursor, &mut buf, DEFAULT_MAX_FRAME),
+            Err(StreamError::Wire(scec_wire::Error::FrameTooLarge { .. }))
+        ));
+        prop_assert_eq!(cursor.position(), 4);
+        prop_assert!(buf.capacity() <= DEFAULT_MAX_FRAME);
+    }
+
+    #[test]
+    fn garbage_stream_bytes_never_panic_or_over_read(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let len = bytes.len();
+        let mut cursor = Cursor::new(bytes);
+        let mut buf = Vec::new();
+        // Drain the garbage as frames until it errors or closes; every
+        // outcome must be a typed error, and the reader must never
+        // consume past the end of the input.
+        for _ in 0..len + 1 {
+            match read_frame(&mut cursor, &mut buf, 1 << 16) {
+                Ok(()) => {
+                    // A structurally valid frame of garbage payload must
+                    // still fail *decoding* with a typed error, not panic.
+                    let _ = decode_framed::<Matrix<Fp61>>(&buf, tag::MATRIX);
+                }
+                Err(_) => break,
+            }
+        }
+        prop_assert!(cursor.position() as usize <= len);
+    }
+
+    #[test]
+    fn encode_framed_into_matches_fresh_encoding(
+        seed in any::<u64>(),
+        rows in 1usize..5,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pooled = Vec::with_capacity(4096);
+        let cap = pooled.capacity();
+        for _ in 0..3 {
+            let m = Matrix::<Fp61>::random(rows, 3, &mut rng);
+            encode_framed_into(&m, tag::MATRIX, &mut pooled);
+            prop_assert_eq!(&pooled, &encode_framed(&m, tag::MATRIX));
+        }
+        // Small messages never outgrow the pooled buffer: no reallocation.
+        prop_assert_eq!(pooled.capacity(), cap);
     }
 }
