@@ -1,0 +1,713 @@
+//! Adaptive telemetry-driven allocation: re-run TA-1 when observed
+//! device speeds drift away from the costs the offline plan priced.
+//!
+//! The paper's TA-1/TA-2 allocate once, offline, from static unit costs
+//! `c_j`. The serving tier, however, observes two live signals per
+//! device: the supervisor's latency EWMA and the cost ledger's
+//! observed-vs-predicted divergence. [`AdaptiveAllocator`] folds those
+//! into a per-device *drift factor* (observed service effort relative to
+//! what the plan predicted) and, when the factors **diverge from one
+//! another** past a hysteresis threshold, re-runs TA-1 over the healthy
+//! fleet priced at `effective_j = c_j · factor_j` and installs the new
+//! plan.
+//!
+//! Design notes (see DESIGN.md, "Adaptive allocation & rateless coding"):
+//!
+//! * **The trigger is relative, not absolute.** A uniform slowdown — a
+//!   flash crowd hitting every device equally — scales all factors by
+//!   the same constant, and TA-1 is invariant under uniform cost
+//!   scaling: re-allocating would churn generations for an identical
+//!   plan. The trigger therefore fires on the *spread*
+//!   `max(factor)/min(factor)` over the healthy participants, which is
+//!   1 under uniform load and grows only when devices drift apart.
+//! * **Hysteresis + cooldown + budget bound thrash.** A reallocation
+//!   disarms the trigger; it re-arms only once the spread has settled
+//!   back under `release_permille` (divergent devices leave the plan, so
+//!   a successful adaptation settles by construction). A cooldown of
+//!   `cooldown_observations` ticks spaces installs, and
+//!   `max_reallocations` caps them outright — the DST `slo.thrash`
+//!   oracle asserts the cap end to end.
+//! * **Every installed plan is a TA-1 plan** over the current healthy
+//!   fleet, so it inherits the feasibility region, the Lemma-1 security
+//!   cap, and (once encoded) the Theorem-3 oracles — the property tests
+//!   below pin all three.
+//!
+//! Generation fencing is the *caller's* half of the contract: the
+//! allocator only bumps [`generation`](AdaptiveAllocator::generation);
+//! the runtime/simulator installs the plan via its hot-repair re-encode
+//! path and lets in-flight queries complete under the code they were
+//! broadcast with.
+
+use crate::cost::EdgeFleet;
+use crate::error::{Error, Result};
+use crate::plan::AllocationPlan;
+use crate::ta;
+
+/// Tuning knobs for the adaptation trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Spread (`max(factor)/min(factor)` over healthy participants, in
+    /// thousandths) at which an armed trigger fires. Must exceed 1000.
+    pub trigger_permille: u64,
+    /// Spread below which a disarmed trigger re-arms (hysteresis floor;
+    /// must be below `trigger_permille`).
+    pub release_permille: u64,
+    /// Observation ticks to wait after an install before another
+    /// reallocation may fire.
+    pub cooldown_observations: u32,
+    /// Hard cap on reallocations over the allocator's lifetime — the
+    /// no-thrashing budget the DST `slo.thrash` oracle enforces.
+    pub max_reallocations: usize,
+    /// Healthy participating devices that must carry at least one
+    /// observation before any verdict other than `Hold` is possible.
+    pub min_samples: usize,
+    /// Pin the number of random rows `r` instead of letting TA-1 choose
+    /// it. The simulator pins `r` to the configured code shape so a
+    /// reallocation re-rosters devices without changing the per-cell
+    /// coding parameters; `None` re-runs full TA-1.
+    pub pinned_random_rows: Option<usize>,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            trigger_permille: 2_000,
+            release_permille: 1_400,
+            cooldown_observations: 2,
+            max_reallocations: 8,
+            min_samples: 2,
+            pinned_random_rows: None,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> Result<()> {
+        if self.trigger_permille <= 1_000 || self.release_permille >= self.trigger_permille {
+            return Err(Error::InvalidDeviceCost {
+                reason: "adaptive hysteresis requires release < trigger and trigger > 1000",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One device's live observation, fed to
+/// [`AdaptiveAllocator::observe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSample {
+    /// Caller's device identifier (matches the id given at
+    /// construction).
+    pub device: usize,
+    /// Observed-over-predicted service effort: the supervisor's latency
+    /// EWMA divided by the predicted service latency, or the cost
+    /// ledger's attempts-reconciled observed/predicted row ratio.
+    /// `1.0` = exactly as priced.
+    pub factor: f64,
+    /// Whether the supervisor still considers the device enrolled and
+    /// responsive. Unhealthy devices are excluded from re-allocation.
+    pub healthy: bool,
+}
+
+/// The outcome of one observation tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// No plan change; carries the spread the trigger evaluated.
+    Hold {
+        /// `max(factor)/min(factor)` over healthy participants, in
+        /// thousandths.
+        spread_permille: u64,
+    },
+    /// A new plan was installed; the caller must re-encode and fence the
+    /// generation.
+    Reallocated {
+        /// Spread that fired the trigger, in thousandths.
+        spread_permille: u64,
+        /// The new generation (monotonic, starts at 0 for the offline
+        /// plan).
+        generation: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct DeviceState {
+    id: usize,
+    base_cost: f64,
+    factor: f64,
+    sampled: bool,
+    healthy: bool,
+}
+
+/// Online wrapper around TA-1: holds the currently-installed plan and
+/// decides, observation by observation, whether drift justifies
+/// re-running the allocation.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAllocator {
+    m: usize,
+    config: AdaptiveConfig,
+    devices: Vec<DeviceState>,
+    plan: AllocationPlan,
+    /// Device ids participating in the installed plan, cheapest
+    /// effective cost first, aligned with `plan.loads()`.
+    assignment: Vec<usize>,
+    /// All healthy device ids at install time, cheapest effective cost
+    /// first (participants are the prefix) — the roster-selection order
+    /// for callers that enroll standbys beyond the plan's `i` devices.
+    ranking: Vec<usize>,
+    generation: u64,
+    reallocations: usize,
+    armed: bool,
+    cooldown_left: u32,
+    last_spread_permille: u64,
+}
+
+impl AdaptiveAllocator {
+    /// Builds the allocator and installs the offline TA-1 plan (or the
+    /// canonical plan for the pinned `r`) over the full fleet at factor
+    /// 1.0 — generation 0 is row-for-row the static allocation.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates [`EdgeFleet::from_unit_costs`] validation;
+    /// * [`Error::InvalidDeviceCost`] for inconsistent hysteresis knobs
+    ///   or duplicate device ids;
+    /// * TA-1 / canonical-plan errors for infeasible `(m, r, k)`.
+    pub fn new(m: usize, devices: &[(usize, f64)], config: AdaptiveConfig) -> Result<Self> {
+        config.validate()?;
+        let mut seen = std::collections::BTreeSet::new();
+        for &(id, _) in devices {
+            if !seen.insert(id) {
+                return Err(Error::InvalidDeviceCost {
+                    reason: "duplicate device id in adaptive fleet",
+                });
+            }
+        }
+        let states: Vec<DeviceState> = devices
+            .iter()
+            .map(|&(id, base_cost)| DeviceState {
+                id,
+                base_cost,
+                factor: 1.0,
+                sampled: false,
+                healthy: true,
+            })
+            .collect();
+        let mut alloc = AdaptiveAllocator {
+            m,
+            config,
+            devices: states,
+            plan: AllocationPlan::from_loads(
+                m,
+                1,
+                vec![1],
+                &EdgeFleet::from_unit_costs(vec![1.0, 1.0])?,
+            )?,
+            assignment: Vec::new(),
+            ranking: Vec::new(),
+            generation: 0,
+            reallocations: 0,
+            armed: true,
+            cooldown_left: 0,
+            last_spread_permille: 1_000,
+        };
+        let (plan, assignment, ranking) = alloc.solve()?;
+        alloc.plan = plan;
+        alloc.assignment = assignment;
+        alloc.ranking = ranking;
+        Ok(alloc)
+    }
+
+    /// Runs TA-1 (or the pinned canonical plan) over the healthy devices
+    /// at their current effective costs.
+    fn solve(&self) -> Result<(AllocationPlan, Vec<usize>, Vec<usize>)> {
+        let healthy: Vec<&DeviceState> = self.devices.iter().filter(|d| d.healthy).collect();
+        if healthy.len() < 2 {
+            return Err(Error::TooFewDevices { got: healthy.len() });
+        }
+        let costs: Vec<f64> = healthy
+            .iter()
+            .map(|d| (d.base_cost * d.factor).max(f64::MIN_POSITIVE))
+            .collect();
+        let fleet = EdgeFleet::from_unit_costs(costs)?;
+        let plan = match self.config.pinned_random_rows {
+            Some(r) => AllocationPlan::canonical(self.m, r, &fleet)?,
+            None => ta::ta1(self.m, &fleet)?,
+        };
+        let ranking: Vec<usize> = (0..fleet.len())
+            .map(|pos| healthy[fleet.device_id(pos)].id)
+            .collect();
+        let assignment = ranking[..plan.device_count()].to_vec();
+        Ok((plan, assignment, ranking))
+    }
+
+    /// Feeds one round of observations and decides whether to re-run
+    /// TA-1. Devices absent from `samples` keep their previous factor
+    /// and health.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TA-1 errors if a triggered re-allocation cannot build
+    /// a plan (the verdict is `Hold` instead when the healthy fleet is
+    /// merely too small or the pinned `r` infeasible).
+    pub fn observe(&mut self, samples: &[DriftSample]) -> Result<Verdict> {
+        for s in samples {
+            if let Some(d) = self.devices.iter_mut().find(|d| d.id == s.device) {
+                d.healthy = s.healthy;
+                if s.factor.is_finite() && s.factor > 0.0 {
+                    d.factor = s.factor.clamp(1e-3, 1e6);
+                    d.sampled = true;
+                }
+            }
+        }
+        // Spread over healthy *participants*: the devices the installed
+        // plan relies on. A slow device outside the plan costs nothing.
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        let mut sampled = 0usize;
+        for d in self.devices.iter().filter(|d| d.healthy) {
+            if !self.assignment.contains(&d.id) {
+                continue;
+            }
+            lo = lo.min(d.factor);
+            hi = hi.max(d.factor);
+            if d.sampled {
+                sampled += 1;
+            }
+        }
+        let spread_permille = if lo.is_finite() && lo > 0.0 && hi > 0.0 {
+            (hi / lo * 1_000.0).round() as u64
+        } else {
+            1_000
+        };
+        self.last_spread_permille = spread_permille;
+        if !self.armed && spread_permille <= self.config.release_permille {
+            self.armed = true;
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Ok(Verdict::Hold { spread_permille });
+        }
+        let participants_lost = self
+            .assignment
+            .iter()
+            .any(|id| !self.devices.iter().any(|d| d.id == *id && d.healthy));
+        let triggered = self.armed
+            && (spread_permille >= self.config.trigger_permille || participants_lost)
+            && sampled >= self.config.min_samples
+            && self.reallocations < self.config.max_reallocations;
+        if !triggered {
+            return Ok(Verdict::Hold { spread_permille });
+        }
+        match self.solve() {
+            Ok((plan, assignment, ranking)) => {
+                if assignment == self.assignment {
+                    // The spread did not change who participates (or the
+                    // drift is uniform within the prefix): installing an
+                    // identical roster would churn a generation for
+                    // nothing.
+                    return Ok(Verdict::Hold { spread_permille });
+                }
+                self.plan = plan;
+                self.assignment = assignment;
+                self.ranking = ranking;
+                self.generation += 1;
+                self.reallocations += 1;
+                self.armed = false;
+                self.cooldown_left = self.config.cooldown_observations;
+                Ok(Verdict::Reallocated {
+                    spread_permille,
+                    generation: self.generation,
+                })
+            }
+            // A shrunken fleet can make the pinned r (or any r)
+            // infeasible; that is a hold, not a failure.
+            Err(Error::TooFewDevices { .. }) | Err(Error::InfeasibleRandomRows { .. }) => {
+                Ok(Verdict::Hold { spread_permille })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Tells the allocator an *external* topology change happened (the
+    /// supervisor's fault-repair path re-encoded): the trigger disarms
+    /// and the cooldown restarts, so adaptation never piles onto a
+    /// repair in the same breath.
+    pub fn note_external_change(&mut self) {
+        self.armed = false;
+        self.cooldown_left = self.config.cooldown_observations;
+    }
+
+    /// The currently-installed plan.
+    pub fn plan(&self) -> &AllocationPlan {
+        &self.plan
+    }
+
+    /// Participating device ids, cheapest effective cost first, aligned
+    /// with [`AllocationPlan::loads`].
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// All healthy device ids at the last install, cheapest effective
+    /// cost first (the participants are the prefix). Callers enrolling
+    /// standbys/spares beyond the plan's `i` devices extend down this
+    /// ranking.
+    pub fn ranking(&self) -> &[usize] {
+        &self.ranking
+    }
+
+    /// Monotonic plan generation; 0 is the offline plan.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Reallocations performed so far (never exceeds
+    /// `max_reallocations`).
+    pub fn reallocations(&self) -> usize {
+        self.reallocations
+    }
+
+    /// Whether the hysteresis trigger is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The spread the last observation evaluated, in thousandths.
+    pub fn last_spread_permille(&self) -> u64 {
+        self.last_spread_permille
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn fleet_ids(costs: &[f64]) -> Vec<(usize, f64)> {
+        costs.iter().enumerate().map(|(i, &c)| (i + 1, c)).collect()
+    }
+
+    fn samples(factors: &[(usize, f64)]) -> Vec<DriftSample> {
+        factors
+            .iter()
+            .map(|&(device, factor)| DriftSample {
+                device,
+                factor,
+                healthy: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generation_zero_is_offline_ta1_row_for_row() {
+        let costs = vec![1.0, 1.3, 1.6, 2.0, 2.5];
+        let alloc =
+            AdaptiveAllocator::new(40, &fleet_ids(&costs), AdaptiveConfig::default()).unwrap();
+        let fleet = EdgeFleet::from_unit_costs(costs).unwrap();
+        let offline = ta::ta1(40, &fleet).unwrap();
+        assert_eq!(alloc.plan(), &offline);
+        assert_eq!(alloc.generation(), 0);
+        assert_eq!(alloc.reallocations(), 0);
+        // Assignment maps sorted positions back to caller ids.
+        let expect: Vec<usize> = offline
+            .device_assignments(&fleet)
+            .iter()
+            .map(|&(id, _)| id + 1)
+            .collect();
+        assert_eq!(alloc.assignment(), &expect[..]);
+    }
+
+    #[test]
+    fn static_schedule_never_reallocates_property() {
+        // Property: under a static-cost schedule (all factors 1.0, any
+        // fleet, any number of ticks) the allocator never re-allocates
+        // and stays row-for-row identical to offline TA-1.
+        let mut rng = StdRng::seed_from_u64(0x5eed_ada1);
+        for case in 0..64 {
+            let k = rng.gen_range(2..12);
+            let m = rng.gen_range(1..40);
+            let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.5..8.0)).collect();
+            let ids = fleet_ids(&costs);
+            let mut alloc = AdaptiveAllocator::new(m, &ids, AdaptiveConfig::default()).unwrap();
+            let offline = ta::ta1(m, &EdgeFleet::from_unit_costs(costs).unwrap()).unwrap();
+            let flat: Vec<DriftSample> = ids
+                .iter()
+                .map(|&(id, _)| DriftSample {
+                    device: id,
+                    factor: 1.0,
+                    healthy: true,
+                })
+                .collect();
+            for tick in 0..20 {
+                match alloc.observe(&flat).unwrap() {
+                    Verdict::Hold { spread_permille } => {
+                        assert_eq!(spread_permille, 1_000, "case {case} tick {tick}")
+                    }
+                    v => panic!("case {case} tick {tick}: unexpected {v:?}"),
+                }
+            }
+            assert_eq!(alloc.reallocations(), 0, "case {case}");
+            assert_eq!(alloc.generation(), 0, "case {case}");
+            assert_eq!(alloc.plan(), &offline, "case {case}");
+        }
+    }
+
+    #[test]
+    fn drift_schedules_install_only_feasible_secure_plans_property() {
+        // Property: under any seeded drift schedule, every installed
+        // plan stays inside the TA-1 feasibility region
+        // (ceil(m/(k-1)) <= r <= m), satisfies the Lemma-1 security cap,
+        // and — once encoded as a straggler code by the DST layer — the
+        // Theorem-3 oracles; here we pin the allocation-level half and
+        // the count bound.
+        let mut rng = StdRng::seed_from_u64(0xd21f_7_5eed);
+        for case in 0..48 {
+            let k = rng.gen_range(3..10);
+            let m = rng.gen_range(2..30);
+            let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.5..4.0)).collect();
+            let ids = fleet_ids(&costs);
+            let config = AdaptiveConfig {
+                cooldown_observations: rng.gen_range(0..3),
+                max_reallocations: rng.gen_range(1..5),
+                ..AdaptiveConfig::default()
+            };
+            let mut alloc = AdaptiveAllocator::new(m, &ids, config.clone()).unwrap();
+            for _tick in 0..30 {
+                let drift: Vec<DriftSample> = ids
+                    .iter()
+                    .map(|&(id, _)| DriftSample {
+                        device: id,
+                        factor: rng.gen_range(0.2..12.0),
+                        healthy: rng.gen_bool(0.9),
+                    })
+                    .collect();
+                alloc.observe(&drift).unwrap();
+                let plan = alloc.plan();
+                let healthy = alloc.ranking().len().max(2);
+                let min_r = m.div_ceil(healthy - 1);
+                assert!(
+                    plan.random_rows() >= min_r && plan.random_rows() <= m,
+                    "case {case}: r={} outside [{min_r}, {m}]",
+                    plan.random_rows()
+                );
+                assert!(plan.satisfies_security_cap(), "case {case}");
+                assert_eq!(plan.total_rows(), m + plan.random_rows(), "case {case}");
+                assert_eq!(plan.device_count(), alloc.assignment().len(), "case {case}");
+            }
+            assert!(
+                alloc.reallocations() <= config.max_reallocations,
+                "case {case}: thrash budget exceeded"
+            );
+        }
+    }
+
+    #[test]
+    fn divergent_participant_triggers_and_swaps_roster() {
+        // 4 equal-cost devices, m=6, pinned r=2 → participants are the
+        // 4 cheapest (i = ceil(8/2) = 4) of 6. Devices 1 and 2 slow down
+        // 6x: the trigger fires and the plan swaps them for 5 and 6.
+        let ids = fleet_ids(&[1.0; 6]);
+        let config = AdaptiveConfig {
+            pinned_random_rows: Some(2),
+            cooldown_observations: 0,
+            ..AdaptiveConfig::default()
+        };
+        let mut alloc = AdaptiveAllocator::new(6, &ids, config).unwrap();
+        assert_eq!(alloc.assignment(), &[1, 2, 3, 4]);
+        let verdict = alloc
+            .observe(&samples(&[(1, 6.0), (2, 6.0), (3, 1.0), (4, 1.0)]))
+            .unwrap();
+        match verdict {
+            Verdict::Reallocated {
+                spread_permille,
+                generation,
+            } => {
+                assert_eq!(spread_permille, 6_000);
+                assert_eq!(generation, 1);
+            }
+            v => panic!("expected reallocation, got {v:?}"),
+        }
+        assert_eq!(alloc.assignment(), &[3, 4, 5, 6]);
+        assert_eq!(alloc.ranking(), &[3, 4, 5, 6, 1, 2]);
+        assert_eq!(alloc.reallocations(), 1);
+        assert!(!alloc.is_armed(), "trigger disarms after an install");
+    }
+
+    #[test]
+    fn uniform_surge_never_triggers() {
+        // A flash crowd slows every device 5x: the spread stays 1.0 and
+        // no reallocation happens — TA-1 is scale-invariant.
+        let ids = fleet_ids(&[1.0, 1.2, 1.5, 2.0]);
+        let mut alloc = AdaptiveAllocator::new(8, &ids, AdaptiveConfig::default()).unwrap();
+        for _ in 0..10 {
+            let v = alloc
+                .observe(&samples(&[(1, 5.0), (2, 5.0), (3, 5.0), (4, 5.0)]))
+                .unwrap();
+            assert!(
+                matches!(
+                    v,
+                    Verdict::Hold {
+                        spread_permille: 1_000
+                    }
+                ),
+                "{v:?}"
+            );
+        }
+        assert_eq!(alloc.reallocations(), 0);
+    }
+
+    #[test]
+    fn hysteresis_blocks_retrigger_until_release() {
+        let ids = fleet_ids(&[1.0; 6]);
+        let config = AdaptiveConfig {
+            pinned_random_rows: Some(2),
+            cooldown_observations: 0,
+            release_permille: 1_200,
+            ..AdaptiveConfig::default()
+        };
+        let mut alloc = AdaptiveAllocator::new(6, &ids, config).unwrap();
+        let v = alloc.observe(&samples(&[(1, 6.0), (2, 6.0)])).unwrap();
+        assert!(matches!(v, Verdict::Reallocated { .. }));
+        // New participants [3,4,5,6] all at 1.0, but devices 1,2 still
+        // slow: spread over participants is 1.0 → re-arms, and a fresh
+        // divergence may trigger again.
+        let v = alloc.observe(&samples(&[(3, 1.0), (4, 1.0)])).unwrap();
+        assert!(matches!(v, Verdict::Hold { .. }));
+        assert!(alloc.is_armed());
+        // While disarmed (fresh install), a spread above release but
+        // below trigger keeps it disarmed.
+        let v = alloc
+            .observe(&samples(&[(3, 8.0), (4, 8.0), (5, 8.0), (6, 8.0)]))
+            .unwrap();
+        assert!(
+            matches!(
+                v,
+                Verdict::Hold {
+                    spread_permille: 1_000
+                }
+            ),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn cooldown_spaces_installs() {
+        let ids = fleet_ids(&[1.0; 6]);
+        let config = AdaptiveConfig {
+            pinned_random_rows: Some(2),
+            cooldown_observations: 3,
+            ..AdaptiveConfig::default()
+        };
+        let mut alloc = AdaptiveAllocator::new(6, &ids, config).unwrap();
+        assert!(matches!(
+            alloc.observe(&samples(&[(1, 9.0), (2, 9.0)])).unwrap(),
+            Verdict::Reallocated { .. }
+        ));
+        // Re-arm via a settled tick, then diverge again: the cooldown
+        // must absorb the next ticks before another install can land.
+        assert!(matches!(
+            alloc.observe(&samples(&[(1, 1.0), (2, 1.0)])).unwrap(),
+            Verdict::Hold { .. }
+        ));
+        let mut installs = 0;
+        for _ in 0..2 {
+            if matches!(
+                alloc.observe(&samples(&[(3, 9.0), (4, 9.0)])).unwrap(),
+                Verdict::Reallocated { .. }
+            ) {
+                installs += 1;
+            }
+        }
+        assert_eq!(installs, 0, "cooldown must absorb the immediate retrigger");
+        assert!(matches!(
+            alloc.observe(&samples(&[(3, 9.0), (4, 9.0)])).unwrap(),
+            Verdict::Reallocated { .. }
+        ));
+    }
+
+    #[test]
+    fn reallocation_budget_is_hard() {
+        let ids = fleet_ids(&[1.0; 6]);
+        let config = AdaptiveConfig {
+            pinned_random_rows: Some(2),
+            cooldown_observations: 0,
+            max_reallocations: 1,
+            ..AdaptiveConfig::default()
+        };
+        let mut alloc = AdaptiveAllocator::new(6, &ids, config).unwrap();
+        assert!(matches!(
+            alloc.observe(&samples(&[(1, 6.0), (2, 6.0)])).unwrap(),
+            Verdict::Reallocated { .. }
+        ));
+        // Settle, re-arm, diverge hard: the budget still refuses.
+        alloc.observe(&samples(&[(1, 1.0), (2, 1.0)])).unwrap();
+        for _ in 0..5 {
+            let v = alloc.observe(&samples(&[(3, 20.0), (4, 20.0)])).unwrap();
+            assert!(matches!(v, Verdict::Hold { .. }), "{v:?}");
+        }
+        assert_eq!(alloc.reallocations(), 1);
+    }
+
+    #[test]
+    fn dead_participant_triggers_without_spread() {
+        let ids = fleet_ids(&[1.0; 6]);
+        let config = AdaptiveConfig {
+            pinned_random_rows: Some(2),
+            cooldown_observations: 0,
+            ..AdaptiveConfig::default()
+        };
+        let mut alloc = AdaptiveAllocator::new(6, &ids, config).unwrap();
+        let v = alloc
+            .observe(&[
+                DriftSample {
+                    device: 1,
+                    factor: 1.0,
+                    healthy: false,
+                },
+                DriftSample {
+                    device: 2,
+                    factor: 1.0,
+                    healthy: true,
+                },
+                DriftSample {
+                    device: 3,
+                    factor: 1.0,
+                    healthy: true,
+                },
+            ])
+            .unwrap();
+        assert!(matches!(v, Verdict::Reallocated { .. }), "{v:?}");
+        assert!(!alloc.assignment().contains(&1));
+    }
+
+    #[test]
+    fn external_change_disarms() {
+        let ids = fleet_ids(&[1.0; 6]);
+        let config = AdaptiveConfig {
+            pinned_random_rows: Some(2),
+            cooldown_observations: 1,
+            ..AdaptiveConfig::default()
+        };
+        let mut alloc = AdaptiveAllocator::new(6, &ids, config).unwrap();
+        alloc.note_external_change();
+        let v = alloc.observe(&samples(&[(1, 9.0), (2, 9.0)])).unwrap();
+        assert!(matches!(v, Verdict::Hold { .. }), "cooldown after repair");
+    }
+
+    #[test]
+    fn config_and_fleet_validation() {
+        let ids = fleet_ids(&[1.0, 2.0]);
+        let bad = AdaptiveConfig {
+            trigger_permille: 900,
+            ..AdaptiveConfig::default()
+        };
+        assert!(AdaptiveAllocator::new(4, &ids, bad).is_err());
+        let dup = vec![(1, 1.0), (1, 2.0)];
+        assert!(AdaptiveAllocator::new(4, &dup, AdaptiveConfig::default()).is_err());
+        let lone = vec![(1, 1.0)];
+        assert!(matches!(
+            AdaptiveAllocator::new(4, &lone, AdaptiveConfig::default()),
+            Err(Error::TooFewDevices { .. })
+        ));
+    }
+}

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod baselines;
 pub mod bound;
 pub mod cost;
@@ -52,6 +53,7 @@ pub mod istar;
 pub mod plan;
 pub mod ta;
 
+pub use adaptive::{AdaptiveAllocator, AdaptiveConfig, DriftSample, Verdict};
 pub use cost::{DeviceCost, EdgeFleet};
 pub use error::{Error, Result};
 pub use plan::AllocationPlan;

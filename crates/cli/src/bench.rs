@@ -285,6 +285,51 @@ fn run_suite(iters: usize, quick: bool) -> (Vec<CaseResult>, String) {
         });
     }
 
+    // Adaptive drift recovery vs its static twin, same seed and scale:
+    // the speed-drift campaign with the telemetry-driven allocator
+    // re-planning mid-epoch, against the offline TA-1 plan held static.
+    // `ops` is the run's event count for both, so the ns_per_op gap
+    // prices the adaptive machinery itself, and the recorded run must
+    // stay oracle-clean — the static case doubles as the no-regression
+    // guard (an armed allocator may not slow or perturb a run it never
+    // triggers in).
+    {
+        let (drift_devices, drift_queries) = if quick { (7, 24) } else { (14, 400) };
+        let scenario = scec_dst::find_scenario("speed-drift").expect("in catalog");
+        let aconfig = scenario.config(Some(drift_devices), Some(drift_queries));
+        let mut sconfig = aconfig.clone();
+        sconfig.adaptive = None;
+        sconfig.rateless = false;
+        sconfig.slo = None;
+        let steps = scec_dst::Simulation::new(aconfig.clone(), 1)
+            .expect("valid scenario config")
+            .run()
+            .steps;
+        case("adaptive_drift_recovery", drift_devices, steps, &mut || {
+            let report = scec_dst::Simulation::new(aconfig.clone(), 1)
+                .expect("valid scenario config")
+                .run();
+            assert!(report.violation.is_none(), "bench run must stay clean");
+            std::hint::black_box((report.reallocations, report.makespan_ms));
+        });
+        let static_steps = scec_dst::Simulation::new(sconfig.clone(), 1)
+            .expect("valid scenario config")
+            .run()
+            .steps;
+        case(
+            "adaptive_static_no_regression",
+            drift_devices,
+            static_steps,
+            &mut || {
+                let report = scec_dst::Simulation::new(sconfig.clone(), 1)
+                    .expect("valid scenario config")
+                    .run();
+                assert_eq!(report.reallocations, 0);
+                std::hint::black_box(report.makespan_ms);
+            },
+        );
+    }
+
     // Serving tier over real loopback TCP: the same serving-regime
     // stream as `cluster_query_serving_w16`, but every frame crosses
     // the scec-wire codec and a socket — the ns/query gap between the
@@ -341,6 +386,7 @@ fn run_suite(iters: usize, quick: bool) -> (Vec<CaseResult>, String) {
             cols: 16,
             seed: 0x5CEC,
             max_in_flight: 0,
+            adaptive: false,
         };
         case("load_tenants_64", 64, 64 * tq, &mut || {
             let report = scec_serve::Router::new(load.clone())

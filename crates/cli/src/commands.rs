@@ -866,14 +866,16 @@ pub fn dst(options: &DstOptions) -> Result<(String, bool)> {
             let _ = writeln!(
                 out,
                 "dst scenario {:?}: {} cells x {} devices, {} runs, {} decoded, \
-                 {} failed queries, {} repairs",
+                 {} failed queries, {} repairs, {} reallocations, {} minted rows",
                 s.name,
                 config.cells,
                 scec_dst::scenarios::pool_size(&config),
                 sweep.runs,
                 sweep.completed,
                 sweep.failed,
-                sweep.repairs
+                sweep.repairs,
+                sweep.reallocations,
+                sweep.minted_rows
             );
         }
         None => {
@@ -1017,6 +1019,9 @@ pub struct LoadOptions {
     pub cap: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Adaptive allocation: each tenant re-plans over drift-scaled
+    /// costs at a mid-stream checkpoint when its cost ledger diverges.
+    pub adaptive: bool,
     /// Where to write the JSON load report.
     pub metrics_out: Option<PathBuf>,
 }
@@ -1032,6 +1037,7 @@ impl Default for LoadOptions {
             window: defaults.window,
             cap: defaults.max_in_flight,
             seed: defaults.seed,
+            adaptive: defaults.adaptive,
             metrics_out: None,
         }
     }
@@ -1054,6 +1060,7 @@ pub fn load(options: &LoadOptions) -> Result<String> {
         window: options.window,
         max_in_flight: options.cap,
         seed: options.seed,
+        adaptive: options.adaptive,
         ..defaults
     };
     let router = scec_serve::Router::new(config).map_err(|e| Error::Domain(e.to_string()))?;
@@ -1507,5 +1514,37 @@ mod tests {
         assert!(json.contains("\"peak_in_flight\""), "{json}");
         assert!(json.contains("\"tenants\""), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_adaptive_mode_reports_reallocations() {
+        // A loopback tier is healthy, so adaptive mode must hold every
+        // tenant's original plan — the report's reallocation counter
+        // exists and reads zero.
+        let options = LoadOptions {
+            tenants: 2,
+            queries: 8,
+            panel: 2,
+            window: 2,
+            seed: 29,
+            adaptive: true,
+            ..LoadOptions::default()
+        };
+        let out = load(&options).unwrap();
+        assert!(out.contains("reallocations   = 0"), "{out}");
+    }
+
+    #[test]
+    fn dst_speed_drift_scenario_runs_clean_and_reallocates() {
+        let mut options = DstOptions::sweep(2, 0);
+        options.scenario = Some("speed-drift".into());
+        options.devices = Some(7);
+        options.queries = Some(16);
+        let (out, clean) = dst(&options).unwrap();
+        assert!(clean, "{out}");
+        assert!(out.contains("dst scenario \"speed-drift\""), "{out}");
+        // Both seeds drift past the trigger, so the sweep line shows a
+        // nonzero reallocation count.
+        assert!(!out.contains(" 0 reallocations"), "{out}");
     }
 }

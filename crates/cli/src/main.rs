@@ -25,12 +25,15 @@ USAGE:
   scec bench  [--out DIR] [--iters N] [--index N] [--quick true]
   scec serve  [--addr HOST:PORT] [--max-tenants N] [--once true]
   scec load   [--addr HOST:PORT] [--tenants N] [--queries Q] [--panel W]
-              [--window D] [--cap N] [--seed N] [--metrics-out PATH]
+              [--window D] [--cap N] [--seed N] [--adaptive true]
+              [--metrics-out PATH]
 
 `scec serve` hosts a device fleet over TCP; `scec load` drives a
 sharded multi-tenant query load against it (spawning an in-process
 loopback server when --addr is omitted) and exits non-zero unless
-every tenant's results match its own A·x.
+every tenant's results match its own A·x. `--adaptive true` lets each
+tenant re-plan over drift-scaled costs at a mid-stream checkpoint when
+its cost ledger diverges from the MCSCEC prediction.
 `scec dst` honors SCEC_DST_SEED to replay a single seeded schedule.
 `scec dst --scenario NAME` sweeps a named adversarial campaign at fleet
 scale (`--list-scenarios true` prints the catalog).
@@ -285,6 +288,11 @@ fn run() -> Result<(), Error> {
             }
             if args.flags.contains_key("cap") {
                 options.cap = args.get_usize("cap")?;
+            }
+            if let Some(v) = args.flags.get("adaptive") {
+                options.adaptive = v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --adaptive: {e}")))?;
             }
             options.metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
             print!("{}", commands::load(&options)?);

@@ -61,6 +61,7 @@ pub mod encode;
 pub mod error;
 pub mod oracle;
 pub mod plan;
+pub mod rateless;
 pub mod straggler;
 pub mod verify;
 pub mod wire;
@@ -70,5 +71,6 @@ pub use design::CodeDesign;
 pub use encode::{DeviceShare, EncodedStore, Encoder};
 pub use error::{Error, Result};
 pub use plan::DecodePlan;
+pub use rateless::{RatelessBatch, RatelessEncoder};
 pub use straggler::{StragglerCode, StragglerShare, StragglerStore, TaggedResponse};
 pub use wire::{FailureMsg, HelloMsg, PanelPartialMsg, PanelQueryMsg, PartialMsg, QueryMsg};

@@ -1,0 +1,653 @@
+//! Rateless (fountain-style) extension of the straggler code: extra
+//! coded rows are minted **incrementally, mid-epoch**, instead of being
+//! fixed at encode time.
+//!
+//! A [`StragglerCode`] bakes its redundancy `s` into the design: when
+//! stragglers eat through the slack, the only remedy is a full
+//! re-allocation + re-encode (a new generation, restarted queries). A
+//! [`RatelessEncoder`] keeps the *encoding state* — the secret stacked
+//! matrix `T = [A; R]` — alive after the initial fan-out, so the
+//! coordinator can stream additional coded rows to fast devices at any
+//! point:
+//!
+//! * each minted row is a fresh uniformly random combination of all
+//!   `m + r` rows of `T`, exactly like the designed extension rows, so
+//!   any `m + r` of the (now larger) row set still decodes — the code
+//!   stays MDS-like at every prefix, which is the fountain property;
+//! * **appending never disturbs existing rows**: minted rows take the
+//!   next global indices, so shares already installed, responses already
+//!   in flight, and decode plans already computed remain valid without a
+//!   generation bump;
+//! * the per-device security invariant (Lemma 1 / Theorem 3) is
+//!   preserved by construction: a mint re-samples until the target
+//!   device's *combined* block — everything it already holds plus the
+//!   new rows — has zero intersection with the pure-data span, and the
+//!   Lemma-1 cap (at most `r` rows per device) is enforced before any
+//!   randomness is drawn.
+//!
+//! Minted rows are tracked against their **true** device assignment.
+//! When mints follow the *frontier* ([`frontier_device`]
+//! (RatelessEncoder::frontier_device) — fill the last standby to `r`
+//! rows, then open a new device), the grown code's arithmetic
+//! chunk layout coincides with the truth and the existing
+//! [`all_quorums_available`](StragglerCode::all_quorums_available) /
+//! [`per_device_security_holds`](StragglerCode::per_device_security_holds)
+//! oracles apply verbatim; for arbitrary (misaligned) mints the encoder
+//! carries true-map equivalents of both oracles.
+
+use rand::Rng;
+
+use scec_linalg::{span, Matrix, Scalar};
+
+use crate::error::{Error, Result};
+use crate::straggler::{StragglerCode, StragglerStore};
+
+/// One incremental batch of coded rows for a single device, produced by
+/// [`RatelessEncoder::mint`] and installed with
+/// [`StragglerStore::install_rows`].
+#[derive(Clone)]
+pub struct RatelessBatch<F> {
+    device: usize,
+    rows: Vec<usize>,
+    coded: Matrix<F>,
+}
+
+impl<F: Scalar> std::fmt::Debug for RatelessBatch<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RatelessBatch")
+            .field("device", &self.device)
+            .field("rows", &self.rows)
+            .finish()
+    }
+}
+
+impl<F: Scalar> RatelessBatch<F> {
+    /// The 1-based device the batch is destined for.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// Global row indices of the minted rows (contiguous, appended past
+    /// every previously existing row).
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// The coded payload (`rows.len() × l`), ready to install.
+    pub fn coded(&self) -> &Matrix<F> {
+        &self.coded
+    }
+}
+
+/// Keeps the encoding state of one data matrix alive so extra coded rows
+/// can be streamed to devices mid-epoch.
+#[derive(Clone)]
+pub struct RatelessEncoder<F> {
+    code: StragglerCode<F>,
+    /// The secret stacked matrix `T = [A; R]` — never leaves the
+    /// coordinator.
+    t: Matrix<F>,
+    designed_redundancy: usize,
+    /// True (device, global row) assignment of every minted row, in mint
+    /// order.
+    minted: Vec<(usize, usize)>,
+}
+
+impl<F: Scalar> std::fmt::Debug for RatelessEncoder<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RatelessEncoder")
+            .field("code", &self.code)
+            .field("designed_redundancy", &self.designed_redundancy)
+            .field("minted", &self.minted)
+            .finish()
+    }
+}
+
+impl<F: Scalar> RatelessEncoder<F> {
+    /// Encodes `a` under `code` exactly like
+    /// [`StragglerCode::encode`] — the returned store is **bit-identical**
+    /// to the non-rateless path for the same RNG state — and retains the
+    /// encoding state for later mints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape validation from the base encoder.
+    pub fn encode<R: Rng + ?Sized>(
+        code: &StragglerCode<F>,
+        a: &Matrix<F>,
+        rng: &mut R,
+    ) -> Result<(StragglerStore<F>, RatelessEncoder<F>)> {
+        let randomness = Matrix::<F>::random(code.base().random_rows(), a.ncols(), rng);
+        let store = code.encode_with_randomness(a, &randomness)?;
+        let t = a.vstack(&randomness)?;
+        Ok((
+            store,
+            RatelessEncoder {
+                code: code.clone(),
+                t,
+                designed_redundancy: code.redundancy(),
+                minted: Vec::new(),
+            },
+        ))
+    }
+
+    /// The current (grown) code. After aligned mints this is exactly the
+    /// code a fresh [`StragglerCode`] with the larger redundancy would
+    /// describe, and the standard oracles apply to it directly.
+    pub fn code(&self) -> &StragglerCode<F> {
+        &self.code
+    }
+
+    /// Rows minted since the initial encode.
+    pub fn minted_rows(&self) -> usize {
+        self.minted.len()
+    }
+
+    /// The true global row indices device `j` holds: its designed rows
+    /// (if any) plus every row minted to it.
+    fn true_rows(&self, j: usize) -> Vec<usize> {
+        let mut rows = Vec::new();
+        // Designed layout, over the *designed* redundancy only.
+        let i = self.code.base().device_count();
+        let n = self.code.base().total_rows();
+        let r = self.code.base().random_rows();
+        if j >= 1 && j <= i {
+            if let Ok(range) = self.code.base().device_row_range(j) {
+                rows.extend(range);
+            }
+        } else if j > i {
+            let chunk = j - i - 1;
+            let start = chunk * r;
+            let end = ((chunk + 1) * r).min(self.designed_redundancy);
+            if start < end {
+                rows.extend((start..end).map(|t| n + t));
+            }
+        }
+        rows.extend(
+            self.minted
+                .iter()
+                .filter(|&&(d, _)| d == j)
+                .map(|&(_, g)| g),
+        );
+        rows
+    }
+
+    /// Devices that truly hold at least one row (1-based, ascending).
+    fn true_devices(&self) -> Vec<usize> {
+        let designed = self.code.base().device_count()
+            + self
+                .designed_redundancy
+                .div_ceil(self.code.base().random_rows());
+        let max = self
+            .minted
+            .iter()
+            .map(|&(d, _)| d)
+            .max()
+            .unwrap_or(0)
+            .max(designed);
+        (1..=max)
+            .filter(|&j| !self.true_rows(j).is_empty())
+            .collect()
+    }
+
+    /// Remaining Lemma-1 headroom of device `j`: `r` minus the rows it
+    /// truly holds (designed + minted). New devices start at full `r`.
+    pub fn capacity(&self, device: usize) -> usize {
+        self.code
+            .base()
+            .random_rows()
+            .saturating_sub(self.true_rows(device).len())
+    }
+
+    /// The device a mint should target to keep the arithmetic chunk
+    /// layout truthful: the last standby until it holds `r` rows, then a
+    /// brand-new standby. Streaming along the frontier means the grown
+    /// [`code`](Self::code) can be checked with the standard
+    /// [`StragglerCode`] oracles (and installed into stores/simulators
+    /// that address shares by device index).
+    pub fn frontier_device(&self) -> usize {
+        // With s extension rows in chunks of r, rows s..s+k land in chunk
+        // s/r — the partially-filled last standby when s % r != 0, a
+        // brand-new one otherwise. Either way: device i + s/r + 1.
+        let i = self.code.base().device_count();
+        let r = self.code.base().random_rows();
+        i + self.code.redundancy() / r + 1
+    }
+
+    /// Whether every minted row lives on the device the grown code's
+    /// arithmetic layout assigns it to. When `true`, the standard oracles
+    /// on [`code`](Self::code) are exact; when `false`, use
+    /// [`security_holds`](Self::security_holds) and
+    /// [`all_true_quorums_available`](Self::all_true_quorums_available).
+    pub fn is_aligned(&self) -> bool {
+        let i = self.code.base().device_count();
+        let n = self.code.base().total_rows();
+        let r = self.code.base().random_rows();
+        self.minted.iter().all(|&(d, g)| d == i + 1 + (g - n) / r)
+    }
+
+    /// Mints `count` fresh coded rows for `device` (1-based; may be a
+    /// brand-new standby), re-sampling until the device's combined block
+    /// stays secure. The encoder's code grows; install the batch with
+    /// [`StragglerStore::install_rows`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidDesign`] when `count` is zero, the mint would
+    ///   push the device past the Lemma-1 cap of `r` rows, or no secure
+    ///   sample was found;
+    /// * propagates linear-algebra shape errors.
+    pub fn mint<R: Rng + ?Sized>(
+        &mut self,
+        device: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<RatelessBatch<F>> {
+        let m = self.code.base().data_rows();
+        let r = self.code.base().random_rows();
+        if count == 0 || device == 0 {
+            return Err(Error::InvalidDesign {
+                m,
+                r,
+                reason: "rateless mint needs a 1-based device and a positive row count",
+            });
+        }
+        if count > self.capacity(device) {
+            return Err(Error::InvalidDesign {
+                m,
+                r,
+                reason: "mint would push the device past the Lemma-1 cap of r rows",
+            });
+        }
+        let n = self.code.base().total_rows();
+        let lambda = span::data_span_basis::<F>(m, r);
+        let held = self.true_rows(device);
+        let full = self.code.extended_matrix();
+        for _ in 0..16 {
+            let coeffs = Matrix::<F>::random(count, n, rng);
+            // Combined block: everything the device already holds plus
+            // the candidate rows.
+            let mut block_rows: Vec<Vec<F>> = held.iter().map(|&g| full.row(g).to_vec()).collect();
+            for t in 0..count {
+                block_rows.push(coeffs.row(t).to_vec());
+            }
+            let block = Matrix::from_rows(block_rows)?;
+            if span::intersection_dim(&block, &lambda) != 0 {
+                continue;
+            }
+            let coded = coeffs.matmul(&self.t)?;
+            let start = self.code.total_rows();
+            self.code.extension = self.code.extension.vstack(&coeffs)?;
+            let rows: Vec<usize> = (start..start + count).collect();
+            for &g in &rows {
+                self.minted.push((device, g));
+            }
+            return Ok(RatelessBatch {
+                device,
+                rows,
+                coded,
+            });
+        }
+        Err(Error::InvalidDesign {
+            m,
+            r,
+            reason: "could not sample a secure rateless batch (field too small?)",
+        })
+    }
+
+    /// Theorem-3 security over the **true** row map: every device's
+    /// combined block (designed + minted rows) has zero intersection with
+    /// the pure-data span. Equals
+    /// [`per_device_security_holds`](StragglerCode::per_device_security_holds)
+    /// on the grown code when [`is_aligned`](Self::is_aligned).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn security_holds(&self) -> Result<bool> {
+        let lambda = span::data_span_basis::<F>(
+            self.code.base().data_rows(),
+            self.code.base().random_rows(),
+        );
+        let full = self.code.extended_matrix();
+        for j in self.true_devices() {
+            let rows = self.true_rows(j);
+            let block = Matrix::from_rows(rows.iter().map(|&g| full.row(g).to_vec()).collect())?;
+            if span::intersection_dim(&block, &lambda) != 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Theorem-3 availability over the **true** row map: every device
+    /// subset holding at least `m + r` rows stacks to full rank.
+    /// Exhaustive over `2^devices` subsets — intended for DST-scale
+    /// fleets, like the arithmetic-layout oracle it mirrors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn all_true_quorums_available(&self) -> Result<bool> {
+        let devices = self.true_devices();
+        let needed = self.code.rows_needed();
+        let full = self.code.extended_matrix();
+        for mask in 0u64..(1u64 << devices.len()) {
+            let mut rows: Vec<usize> = Vec::new();
+            for (bit, &j) in devices.iter().enumerate() {
+                if mask >> bit & 1 == 1 {
+                    rows.extend(self.true_rows(j));
+                }
+            }
+            if rows.len() < needed {
+                continue;
+            }
+            let block = Matrix::from_rows(rows.iter().map(|&g| full.row(g).to_vec()).collect())?;
+            if block.rank() != needed {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl<F: Scalar> StragglerStore<F> {
+    /// Installs a rateless batch: adopts the grown `code` and appends the
+    /// batch's coded rows to the target device's share (creating the
+    /// share when the device is brand-new — it must then be the next
+    /// contiguous device index, so share `j` stays at slot `j − 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PayloadShape`] when the batch shape is
+    /// inconsistent (tag/row count mismatch, wrong payload width, row
+    /// indices outside the grown code, shrinking code) or the device
+    /// index would leave a gap.
+    pub fn install_rows(&mut self, code: StragglerCode<F>, batch: &RatelessBatch<F>) -> Result<()> {
+        if batch.rows.len() != batch.coded.nrows() {
+            return Err(Error::PayloadShape {
+                what: "rateless batch row tags",
+                expected: (batch.coded.nrows(), 1),
+                got: (batch.rows.len(), 1),
+            });
+        }
+        if code.total_rows() < self.code().total_rows() {
+            return Err(Error::PayloadShape {
+                what: "rateless code growth (total rows)",
+                expected: (self.code().total_rows(), 1),
+                got: (code.total_rows(), 1),
+            });
+        }
+        if let Some(&row) = batch.rows.iter().find(|&&row| row >= code.total_rows()) {
+            return Err(Error::PayloadShape {
+                what: "rateless batch row index",
+                expected: (code.total_rows(), 1),
+                got: (row, 1),
+            });
+        }
+        let width = self
+            .shares()
+            .first()
+            .map(|s| s.coded().ncols())
+            .unwrap_or(batch.coded.ncols());
+        if batch.coded.ncols() != width {
+            return Err(Error::PayloadShape {
+                what: "rateless batch payload width",
+                expected: (batch.coded.nrows(), width),
+                got: batch.coded.shape(),
+            });
+        }
+        if batch.device == 0 || batch.device > self.shares().len() + 1 {
+            return Err(Error::PayloadShape {
+                what: "rateless batch device (contiguous index)",
+                expected: (self.shares().len() + 1, 1),
+                got: (batch.device, 1),
+            });
+        }
+        self.adopt_code(code);
+        if batch.device <= self.shares().len() {
+            self.grow_share(batch.device, &batch.rows, &batch.coded)?;
+        } else {
+            self.push_share(batch.device, batch.rows.clone(), batch.coded.clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::CodeDesign;
+    use crate::straggler::TaggedResponse;
+    use rand::{rngs::StdRng, SeedableRng};
+    use scec_linalg::{Fp61, Vector};
+
+    fn setup(
+        m: usize,
+        r: usize,
+        s: usize,
+        l: usize,
+        seed: u64,
+    ) -> (
+        StragglerStore<Fp61>,
+        RatelessEncoder<Fp61>,
+        Matrix<Fp61>,
+        Vector<Fp61>,
+        StdRng,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = StragglerCode::<Fp61>::new(CodeDesign::new(m, r).unwrap(), s, &mut rng).unwrap();
+        let a = Matrix::<Fp61>::random(m, l, &mut rng);
+        let x = Vector::<Fp61>::random(l, &mut rng);
+        let (store, enc) = RatelessEncoder::encode(&code, &a, &mut rng).unwrap();
+        (store, enc, a, x, rng)
+    }
+
+    fn all_responses(store: &StragglerStore<Fp61>, x: &Vector<Fp61>) -> Vec<TaggedResponse<Fp61>> {
+        store
+            .shares()
+            .iter()
+            .flat_map(|s| s.compute(x).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rateless_store_is_bit_identical_when_unused() {
+        // Same RNG stream, no mints: the rateless path must produce
+        // byte-for-byte the same shares as the plain encode — over Fp61
+        // and over f64.
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let code_a =
+            StragglerCode::<Fp61>::new(CodeDesign::new(6, 2).unwrap(), 3, &mut rng_a).unwrap();
+        let code_b =
+            StragglerCode::<Fp61>::new(CodeDesign::new(6, 2).unwrap(), 3, &mut rng_b).unwrap();
+        let a_a = Matrix::<Fp61>::random(6, 4, &mut rng_a);
+        let a_b = Matrix::<Fp61>::random(6, 4, &mut rng_b);
+        let plain = code_a.encode(&a_a, &mut rng_a).unwrap();
+        let (rateless, enc) = RatelessEncoder::encode(&code_b, &a_b, &mut rng_b).unwrap();
+        assert_eq!(plain.shares().len(), rateless.shares().len());
+        for (p, q) in plain.shares().iter().zip(rateless.shares()) {
+            assert_eq!(p, q);
+        }
+        assert_eq!(enc.minted_rows(), 0);
+        assert!(enc.is_aligned());
+
+        let mut rng_a = StdRng::seed_from_u64(78);
+        let mut rng_b = StdRng::seed_from_u64(78);
+        let code_a =
+            StragglerCode::<f64>::new(CodeDesign::new(5, 2).unwrap(), 2, &mut rng_a).unwrap();
+        let code_b =
+            StragglerCode::<f64>::new(CodeDesign::new(5, 2).unwrap(), 2, &mut rng_b).unwrap();
+        let a_a = Matrix::<f64>::random(5, 3, &mut rng_a);
+        let a_b = Matrix::<f64>::random(5, 3, &mut rng_b);
+        let plain = code_a.encode(&a_a, &mut rng_a).unwrap();
+        let (rateless, _) = RatelessEncoder::encode(&code_b, &a_b, &mut rng_b).unwrap();
+        for (p, q) in plain.shares().iter().zip(rateless.shares()) {
+            assert_eq!(p, q, "f64 shares must match bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn ragged_incremental_batches_decode() {
+        // Mint batches of every size 1..=r (ragged), installing each, and
+        // decode correctly using only minted + a minimal base subset.
+        let (mut store, mut enc, a, x, mut rng) = setup(6, 3, 3, 4, 101);
+        let want = a.matvec(&x).unwrap();
+        for count in 1..=3usize {
+            let device = enc.frontier_device();
+            let take = count.min(enc.capacity(device).max(1));
+            let batch = enc.mint(device, take, &mut rng).unwrap();
+            assert_eq!(batch.rows().len(), take);
+            store.install_rows(enc.code().clone(), &batch).unwrap();
+        }
+        assert!(enc.is_aligned());
+        assert_eq!(store.code().total_rows(), enc.code().total_rows());
+        // All responses (base + designed + minted) still decode.
+        let responses = all_responses(&store, &x);
+        assert_eq!(store.code().decode(&responses).unwrap(), want);
+        // Decode *without* the slowest base device, leaning on minted rows.
+        let kept: Vec<TaggedResponse<Fp61>> = store
+            .shares()
+            .iter()
+            .filter(|s| s.device() != 1)
+            .flat_map(|s| s.compute(&x).unwrap())
+            .collect();
+        assert!(kept.len() >= store.code().rows_needed());
+        assert_eq!(store.code().decode(&kept).unwrap(), want);
+    }
+
+    #[test]
+    fn any_quorum_sized_prefix_of_received_rows_decodes() {
+        // Fountain property: stream rows in arbitrary arrival orders; the
+        // first rows_needed() received always suffice.
+        let (mut store, mut enc, a, x, mut rng) = setup(5, 2, 2, 3, 202);
+        let want = a.matvec(&x).unwrap();
+        let d = enc.frontier_device();
+        let batch = enc.mint(d, enc.capacity(d), &mut rng).unwrap();
+        store.install_rows(enc.code().clone(), &batch).unwrap();
+        let d2 = enc.frontier_device();
+        let batch2 = enc.mint(d2, 1, &mut rng).unwrap();
+        store.install_rows(enc.code().clone(), &batch2).unwrap();
+        let responses = all_responses(&store, &x);
+        let need = store.code().rows_needed();
+        for trial in 0..24 {
+            let mut order = responses.clone();
+            // Seeded shuffle (no external shuffle helper needed).
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let prefix = &order[..need];
+            assert_eq!(
+                store.code().decode(prefix).unwrap(),
+                want,
+                "trial {trial}: quorum-sized prefix must decode"
+            );
+        }
+    }
+
+    #[test]
+    fn aligned_mints_satisfy_standard_oracles() {
+        let (_store, mut enc, _a, _x, mut rng) = setup(6, 2, 3, 4, 303);
+        for _ in 0..3 {
+            let d = enc.frontier_device();
+            let take = enc.capacity(d).max(1).min(2);
+            enc.mint(d, take, &mut rng).unwrap();
+        }
+        assert!(enc.is_aligned());
+        // Arithmetic layout == truth → the PR-4 oracles apply verbatim.
+        assert!(enc.code().per_device_security_holds().unwrap());
+        assert!(enc.code().all_quorums_available().unwrap());
+        // And agree with the true-map equivalents.
+        assert!(enc.security_holds().unwrap());
+        assert!(enc.all_true_quorums_available().unwrap());
+    }
+
+    #[test]
+    fn misaligned_mint_to_fast_base_device_stays_secure() {
+        // Stream extra rows to an under-cap *base* device (m=5, r=3:
+        // the last base device holds only 2 rows — one below the cap).
+        let (mut store, mut enc, a, x, mut rng) = setup(5, 3, 3, 3, 404);
+        let dev = enc.code().base().device_count();
+        assert_eq!(enc.capacity(dev), 1);
+        let batch = enc.mint(dev, 1, &mut rng).unwrap();
+        assert!(!enc.is_aligned());
+        store.install_rows(enc.code().clone(), &batch).unwrap();
+        assert!(enc.security_holds().unwrap());
+        assert!(enc.all_true_quorums_available().unwrap());
+        let responses = all_responses(&store, &x);
+        assert_eq!(
+            store.code().decode(&responses).unwrap(),
+            a.matvec(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn lemma1_cap_is_enforced() {
+        let (_store, mut enc, _a, _x, mut rng) = setup(6, 2, 2, 4, 505);
+        // Base devices are at the cap r=2: zero capacity.
+        assert_eq!(enc.capacity(1), 0);
+        assert!(matches!(
+            enc.mint(1, 1, &mut rng),
+            Err(Error::InvalidDesign { .. })
+        ));
+        // The designed standby (device 4) is also full (holds r rows);
+        // a fresh device takes at most r.
+        let fresh = enc.frontier_device();
+        assert!(matches!(
+            enc.mint(fresh, 3, &mut rng),
+            Err(Error::InvalidDesign { .. })
+        ));
+        assert!(matches!(
+            enc.mint(fresh, 0, &mut rng),
+            Err(Error::InvalidDesign { .. })
+        ));
+        let batch = enc.mint(fresh, 2, &mut rng).unwrap();
+        assert_eq!(batch.rows().len(), 2);
+        assert_eq!(enc.capacity(fresh), 0);
+    }
+
+    #[test]
+    fn install_rows_validates_shapes_and_contiguity() {
+        let (mut store, mut enc, _a, _x, mut rng) = setup(5, 2, 2, 3, 606);
+        let old_code = store.code().clone();
+        let d = enc.frontier_device();
+        let batch = enc.mint(d, 1, &mut rng).unwrap();
+        // Installing against a stale (smaller) code is rejected.
+        let mut probe = store.clone();
+        assert!(probe.install_rows(old_code, &batch).is_err());
+        // Skipping a device index is rejected.
+        let gap = RatelessBatch {
+            device: store.shares().len() + 2,
+            rows: batch.rows().to_vec(),
+            coded: batch.coded().clone(),
+        };
+        assert!(store.install_rows(enc.code().clone(), &gap).is_err());
+        // The well-formed install lands and the share grows.
+        let before = store.shares().len();
+        store.install_rows(enc.code().clone(), &batch).unwrap();
+        assert!(store.shares().len() >= before);
+        let share = &store.shares()[batch.device() - 1];
+        assert!(batch.rows().iter().all(|r| share.rows().contains(r)));
+    }
+
+    #[test]
+    fn panel_compute_covers_minted_rows() {
+        // Minted rows ride the panel path like any other share rows.
+        let (mut store, mut enc, a, _x, mut rng) = setup(6, 2, 2, 4, 707);
+        let d = enc.frontier_device();
+        let batch = enc.mint(d, 2, &mut rng).unwrap();
+        store.install_rows(enc.code().clone(), &batch).unwrap();
+        let xs = Matrix::<Fp61>::random(4, 3, &mut rng);
+        let mut rows = Vec::new();
+        let mut parts = Vec::new();
+        for share in store.shares() {
+            rows.extend_from_slice(share.rows());
+            parts.push(share.compute_panel(&xs).unwrap());
+        }
+        let values = crate::decode::stack_partial_matrices(&parts).unwrap();
+        let y = store.code().decode_panel(&rows, &values).unwrap();
+        assert_eq!(y, a.matmul(&xs).unwrap());
+    }
+}

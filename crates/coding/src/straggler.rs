@@ -581,6 +581,42 @@ impl<F: Scalar> StragglerStore<F> {
     pub fn shares(&self) -> &[StragglerShare<F>] {
         &self.shares
     }
+
+    /// Replaces the store's code with a grown (rateless) one. Appending
+    /// rows never disturbs existing indices, so already-installed shares
+    /// stay valid under the new code.
+    pub(crate) fn adopt_code(&mut self, code: StragglerCode<F>) {
+        self.code = code;
+    }
+
+    /// Appends tagged rows to an existing device's share.
+    pub(crate) fn grow_share(
+        &mut self,
+        device: usize,
+        rows: &[usize],
+        coded: &Matrix<F>,
+    ) -> Result<()> {
+        let devices = self.shares.len();
+        let share = self
+            .shares
+            .get_mut(device - 1)
+            .ok_or(Error::UnknownDevice { device, devices })?;
+        share.coded = share.coded.vstack(coded)?;
+        share.rows.extend_from_slice(rows);
+        Ok(())
+    }
+
+    /// Adds a brand-new device's share at the next contiguous slot.
+    pub(crate) fn push_share(
+        &mut self,
+        device: usize,
+        rows: Vec<usize>,
+        coded: Matrix<F>,
+    ) -> Result<()> {
+        self.shares
+            .push(StragglerShare::from_parts(device, rows, coded)?);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

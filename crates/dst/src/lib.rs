@@ -46,8 +46,10 @@ pub mod sim;
 
 pub use explore::{explore, ExploreReport};
 pub use parity::{transport_parity, ParityConfig, ParityReport};
-pub use runner::{run_scenario, run_seeds, run_seeds_telemetry, SweepReport};
-pub use scenarios::{catalog, find as find_scenario, Dynamics, Scenario, SloPolicy};
+pub use runner::{
+    compare_adaptive, run_scenario, run_seeds, run_seeds_telemetry, AdaptiveComparison, SweepReport,
+};
+pub use scenarios::{catalog, find as find_scenario, Dynamics, Scenario, Shift, SloPolicy, Surge};
 pub use schedule::{Decision, Schedule};
 pub use shrink::shrink;
 pub use sim::{Health, QueryOutcome, RunReport, Simulation, Violation};
@@ -119,6 +121,21 @@ pub struct DstConfig {
     pub slo: Option<scenarios::SloPolicy>,
     /// Time-varying environment: traffic waves, outages, slow creeps.
     pub dynamics: scenarios::Dynamics,
+    /// When set, every cell runs an
+    /// [`scec_allocation::AdaptiveAllocator`] fed by the simulated
+    /// supervisor's per-device latency EWMA: drift past the hysteresis
+    /// trigger re-runs TA-1 over the healthy pool and installs the new
+    /// roster through the hot-repair re-encode path, generation-fenced
+    /// (in-flight attempts decode under the code they were broadcast
+    /// with). The simulator pins `r` to `random_rows` so reallocation
+    /// never changes the per-cell coding parameters.
+    pub adaptive: Option<scec_allocation::AdaptiveConfig>,
+    /// Rateless mode: keep the encoding state (`T = [A; R]`) alive and,
+    /// when broadcast targets miss a deadline, stream a freshly minted
+    /// chunk of coded rows to a spare device instead of waiting for a
+    /// full reallocation — fountain-style, per-device security
+    /// preserved, no generation bump (minted rows append).
+    pub rateless: bool,
 }
 
 impl DstConfig {
@@ -149,6 +166,8 @@ impl DstConfig {
             max_trace: usize::MAX,
             slo: None,
             dynamics: scenarios::Dynamics::default(),
+            adaptive: None,
+            rateless: false,
         }
     }
 
@@ -179,6 +198,8 @@ impl DstConfig {
             max_trace: usize::MAX,
             slo: None,
             dynamics: scenarios::Dynamics::default(),
+            adaptive: None,
+            rateless: false,
         }
     }
 }

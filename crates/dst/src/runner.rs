@@ -19,6 +19,13 @@ pub struct SweepReport {
     pub failed: usize,
     /// Total repairs performed across all runs.
     pub repairs: usize,
+    /// Total adaptive reallocations installed across all runs.
+    pub reallocations: usize,
+    /// Total coded rows minted by the rateless path across all runs.
+    pub minted_rows: usize,
+    /// Summed virtual completion time across all runs, milliseconds —
+    /// the adaptive-vs-static comparison metric.
+    pub makespan_ms: f64,
     /// The first violating run, if any.
     pub failure: Option<RunReport>,
 }
@@ -87,6 +94,53 @@ pub fn run_scenario(
     )
 }
 
+/// Head-to-head of an adaptive config against its static-TA-1 twin.
+#[derive(Debug, Clone)]
+pub struct AdaptiveComparison {
+    /// Sweep with the adaptive allocator (and rateless mode) as given.
+    pub adaptive: SweepReport,
+    /// Sweep of the same seeds with adaptive, rateless, and the SLO
+    /// stripped — the offline TA-1 plan held static for the whole run.
+    /// (The baseline is a yardstick, not an SLO subject.)
+    pub baseline: SweepReport,
+    /// Completion-time improvement of adaptive over static, in
+    /// thousandths of the baseline's summed makespan: `250` = adaptive
+    /// finished 25 % sooner. Negative when adaptation lost.
+    pub improvement_permille: i64,
+}
+
+/// Runs the same seeds twice — once with the config's adaptive
+/// allocator (and rateless mode) enabled, once with the static offline
+/// TA-1 plan — and reports the completion-time improvement. This is the
+/// EXPERIMENTS.md adaptive-vs-static drift comparison and the
+/// `scec dst --scenario speed-drift` acceptance check.
+///
+/// # Errors
+///
+/// Propagates world-construction failures (invalid coding parameters).
+pub fn compare_adaptive(
+    config: &DstConfig,
+    first_seed: u64,
+    count: usize,
+) -> Result<AdaptiveComparison, scec_coding::Error> {
+    let mut static_config = config.clone();
+    static_config.adaptive = None;
+    static_config.rateless = false;
+    static_config.slo = None;
+    let adaptive = sweep(config, first_seed, count, None, None)?;
+    let baseline = sweep(&static_config, first_seed, count, None, None)?;
+    let improvement_permille = if baseline.makespan_ms > 0.0 {
+        (((baseline.makespan_ms - adaptive.makespan_ms) / baseline.makespan_ms) * 1_000.0) as i64
+    } else {
+        0
+    };
+    Ok(AdaptiveComparison {
+        adaptive,
+        baseline,
+        improvement_permille,
+    })
+}
+
 fn sweep(
     config: &DstConfig,
     first_seed: u64,
@@ -103,6 +157,9 @@ fn sweep(
         completed: 0,
         failed: 0,
         repairs: 0,
+        reallocations: 0,
+        minted_rows: 0,
+        makespan_ms: 0.0,
         failure: None,
     };
     for seed in seeds {
@@ -115,6 +172,9 @@ fn sweep(
         report.completed += run.completed;
         report.failed += run.failed;
         report.repairs += run.repairs;
+        report.reallocations += run.reallocations;
+        report.minted_rows += run.minted_rows;
+        report.makespan_ms += run.makespan_ms;
         if run.violation.is_some() {
             report.failure = Some(run);
             break;
@@ -134,6 +194,33 @@ mod tests {
         assert_eq!(report.runs, 8);
         assert_eq!(report.completed, 16); // 2 queries × 8 clean runs
         assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn adaptive_sweep_beats_static_on_speed_drift() {
+        let scenario = crate::scenarios::find("speed-drift").expect("catalogued");
+        let config = scenario.config(Some(7), Some(24));
+        let cmp = compare_adaptive(&config, 0, 5).unwrap();
+        assert!(
+            cmp.adaptive.is_clean(),
+            "adaptive sweep violated: {}",
+            cmp.adaptive
+                .failure
+                .as_ref()
+                .map_or_else(String::new, RunReport::render)
+        );
+        assert!(
+            cmp.adaptive.reallocations >= 1,
+            "drift never triggered a reallocation"
+        );
+        assert!(
+            cmp.improvement_permille >= 200,
+            "adaptive only {} permille faster than static TA-1 \
+             (adaptive {:.1} ms vs baseline {:.1} ms)",
+            cmp.improvement_permille,
+            cmp.adaptive.makespan_ms,
+            cmp.baseline.makespan_ms
+        );
     }
 
     #[test]

@@ -35,7 +35,8 @@ use std::time::Duration;
 
 use rand::{rngs::StdRng, SeedableRng};
 
-use scec_coding::{CodeDesign, StragglerCode, StragglerStore, TaggedResponse};
+use scec_allocation::{AdaptiveAllocator, DriftSample, Verdict};
+use scec_coding::{CodeDesign, RatelessEncoder, StragglerCode, StragglerStore, TaggedResponse};
 use scec_linalg::{Fp61, Matrix, Scalar, Vector};
 use scec_runtime::{Clock, SimClock};
 use scec_sim::adversary::{ChaosFault, ChaosPlan, PassiveAdversary};
@@ -49,6 +50,24 @@ use crate::DstConfig;
 /// 0 keeps the raw run seed (so single-cell worlds match the historical
 /// `ChaosPlan::generate(pool, intensity, seed)` exactly).
 const CELL_SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Mean of the schedule's base service draw `latency_ms(1, 8)` — the
+/// predicted per-response latency the adaptive drift factor is measured
+/// against.
+const PREDICTED_SERVICE_MS: f64 = 4.5;
+
+/// EWMA smoothing for observed per-device response latency (matches the
+/// threaded supervisor's default).
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Drift factors below the band are flattened to 1.0 before they reach
+/// the allocator: the 1..8 ms base latency draw makes every healthy
+/// device's EWMA jitter around the predicted mean (factors in roughly
+/// `[0.22, 1.78]`), and measurement noise must never look like drift —
+/// a static fleet must produce *zero* reallocations on every seed. Only
+/// slowness past the band counts; a fast device is a bonus, not drift
+/// worth a reallocation.
+const DRIFT_DEAD_BAND: f64 = 2.0;
 
 /// Supervisor-visible device lifecycle, ordered by severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -83,8 +102,9 @@ impl Health {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Oracle name: `decode`, `availability`, `security`, `coalition`,
-    /// `fifo`, `lifecycle`, `clock`, or one of the SLO oracles
-    /// `slo.progress`, `slo.p99`, `slo.cost`, `slo.stress`.
+    /// `fifo`, `lifecycle`, `clock`, `adaptive`, `rateless`, or one of
+    /// the SLO oracles `slo.progress`, `slo.p99`, `slo.cost`,
+    /// `slo.stress`, `slo.thrash`.
     pub oracle: &'static str,
     /// Simulation step (processed-event count) at which it fired.
     pub step: usize,
@@ -129,6 +149,13 @@ pub struct RunReport {
     /// Observed rows delivered per 1000 predicted (`attempted queries ×
     /// total coded rows`) — the cost-ledger reconciliation ratio.
     pub cost_permille: u64,
+    /// Adaptive reallocations installed (across all cells).
+    pub reallocations: usize,
+    /// Coded rows minted by the rateless path (across all cells).
+    pub minted_rows: usize,
+    /// Virtual time at which the run drained, milliseconds — the
+    /// completion metric adaptive-vs-static comparisons use.
+    pub makespan_ms: f64,
 }
 
 impl RunReport {
@@ -149,6 +176,10 @@ impl RunReport {
         out.push_str(&format!(
             "slo p99_ms={:.3} cost_permille={}\n",
             self.p99_ms, self.cost_permille
+        ));
+        out.push_str(&format!(
+            "adaptive reallocations={} minted_rows={} makespan_ms={:.3}\n",
+            self.reallocations, self.minted_rows, self.makespan_ms
         ));
         match &self.violation {
             Some(v) => out.push_str(&format!(
@@ -332,6 +363,13 @@ struct QueryState {
     /// Cell this query is routed to (`query % cells`).
     cell: usize,
     started_at: Duration,
+    /// When the current attempt's broadcast started (backoff included)
+    /// — the reference point for the per-device latency EWMA.
+    attempt_started: Duration,
+    /// Generation fence: the code this attempt was broadcast under. An
+    /// adaptive reallocation swaps the *cell's* code but never restarts
+    /// in-flight attempts — they decode against this pinned copy.
+    code: StragglerCode<Fp61>,
     attempt: u32,
     /// Devices broadcast to in the current attempt (global ids).
     targets: Vec<usize>,
@@ -351,6 +389,12 @@ struct Cell {
     roster: Vec<usize>,
     generation: u32,
     exhausted: bool,
+    /// Telemetry-driven TA-1 wrapper, when `config.adaptive` is set.
+    adaptive: Option<AdaptiveAllocator>,
+    /// Live encoding state for mid-epoch row mints, when
+    /// `config.rateless` is set. Replaced on every re-encode (repair or
+    /// reallocation) — minted rows never outlive their generation.
+    rateless: Option<RatelessEncoder<Fp61>>,
 }
 
 /// The simulator itself. Construct with [`Simulation::new`], drive with
@@ -367,6 +411,10 @@ pub struct Simulation {
     cells: Vec<Cell>,
     /// Devices per cell (coded positions + spares).
     pool: usize,
+    /// Roster size of the *designed* code — rateless growth can enlarge
+    /// a cell's live code, but repairs and reallocations re-install the
+    /// designed shape.
+    needed: usize,
     faults: Vec<ChaosFault>,
     health: Vec<Health>,
     misses: Vec<u32>,
@@ -379,6 +427,12 @@ pub struct Simulation {
     steps: usize,
     repairs: usize,
     quarantined: usize,
+    /// Adaptive reallocations installed across all cells.
+    reallocations: usize,
+    /// Coded rows minted by the rateless path across all cells.
+    minted_rows: usize,
+    /// Per-device observed-latency EWMA, `None` until first sampled.
+    ewma_ms: Vec<Option<f64>>,
     violation: Option<Violation>,
     trace: Vec<String>,
     trace_dropped: usize,
@@ -429,7 +483,14 @@ impl Simulation {
         let a = Matrix::<Fp61>::random(config.data_rows, config.width, &mut world);
         let design = CodeDesign::new(config.data_rows, config.random_rows)?;
         let code = StragglerCode::<Fp61>::new(design, config.redundancy, &mut world)?;
-        let store = code.encode(&a, &mut world)?;
+        // The rateless encode draws its randomness identically to the
+        // plain path, so the initial store is bit-identical either way.
+        let (store, encoder) = if config.rateless {
+            let (store, enc) = RatelessEncoder::encode(&code, &a, &mut world)?;
+            (store, Some(enc))
+        } else {
+            (code.encode(&a, &mut world)?, None)
+        };
         let needed = code.device_count();
         let pool = needed + config.spare_devices;
         let cell_count = config.cells.max(1);
@@ -439,6 +500,27 @@ impl Simulation {
             let cell_seed = seed.wrapping_add(CELL_SEED_STRIDE.wrapping_mul(c as u64));
             faults.extend(ChaosPlan::generate(pool, config.intensity, cell_seed).faults);
             let base = c * pool;
+            let adaptive =
+                match &config.adaptive {
+                    Some(acfg) => {
+                        // Pin r to the configured code shape: a reallocation
+                        // re-rosters devices, it never resizes the code.
+                        let mut acfg = acfg.clone();
+                        acfg.pinned_random_rows.get_or_insert(config.random_rows);
+                        // The simulated fleet is uniformly priced; drift
+                        // factors carry all the cost signal.
+                        let devices: Vec<(usize, f64)> =
+                            (base + 1..=base + pool).map(|d| (d, 1.0)).collect();
+                        let alloc = AdaptiveAllocator::new(config.data_rows, &devices, acfg)
+                            .map_err(|_| scec_coding::Error::InvalidDesign {
+                                m: config.data_rows,
+                                r: config.random_rows,
+                                reason: "adaptive allocator rejected the fleet or config",
+                            })?;
+                        Some(alloc)
+                    }
+                    None => None,
+                };
             cells.push(Cell {
                 // Identical coding state per cell; repairs resample.
                 code: code.clone(),
@@ -446,12 +528,15 @@ impl Simulation {
                 roster: (base + 1..=base + needed).collect(),
                 generation: 0,
                 exhausted: false,
+                adaptive,
+                rateless: encoder.clone(),
             });
         }
         let devices = pool * cell_count;
         let sim = Simulation {
             cells,
             pool,
+            needed,
             health: vec![Health::Healthy; devices],
             misses: vec![0; devices],
             served: vec![0; devices],
@@ -463,6 +548,9 @@ impl Simulation {
             steps: 0,
             repairs: 0,
             quarantined: 0,
+            reallocations: 0,
+            minted_rows: 0,
+            ewma_ms: vec![None; devices],
             violation: None,
             trace: Vec::new(),
             trace_dropped: 0,
@@ -625,6 +713,9 @@ impl Simulation {
             trace_dropped: self.trace_dropped,
             p99_ms,
             cost_permille,
+            reallocations: self.reallocations,
+            minted_rows: self.minted_rows,
+            makespan_ms: self.clock.now().as_secs_f64() * 1_000.0,
         }
     }
 
@@ -646,17 +737,17 @@ impl Simulation {
     fn process(&mut self, event: Event) {
         match event {
             Event::Response {
+                at,
                 query,
                 attempt,
                 device,
                 rows,
                 corrupted,
-                ..
             } => {
                 // Eager invalidation keeps only current-attempt events.
                 debug_assert_eq!(attempt, self.queries[query].attempt);
                 debug_assert!(self.queries[query].outcome.is_none());
-                self.process_response(query, device, rows, corrupted);
+                self.process_response(at, query, device, rows, corrupted);
             }
             Event::Deadline { query, attempt, .. } => {
                 debug_assert_eq!(attempt, self.queries[query].attempt);
@@ -668,6 +759,7 @@ impl Simulation {
 
     fn process_response(
         &mut self,
+        arrived: Duration,
         query: usize,
         device: usize,
         rows: Vec<TaggedResponse<Fp61>>,
@@ -688,6 +780,32 @@ impl Simulation {
         let n = rows.len();
         self.tr(|| format!("t={t} deliver q{query} d{device} rows={n}"));
         self.observed_rows += n as u64;
+        // Supervisor-visible latency sample: the response's *scheduled
+        // arrival* minus the attempt's broadcast start, smoothed per
+        // device. The schedule may process events out of time order
+        // (that is the adversarial-interleaving point), so the
+        // processing clock would charge the device for scheduler
+        // queueing delay and corrupt the drift signal; the event's own
+        // timestamp is the ground-truth network latency. Seeding the
+        // EWMA at the predicted mean keeps one extreme first draw from
+        // looking like drift.
+        let obs = arrived
+            .saturating_sub(self.queries[query].attempt_started)
+            .as_secs_f64()
+            * 1_000.0;
+        // Only roster members are sampled: once the allocator sheds a
+        // device, responses still in flight must not keep feeding its
+        // EWMA — a few lucky low draws would pull its factor back under
+        // the dead band and the device would oscillate in and out of
+        // the roster (shed, look cheap, return, drift, shed: thrash).
+        // A shed device's factor stays frozen at its crossing value.
+        if self.cells[self.queries[query].cell]
+            .roster
+            .contains(&device)
+        {
+            let prev = self.ewma_ms[device - 1].unwrap_or(PREDICTED_SERVICE_MS);
+            self.ewma_ms[device - 1] = Some(prev + EWMA_ALPHA * (obs - prev));
+        }
         if let Some(tel) = &self.tel {
             let now = self.clock.now();
             let l = self.config.width as u64;
@@ -706,6 +824,8 @@ impl Simulation {
         }
         self.queries[query].collected.insert(device, rows);
         self.try_complete(query);
+        let cell = self.queries[query].cell;
+        self.maybe_adapt(cell);
     }
 
     fn process_deadline(&mut self, query: usize) {
@@ -722,6 +842,7 @@ impl Simulation {
                 !self.queries[query].collected.contains_key(d) && !self.health[d - 1].is_absorbing()
             })
             .collect();
+        let any_missed = !missing.is_empty();
         for device in missing {
             self.misses[device - 1] += 1;
             let misses = self.misses[device - 1];
@@ -735,6 +856,16 @@ impl Simulation {
         self.maybe_repair(cell);
         if self.violation.is_some() || self.queries[query].outcome.is_some() {
             return;
+        }
+        if any_missed && self.queries[query].attempt < self.config.max_retries {
+            // Rateless mode: a missed deadline means designed slack is
+            // being eaten — mint a fresh chunk of coded rows to a spare
+            // before the retry goes out, so the next attempt has more
+            // rows to quorum from without a reallocation.
+            self.maybe_mint(cell);
+            if self.violation.is_some() {
+                return;
+            }
         }
         if self.queries[query].attempt < self.config.max_retries {
             self.events.clear_query(query);
@@ -766,6 +897,8 @@ impl Simulation {
             want,
             cell,
             started_at: self.clock.now(),
+            attempt_started: self.clock.now(),
+            code: self.cells[cell].code.clone(),
             attempt: 0,
             targets: Vec::new(),
             collected: BTreeMap::new(),
@@ -785,6 +918,12 @@ impl Simulation {
         let c = self.queries[q].cell;
         let start = self.clock.now().saturating_add(delay);
         let start_ms = start.as_millis() as u64;
+        // Every attempt re-pins the generation fence to the cell's
+        // current code: the rows computed below come from the current
+        // store, and decode must use the matching coefficients even if
+        // the cell reallocates before they arrive.
+        self.queries[q].code = self.cells[c].code.clone();
+        self.queries[q].attempt_started = start;
         let attempt = self.queries[q].attempt;
         let x = self.queries[q].x.clone();
         let device_count = self.cells[c].code.device_count();
@@ -872,12 +1011,13 @@ impl Simulation {
             .values()
             .flat_map(|rows| rows.iter().copied())
             .collect();
-        let c = state.cell;
         let distinct: std::collections::BTreeSet<usize> = responses.iter().map(|r| r.row).collect();
-        if distinct.len() < self.cells[c].code.rows_needed() {
+        // Generation fence: decode against the code this attempt was
+        // broadcast under — the cell's live code may already be newer.
+        if distinct.len() < self.queries[q].code.rows_needed() {
             return;
         }
-        let mut y = match self.cells[c].code.decode(&responses) {
+        let mut y = match self.queries[q].code.decode(&responses) {
             Ok(y) => y,
             Err(e) => {
                 self.violate(
@@ -1009,7 +1149,9 @@ impl Simulation {
         {
             return;
         }
-        let needed = self.cells[c].code.device_count();
+        // Repairs re-install the *designed* code shape, even if rateless
+        // mints had grown the previous generation's code.
+        let needed = self.needed;
         let base = c * self.pool;
         let survivors: Vec<usize> = (base + 1..=base + self.pool)
             .filter(|&d| !self.health[d - 1].is_absorbing())
@@ -1029,18 +1171,18 @@ impl Simulation {
             return;
         }
         let roster = survivors[..needed].to_vec();
-        let design = CodeDesign::new(self.config.data_rows, self.config.random_rows)
-            .expect("validated at construction");
-        let code = StragglerCode::<Fp61>::new(design, self.config.redundancy, &mut self.world)
-            .expect("resampling always finds a secure extension over Fp61");
-        let store = code
-            .encode(&self.a, &mut self.world)
-            .expect("shapes validated at construction");
+        let (code, store, encoder) = self.resample_coding();
         self.cells[c].roster = roster;
         self.cells[c].code = code;
         self.cells[c].store = store;
+        self.cells[c].rateless = encoder;
         self.cells[c].generation += 1;
         self.repairs += 1;
+        if let Some(alloc) = self.cells[c].adaptive.as_mut() {
+            // The fault path re-encoded on its own: disarm the adaptive
+            // trigger so adaptation never piles onto a repair.
+            alloc.note_external_change();
+        }
         let t = self.ms();
         let generation = self.cells[c].generation;
         let roster = self.cells[c].roster.clone();
@@ -1068,6 +1210,214 @@ impl Simulation {
                 self.events.clear_query(q);
                 self.queries[q].collected.clear();
                 self.broadcast(q, Duration::ZERO);
+            }
+        }
+    }
+
+    /// Draws a fresh designed code and store from the world RNG — the
+    /// hot-repair re-encode path, shared by fault repairs and adaptive
+    /// reallocations. In rateless mode the returned encoder replaces
+    /// the cell's old one: minted rows never outlive their generation.
+    fn resample_coding(
+        &mut self,
+    ) -> (
+        StragglerCode<Fp61>,
+        StragglerStore<Fp61>,
+        Option<RatelessEncoder<Fp61>>,
+    ) {
+        let design = CodeDesign::new(self.config.data_rows, self.config.random_rows)
+            .expect("validated at construction");
+        let code = StragglerCode::<Fp61>::new(design, self.config.redundancy, &mut self.world)
+            .expect("resampling always finds a secure extension over Fp61");
+        if self.config.rateless {
+            let (store, enc) = RatelessEncoder::encode(&code, &self.a, &mut self.world)
+                .expect("shapes validated at construction");
+            (code, store, Some(enc))
+        } else {
+            let store = code
+                .encode(&self.a, &mut self.world)
+                .expect("shapes validated at construction");
+            (code, store, None)
+        }
+    }
+
+    /// One adaptive observation tick for cell `c`: feeds the per-device
+    /// latency EWMAs (as drift factors over the predicted mean) to the
+    /// cell's allocator and, on a `Reallocated` verdict, installs the
+    /// new roster through the hot-repair re-encode path — generation
+    /// bumped, **in-flight attempts untouched** (they decode under the
+    /// code pinned at their broadcast; that is the generation fence).
+    fn maybe_adapt(&mut self, c: usize) {
+        if self.violation.is_some() || self.cells[c].exhausted || self.cells[c].adaptive.is_none() {
+            return;
+        }
+        let base = c * self.pool;
+        let samples: Vec<DriftSample> = (base + 1..=base + self.pool)
+            .map(|d| {
+                let factor = match self.ewma_ms[d - 1] {
+                    Some(e) => {
+                        let f = e / PREDICTED_SERVICE_MS;
+                        if f < DRIFT_DEAD_BAND {
+                            1.0
+                        } else {
+                            f
+                        }
+                    }
+                    // NaN keeps the allocator's previous factor: an
+                    // unsampled device carries no drift evidence.
+                    None => f64::NAN,
+                };
+                DriftSample {
+                    device: d,
+                    factor,
+                    healthy: !self.health[d - 1].is_absorbing(),
+                }
+            })
+            .collect();
+        let verdict = self.cells[c]
+            .adaptive
+            .as_mut()
+            .expect("checked above")
+            .observe(&samples);
+        let (spread_permille, plan_generation) = match verdict {
+            Ok(Verdict::Reallocated {
+                spread_permille,
+                generation,
+            }) => (spread_permille, generation),
+            Ok(Verdict::Hold { .. }) => return,
+            Err(e) => {
+                self.violate("adaptive", format!("cell{c}: allocator error: {e}"));
+                return;
+            }
+        };
+        let ranking = self.cells[c]
+            .adaptive
+            .as_ref()
+            .expect("checked above")
+            .ranking()
+            .to_vec();
+        if ranking.len() < self.needed {
+            // Not enough healthy devices to staff the designed code; the
+            // fault path owns exhaustion.
+            return;
+        }
+        let roster = ranking[..self.needed].to_vec();
+        let (code, store, encoder) = self.resample_coding();
+        self.cells[c].roster = roster;
+        self.cells[c].code = code;
+        self.cells[c].store = store;
+        self.cells[c].rateless = encoder;
+        self.cells[c].generation += 1;
+        self.reallocations += 1;
+        let t = self.ms();
+        let generation = self.cells[c].generation;
+        let roster = self.cells[c].roster.clone();
+        self.tr(|| {
+            format!(
+                "t={t} reallocate cell{c} gen={generation} plan={plan_generation} \
+                 spread={spread_permille} roster={roster:?}"
+            )
+        });
+        self.tev(
+            "supervisor.reallocated",
+            None,
+            format!("cell{c} gen={generation} spread={spread_permille} roster={roster:?}"),
+        );
+        if let Some(t) = &self.tel {
+            t.tracer
+                .span(self.clock.now(), Duration::ZERO, Stage::Encode, None, None);
+        }
+        self.instrument_cell(c);
+        self.check_topology_oracles(c);
+        // Unlike maybe_repair, no query restarts: in-flight attempts
+        // complete under their pinned code, retries pick up the new one.
+    }
+
+    /// Rateless mint: streams one chunk of freshly coded rows to the
+    /// encoder's frontier device, enrolling a spare when the frontier
+    /// opens a new code position. Appending rows never disturbs existing
+    /// indices, so there is no generation bump and in-flight attempts
+    /// stay valid.
+    fn maybe_mint(&mut self, c: usize) {
+        if self.violation.is_some() || !self.config.rateless || self.cells[c].exhausted {
+            return;
+        }
+        let Some(enc) = self.cells[c].rateless.as_ref() else {
+            return;
+        };
+        let device = enc.frontier_device();
+        let count = enc.capacity(device).min(self.config.random_rows);
+        if count == 0 {
+            return;
+        }
+        // A frontier past the current roster needs a spare to enroll.
+        let extend = device > self.cells[c].roster.len();
+        let spare = if extend {
+            let base = c * self.pool;
+            let found = (base + 1..=base + self.pool).find(|&d| {
+                !self.cells[c].roster.contains(&d) && !self.health[d - 1].is_absorbing()
+            });
+            match found {
+                Some(d) => Some(d),
+                None => return, // bench exhausted: nothing to mint onto
+            }
+        } else {
+            None
+        };
+        let batch = match self.cells[c]
+            .rateless
+            .as_mut()
+            .expect("checked above")
+            .mint(device, count, &mut self.world)
+        {
+            Ok(b) => b,
+            Err(e) => {
+                self.violate("rateless", format!("cell{c}: mint failed: {e}"));
+                return;
+            }
+        };
+        let code = self.cells[c]
+            .rateless
+            .as_ref()
+            .expect("checked above")
+            .code()
+            .clone();
+        if let Err(e) = self.cells[c].store.install_rows(code.clone(), &batch) {
+            self.violate("rateless", format!("cell{c}: install failed: {e}"));
+            return;
+        }
+        self.cells[c].code = code;
+        if let Some(d) = spare {
+            self.cells[c].roster.push(d);
+        }
+        self.minted_rows += count;
+        let t = self.ms();
+        let target = spare.unwrap_or_else(|| self.cells[c].roster[device - 1]);
+        self.tr(|| format!("t={t} mint cell{c} d{target} rows={count}"));
+        self.tev(
+            "supervisor.minted",
+            Some(target),
+            format!("cell{c} rows={count}"),
+        );
+        self.instrument_cell(c);
+        // Frontier mints keep the arithmetic chunk layout truthful, so
+        // the standard Theorem-3 oracles apply to the grown code;
+        // misaligned growth falls back to the true-map oracles.
+        if self.cells[c]
+            .rateless
+            .as_ref()
+            .expect("checked above")
+            .is_aligned()
+        {
+            self.check_topology_oracles(c);
+        } else {
+            let enc = self.cells[c].rateless.as_ref().expect("checked above");
+            match (enc.security_holds(), enc.all_true_quorums_available()) {
+                (Ok(true), Ok(true)) => {}
+                (sec, avail) => self.violate(
+                    "rateless",
+                    format!("cell{c}: true-map oracles failed: security={sec:?} avail={avail:?}"),
+                ),
             }
         }
     }
@@ -1195,6 +1545,18 @@ impl Simulation {
                 ),
             );
             return;
+        }
+        if let Some(max) = slo.max_reallocations {
+            if self.reallocations > max {
+                self.violate(
+                    "slo.thrash",
+                    format!(
+                        "{} adaptive reallocations > {max} budget — the allocator is thrashing",
+                        self.reallocations
+                    ),
+                );
+                return;
+            }
         }
         if completed > 0 && p99_ms > slo.p99_ms {
             self.violate(
@@ -1358,10 +1720,85 @@ mod tests {
             p99_ms: 1e9,
             cost_band_permille: (0, u64::MAX),
             min_repairs: 0,
+            max_reallocations: None,
         });
         let report = Simulation::new(config, 0).unwrap().run();
         let v = report.violation.expect("floor cannot be met");
         assert_eq!(v.oracle, "slo.progress");
+    }
+
+    #[test]
+    fn adaptive_on_a_static_fleet_is_inert_and_bit_identical() {
+        // Satellite property: a fleet whose observed costs match the
+        // schedule (no dynamics, no chaos) must never re-allocate, and
+        // the run must be byte-identical to the plain static world —
+        // observing drift samples draws no schedule or world randomness
+        // unless a plan is actually installed. Partial synchrony: with
+        // adversarial deadline/delivery races the scheduler itself can
+        // evict devices, and that is not a static-cost schedule.
+        let mut plain = DstConfig::chaos();
+        plain.intensity = 0.0;
+        plain.deliveries_first = true;
+        let mut adaptive = plain.clone();
+        adaptive.adaptive = Some(scec_allocation::AdaptiveConfig::default());
+        for seed in 0..8 {
+            let a = Simulation::new(plain.clone(), seed).unwrap().run();
+            let b = Simulation::new(adaptive.clone(), seed).unwrap().run();
+            assert_eq!(b.reallocations, 0, "static fleet re-allocated");
+            assert_eq!(a.render(), b.render(), "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn speed_drift_reallocates_and_replays_byte_identically() {
+        let config = crate::scenarios::find("speed-drift")
+            .expect("catalogued")
+            .config(Some(7), Some(16));
+        let report = Simulation::new(config.clone(), 3).unwrap().run();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(
+            report.reallocations >= 1,
+            "4x drift on two base devices must cross the hysteresis trigger:\n{}",
+            report.render()
+        );
+        assert!(report.trace.iter().any(|l| l.contains("reallocate")));
+        let again = Simulation::new(config, 3).unwrap().run();
+        assert_eq!(report.render(), again.render());
+    }
+
+    #[test]
+    fn thrash_oracle_fires_when_reallocation_budget_is_zero() {
+        let mut config = crate::scenarios::find("speed-drift")
+            .expect("catalogued")
+            .config(Some(7), Some(16));
+        config
+            .slo
+            .as_mut()
+            .expect("scenario ships an SLO")
+            .max_reallocations = Some(0);
+        let fired = (0..10).find_map(|seed| {
+            let report = Simulation::new(config.clone(), seed).unwrap().run();
+            report.violation.filter(|v| v.oracle == "slo.thrash")
+        });
+        let v = fired.expect("a zero budget must flag any reallocation as thrashing");
+        assert!(v.detail.contains("thrashing"), "{}", v.detail);
+    }
+
+    #[test]
+    fn flash_crowd_mints_rateless_rows_and_stays_clean() {
+        let scenario = crate::scenarios::find("flash-crowd").expect("catalogued");
+        let mut minted_total = 0;
+        for seed in 0..6 {
+            let report = Simulation::new(scenario.config(Some(7), Some(24)), seed)
+                .unwrap()
+                .run();
+            assert!(report.is_clean(), "seed {seed}: {}", report.render());
+            minted_total += report.minted_rows;
+        }
+        assert!(
+            minted_total > 0,
+            "a 6x surge past the deadline must trigger at least one mint in 6 seeds"
+        );
     }
 
     #[test]

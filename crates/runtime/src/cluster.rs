@@ -306,6 +306,10 @@ pub struct QueryStats {
     pub quarantined: usize,
     /// Fleet repairs performed (re-allocation + share re-install).
     pub repairs: usize,
+    /// Adaptive drift reallocations installed (telemetry-triggered
+    /// TA-1 re-runs; always 0 without
+    /// [`with_adaptive`](crate::SupervisedCluster::with_adaptive)).
+    pub reallocations: usize,
 }
 
 /// A running cluster executing the base SCEC protocol on real threads.

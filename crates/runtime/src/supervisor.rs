@@ -37,7 +37,7 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Sender};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use scec_allocation::{ta, EdgeFleet};
+use scec_allocation::{ta, AdaptiveAllocator, AdaptiveConfig, DriftSample, EdgeFleet, Verdict};
 use scec_coding::{CodeDesign, StragglerCode, TaggedResponse};
 use scec_core::IntegrityKey;
 use scec_linalg::{Matrix, Scalar, Vector};
@@ -50,6 +50,14 @@ use crate::latency::LatencyLog;
 use crate::mailbox::{lock, Mailbox};
 use crate::message::{FromDevice, ToDevice};
 use crate::transport::{ChannelTransport, DeviceSpec, Transport};
+
+/// Drift factors below the band are flattened to 1.0 before they reach
+/// the adaptive allocator: factors are measured against the fastest
+/// sampled device, so ordinary scheduler jitter on a uniform fleet
+/// stays inside the band and a static fleet never re-allocates. Only a
+/// device at least this many times slower than the fleet's best counts
+/// as drift.
+const ADAPTIVE_DEAD_BAND: f64 = 2.0;
 
 /// Tuning knobs for the supervision layer. Construct with
 /// [`SupervisorConfig::default`] and override builder-style.
@@ -254,6 +262,17 @@ pub enum SupervisorEvent {
         /// Straggler redundancy rows `s` provisioned.
         redundancy: usize,
     },
+    /// The adaptive allocator crossed its drift trigger and installed a
+    /// re-run TA-1 plan over drift-scaled costs (see
+    /// [`SupervisedCluster::with_adaptive`]).
+    Reallocated {
+        /// Devices enrolled in the new topology (physical ids, base
+        /// devices first, then standbys).
+        enrolled: Vec<usize>,
+        /// The drift spread (max/min effective-cost factor over the old
+        /// plan's members, thousandths) that triggered the install.
+        spread_permille: u64,
+    },
 }
 
 /// A decoded result plus supervision metadata.
@@ -352,6 +371,7 @@ struct Counters {
     retries: usize,
     degraded: usize,
     repairs: usize,
+    reallocations: usize,
 }
 
 enum AttemptError {
@@ -482,6 +502,8 @@ pub struct SupervisedCluster<F: Scalar> {
     tel: crate::telemetry::Sink,
     encode_started: Duration,
     encode_dur: Duration,
+    /// Telemetry-driven drift allocator; `None` runs the static plan.
+    adaptive: Option<Mutex<AdaptiveAllocator>>,
 }
 
 impl<F: Scalar> SupervisedCluster<F> {
@@ -544,8 +566,15 @@ impl<F: Scalar> SupervisedCluster<F> {
         let (resp_tx, resp_rx) = unbounded();
         let mut srng = StdRng::seed_from_u64(rng.next_u64());
         let encode_started = clock.now();
-        let (topo, _) =
-            Self::build_topology(data, &mut roster, &config, &resp_tx, &mut srng, &clock)?;
+        let (topo, _) = Self::build_topology(
+            data,
+            &mut roster,
+            &config,
+            &resp_tx,
+            &mut srng,
+            &clock,
+            None,
+        )?;
         let encode_dur = clock.now().saturating_sub(encode_started);
         Ok(SupervisedCluster {
             data: data.clone(),
@@ -563,7 +592,34 @@ impl<F: Scalar> SupervisedCluster<F> {
             tel: crate::telemetry::Sink::none(),
             encode_started,
             encode_dur,
+            adaptive: None,
         })
+    }
+
+    /// Arms telemetry-driven adaptive allocation: after every completed
+    /// query the supervisor folds its per-device latency EWMAs (and,
+    /// when telemetry is attached, the cost accountant's
+    /// observed-vs-predicted divergence) into per-device drift factors
+    /// and feeds them to an [`AdaptiveAllocator`]. When the hysteresis
+    /// trigger fires, TA-1 is re-run over the healthy fleet with
+    /// drift-scaled unit costs and the winning plan is installed through
+    /// the hot-repair re-encode path — in-flight pipelined queries
+    /// detect the generation bump and fall back, exactly as for a fault
+    /// repair.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Allocation`]-wrapped failures when the fleet or config
+    /// is rejected by the allocator.
+    pub fn with_adaptive(mut self, config: AdaptiveConfig) -> Result<Self> {
+        let devices: Vec<(usize, f64)> = lock(&self.roster)
+            .iter()
+            .enumerate()
+            .map(|(idx, d)| (idx + 1, d.unit_cost))
+            .collect();
+        let allocator = AdaptiveAllocator::new(self.data.nrows(), &devices, config)?;
+        self.adaptive = Some(Mutex::new(allocator));
+        Ok(self)
     }
 
     /// Attaches a telemetry handle: queries record spans, metrics, and
@@ -683,6 +739,14 @@ impl<F: Scalar> SupervisedCluster<F> {
                              redundancy={redundancy}"
                         ),
                     ),
+                    SupervisorEvent::Reallocated {
+                        enrolled,
+                        spread_permille,
+                    } => (
+                        "supervisor.reallocated",
+                        None,
+                        format!("enrolled={enrolled:?} spread={spread_permille}"),
+                    ),
                 };
                 s.tel.tracer.event(at, name, None, device, &detail);
                 s.tel
@@ -703,15 +767,21 @@ impl<F: Scalar> SupervisedCluster<F> {
         resp_tx: &Sender<FromDevice<F>>,
         rng: &mut StdRng,
         clock: &Arc<dyn Clock>,
+        cost_scale: Option<&[f64]>,
     ) -> Result<(Topology<F>, Vec<usize>)> {
         let m = data.nrows();
         // Alive devices, cheapest first (ties broken by id for
-        // determinism).
+        // determinism). An adaptive install scales each unit cost by the
+        // device's observed drift factor, so TA-1 optimizes over
+        // *effective* costs while the roster keeps the true ones.
         let mut alive: Vec<(usize, f64)> = roster
             .iter()
             .enumerate()
             .filter(|(_, d)| matches!(d.state, DeviceState::Healthy | DeviceState::Suspect))
-            .map(|(idx, d)| (idx + 1, d.unit_cost))
+            .map(|(idx, d)| {
+                let scale = cost_scale.and_then(|s| s.get(idx)).copied().unwrap_or(1.0);
+                (idx + 1, d.unit_cost * scale)
+            })
             .collect();
         alive.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let n = alive.len();
@@ -826,6 +896,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                     if outcome.degraded {
                         lock(&self.counters).degraded += 1;
                     }
+                    self.maybe_adapt(&mut topo);
                     return Ok(SupervisedResult {
                         value: outcome.value,
                         responders: outcome.responders,
@@ -1053,6 +1124,10 @@ impl<F: Scalar> SupervisedCluster<F> {
                 topo.transport.counts_wire_bytes(),
                 (shared.len() * std::mem::size_of::<F>()) as u64,
             );
+            // Every broadcast is one priced attempt: the divergence
+            // denominator scales with attempts, not completed queries,
+            // so honest retries do not read as cost drift.
+            s.tel.costs.record_attempt();
             s.tel
                 .costs
                 .record_broadcast(topo.physical.iter().copied(), bytes);
@@ -1261,8 +1336,21 @@ impl<F: Scalar> SupervisedCluster<F> {
 
     /// Tears down the current actors and rebuilds the topology over the
     /// surviving fleet: TA-1 re-allocation, fresh straggler code,
-    /// re-encode, hot-install.
+    /// re-encode, hot-install. The adaptive allocator (if armed) is told
+    /// about the externally-imposed plan change so its hysteresis state
+    /// restarts from the new plan instead of firing on stale factors.
     fn repair(&self, topo: &mut Topology<F>) -> Result<()> {
+        self.repair_scaled(topo, None)?;
+        if let Some(adaptive) = &self.adaptive {
+            lock(adaptive).note_external_change();
+        }
+        Ok(())
+    }
+
+    /// [`repair`](Self::repair) with optional per-device effective-cost
+    /// scaling — the shared hot-install path for fault repairs
+    /// (`cost_scale = None`) and adaptive reallocations.
+    fn repair_scaled(&self, topo: &mut Topology<F>, cost_scale: Option<&[f64]>) -> Result<()> {
         topo.transport.shutdown();
         // Old-generation responses can no longer be attributed.
         self.mailbox.clear_all();
@@ -1277,6 +1365,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                 &self.resp_tx,
                 &mut rng,
                 &self.clock,
+                cost_scale,
             )?
         };
         new_topo.generation = topo.generation.wrapping_add(1);
@@ -1295,15 +1384,111 @@ impl<F: Scalar> SupervisedCluster<F> {
         // The repaired allocation changes each device's predicted cost
         // and the actors are fresh threads: re-instrument.
         self.instrument_topology(topo);
-        lock(&self.counters).repairs += 1;
-        let ev = SupervisorEvent::Repaired {
-            enrolled,
-            random_rows,
-            redundancy,
+        // Adaptive installs are booked by the caller (as Reallocated,
+        // with the triggering spread); only fault repairs count here.
+        if cost_scale.is_none() {
+            lock(&self.counters).repairs += 1;
+            let ev = SupervisorEvent::Repaired {
+                enrolled,
+                random_rows,
+                redundancy,
+            };
+            self.emit_events(std::slice::from_ref(&ev));
+            lock(&self.events).push(ev);
+        }
+        Ok(())
+    }
+
+    /// One adaptive observation tick, run after every completed query:
+    /// folds the supervisor's per-device latency EWMAs — and, when
+    /// telemetry is attached, each device's observed-vs-predicted cost
+    /// divergence — into drift factors, feeds them to the allocator, and
+    /// on a `Reallocated` verdict re-runs TA-1 over drift-scaled costs
+    /// and hot-installs the winner.
+    ///
+    /// Factors are *relative to the fastest sampled healthy device* (the
+    /// allocator's spread is scale-free) and flattened to 1.0 inside the
+    /// dead band, so scheduler jitter on a uniform fleet never crosses
+    /// the trigger: a static fleet keeps its offline TA-1 plan verbatim.
+    /// A failed install (e.g. the healthy fleet shrank below the code's
+    /// needs mid-observation) leaves the old topology serving and defers
+    /// to the fault-repair machinery rather than failing the query that
+    /// just completed.
+    fn maybe_adapt(&self, topo: &mut Topology<F>) {
+        let Some(adaptive) = &self.adaptive else {
+            return;
+        };
+        let (samples, factors) = {
+            let roster = lock(&self.roster);
+            let reference = roster
+                .iter()
+                .filter(|d| matches!(d.state, DeviceState::Healthy | DeviceState::Suspect))
+                .filter_map(|d| d.ewma_latency)
+                .fold(f64::INFINITY, f64::min);
+            if !reference.is_finite() || reference <= 0.0 {
+                return;
+            }
+            let mut factors = vec![1.0f64; roster.len()];
+            let samples: Vec<DriftSample> = roster
+                .iter()
+                .enumerate()
+                .map(|(idx, d)| {
+                    let healthy = matches!(d.state, DeviceState::Healthy | DeviceState::Suspect);
+                    let mut factor = match d.ewma_latency {
+                        Some(e) => {
+                            let f = e / reference;
+                            if f < ADAPTIVE_DEAD_BAND {
+                                1.0
+                            } else {
+                                f
+                            }
+                        }
+                        // No sample carries no drift evidence: the
+                        // allocator keeps the device's previous factor.
+                        None => f64::NAN,
+                    };
+                    // A device consuming far more rows than the plan
+                    // priced is drifting even at healthy latency.
+                    self.tel.with(|s| {
+                        let div = s.tel.costs.device_divergence_permille(idx + 1) as f64 / 1_000.0;
+                        // NaN (no latency sample) is replaced too: the
+                        // ledger is then the only drift evidence.
+                        if div >= ADAPTIVE_DEAD_BAND && (factor.is_nan() || factor < div) {
+                            factor = div;
+                        }
+                    });
+                    if factor.is_finite() {
+                        factors[idx] = factor;
+                    }
+                    DriftSample {
+                        device: idx + 1,
+                        factor,
+                        healthy,
+                    }
+                })
+                .collect();
+            (samples, factors)
+        };
+        let verdict = lock(adaptive).observe(&samples);
+        let spread_permille = match verdict {
+            Ok(Verdict::Reallocated {
+                spread_permille, ..
+            }) => spread_permille,
+            // An allocator error here means the healthy fleet cannot
+            // staff any plan; the fault path owns exhaustion.
+            Ok(Verdict::Hold { .. }) | Err(_) => return,
+        };
+        if self.repair_scaled(topo, Some(&factors)).is_err() {
+            lock(adaptive).note_external_change();
+            return;
+        }
+        lock(&self.counters).reallocations += 1;
+        let ev = SupervisorEvent::Reallocated {
+            enrolled: topo.physical.clone(),
+            spread_permille,
         };
         self.emit_events(std::slice::from_ref(&ev));
         lock(&self.events).push(ev);
-        Ok(())
     }
 
     /// Per-retry backoff: `base * 2^(attempt-1)`, scaled by a uniform
@@ -1362,6 +1547,7 @@ impl<F: Scalar> SupervisedCluster<F> {
             retries: counters.retries,
             degraded: counters.degraded,
             repairs: counters.repairs,
+            reallocations: counters.reallocations,
             quarantined,
             ..QueryStats::default()
         };
@@ -1612,5 +1798,75 @@ mod tests {
             .iter()
             .filter(|h| h.enrolled)
             .all(|h| h.ewma_latency.is_some()));
+    }
+
+    #[test]
+    fn adaptive_reallocates_around_a_drifting_straggler() {
+        // Every device sleeps a small wall-clock base latency so the
+        // EWMA reference sits well above scheduler noise; device 0 (the
+        // cheapest, hence the most loaded under the static TA-1 plan)
+        // then runs ~15x slower. Its drift factor lands far past the
+        // hysteresis trigger, so the allocator must install a
+        // drift-scaled plan — and queries must stay correct through the
+        // swap. The grace window exceeds the straggler's delay so its
+        // late rows are still credited (feeding its EWMA) instead of
+        // being discarded as quorum misses. Wall clock on purpose: a
+        // virtual clock only advances once every thread sleeps, which
+        // timestamps fast arrivals at the straggler's wake time and
+        // flattens the very spread this test needs to see.
+        let mut behaviors = [DeviceBehavior::Delayed(Duration::from_millis(4)); 5];
+        behaviors[0] = DeviceBehavior::Delayed(Duration::from_millis(60));
+        let (a, cluster, mut rng) = launch(
+            17,
+            &behaviors,
+            fast_config().with_quorum_grace(Duration::from_millis(250)),
+        );
+        let cluster = cluster.with_adaptive(AdaptiveConfig::default()).unwrap();
+        for _ in 0..6 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            assert_eq!(cluster.query(&x).unwrap().value, a.matvec(&x).unwrap());
+        }
+        let stats = cluster.stats();
+        assert!(
+            stats.reallocations >= 1,
+            "straggler never triggered adaptation: {stats:?}"
+        );
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::Reallocated { .. })));
+    }
+
+    #[test]
+    fn adaptive_is_inert_on_a_steady_fleet() {
+        // Uniform virtual latency: every drift factor is exactly 1.0,
+        // inside the dead band, so an armed allocator must hold the
+        // static plan for the whole run.
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::<Fp61>::random(6, 4, &mut rng);
+        let behaviors = [DeviceBehavior::Delayed(Duration::from_millis(3)); 5];
+        let clock = Arc::new(crate::SimClock::new());
+        let cluster = SupervisedCluster::launch_clocked(
+            &a,
+            &COSTS,
+            &behaviors,
+            fast_config(),
+            &mut rng,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .unwrap()
+        .with_adaptive(AdaptiveConfig::default())
+        .unwrap();
+        for _ in 0..8 {
+            let x = Vector::<Fp61>::random(4, &mut rng);
+            assert_eq!(cluster.query(&x).unwrap().value, a.matvec(&x).unwrap());
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.reallocations, 0, "steady fleet must never adapt");
+        assert_eq!(stats.repairs, 0);
+        assert!(!cluster
+            .events()
+            .iter()
+            .any(|e| matches!(e, SupervisorEvent::Reallocated { .. })));
     }
 }

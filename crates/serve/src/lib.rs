@@ -144,6 +144,7 @@ mod tests {
             cols: 8,
             seed: 19,
             max_in_flight: 0,
+            adaptive: false,
         };
         let report = Router::new(config)
             .expect("config")
@@ -165,6 +166,49 @@ mod tests {
         let json = report.render_json();
         assert!(json.contains("\"peak_in_flight\""));
         assert!(report.render().contains("serving tier: 4 tenants"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn adaptive_router_is_inert_on_a_healthy_tier() {
+        // Honest TCP devices serve exactly their MCSCEC-planned rows,
+        // so every ledger divergence sits inside the dead band: the
+        // drift checkpoint must hold the original plan for every
+        // tenant, and the verified results must match the plain run's
+        // totals exactly.
+        let server =
+            DeviceServer::bind::<Fp61>("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let config = LoadConfig {
+            tenants: 2,
+            queries_per_tenant: 16,
+            panel_width: 4,
+            window: 2,
+            rows: 6,
+            cols: 8,
+            seed: 23,
+            max_in_flight: 0,
+            adaptive: true,
+        };
+        let adaptive = Router::new(config.clone())
+            .expect("config")
+            .run(server.local_addr())
+            .expect("load");
+        let plain = Router::new(LoadConfig {
+            adaptive: false,
+            ..config
+        })
+        .expect("config")
+        .run(server.local_addr())
+        .expect("load");
+        assert!(adaptive.failures.is_empty(), "{:?}", adaptive.failures);
+        assert_eq!(adaptive.reallocations, 0, "healthy tier must never re-plan");
+        assert_eq!(adaptive.total_queries, plain.total_queries);
+        for (a, p) in adaptive.tenants.iter().zip(&plain.tenants) {
+            assert_eq!(a.mismatches, 0);
+            assert_eq!(a.queries, p.queries);
+            assert_eq!(a.reallocations, 0);
+        }
+        assert!(adaptive.render_json().contains("\"reallocations\": 0"));
         server.shutdown();
     }
 

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use rand::{rngs::StdRng, SeedableRng};
 
-use scec_allocation::EdgeFleet;
+use scec_allocation::{AdaptiveAllocator, AdaptiveConfig, DriftSample, EdgeFleet, Verdict};
 use scec_core::{AllocationStrategy, ScecSystem};
 use scec_linalg::{Fp61, Matrix, Vector};
 use scec_runtime::{Clock, LocalCluster, PanelPipeline, RealClock};
@@ -38,6 +38,12 @@ use crate::transport::{TcpTransport, WireMeter};
 /// Per-tenant fleet unit costs — one mid-sized heterogeneous fleet,
 /// identical for every tenant so ledgers compare across tenants.
 const FLEET_UNIT_COSTS: [f64; 5] = [1.0, 1.3, 1.6, 2.0, 2.5];
+
+/// Divergence factors below this are treated as ledger noise at the
+/// adaptive checkpoint: a device must consume at least twice its
+/// MCSCEC-predicted cost before it counts as drifted, so a healthy tier
+/// never re-plans.
+const ROUTER_DEAD_BAND: f64 = 2.0;
 
 /// Workload shape for [`Router::run`].
 #[derive(Clone, Debug)]
@@ -60,6 +66,15 @@ pub struct LoadConfig {
     /// tenants. `0` means "uncapped" (sized to the workload's natural
     /// maximum).
     pub max_in_flight: usize,
+    /// Adaptive allocation mode: each tenant drives its stream in two
+    /// epochs with a drift checkpoint between. At the checkpoint the
+    /// tenant folds its cost ledger's observed-vs-predicted divergence
+    /// into per-device drift factors and asks an
+    /// [`AdaptiveAllocator`]; on a `Reallocated` verdict it re-runs
+    /// TA-1 over drift-scaled costs, re-encodes, and re-enrolls its
+    /// devices for the second epoch. A healthy tier never crosses the
+    /// trigger, so adaptive mode is inert (and bit-identical) there.
+    pub adaptive: bool,
 }
 
 impl Default for LoadConfig {
@@ -75,6 +90,7 @@ impl Default for LoadConfig {
             cols: 16,
             seed: 7,
             max_in_flight: 0,
+            adaptive: false,
         }
     }
 }
@@ -184,6 +200,9 @@ pub struct TenantReport {
     /// p99 query latency (seconds) from the tenant's pipeline
     /// histogram; 0 when telemetry is compiled out.
     pub p99_latency_s: f64,
+    /// Adaptive re-plans this tenant installed (0 unless
+    /// [`LoadConfig::adaptive`] is set and the drift checkpoint fired).
+    pub reallocations: u64,
 }
 
 /// The full run: per-tenant rows plus tier-level aggregates.
@@ -206,6 +225,8 @@ pub struct LoadReport {
     pub throughput_qps: f64,
     /// Worst per-tenant p99 latency (seconds).
     pub worst_p99_s: f64,
+    /// Total adaptive re-plans across the tier.
+    pub reallocations: u64,
 }
 
 impl LoadReport {
@@ -226,6 +247,7 @@ impl LoadReport {
             self.peak_in_flight, self.admission_cap
         );
         let _ = writeln!(out, "  worst p99       = {:.6}s", self.worst_p99_s);
+        let _ = writeln!(out, "  reallocations   = {}", self.reallocations);
         let (ws, wr): (u64, u64) = self
             .tenants
             .iter()
@@ -269,13 +291,15 @@ impl LoadReport {
             out,
             "  \"peak_in_flight\": {},\n  \"admission_cap\": {},\n  \
              \"elapsed_s\": {:.6},\n  \"total_queries\": {},\n  \
-             \"throughput_qps\": {:.1},\n  \"worst_p99_s\": {:.6},\n  \"tenants\": [",
+             \"throughput_qps\": {:.1},\n  \"worst_p99_s\": {:.6},\n  \
+             \"reallocations\": {},\n  \"tenants\": [",
             self.peak_in_flight,
             self.admission_cap,
             self.elapsed_s,
             self.total_queries,
             self.throughput_qps,
-            self.worst_p99_s
+            self.worst_p99_s,
+            self.reallocations
         );
         for (i, t) in self.tenants.iter().enumerate() {
             if i > 0 {
@@ -286,7 +310,8 @@ impl LoadReport {
                 "\n    {{\"tenant\": {}, \"queries\": {}, \"mismatches\": {}, \
                  \"wire_sent\": {}, \"wire_received\": {}, \"predicted_sent\": {}, \
                  \"predicted_received\": {}, \"predicted_cost\": {:.4}, \
-                 \"observed_cost\": {:.4}, \"p99_latency_s\": {:.6}}}",
+                 \"observed_cost\": {:.4}, \"p99_latency_s\": {:.6}, \
+                 \"reallocations\": {}}}",
                 t.tenant,
                 t.queries,
                 t.mismatches,
@@ -296,7 +321,8 @@ impl LoadReport {
                 t.predicted_received,
                 t.predicted_cost,
                 t.observed_cost,
-                t.p99_latency_s
+                t.p99_latency_s,
+                t.reallocations
             );
         }
         out.push_str("\n  ],\n  \"failures\": [");
@@ -380,6 +406,7 @@ impl Router {
             .iter()
             .map(|t| t.p99_latency_s)
             .fold(0.0, f64::max);
+        report.reallocations = report.tenants.iter().map(|t| t.reallocations).sum();
         Ok(report)
     }
 }
@@ -415,68 +442,97 @@ fn tenant_session(
     // Everyone joins the barrier exactly once, success or not, so one
     // failed tenant cannot strand the rest at the starting line.
     barrier.wait();
-    let (_, cluster, tel, meter) = setup?;
+    let (a, cluster, tel, meter) = setup?;
     let (xs, truths) = workload.expect("workload generated on the success path");
-    let mut queries = 0u64;
-    let mut mismatches = 0u64;
-    {
-        let mut pipeline =
-            PanelPipeline::new(&cluster, cfg.panel_width, cfg.window)?.with_telemetry(&tel);
-        // Expected results in FIFO order — the pipeline's completion
-        // order contract.
-        let mut expected: VecDeque<Vector<Fp61>> = VecDeque::new();
-        let mut in_flight = 0usize;
-        let outcome = (|| -> Result<()> {
-            for (x, truth) in xs.iter().zip(truths) {
-                admission.acquire(1);
-                in_flight += 1;
-                expected.push_back(truth?);
-                for y in pipeline.submit(x)? {
-                    admission.release(1);
-                    in_flight -= 1;
-                    queries += 1;
-                    if expected.pop_front().as_ref() != Some(&y) {
-                        mismatches += 1;
-                    }
-                }
+    let truths = truths
+        .into_iter()
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let mut st = PumpState::default();
+    let mut meters = vec![meter];
+    let mut reallocations = 0u64;
+    let mut second_cluster: Option<LocalCluster<Fp61>> = None;
+    // Adaptive mode drives the stream in two epochs with a drift
+    // checkpoint between them; static mode is one epoch.
+    let split = if cfg.adaptive { xs.len() / 2 } else { xs.len() };
+    let outcome = (|| -> Result<()> {
+        {
+            let mut pipeline =
+                PanelPipeline::new(&cluster, cfg.panel_width, cfg.window)?.with_telemetry(&tel);
+            pump_epoch(
+                &mut pipeline,
+                &xs[..split],
+                &truths[..split],
+                admission,
+                &mut st,
+            )?;
+        }
+        if split == xs.len() {
+            return Ok(());
+        }
+        let factors = drift_factors(&tel, FLEET_UNIT_COSTS.len());
+        match checkpoint_scaled_costs(cfg.rows, &factors)? {
+            Some(scaled) => {
+                // Re-plan for the second epoch: TA-1 over drift-scaled
+                // costs, fresh encode, fresh enrollments. The first
+                // connection stays open (the server scopes state per
+                // connection) and both are shut down together below.
+                reallocations += 1;
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ 0x7265_706c ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tenant + 1)),
+                );
+                let (c2, m2) = connect_cluster(addr, tenant, &a, &scaled, &tel, &mut rng)?;
+                meters.push(m2);
+                let c2 = second_cluster.insert(c2);
+                let mut pipeline =
+                    PanelPipeline::new(&*c2, cfg.panel_width, cfg.window)?.with_telemetry(&tel);
+                pump_epoch(
+                    &mut pipeline,
+                    &xs[split..],
+                    &truths[split..],
+                    admission,
+                    &mut st,
+                )?;
             }
-            for y in pipeline.flush()? {
-                admission.release(1);
-                in_flight -= 1;
-                queries += 1;
-                if expected.pop_front().as_ref() != Some(&y) {
-                    mismatches += 1;
-                }
+            None => {
+                let mut pipeline =
+                    PanelPipeline::new(&cluster, cfg.panel_width, cfg.window)?.with_telemetry(&tel);
+                pump_epoch(
+                    &mut pipeline,
+                    &xs[split..],
+                    &truths[split..],
+                    admission,
+                    &mut st,
+                )?;
             }
-            for y in pipeline.collect()? {
-                admission.release(1);
-                in_flight -= 1;
-                queries += 1;
-                if expected.pop_front().as_ref() != Some(&y) {
-                    mismatches += 1;
-                }
-            }
-            Ok(())
-        })();
-        // Never exit holding permits: a failing tenant must not starve
-        // the admission gate for the healthy ones.
-        admission.release(in_flight);
-        outcome?;
-    }
+        }
+        Ok(())
+    })();
+    // Never exit holding permits: a failing tenant must not starve
+    // the admission gate for the healthy ones.
+    admission.release(st.in_flight);
+    outcome?;
     // Reconcile measured wire bytes into the ledger: the TCP transport
     // metered real bytes, so the byte columns are still zero here.
-    for (idx, &device) in meter.devices().iter().enumerate() {
-        tel.costs.record_sent(device, meter.sent(idx));
-        tel.costs.record_received(device, meter.received(idx), 0);
+    for meter in &meters {
+        for (idx, &device) in meter.devices().iter().enumerate() {
+            tel.costs.record_sent(device, meter.sent(idx));
+            tel.costs.record_received(device, meter.received(idx), 0);
+        }
     }
     let ledger = tel.costs.report();
     let p99 = pipeline_p99(&tel);
-    let (wire_sent, wire_received) = meter.totals();
+    let (wire_sent, wire_received) = meters
+        .iter()
+        .map(WireMeter::totals)
+        .fold((0, 0), |(s, r), (ms, mr)| (s + ms, r + mr));
     cluster.shutdown();
+    if let Some(c2) = second_cluster {
+        c2.shutdown();
+    }
     Ok(TenantReport {
         tenant,
-        queries,
-        mismatches,
+        queries: st.queries,
+        mismatches: st.mismatches,
         wire_sent,
         wire_received,
         predicted_sent: ledger.total_predicted.bytes_sent,
@@ -484,7 +540,109 @@ fn tenant_session(
         predicted_cost: ledger.predicted_cost,
         observed_cost: ledger.observed_cost,
         p99_latency_s: p99,
+        reallocations,
     })
+}
+
+/// Per-tenant pump bookkeeping shared across epochs: completed-query
+/// and mismatch counters, the FIFO of expected results, and the
+/// admission permits currently held.
+#[derive(Default)]
+struct PumpState {
+    queries: u64,
+    mismatches: u64,
+    expected: VecDeque<Vector<Fp61>>,
+    in_flight: usize,
+}
+
+impl PumpState {
+    /// Books one completed query: returns its admission permit and
+    /// checks the result against the expected FIFO.
+    fn credit(&mut self, admission: &Admission, y: &Vector<Fp61>) {
+        admission.release(1);
+        self.in_flight -= 1;
+        self.queries += 1;
+        if self.expected.pop_front().as_ref() != Some(y) {
+            self.mismatches += 1;
+        }
+    }
+}
+
+/// Drives one slice of the query stream through `pipeline` under the
+/// admission gate, draining the pipeline completely at the end (an
+/// epoch boundary is a checkpoint — nothing may straddle it).
+fn pump_epoch(
+    pipeline: &mut PanelPipeline<'_, LocalCluster<Fp61>>,
+    xs: &[Vector<Fp61>],
+    truths: &[Vector<Fp61>],
+    admission: &Admission,
+    st: &mut PumpState,
+) -> Result<()> {
+    for (x, truth) in xs.iter().zip(truths) {
+        admission.acquire(1);
+        st.in_flight += 1;
+        st.expected.push_back(truth.clone());
+        for y in pipeline.submit(x)? {
+            st.credit(admission, &y);
+        }
+    }
+    for y in pipeline.flush()? {
+        st.credit(admission, &y);
+    }
+    for y in pipeline.collect()? {
+        st.credit(admission, &y);
+    }
+    Ok(())
+}
+
+/// Per-device drift factors from the cost ledger at the epoch
+/// checkpoint: observed-vs-predicted divergence, flattened to 1.0
+/// inside the dead band so ledger noise on a healthy tier never reads
+/// as drift.
+fn drift_factors(tel: &Telemetry, devices: usize) -> Vec<f64> {
+    (1..=devices)
+        .map(|d| {
+            let div = tel.costs.device_divergence_permille(d) as f64 / 1_000.0;
+            if div >= ROUTER_DEAD_BAND {
+                div
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Asks a fresh [`AdaptiveAllocator`] whether the drift factors warrant
+/// a re-plan; `Some(scaled_costs)` means re-run TA-1 over these
+/// effective unit costs for the next epoch.
+fn checkpoint_scaled_costs(rows: usize, factors: &[f64]) -> Result<Option<Vec<f64>>> {
+    let devices: Vec<(usize, f64)> = FLEET_UNIT_COSTS
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i + 1, c))
+        .collect();
+    let mut alloc = AdaptiveAllocator::new(rows, &devices, AdaptiveConfig::default())?;
+    let samples: Vec<DriftSample> = factors
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| DriftSample {
+            device: i + 1,
+            factor: f,
+            healthy: true,
+        })
+        .collect();
+    match alloc.observe(&samples) {
+        Ok(Verdict::Reallocated { .. }) => Ok(Some(
+            FLEET_UNIT_COSTS
+                .iter()
+                .zip(factors)
+                .map(|(c, f)| c * f)
+                .collect(),
+        )),
+        // An allocator error means the fleet cannot staff any plan at
+        // all — the current plan is no worse, keep serving on it.
+        Ok(Verdict::Hold { .. }) | Err(_) => Ok(None),
+    }
 }
 
 type TenantSetup = (Matrix<Fp61>, LocalCluster<Fp61>, Arc<Telemetry>, WireMeter);
@@ -495,14 +653,30 @@ fn setup_tenant(addr: SocketAddr, tenant: u64, cfg: &LoadConfig) -> Result<Tenan
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tenant + 1)));
     let a = Matrix::<Fp61>::random(cfg.rows, cfg.cols, &mut rng);
-    let fleet = EdgeFleet::from_unit_costs(FLEET_UNIT_COSTS.to_vec())?;
-    let system = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, &mut rng)?;
     let tel = Arc::new(Telemetry::new());
+    let (cluster, meter) = connect_cluster(addr, tenant, &a, &FLEET_UNIT_COSTS, &tel, &mut rng)?;
+    Ok((a, cluster, tel, meter))
+}
+
+/// Builds one SCEC instance over `a` with the given unit costs (MCSCEC
+/// allocation + code design), enrolls its devices over TCP, and wires
+/// the shared telemetry in — used both for initial setup and for the
+/// adaptive checkpoint's re-plan.
+fn connect_cluster(
+    addr: SocketAddr,
+    tenant: u64,
+    a: &Matrix<Fp61>,
+    unit_costs: &[f64],
+    tel: &Arc<Telemetry>,
+    rng: &mut StdRng,
+) -> Result<(LocalCluster<Fp61>, WireMeter)> {
+    let fleet = EdgeFleet::from_unit_costs(unit_costs.to_vec())?;
+    let system = ScecSystem::build(a.clone(), fleet, AllocationStrategy::Mcscec, rng)?;
     let mut meter_slot: Option<WireMeter> = None;
     let mut connect_err: Option<Error> = None;
     let launched = LocalCluster::launch_with_transport(
         &system,
-        &mut rng,
+        rng,
         Arc::new(RealClock::default()) as Arc<dyn Clock>,
         |shares| {
             let ids: Vec<usize> = shares.iter().map(|s| s.device()).collect();
@@ -519,7 +693,7 @@ fn setup_tenant(addr: SocketAddr, tenant: u64, cfg: &LoadConfig) -> Result<Tenan
         },
     );
     let cluster = match launched {
-        Ok(c) => c.with_telemetry(Arc::clone(&tel)),
+        Ok(c) => c.with_telemetry(Arc::clone(tel)),
         Err(e) => {
             // Surface the richer serve-side error (admission refusals
             // carry the server's reason) over the generic runtime one.
@@ -527,7 +701,25 @@ fn setup_tenant(addr: SocketAddr, tenant: u64, cfg: &LoadConfig) -> Result<Tenan
         }
     };
     let meter = meter_slot.expect("connect ran on the success path");
-    Ok((a, cluster, tel, meter))
+    Ok((cluster, meter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_triggers_only_past_the_dead_band() {
+        // Uniform factors: the checkpoint holds the current plan.
+        assert!(checkpoint_scaled_costs(8, &[1.0; 5]).unwrap().is_none());
+        // One device at 4x its predicted cost: re-plan, with that
+        // device's unit cost scaled and the rest untouched.
+        let scaled = checkpoint_scaled_costs(8, &[4.0, 1.0, 1.0, 1.0, 1.0])
+            .unwrap()
+            .expect("drift past the trigger must re-plan");
+        assert!((scaled[0] - 4.0 * FLEET_UNIT_COSTS[0]).abs() < 1e-12);
+        assert!((scaled[1] - FLEET_UNIT_COSTS[1]).abs() < 1e-12);
+    }
 }
 
 /// p99 of the tenant's per-query FIFO latency (falls back to the

@@ -19,6 +19,18 @@
 //! `l_j` per query; observed: rows actually served), so a straggler
 //! that never answers shows up as observed < predicted and a retry
 //! storm as observed > predicted.
+//!
+//! **Divergence as an adaptation signal.** The adaptive allocator uses
+//! the observed/predicted rows ratio as its drift trigger, which makes
+//! retry accounting load-bearing: every *attempt* (original broadcast
+//! or retry) adds observed rows, but the predicted side is scaled by
+//! *completed queries* — so a lossless fleet that merely retried would
+//! read as divergent and could thrash the allocation. The ledger
+//! therefore also counts [`attempts`](CostAccountant::record_attempt),
+//! and [`divergence_permille`](CostAccountant::divergence_permille)
+//! scales the predicted side by attempts (falling back to queries for
+//! callers that never record attempts), so only genuinely unexpected
+//! row traffic moves the signal.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -130,6 +142,10 @@ pub struct CostReport {
     /// Completed broadcast windows the per-window predictions were
     /// scaled by (a plain unbatched query counts as a width-1 window).
     pub windows: u64,
+    /// Query attempts (originals + retries). Zero when the caller never
+    /// records attempts; the divergence signal then falls back to
+    /// `queries`.
+    pub attempts: u64,
     /// Per-device rows, ascending device id.
     pub devices: Vec<DeviceCostReport>,
     /// Sum of predicted vectors.
@@ -148,8 +164,8 @@ impl CostReport {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\n    \"queries\": {},\n    \"windows\": {},",
-            self.queries, self.windows
+            "\n    \"queries\": {},\n    \"windows\": {},\n    \"attempts\": {},",
+            self.queries, self.windows, self.attempts
         );
         let _ = write!(
             out,
@@ -196,6 +212,7 @@ struct CostInner {
     devices: BTreeMap<usize, DeviceEntry>,
     queries: u64,
     windows: u64,
+    attempts: u64,
 }
 
 impl CostAccountant {
@@ -303,6 +320,20 @@ impl CostAccountant {
         self.with(|i| i.windows += 1);
     }
 
+    /// Counts one query *attempt* — an original broadcast or a retry.
+    /// Attempts reconcile the divergence signal: retried queries add
+    /// observed rows per attempt, so the predicted side must be priced
+    /// per attempt too or honest retries read as drift.
+    pub fn record_attempt(&self) {
+        self.with(|i| i.attempts += 1);
+    }
+
+    /// Counts `n` attempts in one lock (panel broadcasts record one per
+    /// column).
+    pub fn record_attempts(&self, n: u64) {
+        self.with(|i| i.attempts += n);
+    }
+
     /// Completed-query count so far.
     pub fn queries(&self) -> u64 {
         self.with(|i| i.queries)
@@ -313,12 +344,65 @@ impl CostAccountant {
         self.with(|i| i.windows)
     }
 
+    /// Attempt count so far (0 if the caller never records attempts).
+    pub fn attempts(&self) -> u64 {
+        self.with(|i| i.attempts)
+    }
+
+    /// Observed-vs-predicted served-row divergence, in thousandths
+    /// (1000 = exactly as priced), with the predicted side scaled by
+    /// **attempts** rather than completed queries so honest retries do
+    /// not read as drift. Falls back to the completed-query count when
+    /// no attempts were recorded; returns 1000 while nothing is
+    /// predicted yet.
+    pub fn divergence_permille(&self) -> u64 {
+        self.with(|inner| {
+            let scale = if inner.attempts > 0 {
+                inner.attempts
+            } else {
+                inner.queries
+            };
+            let mut predicted = 0u64;
+            let mut observed = 0u64;
+            for entry in inner.devices.values() {
+                predicted += entry.predicted_per_query.rows_served * scale;
+                observed += entry.observed.rows_served;
+            }
+            if predicted == 0 {
+                return 1_000;
+            }
+            (observed as u128 * 1_000 / predicted as u128) as u64
+        })
+    }
+
+    /// Per-device divergence in thousandths, same scaling contract as
+    /// [`divergence_permille`](Self::divergence_permille). Returns 1000
+    /// for unknown devices or before any prediction is installed.
+    pub fn device_divergence_permille(&self, device: usize) -> u64 {
+        self.with(|inner| {
+            let scale = if inner.attempts > 0 {
+                inner.attempts
+            } else {
+                inner.queries
+            };
+            let Some(entry) = inner.devices.get(&device) else {
+                return 1_000;
+            };
+            let predicted = entry.predicted_per_query.rows_served * scale;
+            if predicted == 0 {
+                return 1_000;
+            }
+            (entry.observed.rows_served as u128 * 1_000 / predicted as u128) as u64
+        })
+    }
+
     /// Builds the predicted-vs-observed report.
     pub fn report(&self) -> CostReport {
         self.with(|inner| {
             let mut report = CostReport {
                 queries: inner.queries,
                 windows: inner.windows,
+                attempts: inner.attempts,
                 ..CostReport::default()
             };
             for (&device, entry) in &inner.devices {
@@ -433,6 +517,70 @@ mod tests {
         assert_eq!(d.predicted.bytes_received, 8 * 24 + 2 * 16);
         assert_eq!(d.predicted.rows_served, 8, "rows stay per-query");
         assert!(report.render_json().contains("\"windows\": 2,"));
+    }
+
+    #[test]
+    fn divergence_reconciles_retried_attempts() {
+        // Pinned hand-computed regression for the double-count bug:
+        // 2 devices each predicted to serve 1 row per query; 2 queries
+        // complete but one needed a retry, so 3 attempts flowed and
+        // every attempt served both devices' rows → observed = 6 rows.
+        //
+        // Buggy signal (predicted scaled by completed queries):
+        //   6 · 1000 / (2 rows/query · 2 queries) = 1500 — a phantom
+        //   50% divergence from honest retries alone.
+        // Reconciled (predicted scaled by attempts):
+        //   6 · 1000 / (2 · 3) = 1000 — exactly as priced.
+        let acc = CostAccountant::new();
+        for dev in 1..=2 {
+            acc.set_predicted(
+                dev,
+                1.0,
+                CostVector {
+                    rows_served: 1,
+                    ..CostVector::default()
+                },
+            );
+        }
+        acc.record_attempt(); // query 1, first attempt
+        acc.record_received(1, 8, 1);
+        acc.record_received(2, 8, 1);
+        acc.record_attempt(); // query 2, first attempt (times out)
+        acc.record_received(1, 8, 1);
+        acc.record_received(2, 8, 1);
+        acc.record_attempt(); // query 2, retry
+        acc.record_received(1, 8, 1);
+        acc.record_received(2, 8, 1);
+        acc.record_queries(2);
+        assert_eq!(acc.attempts(), 3);
+        let buggy = {
+            let report = acc.report(); // report still scales by queries
+            report.total_observed.rows_served * 1_000 / report.total_predicted.rows_served
+        };
+        assert_eq!(buggy, 1_500, "queries-scaled signal double-counts retries");
+        assert_eq!(acc.divergence_permille(), 1_000);
+        assert_eq!(acc.device_divergence_permille(1), 1_000);
+        assert_eq!(acc.device_divergence_permille(99), 1_000, "unknown device");
+    }
+
+    #[test]
+    fn divergence_falls_back_to_queries_without_attempts() {
+        let acc = CostAccountant::new();
+        acc.set_predicted(
+            1,
+            1.0,
+            CostVector {
+                rows_served: 2,
+                ..CostVector::default()
+            },
+        );
+        assert_eq!(acc.divergence_permille(), 1_000, "nothing predicted yet");
+        acc.record_query();
+        acc.record_received(1, 8, 3);
+        // No attempts recorded: scale by the 1 completed query.
+        assert_eq!(acc.divergence_permille(), 1_500);
+        assert_eq!(acc.device_divergence_permille(1), 1_500);
+        assert!(acc.report().render_json().contains("\"attempts\": 0,"));
     }
 
     #[test]

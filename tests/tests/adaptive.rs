@@ -1,0 +1,156 @@
+//! Drift-conformance suite for adaptive telemetry-driven allocation:
+//! the acceptance sweeps behind the adaptive-vs-static EXPERIMENTS
+//! entry.
+//!
+//! Two contracts, each enforced across many seeds:
+//!
+//! * **Drift pays.** On the `speed-drift` scenario the adaptive
+//!   allocator must beat the static offline TA-1 plan by at least 20 %
+//!   summed completion time, while every PR-4 oracle (decode, security,
+//!   Theorem-3 quorum availability) *and* the scenario's SLO policy —
+//!   including the bounded-reallocation no-thrashing oracle — hold on
+//!   every run.
+//! * **Static fleets are sacred.** With a static cost schedule, an
+//!   armed adaptive allocator must never re-plan, and the run must be
+//!   byte-identical to the same sweep with adaptation disabled — the
+//!   allocator is an observer until real drift crosses its hysteresis
+//!   trigger.
+//!
+//! Every assertion replays from its seed alone
+//! (`SCEC_DST_SEED=<seed> cargo test -p scec-integration-tests
+//! adaptive`).
+
+use scec_dst::{compare_adaptive, find_scenario, run_seeds, seed_from_env, DstConfig, Simulation};
+
+/// The acceptance sweep width. Each seed runs the scenario twice
+/// (adaptive and its static twin), so this is 400 simulations.
+const ACCEPTANCE_SEEDS: usize = 200;
+
+#[test]
+fn adaptive_beats_static_by_twenty_percent_across_the_acceptance_sweep() {
+    let scenario = find_scenario("speed-drift").expect("in catalog");
+    let config = scenario.config(Some(7), Some(24));
+    let cmp = compare_adaptive(&config, 0, ACCEPTANCE_SEEDS).unwrap();
+    assert!(
+        cmp.adaptive.is_clean(),
+        "oracle violation in the adaptive sweep:\n{}",
+        cmp.adaptive.failure.unwrap().render()
+    );
+    assert_eq!(cmp.adaptive.runs, ACCEPTANCE_SEEDS);
+    assert!(
+        cmp.adaptive.reallocations >= ACCEPTANCE_SEEDS,
+        "drift must trigger at least one re-plan per seed: {} across {} runs",
+        cmp.adaptive.reallocations,
+        cmp.adaptive.runs
+    );
+    assert!(
+        cmp.improvement_permille >= 200,
+        "adaptive only {} permille faster than static TA-1 \
+         (adaptive {:.1} ms vs baseline {:.1} ms over {} seeds)",
+        cmp.improvement_permille,
+        cmp.adaptive.makespan_ms,
+        cmp.baseline.makespan_ms,
+        ACCEPTANCE_SEEDS
+    );
+    // The EXPERIMENTS.md adaptive-vs-static numbers regenerate from
+    // here (visible with --nocapture).
+    eprintln!(
+        "adaptive sweep: {} seeds, adaptive {:.1} ms vs static {:.1} ms \
+         ({} permille faster), {} reallocations, {} minted rows",
+        cmp.adaptive.runs,
+        cmp.adaptive.makespan_ms,
+        cmp.baseline.makespan_ms,
+        cmp.improvement_permille,
+        cmp.adaptive.reallocations,
+        cmp.adaptive.minted_rows
+    );
+}
+
+#[test]
+fn speed_drift_never_thrashes_within_its_reallocation_budget() {
+    // The scenario's SLO caps installed re-plans; a sweep is only clean
+    // if every seed stayed within the budget, so a clean sweep with a
+    // nonzero total is exactly "adapts, but does not thrash".
+    let scenario = find_scenario("speed-drift").expect("in catalog");
+    let config = scenario.config(Some(7), Some(24));
+    let budget = config
+        .slo
+        .as_ref()
+        .and_then(|s| s.max_reallocations)
+        .expect("speed-drift carries a reallocation budget");
+    let sweep = run_seeds(&config, 0, 40, seed_from_env()).unwrap();
+    assert!(
+        sweep.is_clean(),
+        "oracle violation:\n{}",
+        sweep.failure.unwrap().render()
+    );
+    assert!(sweep.reallocations >= sweep.runs);
+    assert!(
+        sweep.reallocations <= budget * sweep.runs,
+        "{} re-plans across {} runs exceeds the {}-per-run budget",
+        sweep.reallocations,
+        sweep.runs,
+        budget
+    );
+}
+
+#[test]
+fn static_cost_schedules_never_reallocate_and_replay_bit_identically() {
+    // Chaos config with zero fault intensity and partial synchrony
+    // (deadlines only fire when no response is deliverable): the cost
+    // schedule is static, so the armed allocator must hold the offline
+    // TA-1 plan on every seed and change nothing about the run.
+    let mut armed = DstConfig::chaos();
+    armed.intensity = 0.0;
+    armed.deliveries_first = true;
+    armed.adaptive = Some(scec_allocation::AdaptiveConfig::default());
+    let mut plain = armed.clone();
+    plain.adaptive = None;
+    for seed in 0..24 {
+        let a = Simulation::new(armed.clone(), seed).unwrap().run();
+        let b = Simulation::new(plain.clone(), seed).unwrap().run();
+        assert_eq!(a.reallocations, 0, "seed {seed} re-planned a static fleet");
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "seed {seed}: an inert allocator must not perturb the run"
+        );
+    }
+}
+
+#[test]
+fn flash_crowd_mints_rateless_rows_under_every_oracle() {
+    // Surge + a two-device outage exceeds the code's slack, so the
+    // rateless path must stream extra coded rows to the fast survivors
+    // — and Lemma 1's per-device cap keeps security intact, which the
+    // sim's true-map oracles verify after every mint.
+    let scenario = find_scenario("flash-crowd").expect("in catalog");
+    let sweep = scec_dst::run_scenario(scenario, None, None, 0, 8, seed_from_env()).unwrap();
+    assert!(
+        sweep.is_clean(),
+        "oracle violation:\n{}",
+        sweep.failure.unwrap().render()
+    );
+    assert!(
+        sweep.minted_rows > 0,
+        "the flash crowd never exercised the rateless path"
+    );
+}
+
+#[test]
+fn an_adaptive_run_replays_byte_identically_from_its_seed() {
+    // The failing-seed workflow must survive the extra machinery:
+    // reallocation decisions and minted rows are functions of the
+    // seeded schedule alone.
+    let scenario = find_scenario("speed-drift").expect("in catalog");
+    let config = scenario.config(Some(7), Some(16));
+    let replay = |seed| {
+        Simulation::new(config.clone(), seed)
+            .unwrap()
+            .run()
+            .render()
+    };
+    for seed in [0, 3, 11] {
+        assert_eq!(replay(seed), replay(seed), "seed {seed} replay drift");
+    }
+}
