@@ -460,7 +460,7 @@ mod tests {
         // and — once encoded as a straggler code by the DST layer — the
         // Theorem-3 oracles; here we pin the allocation-level half and
         // the count bound.
-        let mut rng = StdRng::seed_from_u64(0xd21f_7_5eed);
+        let mut rng = StdRng::seed_from_u64(0x000d_21f7_5eed);
         for case in 0..48 {
             let k = rng.gen_range(3..10);
             let m = rng.gen_range(2..30);

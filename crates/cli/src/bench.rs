@@ -387,6 +387,7 @@ fn run_suite(iters: usize, quick: bool) -> (Vec<CaseResult>, String) {
             seed: 0x5CEC,
             max_in_flight: 0,
             adaptive: false,
+            trace: false,
         };
         case("load_tenants_64", 64, 64 * tq, &mut || {
             let report = scec_serve::Router::new(load.clone())
@@ -400,6 +401,41 @@ fn run_suite(iters: usize, quick: bool) -> (Vec<CaseResult>, String) {
             );
             std::hint::black_box(report.total_queries);
         });
+
+        // Distributed-tracing overhead: the identical small tier with
+        // tracing off and on. The on case pays the 17-byte context
+        // block per frame each way plus per-span id minting; the
+        // ns/query gap between the two cases is the whole tracing tax
+        // (budgeted at <5% — compare the pair in the snapshot).
+        let trace_off = scec_serve::LoadConfig {
+            tenants: 4,
+            queries_per_tenant: tq,
+            panel_width: 16,
+            window: tw,
+            rows: 8,
+            cols: 16,
+            seed: 0x5CEC,
+            max_in_flight: 0,
+            adaptive: false,
+            trace: false,
+        };
+        let trace_on = scec_serve::LoadConfig {
+            trace: true,
+            ..trace_off.clone()
+        };
+        for (name, cfg) in [
+            ("load_tracing_off_t4", &trace_off),
+            ("load_tracing_on_t4", &trace_on),
+        ] {
+            case(name, 4, 4 * tq, &mut || {
+                let report = scec_serve::Router::new(cfg.clone())
+                    .expect("load config")
+                    .run(addr)
+                    .expect("load run");
+                assert!(report.failures.is_empty(), "{:?}", report.failures);
+                std::hint::black_box(report.total_queries);
+            });
+        }
         server.shutdown();
     }
     (results, telemetry)

@@ -787,6 +787,10 @@ pub struct DstOptions {
     pub failure_out: Option<PathBuf>,
     /// Write the scec-telemetry-v1 snapshot here.
     pub metrics_out: Option<PathBuf>,
+    /// Write the sweep's Chrome trace-event JSON here. The virtual
+    /// clock and deterministic span ids make it byte-identical across
+    /// same-seed runs — CI diffs two renders to pin replay fidelity.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl DstOptions {
@@ -846,10 +850,8 @@ pub fn dst(options: &DstOptions) -> Result<(String, bool)> {
         Some(s) => s.config(options.devices, options.queries),
         None => scec_dst::DstConfig::chaos(),
     };
-    let tel = options
-        .metrics_out
-        .as_ref()
-        .map(|_| Arc::new(Telemetry::new()));
+    let tel = (options.metrics_out.is_some() || options.trace_out.is_some())
+        .then(|| Arc::new(Telemetry::new()));
     let sweep = match &tel {
         Some(t) => scec_dst::run_seeds_telemetry(
             &config,
@@ -890,6 +892,10 @@ pub fn dst(options: &DstOptions) -> Result<(String, bool)> {
         // Virtual-clock telemetry: byte-deterministic for the seed range.
         std::fs::write(path, t.render_json())?;
         let _ = writeln!(out, "telemetry snapshot written to {}", path.display());
+    }
+    if let (Some(t), Some(path)) = (&tel, &options.trace_out) {
+        std::fs::write(path, t.tracer.render_chrome_trace(1))?;
+        let _ = writeln!(out, "chrome trace written to {}", path.display());
     }
     if let Some(pin) = options.pinned {
         let _ = writeln!(out, "  (seed pinned to {pin} via {})", scec_dst::SEED_ENV);
@@ -955,6 +961,9 @@ pub struct ServeOptions {
     /// Exit cleanly once at least one connection was served and all
     /// have closed (smoke tests and CI); otherwise serve until killed.
     pub once: bool,
+    /// Bind a scrape listener here (`/metrics`, `/trace`, `/slo`)
+    /// and record device-side compute spans for traced queries.
+    pub obs_addr: Option<String>,
 }
 
 /// `scec serve`: host a GF(2⁶¹−1) device fleet on a TCP listener.
@@ -969,7 +978,27 @@ pub fn serve(options: &ServeOptions) -> Result<String> {
         max_tenants: options.max_tenants,
         ..scec_serve::ServerConfig::default()
     };
-    let server = scec_serve::DeviceServer::bind::<Fp61>(&options.addr, config)?;
+    let tel = options
+        .obs_addr
+        .as_ref()
+        .map(|_| std::sync::Arc::new(scec_telemetry::Telemetry::new()));
+    let server =
+        scec_serve::DeviceServer::bind_instrumented::<Fp61>(&options.addr, config, tel.clone())?;
+    let _scrape = match (&options.obs_addr, tel) {
+        (Some(obs_addr), Some(tel)) => {
+            let plane = std::sync::Arc::new(scec_serve::ObsPlane::new(
+                scec_telemetry::SloConfig::default(),
+            ));
+            plane.register("device-server", tel);
+            let scrape = scec_serve::ScrapeServer::bind(obs_addr, plane)?;
+            println!(
+                "scec serve: observability on http://{}",
+                scrape.local_addr()
+            );
+            Some(scrape)
+        }
+        _ => None,
+    };
     println!(
         "scec serve: listening on {} (max tenants {}{})",
         server.local_addr(),
@@ -1024,6 +1053,15 @@ pub struct LoadOptions {
     pub adaptive: bool,
     /// Where to write the JSON load report.
     pub metrics_out: Option<PathBuf>,
+    /// Bind a live scrape listener here (`/metrics`, `/trace`, `/slo`)
+    /// for the duration of the run; implies tracing.
+    pub obs_addr: Option<String>,
+    /// Keep the scrape listener up this many seconds after the load
+    /// finishes so external scrapers can read the final state.
+    pub obs_linger_s: u64,
+    /// Write the stitched Chrome trace-event JSON here after the run;
+    /// implies tracing (works without any HTTP listener).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for LoadOptions {
@@ -1039,6 +1077,9 @@ impl Default for LoadOptions {
             seed: defaults.seed,
             adaptive: defaults.adaptive,
             metrics_out: None,
+            obs_addr: None,
+            obs_linger_s: 0,
+            trace_out: None,
         }
     }
 }
@@ -1052,6 +1093,8 @@ impl Default for LoadOptions {
 /// Returns a domain error when any tenant fails or any result
 /// mismatches its tenant's own `A·x` — a clean exit certifies the run.
 pub fn load(options: &LoadOptions) -> Result<String> {
+    use std::sync::Arc;
+    let trace = options.obs_addr.is_some() || options.trace_out.is_some();
     let defaults = scec_serve::LoadConfig::default();
     let config = scec_serve::LoadConfig {
         tenants: options.tenants,
@@ -1061,9 +1104,13 @@ pub fn load(options: &LoadOptions) -> Result<String> {
         max_in_flight: options.cap,
         seed: options.seed,
         adaptive: options.adaptive,
+        trace,
         ..defaults
     };
     let router = scec_serve::Router::new(config).map_err(|e| Error::Domain(e.to_string()))?;
+    let plane = Arc::new(scec_serve::ObsPlane::new(
+        scec_telemetry::SloConfig::default(),
+    ));
     let (server, addr) = match &options.addr {
         Some(a) => (
             None,
@@ -1071,27 +1118,62 @@ pub fn load(options: &LoadOptions) -> Result<String> {
                 .map_err(|e| Error::Usage(format!("bad --addr {a:?}: {e}")))?,
         ),
         None => {
-            let server = scec_serve::DeviceServer::bind::<Fp61>(
+            // Instrument the loopback fleet when tracing so its
+            // device-side compute spans land in the same trace render
+            // as the Router's lanes (registered first: pid 1).
+            let server_tel = trace.then(|| Arc::new(scec_telemetry::Telemetry::new()));
+            if let Some(tel) = &server_tel {
+                plane.register("device-server", Arc::clone(tel));
+            }
+            let server = scec_serve::DeviceServer::bind_instrumented::<Fp61>(
                 "127.0.0.1:0",
                 scec_serve::ServerConfig {
                     max_tenants: options.tenants as u64,
                     ..scec_serve::ServerConfig::default()
                 },
+                server_tel,
             )?;
             let addr = server.local_addr();
             (Some(server), addr)
         }
     };
-    let report = router.run(addr).map_err(|e| Error::Domain(e.to_string()))?;
+    let scrape = match &options.obs_addr {
+        Some(obs_addr) => {
+            let scrape = scec_serve::ScrapeServer::bind(obs_addr, Arc::clone(&plane))?;
+            println!("scec load: observability on http://{}", scrape.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            Some(scrape)
+        }
+        None => None,
+    };
+    let report = router
+        .run_observed(addr, &plane)
+        .map_err(|e| Error::Domain(e.to_string()))?;
     if let Some(server) = server {
         server.shutdown();
     }
     if let Some(path) = &options.metrics_out {
         std::fs::write(path, report.render_json())?;
     }
+    if let Some(path) = &options.trace_out {
+        std::fs::write(path, plane.render_trace())?;
+    }
     let mut out = report.render();
     if let Some(path) = &options.metrics_out {
         let _ = writeln!(out, "load report written to {}", path.display());
+    }
+    if let Some(path) = &options.trace_out {
+        let _ = writeln!(out, "chrome trace written to {}", path.display());
+    }
+    if let Some(scrape) = scrape {
+        // Hold the scrape plane open so CI (or a human with curl) can
+        // read the finished run; the metrics-out file doubles as the
+        // readiness signal.
+        if options.obs_linger_s > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(options.obs_linger_s));
+        }
+        scrape.shutdown();
     }
     if !report.failures.is_empty() {
         return Err(Error::Domain(format!(

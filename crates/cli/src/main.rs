@@ -19,14 +19,16 @@ USAGE:
   scec chaos  [--devices N] [--queries Q] [--intensity F] [--seed N]
               [--verbose true] [--metrics-out PATH]
   scec dst    [--seeds N] [--seed N] [--explore true] [--failure-out PATH]
-              [--metrics-out PATH] [--scenario NAME] [--devices N]
-              [--queries Q] [--list-scenarios true]
+              [--metrics-out PATH] [--trace-out PATH] [--scenario NAME]
+              [--devices N] [--queries Q] [--list-scenarios true]
   scec metrics [--devices N] [--queries Q] [--seed N] [--format prometheus|json]
   scec bench  [--out DIR] [--iters N] [--index N] [--quick true]
   scec serve  [--addr HOST:PORT] [--max-tenants N] [--once true]
+              [--obs-addr HOST:PORT]
   scec load   [--addr HOST:PORT] [--tenants N] [--queries Q] [--panel W]
               [--window D] [--cap N] [--seed N] [--adaptive true]
-              [--metrics-out PATH]
+              [--metrics-out PATH] [--obs-addr HOST:PORT]
+              [--obs-linger SECS] [--trace-out PATH]
 
 `scec serve` hosts a device fleet over TCP; `scec load` drives a
 sharded multi-tenant query load against it (spawning an in-process
@@ -34,6 +36,14 @@ loopback server when --addr is omitted) and exits non-zero unless
 every tenant's results match its own A·x. `--adaptive true` lets each
 tenant re-plan over drift-scaled costs at a mid-stream checkpoint when
 its cost ledger diverges from the MCSCEC prediction.
+`--obs-addr` mounts a live observability plane on a second listener:
+GET /metrics (Prometheus text), /trace (Chrome trace-event JSON), and
+/slo (per-tenant burn rates). On `scec load` it also turns on
+distributed tracing, so every query carries a wire-propagated trace
+context and device compute spans stitch under the Router's dispatch
+spans; `--obs-linger SECS` keeps the listener up after the run, and
+`--trace-out PATH` writes the stitched Chrome trace without any
+listener (open it in chrome://tracing or Perfetto).
 `scec dst` honors SCEC_DST_SEED to replay a single seeded schedule.
 `scec dst --scenario NAME` sweeps a named adversarial campaign at fleet
 scale (`--list-scenarios true` prints the catalog).
@@ -216,6 +226,7 @@ fn run() -> Result<(), Error> {
             };
             options.failure_out = args.flags.get("failure-out").map(PathBuf::from);
             options.metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
+            options.trace_out = args.flags.get("trace-out").map(PathBuf::from);
             let (report, clean) = commands::dst(&options)?;
             print!("{report}");
             if !clean {
@@ -265,6 +276,7 @@ fn run() -> Result<(), Error> {
                         .parse()
                         .map_err(|e| Error::Usage(format!("bad --once: {e}")))?,
                 },
+                obs_addr: args.flags.get("obs-addr").cloned(),
             };
             print!("{}", commands::serve(&options)?);
         }
@@ -295,6 +307,13 @@ fn run() -> Result<(), Error> {
                     .map_err(|e| Error::Usage(format!("bad --adaptive: {e}")))?;
             }
             options.metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
+            options.obs_addr = args.flags.get("obs-addr").cloned();
+            if let Some(v) = args.flags.get("obs-linger") {
+                options.obs_linger_s = v
+                    .parse()
+                    .map_err(|e| Error::Usage(format!("bad --obs-linger: {e}")))?;
+            }
+            options.trace_out = args.flags.get("trace-out").map(PathBuf::from);
             print!("{}", commands::load(&options)?);
         }
         "bench" => {

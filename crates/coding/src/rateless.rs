@@ -552,7 +552,7 @@ mod tests {
         let (_store, mut enc, _a, _x, mut rng) = setup(6, 2, 3, 4, 303);
         for _ in 0..3 {
             let d = enc.frontier_device();
-            let take = enc.capacity(d).max(1).min(2);
+            let take = enc.capacity(d).clamp(1, 2);
             enc.mint(d, take, &mut rng).unwrap();
         }
         assert!(enc.is_aligned());

@@ -165,7 +165,11 @@ fn sweep(
     for seed in seeds {
         let mut sim = Simulation::new(config.clone(), seed)?;
         if let Some(t) = tel {
-            sim = sim.with_telemetry(Arc::clone(t));
+            // Telemetry sweeps trace under the seed as tenant: ids stay
+            // a pure function of the run triple, every sweep exercises
+            // the trace-causality oracle, and same-seed replays render
+            // byte-identical Chrome traces.
+            sim = sim.with_telemetry(Arc::clone(t)).with_trace_tenant(seed);
         }
         let run = sim.run();
         report.runs += 1;
@@ -221,6 +225,39 @@ mod tests {
             cmp.adaptive.makespan_ms,
             cmp.baseline.makespan_ms
         );
+    }
+
+    #[test]
+    fn traced_sweeps_render_byte_identical_chrome_traces() {
+        let config = DstConfig::small();
+        let render = || {
+            let tel = Arc::new(Telemetry::new());
+            let report = run_seeds_telemetry(&config, 7, 2, None, &tel).unwrap();
+            assert!(report.is_clean(), "{:?}", report.failure);
+            tel.tracer.render_chrome_trace(1)
+        };
+        let (a, b) = (render(), render());
+        assert!(a.contains("\"trace_id\""), "traced sweep must mint ids");
+        assert!(a.contains("span.device_compute"));
+        assert_eq!(a, b, "same-seed replays must render byte-identically");
+    }
+
+    #[test]
+    fn scenario_library_passes_the_trace_causality_oracle() {
+        for scenario in crate::scenarios::catalog() {
+            let config = scenario.config(Some(7), Some(6));
+            let tel = Arc::new(Telemetry::new());
+            let report = run_seeds_telemetry(&config, 3, 2, None, &tel).unwrap();
+            assert!(
+                report.failure.as_ref().is_none_or(|f| f
+                    .violation
+                    .as_ref()
+                    .is_none_or(|v| v.oracle != "trace.causality")),
+                "scenario {}: {:?}",
+                scenario.name,
+                report.failure
+            );
+        }
     }
 
     #[test]

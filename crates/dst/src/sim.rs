@@ -40,7 +40,8 @@ use scec_coding::{CodeDesign, RatelessEncoder, StragglerCode, StragglerStore, Ta
 use scec_linalg::{Fp61, Matrix, Scalar, Vector};
 use scec_runtime::{Clock, SimClock};
 use scec_sim::adversary::{ChaosFault, ChaosPlan, PassiveAdversary};
-use scec_telemetry::{CostVector, LogHistogram, Stage, Telemetry};
+use scec_telemetry::context::{self, SpanIds};
+use scec_telemetry::{CostVector, LogHistogram, Stage, Telemetry, TraceContext};
 
 use crate::scenarios::SloPolicy;
 use crate::schedule::{Decision, Schedule};
@@ -102,9 +103,9 @@ impl Health {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Oracle name: `decode`, `availability`, `security`, `coalition`,
-    /// `fifo`, `lifecycle`, `clock`, `adaptive`, `rateless`, or one of
-    /// the SLO oracles `slo.progress`, `slo.p99`, `slo.cost`,
-    /// `slo.stress`, `slo.thrash`.
+    /// `fifo`, `lifecycle`, `clock`, `adaptive`, `rateless`,
+    /// `trace.causality`, or one of the SLO oracles `slo.progress`,
+    /// `slo.p99`, `slo.cost`, `slo.stress`, `slo.thrash`.
     pub oracle: &'static str,
     /// Simulation step (processed-event count) at which it fired.
     pub step: usize,
@@ -373,6 +374,12 @@ struct QueryState {
     attempt: u32,
     /// Devices broadcast to in the current attempt (global ids).
     targets: Vec<usize>,
+    /// Wire trace context of the current attempt, parented on its
+    /// dispatch span — what the supervisor would stamp on the outgoing
+    /// frames. Pinned per broadcast (like the generation fence), so
+    /// responses landing after a repair still stitch under the dispatch
+    /// span they were actually sent from. `None` when tracing is off.
+    ctx: Option<TraceContext>,
     /// Verified rows collected in the current attempt, by global device.
     collected: BTreeMap<usize, Vec<TaggedResponse<Fp61>>>,
     outcome: Option<QueryOutcome>,
@@ -446,6 +453,17 @@ pub struct Simulation {
     livelocked: bool,
     seed: u64,
     tel: Option<Arc<Telemetry>>,
+    /// Tenant id under which spans carry deterministic distributed-trace
+    /// ids (and the end-of-run causality oracle runs). `None` keeps the
+    /// historical id-less spans.
+    trace_tenant: Option<u64>,
+    /// Monotone qualifier for lifecycle child events (repairs, re-plans)
+    /// so each gets a distinct span id within its trace.
+    trace_seq: u64,
+    /// The query whose trace cell-level lifecycle moments (repair,
+    /// re-plan, mint) attach to: the most recently broadcast traced
+    /// query, mirroring the threaded supervisor's `last_trace`.
+    last_traced: Option<usize>,
 }
 
 impl Simulation {
@@ -565,6 +583,9 @@ impl Simulation {
             faults,
             seed,
             tel: None,
+            trace_tenant: None,
+            trace_seq: 0,
+            last_traced: None,
         };
         Ok(sim)
     }
@@ -586,6 +607,87 @@ impl Simulation {
             self.instrument_cell(c);
         }
         self
+    }
+
+    /// Turns on distributed tracing: every span is minted the same
+    /// deterministic ids the threaded runtime derives from
+    /// `(tenant, query, generation)`, device spans parent onto their
+    /// attempt's dispatch span, and the end-of-run **trace-causality
+    /// oracle** checks the tree for orphans. Ids are pure functions of
+    /// the run triple, so replays stay byte-identical.
+    #[must_use]
+    pub fn with_trace_tenant(mut self, tenant: u64) -> Self {
+        self.trace_tenant = Some(tenant);
+        self
+    }
+
+    /// Ids for a supervisor-side stage span or lifecycle child event of
+    /// query `q`'s current attempt, parented on the query's root span
+    /// (the same scheme as the threaded runtime's `stage_ids`). `None`
+    /// when tracing is off or `q` has not been broadcast yet.
+    fn query_stage_ids(&self, q: usize, kind: u64, qualifier: u64) -> Option<SpanIds> {
+        let ctx = self.queries.get(q)?.ctx?;
+        Some(SpanIds {
+            trace: ctx.trace_id,
+            span: context::span_id(ctx.trace_id, kind, qualifier),
+            parent: context::span_id(ctx.trace_id, context::kind::ROOT, 0),
+        })
+    }
+
+    /// Ids for a cell-level lifecycle child event (repair, re-plan,
+    /// mint), attached to the last traced query's tree with a fresh
+    /// monotone qualifier.
+    fn lifecycle_ids(&mut self, kind: u64) -> Option<SpanIds> {
+        let q = self.last_traced?;
+        let seq = self.trace_seq;
+        let ids = self.query_stage_ids(q, kind, seq)?;
+        self.trace_seq += 1;
+        Some(ids)
+    }
+
+    /// End-of-run **trace-causality oracle**: with tracing on, every
+    /// recorded device-compute span must carry ids and parent onto a
+    /// dispatch span that was actually recorded for the same trace —
+    /// across retries, repairs, and reallocation generations, no
+    /// orphans. Skipped when the tracer dropped events (a truncated
+    /// buffer cannot be judged) — the drop count is its own signal.
+    fn check_trace_causality(&mut self) {
+        let Some(t) = self.tel.clone() else { return };
+        if self.trace_tenant.is_none() || t.tracer.dropped() > 0 {
+            return;
+        }
+        let events = t.tracer.events();
+        let dispatches: std::collections::BTreeSet<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.name == Stage::Dispatch.as_str())
+            .filter_map(|e| e.ids.map(|ids| (ids.trace, ids.span)))
+            .collect();
+        for e in &events {
+            if e.name != Stage::DeviceCompute.as_str() {
+                continue;
+            }
+            let Some(ids) = e.ids else {
+                self.violate(
+                    "trace.causality",
+                    format!(
+                        "device span (q{:?} d{:?}) carries no trace ids under tracing",
+                        e.request, e.device
+                    ),
+                );
+                return;
+            };
+            if !dispatches.contains(&(ids.trace, ids.parent)) {
+                self.violate(
+                    "trace.causality",
+                    format!(
+                        "orphan device span q{:?} d{:?}: parent {:016x} matches no \
+                         recorded dispatch span of trace {:016x}",
+                        e.request, e.device, ids.parent, ids.trace
+                    ),
+                );
+                return;
+            }
+        }
     }
 
     /// (Re-)installs predicted per-query costs and stored-row levels for
@@ -618,8 +720,25 @@ impl Simulation {
     /// Mirrors a supervisor lifecycle moment into the tracer and the
     /// labelled event counter (same names as the threaded supervisor).
     fn tev(&self, name: &'static str, device: Option<usize>, detail: String) {
+        self.tev_ids(name, device, detail, None);
+    }
+
+    /// [`tev`](Self::tev) carrying optional trace ids, so retries,
+    /// repairs, and re-plans land as child moments of their query tree.
+    fn tev_ids(
+        &self,
+        name: &'static str,
+        device: Option<usize>,
+        detail: String,
+        ids: Option<SpanIds>,
+    ) {
         if let Some(t) = &self.tel {
-            t.tracer.event(self.clock.now(), name, None, device, detail);
+            match ids {
+                Some(ids) => t
+                    .tracer
+                    .event_ctx(self.clock.now(), name, None, device, detail, ids),
+                None => t.tracer.event(self.clock.now(), name, None, device, detail),
+            }
             t.registry
                 .counter("scec_supervisor_events_total", &[("event", name)])
                 .inc();
@@ -699,6 +818,9 @@ impl Simulation {
             if let Some(slo) = self.config.slo.clone() {
                 self.check_slo_oracles(&slo, completed, p99_ms, cost_permille);
             }
+        }
+        if self.violation.is_none() {
+            self.check_trace_causality();
         }
         RunReport {
             seed: self.seed,
@@ -811,13 +933,34 @@ impl Simulation {
             let l = self.config.width as u64;
             let n = n as u64;
             let esize = std::mem::size_of::<Fp61>() as u64;
-            tel.tracer.span(
-                now,
-                Duration::ZERO,
-                Stage::DeviceCompute,
-                Some(query as u64),
-                Some(device),
-            );
+            match self.queries[query].ctx {
+                // Stitch under the attempt's dispatch span, minting the
+                // same id the real DeviceServer derives from the wire
+                // context — the sim and the TCP tier agree byte-for-byte.
+                Some(ctx) if ctx.sampled => tel.tracer.span_ctx(
+                    now,
+                    Duration::ZERO,
+                    Stage::DeviceCompute,
+                    Some(query as u64),
+                    Some(device),
+                    SpanIds {
+                        trace: ctx.trace_id,
+                        span: context::span_id(
+                            ctx.trace_id,
+                            context::kind::DEVICE_COMPUTE,
+                            device as u64,
+                        ),
+                        parent: ctx.parent_span_id,
+                    },
+                ),
+                _ => tel.tracer.span(
+                    now,
+                    Duration::ZERO,
+                    Stage::DeviceCompute,
+                    Some(query as u64),
+                    Some(device),
+                ),
+            }
             tel.costs.record_received(device, n * (esize + 8), n);
             tel.costs
                 .record_compute(device, n * l, n * l.saturating_sub(1));
@@ -875,10 +1018,12 @@ impl Simulation {
             let t = self.ms();
             let attempt = self.queries[query].attempt;
             self.tr(|| format!("t={t} retry q{query} attempt={attempt}"));
-            self.tev(
+            let ids = self.query_stage_ids(query, context::kind::RETRY, u64::from(attempt));
+            self.tev_ids(
                 "supervisor.retried",
                 None,
                 format!("q{query} attempt={attempt}"),
+                ids,
             );
             self.broadcast(query, backoff);
         } else {
@@ -901,6 +1046,7 @@ impl Simulation {
             code: self.cells[cell].code.clone(),
             attempt: 0,
             targets: Vec::new(),
+            ctx: None,
             collected: BTreeMap::new(),
             outcome: None,
             emitted: false,
@@ -988,13 +1134,41 @@ impl Simulation {
                 corrupted,
             });
         }
+        // Dispatch-time trace derivation: the trace id is pinned to the
+        // cell generation this attempt broadcasts under, exactly like
+        // the threaded supervisor's `dispatch_trace`.
+        let trace = self.trace_tenant.map(|tenant| {
+            let generation = u64::from(self.cells[c].generation);
+            let root = TraceContext::derive(tenant, q as u64, generation);
+            let ids = SpanIds {
+                trace: root.trace_id,
+                span: context::span_id(root.trace_id, context::kind::DISPATCH, generation),
+                parent: root.parent_span_id,
+            };
+            (ids, root.child_of(ids.span))
+        });
         if let Some(t) = &self.tel {
-            t.tracer
-                .span(start, Duration::ZERO, Stage::Dispatch, Some(q as u64), None);
+            match trace {
+                Some((ids, _)) => t.tracer.span_ctx(
+                    start,
+                    Duration::ZERO,
+                    Stage::Dispatch,
+                    Some(q as u64),
+                    None,
+                    ids,
+                ),
+                None => t
+                    .tracer
+                    .span(start, Duration::ZERO, Stage::Dispatch, Some(q as u64), None),
+            }
             let bytes = (self.config.width * std::mem::size_of::<Fp61>()) as u64;
             for &device in &targets {
                 t.costs.record_sent(device, bytes);
             }
+        }
+        self.queries[q].ctx = trace.map(|(_, ctx)| ctx);
+        if self.queries[q].ctx.is_some() {
+            self.last_traced = Some(q);
         }
         self.queries[q].targets = targets;
         self.events.insert(Event::Deadline {
@@ -1039,13 +1213,23 @@ impl Simulation {
             return;
         }
         if let Some(t) = &self.tel {
-            t.tracer.span(
-                self.clock.now(),
-                Duration::ZERO,
-                Stage::Decode,
-                Some(q as u64),
-                None,
-            );
+            match self.query_stage_ids(q, context::kind::DECODE, 0) {
+                Some(ids) => t.tracer.span_ctx(
+                    self.clock.now(),
+                    Duration::ZERO,
+                    Stage::Decode,
+                    Some(q as u64),
+                    None,
+                    ids,
+                ),
+                None => t.tracer.span(
+                    self.clock.now(),
+                    Duration::ZERO,
+                    Stage::Decode,
+                    Some(q as u64),
+                    None,
+                ),
+            }
         }
         self.resolve(q, QueryOutcome::Decoded);
     }
@@ -1187,10 +1371,12 @@ impl Simulation {
         let generation = self.cells[c].generation;
         let roster = self.cells[c].roster.clone();
         self.tr(|| format!("t={t} repair cell{c} gen={generation} roster={roster:?}"));
-        self.tev(
+        let ids = self.lifecycle_ids(context::kind::REPAIR);
+        self.tev_ids(
             "supervisor.repaired",
             None,
             format!("cell{c} gen={generation} roster={roster:?}"),
+            ids,
         );
         if let Some(t) = &self.tel {
             // The rebuilt code re-encodes the data; instantaneous in
@@ -1318,10 +1504,12 @@ impl Simulation {
                  spread={spread_permille} roster={roster:?}"
             )
         });
-        self.tev(
+        let ids = self.lifecycle_ids(context::kind::REPLAN);
+        self.tev_ids(
             "supervisor.reallocated",
             None,
             format!("cell{c} gen={generation} spread={spread_permille} roster={roster:?}"),
+            ids,
         );
         if let Some(t) = &self.tel {
             t.tracer
@@ -1394,10 +1582,12 @@ impl Simulation {
         let t = self.ms();
         let target = spare.unwrap_or_else(|| self.cells[c].roster[device - 1]);
         self.tr(|| format!("t={t} mint cell{c} d{target} rows={count}"));
-        self.tev(
+        let ids = self.lifecycle_ids(context::kind::REPAIR);
+        self.tev_ids(
             "supervisor.minted",
             Some(target),
             format!("cell{c} rows={count}"),
+            ids,
         );
         self.instrument_cell(c);
         // Frontier mints keep the arithmetic chunk layout truthful, so

@@ -134,7 +134,7 @@ pub(crate) fn device_main<F: Scalar>(
             ToDevice::Install(s) => share = Some(*s),
             ToDevice::InstallTagged(s) => tagged = Some(*s),
             ToDevice::Instrument(t) => tel = Some(t),
-            ToDevice::QueryBatch { request, xs } => {
+            ToDevice::QueryBatch { request, xs, ctx } => {
                 served += 1;
                 match fault_gate(behavior, served, &mut fault_rng) {
                     Gate::Crash => return,
@@ -191,12 +191,12 @@ pub(crate) fn device_main<F: Scalar>(
                         reason: "no share installed".into(),
                     }
                 };
-                crate::telemetry::actor_span(&tel, &clock, compute_started, request, device);
+                crate::telemetry::actor_span(&tel, &clock, compute_started, request, device, ctx);
                 if outbox.send(response).is_err() {
                     return;
                 }
             }
-            ToDevice::Query { request, x } => {
+            ToDevice::Query { request, x, ctx } => {
                 served += 1;
                 match fault_gate(behavior, served, &mut fault_rng) {
                     Gate::Crash => return,
@@ -255,7 +255,7 @@ pub(crate) fn device_main<F: Scalar>(
                         reason: "no share installed".into(),
                     }
                 };
-                crate::telemetry::actor_span(&tel, &clock, compute_started, request, device);
+                crate::telemetry::actor_span(&tel, &clock, compute_started, request, device, ctx);
                 if outbox.send(response).is_err() {
                     return; // cluster gone
                 }
@@ -603,24 +603,56 @@ impl<F: Scalar> LocalCluster<F> {
                     field_adds: rows * l.saturating_sub(1),
                 },
             );
-            // Message framing is paid once per *window* (one broadcast
-            // and one reply per device per round), so panels amortize it
-            // across their columns while plain queries — width-1 windows
-            // — pay it per query.
+        }
+        self.install_window_predictions(&tel);
+        self.core.tel.attach(tel, "local");
+        self
+    }
+
+    /// Enables distributed tracing for this cluster's queries under
+    /// `tenant`: every broadcast derives a deterministic
+    /// [`TraceContext`](scec_telemetry::TraceContext) from
+    /// `(tenant, request, generation)`, stamps it on the outgoing
+    /// frames, and records Router-side spans with matching ids, so
+    /// device-side compute spans stitch into one causal tree per query.
+    /// Composes with [`with_telemetry`](Self::with_telemetry) in either
+    /// order.
+    #[must_use]
+    pub fn with_trace_tenant(mut self, tenant: u64) -> Self {
+        self.core.trace_tenant = Some(tenant);
+        // Traced frames carry a 17-byte context block each way, so the
+        // per-window predicted message overhead is re-priced to keep
+        // predicted-vs-observed wire accounting exact on byte-metered
+        // transports.
+        self.core
+            .tel
+            .with(|s| self.install_window_predictions(&s.tel));
+        self
+    }
+
+    /// Message framing is paid once per *window* (one broadcast and one
+    /// reply per device per round), so panels amortize it across their
+    /// columns while plain queries — width-1 windows — pay it per
+    /// query. Traced frames on a byte-metered transport additionally
+    /// carry the wire context block in each direction.
+    fn install_window_predictions(&self, tel: &scec_telemetry::Telemetry) {
+        let mut bytes = scec_telemetry::MESSAGE_OVERHEAD_BYTES;
+        if self.core.trace_tenant.is_some() && self.transport.counts_wire_bytes() {
+            bytes += scec_telemetry::TRACE_CONTEXT_WIRE_BYTES;
+        }
+        for &(device, _, _) in &self.loads {
             tel.costs.set_predicted_window(
                 device,
                 scec_telemetry::CostVector {
                     stored_rows: 0,
                     rows_served: 0,
-                    bytes_sent: scec_telemetry::MESSAGE_OVERHEAD_BYTES,
-                    bytes_received: scec_telemetry::MESSAGE_OVERHEAD_BYTES,
+                    bytes_sent: bytes,
+                    bytes_received: bytes,
                     field_mults: 0,
                     field_adds: 0,
                 },
             );
         }
-        self.core.tel.attach(tel, "local");
-        self
     }
 
     /// The clock this cluster runs on.
@@ -735,11 +767,13 @@ impl<F: Scalar> LocalCluster<F> {
         )?;
         let decode_started = self.core.tel.now(&self.core.clock);
         self.core.tel.with(|s| {
-            s.span(
+            s.span_ids(
                 collect_started,
                 decode_started,
                 scec_telemetry::Stage::Collect,
                 request,
+                self.core
+                    .stage_ids(request, scec_telemetry::context::kind::COLLECT),
             );
             let wire = self.transport.counts_wire_bytes();
             let esize = std::mem::size_of::<F>() as u64;
@@ -765,11 +799,13 @@ impl<F: Scalar> LocalCluster<F> {
         let btx = decode::stack_partials(&ordered);
         let y = decode::decode_fast(&self.design, &btx)?;
         self.core.tel.with(|s| {
-            s.span(
+            s.span_ids(
                 decode_started,
                 self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
+                self.core
+                    .stage_ids(request, scec_telemetry::context::kind::DECODE),
             );
         });
         Ok(y)
@@ -866,11 +902,13 @@ impl<F: Scalar> LocalCluster<F> {
         )?;
         let decode_started = self.core.tel.now(&self.core.clock);
         self.core.tel.with(|s| {
-            s.span(
+            s.span_ids(
                 collect_started,
                 decode_started,
                 scec_telemetry::Stage::Collect,
                 request,
+                self.core
+                    .stage_ids(request, scec_telemetry::context::kind::COLLECT),
             );
             let wire = self.transport.counts_wire_bytes();
             let esize = std::mem::size_of::<F>() as u64;
@@ -897,11 +935,13 @@ impl<F: Scalar> LocalCluster<F> {
         let btx = decode::stack_partial_matrices(&ordered)?;
         let ys = decode::decode_fast_batch(&self.design, &btx)?;
         self.core.tel.with(|s| {
-            s.span(
+            s.span_ids(
                 decode_started,
                 self.core.clock.now(),
                 scec_telemetry::Stage::Decode,
                 request,
+                self.core
+                    .stage_ids(request, scec_telemetry::context::kind::DECODE),
             );
         });
         Ok(ys)
@@ -1086,6 +1126,83 @@ mod tests {
         cluster.abandon_panel(ticket);
         let x = Vector::<Fp61>::random(3, &mut rng);
         assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+
+    /// Every device-compute span must share the dispatch span's trace
+    /// and parent directly onto it — the in-process causality oracle.
+    fn assert_stitched(tel: &scec_telemetry::Telemetry) {
+        let events = tel.tracer.events();
+        let dispatches: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "span.dispatch")
+            .collect();
+        let computes: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "span.device_compute")
+            .collect();
+        assert!(!dispatches.is_empty());
+        assert!(!computes.is_empty());
+        for c in computes {
+            let cid = c.ids.expect("device span carries ids");
+            let parent = dispatches
+                .iter()
+                .find(|d| d.request == c.request)
+                .and_then(|d| d.ids)
+                .expect("matching dispatch span with ids");
+            assert_eq!(cid.trace, parent.trace);
+            assert_eq!(cid.parent, parent.span);
+        }
+    }
+
+    #[test]
+    fn traced_queries_stitch_device_spans_under_dispatch() {
+        let (a, sys, mut rng) = build(6, 3, 11);
+        let tel = Arc::new(scec_telemetry::Telemetry::new());
+        let cluster = LocalCluster::launch(&sys, &mut rng)
+            .unwrap()
+            .with_telemetry(Arc::clone(&tel))
+            .with_trace_tenant(42);
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        let xs = Matrix::<Fp61>::random(3, 2, &mut rng);
+        assert_eq!(cluster.query_batch(&xs).unwrap(), a.matmul(&xs).unwrap());
+        assert_stitched(&tel);
+        // Collect/decode spans join the same trace as the dispatch.
+        let events = tel.tracer.events();
+        for name in ["span.collect", "span.decode"] {
+            let e = events.iter().find(|e| e.name == name).unwrap();
+            assert!(e.ids.is_some(), "{name} should carry trace ids");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn trace_context_survives_the_wire_codec_on_a_sim_link() {
+        let (a, sys, mut rng) = build(5, 3, 12);
+        let clock: Arc<dyn Clock> = Arc::new(crate::SimClock::new());
+        let tel = Arc::new(scec_telemetry::Telemetry::new());
+        let cluster = LocalCluster::launch_sim_linked(&sys, &mut rng, &[], clock, Duration::ZERO)
+            .unwrap()
+            .with_telemetry(Arc::clone(&tel))
+            .with_trace_tenant(7);
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        // The context reached the actors through version-2 frames.
+        assert_stitched(&tel);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn untraced_clusters_record_no_span_ids() {
+        let (a, sys, mut rng) = build(5, 3, 13);
+        let tel = Arc::new(scec_telemetry::Telemetry::new());
+        let cluster = LocalCluster::launch(&sys, &mut rng)
+            .unwrap()
+            .with_telemetry(Arc::clone(&tel));
+        let x = Vector::<Fp61>::random(3, &mut rng);
+        assert_eq!(cluster.query(&x).unwrap(), a.matvec(&x).unwrap());
+        assert!(tel.tracer.events().iter().all(|e| e.ids.is_none()));
+        cluster.shutdown();
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub(crate) struct ClusterCore<F: Scalar> {
     pub(crate) tel: Sink,
     /// Query width `l` (for analytic per-device flop accounting).
     pub(crate) input_len: usize,
+    /// Tenant id under which queries mint distributed-tracing contexts;
+    /// `None` (the default) sends untraced version-1 frames and records
+    /// id-less spans, keeping pre-tracing behavior byte-identical.
+    pub(crate) trace_tenant: Option<u64>,
 }
 
 impl<F: Scalar> ClusterCore<F> {
@@ -69,7 +73,18 @@ impl<F: Scalar> ClusterCore<F> {
             clock,
             tel: Sink::none(),
             input_len,
+            trace_tenant: None,
         }
+    }
+
+    /// Stage-span ids within a query's trace tree (no-op ids when this
+    /// cluster does not trace).
+    pub(crate) fn stage_ids(
+        &self,
+        request: u64,
+        kind: u64,
+    ) -> Option<scec_telemetry::context::SpanIds> {
+        crate::telemetry::stage_ids(self.trace_tenant, request, 0, kind, 0)
     }
 
     /// Broadcasts one query vector to every enrolled device and returns
@@ -88,6 +103,8 @@ impl<F: Scalar> ClusterCore<F> {
         let ticket_clock = Arc::clone(&self.clock);
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let ticket = Ticket::new(request, &ticket_clock);
+        let trace = crate::telemetry::dispatch_trace(self.trace_tenant, request, 0);
+        let ctx = trace.map(|(_, ctx)| ctx);
         let shared = Arc::new(x.clone());
         for idx in 0..transport.device_count() {
             transport.send(
@@ -95,6 +112,7 @@ impl<F: Scalar> ClusterCore<F> {
                 ToDevice::Query {
                     request,
                     x: Arc::clone(&shared),
+                    ctx,
                 },
             )?;
         }
@@ -107,11 +125,12 @@ impl<F: Scalar> ClusterCore<F> {
                     bytes,
                 );
             }
-            s.span(
+            s.span_ids(
                 ticket.started(),
                 self.clock.now(),
                 scec_telemetry::Stage::Dispatch,
                 request,
+                trace.map(|(ids, _)| ids),
             );
         });
         Ok(ticket)
@@ -133,6 +152,8 @@ impl<F: Scalar> ClusterCore<F> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let ticket = Ticket::new(request, &self.clock);
         let width = xs.ncols();
+        let trace = crate::telemetry::dispatch_trace(self.trace_tenant, request, 0);
+        let ctx = trace.map(|(_, ctx)| ctx);
         let shared = Arc::new(xs.clone());
         for idx in 0..transport.device_count() {
             transport.send(
@@ -140,6 +161,7 @@ impl<F: Scalar> ClusterCore<F> {
                 ToDevice::QueryBatch {
                     request,
                     xs: Arc::clone(&shared),
+                    ctx,
                 },
             )?;
         }
@@ -152,11 +174,12 @@ impl<F: Scalar> ClusterCore<F> {
                     bytes,
                 );
             }
-            s.span(
+            s.span_ids(
                 ticket.started(),
                 self.clock.now(),
                 scec_telemetry::Stage::Dispatch,
                 request,
+                trace.map(|(ids, _)| ids),
             );
         });
         Ok(PanelTicket::new(ticket, width))

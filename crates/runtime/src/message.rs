@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use scec_coding::{DeviceShare, StragglerShare, TaggedResponse};
 use scec_linalg::{Matrix, Vector};
+use scec_telemetry::TraceContext;
 
 /// Messages from the user/cloud to an edge device.
 #[derive(Clone)]
@@ -28,6 +29,10 @@ pub enum ToDevice<F> {
         request: u64,
         /// The input vector, shared across the fan-out.
         x: Arc<Vector<F>>,
+        /// Distributed-tracing context for this dispatch, if the cluster
+        /// traces this tenant. `None` keeps the pre-tracing wire framing
+        /// byte-identical.
+        ctx: Option<TraceContext>,
     },
     /// Compute `B_j T · X` for a whole batch of query columns.
     QueryBatch {
@@ -35,6 +40,8 @@ pub enum ToDevice<F> {
         request: u64,
         /// The `l × n` matrix of query columns, shared across the fan-out.
         xs: Arc<Matrix<F>>,
+        /// Distributed-tracing context for this dispatch, if traced.
+        ctx: Option<TraceContext>,
     },
     /// Attach a telemetry handle: the actor starts recording per-query
     /// compute spans against it. (A networked deployment would ship an
@@ -105,15 +112,17 @@ impl<F: scec_linalg::Scalar> std::fmt::Debug for ToDevice<F> {
         match self {
             ToDevice::Install(s) => f.debug_tuple("Install").field(s).finish(),
             ToDevice::InstallTagged(s) => f.debug_tuple("InstallTagged").field(s).finish(),
-            ToDevice::Query { request, x } => f
+            ToDevice::Query { request, x, ctx } => f
                 .debug_struct("Query")
                 .field("request", request)
                 .field("x", x)
+                .field("ctx", ctx)
                 .finish(),
-            ToDevice::QueryBatch { request, xs } => f
+            ToDevice::QueryBatch { request, xs, ctx } => f
                 .debug_struct("QueryBatch")
                 .field("request", request)
                 .field("xs", xs)
+                .field("ctx", ctx)
                 .finish(),
             ToDevice::Instrument(_) => f.write_str("Instrument"),
             ToDevice::Shutdown => f.write_str("Shutdown"),

@@ -504,6 +504,16 @@ pub struct SupervisedCluster<F: Scalar> {
     encode_dur: Duration,
     /// Telemetry-driven drift allocator; `None` runs the static plan.
     adaptive: Option<Mutex<AdaptiveAllocator>>,
+    /// Tenant id under which queries mint distributed-tracing contexts;
+    /// `None` keeps pre-tracing behavior byte-identical.
+    trace_tenant: Option<u64>,
+    /// `(request, generation)` of the most recent broadcast — the query
+    /// tree that supervision events (retries, repairs, re-plans) are
+    /// recorded as children of when tracing.
+    last_trace: (AtomicU64, AtomicU64),
+    /// Sibling qualifier for traced supervision events (deterministic
+    /// under seeded replay: it advances only with emitted events).
+    event_seq: AtomicU64,
 }
 
 impl<F: Scalar> SupervisedCluster<F> {
@@ -593,7 +603,24 @@ impl<F: Scalar> SupervisedCluster<F> {
             encode_started,
             encode_dur,
             adaptive: None,
+            trace_tenant: None,
+            last_trace: (AtomicU64::new(0), AtomicU64::new(0)),
+            event_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Enables distributed tracing for this cluster's queries under
+    /// `tenant`: broadcasts derive a deterministic
+    /// [`TraceContext`](scec_telemetry::TraceContext) from
+    /// `(tenant, request, generation)` and stamp it on outgoing frames,
+    /// Router-side spans carry matching ids, and retries, hot repairs,
+    /// and adaptive re-plans are recorded as children of the query tree
+    /// they interrupted. Composes with
+    /// [`with_telemetry`](Self::with_telemetry) in either order.
+    #[must_use]
+    pub fn with_trace_tenant(mut self, tenant: u64) -> Self {
+        self.trace_tenant = Some(tenant);
+        self
     }
 
     /// Arms telemetry-driven adaptive allocation: after every completed
@@ -700,32 +727,39 @@ impl<F: Scalar> SupervisedCluster<F> {
     }
 
     /// Mirrors supervisor events into the trace (as point events at the
-    /// current clock time) and into a labelled event counter.
+    /// current clock time) and into a labelled event counter. When
+    /// tracing, retries, repairs, and adaptive re-plans become children
+    /// of the query tree whose broadcast they interrupted, so repair
+    /// generations never orphan a causal chain.
     fn emit_events(&self, events: &[SupervisorEvent]) {
         self.tel.with(|s| {
             let at = self.clock.now();
             for ev in events {
-                let (name, device, detail) = match ev {
+                use scec_telemetry::context::kind;
+                let (name, device, detail, span_kind) = match ev {
                     SupervisorEvent::Suspected { device, misses } => (
                         "supervisor.suspected",
                         Some(*device),
                         format!("misses={misses}"),
+                        None,
                     ),
                     SupervisorEvent::Quarantined { device } => {
-                        ("supervisor.quarantined", Some(*device), String::new())
+                        ("supervisor.quarantined", Some(*device), String::new(), None)
                     }
                     SupervisorEvent::Died { device } => {
-                        ("supervisor.died", Some(*device), String::new())
+                        ("supervisor.died", Some(*device), String::new(), None)
                     }
                     SupervisorEvent::Retried { attempt, backoff } => (
                         "supervisor.retried",
                         None,
                         format!("attempt={attempt} backoff={backoff:?}"),
+                        Some(kind::RETRY),
                     ),
                     SupervisorEvent::Degraded { missing, rejected } => (
                         "supervisor.degraded",
                         None,
                         format!("missing={missing:?} rejected={rejected:?}"),
+                        None,
                     ),
                     SupervisorEvent::Repaired {
                         enrolled,
@@ -738,6 +772,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                             "enrolled={enrolled:?} random_rows={random_rows} \
                              redundancy={redundancy}"
                         ),
+                        Some(kind::REPAIR),
                     ),
                     SupervisorEvent::Reallocated {
                         enrolled,
@@ -746,9 +781,23 @@ impl<F: Scalar> SupervisedCluster<F> {
                         "supervisor.reallocated",
                         None,
                         format!("enrolled={enrolled:?} spread={spread_permille}"),
+                        Some(kind::REPLAN),
                     ),
                 };
-                s.tel.tracer.event(at, name, None, device, &detail);
+                let last_request = self.last_trace.0.load(Ordering::Relaxed);
+                let ids = span_kind.filter(|_| last_request != 0).and_then(|k| {
+                    crate::telemetry::stage_ids(
+                        self.trace_tenant,
+                        last_request,
+                        self.last_trace.1.load(Ordering::Relaxed),
+                        k,
+                        self.event_seq.fetch_add(1, Ordering::Relaxed),
+                    )
+                });
+                match ids {
+                    Some(ids) => s.tel.tracer.event_ctx(at, name, None, device, detail, ids),
+                    None => s.tel.tracer.event(at, name, None, device, &detail),
+                }
                 s.tel
                     .registry
                     .counter("scec_supervisor_events_total", &[("event", name)])
@@ -1085,6 +1134,10 @@ impl<F: Scalar> SupervisedCluster<F> {
     ) -> std::result::Result<u64, AttemptError> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
         let dispatch_started = self.tel.now(&self.clock);
+        let trace = crate::telemetry::dispatch_trace(self.trace_tenant, request, topo.generation);
+        let ctx = trace.map(|(_, ctx)| ctx);
+        self.last_trace.0.store(request, Ordering::Relaxed);
+        self.last_trace.1.store(topo.generation, Ordering::Relaxed);
         let shared = Arc::new(x.clone());
         let mut events = Vec::new();
         let mut dead_send = None;
@@ -1096,6 +1149,7 @@ impl<F: Scalar> SupervisedCluster<F> {
                     ToDevice::Query {
                         request,
                         x: Arc::clone(&shared),
+                        ctx,
                     },
                 )
                 .is_err()
@@ -1131,11 +1185,12 @@ impl<F: Scalar> SupervisedCluster<F> {
             s.tel
                 .costs
                 .record_broadcast(topo.physical.iter().copied(), bytes);
-            s.span(
+            s.span_ids(
                 dispatch_started,
                 self.clock.now(),
                 scec_telemetry::Stage::Dispatch,
                 request,
+                trace.map(|(ids, _)| ids),
             );
         });
         Ok(request)
@@ -1191,11 +1246,18 @@ impl<F: Scalar> SupervisedCluster<F> {
         // Observed traffic and compute for every *verified* responder (a
         // verified partial carries exactly the device's installed rows).
         self.tel.with(|s| {
-            s.span(
+            s.span_ids(
                 collect_started,
                 self.clock.now(),
                 scec_telemetry::Stage::Collect,
                 request,
+                crate::telemetry::stage_ids(
+                    self.trace_tenant,
+                    request,
+                    topo.generation,
+                    scec_telemetry::context::kind::COLLECT,
+                    0,
+                ),
             );
             let l = self.data.ncols() as u64;
             let esize = std::mem::size_of::<F>() as u64;
@@ -1289,11 +1351,18 @@ impl<F: Scalar> SupervisedCluster<F> {
                     .decode(&rows)
                     .map_err(|e| AttemptError::Fatal(e.into()))?;
                 self.tel.with(|s| {
-                    s.span(
+                    s.span_ids(
                         decode_started,
                         self.clock.now(),
                         scec_telemetry::Stage::Decode,
                         request,
+                        crate::telemetry::stage_ids(
+                            self.trace_tenant,
+                            request,
+                            topo.generation,
+                            scec_telemetry::context::kind::DECODE,
+                            0,
+                        ),
                     );
                 });
                 Ok(AttemptOutcome {

@@ -13,9 +13,46 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use scec_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
+use scec_telemetry::context::{self, SpanIds};
+use scec_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry, TraceContext};
 
 use crate::clock::Clock;
+
+/// Dispatch-span ids plus the wire context the resulting device spans
+/// stitch under, for a cluster tracing `tenant`. `None` when tracing is
+/// off — sends then carry no context and frames stay version 1.
+pub(crate) fn dispatch_trace(
+    tenant: Option<u64>,
+    request: u64,
+    generation: u64,
+) -> Option<(SpanIds, TraceContext)> {
+    let tenant = tenant?;
+    let root = TraceContext::derive(tenant, request, generation);
+    let ids = SpanIds {
+        trace: root.trace_id,
+        span: context::span_id(root.trace_id, context::kind::DISPATCH, generation),
+        parent: root.parent_span_id,
+    };
+    Some((ids, root.child_of(ids.span)))
+}
+
+/// Ids for a Router-side stage span (collect, decode, retry, …) of the
+/// query tree rooted at `(tenant, request, generation)`.
+pub(crate) fn stage_ids(
+    tenant: Option<u64>,
+    request: u64,
+    generation: u64,
+    kind: u64,
+    qualifier: u64,
+) -> Option<SpanIds> {
+    let tenant = tenant?;
+    let root = TraceContext::derive(tenant, request, generation);
+    Some(SpanIds {
+        trace: root.trace_id,
+        span: context::span_id(root.trace_id, kind, qualifier),
+        parent: root.parent_span_id,
+    })
+}
 
 /// Pre-resolved metric handles for one cluster, so the per-query hot
 /// path touches no registry locks.
@@ -76,6 +113,30 @@ impl ClusterSink {
         self.tel
             .tracer
             .span(start, end.saturating_sub(start), stage, Some(request), None);
+    }
+
+    /// Like [`span`](Self::span), carrying trace/span ids so the span
+    /// joins a cross-process query tree. Falls back to an id-less span
+    /// when `ids` is `None`, so call sites stay branch-free.
+    pub(crate) fn span_ids(
+        &self,
+        start: Duration,
+        end: Duration,
+        stage: Stage,
+        request: u64,
+        ids: Option<SpanIds>,
+    ) {
+        match ids {
+            Some(ids) => self.tel.tracer.span_ctx(
+                start,
+                end.saturating_sub(start),
+                stage,
+                Some(request),
+                None,
+                ids,
+            ),
+            None => self.span(start, end, stage, request),
+        }
     }
 
     /// A counter labelled with this cluster's name, resolved on demand
@@ -187,7 +248,9 @@ pub(crate) fn actor_now(tel: &Option<Arc<Telemetry>>, clock: &Arc<dyn Clock>) ->
 }
 
 /// Device-actor side: records the per-device compute span for one
-/// served query.
+/// served query. With a wire-propagated `ctx`, the span is minted a
+/// deterministic id and parented onto the sender's dispatch span, so
+/// device-side and Router-side traces stitch into one tree.
 #[inline]
 pub(crate) fn actor_span(
     tel: &Option<Arc<Telemetry>>,
@@ -195,17 +258,37 @@ pub(crate) fn actor_span(
     start: Duration,
     request: u64,
     device: usize,
+    ctx: Option<TraceContext>,
 ) {
     #[cfg(feature = "telemetry")]
     if let Some(t) = tel {
         let end = clock.now();
-        t.tracer.span(
-            start,
-            end.saturating_sub(start),
-            Stage::DeviceCompute,
-            Some(request),
-            Some(device),
-        );
+        let dur = end.saturating_sub(start);
+        match ctx {
+            Some(ctx) if ctx.sampled => t.tracer.span_ctx(
+                start,
+                dur,
+                Stage::DeviceCompute,
+                Some(request),
+                Some(device),
+                SpanIds {
+                    trace: ctx.trace_id,
+                    span: context::span_id(
+                        ctx.trace_id,
+                        context::kind::DEVICE_COMPUTE,
+                        device as u64,
+                    ),
+                    parent: ctx.parent_span_id,
+                },
+            ),
+            _ => t.tracer.span(
+                start,
+                dur,
+                Stage::DeviceCompute,
+                Some(request),
+                Some(device),
+            ),
+        }
     }
-    let _ = (tel, clock, start, request, device);
+    let _ = (tel, clock, start, request, device, ctx);
 }

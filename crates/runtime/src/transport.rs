@@ -304,8 +304,10 @@ pub mod frames {
         TaggedResponse,
     };
     use scec_linalg::Scalar;
+    use scec_telemetry::TraceContext;
     use scec_wire::{
-        decode_framed, encode_framed_into, peek_tag, tag, Reader, WireDecode, WireEncode,
+        decode_framed, decode_framed_ctx, encode_framed_into, parse_header, peek_tag, tag, Reader,
+        WireDecode, WireEncode,
     };
 
     use crate::message::{FromDevice, ToDevice};
@@ -330,15 +332,16 @@ pub mod frames {
             ToDevice::InstallTagged(share) => {
                 encode_framed_into(&**share, tag::STRAGGLER_SHARE, buf);
             }
-            ToDevice::Query { request, x } => {
-                // Field-for-field the `QueryMsg` frame layout.
-                frame_prelude(tag::QUERY, buf);
+            ToDevice::Query { request, x, ctx } => {
+                // Field-for-field the `QueryMsg` frame layout; a carried
+                // trace context upgrades the frame to version 2.
+                frame_prelude_ctx(tag::QUERY, ctx.as_ref(), buf);
                 request.encode(buf);
                 x.encode(buf);
             }
-            ToDevice::QueryBatch { request, xs } => {
+            ToDevice::QueryBatch { request, xs, ctx } => {
                 // Field-for-field the `PanelQueryMsg` frame layout.
-                frame_prelude(tag::QUERY_PANEL, buf);
+                frame_prelude_ctx(tag::QUERY_PANEL, ctx.as_ref(), buf);
                 request.encode(buf);
                 xs.encode(buf);
             }
@@ -368,17 +371,19 @@ pub mod frames {
                 Ok(ToDevice::InstallTagged(Box::new(share)))
             }
             tag::QUERY => {
-                let msg: QueryMsg<F> = decode_framed(buf, tag::QUERY)?;
+                let (msg, ctx): (QueryMsg<F>, _) = decode_framed_ctx(buf, tag::QUERY)?;
                 Ok(ToDevice::Query {
                     request: msg.request,
                     x: Arc::new(msg.query),
+                    ctx,
                 })
             }
             tag::QUERY_PANEL => {
-                let msg: PanelQueryMsg<F> = decode_framed(buf, tag::QUERY_PANEL)?;
+                let (msg, ctx): (PanelQueryMsg<F>, _) = decode_framed_ctx(buf, tag::QUERY_PANEL)?;
                 Ok(ToDevice::QueryBatch {
                     request: msg.request,
                     xs: Arc::new(msg.panel),
+                    ctx,
                 })
             }
             got => Err(scec_wire::Error::WrongTag {
@@ -401,6 +406,20 @@ pub mod frames {
     where
         F: Scalar + WireEncode,
     {
+        encode_response_ctx(resp, None, buf);
+    }
+
+    /// [`encode_response`] with an echoed trace context: a device server
+    /// answering a traced (version-2) query stamps the same context on
+    /// its response frame, so both directions of a traced window carry
+    /// the 17-byte block and wire-byte accounting stays symmetric.
+    pub fn encode_response_ctx<F>(
+        resp: &FromDevice<F>,
+        ctx: Option<&TraceContext>,
+        buf: &mut Vec<u8>,
+    ) where
+        F: Scalar + WireEncode,
+    {
         match resp {
             FromDevice::Partial {
                 request,
@@ -409,7 +428,7 @@ pub mod frames {
             } => {
                 // Field-for-field the `PartialMsg` frame layout, written
                 // without constructing (and cloning into) the struct.
-                frame_prelude(tag::PARTIAL, buf);
+                frame_prelude_ctx(tag::PARTIAL, ctx, buf);
                 request.encode(buf);
                 device.encode(buf);
                 values.encode(buf);
@@ -420,7 +439,7 @@ pub mod frames {
                 values,
             } => {
                 // `PanelPartialMsg` with no row tags.
-                frame_prelude(tag::PANEL_PARTIAL, buf);
+                frame_prelude_ctx(tag::PANEL_PARTIAL, ctx, buf);
                 request.encode(buf);
                 device.encode(buf);
                 0usize.encode(buf);
@@ -432,7 +451,7 @@ pub mod frames {
                 rows,
                 values,
             } => {
-                frame_prelude(tag::PANEL_PARTIAL, buf);
+                frame_prelude_ctx(tag::PANEL_PARTIAL, ctx, buf);
                 request.encode(buf);
                 device.encode(buf);
                 rows.encode(buf);
@@ -443,7 +462,7 @@ pub mod frames {
                 device,
                 responses,
             } => {
-                response_header(tag::TAGGED_PARTIAL, *request, *device, buf);
+                response_header(tag::TAGGED_PARTIAL, *request, *device, ctx, buf);
                 responses.encode(buf);
             }
             FromDevice::Failure {
@@ -451,7 +470,7 @@ pub mod frames {
                 device,
                 reason,
             } => {
-                response_header(tag::FAILURE, *request, *device, buf);
+                response_header(tag::FAILURE, *request, *device, ctx, buf);
                 reason.len().encode(buf);
                 buf.extend_from_slice(reason.as_bytes());
             }
@@ -498,7 +517,8 @@ pub mod frames {
                 }
             }
             tag::TAGGED_PARTIAL => {
-                let mut r = Reader::new(&buf[8..]);
+                let header = parse_header(buf)?;
+                let mut r = Reader::new(&buf[header.payload_start..]);
                 let request = u64::decode(&mut r)?;
                 let device = usize::decode(&mut r)?;
                 let responses = Vec::<TaggedResponse<F>>::decode(&mut r)?;
@@ -510,7 +530,8 @@ pub mod frames {
                 })
             }
             tag::FAILURE => {
-                let mut r = Reader::new(&buf[8..]);
+                let header = parse_header(buf)?;
+                let mut r = Reader::new(&buf[header.payload_start..]);
                 let request = u64::decode(&mut r)?;
                 let device = usize::decode(&mut r)?;
                 let len = r.length(1)?;
@@ -556,10 +577,32 @@ pub mod frames {
         buf.extend_from_slice(&msg_tag.to_le_bytes());
     }
 
+    /// [`frame_prelude`] that upgrades to a version-2 frame — with the
+    /// 17-byte trace block between tag and payload — when a context is
+    /// carried. `None` stays byte-identical to the version-1 prelude.
+    fn frame_prelude_ctx(msg_tag: u16, ctx: Option<&TraceContext>, buf: &mut Vec<u8>) {
+        match ctx {
+            Some(ctx) => {
+                buf.clear();
+                buf.extend_from_slice(&scec_wire::MAGIC);
+                buf.extend_from_slice(&scec_wire::TRACED_VERSION.to_le_bytes());
+                buf.extend_from_slice(&msg_tag.to_le_bytes());
+                ctx.encode_into(buf);
+            }
+            None => frame_prelude(msg_tag, buf),
+        }
+    }
+
     /// Frame prelude + the `request`/`device` pair every response
     /// carries.
-    fn response_header(msg_tag: u16, request: u64, device: usize, buf: &mut Vec<u8>) {
-        frame_prelude(msg_tag, buf);
+    fn response_header(
+        msg_tag: u16,
+        request: u64,
+        device: usize,
+        ctx: Option<&TraceContext>,
+        buf: &mut Vec<u8>,
+    ) {
+        frame_prelude_ctx(msg_tag, ctx, buf);
         request.encode(buf);
         device.encode(buf);
     }
@@ -617,14 +660,28 @@ mod tests {
     #[test]
     fn device_bound_messages_roundtrip_losslessly() {
         let mut buf = Vec::new();
+        let ctx = scec_telemetry::TraceContext::derive(7, 8, 0);
         let cases: Vec<ToDevice<Fp61>> = vec![
             ToDevice::Query {
                 request: 8,
                 x: Arc::new(Vector::from_vec(vec![Fp61::new(2), Fp61::new(3)])),
+                ctx: None,
             },
             ToDevice::QueryBatch {
                 request: 9,
                 xs: Arc::new(Matrix::identity(2)),
+                ctx: None,
+            },
+            // Traced (version-2) frames round-trip the context too.
+            ToDevice::Query {
+                request: 10,
+                x: Arc::new(Vector::from_vec(vec![Fp61::new(5)])),
+                ctx: Some(ctx),
+            },
+            ToDevice::QueryBatch {
+                request: 11,
+                xs: Arc::new(Matrix::identity(3)),
+                ctx: Some(ctx.child_of(99)),
             },
         ];
         for case in cases {
@@ -634,6 +691,46 @@ mod tests {
         }
         // Control-plane messages refuse to serialize.
         assert!(!encode_to_device::<Fp61>(&ToDevice::Shutdown, &mut buf));
+    }
+
+    #[test]
+    fn traced_responses_echo_the_context_and_grow_by_the_block() {
+        use super::frames::encode_response_ctx;
+        let ctx = scec_telemetry::TraceContext::derive(3, 14, 1);
+        let cases: Vec<FromDevice<Fp61>> = vec![
+            FromDevice::Partial {
+                request: 14,
+                device: 2,
+                values: Vector::from_vec(vec![Fp61::new(4)]),
+            },
+            FromDevice::TaggedPartial {
+                request: 14,
+                device: 2,
+                responses: vec![TaggedResponse {
+                    row: 1,
+                    value: Fp61::new(6),
+                }],
+            },
+            FromDevice::Failure {
+                request: 14,
+                device: 2,
+                reason: "boom".into(),
+            },
+        ];
+        let (mut plain, mut traced) = (Vec::new(), Vec::new());
+        for case in cases {
+            encode_response(&case, &mut plain);
+            encode_response_ctx(&case, Some(&ctx), &mut traced);
+            assert_eq!(
+                traced.len(),
+                plain.len() + scec_telemetry::TRACE_CONTEXT_WIRE_BYTES as usize
+            );
+            assert_eq!(scec_wire::parse_header(&traced).unwrap().trace, Some(ctx));
+            // The decoded response is identical either way.
+            let a = decode_response::<Fp61>(&plain).unwrap();
+            let b = decode_response::<Fp61>(&traced).unwrap();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
     }
 
     #[test]

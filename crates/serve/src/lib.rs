@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod obs;
 pub mod router;
 pub mod server;
 pub mod transport;
 
 pub use error::{Error, Result};
+pub use obs::{ObsPlane, ScrapeServer};
 pub use router::{LoadConfig, LoadReport, Router, TenantReport};
 pub use server::{DeviceServer, ServerConfig, ServerStats};
 pub use transport::{TcpTransport, WireMeter};
@@ -145,6 +147,7 @@ mod tests {
             seed: 19,
             max_in_flight: 0,
             adaptive: false,
+            trace: false,
         };
         let report = Router::new(config)
             .expect("config")
@@ -188,6 +191,7 @@ mod tests {
             seed: 23,
             max_in_flight: 0,
             adaptive: true,
+            trace: false,
         };
         let adaptive = Router::new(config.clone())
             .expect("config")
@@ -209,6 +213,99 @@ mod tests {
             assert_eq!(a.reallocations, 0);
         }
         assert!(adaptive.render_json().contains("\"reallocations\": 0"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn tracing_prices_exactly_one_context_block_per_frame_each_way() {
+        // Same seed both runs → identical plan, payloads, and framing;
+        // the only wire difference tracing makes is the 17-byte context
+        // block on every query frame and its echo on every response.
+        let queries = 6u64;
+        let run = |traced: bool| -> (u64, u64, usize) {
+            let (a, cluster, meter, server) =
+                serve_one_tenant(41, ServerConfig::default(), 0).expect("serve");
+            let cluster = if traced {
+                cluster.with_trace_tenant(9)
+            } else {
+                cluster
+            };
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..queries {
+                let x = Vector::<Fp61>::random(5, &mut rng);
+                assert_eq!(
+                    cluster.query(&x).expect("query"),
+                    a.matvec(&x).expect("matvec")
+                );
+            }
+            let devices = cluster.device_count();
+            let totals = meter.totals();
+            cluster.shutdown();
+            server.shutdown();
+            (totals.0, totals.1, devices)
+        };
+        let (plain_sent, plain_received, devices) = run(false);
+        let (traced_sent, traced_received, devices2) = run(true);
+        assert_eq!(devices, devices2);
+        let block = scec_telemetry::TRACE_CONTEXT_WIRE_BYTES * queries * devices as u64;
+        assert_eq!(traced_sent - plain_sent, block);
+        assert_eq!(traced_received - plain_received, block);
+    }
+
+    #[test]
+    fn observed_router_stitches_device_spans_over_tcp() {
+        let server_tel = Arc::new(scec_telemetry::Telemetry::new());
+        let server = DeviceServer::bind_instrumented::<Fp61>(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Some(Arc::clone(&server_tel)),
+        )
+        .expect("bind");
+        let plane = Arc::new(ObsPlane::new(scec_telemetry::SloConfig::default()));
+        plane.register("device-server", Arc::clone(&server_tel));
+        let config = LoadConfig {
+            tenants: 2,
+            queries_per_tenant: 8,
+            panel_width: 4,
+            window: 2,
+            rows: 6,
+            cols: 8,
+            seed: 29,
+            max_in_flight: 0,
+            adaptive: false,
+            trace: true,
+        };
+        let report = Router::new(config)
+            .expect("config")
+            .run_observed(server.local_addr(), &plane)
+            .expect("load");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        for t in &report.tenants {
+            assert_eq!(t.mismatches, 0);
+            // Predicted-vs-measured reconciliation survives tracing.
+            assert!(t.predicted_sent > 0 && t.wire_sent > 0);
+        }
+        // The merged trace must contain a server-side compute span whose
+        // wire-propagated parent is a Router-side dispatch span.
+        let doc = plane.render_trace();
+        let hex_after = |line: &str, key: &str| -> Option<String> {
+            let pat = format!("\"{key}\":\"");
+            let at = line.find(&pat)? + pat.len();
+            Some(line[at..at + 16].to_string())
+        };
+        let parent = doc
+            .lines()
+            .find(|l| l.contains("\"span.device_compute\"") && l.contains("\"parent_span_id\""))
+            .and_then(|l| hex_after(l, "parent_span_id"))
+            .expect("device span carrying a wire-propagated parent");
+        let stitched = doc.lines().any(|l| {
+            l.contains("\"span.dispatch\"") && l.contains(&format!("\"span_id\":\"{parent}\""))
+        });
+        assert!(stitched, "no dispatch span owns parent {parent}");
+        // The SLO scrape covers every tenant lane plus the server.
+        let slo = plane.render_slo();
+        assert!(slo.contains("\"source\": \"tenant-0\""));
+        assert!(slo.contains("\"source\": \"device-server\""));
         server.shutdown();
     }
 

@@ -1,0 +1,393 @@
+//! The live observability plane: one scrape surface over every
+//! telemetry source in the process.
+//!
+//! An [`ObsPlane`] aggregates any number of [`Telemetry`] handles —
+//! typically one per Router tenant plus one for the
+//! [`DeviceServer`](crate::DeviceServer) — behind three renderers:
+//!
+//! * **metrics** — every source's registry merged into one Prometheus
+//!   text document, each sample tagged with a `source` label so
+//!   same-named series from different tenants stay distinct.
+//! * **trace** — every source's span buffer merged into one Chrome
+//!   trace-event JSON document; each source becomes one process lane
+//!   (`pid`), named via metadata events, and spans carry their
+//!   deterministic `trace_id`/`span_id`/`parent_span_id` args so
+//!   Router-side and device-side lanes stitch into causal query trees.
+//! * **slo** — an [`SloMonitor`] closing one burn-rate window per
+//!   source per evaluation (every `/slo` scrape is a window close).
+//!
+//! A [`ScrapeServer`] mounts the three renderers on a tiny blocking
+//! HTTP/1.0 listener (`GET /metrics`, `/trace`, `/slo`) — enough for
+//! `curl` and a Prometheus scrape job, with no async runtime and no
+//! HTTP dependency.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use scec_telemetry::{Alert, MetricsSnapshot, SloConfig, SloMonitor, Telemetry};
+
+use crate::error::Result;
+
+/// One registered telemetry source.
+struct Source {
+    /// Label value under which the source's series and trace lane
+    /// appear (`tenant-3`, `device-server`, …).
+    name: String,
+    tel: Arc<Telemetry>,
+}
+
+/// Aggregates telemetry sources into the three scrape documents.
+pub struct ObsPlane {
+    slo: SloMonitor,
+    sources: Mutex<Vec<Source>>,
+}
+
+impl ObsPlane {
+    /// A plane with the given SLO budgets and no sources yet.
+    pub fn new(slo: SloConfig) -> Self {
+        ObsPlane {
+            slo: SloMonitor::new(slo),
+            sources: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a telemetry source under `name`. Sources render in
+    /// registration order (the order fixes each source's trace `pid`),
+    /// so register deterministically for byte-stable documents.
+    pub fn register(&self, name: impl Into<String>, tel: Arc<Telemetry>) {
+        self.lock().push(Source {
+            name: name.into(),
+            tel,
+        });
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Closes an SLO window for the named source against its current
+    /// telemetry and returns the alerts that fired. Each alert also
+    /// increments `scec_slo_alerts_total{kind=…}` in the source's own
+    /// registry, so burn shows up in `/metrics` alongside the
+    /// objectives it measures.
+    pub fn observe(&self, name: &str) -> Vec<Alert> {
+        let sources = self.lock();
+        let Some(src) = sources.iter().find(|s| s.name == name) else {
+            return Vec::new();
+        };
+        let alerts = self.slo.observe(&src.name, &src.tel);
+        for alert in &alerts {
+            src.tel
+                .registry
+                .counter("scec_slo_alerts_total", &[("kind", alert.kind.as_str())])
+                .inc();
+        }
+        alerts
+    }
+
+    /// The shared burn-rate monitor (window state spans scrapes).
+    pub fn slo(&self) -> &SloMonitor {
+        &self.slo
+    }
+
+    /// All sources' metrics as one Prometheus text document, each
+    /// sample tagged `source="<name>"`.
+    pub fn render_metrics(&self) -> String {
+        let mut entries = Vec::new();
+        for src in self.lock().iter() {
+            let snapshot = src.tel.registry.snapshot();
+            for (key, name, labels, value) in snapshot.entries {
+                let tag = format!("source=\"{}\"", src.name);
+                let labels = if labels.is_empty() {
+                    tag
+                } else {
+                    format!("{labels},{tag}")
+                };
+                entries.push((key, name, labels, value));
+            }
+        }
+        // Same-named series must stay contiguous for the exporter's
+        // one-TYPE-line-per-metric grouping.
+        entries.sort_by(|a, b| (&a.1, &a.2).cmp(&(&b.1, &b.2)));
+        MetricsSnapshot { entries }.render_prometheus()
+    }
+
+    /// All sources' spans as one Chrome trace-event JSON document: one
+    /// process lane per source (pid = registration order + 1), named by
+    /// a metadata event. Byte-deterministic for deterministic sources.
+    pub fn render_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for (i, src) in self.lock().iter().enumerate() {
+            let pid = i as u64 + 1;
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+                scec_telemetry::json_escape(&src.name)
+            ));
+            for ev in src.tel.tracer.chrome_events(pid) {
+                out.push(',');
+                out.push('\n');
+                out.push_str(&ev);
+            }
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Closes one SLO window per source and renders the per-source
+    /// burn-rate document.
+    pub fn render_slo(&self) -> String {
+        let names: Vec<String> = self.lock().iter().map(|s| s.name.clone()).collect();
+        for name in &names {
+            let _ = self.observe(name);
+        }
+        self.slo.render_json()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Source>> {
+        self.sources.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// How long a scrape connection may dribble its request line before the
+/// server gives up on it.
+const SCRAPE_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A blocking HTTP/1.0 listener serving an [`ObsPlane`]'s three
+/// documents. One connection is handled at a time — scrapes are rare
+/// and small, and a serial loop keeps the server a single thread.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving `plane`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, plane: Arc<ObsPlane>) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("scec-obs-scrape".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = serve_scrape(stream, &plane);
+                    }
+                })
+                .expect("spawn scrape thread")
+        };
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.accept.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Answers one scrape: parse the request line, render, respond, close.
+fn serve_scrape(mut stream: TcpStream, plane: &ObsPlane) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(SCRAPE_READ_TIMEOUT));
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => return Ok(()),
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            plane.render_metrics(),
+        ),
+        "/trace" => ("200 OK", "application/json", plane.render_trace()),
+        "/slo" => ("200 OK", "application/json", plane.render_slo()),
+        _ => (
+            "404 Not Found",
+            "text/plain; version=0.0.4",
+            "scec observability plane: /metrics /trace /slo\n".to_string(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads up to the end of the request head and extracts the path from
+/// `GET <path> HTTP/1.x`. `None` on anything unparseable — the
+/// connection is simply dropped.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    // One byte at a time is fine here: request heads are tiny and
+    // scrapes are rare; no buffering layer to get out of sync with.
+    // Reading the *whole* head (not just the request line) matters —
+    // responding and closing with unread request bytes pending can turn
+    // into a TCP reset that makes clients discard the response.
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Some(path.to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_with_source(name: &str) -> (Arc<ObsPlane>, Arc<Telemetry>) {
+        let plane = Arc::new(ObsPlane::new(SloConfig::default()));
+        let tel = Arc::new(Telemetry::new());
+        plane.register(name, Arc::clone(&tel));
+        (plane, tel)
+    }
+
+    #[test]
+    fn merged_metrics_tag_each_source_and_keep_one_type_line() {
+        let plane = Arc::new(ObsPlane::new(SloConfig::default()));
+        for name in ["tenant-0", "tenant-1"] {
+            let tel = Arc::new(Telemetry::new());
+            tel.registry
+                .counter("scec_queries_total", &[("cluster", "local")])
+                .add(3);
+            plane.register(name, tel);
+        }
+        let text = plane.render_metrics();
+        assert!(text.contains("scec_queries_total{cluster=\"local\",source=\"tenant-0\"} 3"));
+        assert!(text.contains("scec_queries_total{cluster=\"local\",source=\"tenant-1\"} 3"));
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE scec_queries_total "))
+            .count();
+        assert_eq!(type_lines, 1, "{text}");
+    }
+
+    #[test]
+    fn merged_trace_names_process_lanes() {
+        let (plane, tel) = plane_with_source("tenant-0");
+        tel.tracer.span(
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            scec_telemetry::Stage::Dispatch,
+            Some(1),
+            None,
+        );
+        let doc = plane.render_trace();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"process_name\""));
+        assert!(doc.contains("\"tenant-0\""));
+        assert!(doc.contains("span.dispatch"));
+        assert!(doc.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn slo_scrape_closes_a_window_per_source() {
+        let (plane, tel) = plane_with_source("tenant-0");
+        tel.registry
+            .histogram("scec_query_latency_seconds", &[])
+            .record(0.01);
+        let doc = plane.render_slo();
+        assert!(doc.contains("\"schema\": \"scec-slo-v1\""));
+        assert!(doc.contains("\"source\": \"tenant-0\""));
+        assert!(doc.contains("\"window\": 1"));
+        // A second scrape closes window 2.
+        assert!(plane.render_slo().contains("\"window\": 2"));
+    }
+
+    #[test]
+    fn alerts_feed_back_into_the_source_registry() {
+        let (plane, tel) = plane_with_source("t");
+        let h = tel.registry.histogram("scec_query_latency_seconds", &[]);
+        for _ in 0..90 {
+            h.record(0.01);
+        }
+        for _ in 0..10 {
+            h.record(5.0);
+        }
+        let alerts = plane.observe("t");
+        assert_eq!(alerts.len(), 1);
+        assert!(plane
+            .render_metrics()
+            .contains("scec_slo_alerts_total{kind=\"latency_burn\",source=\"t\"} 1"));
+    }
+
+    #[test]
+    fn scrape_server_answers_all_three_endpoints_and_404s() {
+        let (plane, tel) = plane_with_source("tenant-0");
+        tel.registry.counter("scec_queries_total", &[]).inc();
+        let server = ScrapeServer::bind("127.0.0.1:0", plane).expect("bind");
+        let addr = server.local_addr();
+        let get = |path: &str| -> String {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(s, "GET {path} HTTP/1.0\r\n\r\n").expect("request");
+            s.flush().expect("flush");
+            let mut body = String::new();
+            s.read_to_string(&mut body).expect("read");
+            body
+        };
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("scec_queries_total{source=\"tenant-0\"} 1"));
+        assert!(get("/trace").contains("\"traceEvents\""));
+        assert!(get("/slo").contains("scec-slo-v1"));
+        assert!(get("/nope").starts_with("HTTP/1.0 404"));
+        server.shutdown();
+    }
+}

@@ -30,9 +30,10 @@ use scec_allocation::{AdaptiveAllocator, AdaptiveConfig, DriftSample, EdgeFleet,
 use scec_core::{AllocationStrategy, ScecSystem};
 use scec_linalg::{Fp61, Matrix, Vector};
 use scec_runtime::{Clock, LocalCluster, PanelPipeline, RealClock};
-use scec_telemetry::{MetricValue, Telemetry};
+use scec_telemetry::{Alert, MetricValue, SloConfig, Telemetry};
 
 use crate::error::{Error, Result};
+use crate::obs::ObsPlane;
 use crate::transport::{TcpTransport, WireMeter};
 
 /// Per-tenant fleet unit costs — one mid-sized heterogeneous fleet,
@@ -75,6 +76,14 @@ pub struct LoadConfig {
     /// devices for the second epoch. A healthy tier never crosses the
     /// trigger, so adaptive mode is inert (and bit-identical) there.
     pub adaptive: bool,
+    /// Distributed tracing: each tenant mints deterministic
+    /// [`TraceContext`](scec_telemetry::TraceContext)s for its queries,
+    /// query frames carry the 17-byte context block (version-2 frames),
+    /// and device servers echo it — the predicted side of the cost
+    /// ledger prices the block too, so byte reconciliation stays exact
+    /// with tracing on. Off by default: frames stay version 1,
+    /// byte-identical to the pre-tracing wire format.
+    pub trace: bool,
 }
 
 impl Default for LoadConfig {
@@ -91,6 +100,7 @@ impl Default for LoadConfig {
             seed: 7,
             max_in_flight: 0,
             adaptive: false,
+            trace: false,
         }
     }
 }
@@ -203,6 +213,9 @@ pub struct TenantReport {
     /// Adaptive re-plans this tenant installed (0 unless
     /// [`LoadConfig::adaptive`] is set and the drift checkpoint fired).
     pub reallocations: u64,
+    /// SLO alerts fired for this tenant at its final burn-rate window
+    /// close (empty on a healthy tier).
+    pub alerts: Vec<Alert>,
 }
 
 /// The full run: per-tenant rows plus tier-level aggregates.
@@ -227,6 +240,8 @@ pub struct LoadReport {
     pub worst_p99_s: f64,
     /// Total adaptive re-plans across the tier.
     pub reallocations: u64,
+    /// Total SLO alerts fired across the tier.
+    pub alerts: u64,
 }
 
 impl LoadReport {
@@ -248,6 +263,7 @@ impl LoadReport {
         );
         let _ = writeln!(out, "  worst p99       = {:.6}s", self.worst_p99_s);
         let _ = writeln!(out, "  reallocations   = {}", self.reallocations);
+        let _ = writeln!(out, "  slo alerts      = {}", self.alerts);
         let (ws, wr): (u64, u64) = self
             .tenants
             .iter()
@@ -276,6 +292,9 @@ impl LoadReport {
                 t.observed_cost,
                 t.p99_latency_s
             );
+            for alert in &t.alerts {
+                let _ = writeln!(out, "    {}", alert.render());
+            }
         }
         for (tenant, err) in &self.failures {
             let _ = writeln!(out, "  tenant {tenant:>3}: FAILED: {err}");
@@ -292,14 +311,15 @@ impl LoadReport {
             "  \"peak_in_flight\": {},\n  \"admission_cap\": {},\n  \
              \"elapsed_s\": {:.6},\n  \"total_queries\": {},\n  \
              \"throughput_qps\": {:.1},\n  \"worst_p99_s\": {:.6},\n  \
-             \"reallocations\": {},\n  \"tenants\": [",
+             \"reallocations\": {},\n  \"slo_alerts\": {},\n  \"tenants\": [",
             self.peak_in_flight,
             self.admission_cap,
             self.elapsed_s,
             self.total_queries,
             self.throughput_qps,
             self.worst_p99_s,
-            self.reallocations
+            self.reallocations,
+            self.alerts
         );
         for (i, t) in self.tenants.iter().enumerate() {
             if i > 0 {
@@ -311,7 +331,7 @@ impl LoadReport {
                  \"wire_sent\": {}, \"wire_received\": {}, \"predicted_sent\": {}, \
                  \"predicted_received\": {}, \"predicted_cost\": {:.4}, \
                  \"observed_cost\": {:.4}, \"p99_latency_s\": {:.6}, \
-                 \"reallocations\": {}}}",
+                 \"reallocations\": {}, \"alerts\": [",
                 t.tenant,
                 t.queries,
                 t.mismatches,
@@ -324,6 +344,18 @@ impl LoadReport {
                 t.p99_latency_s,
                 t.reallocations
             );
+            for (j, a) in t.alerts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"kind\": \"{}\", \"burn_permille\": {}}}",
+                    a.kind.as_str(),
+                    a.burn_permille
+                );
+            }
+            out.push_str("]}");
         }
         out.push_str("\n  ],\n  \"failures\": [");
         for (i, (tenant, err)) in self.failures.iter().enumerate() {
@@ -364,6 +396,21 @@ impl Router {
     /// [`LoadReport::failures`]; only thread-spawn failures abort the
     /// run.
     pub fn run(&self, addr: SocketAddr) -> Result<LoadReport> {
+        self.run_observed(addr, &Arc::new(ObsPlane::new(SloConfig::default())))
+    }
+
+    /// Like [`run`](Self::run), wiring every tenant's telemetry into
+    /// `obs`: each tenant registers as source `tenant-<id>` before the
+    /// load starts (registration order — and therefore each tenant's
+    /// trace lane — is deterministic), live scrapes see the run in
+    /// flight, the adaptive drift checkpoint closes an SLO window, and
+    /// each tenant's final window close lands its alerts in its
+    /// [`TenantReport`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](Self::run).
+    pub fn run_observed(&self, addr: SocketAddr, obs: &Arc<ObsPlane>) -> Result<LoadReport> {
         let cfg = &self.config;
         let admission = Arc::new(Admission::new(cfg.admission_cap()));
         let barrier = Arc::new(Barrier::new(cfg.tenants));
@@ -373,10 +420,15 @@ impl Router {
             let cfg = cfg.clone();
             let admission = Arc::clone(&admission);
             let barrier = Arc::clone(&barrier);
+            let obs = Arc::clone(obs);
+            let tel = Arc::new(Telemetry::new());
+            obs.register(format!("tenant-{tenant}"), Arc::clone(&tel));
             joins.push(
                 std::thread::Builder::new()
                     .name(format!("scec-load-tenant-{tenant}"))
-                    .spawn(move || tenant_session(addr, tenant, &cfg, &admission, &barrier))
+                    .spawn(move || {
+                        tenant_session(addr, tenant, &cfg, &admission, &barrier, &obs, tel)
+                    })
                     .map_err(Error::Io)?,
             );
         }
@@ -407,6 +459,7 @@ impl Router {
             .map(|t| t.p99_latency_s)
             .fold(0.0, f64::max);
         report.reallocations = report.tenants.iter().map(|t| t.reallocations).sum();
+        report.alerts = report.tenants.iter().map(|t| t.alerts.len() as u64).sum();
         Ok(report)
     }
 }
@@ -420,8 +473,11 @@ fn tenant_session(
     cfg: &LoadConfig,
     admission: &Admission,
     barrier: &Barrier,
+    obs: &ObsPlane,
+    tel: Arc<Telemetry>,
 ) -> Result<TenantReport> {
-    let setup = setup_tenant(addr, tenant, cfg);
+    let source = format!("tenant-{tenant}");
+    let setup = setup_tenant(addr, tenant, cfg, tel);
     // Pre-generate the whole query stream and its ground truth before
     // the start barrier: the measured loop is then pure protocol I/O,
     // so submission outruns the fleet and the pipeline windows actually
@@ -469,6 +525,10 @@ fn tenant_session(
         if split == xs.len() {
             return Ok(());
         }
+        // The drift checkpoint is also an SLO window close: the
+        // CostDivergence alert and the allocator's drift factors read
+        // the same ledger, so burn and re-plans line up in the report.
+        let _ = obs.observe(&source);
         let factors = drift_factors(&tel, FLEET_UNIT_COSTS.len());
         match checkpoint_scaled_costs(cfg.rows, &factors)? {
             Some(scaled) => {
@@ -480,7 +540,8 @@ fn tenant_session(
                 let mut rng = StdRng::seed_from_u64(
                     cfg.seed ^ 0x7265_706c ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tenant + 1)),
                 );
-                let (c2, m2) = connect_cluster(addr, tenant, &a, &scaled, &tel, &mut rng)?;
+                let (c2, m2) =
+                    connect_cluster(addr, tenant, &a, &scaled, &tel, cfg.trace, &mut rng)?;
                 meters.push(m2);
                 let c2 = second_cluster.insert(c2);
                 let mut pipeline =
@@ -521,6 +582,9 @@ fn tenant_session(
     }
     let ledger = tel.costs.report();
     let p99 = pipeline_p99(&tel);
+    // Final burn-rate window close: whatever fires here is the tenant's
+    // end-of-run SLO verdict.
+    let alerts = obs.observe(&source);
     let (wire_sent, wire_received) = meters
         .iter()
         .map(WireMeter::totals)
@@ -541,6 +605,7 @@ fn tenant_session(
         observed_cost: ledger.observed_cost,
         p99_latency_s: p99,
         reallocations,
+        alerts,
     })
 }
 
@@ -647,14 +712,26 @@ fn checkpoint_scaled_costs(rows: usize, factors: &[f64]) -> Result<Option<Vec<f6
 
 type TenantSetup = (Matrix<Fp61>, LocalCluster<Fp61>, Arc<Telemetry>, WireMeter);
 
-fn setup_tenant(addr: SocketAddr, tenant: u64, cfg: &LoadConfig) -> Result<TenantSetup> {
+fn setup_tenant(
+    addr: SocketAddr,
+    tenant: u64,
+    cfg: &LoadConfig,
+    tel: Arc<Telemetry>,
+) -> Result<TenantSetup> {
     // Tenant-distinct streams from one base seed: each tenant gets its
     // own A, randomness, and query stream.
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tenant + 1)));
     let a = Matrix::<Fp61>::random(cfg.rows, cfg.cols, &mut rng);
-    let tel = Arc::new(Telemetry::new());
-    let (cluster, meter) = connect_cluster(addr, tenant, &a, &FLEET_UNIT_COSTS, &tel, &mut rng)?;
+    let (cluster, meter) = connect_cluster(
+        addr,
+        tenant,
+        &a,
+        &FLEET_UNIT_COSTS,
+        &tel,
+        cfg.trace,
+        &mut rng,
+    )?;
     Ok((a, cluster, tel, meter))
 }
 
@@ -668,6 +745,7 @@ fn connect_cluster(
     a: &Matrix<Fp61>,
     unit_costs: &[f64],
     tel: &Arc<Telemetry>,
+    trace: bool,
     rng: &mut StdRng,
 ) -> Result<(LocalCluster<Fp61>, WireMeter)> {
     let fleet = EdgeFleet::from_unit_costs(unit_costs.to_vec())?;
@@ -693,7 +771,14 @@ fn connect_cluster(
         },
     );
     let cluster = match launched {
-        Ok(c) => c.with_telemetry(Arc::clone(tel)),
+        Ok(c) => {
+            let c = c.with_telemetry(Arc::clone(tel));
+            if trace {
+                c.with_trace_tenant(tenant)
+            } else {
+                c
+            }
+        }
         Err(e) => {
             // Surface the richer serve-side error (admission refusals
             // carry the server's reason) over the generic runtime one.
@@ -702,24 +787,6 @@ fn connect_cluster(
     };
     let meter = meter_slot.expect("connect ran on the success path");
     Ok((cluster, meter))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn checkpoint_triggers_only_past_the_dead_band() {
-        // Uniform factors: the checkpoint holds the current plan.
-        assert!(checkpoint_scaled_costs(8, &[1.0; 5]).unwrap().is_none());
-        // One device at 4x its predicted cost: re-plan, with that
-        // device's unit cost scaled and the rest untouched.
-        let scaled = checkpoint_scaled_costs(8, &[4.0, 1.0, 1.0, 1.0, 1.0])
-            .unwrap()
-            .expect("drift past the trigger must re-plan");
-        assert!((scaled[0] - 4.0 * FLEET_UNIT_COSTS[0]).abs() < 1e-12);
-        assert!((scaled[1] - FLEET_UNIT_COSTS[1]).abs() < 1e-12);
-    }
 }
 
 /// p99 of the tenant's per-query FIFO latency (falls back to the
@@ -739,4 +806,22 @@ fn pipeline_p99(tel: &Telemetry) -> f64 {
         }
     }
     0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_triggers_only_past_the_dead_band() {
+        // Uniform factors: the checkpoint holds the current plan.
+        assert!(checkpoint_scaled_costs(8, &[1.0; 5]).unwrap().is_none());
+        // One device at 4x its predicted cost: re-plan, with that
+        // device's unit cost scaled and the rest untouched.
+        let scaled = checkpoint_scaled_costs(8, &[4.0, 1.0, 1.0, 1.0, 1.0])
+            .unwrap()
+            .expect("drift past the trigger must re-plan");
+        assert!((scaled[0] - 4.0 * FLEET_UNIT_COSTS[0]).abs() < 1e-12);
+        assert!((scaled[1] - FLEET_UNIT_COSTS[1]).abs() < 1e-12);
+    }
 }

@@ -24,6 +24,8 @@ use scec_coding::{DeviceShare, HelloMsg, StragglerShare};
 use scec_linalg::Scalar;
 use scec_runtime::message::{FromDevice, ToDevice};
 use scec_runtime::transport::frames;
+use scec_runtime::{Clock, RealClock};
+use scec_telemetry::{context, SpanIds, Stage, Telemetry, TraceContext};
 use scec_wire::stream::{read_frame, write_frame, StreamError, DEFAULT_MAX_FRAME};
 use scec_wire::{decode_framed, encode_framed_into, peek_tag, tag, WireDecode, WireEncode};
 
@@ -90,11 +92,34 @@ impl DeviceServer {
     where
         F: Scalar + WireEncode + WireDecode + 'static,
     {
+        Self::bind_instrumented::<F>(addr, config, None)
+    }
+
+    /// Like [`bind`](Self::bind), attaching a telemetry handle: every
+    /// served query records a per-tenant counter and a device-compute
+    /// span. Queries arriving with a wire-propagated
+    /// [`TraceContext`] mint deterministic span ids parented onto the
+    /// sender's dispatch span, so the server's spans stitch into the
+    /// Router's query trees when both sides feed one observability
+    /// plane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_instrumented<F>(
+        addr: &str,
+        config: ServerConfig,
+        tel: Option<Arc<Telemetry>>,
+    ) -> Result<Self>
+    where
+        F: Scalar + WireEncode + WireDecode + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let conns: ConnSlots = Arc::new(Mutex::new(Vec::new()));
+        let clock: Arc<dyn Clock> = Arc::new(RealClock::default());
         let accept = {
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
@@ -113,9 +138,13 @@ impl DeviceServer {
                         };
                         let stats = Arc::clone(&stats);
                         let config = config.clone();
+                        let tel = tel.clone();
+                        let clock = Arc::clone(&clock);
                         let handler = std::thread::Builder::new()
                             .name("scec-serve-conn".into())
-                            .spawn(move || handle_connection::<F>(stream, &config, &stats))
+                            .spawn(move || {
+                                handle_connection::<F>(stream, &config, &stats, &tel, &clock)
+                            })
                             .expect("spawn connection handler");
                         lock(&conns).push((watch, handler));
                     }
@@ -192,8 +221,13 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Runs one enrolled device: handshake, then a read→compute→write loop
 /// until BYE, EOF, or an I/O error. All state is connection-local.
-fn handle_connection<F>(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats)
-where
+fn handle_connection<F>(
+    mut stream: TcpStream,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    tel: &Option<Arc<Telemetry>>,
+    clock: &Arc<dyn Clock>,
+) where
     F: Scalar + WireEncode + WireDecode,
 {
     let mut rbuf = Vec::new();
@@ -230,7 +264,10 @@ where
         &mut stream,
         config,
         stats,
+        hello.tenant,
         hello.device,
+        tel,
+        clock,
         &mut rbuf,
         &mut wbuf,
     );
@@ -248,11 +285,15 @@ fn read_hello(stream: &mut TcpStream, rbuf: &mut Vec<u8>, max_frame: usize) -> R
 /// The post-handshake serve loop. The share installed on this
 /// connection lives here, on the handler's stack — the sharding unit is
 /// the connection itself.
+#[allow(clippy::too_many_arguments)]
 fn serve_device<F>(
     stream: &mut TcpStream,
     config: &ServerConfig,
     stats: &ServerStats,
+    tenant: u64,
     device: usize,
+    tel: &Option<Arc<Telemetry>>,
+    clock: &Arc<dyn Clock>,
     rbuf: &mut Vec<u8>,
     wbuf: &mut Vec<u8>,
 ) where
@@ -260,6 +301,13 @@ fn serve_device<F>(
 {
     let mut share: Option<DeviceShare<F>> = None;
     let mut tagged: Option<StragglerShare<F>> = None;
+    // Per-tenant served-query counter, resolved once per connection so
+    // the serve loop never touches the registry lock.
+    let queries_counter = tel.as_ref().map(|t| {
+        let tenant_label = tenant.to_string();
+        t.registry
+            .counter("scec_server_queries_total", &[("tenant", &tenant_label)])
+    });
     loop {
         match read_frame(stream, rbuf, config.max_frame) {
             Ok(()) => {}
@@ -271,6 +319,9 @@ fn serve_device<F>(
             stats.clean_closes.fetch_add(1, Ordering::AcqRel);
             return;
         }
+        // The query's wire-propagated trace context, echoed back on the
+        // response frame so both directions price identically.
+        let mut qctx: Option<TraceContext> = None;
         let response = match frames::decode_to_device::<F>(rbuf) {
             Ok(ToDevice::Install(s)) => {
                 share = Some(*s);
@@ -280,9 +331,14 @@ fn serve_device<F>(
                 tagged = Some(*s);
                 continue;
             }
-            Ok(ToDevice::Query { request, x }) => {
+            Ok(ToDevice::Query { request, x, ctx }) => {
                 stats.queries_served.fetch_add(1, Ordering::AcqRel);
-                if let Some(s) = &tagged {
+                if let Some(c) = &queries_counter {
+                    c.inc();
+                }
+                qctx = ctx;
+                let started = span_start(tel, clock);
+                let resp = if let Some(s) = &tagged {
                     match s.compute(&x) {
                         Ok(responses) => FromDevice::TaggedPartial {
                             request,
@@ -302,13 +358,20 @@ fn serve_device<F>(
                     }
                 } else {
                     no_share(request, device)
-                }
+                };
+                device_span(tel, clock, started, request, device, qctx);
+                resp
             }
-            Ok(ToDevice::QueryBatch { request, xs }) => {
+            Ok(ToDevice::QueryBatch { request, xs, ctx }) => {
                 stats
                     .queries_served
                     .fetch_add(xs.ncols() as u64, Ordering::AcqRel);
-                if let Some(s) = &tagged {
+                if let Some(c) = &queries_counter {
+                    c.add(xs.ncols() as u64);
+                }
+                qctx = ctx;
+                let started = span_start(tel, clock);
+                let resp = if let Some(s) = &tagged {
                     match s.compute_panel(&xs) {
                         Ok(values) => FromDevice::TaggedBatch {
                             request,
@@ -329,7 +392,9 @@ fn serve_device<F>(
                     }
                 } else {
                     no_share(request, device)
-                }
+                };
+                device_span(tel, clock, started, request, device, qctx);
+                resp
             }
             // `decode_to_device` never yields control-plane messages.
             Ok(_) => return,
@@ -343,10 +408,56 @@ fn serve_device<F>(
                 }
             }
         };
-        frames::encode_response(&response, wbuf);
+        frames::encode_response_ctx(&response, qctx.as_ref(), wbuf);
         if write_frame(stream, wbuf).is_err() {
             return;
         }
+    }
+}
+
+/// Timestamp for a compute span — skips the clock read entirely when
+/// the server is uninstrumented.
+fn span_start(tel: &Option<Arc<Telemetry>>, clock: &Arc<dyn Clock>) -> Duration {
+    if tel.is_some() {
+        clock.now()
+    } else {
+        Duration::ZERO
+    }
+}
+
+/// Records the server-side compute span for one served query. A sampled
+/// wire context mints the same deterministic span id scheme the
+/// in-process runtime uses, parented onto the sender's dispatch span.
+fn device_span(
+    tel: &Option<Arc<Telemetry>>,
+    clock: &Arc<dyn Clock>,
+    start: Duration,
+    request: u64,
+    device: usize,
+    ctx: Option<TraceContext>,
+) {
+    let Some(t) = tel else { return };
+    let dur = clock.now().saturating_sub(start);
+    match ctx {
+        Some(ctx) if ctx.sampled => t.tracer.span_ctx(
+            start,
+            dur,
+            Stage::DeviceCompute,
+            Some(request),
+            Some(device),
+            SpanIds {
+                trace: ctx.trace_id,
+                span: context::span_id(ctx.trace_id, context::kind::DEVICE_COMPUTE, device as u64),
+                parent: ctx.parent_span_id,
+            },
+        ),
+        _ => t.tracer.span(
+            start,
+            dur,
+            Stage::DeviceCompute,
+            Some(request),
+            Some(device),
+        ),
     }
 }
 

@@ -1,0 +1,213 @@
+//! Cross-process trace context: the identifiers that stitch Router-side
+//! and device-side spans into one causal tree per query.
+//!
+//! A [`TraceContext`] is derived **deterministically** from
+//! `(tenant, query_id, generation)` — no wall clock, no global counter
+//! — so two replays of the same seeded workload mint identical ids and
+//! the rendered trace is byte-identical. The derivation is a
+//! splitmix64-style finalizer over the three coordinates, which keeps
+//! ids well-spread (distinct tenants or repair generations never
+//! collide in practice) while staying a pure function of the protocol
+//! state.
+//!
+//! On the wire the context travels as a fixed 17-byte block between the
+//! frame tag and the payload of a version-2 frame:
+//! `trace_id: u64 LE | parent_span_id: u64 LE | flags: u8` (bit 0 =
+//! sampled). Version-1 frames carry no context and keep parsing —
+//! see `scec_wire` for the framing itself.
+
+/// Encoded size of a wire-propagated context block:
+/// `trace_id (8) + parent_span_id (8) + flags (1)`.
+pub const TRACE_CONTEXT_WIRE_BYTES: u64 = 17;
+
+/// Flag bit 0: the trace is sampled (spans should be recorded).
+pub const FLAG_SAMPLED: u8 = 0b0000_0001;
+
+/// The identifiers a query carries across process boundaries.
+///
+/// `parent_span_id` names the span on the *sending* side that causally
+/// precedes whatever the receiver records — for a `QUERY` frame it is
+/// the Router's dispatch span, so the device's compute span parents
+/// onto it and Perfetto renders one tree per query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the whole query tree; constant across retries and
+    /// repair generations of one logical query.
+    pub trace_id: u64,
+    /// Span id of the sender-side span this hop is a child of.
+    pub parent_span_id: u64,
+    /// Whether spans for this trace should be recorded.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Derives the root context for a query: the trace id is a pure
+    /// function of `(tenant, query_id, generation)`, and the parent is
+    /// the query's root span (see [`span_id`] with [`kind::ROOT`]).
+    ///
+    /// `generation` is the topology generation the query *started*
+    /// under; retries within a generation share the trace.
+    pub fn derive(tenant: u64, query_id: u64, generation: u64) -> Self {
+        let trace_id = derive_trace_id(tenant, query_id, generation);
+        TraceContext {
+            trace_id,
+            parent_span_id: span_id(trace_id, kind::ROOT, 0),
+            sampled: true,
+        }
+    }
+
+    /// The same context re-parented onto `parent` — what the Router
+    /// stamps on an outgoing frame after recording its dispatch span.
+    #[must_use]
+    pub fn child_of(self, parent: u64) -> Self {
+        TraceContext {
+            parent_span_id: parent,
+            ..self
+        }
+    }
+
+    /// Packs the context into its 17-byte wire block.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.parent_span_id.to_le_bytes());
+        out.push(if self.sampled { FLAG_SAMPLED } else { 0 });
+    }
+
+    /// Unpacks a 17-byte wire block; `None` when `bytes` is short.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < TRACE_CONTEXT_WIRE_BYTES as usize {
+            return None;
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&bytes[0..8]);
+        let trace_id = u64::from_le_bytes(id);
+        id.copy_from_slice(&bytes[8..16]);
+        let parent_span_id = u64::from_le_bytes(id);
+        Some(TraceContext {
+            trace_id,
+            parent_span_id,
+            sampled: bytes[16] & FLAG_SAMPLED != 0,
+        })
+    }
+}
+
+/// Span-kind discriminants mixed into [`span_id`] so the different
+/// spans of one trace never collide.
+pub mod kind {
+    /// The query's root (the Router-side logical query span).
+    pub const ROOT: u64 = 1;
+    /// A dispatch (broadcast) span; qualifier = attempt number.
+    pub const DISPATCH: u64 = 2;
+    /// A device compute span; qualifier = device id.
+    pub const DEVICE_COMPUTE: u64 = 3;
+    /// A collect span.
+    pub const COLLECT: u64 = 4;
+    /// A decode span.
+    pub const DECODE: u64 = 5;
+    /// A retry point event; qualifier = attempt number.
+    pub const RETRY: u64 = 6;
+    /// A hot-repair point event; qualifier = new generation.
+    pub const REPAIR: u64 = 7;
+    /// An adaptive re-plan point event; qualifier = new generation.
+    pub const REPLAN: u64 = 8;
+}
+
+/// splitmix64 finalizer: the standard 64-bit avalanche.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, never-zero trace id for a query coordinate.
+pub fn derive_trace_id(tenant: u64, query_id: u64, generation: u64) -> u64 {
+    let id = mix(mix(mix(tenant ^ 0x5343_4543_2019_0001) ^ query_id) ^ generation);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Deterministic, never-zero span id within a trace. `kind` is one of
+/// the [`kind`] discriminants; `qualifier` distinguishes siblings of
+/// the same kind (device id, attempt number, generation).
+pub fn span_id(trace_id: u64, kind: u64, qualifier: u64) -> u64 {
+    let id = mix(mix(trace_id ^ kind.wrapping_mul(0x0100_0000_01b3)) ^ qualifier);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The ids attached to a recorded span: its trace, its own id, and its
+/// parent (`0` = root of the tree).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanIds {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// This span's own id.
+    pub span: u64,
+    /// Parent span id; `0` marks a tree root.
+    pub parent: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_nonzero() {
+        let a = TraceContext::derive(3, 41, 0);
+        let b = TraceContext::derive(3, 41, 0);
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.parent_span_id, 0);
+        assert!(a.sampled);
+    }
+
+    #[test]
+    fn distinct_coordinates_get_distinct_ids() {
+        let base = TraceContext::derive(1, 1, 0);
+        for (t, q, g) in [(2, 1, 0), (1, 2, 0), (1, 1, 1)] {
+            assert_ne!(TraceContext::derive(t, q, g).trace_id, base.trace_id);
+        }
+        let tid = base.trace_id;
+        let dispatch = span_id(tid, kind::DISPATCH, 0);
+        assert_ne!(dispatch, span_id(tid, kind::DISPATCH, 1));
+        assert_ne!(dispatch, span_id(tid, kind::DEVICE_COMPUTE, 0));
+        assert_ne!(dispatch, span_id(tid, kind::ROOT, 0));
+    }
+
+    #[test]
+    fn wire_block_round_trips() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_cafe_f00d,
+            parent_span_id: 42,
+            sampled: true,
+        };
+        let mut buf = Vec::new();
+        ctx.encode_into(&mut buf);
+        assert_eq!(buf.len(), TRACE_CONTEXT_WIRE_BYTES as usize);
+        assert_eq!(TraceContext::decode(&buf), Some(ctx));
+        let unsampled = TraceContext {
+            sampled: false,
+            ..ctx
+        };
+        buf.clear();
+        unsampled.encode_into(&mut buf);
+        assert_eq!(TraceContext::decode(&buf), Some(unsampled));
+        assert_eq!(TraceContext::decode(&buf[..16]), None);
+    }
+
+    #[test]
+    fn child_of_reparents_only() {
+        let ctx = TraceContext::derive(7, 9, 2);
+        let child = ctx.child_of(1234);
+        assert_eq!(child.trace_id, ctx.trace_id);
+        assert_eq!(child.parent_span_id, 1234);
+        assert_eq!(child.sampled, ctx.sampled);
+    }
+}

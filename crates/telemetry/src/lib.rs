@@ -20,14 +20,18 @@
 //! * [`CostAccountant`] — per-device observed bytes/flops/rows next to
 //!   the cost the active code design predicts.
 
+pub mod context;
 pub mod cost;
 pub mod histogram;
 pub mod registry;
+pub mod slo;
 pub mod trace;
 
+pub use context::{SpanIds, TraceContext, TRACE_CONTEXT_WIRE_BYTES};
 pub use cost::{CostAccountant, CostReport, CostVector, DeviceCostReport, MESSAGE_OVERHEAD_BYTES};
 pub use histogram::LogHistogram;
 pub use registry::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use slo::{Alert, AlertKind, SloConfig, SloMonitor, WindowReport};
 pub use trace::{Stage, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 
 /// How chatty command-line surfaces should be. Structured events are
@@ -47,7 +51,6 @@ pub enum Verbosity {
 ///
 /// Cheap to share (`Arc<Telemetry>`); every recording path is either
 /// atomic or behind a short per-structure lock.
-#[derive(Default)]
 pub struct Telemetry {
     /// Metrics registry.
     pub registry: MetricsRegistry,
@@ -56,6 +59,22 @@ pub struct Telemetry {
     /// Predicted-vs-observed cost ledger.
     pub costs: CostAccountant,
     verbosity: Verbosity,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        let registry = MetricsRegistry::default();
+        let tracer = Tracer::default();
+        // Surface drop accounting in both exporters from the start:
+        // the counter exists (at 0) even before the first drop.
+        tracer.set_drop_counter(registry.counter("scec_tracer_dropped_total", &[]));
+        Telemetry {
+            registry,
+            tracer,
+            costs: CostAccountant::default(),
+            verbosity: Verbosity::default(),
+        }
+    }
 }
 
 impl Telemetry {

@@ -134,8 +134,9 @@ impl MetricsRegistry {
     }
 
     fn key(name: &str, labels: &[(&str, &str)]) -> (String, String) {
+        let name = sanitize_name(name, true);
         if labels.is_empty() {
-            return (name.to_string(), String::new());
+            return (name, String::new());
         }
         let mut sorted: Vec<_> = labels.to_vec();
         sorted.sort_unstable();
@@ -144,7 +145,12 @@ impl MetricsRegistry {
             if i > 0 {
                 rendered.push(',');
             }
-            let _ = write!(rendered, "{k}=\"{v}\"");
+            let _ = write!(
+                rendered,
+                "{}=\"{}\"",
+                sanitize_name(k, false),
+                escape_value(v)
+            );
         }
         (format!("{name}{{{rendered}}}"), rendered)
     }
@@ -229,6 +235,49 @@ impl MetricsRegistry {
     }
 }
 
+/// Coerces a metric or label name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`, colons allowed in metric names only):
+/// invalid characters become `_`, and a leading digit gets a `_`
+/// prefix. Applied at registration so every key in the registry — and
+/// therefore every exporter line — is well-formed by construction.
+fn sanitize_name(name: &str, allow_colon: bool) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic()
+            || c == '_'
+            || (allow_colon && c == ':')
+            || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value for the Prometheus text format (`\`, `"`, and
+/// newline). The escaped form is what the key stores, so both
+/// exporters emit it verbatim.
+fn escape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats an `f64` for exporters: finite values via `Display`
 /// (round-trip, no exponent — valid in both JSON and Prometheus text),
 /// non-finite values as 0.
@@ -277,15 +326,16 @@ impl MetricsSnapshot {
                     ..
                 } => {
                     for (le, cum) in buckets {
-                        let le = if le.is_finite() {
-                            fmt_f64(*le)
-                        } else {
-                            "+Inf".to_string()
-                        };
+                        // The overflow bucket's bound is +Inf; skip it
+                        // here so the canonical +Inf line below is the
+                        // only one (its cumulative count is `count`).
+                        if !le.is_finite() {
+                            continue;
+                        }
                         let _ = writeln!(
                             out,
                             "{name}_bucket{} {cum}",
-                            braced(&format!("le=\"{le}\""))
+                            braced(&format!("le=\"{}\"", fmt_f64(*le)))
                         );
                     }
                     let _ = writeln!(out, "{name}_bucket{} {count}", braced("le=\"+Inf\""));
@@ -398,6 +448,57 @@ mod tests {
         assert!(text.contains("# TYPE scec_in_flight gauge"));
         assert!(text.contains("scec_latency_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("scec_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn names_and_labels_are_sanitized_into_the_prometheus_grammar() {
+        let reg = MetricsRegistry::new();
+        // Dots, dashes, spaces, and a leading digit are all coerced.
+        reg.counter("scec.query-rate total", &[("bad key", "v")])
+            .inc();
+        reg.counter("9lives", &[]).inc();
+        // Label values keep their content but escape text-format specials.
+        reg.counter("m", &[("k", "a\"b\\c\nd")]).inc();
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("scec_query_rate_total{bad_key=\"v\"} 1"));
+        assert!(text.contains("_9lives 1"));
+        assert!(text.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1"));
+        // Sanitized spellings resolve to the same handle.
+        assert_eq!(
+            reg.counter("scec_query_rate_total", &[("bad_key", "v")])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_histogram_exports_zeroes_and_an_inf_bucket() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("scec_idle_seconds", &[]);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE scec_idle_seconds histogram"));
+        assert!(text.contains("scec_idle_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("scec_idle_seconds_sum 0"));
+        assert!(text.contains("scec_idle_seconds_count 0"));
+        let json = reg.snapshot().render_json();
+        // The empty-histogram quantiles are finite zeroes, not NaN.
+        assert!(json.contains("\"count\": 0, \"mean\": 0"));
+        assert!(json.contains("\"p50\": 0, \"p99\": 0"));
+    }
+
+    #[test]
+    fn inf_bucket_line_caps_every_histogram_series() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("scec_latency_seconds", &[("t", "0")]);
+        h.record(1e30); // overflow bucket: upper bound is +Inf
+        h.record(0.001);
+        let text = reg.snapshot().render_prometheus();
+        // Exactly one +Inf line (the overflow bucket would also render
+        // +Inf, so the exporter must not duplicate it)…
+        let inf_lines = text.lines().filter(|l| l.contains("le=\"+Inf\"")).count();
+        assert_eq!(inf_lines, 1, "{text}");
+        // …and it carries the full count.
+        assert!(text.contains("scec_latency_seconds_bucket{t=\"0\",le=\"+Inf\"} 2"));
     }
 
     #[test]

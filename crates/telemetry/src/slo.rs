@@ -1,0 +1,449 @@
+//! Windowed SLO burn-rate evaluation over live telemetry.
+//!
+//! An [`SloMonitor`] is attached to one or more telemetry sources
+//! (typically one per tenant) and re-evaluated at checkpoints — every
+//! scrape of the observability plane, every adaptive-allocation
+//! checkpoint. Each evaluation closes a *window*: the monitor diffs
+//! the source's cumulative histograms and counters against the last
+//! evaluation, computes the window's burn rates against the configured
+//! error budgets, and emits a typed [`Alert`] for every objective
+//! burning faster than budget.
+//!
+//! Three objectives, straight from the paper's serving concerns:
+//!
+//! * **Latency** — the fraction of queries completing over the
+//!   deadline, read from the live latency histograms (p99-under-
+//!   deadline as an error budget, not a point estimate).
+//! * **Cost conformance** — the [`CostAccountant`](crate::CostAccountant)
+//!   observed/predicted ratio must stay inside a band around 1000‰;
+//!   drift outside the band is exactly the signal the adaptive
+//!   allocator re-plans on.
+//! * **Hygiene** — quarantine events and tracer drops in the window.
+//!
+//! Burn rate is reported in permille of budget per window: 1000 means
+//! the window consumed its budget exactly; above 1000 alerts fire.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::registry::MetricValue;
+use crate::Telemetry;
+
+/// Histogram names the latency objective reads, in preference order —
+/// all entries under these names (any labels) are aggregated.
+const LATENCY_HISTOGRAMS: [&str; 2] = [
+    "scec_query_latency_seconds",
+    "scec_pipeline_fifo_latency_seconds",
+];
+
+/// Counter holding lifecycle events; entries whose labels mention
+/// `quarantined` feed the hygiene objective.
+const EVENTS_COUNTER: &str = "scec_supervisor_events_total";
+
+/// Error budgets for one serving objective set.
+#[derive(Clone, Debug)]
+pub struct SloConfig {
+    /// Latency objective: queries should finish within this bound.
+    pub deadline_seconds: f64,
+    /// Budget: the permille of a window's queries allowed over the
+    /// deadline (10 = 1 %, the classic "p99 under deadline").
+    pub deadline_budget_permille: u64,
+    /// Allowed deviation of the cost ledger's observed/predicted ratio
+    /// from 1000‰ before the conformance alert fires.
+    pub divergence_band_permille: u64,
+    /// Quarantine events tolerated per window before the hygiene alert.
+    pub quarantine_budget: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            deadline_seconds: 1.0,
+            deadline_budget_permille: 10,
+            divergence_band_permille: 300,
+            quarantine_budget: 0,
+        }
+    }
+}
+
+/// Which objective an [`Alert`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Over-deadline fraction exceeded its budget this window.
+    LatencyBurn,
+    /// Cost ledger drifted outside the conformance band.
+    CostDivergence,
+    /// Quarantine events exceeded the window budget.
+    QuarantineRate,
+    /// The tracer dropped events this window (observability loss).
+    TracerDrops,
+}
+
+impl AlertKind {
+    /// Stable label for exporters and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::LatencyBurn => "latency_burn",
+            AlertKind::CostDivergence => "cost_divergence",
+            AlertKind::QuarantineRate => "quarantine_rate",
+            AlertKind::TracerDrops => "tracer_drops",
+        }
+    }
+}
+
+/// One fired objective violation.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// The violated objective.
+    pub kind: AlertKind,
+    /// The telemetry source (tenant) the window belongs to.
+    pub source: String,
+    /// Window index (1-based) at which the alert fired.
+    pub window: u64,
+    /// Burn in permille of budget (1000 = exactly on budget).
+    pub burn_permille: u64,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl Alert {
+    /// `kind source#window burn detail` on one line.
+    pub fn render(&self) -> String {
+        format!(
+            "alert {} source={} window={} burn={}permille {}",
+            self.kind.as_str(),
+            self.source,
+            self.window,
+            self.burn_permille,
+            self.detail
+        )
+    }
+}
+
+/// Cumulative counts at the last window close, per source.
+#[derive(Clone, Debug, Default)]
+struct Cumulative {
+    total: u64,
+    under_deadline: u64,
+    quarantined: u64,
+    dropped: u64,
+}
+
+/// The last closed window's burn numbers, per source — what `/slo`
+/// serves.
+#[derive(Clone, Debug, Default)]
+pub struct WindowReport {
+    /// Windows closed for this source so far.
+    pub window: u64,
+    /// Queries completing in the window.
+    pub total: u64,
+    /// Of those, how many finished over the deadline.
+    pub over_deadline: u64,
+    /// Latency burn in permille of budget.
+    pub latency_burn_permille: u64,
+    /// Ledger observed/predicted ratio at window close (1000 = exact).
+    pub divergence_permille: u64,
+    /// Quarantine events in the window.
+    pub quarantined: u64,
+    /// Tracer drops in the window.
+    pub dropped: u64,
+    /// Alerts fired at this window close.
+    pub alerts: Vec<Alert>,
+}
+
+/// Evaluates windowed burn rates for any number of telemetry sources.
+///
+/// Thread-safe; `observe` takes a short internal lock. Alerts
+/// accumulate across windows (bounded by callers scraping
+/// [`take_alerts`](Self::take_alerts) or rendering reports).
+pub struct SloMonitor {
+    config: SloConfig,
+    state: Mutex<BTreeMap<String, (Cumulative, WindowReport)>>,
+}
+
+impl SloMonitor {
+    /// A monitor with the given budgets.
+    pub fn new(config: SloConfig) -> Self {
+        SloMonitor {
+            config,
+            state: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured budgets.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Closes a window for `source`: diffs its cumulative telemetry
+    /// against the previous close and returns the alerts that fired.
+    pub fn observe(&self, source: &str, tel: &Telemetry) -> Vec<Alert> {
+        let snap = tel.registry.snapshot();
+        let mut total = 0u64;
+        let mut under = 0u64;
+        for (_, name, _, value) in &snap.entries {
+            if !LATENCY_HISTOGRAMS.contains(&name.as_str()) {
+                continue;
+            }
+            if let MetricValue::Histogram { count, buckets, .. } = value {
+                total += count;
+                under += buckets
+                    .iter()
+                    .take_while(|(le, _)| *le <= self.config.deadline_seconds)
+                    .last()
+                    .map(|(_, cum)| *cum)
+                    .unwrap_or(0);
+            }
+        }
+        let mut quarantined = 0u64;
+        for (_, name, labels, value) in &snap.entries {
+            if name == EVENTS_COUNTER && labels.contains("quarantined") {
+                if let MetricValue::Counter(v) = value {
+                    quarantined += v;
+                }
+            }
+        }
+        let now = Cumulative {
+            total,
+            under_deadline: under,
+            quarantined,
+            dropped: tel.tracer.dropped(),
+        };
+        let divergence = tel.costs.divergence_permille();
+
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (prev, report) = state.entry(source.to_string()).or_default();
+        let window_total = now.total.saturating_sub(prev.total);
+        let window_under = now.under_deadline.saturating_sub(prev.under_deadline);
+        let window_over = window_total.saturating_sub(window_under);
+        let window_quarantined = now.quarantined.saturating_sub(prev.quarantined);
+        let window_dropped = now.dropped.saturating_sub(prev.dropped);
+        let window = report.window + 1;
+
+        let mut alerts = Vec::new();
+        // Latency: burn = (over/total) / (budget/1000), in permille.
+        let latency_burn = if window_total == 0 {
+            0
+        } else {
+            window_over
+                .saturating_mul(1_000_000)
+                .checked_div(window_total.saturating_mul(self.config.deadline_budget_permille))
+                .unwrap_or(u64::MAX)
+        };
+        if latency_burn > 1000 {
+            alerts.push(Alert {
+                kind: AlertKind::LatencyBurn,
+                source: source.to_string(),
+                window,
+                burn_permille: latency_burn,
+                detail: format!(
+                    "{window_over}/{window_total} queries over {}s deadline (budget {}permille)",
+                    self.config.deadline_seconds, self.config.deadline_budget_permille
+                ),
+            });
+        }
+        // Cost conformance: distance from 1000‰ against the band.
+        let drift = divergence.abs_diff(1000);
+        if drift > self.config.divergence_band_permille {
+            alerts.push(Alert {
+                kind: AlertKind::CostDivergence,
+                source: source.to_string(),
+                window,
+                burn_permille: drift
+                    .saturating_mul(1000)
+                    .checked_div(self.config.divergence_band_permille)
+                    .unwrap_or(u64::MAX),
+                detail: format!(
+                    "ledger at {divergence}permille of predicted (band ±{}permille)",
+                    self.config.divergence_band_permille
+                ),
+            });
+        }
+        if window_quarantined > self.config.quarantine_budget {
+            alerts.push(Alert {
+                kind: AlertKind::QuarantineRate,
+                source: source.to_string(),
+                window,
+                burn_permille: window_quarantined
+                    .saturating_mul(1000)
+                    .checked_div(self.config.quarantine_budget.max(1))
+                    .unwrap_or(u64::MAX),
+                detail: format!("{window_quarantined} quarantines in window"),
+            });
+        }
+        if window_dropped > 0 {
+            alerts.push(Alert {
+                kind: AlertKind::TracerDrops,
+                source: source.to_string(),
+                window,
+                burn_permille: 1000,
+                detail: format!("{window_dropped} trace events dropped in window"),
+            });
+        }
+
+        *prev = now;
+        *report = WindowReport {
+            window,
+            total: window_total,
+            over_deadline: window_over,
+            latency_burn_permille: latency_burn,
+            divergence_permille: divergence,
+            quarantined: window_quarantined,
+            dropped: window_dropped,
+            alerts: alerts.clone(),
+        };
+        alerts
+    }
+
+    /// The last closed window per source.
+    pub fn reports(&self) -> BTreeMap<String, WindowReport> {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, (_, r))| (k.clone(), r.clone()))
+            .collect()
+    }
+
+    /// Renders the per-source burn-rate document served at `/slo`.
+    pub fn render_json(&self) -> String {
+        let reports = self.reports();
+        let mut out = String::from("{\n  \"schema\": \"scec-slo-v1\",\n  \"sources\": [");
+        for (i, (source, r)) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"source\": \"{}\", \"window\": {}, \"total\": {}, \
+                 \"over_deadline\": {}, \"latency_burn_permille\": {}, \
+                 \"divergence_permille\": {}, \"quarantined\": {}, \
+                 \"tracer_dropped\": {}, \"alerts\": [",
+                crate::json_escape(source),
+                r.window,
+                r.total,
+                r.over_deadline,
+                r.latency_burn_permille,
+                r.divergence_permille,
+                r.quarantined,
+                r.dropped
+            );
+            for (j, a) in r.alerts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"kind\": \"{}\", \"burn_permille\": {}, \"detail\": \"{}\"}}",
+                    a.kind.as_str(),
+                    a.burn_permille,
+                    crate::json_escape(&a.detail)
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_latencies(tel: &Telemetry, fast: usize, slow: usize) {
+        let h = tel
+            .registry
+            .histogram("scec_query_latency_seconds", &[("tenant", "0")]);
+        for _ in 0..fast {
+            h.record(0.01);
+        }
+        for _ in 0..slow {
+            h.record(5.0);
+        }
+    }
+
+    #[test]
+    fn healthy_window_fires_no_alerts() {
+        let tel = Telemetry::new();
+        record_latencies(&tel, 100, 0);
+        let mon = SloMonitor::new(SloConfig::default());
+        let alerts = mon.observe("tenant-0", &tel);
+        assert!(alerts.is_empty(), "{alerts:?}");
+        let r = &mon.reports()["tenant-0"];
+        assert_eq!(r.total, 100);
+        assert_eq!(r.over_deadline, 0);
+        assert_eq!(r.latency_burn_permille, 0);
+    }
+
+    #[test]
+    fn deadline_burn_alerts_when_over_budget() {
+        let tel = Telemetry::new();
+        record_latencies(&tel, 90, 10); // 10% over a 1% budget = 10x burn
+        let mon = SloMonitor::new(SloConfig::default());
+        let alerts = mon.observe("tenant-0", &tel);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::LatencyBurn);
+        assert_eq!(alerts[0].burn_permille, 10_000);
+        assert!(alerts[0].render().contains("latency_burn"));
+    }
+
+    #[test]
+    fn windows_diff_cumulative_counts() {
+        let tel = Telemetry::new();
+        record_latencies(&tel, 50, 10);
+        let mon = SloMonitor::new(SloConfig::default());
+        assert_eq!(mon.observe("t", &tel).len(), 1, "first window burns");
+        // Second window: only fast queries arrive — burn clears.
+        record_latencies(&tel, 100, 0);
+        let alerts = mon.observe("t", &tel);
+        assert!(alerts.is_empty(), "{alerts:?}");
+        let r = &mon.reports()["t"];
+        assert_eq!(r.window, 2);
+        assert_eq!(r.total, 100);
+        assert_eq!(r.over_deadline, 0);
+    }
+
+    #[test]
+    fn divergence_and_quarantine_and_drops_alert() {
+        let tel = Telemetry::new();
+        // Ledger: predicted 10 rows/query, observed 20 → 2000‰.
+        tel.costs.set_predicted(
+            1,
+            1.0,
+            crate::CostVector {
+                rows_served: 10,
+                ..Default::default()
+            },
+        );
+        tel.costs.record_received(1, 0, 20);
+        tel.costs.record_query();
+        tel.costs.record_attempt();
+        // One quarantine event.
+        tel.registry
+            .counter(
+                "scec_supervisor_events_total",
+                &[("event", "supervisor.quarantined")],
+            )
+            .inc();
+        // Tracer drops.
+        let small = crate::Tracer::new(1);
+        for _ in 0..3 {
+            small.event(std::time::Duration::ZERO, "tick", None, None, "");
+        }
+        let tel = Telemetry {
+            tracer: small,
+            ..tel
+        };
+        let mon = SloMonitor::new(SloConfig::default());
+        let alerts = mon.observe("t", &tel);
+        let kinds: Vec<AlertKind> = alerts.iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&AlertKind::CostDivergence), "{alerts:?}");
+        assert!(kinds.contains(&AlertKind::QuarantineRate), "{alerts:?}");
+        assert!(kinds.contains(&AlertKind::TracerDrops), "{alerts:?}");
+        let json = mon.render_json();
+        assert!(json.contains("\"schema\": \"scec-slo-v1\""));
+        assert!(json.contains("cost_divergence"));
+    }
+}

@@ -17,6 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::context::SpanIds;
+use crate::registry::Counter;
+
 /// Default event-buffer capacity; past it, new events are counted in
 /// [`Tracer::dropped`] and discarded.
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
@@ -66,6 +69,10 @@ pub struct TraceEvent {
     pub dur: Option<Duration>,
     /// Freeform detail (state transition, reason, counts).
     pub detail: String,
+    /// Causal identifiers, when the event belongs to a distributed
+    /// trace. `None` for untraced runs; the line/JSON renders omit it
+    /// either way so existing snapshots stay byte-identical.
+    pub ids: Option<SpanIds>,
 }
 
 impl TraceEvent {
@@ -92,6 +99,10 @@ pub struct Tracer {
     events: Mutex<Vec<TraceEvent>>,
     capacity: usize,
     dropped: AtomicU64,
+    /// Optional registry counter bumped alongside `dropped`, so drops
+    /// surface in the Prometheus/JSON exporters without polling
+    /// [`Tracer::dropped`].
+    drop_counter: Mutex<Option<Counter>>,
 }
 
 impl Default for Tracer {
@@ -109,7 +120,14 @@ impl Tracer {
             events: Mutex::new(Vec::with_capacity(capacity.min(1024))),
             capacity,
             dropped: AtomicU64::new(0),
+            drop_counter: Mutex::new(None),
         }
+    }
+
+    /// Mirrors every future drop into `counter` (a registry handle),
+    /// making drop accounting scrapeable.
+    pub fn set_drop_counter(&self, counter: Counter) {
+        *self.drop_counter.lock().unwrap_or_else(|p| p.into_inner()) = Some(counter);
     }
 
     /// Records a completed span.
@@ -128,6 +146,28 @@ impl Tracer {
             device,
             dur: Some(dur),
             detail: String::new(),
+            ids: None,
+        });
+    }
+
+    /// Records a completed span carrying distributed-trace ids.
+    pub fn span_ctx(
+        &self,
+        at: Duration,
+        dur: Duration,
+        stage: Stage,
+        request: Option<u64>,
+        device: Option<usize>,
+        ids: SpanIds,
+    ) {
+        self.push(TraceEvent {
+            at,
+            name: stage.as_str(),
+            request,
+            device,
+            dur: Some(dur),
+            detail: String::new(),
+            ids: Some(ids),
         });
     }
 
@@ -147,6 +187,29 @@ impl Tracer {
             device,
             dur: None,
             detail: detail.into(),
+            ids: None,
+        });
+    }
+
+    /// Records a point event carrying distributed-trace ids (retries,
+    /// hot repairs, re-plans — child moments of a query tree).
+    pub fn event_ctx(
+        &self,
+        at: Duration,
+        name: &'static str,
+        request: Option<u64>,
+        device: Option<usize>,
+        detail: impl Into<String>,
+        ids: SpanIds,
+    ) {
+        self.push(TraceEvent {
+            at,
+            name,
+            request,
+            device,
+            dur: None,
+            detail: detail.into(),
+            ids: Some(ids),
         });
     }
 
@@ -158,6 +221,9 @@ impl Tracer {
         let mut events = self.lock();
         if events.len() >= self.capacity {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &*self.drop_counter.lock().unwrap_or_else(|p| p.into_inner()) {
+                c.inc();
+            }
         } else {
             events.push(ev);
         }
@@ -236,6 +302,88 @@ impl Tracer {
         out.push_str("\n  ]");
         out
     }
+
+    /// Serializes each event as one Chrome trace-event JSON object
+    /// (`ph: "X"` for spans, `ph: "i"` for points), sorted exactly like
+    /// [`render`](Self::render) so seeded replays serialize
+    /// byte-identically. `pid` groups this tracer's events into one
+    /// process lane in `chrome://tracing`/Perfetto; the device id (when
+    /// present) becomes the thread lane.
+    ///
+    /// Returned as individual objects so callers can merge several
+    /// tracers (Router + device server) into one `traceEvents` array.
+    pub fn chrome_events(&self, pid: u64) -> Vec<String> {
+        let mut events = self.events();
+        events.sort_by(|a, b| {
+            (a.at, a.request, a.device, &a.name).cmp(&(b.at, b.request, b.device, &b.name))
+        });
+        events
+            .iter()
+            .map(|ev| {
+                let mut out = String::new();
+                let ph = if ev.dur.is_some() { "X" } else { "i" };
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"scec\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{}",
+                    crate::json_escape(ev.name),
+                    ev.at.as_micros(),
+                    ev.device.unwrap_or(0),
+                );
+                if let Some(dur) = ev.dur {
+                    let _ = write!(out, ",\"dur\":{}", dur.as_micros());
+                } else {
+                    // Thread-scoped instant marker.
+                    out.push_str(",\"s\":\"t\"");
+                }
+                out.push_str(",\"args\":{");
+                let mut first = true;
+                let mut arg = |out: &mut String, key: &str, value: String| {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "\"{key}\":{value}");
+                };
+                if let Some(r) = ev.request {
+                    arg(&mut out, "request", r.to_string());
+                }
+                if let Some(d) = ev.device {
+                    arg(&mut out, "device", d.to_string());
+                }
+                if let Some(ids) = ev.ids {
+                    arg(&mut out, "trace_id", format!("\"{:016x}\"", ids.trace));
+                    arg(&mut out, "span_id", format!("\"{:016x}\"", ids.span));
+                    if ids.parent != 0 {
+                        arg(&mut out, "parent_span_id", format!("\"{:016x}\"", ids.parent));
+                    }
+                }
+                if !ev.detail.is_empty() {
+                    arg(
+                        &mut out,
+                        "detail",
+                        format!("\"{}\"", crate::json_escape(&ev.detail)),
+                    );
+                }
+                out.push_str("}}");
+                out
+            })
+            .collect()
+    }
+
+    /// Renders the full Chrome trace document for this tracer alone:
+    /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+    pub fn render_chrome_trace(&self, pid: u64) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in self.chrome_events(pid).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(ev);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +420,40 @@ mod tests {
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn ctx_ids_surface_in_chrome_render_but_not_in_line_render() {
+        let t = Tracer::default();
+        let ids = SpanIds {
+            trace: 0xabc,
+            span: 0x123,
+            parent: 0x456,
+        };
+        t.span_ctx(ms(1), ms(2), Stage::DeviceCompute, Some(9), Some(4), ids);
+        t.event_ctx(ms(3), "supervisor.retried", Some(9), None, "attempt=1", ids);
+        // Existing renders are byte-compatible: no id fields appear.
+        assert!(!t.render().contains("abc"));
+        assert!(!t.render_json().contains("trace_id"));
+        let chrome = t.render_chrome_trace(0);
+        assert!(chrome.contains("\"trace_id\":\"0000000000000abc\""));
+        assert!(chrome.contains("\"span_id\":\"0000000000000123\""));
+        assert!(chrome.contains("\"parent_span_id\":\"0000000000000456\""));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+        assert!(chrome.contains("\"tid\":4"));
+    }
+
+    #[test]
+    fn drop_counter_mirrors_dropped_events() {
+        let registry = crate::MetricsRegistry::default();
+        let t = Tracer::new(1);
+        t.set_drop_counter(registry.counter("scec_tracer_dropped_total", &[]));
+        for i in 0..3 {
+            t.event(ms(i), "tick", None, None, "");
+        }
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(registry.counter("scec_tracer_dropped_total", &[]).get(), 2);
     }
 
     #[test]

@@ -33,12 +33,20 @@
 use std::fmt;
 
 use scec_linalg::{Fp61, FpGeneric, Matrix, Scalar, Vector};
+use scec_telemetry::context::{TraceContext, TRACE_CONTEXT_WIRE_BYTES};
 
 /// Magic bytes prefixing every framed message (`"SCEC"`).
 pub const MAGIC: [u8; 4] = *b"SCEC";
 
 /// Current wire-format version.
 pub const VERSION: u16 = 1;
+
+/// Wire-format version whose header carries a 17-byte trace-context
+/// block (`trace_id: u64 LE | parent_span_id: u64 LE | flags: u8`)
+/// between the tag and the payload. Payload layouts are identical to
+/// [`VERSION`]; decoders accept both, so old and new endpoints
+/// interoperate — an untraced peer simply never emits version 2.
+pub const TRACED_VERSION: u16 = 2;
 
 /// Type tags for framed messages.
 pub mod tag {
@@ -139,7 +147,10 @@ impl fmt::Display for Error {
             }
             Error::BadMagic => f.write_str("bad magic prefix"),
             Error::UnsupportedVersion { got } => {
-                write!(f, "unsupported wire version {got} (supported: {VERSION})")
+                write!(
+                    f,
+                    "unsupported wire version {got} (supported: {VERSION}, {TRACED_VERSION})"
+                )
             }
             Error::WrongTag { expected, got } => {
                 write!(f, "wrong message tag: expected {expected}, got {got}")
@@ -500,8 +511,77 @@ pub fn encode_framed_into<T: WireEncode>(value: &T, tag: u16, out: &mut Vec<u8>)
     value.encode(out);
 }
 
+/// Encodes a value inside a frame, stamping a trace context into a
+/// [`TRACED_VERSION`] header when one is given. With `ctx == None` this
+/// is exactly [`encode_framed_into`] — a version-1 frame — so tracing
+/// stays pay-for-what-you-use on the wire.
+pub fn encode_framed_ctx_into<T: WireEncode>(
+    value: &T,
+    tag: u16,
+    ctx: Option<&TraceContext>,
+    out: &mut Vec<u8>,
+) {
+    let Some(ctx) = ctx else {
+        return encode_framed_into(value, tag, out);
+    };
+    out.clear();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&TRACED_VERSION.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    ctx.encode_into(out);
+    value.encode(out);
+}
+
+/// A parsed frame header: which version, which tag, any trace context,
+/// and where the payload starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame version ([`VERSION`] or [`TRACED_VERSION`]).
+    pub version: u16,
+    /// The frame's type tag.
+    pub tag: u16,
+    /// The trace context, for [`TRACED_VERSION`] frames.
+    pub trace: Option<TraceContext>,
+    /// Byte offset of the payload within the frame.
+    pub payload_start: usize,
+}
+
+/// Parses a frame header without touching the payload: magic, version
+/// (1 or 2), tag, and — for version-2 frames — the trace-context
+/// block. The returned [`FrameHeader::payload_start`] lets codecs
+/// decode the payload identically for both versions.
+///
+/// # Errors
+///
+/// Returns [`Error::BadMagic`], [`Error::UnsupportedVersion`], or
+/// [`Error::UnexpectedEof`] when the header is incomplete.
+pub fn parse_header(bytes: &[u8]) -> Result<FrameHeader> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION && version != TRACED_VERSION {
+        return Err(Error::UnsupportedVersion { got: version });
+    }
+    let tag = r.u16()?;
+    let trace = if version == TRACED_VERSION {
+        let block = r.take(TRACE_CONTEXT_WIRE_BYTES as usize)?;
+        TraceContext::decode(block)
+    } else {
+        None
+    };
+    Ok(FrameHeader {
+        version,
+        tag,
+        trace,
+        payload_start: bytes.len() - r.remaining(),
+    })
+}
+
 /// Peeks the type tag of a framed message without decoding the payload,
-/// validating magic and version.
+/// validating magic and version (either supported version).
 ///
 /// Lets a connection loop dispatch on message type before committing to
 /// a payload decode.
@@ -517,39 +597,46 @@ pub fn peek_tag(bytes: &[u8]) -> Result<u16> {
         return Err(Error::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if version != VERSION && version != TRACED_VERSION {
         return Err(Error::UnsupportedVersion { got: version });
     }
     r.u16()
 }
 
 /// Decodes a framed value, validating magic, version, and tag, and
-/// requiring the payload to consume the whole frame.
+/// requiring the payload to consume the whole frame. A
+/// [`TRACED_VERSION`] header's trace block is skipped — use
+/// [`decode_framed_ctx`] to keep it.
 ///
 /// # Errors
 ///
 /// Returns [`Error::BadMagic`], [`Error::UnsupportedVersion`],
 /// [`Error::WrongTag`], or any payload decode error.
 pub fn decode_framed<T: WireDecode>(bytes: &[u8], expected_tag: u16) -> Result<T> {
-    let mut r = Reader::new(bytes);
-    let magic = r.take(4)?;
-    if magic != MAGIC {
-        return Err(Error::BadMagic);
-    }
-    let version = r.u16()?;
-    if version != VERSION {
-        return Err(Error::UnsupportedVersion { got: version });
-    }
-    let tag = r.u16()?;
-    if tag != expected_tag {
+    decode_framed_ctx(bytes, expected_tag).map(|(v, _)| v)
+}
+
+/// Decodes a framed value plus the trace context its header carried
+/// (`None` for version-1 frames).
+///
+/// # Errors
+///
+/// Same contract as [`decode_framed`].
+pub fn decode_framed_ctx<T: WireDecode>(
+    bytes: &[u8],
+    expected_tag: u16,
+) -> Result<(T, Option<TraceContext>)> {
+    let header = parse_header(bytes)?;
+    if header.tag != expected_tag {
         return Err(Error::WrongTag {
             expected: expected_tag,
-            got: tag,
+            got: header.tag,
         });
     }
+    let mut r = Reader::new(&bytes[header.payload_start..]);
     let v = T::decode(&mut r)?;
     r.finish()?;
-    Ok(v)
+    Ok((v, header.trace))
 }
 
 pub mod stream {
@@ -819,6 +906,63 @@ mod tests {
             decode_framed::<Matrix<Fp61>>(&bad, tag::MATRIX),
             Err(Error::UnsupportedVersion { got: 99 })
         ));
+    }
+
+    #[test]
+    fn traced_frames_carry_context_and_stay_tag_compatible() {
+        let m = Matrix::<Fp61>::identity(2);
+        let ctx = TraceContext {
+            trace_id: 0x1234_5678_9abc_def0,
+            parent_span_id: 0x0fed_cba9_8765_4321,
+            sampled: true,
+        };
+        let mut traced = Vec::new();
+        encode_framed_ctx_into(&m, tag::MATRIX, Some(&ctx), &mut traced);
+        // The v2 frame is exactly the v1 frame plus the 17-byte block.
+        let plain = encode_framed(&m, tag::MATRIX);
+        assert_eq!(
+            traced.len(),
+            plain.len() + TRACE_CONTEXT_WIRE_BYTES as usize
+        );
+        // Both peek and decode paths accept the new version.
+        assert_eq!(peek_tag(&traced).unwrap(), tag::MATRIX);
+        let header = parse_header(&traced).unwrap();
+        assert_eq!(header.version, TRACED_VERSION);
+        assert_eq!(header.trace, Some(ctx));
+        let (back, got) = decode_framed_ctx::<Matrix<Fp61>>(&traced, tag::MATRIX).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(got, Some(ctx));
+        // The ctx-oblivious decoder skips the block transparently.
+        assert_eq!(
+            decode_framed::<Matrix<Fp61>>(&traced, tag::MATRIX).unwrap(),
+            m
+        );
+        // And a v1 frame reports no context through the ctx-aware path.
+        let (back, got) = decode_framed_ctx::<Matrix<Fp61>>(&plain, tag::MATRIX).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(got, None);
+        // `None` context degrades to a byte-identical v1 frame.
+        let mut untraced = Vec::new();
+        encode_framed_ctx_into(&m, tag::MATRIX, None, &mut untraced);
+        assert_eq!(untraced, plain);
+    }
+
+    #[test]
+    fn truncated_trace_block_is_a_typed_error() {
+        let m = Matrix::<Fp61>::identity(2);
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span_id: 9,
+            sampled: false,
+        };
+        let mut traced = Vec::new();
+        encode_framed_ctx_into(&m, tag::MATRIX, Some(&ctx), &mut traced);
+        // Cut inside the trace block: header parse must EOF, not panic.
+        assert!(matches!(
+            parse_header(&traced[..12]),
+            Err(Error::UnexpectedEof { .. })
+        ));
+        assert!(decode_framed::<Matrix<Fp61>>(&traced[..20], tag::MATRIX).is_err());
     }
 
     #[test]

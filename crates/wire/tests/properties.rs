@@ -6,8 +6,12 @@ use std::io::Cursor;
 
 use proptest::prelude::*;
 use scec_linalg::{Fp61, FpGeneric, Matrix, Vector};
+use scec_telemetry::context::{TraceContext, TRACE_CONTEXT_WIRE_BYTES};
 use scec_wire::stream::{read_frame, write_frame, StreamError, DEFAULT_MAX_FRAME};
-use scec_wire::{decode_framed, encode_framed, encode_framed_into, tag, WireDecode, WireEncode};
+use scec_wire::{
+    decode_framed, decode_framed_ctx, encode_framed, encode_framed_ctx_into, encode_framed_into,
+    parse_header, peek_tag, tag, WireDecode, WireEncode, TRACED_VERSION, VERSION,
+};
 
 proptest! {
     #[test]
@@ -174,6 +178,48 @@ proptest! {
             }
         }
         prop_assert!(cursor.position() as usize <= len);
+    }
+
+    #[test]
+    fn frame_versions_round_trip_old_and_new(
+        seed in any::<u64>(),
+        rows in 1usize..5,
+        trace_id in any::<u64>(),
+        parent in any::<u64>(),
+        sampled in any::<bool>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::<Fp61>::random(rows, 3, &mut rng);
+        let ctx = TraceContext { trace_id, parent_span_id: parent, sampled };
+
+        // Old codec, new decoder: a v1 frame parses with no context.
+        let v1 = encode_framed(&m, tag::MATRIX);
+        prop_assert_eq!(parse_header(&v1).unwrap().version, VERSION);
+        let (back, got) = decode_framed_ctx::<Matrix<Fp61>>(&v1, tag::MATRIX).unwrap();
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(got, None);
+
+        // New codec, old-style (ctx-oblivious) decoder: the payload
+        // decodes identically and the context survives the ctx path.
+        let mut v2 = Vec::new();
+        encode_framed_ctx_into(&m, tag::MATRIX, Some(&ctx), &mut v2);
+        prop_assert_eq!(peek_tag(&v2).unwrap(), tag::MATRIX);
+        let header = parse_header(&v2).unwrap();
+        prop_assert_eq!(header.version, TRACED_VERSION);
+        prop_assert_eq!(header.trace, Some(ctx));
+        prop_assert_eq!(decode_framed::<Matrix<Fp61>>(&v2, tag::MATRIX).unwrap(), m.clone());
+        let (back, got) = decode_framed_ctx::<Matrix<Fp61>>(&v2, tag::MATRIX).unwrap();
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(got, Some(ctx));
+
+        // The two framings differ by exactly the trace block: strip it
+        // and patch the version and the bytes are the v1 frame.
+        prop_assert_eq!(v2.len(), v1.len() + TRACE_CONTEXT_WIRE_BYTES as usize);
+        let mut stripped = v2.clone();
+        stripped.drain(8..8 + TRACE_CONTEXT_WIRE_BYTES as usize);
+        stripped[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        prop_assert_eq!(stripped, v1);
     }
 
     #[test]
